@@ -1,0 +1,228 @@
+//! Agglomerative hierarchical clustering (the paper's "classical
+//! hierarchical clustering analysis", MATLAB `linkage`-style).
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA; MATLAB's default
+    /// "average" linkage, used for the Figure 6 dendrogram).
+    Average,
+}
+
+/// One merge step: clusters `a` and `b` join at `distance` into a new
+/// cluster of `size` leaves. Leaves are clusters `0..n`; merge `i`
+/// creates cluster `n + i` (the SciPy/MATLAB convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First constituent cluster id.
+    pub a: usize,
+    /// Second constituent cluster id.
+    pub b: usize,
+    /// Linkage distance at which the merge happens.
+    pub distance: f64,
+    /// Leaves in the merged cluster.
+    pub size: usize,
+}
+
+/// Clusters `n` items given their `n × n` distance matrix; returns the
+/// `n − 1` merges in order of increasing linkage distance.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or `n == 0`.
+pub fn hierarchical(dist: &[Vec<f64>], linkage: Linkage) -> Vec<Merge> {
+    let n = dist.len();
+    assert!(n > 0, "no items to cluster");
+    for row in dist {
+        assert_eq!(row.len(), n, "distance matrix must be square");
+    }
+    // Active clusters: id -> member leaves.
+    let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+
+    let cluster_dist = |xa: &[usize], xb: &[usize]| -> f64 {
+        let mut agg = match linkage {
+            Linkage::Single => f64::INFINITY,
+            Linkage::Complete => 0.0,
+            Linkage::Average => 0.0,
+        };
+        for &i in xa {
+            for &j in xb {
+                let d = dist[i][j];
+                match linkage {
+                    Linkage::Single => agg = agg.min(d),
+                    Linkage::Complete => agg = agg.max(d),
+                    Linkage::Average => agg += d,
+                }
+            }
+        }
+        if linkage == Linkage::Average {
+            agg / (xa.len() * xb.len()) as f64
+        } else {
+            agg
+        }
+    };
+
+    while active.len() > 1 {
+        // Find the closest active pair.
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for x in 0..active.len() {
+            for y in (x + 1)..active.len() {
+                let (ca, cb) = (active[x], active[y]);
+                let d = cluster_dist(
+                    members[ca].as_ref().unwrap(),
+                    members[cb].as_ref().unwrap(),
+                );
+                if d < best.2 {
+                    best = (ca, cb, d);
+                }
+            }
+        }
+        let (ca, cb, d) = best;
+        let mut merged = members[ca].take().unwrap();
+        merged.extend(members[cb].take().unwrap());
+        let size = merged.len();
+        members.push(Some(merged));
+        let new_id = members.len() - 1;
+        active.retain(|&c| c != ca && c != cb);
+        active.push(new_id);
+        merges.push(Merge {
+            a: ca,
+            b: cb,
+            distance: d,
+            size,
+        });
+    }
+    merges
+}
+
+/// Cuts the merge tree into exactly `k` flat clusters; returns each
+/// leaf's cluster label in `0..k`.
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or exceeds the leaf count.
+pub fn flat_clusters(n_leaves: usize, merges: &[Merge], k: usize) -> Vec<usize> {
+    assert!(k >= 1 && k <= n_leaves, "k out of range");
+    // Apply the first n - k merges with a union-find.
+    let total = n_leaves + merges.len();
+    let mut parent: Vec<usize> = (0..total).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    for (i, m) in merges.iter().take(n_leaves - k).enumerate() {
+        let new_id = n_leaves + i;
+        let ra = find(&mut parent, m.a);
+        let rb = find(&mut parent, m.b);
+        parent[ra] = new_id;
+        parent[rb] = new_id;
+    }
+    // Label roots.
+    let mut labels = std::collections::HashMap::new();
+    (0..n_leaves)
+        .map(|leaf| {
+            let r = find(&mut parent, leaf);
+            let next = labels.len();
+            *labels.entry(r).or_insert(next)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::euclidean_matrix;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ]
+    }
+
+    #[test]
+    fn blobs_separate_at_k2() {
+        let d = euclidean_matrix(&two_blobs());
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let merges = hierarchical(&d, linkage);
+            assert_eq!(merges.len(), 4);
+            let labels = flat_clusters(5, &merges, 2);
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[0], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_ne!(labels[0], labels[3], "{linkage:?}: {labels:?}");
+        }
+    }
+
+    #[test]
+    fn last_merge_contains_everything() {
+        let d = euclidean_matrix(&two_blobs());
+        let merges = hierarchical(&d, Linkage::Average);
+        assert_eq!(merges.last().unwrap().size, 5);
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let d = euclidean_matrix(&two_blobs());
+        let merges = hierarchical(&d, Linkage::Average);
+        let labels = flat_clusters(5, &merges, 5);
+        let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn single_item_clusters_trivially() {
+        let merges = hierarchical(&[vec![0.0]], Linkage::Single);
+        assert!(merges.is_empty());
+        assert_eq!(flat_clusters(1, &merges, 1), vec![0]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::distance::euclidean_matrix;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Single and complete linkage produce monotone (non-decreasing)
+        /// merge distances; every merge count is n-1; flat clusters for
+        /// any k partition the leaves into exactly k groups.
+        #[test]
+        fn clustering_invariants(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(-10.0f64..10.0, 2), 2..12),
+            k_seed in 0usize..100,
+        ) {
+            let d = euclidean_matrix(&pts);
+            let n = pts.len();
+            for linkage in [Linkage::Single, Linkage::Complete] {
+                let merges = hierarchical(&d, linkage);
+                prop_assert_eq!(merges.len(), n - 1);
+                for w in merges.windows(2) {
+                    prop_assert!(
+                        w[1].distance >= w[0].distance - 1e-9,
+                        "{:?} linkage must be monotone", linkage
+                    );
+                }
+                let k = 1 + k_seed % n;
+                let labels = flat_clusters(n, &merges, k);
+                let distinct: std::collections::HashSet<usize> =
+                    labels.iter().copied().collect();
+                prop_assert_eq!(distinct.len(), k);
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! ASCII dendrogram rendering (the paper's Figure 6 visualization).
+
+use crate::cluster::Merge;
+
+/// Renders a merge tree as an ASCII dendrogram. Leaves appear one per
+/// line; sibling subtrees are joined by a bracket annotated with the
+/// linkage distance. The lower a join's distance, the more similar the
+/// workloads — mirroring the x-axis of the paper's figure.
+///
+/// # Panics
+///
+/// Panics if `labels` does not have one entry per leaf.
+pub fn render_dendrogram(labels: &[String], merges: &[Merge]) -> String {
+    let n = labels.len();
+    assert_eq!(merges.len() + 1, n.max(1), "merges must form a full tree");
+    if n == 1 {
+        return format!("- {}\n", labels[0]);
+    }
+    let root = n + merges.len() - 1;
+    let mut out = String::new();
+    render_node(root, labels, merges, "", None, &mut out);
+    out
+}
+
+fn render_node(
+    id: usize,
+    labels: &[String],
+    merges: &[Merge],
+    prefix: &str,
+    is_last: Option<bool>,
+    out: &mut String,
+) {
+    let n = labels.len();
+    let connector = match is_last {
+        None => "",
+        Some(true) => "`-- ",
+        Some(false) => "|-- ",
+    };
+    if id < n {
+        out.push_str(prefix);
+        out.push_str(connector);
+        out.push_str(&labels[id]);
+        out.push('\n');
+        return;
+    }
+    let m = &merges[id - n];
+    out.push_str(prefix);
+    out.push_str(connector);
+    out.push_str(&format!("+ d={:.3}\n", m.distance));
+    let child_prefix = match is_last {
+        None => String::new(),
+        Some(true) => format!("{prefix}    "),
+        Some(false) => format!("{prefix}|   "),
+    };
+    render_node(m.a, labels, merges, &child_prefix, Some(false), out);
+    render_node(m.b, labels, merges, &child_prefix, Some(true), out);
+}
+
+/// The leaf order induced by the dendrogram (left-to-right traversal),
+/// useful for comparing against the paper's figure.
+pub fn leaf_order(n_leaves: usize, merges: &[Merge]) -> Vec<usize> {
+    let root = n_leaves + merges.len() - 1;
+    let mut order = Vec::with_capacity(n_leaves);
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if id < n_leaves {
+            order.push(id);
+        } else {
+            let m = &merges[id - n_leaves];
+            stack.push(m.b);
+            stack.push(m.a);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{hierarchical, Linkage};
+    use crate::distance::euclidean_matrix;
+
+    fn example() -> (Vec<String>, Vec<Merge>) {
+        let pts = vec![vec![0.0], vec![0.2], vec![5.0], vec![5.1]];
+        let labels: Vec<String> = ["alpha", "beta", "gamma", "zeta"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let merges = hierarchical(&euclidean_matrix(&pts), Linkage::Average);
+        (labels, merges)
+    }
+
+    #[test]
+    fn every_leaf_appears_once() {
+        let (labels, merges) = example();
+        let text = render_dendrogram(&labels, &merges);
+        for l in &labels {
+            assert_eq!(text.matches(l.as_str()).count(), 1, "{text}");
+        }
+        // Three merges -> three join markers.
+        assert_eq!(text.matches("+ d=").count(), 3, "{text}");
+    }
+
+    #[test]
+    fn leaf_order_groups_similar_items() {
+        let (_, merges) = example();
+        let order = leaf_order(4, &merges);
+        assert_eq!(order.len(), 4);
+        // a(0) and b(1) are adjacent, as are c(2) and d(3).
+        let pos = |x: usize| order.iter().position(|&o| o == x).unwrap();
+        assert_eq!(pos(0).abs_diff(pos(1)), 1);
+        assert_eq!(pos(2).abs_diff(pos(3)), 1);
+    }
+
+    #[test]
+    fn single_leaf_renders() {
+        assert_eq!(render_dendrogram(&["only".to_string()], &[]), "- only\n");
+    }
+}

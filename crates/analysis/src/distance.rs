@@ -1,0 +1,70 @@
+//! Distance computations.
+
+/// Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Full pairwise Euclidean distance matrix of a point set.
+pub fn euclidean_matrix(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut d = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = euclidean(&points[i], &points[j]);
+            d[i][j] = dist;
+            d[j][i] = dist;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pythagoras() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let pts = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0]];
+        let d = euclidean_matrix(&pts);
+        for (i, row) in d.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, d[j][i]);
+            }
+        }
+        assert!((d[1][2] - 5.0f64.sqrt()).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Triangle inequality.
+        #[test]
+        fn triangle(
+            a in proptest::collection::vec(-10.0f64..10.0, 3),
+            b in proptest::collection::vec(-10.0f64..10.0, 3),
+            c in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            prop_assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # analysis — the statistical toolbox of the characterization study
+//!
+//! Replaces the MATLAB statistics toolbox the paper uses for its
+//! application-space analysis (Sections IV–V):
+//!
+//! * [`stats`] — z-score standardization of feature matrices;
+//! * [`matrix`] — a minimal dense symmetric-matrix type and a cyclic
+//!   Jacobi eigensolver;
+//! * [`pca`] — principal component analysis with variance-explained
+//!   accounting (Figures 7–9);
+//! * [`distance`] — Euclidean distance matrices in PC space;
+//! * [`cluster`] — agglomerative hierarchical clustering with
+//!   single/complete/average linkage (Figure 6);
+//! * [`dendrogram`] — ASCII dendrogram rendering;
+//! * [`plackett_burman`] — the PB-12 two-level screening design and
+//!   effect estimation used by the paper's GPU sensitivity study
+//!   (Section III.E).
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod dendrogram;
+pub mod distance;
+pub mod matrix;
+pub mod pca;
+pub mod plackett_burman;
+pub mod stats;
+
+pub use cluster::{hierarchical, Linkage, Merge};
+pub use dendrogram::render_dendrogram;
+pub use distance::euclidean_matrix;
+pub use matrix::{jacobi_eigen, SymMat};
+pub use pca::Pca;
+pub use plackett_burman::{pb12, PbResult};
+pub use stats::standardize;

@@ -1,0 +1,219 @@
+//! Minimal symmetric-matrix support and a cyclic Jacobi eigensolver.
+
+/// A dense symmetric matrix (full storage for simplicity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymMat {
+    /// Dimension.
+    pub n: usize,
+    /// Row-major entries.
+    pub data: Vec<f64>,
+}
+
+impl SymMat {
+    /// A zero matrix of dimension `n`.
+    pub fn zeros(n: usize) -> SymMat {
+        SymMat {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Entry accessor.
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Symmetric entry setter (writes both triangles).
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Covariance matrix of a `samples × features` data matrix
+    /// (population normalization, matching [`crate::stats::std_dev`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or ragged data matrix.
+    pub fn covariance(data: &[Vec<f64>]) -> SymMat {
+        assert!(!data.is_empty(), "empty data matrix");
+        let n = data[0].len();
+        let m = data.len() as f64;
+        let means: Vec<f64> = (0..n)
+            .map(|c| data.iter().map(|r| r[c]).sum::<f64>() / m)
+            .collect();
+        let mut cov = SymMat::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                let s: f64 = data
+                    .iter()
+                    .map(|r| (r[i] - means[i]) * (r[j] - means[j]))
+                    .sum();
+                cov.set(i, j, s / m);
+            }
+        }
+        cov
+    }
+}
+
+/// Eigen-decomposition of a symmetric matrix by the cyclic Jacobi
+/// method. Returns `(eigenvalues, eigenvectors)` sorted by decreasing
+/// eigenvalue; `eigenvectors[k]` is the unit eigenvector of
+/// `eigenvalues[k]`.
+pub fn jacobi_eigen(a: &SymMat) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.n;
+    let mut m = a.data.clone();
+    // Eigenvector accumulator, initialized to the identity.
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    let off = |m: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += m[i * n + j] * m[i * n + j];
+                }
+            }
+        }
+        s
+    };
+    for _sweep in 0..100 {
+        if off(&m) < 1e-20 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation to rows/cols p and q.
+                for k in 0..n {
+                    let akp = m[k * n + p];
+                    let akq = m[k * n + q];
+                    m[k * n + p] = c * akp - s * akq;
+                    m[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[p * n + k];
+                    let aqk = m[q * n + k];
+                    m[p * n + k] = c * apk - s * aqk;
+                    m[q * n + k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|k| (m[k * n + k], (0..n).map(|i| v[i * n + k]).collect()))
+        .collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let (vals, vecs) = pairs.into_iter().unzip();
+    (vals, vecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let mut m = SymMat::zeros(3);
+        m.set(0, 0, 3.0);
+        m.set(1, 1, 1.0);
+        m.set(2, 2, 2.0);
+        let (vals, vecs) = jacobi_eigen(&m);
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 2.0).abs() < 1e-10);
+        assert!((vals[2] - 1.0).abs() < 1e-10);
+        // Leading eigenvector is e0.
+        assert!((vecs[0][0].abs() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2_case() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let mut m = SymMat::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(1, 1, 2.0);
+        m.set(0, 1, 1.0);
+        let (vals, vecs) = jacobi_eigen(&m);
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        // Eigenvector of 3 is (1,1)/sqrt(2).
+        let v = &vecs[0];
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        assert!((v[0] - v[1]).abs() < 1e-9 || (v[0] + v[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_data() {
+        let data = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
+        let cov = SymMat::covariance(&data);
+        // var(x) = 2/3, cov(x, 2x) = 4/3, var(2x) = 8/3.
+        assert!((cov.at(0, 0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cov.at(0, 1) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((cov.at(1, 1) - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cov.at(0, 1), cov.at(1, 0));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn random_sym(n: usize, vals: Vec<f64>) -> SymMat {
+        let mut m = SymMat::zeros(n);
+        let mut it = vals.into_iter();
+        for i in 0..n {
+            for j in i..n {
+                m.set(i, j, it.next().unwrap_or(0.0));
+            }
+        }
+        m
+    }
+
+    proptest! {
+        /// Eigenvalue sum equals the trace, eigenvectors are
+        /// orthonormal, and A v = λ v holds.
+        #[test]
+        fn eigen_invariants(vals in proptest::collection::vec(-5.0f64..5.0, 10)) {
+            let n = 4; // 10 = n(n+1)/2 upper-triangle entries
+            let m = random_sym(n, vals);
+            let (ev, vecs) = jacobi_eigen(&m);
+            let trace: f64 = (0..n).map(|i| m.at(i, i)).sum();
+            prop_assert!((ev.iter().sum::<f64>() - trace).abs() < 1e-8);
+            for a in 0..n {
+                for b in 0..n {
+                    let dot: f64 = (0..n).map(|i| vecs[a][i] * vecs[b][i]).sum();
+                    let want = if a == b { 1.0 } else { 0.0 };
+                    prop_assert!((dot - want).abs() < 1e-8, "v{a}.v{b} = {dot}");
+                }
+            }
+            for k in 0..n {
+                for i in 0..n {
+                    let av: f64 = (0..n).map(|j| m.at(i, j) * vecs[k][j]).sum();
+                    prop_assert!((av - ev[k] * vecs[k][i]).abs() < 1e-7);
+                }
+            }
+            // Sorted descending.
+            for w in ev.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+    }
+}

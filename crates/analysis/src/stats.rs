@@ -1,0 +1,103 @@
+//! Feature standardization.
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Z-scores each column of a `samples × features` matrix in place.
+/// Columns with zero variance become all-zero (they carry no
+/// information and must not produce NaNs).
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent lengths.
+pub fn standardize(data: &mut [Vec<f64>]) {
+    if data.is_empty() {
+        return;
+    }
+    let cols = data[0].len();
+    for row in data.iter() {
+        assert_eq!(row.len(), cols, "ragged feature matrix");
+    }
+    for c in 0..cols {
+        let col: Vec<f64> = data.iter().map(|r| r[c]).collect();
+        let m = mean(&col);
+        let s = std_dev(&col);
+        for r in data.iter_mut() {
+            r[c] = if s > 1e-12 { (r[c] - m) / s } else { 0.0 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[1.0, 2.0, 3.0]) - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn standardized_columns_have_zero_mean_unit_std() {
+        let mut d = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 60.0],
+            vec![4.0, 30.0],
+        ];
+        standardize(&mut d);
+        for c in 0..2 {
+            let col: Vec<f64> = d.iter().map(|r| r[c]).collect();
+            assert!(mean(&col).abs() < 1e-12);
+            assert!((std_dev(&col) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_becomes_zero() {
+        let mut d = vec![vec![5.0, 1.0], vec![5.0, 2.0]];
+        standardize(&mut d);
+        assert_eq!(d[0][0], 0.0);
+        assert_eq!(d[1][0], 0.0);
+        assert!(d[0][1] != 0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn standardize_is_idempotent_up_to_eps(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(-100.0f64..100.0, 3), 2..20)
+        ) {
+            let mut once = raw.clone();
+            standardize(&mut once);
+            let mut twice = once.clone();
+            standardize(&mut twice);
+            for (a, b) in once.iter().flatten().zip(twice.iter().flatten()) {
+                prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+    }
+}

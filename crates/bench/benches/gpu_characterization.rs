@@ -1,0 +1,58 @@
+//! Regenerates the paper's GPU-side artifacts — Table I, Table II,
+//! Figures 1–5, and Table III — printing each table at Small scale, and
+//! benchmarks the simulator pipeline behind them.
+//!
+//! ```text
+//! cargo bench --bench gpu_characterization
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::Scale;
+use rodinia_study::characterization::{
+    channel_sweep, fermi_study, incremental_versions, ipc_scaling, memory_mix, warp_occupancy,
+};
+use rodinia_study::{experiments, suite};
+use std::hint::black_box;
+
+/// Prints every GPU-side table once (the "regenerate the figure" part),
+/// then registers timing benchmarks for the underlying pipeline.
+fn gpu_artifacts(c: &mut Criterion) {
+    let scale = Scale::Small;
+    println!("{}", suite::rodinia_table(scale));
+    println!("{}", experiments::table2());
+    println!("{}", ipc_scaling(scale).to_table());
+    println!("{}", memory_mix(scale).to_table());
+    println!("{}", warp_occupancy(scale).to_table());
+    println!("{}", channel_sweep(scale).to_table());
+    println!("{}", incremental_versions(scale).to_table());
+    println!("{}", fermi_study(scale).to_table());
+    println!("{}", suite::comparison_table());
+    println!("{}", experiments::table5());
+
+    // Timing benchmarks run at Tiny scale so Criterion's sampling stays
+    // affordable.
+    let mut g = c.benchmark_group("gpu-characterization");
+    g.sample_size(10);
+    g.bench_function("fig1_ipc_scaling", |b| {
+        b.iter(|| black_box(ipc_scaling(Scale::Tiny)))
+    });
+    g.bench_function("fig2_memory_mix", |b| {
+        b.iter(|| black_box(memory_mix(Scale::Tiny)))
+    });
+    g.bench_function("fig3_warp_occupancy", |b| {
+        b.iter(|| black_box(warp_occupancy(Scale::Tiny)))
+    });
+    g.bench_function("fig4_channel_sweep", |b| {
+        b.iter(|| black_box(channel_sweep(Scale::Tiny)))
+    });
+    g.bench_function("table3_incremental_versions", |b| {
+        b.iter(|| black_box(incremental_versions(Scale::Tiny)))
+    });
+    g.bench_function("fig5_fermi_study", |b| {
+        b.iter(|| black_box(fermi_study(Scale::Tiny)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, gpu_artifacts);
+criterion_main!(benches);

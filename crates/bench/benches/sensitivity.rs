@@ -1,0 +1,28 @@
+//! Regenerates the Section III.E Plackett–Burman sensitivity study at
+//! Small scale and benchmarks the screening machinery.
+//!
+//! ```text
+//! cargo bench --bench sensitivity
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::Scale;
+use rodinia_study::sensitivity::pb_study;
+use std::hint::black_box;
+
+fn pb_artifacts(c: &mut Criterion) {
+    // Full-suite screening: 12 design points x 12 benchmarks.
+    let study = pb_study(Scale::Small, None);
+    println!("{}", study.to_table());
+    println!("{}", study.aggregate_table());
+
+    let mut g = c.benchmark_group("sensitivity");
+    g.sample_size(10);
+    g.bench_function("pb12_three_benchmarks_tiny", |b| {
+        b.iter(|| black_box(pb_study(Scale::Tiny, Some(&["HS", "BFS", "NW"]))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, pb_artifacts);
+criterion_main!(benches);

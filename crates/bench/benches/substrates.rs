@@ -1,0 +1,113 @@
+//! Microbenchmarks of the substrates themselves: the SIMT timing engine,
+//! the shared-cache simulator, the suffix tree, and the analysis stack.
+//! These are the ablation knobs DESIGN.md calls out — how expensive each
+//! layer of the reproduction is.
+//!
+//! ```text
+//! cargo bench --bench substrates
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::sequence::{self, SuffixTree};
+use datasets::Scale;
+use rodinia_gpu::hotspot::Hotspot;
+use simt::{time_trace, trace_kernel, Gpu, GpuConfig, GpuMem};
+use std::hint::black_box;
+use tracekit::{profile, ProfileConfig};
+
+fn simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simt");
+    g.sample_size(10);
+    // Trace capture vs timing replay, separated: the two halves of the
+    // simulator.
+    let hs = Hotspot::new(Scale::Small);
+    let cfg = GpuConfig::gpgpusim_default();
+    g.bench_function("trace_capture_hotspot_small", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(cfg.clone());
+            black_box(hs.run(&mut gpu))
+        })
+    });
+    // Re-timing an existing trace (the PB/Figure-4 fast path).
+    let (temp, power) = datasets::grid::hotspot_fields(256, 256, 1);
+    let _ = (temp, power);
+    let mut mem = GpuMem::new();
+    struct Stream {
+        buf: simt::BufF32,
+        n: usize,
+    }
+    impl simt::Kernel for Stream {
+        fn name(&self) -> &str {
+            "bench-stream"
+        }
+        fn shape(&self) -> simt::GridShape {
+            simt::GridShape::cover(self.n, 256)
+        }
+        fn run_warp(&self, w: &mut simt::WarpCtx<'_>) -> simt::PhaseControl {
+            let (buf, n) = (self.buf, self.n);
+            let x = w.ld_f32(buf, |_, tid| (tid < n).then_some(tid));
+            w.alu(8);
+            let _ = x;
+            simt::PhaseControl::Done
+        }
+    }
+    let buf = mem.alloc_f32_zeroed("b", 1 << 18);
+    let trace = trace_kernel(
+        &Stream {
+            buf,
+            n: 1 << 18,
+        },
+        &mut mem,
+        &cfg,
+    );
+    g.bench_function("retime_256k_thread_trace", |b| {
+        b.iter(|| black_box(time_trace(&trace, &cfg)))
+    });
+    g.finish();
+}
+
+fn cpu_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracekit");
+    g.sample_size(10);
+    g.bench_function("profile_hotspot_omp_tiny", |b| {
+        b.iter(|| {
+            black_box(profile(
+                &rodinia_cpu::hotspot::HotspotOmp::new(Scale::Tiny),
+                &ProfileConfig::default(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithms");
+    g.sample_size(10);
+    let text = sequence::reference(50_000, 1);
+    g.bench_function("ukkonen_suffix_tree_50k", |b| {
+        b.iter(|| black_box(SuffixTree::build(&text)))
+    });
+    let tree = SuffixTree::build(&text);
+    let reads = sequence::reads(&text, 1000, 25, 0.1, 2);
+    g.bench_function("suffix_tree_1k_queries", |b| {
+        b.iter(|| {
+            let total: usize = reads.iter().map(|r| tree.match_prefix(r)).sum();
+            black_box(total)
+        })
+    });
+    // The analysis stack on a synthetic 24x28 feature matrix.
+    let data: Vec<Vec<f64>> = (0..24)
+        .map(|i| (0..28).map(|j| ((i * 7 + j * 13) % 17) as f64).collect())
+        .collect();
+    g.bench_function("pca_cluster_24x28", |b| {
+        b.iter(|| {
+            let pca = analysis::Pca::fit(&data);
+            let d = analysis::euclidean_matrix(&pca.truncated_scores(4));
+            black_box(analysis::hierarchical(&d, analysis::Linkage::Average))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, simulator, cpu_substrate, algorithms);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates the cross-suite artifacts — Figures 6–12 — at Small
+//! scale, and benchmarks the profiling + analysis pipeline.
+//!
+//! ```text
+//! cargo bench --bench suite_comparison
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::Scale;
+use rodinia_study::comparison::ComparisonStudy;
+use rodinia_study::footprints::footprint_study;
+use std::hint::black_box;
+
+fn suite_artifacts(c: &mut Criterion) {
+    // The expensive step: profile all 24 workloads once at Small scale.
+    let study = ComparisonStudy::run(Scale::Small);
+    println!("Figure 6: similarity dendrogram (Rodinia R, Parsec P)");
+    println!("{}", study.dendrogram());
+    for scatter in [
+        study.instruction_mix_pca(),
+        study.working_set_pca(),
+        study.sharing_pca(),
+    ] {
+        println!("{}", scatter.to_table());
+        println!(
+            "  (PC1 {:.0}%, PC2 {:.0}% of variance)\n",
+            scatter.variance_explained.0 * 100.0,
+            scatter.variance_explained.1 * 100.0
+        );
+    }
+    println!("{}", study.miss_rates_4mb());
+    let fp = footprint_study(&study);
+    println!("{}", fp.instruction_table());
+    println!("{}", fp.data_table());
+
+    let mut g = c.benchmark_group("suite-comparison");
+    g.sample_size(10);
+    // The analysis stages, benchmarked against the Small-scale corpus.
+    g.bench_function("fig6_cluster_merges", |b| {
+        b.iter(|| black_box(study.cluster_merges()))
+    });
+    g.bench_function("fig7_instruction_mix_pca", |b| {
+        b.iter(|| black_box(study.instruction_mix_pca()))
+    });
+    g.bench_function("fig8_working_set_pca", |b| {
+        b.iter(|| black_box(study.working_set_pca()))
+    });
+    g.bench_function("fig9_sharing_pca", |b| {
+        b.iter(|| black_box(study.sharing_pca()))
+    });
+    g.bench_function("fig10_12_tables", |b| {
+        b.iter(|| {
+            let fp = footprint_study(&study);
+            black_box((study.miss_rates_4mb(), fp))
+        })
+    });
+    // The profiling front-end, at Tiny scale.
+    g.bench_function("profile_corpus_tiny", |b| {
+        b.iter(|| black_box(ComparisonStudy::run(Scale::Tiny)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, suite_artifacts);
+criterion_main!(benches);

@@ -1,0 +1,442 @@
+//! GPU characterization experiments (Section III: Figures 1–5 and
+//! Table III).
+
+use datasets::Scale;
+use rodinia_gpu::leukocyte::Leukocyte;
+use rodinia_gpu::srad::Srad;
+use rodinia_gpu::suite::all_benchmarks;
+use simt::{Gpu, GpuConfig, KernelStats, MemSpace};
+
+use crate::report::{f1, pct, Table};
+
+/// Figure 1 data: per-benchmark IPC on the 8- and 28-shader
+/// configurations.
+#[derive(Debug, Clone)]
+pub struct IpcScaling {
+    /// `(abbrev, ipc_8sm, ipc_28sm)` per benchmark.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+impl IpcScaling {
+    /// Renders the figure's series as a table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 1: IPC over 8-shader and 28-shader configurations",
+            &["Benchmark", "IPC (8 SM)", "IPC (28 SM)", "Scaling"],
+        );
+        for (name, a, b) in &self.rows {
+            t.push(vec![name.clone(), f1(*a), f1(*b), format!("{:.2}x", b / a)]);
+        }
+        t
+    }
+
+    /// IPC on 28 shaders for one benchmark.
+    pub fn ipc28(&self, abbrev: &str) -> f64 {
+        self.rows
+            .iter()
+            .find(|(n, _, _)| n == abbrev)
+            .map(|&(_, _, b)| b)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Runs the Figure 1 experiment.
+pub fn ipc_scaling(scale: Scale) -> IpcScaling {
+    let rows = all_benchmarks(scale)
+        .iter()
+        .map(|b| {
+            let mut g8 = Gpu::new(GpuConfig::gpgpusim_8sm());
+            let s8 = b.run_on(&mut g8);
+            let mut g28 = Gpu::new(GpuConfig::gpgpusim_default());
+            let s28 = b.run_on(&mut g28);
+            (b.abbrev().to_string(), s8.ipc(), s28.ipc())
+        })
+        .collect();
+    IpcScaling { rows }
+}
+
+/// Figure 2 data: memory-operation breakdown per benchmark.
+#[derive(Debug, Clone)]
+pub struct MemoryMix {
+    /// `(abbrev, [shared, tex, const, param, global/local])` fractions.
+    pub rows: Vec<(String, [f64; 5])>,
+}
+
+impl MemoryMix {
+    /// Renders the stacked-bar data as a table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 2: memory operation breakdown",
+            &["Benchmark", "Shared", "Tex", "Const", "Param", "Global/Local"],
+        );
+        for (name, f) in &self.rows {
+            let mut row = vec![name.clone()];
+            row.extend(f.iter().map(|&x| pct(x)));
+            t.push(row);
+        }
+        t
+    }
+
+    /// The fraction vector for one benchmark.
+    pub fn fractions(&self, abbrev: &str) -> [f64; 5] {
+        self.rows
+            .iter()
+            .find(|(n, _)| n == abbrev)
+            .map(|&(_, f)| f)
+            .unwrap_or([0.0; 5])
+    }
+}
+
+fn mix_fractions(stats: &KernelStats) -> [f64; 5] {
+    [
+        stats.mem_mix.fraction(MemSpace::Shared),
+        stats.mem_mix.fraction(MemSpace::Texture),
+        stats.mem_mix.fraction(MemSpace::Constant),
+        stats.mem_mix.fraction(MemSpace::Param),
+        stats.mem_mix.fraction(MemSpace::Global),
+    ]
+}
+
+/// Runs the Figure 2 experiment.
+pub fn memory_mix(scale: Scale) -> MemoryMix {
+    let rows = all_benchmarks(scale)
+        .iter()
+        .map(|b| {
+            let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+            let s = b.run_on(&mut gpu);
+            (b.abbrev().to_string(), mix_fractions(&s))
+        })
+        .collect();
+    MemoryMix { rows }
+}
+
+/// Figure 3 data: warp-occupancy quartile fractions per benchmark.
+#[derive(Debug, Clone)]
+pub struct WarpOccupancy {
+    /// `(abbrev, [1-8, 9-16, 17-24, 25-32])` fractions.
+    pub rows: Vec<(String, [f64; 4])>,
+}
+
+impl WarpOccupancy {
+    /// Renders the histogram data as a table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 3: warp occupancies (active threads per issued warp)",
+            &["Benchmark", "1-8", "9-16", "17-24", "25-32", "SIMD eff."],
+        );
+        for (name, q) in &self.rows {
+            let mut row = vec![name.clone()];
+            row.extend(q.iter().map(|&x| pct(x)));
+            // Mean-lane estimate from the quartile midpoints.
+            let eff: f64 = q
+                .iter()
+                .zip([4.5, 12.5, 20.5, 28.5])
+                .map(|(f, mid)| f * mid)
+                .sum::<f64>()
+                / 32.0;
+            row.push(pct(eff));
+            t.push(row);
+        }
+        t
+    }
+
+    /// Quartile fractions for one benchmark.
+    pub fn quartiles(&self, abbrev: &str) -> [f64; 4] {
+        self.rows
+            .iter()
+            .find(|(n, _)| n == abbrev)
+            .map(|&(_, q)| q)
+            .unwrap_or([0.0; 4])
+    }
+}
+
+/// Runs the Figure 3 experiment.
+pub fn warp_occupancy(scale: Scale) -> WarpOccupancy {
+    let rows = all_benchmarks(scale)
+        .iter()
+        .map(|b| {
+            let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+            let s = b.run_on(&mut gpu);
+            (b.abbrev().to_string(), s.occupancy.quartile_fractions())
+        })
+        .collect();
+    WarpOccupancy { rows }
+}
+
+/// Figure 4 data: achieved-bandwidth improvement over 4/6/8 channels.
+#[derive(Debug, Clone)]
+pub struct ChannelSweep {
+    /// `(abbrev, bw4, bw6, bw8)` achieved GB/s; the figure normalizes to
+    /// the 4-channel case.
+    pub rows: Vec<(String, f64, f64, f64)>,
+}
+
+impl ChannelSweep {
+    /// Renders the normalized series.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 4: bandwidth improvement with memory channels (normalized to 4)",
+            &["Benchmark", "4 ch", "6 ch", "8 ch"],
+        );
+        for (name, b4, b6, b8) in &self.rows {
+            t.push(vec![
+                name.clone(),
+                "1.00".into(),
+                format!("{:.2}", b6 / b4),
+                format!("{:.2}", b8 / b4),
+            ]);
+        }
+        t
+    }
+
+    /// Bandwidth improvement of the 8-channel over the 4-channel
+    /// configuration for one benchmark.
+    pub fn improvement8(&self, abbrev: &str) -> f64 {
+        self.rows
+            .iter()
+            .find(|(n, ..)| n == abbrev)
+            .map(|&(_, b4, _, b8)| b8 / b4)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Runs the Figure 4 experiment. Every benchmark is re-run under 4-, 6-
+/// and 8-channel machines (traces are regenerated per run; they are
+/// identical by construction since channel count does not affect
+/// functional execution).
+pub fn channel_sweep(scale: Scale) -> ChannelSweep {
+    let base = GpuConfig::gpgpusim_default();
+    let rows = all_benchmarks(scale)
+        .iter()
+        .map(|b| {
+            let mut bw = [0.0f64; 3];
+            for (i, ch) in [4u32, 6, 8].iter().enumerate() {
+                let mut gpu = Gpu::new(base.with_mem_channels(*ch));
+                let s = b.run_on(&mut gpu);
+                bw[i] = s.achieved_bandwidth_gbps().max(1e-9);
+            }
+            (b.abbrev().to_string(), bw[0], bw[1], bw[2])
+        })
+        .collect();
+    ChannelSweep { rows }
+}
+
+/// Table III data: the incrementally optimized versions of SRAD and
+/// Leukocyte.
+#[derive(Debug, Clone)]
+pub struct IncrementalVersions {
+    /// `(label, ipc, bw_utilization, shared_frac, const_frac, tex_frac,
+    /// global_frac)` per version.
+    pub rows: Vec<(String, f64, f64, f64, f64, f64, f64)>,
+}
+
+impl IncrementalVersions {
+    /// Renders Table III.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "Table III: incrementally optimized versions of SRAD and Leukocyte",
+            &["Version", "IPC", "BW Util", "Shared", "Const", "Tex", "Global"],
+        );
+        for (name, ipc, bw, sh, cn, tx, gl) in &self.rows {
+            t.push(vec![
+                name.clone(),
+                f1(*ipc),
+                pct(*bw),
+                pct(*sh),
+                pct(*cn),
+                pct(*tx),
+                pct(*gl),
+            ]);
+        }
+        t
+    }
+
+    fn row(&self, label: &str) -> Option<&(String, f64, f64, f64, f64, f64, f64)> {
+        self.rows.iter().find(|r| r.0 == label)
+    }
+
+    /// IPC of a version by label (e.g. `"SRAD v2"`).
+    pub fn ipc(&self, label: &str) -> f64 {
+        self.row(label).map(|r| r.1).unwrap_or(0.0)
+    }
+
+    /// Global-memory fraction of a version by label.
+    pub fn global_frac(&self, label: &str) -> f64 {
+        self.row(label).map(|r| r.6).unwrap_or(0.0)
+    }
+}
+
+/// Runs the Table III experiment.
+pub fn incremental_versions(scale: Scale) -> IncrementalVersions {
+    let mut rows = Vec::new();
+    let mut record = |label: &str, s: KernelStats| {
+        let f = mix_fractions(&s);
+        rows.push((
+            label.to_string(),
+            s.ipc(),
+            s.bw_utilization(),
+            f[0],
+            f[2],
+            f[1],
+            f[4],
+        ));
+    };
+    for (label, srad) in [("SRAD v1", Srad::v1(scale)), ("SRAD v2", Srad::v2(scale))] {
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        record(label, srad.run(&mut gpu));
+    }
+    for (label, lc) in [
+        ("Leukocyte v1", Leukocyte::v1(scale)),
+        ("Leukocyte v2", Leukocyte::v2(scale)),
+    ] {
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        record(label, lc.run(&mut gpu));
+    }
+    IncrementalVersions { rows }
+}
+
+/// Figure 5 data: normalized kernel time on the GTX 280 model and the
+/// two GTX 480 on-chip memory configurations.
+#[derive(Debug, Clone)]
+pub struct FermiStudy {
+    /// `(abbrev, t_gtx280, t_shared_bias, t_l1_bias)` in µs; the figure
+    /// normalizes to the GTX 280.
+    pub rows: Vec<(String, f64, f64, f64)>,
+}
+
+impl FermiStudy {
+    /// Renders the normalized series.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 5: kernel time normalized to GTX 280 (lower is better)",
+            &["Benchmark", "GTX280", "GTX480 shared-bias", "GTX480 L1-bias"],
+        );
+        for (name, t280, tsb, tlb) in &self.rows {
+            t.push(vec![
+                name.clone(),
+                "1.00".into(),
+                format!("{:.2}", tsb / t280),
+                format!("{:.2}", tlb / t280),
+            ]);
+        }
+        t
+    }
+
+    /// `(shared_bias_time, l1_bias_time)` for one benchmark, normalized
+    /// to the GTX 280.
+    pub fn normalized(&self, abbrev: &str) -> (f64, f64) {
+        self.rows
+            .iter()
+            .find(|(n, ..)| n == abbrev)
+            .map(|&(_, t280, tsb, tlb)| (tsb / t280, tlb / t280))
+            .unwrap_or((0.0, 0.0))
+    }
+}
+
+/// The offloading-model analysis (an extension; Table IV's "Machine
+/// Model: Offloading" row): kernel time vs. host↔device transfer time
+/// per benchmark.
+#[derive(Debug, Clone)]
+pub struct OffloadStudy {
+    /// `(abbrev, kernel_us, transfer_us)` per benchmark, assuming the
+    /// given PCIe bandwidth.
+    pub rows: Vec<(String, f64, f64)>,
+    /// Modeled PCIe bandwidth in GB/s.
+    pub pcie_gbps: f64,
+}
+
+impl OffloadStudy {
+    /// Renders the analysis.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            &format!(
+                "Offloading overhead: kernel vs transfer time at {} GB/s PCIe",
+                self.pcie_gbps
+            ),
+            &["Benchmark", "Kernel (us)", "Transfer (us)", "Transfer share"],
+        );
+        for (name, k, tr) in &self.rows {
+            t.push(vec![
+                name.clone(),
+                f1(*k),
+                f1(*tr),
+                pct(tr / (k + tr).max(1e-12)),
+            ]);
+        }
+        t
+    }
+
+    /// Transfer share of total offloaded time for one benchmark.
+    pub fn transfer_share(&self, abbrev: &str) -> f64 {
+        self.rows
+            .iter()
+            .find(|(n, ..)| n == abbrev)
+            .map(|&(_, k, tr)| tr / (k + tr).max(1e-12))
+            .unwrap_or(0.0)
+    }
+}
+
+/// Runs the offloading analysis: every benchmark's aggregate kernel
+/// time against the time to move its host↔device traffic over PCIe.
+pub fn offload_overheads(scale: Scale, pcie_gbps: f64) -> OffloadStudy {
+    let rows = all_benchmarks(scale)
+        .iter()
+        .map(|b| {
+            let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+            let s = b.run_on(&mut gpu);
+            let bytes = gpu.mem().h2d_bytes() + gpu.mem().d2h_bytes();
+            let transfer_us = bytes as f64 / (pcie_gbps * 1e3);
+            (b.abbrev().to_string(), s.time_us(), transfer_us)
+        })
+        .collect();
+    OffloadStudy { rows, pcie_gbps }
+}
+
+/// Runs the Figure 5 experiment.
+pub fn fermi_study(scale: Scale) -> FermiStudy {
+    let configs = [
+        GpuConfig::gtx280(),
+        GpuConfig::gtx480_shared_bias(),
+        GpuConfig::gtx480_l1_bias(),
+    ];
+    let rows = all_benchmarks(scale)
+        .iter()
+        .map(|b| {
+            let mut times = [0.0f64; 3];
+            for (i, cfg) in configs.iter().enumerate() {
+                let mut gpu = Gpu::new(cfg.clone());
+                let s = b.run_on(&mut gpu);
+                times[i] = s.time_us();
+            }
+            (b.abbrev().to_string(), times[0], times[1], times[2])
+        })
+        .collect();
+    FermiStudy { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape_holds_at_tiny_scale() {
+        let d = ipc_scaling(Scale::Tiny);
+        assert_eq!(d.rows.len(), 12);
+        // The paper's ordering: SRAD/HS among the top, NW/MUM at the
+        // bottom.
+        let top = d.ipc28("SRAD").max(d.ipc28("HS"));
+        assert!(top > d.ipc28("NW"), "top {top} vs NW {}", d.ipc28("NW"));
+        assert!(top > d.ipc28("MUM"));
+        // Table renders.
+        assert!(d.to_table().to_string().contains("SRAD"));
+    }
+
+    #[test]
+    fn table3_shape_holds() {
+        let d = incremental_versions(Scale::Tiny);
+        assert_eq!(d.rows.len(), 4);
+        assert!(d.ipc("SRAD v2") > d.ipc("SRAD v1"));
+        assert!(d.ipc("Leukocyte v2") > d.ipc("Leukocyte v1"));
+        assert!(d.global_frac("Leukocyte v2") < d.global_frac("Leukocyte v1"));
+    }
+}

@@ -1,0 +1,197 @@
+//! The experiment registry: one entry per table/figure of the paper.
+
+use datasets::Scale;
+use simt::GpuConfig;
+
+use crate::characterization;
+use crate::comparison::ComparisonStudy;
+use crate::footprints;
+use crate::report::Table;
+use crate::sensitivity;
+use crate::suite;
+
+/// Identifier of a reproducible artifact of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentId {
+    /// Table I: the Rodinia suite.
+    Table1,
+    /// Table II: the GPGPU-Sim configuration.
+    Table2,
+    /// Figure 1: IPC over 8 and 28 shaders.
+    Fig1,
+    /// Figure 2: memory-operation breakdown.
+    Fig2,
+    /// Figure 3: warp occupancies.
+    Fig3,
+    /// Figure 4: memory-channel sweep.
+    Fig4,
+    /// Table III: incrementally optimized versions.
+    Table3,
+    /// Figure 5: Fermi (GTX 480) configurations vs GTX 280.
+    Fig5,
+    /// Section III.E: Plackett–Burman sensitivity.
+    PlackettBurman,
+    /// Table IV: Parsec vs Rodinia feature comparison.
+    Table4,
+    /// Table V: the Parsec catalog.
+    Table5,
+    /// Figure 6: cross-suite dendrogram.
+    Fig6,
+    /// Figure 7: instruction-mix PCA.
+    Fig7,
+    /// Figure 8: working-set PCA.
+    Fig8,
+    /// Figure 9: sharing PCA.
+    Fig9,
+    /// Figure 10: 4 MB miss rates.
+    Fig10,
+    /// Figure 11: instruction footprints.
+    Fig11,
+    /// Figure 12: data footprints.
+    Fig12,
+}
+
+impl ExperimentId {
+    /// All artifacts in paper order.
+    pub fn all() -> Vec<ExperimentId> {
+        use ExperimentId::*;
+        vec![
+            Table1, Table2, Fig1, Fig2, Fig3, Fig4, Table3, Fig5, PlackettBurman, Table4,
+            Table5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12,
+        ]
+    }
+}
+
+/// Renders Table II from the default configuration.
+pub fn table2() -> Table {
+    let c = GpuConfig::gpgpusim_default();
+    let mut t = Table::new("Table II: GPGPU-Sim configuration", &["Parameter", "Value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("Clock Frequency", format!("{} GHz", c.core_clock_ghz)),
+        ("No. of SMs", c.num_sms.to_string()),
+        ("Warp Size", c.warp_size.to_string()),
+        ("SIMD pipeline width", c.simd_width.to_string()),
+        ("No. of Threads/Core", c.max_threads_per_sm.to_string()),
+        ("No. of CTAs/Core", c.max_ctas_per_sm.to_string()),
+        ("Number of Registers/Core", c.regs_per_sm.to_string()),
+        ("Shared Memory/Core", format!("{} kB", c.shared_mem_per_sm / 1024)),
+        (
+            "Shared Memory Bank Conflict",
+            c.model_bank_conflicts.to_string(),
+        ),
+        ("No. of Memory Channels", c.mem_channels.to_string()),
+    ];
+    for (k, v) in rows {
+        t.push(vec![k.into(), v]);
+    }
+    t
+}
+
+/// Renders Table V from the parsec-lite catalog.
+pub fn table5() -> Table {
+    let mut t = Table::new(
+        "Table V: Parsec applications and sim-large input sizes",
+        &["Application", "Domain", "Problem size", "Description"],
+    );
+    for a in parsec_lite::catalog() {
+        t.push(vec![
+            a.name.into(),
+            a.domain.into(),
+            a.sim_large.into(),
+            a.description.into(),
+        ]);
+    }
+    t
+}
+
+/// Runs one GPU-side experiment (those not needing the CPU comparison
+/// corpus) and returns its tables.
+///
+/// # Panics
+///
+/// Panics if asked for a comparison-corpus artifact; use
+/// [`run_comparison`] for Figures 6–12.
+pub fn run_gpu(id: ExperimentId, scale: Scale) -> Vec<Table> {
+    match id {
+        ExperimentId::Table1 => vec![suite::rodinia_table(scale)],
+        ExperimentId::Table2 => vec![table2()],
+        ExperimentId::Fig1 => vec![characterization::ipc_scaling(scale).to_table()],
+        ExperimentId::Fig2 => vec![characterization::memory_mix(scale).to_table()],
+        ExperimentId::Fig3 => vec![characterization::warp_occupancy(scale).to_table()],
+        ExperimentId::Fig4 => vec![characterization::channel_sweep(scale).to_table()],
+        ExperimentId::Table3 => vec![characterization::incremental_versions(scale).to_table()],
+        ExperimentId::Fig5 => vec![characterization::fermi_study(scale).to_table()],
+        ExperimentId::PlackettBurman => {
+            let study = sensitivity::pb_study(scale, None);
+            vec![study.to_table(), study.aggregate_table()]
+        }
+        ExperimentId::Table4 => vec![suite::comparison_table()],
+        ExperimentId::Table5 => vec![table5()],
+        other => panic!("{other:?} needs the comparison corpus; use run_comparison"),
+    }
+}
+
+/// Runs one comparison-corpus experiment against an existing study.
+///
+/// # Panics
+///
+/// Panics if asked for a GPU-side artifact; use [`run_gpu`] for those.
+pub fn run_comparison(id: ExperimentId, study: &ComparisonStudy) -> Vec<Table> {
+    match id {
+        ExperimentId::Fig6 => {
+            let mut t = Table::new("Figure 6: cross-suite dendrogram", &["Dendrogram"]);
+            for line in study.dendrogram().lines() {
+                t.push(vec![line.to_string()]);
+            }
+            vec![t]
+        }
+        ExperimentId::Fig7 => vec![study.instruction_mix_pca().to_table()],
+        ExperimentId::Fig8 => vec![study.working_set_pca().to_table()],
+        ExperimentId::Fig9 => vec![study.sharing_pca().to_table()],
+        ExperimentId::Fig10 => vec![study.miss_rates_4mb()],
+        ExperimentId::Fig11 => {
+            vec![footprints::footprint_study(study).instruction_table()]
+        }
+        ExperimentId::Fig12 => vec![footprints::footprint_study(study).data_table()],
+        other => panic!("{other:?} is a GPU-side artifact; use run_gpu"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_18_artifacts() {
+        assert_eq!(ExperimentId::all().len(), 18);
+    }
+
+    #[test]
+    fn table2_lists_the_paper_parameters() {
+        let t = table2();
+        let s = t.to_string();
+        assert!(s.contains("Warp Size"));
+        assert!(s.contains("28"));
+        assert!(s.contains("16384"));
+    }
+
+    #[test]
+    fn table5_lists_thirteen_apps() {
+        assert_eq!(table5().rows.len(), 13);
+    }
+
+    #[test]
+    fn cheap_gpu_experiments_run_at_tiny_scale() {
+        for id in [ExperimentId::Table1, ExperimentId::Table4, ExperimentId::Fig2] {
+            let tables = run_gpu(id, Scale::Tiny);
+            assert!(!tables.is_empty());
+            assert!(!tables[0].rows.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs the comparison corpus")]
+    fn comparison_artifacts_reject_gpu_path() {
+        let _ = run_gpu(ExperimentId::Fig6, Scale::Tiny);
+    }
+}

@@ -1,0 +1,40 @@
+//! # rodinia-study — experiment drivers for every table and figure
+//!
+//! This crate is the paper: each function in [`experiments`] regenerates
+//! one table or figure of *"A Characterization of the Rodinia Benchmark
+//! Suite with Comparison to Contemporary CMP Workloads"* (IISWC 2010)
+//! on top of the substrates in this workspace:
+//!
+//! | Paper artifact | Module | Entry point |
+//! |----------------|--------|-------------|
+//! | Table I (suite) | [`suite`] | [`suite::rodinia_table`] |
+//! | Table II (GPGPU-Sim config) | — | [`simt::GpuConfig::gpgpusim_default`] |
+//! | Fig. 1 (IPC, 8 vs 28 SMs) | [`characterization`] | [`characterization::ipc_scaling`] |
+//! | Fig. 2 (memory mix) | [`characterization`] | [`characterization::memory_mix`] |
+//! | Fig. 3 (warp occupancy) | [`characterization`] | [`characterization::warp_occupancy`] |
+//! | Fig. 4 (channel sweep) | [`characterization`] | [`characterization::channel_sweep`] |
+//! | Table III (incremental versions) | [`characterization`] | [`characterization::incremental_versions`] |
+//! | Fig. 5 (Fermi configurations) | [`characterization`] | [`characterization::fermi_study`] |
+//! | §III.E (Plackett–Burman) | [`sensitivity`] | [`sensitivity::pb_study`] |
+//! | Table IV (suite comparison) | [`suite`] | [`suite::comparison_table`] |
+//! | Table V (Parsec catalog) | — | [`parsec_lite::catalog()`] |
+//! | Fig. 6 (dendrogram) | [`comparison`] | [`comparison::ComparisonStudy::dendrogram`] |
+//! | Fig. 7–9 (PCA scatters) | [`comparison`] | [`comparison::ComparisonStudy`] |
+//! | Fig. 10 (4 MB miss rates) | [`comparison`] | [`comparison::ComparisonStudy::miss_rates_4mb`] |
+//! | Fig. 11–12 (footprints) | [`footprints`] | [`footprints::footprint_study`] |
+//!
+//! Everything prints through [`report::Table`], which renders aligned
+//! text and CSV.
+
+#![warn(missing_docs)]
+
+pub mod characterization;
+pub mod comparison;
+pub mod experiments;
+pub mod features;
+pub mod footprints;
+pub mod report;
+pub mod sensitivity;
+pub mod suite;
+
+pub use datasets::Scale;

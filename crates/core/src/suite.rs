@@ -1,0 +1,143 @@
+//! Suite-level metadata: Table I, Table IV, and the combined 24-workload
+//! list of the cross-suite study.
+
+use datasets::Scale;
+use rodinia_gpu::suite::all_benchmarks;
+use tracekit::CpuWorkload;
+
+use crate::report::Table;
+
+/// Reproduces Table I: the Rodinia applications, their dwarves, domains,
+/// and (scale-dependent) problem sizes.
+pub fn rodinia_table(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Table I: Rodinia applications and kernels",
+        &["Application", "Dwarf", "Domain", "Problem size"],
+    );
+    for b in all_benchmarks(scale) {
+        t.push(vec![
+            format!("{} ({})", b.name(), b.abbrev()),
+            b.dwarf().to_string(),
+            b.domain().to_string(),
+            b.problem_size(),
+        ]);
+    }
+    t
+}
+
+/// Reproduces Table IV: the qualitative Parsec-vs-Rodinia comparison.
+pub fn comparison_table() -> Table {
+    let mut t = Table::new(
+        "Table IV: comparison between Parsec and Rodinia",
+        &["Feature", "Parsec", "Rodinia"],
+    );
+    let rows: [(&str, &str, &str); 11] = [
+        ("Platform", "CPU", "CPU and GPU"),
+        (
+            "Programming Model",
+            "Pthreads, OpenMP, and TBB",
+            "OpenMP and CUDA",
+        ),
+        (
+            "Machine Model",
+            "Shared Memory",
+            "Shared Memory and Offloading",
+        ),
+        (
+            "Application Domains",
+            "Scientific, Engineering, Finance, Multimedia",
+            "Scientific, Engineering, Data Mining",
+        ),
+        (
+            "Application Count",
+            "3 Kernels and 9 Applications",
+            "6 Kernels and 6 Applications",
+        ),
+        ("Optimized for", "Multicore", "Manycore and Accelerator"),
+        ("Incremental Versions", "No", "Yes"),
+        ("Memory Space", "HW Cache", "HW and SW Caches"),
+        ("Problem Sizes", "Small-Large", "Small-Large"),
+        (
+            "Special SW Techniques",
+            "SW Pipelining",
+            "Ghost-zone and Persistent Thread Blocks",
+        ),
+        (
+            "Synchronization",
+            "Barriers, Locks, and Conditions",
+            "Barriers",
+        ),
+    ];
+    for (f, p, r) in rows {
+        t.push(vec![f.into(), p.into(), r.into()]);
+    }
+    t
+}
+
+/// One entry of the combined cross-suite workload list.
+pub struct LabeledWorkload {
+    /// Display label, with suite tag as in Figure 6 (e.g. `srad(R)`,
+    /// `vips(P)`, `streamcluster(R, P)`).
+    pub label: String,
+    /// The runnable workload.
+    pub workload: Box<dyn CpuWorkload>,
+}
+
+/// The 24 workloads of the paper's Figure 6: 11 Rodinia (without
+/// StreamCluster) + 12 Parsec (without StreamCluster) + the shared
+/// StreamCluster labeled `(R, P)`.
+pub fn combined_workloads(scale: Scale) -> Vec<LabeledWorkload> {
+    let mut out = Vec::new();
+    for w in rodinia_cpu::all_workloads(scale) {
+        let label = if w.name() == "streamcluster" {
+            "streamcluster(R, P)".to_string()
+        } else {
+            format!("{}(R)", w.name())
+        };
+        out.push(LabeledWorkload { label, workload: w });
+    }
+    for w in parsec_lite::all_workloads(scale) {
+        out.push(LabeledWorkload {
+            label: format!("{}(P)", w.name()),
+            workload: w,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_twelve_apps() {
+        let t = rodinia_table(Scale::Tiny);
+        assert_eq!(t.rows.len(), 12);
+        assert!(t.to_string().contains("Graph Traversal"));
+    }
+
+    #[test]
+    fn table4_matches_the_paper_shape() {
+        let t = comparison_table();
+        assert_eq!(t.rows.len(), 11);
+        let text = t.to_string();
+        assert!(text.contains("Offloading"));
+        assert!(text.contains("Ghost-zone"));
+    }
+
+    #[test]
+    fn combined_list_has_24_workloads_like_figure6() {
+        let ws = combined_workloads(Scale::Tiny);
+        assert_eq!(ws.len(), 24);
+        let labels: Vec<&str> = ws.iter().map(|w| w.label.as_str()).collect();
+        assert!(labels.contains(&"streamcluster(R, P)"));
+        assert!(labels.contains(&"mummergpu(R)"));
+        assert!(labels.contains(&"raytrace(P)"));
+        assert_eq!(
+            labels.iter().filter(|l| l.ends_with("(R)")).count(),
+            11,
+            "{labels:?}"
+        );
+        assert_eq!(labels.iter().filter(|l| l.ends_with("(P)")).count(), 12);
+    }
+}

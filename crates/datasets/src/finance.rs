@@ -1,0 +1,100 @@
+//! Financial-workload inputs (Blackscholes option portfolios, Swaptions).
+
+use rand::Rng;
+
+use crate::rng_for;
+
+/// One European option, as in Parsec's blackscholes input format.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptionData {
+    /// Spot price.
+    pub spot: f32,
+    /// Strike price.
+    pub strike: f32,
+    /// Risk-free rate.
+    pub rate: f32,
+    /// Volatility.
+    pub volatility: f32,
+    /// Time to maturity in years.
+    pub time: f32,
+    /// `true` for a call, `false` for a put.
+    pub is_call: bool,
+}
+
+/// A portfolio of `n` options with realistic parameter ranges.
+pub fn option_portfolio(n: usize, seed: u64) -> Vec<OptionData> {
+    let mut rng = rng_for("options", seed);
+    (0..n)
+        .map(|_| OptionData {
+            spot: 20.0 + 180.0 * rng.random::<f32>(),
+            strike: 20.0 + 180.0 * rng.random::<f32>(),
+            rate: 0.01 + 0.09 * rng.random::<f32>(),
+            volatility: 0.05 + 0.55 * rng.random::<f32>(),
+            time: 0.1 + 3.9 * rng.random::<f32>(),
+            is_call: rng.random::<bool>(),
+        })
+        .collect()
+}
+
+/// One swaption for the HJM Monte-Carlo workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Swaption {
+    /// Years until the option expires.
+    pub maturity: f32,
+    /// Tenor of the underlying swap in years.
+    pub tenor: f32,
+    /// Strike rate.
+    pub strike: f32,
+    /// Initial flat forward rate.
+    pub forward: f32,
+    /// Forward-rate volatility.
+    pub volatility: f32,
+}
+
+/// A book of `n` swaptions.
+pub fn swaption_book(n: usize, seed: u64) -> Vec<Swaption> {
+    let mut rng = rng_for("swaptions", seed);
+    (0..n)
+        .map(|_| Swaption {
+            maturity: 1.0 + 9.0 * rng.random::<f32>(),
+            tenor: 1.0 + 4.0 * rng.random::<f32>(),
+            strike: 0.01 + 0.09 * rng.random::<f32>(),
+            forward: 0.01 + 0.09 * rng.random::<f32>(),
+            volatility: 0.05 + 0.25 * rng.random::<f32>(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portfolio_parameters_in_range() {
+        for o in option_portfolio(100, 1) {
+            assert!(o.spot > 0.0 && o.strike > 0.0);
+            assert!(o.volatility > 0.0 && o.time > 0.0);
+            assert!(o.rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn swaption_parameters_in_range() {
+        for s in swaption_book(50, 1) {
+            assert!(s.maturity >= 1.0 && s.tenor >= 1.0);
+            assert!(s.volatility > 0.0 && s.forward > 0.0);
+        }
+    }
+
+    #[test]
+    fn mixed_calls_and_puts() {
+        let p = option_portfolio(200, 2);
+        let calls = p.iter().filter(|o| o.is_call).count();
+        assert!(calls > 50 && calls < 150);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(option_portfolio(10, 3), option_portfolio(10, 3));
+    }
+}

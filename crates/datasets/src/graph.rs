@@ -1,0 +1,104 @@
+//! Random-graph generator for BFS (Rodinia's graph inputs are uniform
+//! random graphs with small average out-degree).
+
+use rand::Rng;
+
+use crate::rng_for;
+
+/// A directed graph in compressed sparse row (CSR) form, the layout the
+/// Rodinia BFS kernel consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `edges` for vertex `v`.
+    pub offsets: Vec<u32>,
+    /// Flattened adjacency lists.
+    pub edges: Vec<u32>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The neighbors of vertex `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.edges[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+}
+
+/// A uniform random directed graph of `n` vertices with out-degrees in
+/// `1..=max_degree` (Rodinia's generator uses a similar scheme with an
+/// average degree near 6).
+///
+/// Vertex `v`'s first edge points to `(v + 1) % n`, guaranteeing that a
+/// BFS from vertex 0 reaches every vertex — matching the connected inputs
+/// Rodinia ships.
+pub fn random_graph(n: usize, max_degree: usize, seed: u64) -> Graph {
+    assert!(n >= 2, "graph needs at least two vertices");
+    assert!(max_degree >= 1);
+    let mut rng = rng_for("graph", seed);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut edges = Vec::new();
+    offsets.push(0u32);
+    for v in 0..n {
+        let deg = rng.random_range(1..=max_degree);
+        edges.push(((v + 1) % n) as u32);
+        for _ in 1..deg {
+            edges.push(rng.random_range(0..n as u32));
+        }
+        offsets.push(edges.len() as u32);
+    }
+    Graph { offsets, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn csr_is_well_formed() {
+        let g = random_graph(1000, 6, 1);
+        assert_eq!(g.num_vertices(), 1000);
+        assert_eq!(*g.offsets.last().unwrap() as usize, g.num_edges());
+        for w in g.offsets.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(g.edges.iter().all(|&e| (e as usize) < 1000));
+    }
+
+    #[test]
+    fn graph_is_connected_from_zero() {
+        let g = random_graph(500, 4, 2);
+        let mut seen = vec![false; 500];
+        let mut q = VecDeque::from([0usize]);
+        seen[0] = true;
+        while let Some(v) = q.pop_front() {
+            for &u in g.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    q.push_back(u as usize);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "BFS must reach every vertex");
+    }
+
+    #[test]
+    fn average_degree_is_reasonable() {
+        let g = random_graph(10_000, 6, 3);
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((2.0..=6.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_graph(100, 6, 5), random_graph(100, 6, 5));
+    }
+}

@@ -1,0 +1,58 @@
+//! Dense-matrix generators (LU decomposition, back-propagation weights).
+
+use rand::Rng;
+
+use crate::rng_for;
+
+/// A uniformly random `n × n` matrix with entries in `[0, 1)`, row-major.
+pub fn random_matrix(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = rng_for("matrix", seed);
+    (0..n * n).map(|_| rng.random::<f32>()).collect()
+}
+
+/// A strictly diagonally dominant `n × n` matrix, row-major.
+///
+/// LU decomposition without pivoting is numerically stable on such
+/// matrices, matching the Rodinia LUD kernel's assumption.
+pub fn diag_dominant_matrix(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = rng_for("matrix-dd", seed);
+    let mut m: Vec<f32> = (0..n * n).map(|_| rng.random::<f32>()).collect();
+    for i in 0..n {
+        let row_sum: f32 = (0..n).filter(|&j| j != i).map(|j| m[i * n + j].abs()).sum();
+        m[i * n + i] = row_sum + 1.0 + rng.random::<f32>();
+    }
+    m
+}
+
+/// A uniformly random vector of length `n` with entries in `[0, 1)`.
+pub fn random_vector(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = rng_for("vector", seed);
+    (0..n).map(|_| rng.random::<f32>()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_matrix(8, 3), random_matrix(8, 3));
+        assert_ne!(random_matrix(8, 3), random_matrix(8, 4));
+    }
+
+    #[test]
+    fn diag_dominance_holds() {
+        let n = 16;
+        let m = diag_dominant_matrix(n, 1);
+        for i in 0..n {
+            let off: f32 = (0..n).filter(|&j| j != i).map(|j| m[i * n + j].abs()).sum();
+            assert!(m[i * n + i] > off, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(random_matrix(5, 0).len(), 25);
+        assert_eq!(random_vector(7, 0).len(), 7);
+    }
+}

@@ -1,0 +1,217 @@
+//! Unstructured-mesh generators (CFD solver, Facesim, Fluidanimate
+//! neighborhoods, Canneal netlists).
+
+use rand::Rng;
+
+use crate::rng_for;
+
+/// An unstructured finite-volume mesh in the layout the Rodinia CFD
+/// solver uses: each element has up to four face neighbors (`u32::MAX`
+/// marks a boundary face) plus per-face normals and an element volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh {
+    /// Number of elements.
+    pub num_elements: usize,
+    /// `4 * num_elements` neighbor indices; `u32::MAX` = boundary.
+    pub neighbors: Vec<u32>,
+    /// `4 * num_elements * 3` face-normal components.
+    pub normals: Vec<f32>,
+    /// Per-element volumes.
+    pub volumes: Vec<f32>,
+}
+
+/// Marker for a boundary face in [`Mesh::neighbors`].
+pub const BOUNDARY: u32 = u32::MAX;
+
+/// Builds an unstructured mesh of `n` elements.
+///
+/// Topology: elements are laid out along a space-filling-ish curve; three
+/// of each element's faces connect to nearby elements (irregular strides,
+/// producing the indirect, partially-uncoalesced gathers characteristic
+/// of unstructured CFD) and the fourth is either a far "jump" neighbor or
+/// a boundary.
+pub fn cfd_mesh(n: usize, seed: u64) -> Mesh {
+    assert!(n >= 8, "mesh needs at least 8 elements");
+    let mut rng = rng_for("cfd-mesh", seed);
+    let mut neighbors = Vec::with_capacity(4 * n);
+    let mut normals = Vec::with_capacity(12 * n);
+    let mut volumes = Vec::with_capacity(n);
+    for e in 0..n {
+        let near = |d: i64| -> u32 {
+            let i = e as i64 + d;
+            i.rem_euclid(n as i64) as u32
+        };
+        neighbors.push(near(-1));
+        neighbors.push(near(1));
+        neighbors.push(near(rng.random_range(2..8)));
+        // Fourth face: 70% far jump, 30% boundary.
+        if rng.random::<f64>() < 0.7 {
+            neighbors.push(rng.random_range(0..n as u32));
+        } else {
+            neighbors.push(BOUNDARY);
+        }
+        for _ in 0..4 {
+            // Unnormalized face normals; the solver only needs consistent
+            // per-face vectors.
+            let (x, y, z) = (
+                rng.random::<f32>() - 0.5,
+                rng.random::<f32>() - 0.5,
+                rng.random::<f32>() - 0.5,
+            );
+            normals.extend_from_slice(&[x, y, z]);
+        }
+        volumes.push(0.5 + rng.random::<f32>());
+    }
+    Mesh {
+        num_elements: n,
+        neighbors,
+        normals,
+        volumes,
+    }
+}
+
+/// A tetrahedral spring-mass mesh for the Facesim stand-in: `nodes`
+/// 3-D points and `tets` 4-tuples of node indices, built over a jittered
+/// grid so that elements have bounded aspect ratios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TetMesh {
+    /// Node positions, `3 * num_nodes`.
+    pub positions: Vec<f32>,
+    /// Tetrahedra as 4-tuples of node indices.
+    pub tets: Vec<[u32; 4]>,
+}
+
+/// Builds a tetrahedral mesh over a `side × side × side` jittered grid
+/// (5 tets per cube cell).
+pub fn tet_mesh(side: usize, seed: u64) -> TetMesh {
+    assert!(side >= 2);
+    let mut rng = rng_for("tet-mesh", seed);
+    let idx = |x: usize, y: usize, z: usize| (x * side * side + y * side + z) as u32;
+    let mut positions = Vec::with_capacity(side * side * side * 3);
+    for x in 0..side {
+        for y in 0..side {
+            for z in 0..side {
+                positions.push(x as f32 + 0.2 * (rng.random::<f32>() - 0.5));
+                positions.push(y as f32 + 0.2 * (rng.random::<f32>() - 0.5));
+                positions.push(z as f32 + 0.2 * (rng.random::<f32>() - 0.5));
+            }
+        }
+    }
+    let mut tets = Vec::new();
+    for x in 0..side - 1 {
+        for y in 0..side - 1 {
+            for z in 0..side - 1 {
+                let c = [
+                    idx(x, y, z),
+                    idx(x + 1, y, z),
+                    idx(x, y + 1, z),
+                    idx(x + 1, y + 1, z),
+                    idx(x, y, z + 1),
+                    idx(x + 1, y, z + 1),
+                    idx(x, y + 1, z + 1),
+                    idx(x + 1, y + 1, z + 1),
+                ];
+                // Standard 5-tet decomposition of a cube.
+                tets.push([c[0], c[1], c[2], c[4]]);
+                tets.push([c[1], c[3], c[2], c[7]]);
+                tets.push([c[1], c[4], c[5], c[7]]);
+                tets.push([c[2], c[4], c[6], c[7]]);
+                tets.push([c[1], c[2], c[4], c[7]]);
+            }
+        }
+    }
+    TetMesh { positions, tets }
+}
+
+/// A synthetic netlist for the Canneal stand-in: `n` elements each with a
+/// handful of random nets to other elements, plus initial grid locations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    /// Flattened adjacency: `offsets[e]..offsets[e+1]` into `nets`.
+    pub offsets: Vec<u32>,
+    /// Connected element ids.
+    pub nets: Vec<u32>,
+    /// Initial (x, y) placement of each element on a grid.
+    pub locations: Vec<(u32, u32)>,
+    /// Grid side length.
+    pub grid_side: u32,
+}
+
+/// Builds a netlist of `n` elements with 2–6 nets each.
+pub fn netlist(n: usize, seed: u64) -> Netlist {
+    assert!(n >= 4);
+    let mut rng = rng_for("netlist", seed);
+    let side = (n as f64).sqrt().ceil() as u32;
+    let mut offsets = vec![0u32];
+    let mut nets = Vec::new();
+    for e in 0..n {
+        let deg = rng.random_range(2..=6);
+        for _ in 0..deg {
+            // Mild locality: half the nets connect to nearby elements.
+            let other = if rng.random::<bool>() {
+                let d = rng.random_range(1..16.min(n));
+                ((e + d) % n) as u32
+            } else {
+                rng.random_range(0..n as u32)
+            };
+            nets.push(other);
+        }
+        offsets.push(nets.len() as u32);
+    }
+    let locations = (0..n as u32).map(|e| (e % side, e / side)).collect();
+    Netlist {
+        offsets,
+        nets,
+        locations,
+        grid_side: side,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfd_mesh_is_well_formed() {
+        let m = cfd_mesh(1000, 1);
+        assert_eq!(m.neighbors.len(), 4000);
+        assert_eq!(m.normals.len(), 12_000);
+        assert_eq!(m.volumes.len(), 1000);
+        for &nb in &m.neighbors {
+            assert!(nb == BOUNDARY || (nb as usize) < 1000);
+        }
+        assert!(m.volumes.iter().all(|&v| v > 0.0));
+        // Some boundary faces must exist.
+        assert!(m.neighbors.contains(&BOUNDARY));
+    }
+
+    #[test]
+    fn tet_mesh_counts() {
+        let m = tet_mesh(4, 1);
+        assert_eq!(m.positions.len(), 64 * 3);
+        assert_eq!(m.tets.len(), 27 * 5);
+        for t in &m.tets {
+            for &v in t {
+                assert!((v as usize) < 64);
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_well_formed() {
+        let nl = netlist(256, 1);
+        assert_eq!(nl.offsets.len(), 257);
+        assert_eq!(nl.locations.len(), 256);
+        assert!(nl.nets.iter().all(|&e| (e as usize) < 256));
+        for loc in &nl.locations {
+            assert!(loc.0 < nl.grid_side && loc.1 < nl.grid_side);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(cfd_mesh(64, 2), cfd_mesh(64, 2));
+        assert_eq!(tet_mesh(3, 2), tet_mesh(3, 2));
+        assert_eq!(netlist(64, 2), netlist(64, 2));
+    }
+}

@@ -1,0 +1,163 @@
+//! bodytrack: particle-filter pose tracking
+//! (Table V: 4 frames, 4,000 particles; Computer Vision).
+//!
+//! Each frame: every particle's pose likelihood is evaluated against the
+//! (read-shared) observation image, then the particle set is resampled
+//! serially and perturbed. Parallelism is over particles; sharing comes
+//! from all threads sampling the same frame.
+
+use datasets::{image, rng_for, Scale};
+use rand::Rng;
+use std::cell::RefCell;
+use tracekit::{CpuWorkload, Profiler};
+
+use crate::catalog::chunk;
+
+/// Samples along the model "limb" per likelihood evaluation.
+const SAMPLES: usize = 24;
+
+/// The bodytrack instance.
+#[derive(Debug, Clone)]
+pub struct Bodytrack {
+    /// Frame width.
+    pub width: usize,
+    /// Frame height.
+    pub height: usize,
+    /// Frames processed.
+    pub frames: usize,
+    /// Particle count.
+    pub particles: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Bodytrack {
+    /// Standard instance for a scale.
+    pub fn new(scale: Scale) -> Bodytrack {
+        Bodytrack {
+            width: scale.pick(64, 160, 640),
+            height: scale.pick(48, 120, 480),
+            frames: scale.pick(2, 4, 4),
+            particles: scale.pick(128, 1_000, 4_000),
+            seed: 111,
+        }
+    }
+
+    /// Runs the traced tracker, returning the final pose estimate
+    /// (weighted mean particle).
+    pub fn run_traced(&self, prof: &mut Profiler) -> (f32, f32) {
+        let (w, h) = (self.width, self.height);
+        let a_frame = prof.alloc("frame", (w * h * 4) as u64);
+        let a_part = prof.alloc("particles", (self.particles * 12) as u64);
+        let code_like = prof.code_region("particle_likelihood", 22_000);
+        let code_resample = prof.code_region("resample", 6_000);
+        let threads = prof.threads();
+        let mut rng = rng_for("bodytrack", self.seed);
+        // Particles: (row, col) pose hypotheses around the frame center.
+        let mut particles: Vec<(f32, f32)> = (0..self.particles)
+            .map(|_| {
+                (
+                    h as f32 * (0.3 + 0.4 * rng.random::<f32>()),
+                    w as f32 * (0.3 + 0.4 * rng.random::<f32>()),
+                )
+            })
+            .collect();
+        let mut estimate = (h as f32 / 2.0, w as f32 / 2.0);
+        for f in 0..self.frames {
+            // The "body" is the bright blob in a textured frame.
+            let frame = image::textured_image(w, h, self.seed + f as u64);
+            let weights = RefCell::new(vec![0.0f32; self.particles]);
+            let (fr, pp) = (&frame, &particles);
+            prof.parallel(|t| {
+                t.exec(code_like);
+                let mut wts = weights.borrow_mut();
+                for p in chunk(self.particles, threads, t.tid()) {
+                    t.read(a_part + p as u64 * 12, 12);
+                    let (pr, pc) = pp[p];
+                    let mut like = 0.0f32;
+                    // Sample image intensity along a small model contour.
+                    for s in 0..SAMPLES {
+                        let th = s as f32 / SAMPLES as f32 * std::f32::consts::TAU;
+                        let rr = ((pr + 6.0 * th.sin()) as usize).min(h - 1);
+                        let cc = ((pc + 6.0 * th.cos()) as usize).min(w - 1);
+                        t.read(a_frame + (rr * w + cc) as u64 * 4, 4);
+                        t.alu(6);
+                        like += fr.at(rr, cc);
+                    }
+                    t.alu(4);
+                    wts[p] = like / SAMPLES as f32;
+                    t.write(a_part + p as u64 * 12 + 8, 4);
+                }
+            });
+            let weights = weights.into_inner();
+            // Serial resampling (the pipeline's sequential stage).
+            let mut new_particles = particles.clone();
+            prof.serial(|t| {
+                t.exec(code_resample);
+                let total: f32 = weights.iter().sum();
+                t.alu(self.particles as u32);
+                let mut rng = rng_for("bt-resample", self.seed ^ f as u64);
+                let mut er = 0.0f32;
+                let mut ec = 0.0f32;
+                for (p, np) in new_particles.iter_mut().enumerate() {
+                    t.read(a_part + p as u64 * 12 + 8, 4);
+                    t.branch(1);
+                    // Roulette selection.
+                    let mut pick = rng.random::<f32>() * total;
+                    let mut idx = 0usize;
+                    while idx + 1 < self.particles && pick > weights[idx] {
+                        pick -= weights[idx];
+                        idx += 1;
+                        t.alu(2);
+                    }
+                    let (pr, pc) = particles[idx];
+                    *np = (
+                        (pr + rng.random::<f32>() - 0.5).clamp(1.0, self.height as f32 - 2.0),
+                        (pc + rng.random::<f32>() - 0.5).clamp(1.0, self.width as f32 - 2.0),
+                    );
+                    t.write(a_part + p as u64 * 12, 12);
+                    er += np.0 * weights[idx];
+                    ec += np.1 * weights[idx];
+                }
+                if total > 0.0 {
+                    // Weighted mean of chosen parents.
+                    let norm: f32 = weights.iter().sum();
+                    estimate = (er / norm.max(1e-6), ec / norm.max(1e-6));
+                }
+            });
+            particles = new_particles;
+        }
+        estimate
+    }
+}
+
+impl CpuWorkload for Bodytrack {
+    fn name(&self) -> &'static str {
+        "bodytrack"
+    }
+    fn run(&self, prof: &mut Profiler) {
+        let _ = self.run_traced(prof);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracekit::{profile, ProfileConfig};
+
+    #[test]
+    fn estimate_stays_in_frame() {
+        let bt = Bodytrack::new(Scale::Tiny);
+        let mut prof = Profiler::new(&ProfileConfig::default());
+        let (er, ec) = bt.run_traced(&mut prof);
+        assert!(er >= 0.0 && er < bt.height as f32);
+        assert!(ec >= 0.0 && ec < bt.width as f32);
+    }
+
+    #[test]
+    fn frame_is_read_shared() {
+        let p = profile(&Bodytrack::new(Scale::Tiny), &ProfileConfig::default());
+        let s = p.at_capacity(16 * 1024 * 1024);
+        assert!(s.shared_line_fraction() > 0.05, "{s:?}");
+    }
+}

@@ -1,0 +1,257 @@
+//! dedup: the pipelined deduplicating-compression kernel
+//! (Table V: 184 MB stream; Enterprise Storage).
+//!
+//! The pipeline structure is preserved: a chunking stage (rolling hash
+//! over the input stream), a deduplication stage (shared hash-table
+//! probes), and a compression stage (an RLE/delta pass over unique
+//! chunks). Stages run as successive parallel regions over chunk
+//! batches — the data-parallel-within-stage decomposition Parsec uses.
+//! The shared hash table gives dedup its cross-thread sharing, and the
+//! streaming input its large data footprint (Figure 12).
+
+use datasets::{rng_for, Scale};
+use rand::Rng;
+use std::cell::RefCell;
+use tracekit::{CpuWorkload, Profiler};
+
+use crate::catalog::chunk;
+
+/// Target (average) chunk size in bytes.
+const CHUNK_TARGET: usize = 512;
+/// Hash-table buckets.
+const BUCKETS: usize = 1 << 14;
+
+/// The dedup instance.
+#[derive(Debug, Clone)]
+pub struct Dedup {
+    /// Input-stream length in bytes.
+    pub input_len: usize,
+    /// Fraction of the stream drawn from a small repeated dictionary
+    /// (what makes deduplication worthwhile).
+    pub dup_fraction: f64,
+    /// Input seed.
+    pub seed: u64,
+}
+
+/// Result summary of one dedup run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupResult {
+    /// Chunks produced by the chunking stage.
+    pub chunks: usize,
+    /// Chunks found duplicate.
+    pub duplicates: usize,
+    /// Compressed output bytes.
+    pub output_bytes: usize,
+}
+
+impl Dedup {
+    /// Standard instance for a scale.
+    pub fn new(scale: Scale) -> Dedup {
+        Dedup {
+            input_len: scale.pick(64 * 1024, 2 * 1024 * 1024, 184 * 1024 * 1024),
+            dup_fraction: 0.5,
+            seed: 107,
+        }
+    }
+
+    fn input(&self) -> Vec<u8> {
+        let mut rng = rng_for("dedup-input", self.seed);
+        // A dictionary of multi-chunk blocks that recur throughout the
+        // stream: content-defined chunking will cut identical boundaries
+        // inside every occurrence.
+        let dict: Vec<Vec<u8>> = (0..32)
+            .map(|_| (0..CHUNK_TARGET * 4).map(|_| rng.random::<u8>()).collect())
+            .collect();
+        let mut out = Vec::with_capacity(self.input_len);
+        while out.len() < self.input_len {
+            if rng.random::<f64>() < self.dup_fraction {
+                out.extend_from_slice(&dict[rng.random_range(0..dict.len())]);
+            } else {
+                for _ in 0..CHUNK_TARGET {
+                    out.push(rng.random::<u8>());
+                }
+            }
+        }
+        out.truncate(self.input_len);
+        out
+    }
+
+    /// Runs the traced pipeline.
+    pub fn run_traced(&self, prof: &mut Profiler) -> DedupResult {
+        let data = self.input();
+        let n = data.len();
+        let a_in = prof.alloc("stream", n as u64);
+        let a_bounds = prof.alloc("chunk-bounds", (n / 64 + 16) as u64 * 8);
+        let a_table = prof.alloc("hash-table", (BUCKETS * 16) as u64);
+        let a_out = prof.alloc("compressed", n as u64);
+        let code_chunk = prof.code_region("rabin_chunk", 5_000);
+        let code_dedup = prof.code_region("hash_dedup", 7_000);
+        let code_compress = prof.code_region("compress_stage", 9_000);
+        let threads = prof.threads();
+
+        // Stage 1: content-defined chunking. Threads scan disjoint stream
+        // segments with a *windowed* rolling hash (Rabin-style): identical
+        // content produces identical boundaries wherever it appears, which
+        // is what makes deduplication find the recurring blocks.
+        const WINDOW: usize = 16;
+        let pow_out: u32 = 31u32.wrapping_pow(WINDOW as u32);
+        let bounds = RefCell::new(vec![Vec::<usize>::new(); threads]);
+        let dr = &data;
+        prof.parallel(|t| {
+            t.exec(code_chunk);
+            let tid = t.tid();
+            let mut my = Vec::new();
+            let mut h = 0u32;
+            let range = chunk(n, threads, tid);
+            let start = range.start;
+            for i in range {
+                t.read(a_in + i as u64, 1);
+                t.alu(4);
+                h = h.wrapping_mul(31).wrapping_add(dr[i] as u32);
+                if i >= start + WINDOW {
+                    h = h.wrapping_sub((dr[i - WINDOW] as u32).wrapping_mul(pow_out));
+                }
+                t.branch(1);
+                if h.is_multiple_of(CHUNK_TARGET as u32) && i >= start + WINDOW {
+                    my.push(i);
+                    t.write(a_bounds + (my.len() as u64) * 8, 8);
+                }
+            }
+            bounds.borrow_mut()[tid] = my;
+        });
+        let mut cut_points: Vec<usize> = bounds.into_inner().into_iter().flatten().collect();
+        cut_points.sort_unstable();
+        cut_points.dedup();
+        let mut chunks: Vec<(usize, usize)> = Vec::new();
+        let mut prev = 0usize;
+        for &c in &cut_points {
+            if c > prev {
+                chunks.push((prev, c));
+                prev = c;
+            }
+        }
+        if prev < n {
+            chunks.push((prev, n));
+        }
+
+        // Stage 2: dedup via a shared hash table of chunk fingerprints.
+        let table = RefCell::new(vec![Vec::<(u64, usize)>::new(); BUCKETS]);
+        let dup_flags = RefCell::new(vec![false; chunks.len()]);
+        let ch = &chunks;
+        prof.parallel(|t| {
+            t.exec(code_dedup);
+            for ci in chunk(ch.len(), threads, t.tid()) {
+                let (lo, hi) = ch[ci];
+                let mut fp = 0xcbf2_9ce4_8422_2325u64;
+                for i in lo..hi {
+                    t.read(a_in + i as u64, 1);
+                    fp = (fp ^ dr[i] as u64).wrapping_mul(0x1000_0000_01b3);
+                }
+                t.alu((hi - lo) as u32 * 2);
+                let bucket = (fp % BUCKETS as u64) as usize;
+                t.read(a_table + bucket as u64 * 16, 16);
+                t.branch(2);
+                let mut tbl = table.borrow_mut();
+                if tbl[bucket].iter().any(|&(f, _)| f == fp) {
+                    dup_flags.borrow_mut()[ci] = true;
+                } else {
+                    tbl[bucket].push((fp, ci));
+                    t.write(a_table + bucket as u64 * 16, 16);
+                }
+            }
+        });
+        let dup_flags = dup_flags.into_inner();
+
+        // Stage 3: compress unique chunks (delta + RLE-style pass).
+        let out_bytes = RefCell::new(vec![0usize; threads]);
+        let df = &dup_flags;
+        prof.parallel(|t| {
+            t.exec(code_compress);
+            let tid = t.tid();
+            let mut produced = 0usize;
+            for ci in chunk(ch.len(), threads, tid) {
+                t.branch(1);
+                if df[ci] {
+                    produced += 12; // a reference record
+                    continue;
+                }
+                let (lo, hi) = ch[ci];
+                let mut run = 0usize;
+                let mut prev = 0u8;
+                for i in lo..hi {
+                    t.read(a_in + i as u64, 1);
+                    t.alu(2);
+                    t.branch(1);
+                    let d = dr[i].wrapping_sub(prev);
+                    prev = dr[i];
+                    if d == 0 {
+                        run += 1;
+                    } else {
+                        produced += 1 + usize::from(run > 0);
+                        run = 0;
+                        t.write(a_out + produced as u64, 1);
+                    }
+                }
+                produced += usize::from(run > 0) * 2;
+            }
+            out_bytes.borrow_mut()[tid] = produced;
+        });
+        DedupResult {
+            chunks: chunks.len(),
+            duplicates: dup_flags.iter().filter(|&&d| d).count(),
+            output_bytes: out_bytes.into_inner().iter().sum(),
+        }
+    }
+}
+
+impl CpuWorkload for Dedup {
+    fn name(&self) -> &'static str {
+        "dedup"
+    }
+    fn run(&self, prof: &mut Profiler) {
+        let _ = self.run_traced(prof);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracekit::{profile, ProfileConfig};
+
+    #[test]
+    fn finds_duplicates_in_a_redundant_stream() {
+        let dd = Dedup {
+            input_len: 256 * 1024,
+            dup_fraction: 0.6,
+            seed: 4,
+        };
+        let mut prof = Profiler::new(&ProfileConfig::default());
+        let r = dd.run_traced(&mut prof);
+        assert!(r.chunks > 10);
+        assert!(
+            r.duplicates * 5 > r.chunks,
+            "a 60%-redundant stream must dedup: {r:?}"
+        );
+        assert!(r.output_bytes < dd.input_len);
+    }
+
+    #[test]
+    fn random_stream_barely_dedups() {
+        let dd = Dedup {
+            input_len: 128 * 1024,
+            dup_fraction: 0.0,
+            seed: 5,
+        };
+        let mut prof = Profiler::new(&ProfileConfig::default());
+        let r = dd.run_traced(&mut prof);
+        assert!(r.duplicates * 20 < r.chunks.max(20), "{r:?}");
+    }
+
+    #[test]
+    fn streaming_footprint_is_large() {
+        let p = profile(&Dedup::new(Scale::Tiny), &ProfileConfig::default());
+        // 64 kB stream = 16 pages minimum.
+        assert!(p.data_blocks >= 16);
+        assert!(p.mix.branches > 0);
+    }
+}

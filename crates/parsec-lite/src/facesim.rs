@@ -1,0 +1,186 @@
+//! facesim: quasi-static FEM over a tetrahedral face mesh
+//! (Table V: 1 frame, 372,126 tetrahedrons; Animation).
+//!
+//! Per iteration: every tetrahedron gathers its four nodes (indirect
+//! reads), computes spring forces along its edges, and scatters force
+//! contributions back; nodes then integrate. Boundary nodes between
+//! thread partitions produce the sharing.
+
+use datasets::{mesh, Scale};
+use std::cell::RefCell;
+use tracekit::{CpuWorkload, Profiler};
+
+use crate::catalog::chunk;
+
+/// Spring stiffness.
+const K: f32 = 0.4;
+/// Integration step.
+const DT: f32 = 0.05;
+
+/// The facesim instance.
+#[derive(Debug, Clone)]
+pub struct Facesim {
+    /// Cube-grid side; tets = 5·(side−1)³.
+    pub side: usize,
+    /// Quasi-static iterations.
+    pub iterations: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Facesim {
+    /// Standard instance for a scale.
+    pub fn new(scale: Scale) -> Facesim {
+        Facesim {
+            side: scale.pick(6, 18, 42),
+            iterations: scale.pick(2, 4, 8),
+            seed: 113,
+        }
+    }
+
+    /// Runs the traced simulation; returns final node positions.
+    pub fn run_traced(&self, prof: &mut Profiler) -> Vec<f32> {
+        let m = mesh::tet_mesh(self.side, self.seed);
+        let n_nodes = m.positions.len() / 3;
+        let n_tets = m.tets.len();
+        let a_pos = prof.alloc("positions", (n_nodes * 12) as u64);
+        let a_rest = prof.alloc("rest-lengths", (n_tets * 24) as u64);
+        let a_force = prof.alloc("forces", (n_nodes * 12) as u64);
+        let a_tets = prof.alloc("tets", (n_tets * 16) as u64);
+        let code_force = prof.code_region("update_position_based_state", 34_000);
+        let code_integrate = prof.code_region("euler_step", 5_000);
+        let threads = prof.threads();
+
+        let mut pos = m.positions.clone();
+        // Rest lengths from the undeformed mesh; then squash the mesh to
+        // create elastic energy.
+        let edges = |t: &[u32; 4]| -> [(u32, u32); 6] {
+            [
+                (t[0], t[1]),
+                (t[0], t[2]),
+                (t[0], t[3]),
+                (t[1], t[2]),
+                (t[1], t[3]),
+                (t[2], t[3]),
+            ]
+        };
+        let dist = |p: &[f32], a: u32, b: u32| -> f32 {
+            let (a, b) = (a as usize * 3, b as usize * 3);
+            ((p[a] - p[b]).powi(2) + (p[a + 1] - p[b + 1]).powi(2) + (p[a + 2] - p[b + 2]).powi(2))
+                .sqrt()
+        };
+        let rest: Vec<[f32; 6]> = m
+            .tets
+            .iter()
+            .map(|t| {
+                let e = edges(t);
+                std::array::from_fn(|i| dist(&pos, e[i].0, e[i].1))
+            })
+            .collect();
+        for p in pos.iter_mut() {
+            *p *= 0.9; // initial compression
+        }
+
+        for _ in 0..self.iterations {
+            let force = RefCell::new(vec![0.0f32; n_nodes * 3]);
+            let (pr, rr, tr) = (&pos, &rest, &m.tets);
+            prof.parallel(|t| {
+                t.exec(code_force);
+                let mut fo = force.borrow_mut();
+                for ti in chunk(n_tets, threads, t.tid()) {
+                    t.read(a_tets + ti as u64 * 16, 16);
+                    t.read(a_rest + ti as u64 * 24, 24);
+                    let e = edges(&tr[ti]);
+                    for (k, &(a, b)) in e.iter().enumerate() {
+                        t.read(a_pos + a as u64 * 12, 12);
+                        t.read(a_pos + b as u64 * 12, 12);
+                        t.alu(18);
+                        let d = dist(pr, a, b).max(1e-6);
+                        let stretch = d - rr[ti][k];
+                        let (ai, bi) = (a as usize * 3, b as usize * 3);
+                        for x in 0..3 {
+                            let dir = (pr[bi + x] - pr[ai + x]) / d;
+                            let f = K * stretch * dir;
+                            fo[ai + x] += f;
+                            fo[bi + x] -= f;
+                        }
+                        t.write(a_force + a as u64 * 12, 12);
+                        t.write(a_force + b as u64 * 12, 12);
+                    }
+                }
+            });
+            let force = force.into_inner();
+            let newpos = RefCell::new(std::mem::take(&mut pos));
+            let fr = &force;
+            prof.parallel(|t| {
+                t.exec(code_integrate);
+                let mut p = newpos.borrow_mut();
+                for v in chunk(n_nodes, threads, t.tid()) {
+                    t.read(a_force + v as u64 * 12, 12);
+                    t.update(a_pos + v as u64 * 12, 12, 6);
+                    for x in 0..3 {
+                        p[v * 3 + x] += DT * fr[v * 3 + x];
+                    }
+                }
+            });
+            pos = newpos.into_inner();
+        }
+        pos
+    }
+}
+
+impl CpuWorkload for Facesim {
+    fn name(&self) -> &'static str {
+        "facesim"
+    }
+    fn run(&self, prof: &mut Profiler) {
+        let _ = self.run_traced(prof);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracekit::{profile, ProfileConfig};
+
+    #[test]
+    fn compressed_mesh_relaxes_outward() {
+        let fs = Facesim {
+            side: 5,
+            iterations: 12,
+            seed: 3,
+        };
+        let m = mesh::tet_mesh(fs.side, fs.seed);
+        let mut prof = Profiler::new(&ProfileConfig::default());
+        let out = fs.run_traced(&mut prof);
+        // The squashed mesh should expand back toward rest lengths:
+        // mean edge length grows from the compressed state.
+        let mean_len = |p: &[f32]| -> f64 {
+            let mut s = 0.0f64;
+            let mut c = 0usize;
+            for t in &m.tets {
+                for &(a, b) in &[(t[0], t[1]), (t[2], t[3])] {
+                    let (a, b) = (a as usize * 3, b as usize * 3);
+                    s += (((p[a] - p[b]).powi(2)
+                        + (p[a + 1] - p[b + 1]).powi(2)
+                        + (p[a + 2] - p[b + 2]).powi(2)) as f64)
+                        .sqrt();
+                    c += 1;
+                }
+            }
+            s / c as f64
+        };
+        let compressed: Vec<f32> = m.positions.iter().map(|&x| x * 0.9).collect();
+        assert!(mean_len(&out) > mean_len(&compressed));
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fem_is_alu_heavy_with_boundary_sharing() {
+        let p = profile(&Facesim::new(Scale::Tiny), &ProfileConfig::default());
+        let f = p.mix.fractions();
+        assert!(f[0] > 0.3, "{f:?}");
+        let s = p.at_capacity(16 * 1024 * 1024);
+        assert!(s.shared_line_fraction() > 0.02, "{s:?}");
+    }
+}

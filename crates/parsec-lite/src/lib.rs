@@ -1,0 +1,50 @@
+//! # parsec-lite — kernel-level re-implementations of the Parsec 2.1 suite
+//!
+//! The paper compares Rodinia's OpenMP workloads against Parsec
+//! (Table V; Figures 6–12). Parsec itself is hundreds of thousands of
+//! lines of C/C++ that cannot be ported wholesale; following the
+//! substitution policy in `DESIGN.md`, each module here re-implements
+//! the *computational kernel* of one Parsec application — its dominant
+//! algorithm, data structures, parallel decomposition, and sharing
+//! pattern — instrumented through [`tracekit`]:
+//!
+//! | Module | Parsec app | Pattern preserved |
+//! |--------|-----------|-------------------|
+//! | [`blackscholes`] | blackscholes | closed-form PDE pricing, embarrassingly parallel, tiny working set |
+//! | [`bodytrack`] | bodytrack | particle filter over shared frames (read-shared observations) |
+//! | [`canneal`] | canneal | simulated-annealing netlist swaps, huge random-access working set |
+//! | [`dedup`] | dedup | pipelined chunk → hash → compress with a shared hash table |
+//! | [`facesim`] | facesim | tetrahedral spring-mass FEM, indirect nodal gathers |
+//! | [`ferret`] | ferret | content-similarity pipeline over a shared feature database |
+//! | [`fluidanimate`] | fluidanimate | SPH with cell-grid neighborhoods, boundary sharing |
+//! | [`freqmine`] | freqmine | FP-growth-style frequent-itemset mining, pointer chasing |
+//! | [`raytrace`] | raytrace | per-pixel ray casting against a read-shared scene |
+//! | [`swaptions`] | swaptions | HJM Monte-Carlo pricing, private per-thread paths |
+//! | [`vips`] | vips | multi-stage streaming image transforms |
+//! | [`x264`] | x264 | motion estimation + transform over a shared reference frame |
+//!
+//! StreamCluster — the workload Rodinia and Parsec share — lives in
+//! `rodinia-cpu`; the [`catalog()`](catalog()) (Table V) still lists it, and the
+//! combined 24-workload study in `rodinia-study` labels it
+//! `streamcluster(R, P)` exactly as the paper's Figure 6 does.
+
+#![warn(missing_docs)]
+// In workload code the loop index is usually also the *traced address*,
+// so indexed loops are clearer than iterator chains here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod blackscholes;
+pub mod bodytrack;
+pub mod canneal;
+pub mod catalog;
+pub mod dedup;
+pub mod facesim;
+pub mod ferret;
+pub mod fluidanimate;
+pub mod freqmine;
+pub mod raytrace;
+pub mod swaptions;
+pub mod vips;
+pub mod x264;
+
+pub use catalog::{all_workloads, catalog, ParsecApp};

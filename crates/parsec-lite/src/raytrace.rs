@@ -1,0 +1,154 @@
+//! raytrace: per-pixel ray casting against a read-shared sphere scene
+//! (appears in the paper's Figure 6 dendrogram; Rendering).
+//!
+//! Every thread traces rays for its scanline band against the same
+//! scene array: read-shared scene, high ALU/SFU intensity, almost no
+//! writes beyond the framebuffer.
+
+use datasets::{rng_for, Scale};
+use rand::Rng;
+use std::cell::RefCell;
+use tracekit::{CpuWorkload, Profiler};
+
+use crate::catalog::chunk;
+
+/// A sphere in the scene.
+#[derive(Debug, Clone, Copy)]
+struct Sphere {
+    center: [f32; 3],
+    radius: f32,
+    albedo: f32,
+}
+
+/// The raytrace instance.
+#[derive(Debug, Clone)]
+pub struct Raytrace {
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// Scene size.
+    pub spheres: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Raytrace {
+    /// Standard instance for a scale.
+    pub fn new(scale: Scale) -> Raytrace {
+        Raytrace {
+            width: scale.pick(64, 320, 1600),
+            height: scale.pick(48, 240, 1200),
+            spheres: scale.pick(16, 64, 256),
+            seed: 109,
+        }
+    }
+
+    fn scene(&self) -> Vec<Sphere> {
+        let mut rng = rng_for("raytrace-scene", self.seed);
+        (0..self.spheres)
+            .map(|_| Sphere {
+                center: [
+                    rng.random::<f32>() * 8.0 - 4.0,
+                    rng.random::<f32>() * 8.0 - 4.0,
+                    2.0 + rng.random::<f32>() * 8.0,
+                ],
+                radius: 0.2 + rng.random::<f32>() * 0.8,
+                albedo: 0.2 + rng.random::<f32>() * 0.8,
+            })
+            .collect()
+    }
+
+    /// Ray/sphere intersection distance, if any.
+    fn hit(s: &Sphere, dir: [f32; 3]) -> Option<f32> {
+        // Camera at the origin; ray = t * dir.
+        let oc = s.center;
+        let b = oc[0] * dir[0] + oc[1] * dir[1] + oc[2] * dir[2];
+        let c = oc[0] * oc[0] + oc[1] * oc[1] + oc[2] * oc[2] - s.radius * s.radius;
+        let disc = b * b - c;
+        if disc < 0.0 {
+            return None;
+        }
+        let t = b - disc.sqrt();
+        (t > 1e-3).then_some(t)
+    }
+
+    /// Runs the traced render, returning the framebuffer.
+    pub fn run_traced(&self, prof: &mut Profiler) -> Vec<f32> {
+        let scene = self.scene();
+        let (w, h) = (self.width, self.height);
+        let a_scene = prof.alloc("scene", (self.spheres * 20) as u64);
+        let a_fb = prof.alloc("framebuffer", (w * h * 4) as u64);
+        let code = prof.code_region("trace_ray", 16_000);
+        let threads = prof.threads();
+        let fb = RefCell::new(vec![0.0f32; w * h]);
+        let sc = &scene;
+        prof.parallel(|t| {
+            t.exec(code);
+            let mut fb = fb.borrow_mut();
+            for r in chunk(h, threads, t.tid()) {
+                for c in 0..w {
+                    let dir = {
+                        let x = (c as f32 / w as f32 - 0.5) * 2.0;
+                        let y = (r as f32 / h as f32 - 0.5) * 2.0;
+                        let len = (x * x + y * y + 1.0).sqrt();
+                        [x / len, y / len, 1.0 / len]
+                    };
+                    t.alu(9);
+                    let mut best = f32::INFINITY;
+                    let mut shade = 0.05; // sky
+                    for (si, s) in sc.iter().enumerate() {
+                        t.read(a_scene + si as u64 * 20, 20);
+                        t.alu(14);
+                        t.branch(1);
+                        if let Some(d) = Self::hit(s, dir) {
+                            if d < best {
+                                best = d;
+                                // Head-on lighting falloff.
+                                shade = s.albedo / (1.0 + 0.1 * d);
+                            }
+                        }
+                    }
+                    fb[r * w + c] = shade;
+                    t.write(a_fb + (r * w + c) as u64 * 4, 4);
+                }
+            }
+        });
+        fb.into_inner()
+    }
+}
+
+impl CpuWorkload for Raytrace {
+    fn name(&self) -> &'static str {
+        "raytrace"
+    }
+    fn run(&self, prof: &mut Profiler) {
+        let _ = self.run_traced(prof);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracekit::{profile, ProfileConfig};
+
+    #[test]
+    fn image_contains_spheres_and_sky() {
+        let rt = Raytrace::new(Scale::Tiny);
+        let mut prof = Profiler::new(&ProfileConfig::default());
+        let fb = rt.run_traced(&mut prof);
+        let sky = fb.iter().filter(|&&p| (p - 0.05).abs() < 1e-6).count();
+        let lit = fb.iter().filter(|&&p| p > 0.1).count();
+        assert!(sky > 0, "some rays must miss");
+        assert!(lit > 0, "some rays must hit");
+    }
+
+    #[test]
+    fn scene_is_read_shared() {
+        let p = profile(&Raytrace::new(Scale::Tiny), &ProfileConfig::default());
+        let s = p.at_capacity(16 * 1024 * 1024);
+        assert!(s.shared_access_rate() > 0.3, "{s:?}");
+        let f = p.mix.fractions();
+        assert!(f[0] > 0.4, "ALU heavy: {f:?}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Breadth-First Search (OpenMP): level-synchronous frontier expansion
+//! with threads splitting the node range each level, as in Rodinia's
+//! OpenMP BFS.
+
+use datasets::{graph, Scale};
+use std::cell::RefCell;
+use tracekit::{CpuWorkload, Profiler};
+
+use crate::util::chunk;
+
+const UNREACHED: u32 = u32::MAX;
+
+/// The OpenMP BFS instance.
+#[derive(Debug, Clone)]
+pub struct BfsOmp {
+    /// Number of graph nodes.
+    pub n: usize,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl BfsOmp {
+    /// Standard instance for a scale.
+    pub fn new(scale: Scale) -> BfsOmp {
+        BfsOmp {
+            n: scale.pick(2048, 65_536, 1_000_000),
+            max_degree: 6,
+            seed: 12,
+        }
+    }
+
+    /// Runs the traced traversal, returning per-node BFS levels.
+    pub fn run_traced(&self, prof: &mut Profiler) -> Vec<u32> {
+        let g = graph::random_graph(self.n, self.max_degree, self.seed);
+        let n = self.n;
+        let a_off = prof.alloc("offsets", ((n + 1) * 4) as u64);
+        let a_edges = prof.alloc("edges", (g.num_edges() * 4) as u64);
+        let a_front = prof.alloc("frontier", n as u64);
+        let a_next = prof.alloc("updating", n as u64);
+        let a_seen = prof.alloc("visited", n as u64);
+        let a_cost = prof.alloc("cost", (n * 4) as u64);
+        let code = prof.code_region("bfs_level", 900);
+        let threads = prof.threads();
+
+        let mut cost = vec![UNREACHED; n];
+        cost[0] = 0;
+        let mut frontier = vec![false; n];
+        frontier[0] = true;
+        let mut visited = vec![false; n];
+        visited[0] = true;
+        loop {
+            let state = RefCell::new((
+                std::mem::take(&mut cost),
+                std::mem::take(&mut visited),
+                vec![false; n],
+                false,
+            ));
+            let fr = &frontier;
+            let gr = &g;
+            prof.parallel(|t| {
+                t.exec(code);
+                let mut st = state.borrow_mut();
+                for v in chunk(n, threads, t.tid()) {
+                    t.read(a_front + v as u64, 1);
+                    t.branch(1);
+                    if !fr[v] {
+                        continue;
+                    }
+                    t.read(a_off + v as u64 * 4, 4);
+                    t.read(a_off + (v + 1) as u64 * 4, 4);
+                    t.read(a_cost + v as u64 * 4, 4);
+                    let my_cost = st.0[v];
+                    for (e, &u) in gr.neighbors(v).iter().enumerate() {
+                        let ei = gr.offsets[v] as usize + e;
+                        t.read(a_edges + ei as u64 * 4, 4);
+                        t.read(a_seen + u as u64, 1);
+                        t.branch(1);
+                        let u = u as usize;
+                        if !st.1[u] {
+                            st.0[u] = my_cost + 1;
+                            st.2[u] = true;
+                            st.3 = true;
+                            t.write(a_cost + u as u64 * 4, 4);
+                            t.write(a_next + u as u64, 1);
+                        }
+                    }
+                }
+            });
+            let (c, mut vset, next, any) = state.into_inner();
+            cost = c;
+            // Promotion pass (the second OpenMP loop).
+            let nf = RefCell::new(vec![false; n]);
+            let vs = RefCell::new(std::mem::take(&mut vset));
+            let nx = &next;
+            prof.parallel(|t| {
+                let mut nf = nf.borrow_mut();
+                let mut vs = vs.borrow_mut();
+                for v in chunk(n, threads, t.tid()) {
+                    t.read(a_next + v as u64, 1);
+                    t.branch(1);
+                    if nx[v] {
+                        nf[v] = true;
+                        vs[v] = true;
+                        t.write(a_front + v as u64, 1);
+                        t.write(a_seen + v as u64, 1);
+                    }
+                }
+            });
+            frontier = nf.into_inner();
+            visited = vs.into_inner();
+            if !any {
+                break;
+            }
+        }
+        cost
+    }
+}
+
+impl CpuWorkload for BfsOmp {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+    fn run(&self, prof: &mut Profiler) {
+        let _ = self.run_traced(prof);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+    use tracekit::{profile, ProfileConfig};
+
+    #[test]
+    fn levels_match_sequential_bfs() {
+        let bfs = BfsOmp {
+            n: 1200,
+            max_degree: 5,
+            seed: 3,
+        };
+        let mut prof = Profiler::new(&ProfileConfig::default());
+        let got = bfs.run_traced(&mut prof);
+        // Plain sequential BFS.
+        let g = graph::random_graph(bfs.n, bfs.max_degree, bfs.seed);
+        let mut want = vec![UNREACHED; bfs.n];
+        want[0] = 0;
+        let mut q = VecDeque::from([0usize]);
+        while let Some(v) = q.pop_front() {
+            for &u in g.neighbors(v) {
+                if want[u as usize] == UNREACHED {
+                    want[u as usize] = want[v] + 1;
+                    q.push_back(u as usize);
+                }
+            }
+        }
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn branchy_low_locality_mix() {
+        let p = profile(&BfsOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let f = p.mix.fractions();
+        // BFS is the branchiest Rodinia workload (Figure 7's outlier).
+        assert!(f[1] > 0.15, "branch fraction {f:?}");
+        assert!(p.mix.reads > p.mix.writes);
+    }
+}

@@ -1,0 +1,172 @@
+//! CFD Solver (OpenMP): the Euler-equation flux loop parallelized over
+//! elements.
+
+use datasets::{mesh, Scale};
+use std::cell::RefCell;
+use tracekit::{CpuWorkload, Profiler};
+
+use crate::util::chunk;
+
+const NVAR: usize = 5;
+const NFACE: usize = 4;
+const DT: f32 = 0.001;
+const EPS: f32 = 0.05;
+
+/// The OpenMP CFD instance.
+#[derive(Debug, Clone)]
+pub struct CfdOmp {
+    /// Mesh elements.
+    pub n: usize,
+    /// Solver iterations.
+    pub iterations: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl CfdOmp {
+    /// Standard instance for a scale.
+    pub fn new(scale: Scale) -> CfdOmp {
+        CfdOmp {
+            n: scale.pick(1024, 16_384, 97_000),
+            iterations: scale.pick(2, 3, 4),
+            seed: 19,
+        }
+    }
+
+    fn pressure(v: &[f32; NVAR]) -> f32 {
+        0.4 * (v[4] - 0.5 * (v[1] * v[1] + v[2] * v[2] + v[3] * v[3]) / v[0])
+    }
+
+    fn face_flux(me: &[f32; NVAR], nb: &[f32; NVAR], normal: &[f32; 3]) -> [f32; NVAR] {
+        let pm = Self::pressure(me);
+        let pn = Self::pressure(nb);
+        let mut out = [0.0f32; NVAR];
+        for (k, o) in out.iter_mut().enumerate() {
+            let fm = me[1] * normal[0] + me[2] * normal[1] + me[3] * normal[2];
+            let fn_ = nb[1] * normal[0] + nb[2] * normal[1] + nb[3] * normal[2];
+            let transport = 0.5 * (fm * me[k] / me[0] + fn_ * nb[k] / nb[0]);
+            let press = if (1..=3).contains(&k) {
+                0.5 * (pm + pn) * normal[k - 1]
+            } else if k == 4 {
+                0.5 * (pm * fm / me[0] + pn * fn_ / nb[0])
+            } else {
+                0.0
+            };
+            *o = transport + press - EPS * (nb[k] - me[k]);
+        }
+        out
+    }
+
+    /// Runs the traced solver, returning the final variables.
+    pub fn run_traced(&self, prof: &mut Profiler) -> Vec<f32> {
+        let n = self.n;
+        let m = mesh::cfd_mesh(n, self.seed);
+        let mut vars = vec![0.0f32; NVAR * n];
+        for e in 0..n {
+            vars[e] = 1.0 + 0.1 * ((e % 97) as f32 / 97.0);
+            vars[n + e] = 0.5;
+            vars[4 * n + e] = 2.5;
+        }
+        let a_vars = prof.alloc("variables", (NVAR * n * 4) as u64);
+        let a_flux = prof.alloc("fluxes", (NVAR * n * 4) as u64);
+        let a_nb = prof.alloc("neighbors", (NFACE * n * 4) as u64);
+        let a_norm = prof.alloc("normals", (NFACE * n * 12) as u64);
+        let a_vol = prof.alloc("volumes", (n * 4) as u64);
+        let code_flux = prof.code_region("cfd_compute_flux", 4200);
+        let code_step = prof.code_region("cfd_time_step", 900);
+        let threads = prof.threads();
+        for _ in 0..self.iterations {
+            let flux = RefCell::new(vec![0.0f32; NVAR * n]);
+            let vr = &vars;
+            let msh = &m;
+            prof.parallel(|t| {
+                t.exec(code_flux);
+                let mut flux = flux.borrow_mut();
+                for e in chunk(n, threads, t.tid()) {
+                    let me: [f32; NVAR] = std::array::from_fn(|k| vr[k * n + e]);
+                    for k in 0..NVAR {
+                        t.read(a_vars + (k * n + e) as u64 * 4, 4);
+                    }
+                    let mut acc = [0.0f32; NVAR];
+                    for f in 0..NFACE {
+                        t.read(a_nb + (e * NFACE + f) as u64 * 4, 4);
+                        let nb_idx = msh.neighbors[e * NFACE + f];
+                        let nb: [f32; NVAR] = if nb_idx == mesh::BOUNDARY {
+                            me
+                        } else {
+                            for k in 0..NVAR {
+                                t.read(a_vars + (k * n + nb_idx as usize) as u64 * 4, 4);
+                            }
+                            std::array::from_fn(|k| vr[k * n + nb_idx as usize])
+                        };
+                        t.read(a_norm + ((e * NFACE + f) * 3) as u64 * 4, 12);
+                        let normal: [f32; 3] =
+                            std::array::from_fn(|d| msh.normals[(e * NFACE + f) * 3 + d]);
+                        t.alu(49);
+                        t.branch(2);
+                        let ff = Self::face_flux(&me, &nb, &normal);
+                        for k in 0..NVAR {
+                            acc[k] += ff[k];
+                        }
+                    }
+                    for (k, a) in acc.iter().enumerate() {
+                        flux[k * n + e] = *a;
+                        t.write(a_flux + (k * n + e) as u64 * 4, 4);
+                    }
+                }
+            });
+            let flux = flux.into_inner();
+            let out = RefCell::new(std::mem::take(&mut vars));
+            let fl = &flux;
+            let msh = &m;
+            prof.parallel(|t| {
+                t.exec(code_step);
+                let mut v = out.borrow_mut();
+                for e in chunk(n, threads, t.tid()) {
+                    t.read(a_vol + e as u64 * 4, 4);
+                    let factor = DT / msh.volumes[e];
+                    for k in 0..NVAR {
+                        t.read(a_vars + (k * n + e) as u64 * 4, 4);
+                        t.read(a_flux + (k * n + e) as u64 * 4, 4);
+                        t.alu(2);
+                        v[k * n + e] -= factor * fl[k * n + e];
+                        t.write(a_vars + (k * n + e) as u64 * 4, 4);
+                    }
+                }
+            });
+            vars = out.into_inner();
+        }
+        vars
+    }
+}
+
+impl CpuWorkload for CfdOmp {
+    fn name(&self) -> &'static str {
+        "cfd"
+    }
+    fn run(&self, prof: &mut Profiler) {
+        let _ = self.run_traced(prof);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracekit::{profile, ProfileConfig};
+
+    #[test]
+    fn solution_stays_finite() {
+        let cfd = CfdOmp::new(Scale::Tiny);
+        let mut prof = Profiler::new(&ProfileConfig::default());
+        let vars = cfd.run_traced(&mut prof);
+        assert!(vars.iter().all(|v| v.is_finite()));
+        assert!(vars[..cfd.n].iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn flux_loop_is_alu_heavy() {
+        let p = profile(&CfdOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let f = p.mix.fractions();
+        assert!(f[0] > 0.5, "CFD is FP-dominated: {f:?}");
+    }
+}

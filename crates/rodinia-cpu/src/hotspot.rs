@@ -1,0 +1,124 @@
+//! HotSpot (OpenMP): the thermal stencil parallelized over row bands.
+
+use datasets::{grid, Scale};
+use tracekit::{CpuWorkload, Profiler};
+
+use crate::util::chunk;
+
+/// Ambient temperature (K), as in the GPU version.
+const AMBIENT: f32 = 323.15;
+
+/// The OpenMP HotSpot instance.
+#[derive(Debug, Clone)]
+pub struct HotspotOmp {
+    /// Grid edge length.
+    pub n: usize,
+    /// Stencil iterations.
+    pub iterations: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl HotspotOmp {
+    /// Standard instance for a scale.
+    pub fn new(scale: Scale) -> HotspotOmp {
+        HotspotOmp {
+            n: scale.pick(64, 256, 512),
+            iterations: scale.pick(2, 4, 6),
+            seed: 42,
+        }
+    }
+
+    /// Runs the traced computation, returning the final temperatures.
+    pub fn run_traced(&self, prof: &mut Profiler) -> Vec<f32> {
+        let n = self.n;
+        let (temp, power) = grid::hotspot_fields(n, n, self.seed);
+        let a_temp = prof.alloc("temp", (n * n * 4) as u64);
+        let a_out = prof.alloc("out", (n * n * 4) as u64);
+        let a_power = prof.alloc("power", (n * n * 4) as u64);
+        let code = prof.code_region("hotspot_kernel", 1600);
+        let threads = prof.threads();
+        let mut src = temp;
+        for _ in 0..self.iterations {
+            let next = std::cell::RefCell::new(vec![0.0f32; n * n]);
+            let cur = &src;
+            let pw = &power;
+            prof.parallel(|t| {
+                t.exec(code);
+                let mut out = next.borrow_mut();
+                for r in chunk(n, threads, t.tid()) {
+                    for c in 0..n {
+                        let i = r * n + c;
+                        let at = |rr: isize, cc: isize| -> usize {
+                            let rr = rr.clamp(0, n as isize - 1) as usize;
+                            let cc = cc.clamp(0, n as isize - 1) as usize;
+                            rr * n + cc
+                        };
+                        let (ri, ci) = (r as isize, c as isize);
+                        let nb = [
+                            at(ri - 1, ci),
+                            at(ri + 1, ci),
+                            at(ri, ci + 1),
+                            at(ri, ci - 1),
+                        ];
+                        t.read(a_temp + i as u64 * 4, 4);
+                        for &j in &nb {
+                            t.read(a_temp + j as u64 * 4, 4);
+                        }
+                        t.read(a_power + i as u64 * 4, 4);
+                        t.alu(12);
+                        t.branch(1);
+                        out[i] = cur[i]
+                            + 0.001 * pw[i]
+                            + 0.1 * (cur[nb[0]] + cur[nb[1]] - 2.0 * cur[i])
+                            + 0.1 * (cur[nb[2]] + cur[nb[3]] - 2.0 * cur[i])
+                            + 0.05 * (AMBIENT - cur[i]);
+                        t.write(a_out + i as u64 * 4, 4);
+                    }
+                }
+            });
+            src = next.into_inner();
+        }
+        src
+    }
+}
+
+impl CpuWorkload for HotspotOmp {
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+    fn run(&self, prof: &mut Profiler) {
+        let _ = self.run_traced(prof);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracekit::{profile, ProfileConfig};
+
+    #[test]
+    fn temperatures_stay_physical() {
+        let hs = HotspotOmp::new(Scale::Tiny);
+        let mut prof = Profiler::new(&ProfileConfig::default());
+        let out = hs.run_traced(&mut prof);
+        assert_eq!(out.len(), hs.n * hs.n);
+        assert!(out.iter().all(|&t| (250.0..400.0).contains(&t)));
+    }
+
+    #[test]
+    fn stencil_mix_is_read_heavy() {
+        let p = profile(&HotspotOmp::new(Scale::Tiny), &ProfileConfig::default());
+        assert!(p.mix.reads > 5 * p.mix.writes, "{:?}", p.mix);
+        assert!(p.mix.alu > p.mix.reads, "stencil does arithmetic");
+    }
+
+    #[test]
+    fn row_band_halos_are_shared() {
+        // Threads share the boundary rows between bands.
+        let p = profile(&HotspotOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let s = p.at_capacity(16 * 1024 * 1024);
+        assert!(s.shared_line_fraction() > 0.0);
+        assert!(s.shared_line_fraction() < 0.9, "most lines are private");
+    }
+}

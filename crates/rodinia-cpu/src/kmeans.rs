@@ -1,0 +1,170 @@
+//! Kmeans (OpenMP): assignment parallelized over points, center update
+//! with per-thread partial sums.
+
+use datasets::{mining, Scale};
+use std::cell::RefCell;
+use tracekit::{CpuWorkload, Profiler};
+
+use crate::util::chunk;
+
+/// The OpenMP Kmeans instance.
+#[derive(Debug, Clone)]
+pub struct KmeansOmp {
+    /// Number of points.
+    pub n: usize,
+    /// Features per point.
+    pub features: usize,
+    /// Clusters.
+    pub k: usize,
+    /// Lloyd iterations.
+    pub iterations: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl KmeansOmp {
+    /// Standard instance for a scale.
+    pub fn new(scale: Scale) -> KmeansOmp {
+        KmeansOmp {
+            n: scale.pick(1024, 16_384, 204_800),
+            features: 34,
+            k: 5,
+            iterations: 2,
+            seed: 8,
+        }
+    }
+
+    /// Runs the traced computation, returning final memberships.
+    pub fn run_traced(&self, prof: &mut Profiler) -> Vec<u32> {
+        let (n, f, k) = (self.n, self.features, self.k);
+        let points = mining::clustered_points(n, f, k, self.seed);
+        let a_points = prof.alloc("points", (n * f * 4) as u64);
+        let a_centers = prof.alloc("centers", (k * f * 4) as u64);
+        let a_member = prof.alloc("membership", (n * 4) as u64);
+        let code_assign = prof.code_region("kmeans_assign", 1800);
+        let code_update = prof.code_region("kmeans_update", 900);
+        let threads = prof.threads();
+        let mut centers: Vec<f32> = points[..k * f].to_vec();
+        let mut membership = vec![0u32; n];
+        for _ in 0..self.iterations {
+            let member = RefCell::new(std::mem::take(&mut membership));
+            let pts = &points;
+            let ctr = &centers;
+            prof.parallel(|t| {
+                t.exec(code_assign);
+                let mut member = member.borrow_mut();
+                for i in chunk(n, threads, t.tid()) {
+                    let mut best = 0u32;
+                    let mut best_d = f32::INFINITY;
+                    for c in 0..k {
+                        let mut d = 0.0f32;
+                        for j in 0..f {
+                            t.read(a_points + (i * f + j) as u64 * 4, 4);
+                            t.read(a_centers + (c * f + j) as u64 * 4, 4);
+                            t.alu(3);
+                            let diff = pts[i * f + j] - ctr[c * f + j];
+                            d += diff * diff;
+                        }
+                        t.alu(1);
+                        t.branch(1);
+                        if d < best_d {
+                            best_d = d;
+                            best = c as u32;
+                        }
+                    }
+                    member[i] = best;
+                    t.write(a_member + i as u64 * 4, 4);
+                }
+            });
+            membership = member.into_inner();
+            // Center update: per-thread partial sums then a serial merge,
+            // as the OpenMP code does.
+            let partials = RefCell::new(vec![(vec![0.0f32; k * f], vec![0usize; k]); threads]);
+            let memb = &membership;
+            let pts = &points;
+            prof.parallel(|t| {
+                t.exec(code_update);
+                let mut p = partials.borrow_mut();
+                let (sums, counts) = &mut p[t.tid()];
+                for i in chunk(n, threads, t.tid()) {
+                    t.read(a_member + i as u64 * 4, 4);
+                    let c = memb[i] as usize;
+                    counts[c] += 1;
+                    for j in 0..f {
+                        t.read(a_points + (i * f + j) as u64 * 4, 4);
+                        t.alu(1);
+                        sums[c * f + j] += pts[i * f + j];
+                    }
+                }
+            });
+            let partials = partials.into_inner();
+            prof.serial(|t| {
+                let mut sums = vec![0.0f32; k * f];
+                let mut counts = vec![0usize; k];
+                for (s, c) in &partials {
+                    for (a, b) in sums.iter_mut().zip(s) {
+                        *a += b;
+                    }
+                    for (a, b) in counts.iter_mut().zip(c) {
+                        *a += b;
+                    }
+                    t.alu((k * f) as u32);
+                }
+                for c in 0..k {
+                    if counts[c] > 0 {
+                        for j in 0..f {
+                            sums[c * f + j] /= counts[c] as f32;
+                            t.write(a_centers + (c * f + j) as u64 * 4, 4);
+                        }
+                    }
+                }
+                centers = sums;
+            });
+        }
+        membership
+    }
+}
+
+impl CpuWorkload for KmeansOmp {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+    fn run(&self, prof: &mut Profiler) {
+        let _ = self.run_traced(prof);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracekit::{profile, ProfileConfig};
+
+    #[test]
+    fn memberships_follow_blob_structure() {
+        let km = KmeansOmp {
+            n: 600,
+            features: 6,
+            k: 3,
+            iterations: 3,
+            seed: 5,
+        };
+        let mut prof = Profiler::new(&ProfileConfig::default());
+        let m = km.run_traced(&mut prof);
+        let agree = (0..km.n).filter(|&i| m[i] == m[i % km.k]).count();
+        assert!(agree > km.n * 9 / 10, "{agree}/{}", km.n);
+    }
+
+    #[test]
+    fn centers_are_shared_lines() {
+        // Every thread reads the whole center table: strong sharing.
+        let p = profile(&KmeansOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let s = p.at_capacity(16 * 1024 * 1024);
+        assert!(s.shared_access_rate() > 0.2, "{s:?}");
+    }
+
+    #[test]
+    fn read_dominated_mix() {
+        let p = profile(&KmeansOmp::new(Scale::Tiny), &ProfileConfig::default());
+        assert!(p.mix.reads > 20 * p.mix.writes, "{:?}", p.mix);
+    }
+}

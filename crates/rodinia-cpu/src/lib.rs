@@ -1,0 +1,35 @@
+//! # rodinia-cpu — the Rodinia OpenMP workloads on `tracekit`
+//!
+//! The paper's suite comparison (Sections IV–V) uses the Rodinia
+//! *OpenMP* implementations, "developed congruously [with the CUDA
+//! versions], using the same algorithms with similar levels of
+//! optimization". Each module here implements one benchmark as a
+//! multithreaded (8 logical threads, statically partitioned — OpenMP
+//! `parallel for` style) computation instrumented through
+//! [`tracekit::Profiler`]: the same algorithms as
+//! `rodinia-gpu`, restructured the way the OpenMP codes are.
+//!
+//! [`suite::all_workloads`] exposes the twelve benchmarks for the
+//! Figure 6–12 experiments.
+
+#![warn(missing_docs)]
+// In workload code the loop index is usually also the *traced address*,
+// so indexed loops are clearer than iterator chains here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod backprop;
+pub mod bfs;
+pub mod cfd;
+pub mod heartwall;
+pub mod hotspot;
+pub mod kmeans;
+pub mod leukocyte;
+pub mod lud;
+pub mod mummer;
+pub mod nw;
+pub mod srad;
+pub mod streamcluster;
+pub mod suite;
+pub mod util;
+
+pub use suite::all_workloads;

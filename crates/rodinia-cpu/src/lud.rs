@@ -1,0 +1,111 @@
+//! LU Decomposition (OpenMP): right-looking Doolittle with the trailing
+//! update parallelized over rows each step.
+
+use datasets::{matrix, Scale};
+use std::cell::RefCell;
+use tracekit::{CpuWorkload, Profiler};
+
+use crate::util::chunk;
+
+/// The OpenMP LUD instance.
+#[derive(Debug, Clone)]
+pub struct LudOmp {
+    /// Matrix edge length.
+    pub n: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl LudOmp {
+    /// Standard instance for a scale.
+    pub fn new(scale: Scale) -> LudOmp {
+        LudOmp {
+            n: scale.pick(64, 256, 256),
+            seed: 17,
+        }
+    }
+
+    /// Runs the traced factorization, returning the packed LU matrix.
+    pub fn run_traced(&self, prof: &mut Profiler) -> Vec<f32> {
+        let n = self.n;
+        let a0 = matrix::diag_dominant_matrix(n, self.seed);
+        let a_m = prof.alloc("matrix", (n * n * 4) as u64);
+        let code = prof.code_region("lud_step", 1100);
+        let threads = prof.threads();
+        let mut a = a0;
+        for k in 0..n {
+            let rows = n - k - 1;
+            if rows == 0 {
+                break;
+            }
+            let ac = RefCell::new(std::mem::take(&mut a));
+            prof.parallel(|t| {
+                t.exec(code);
+                let mut a = ac.borrow_mut();
+                for x in chunk(rows, threads, t.tid()) {
+                    let i = k + 1 + x;
+                    // l[i][k] = a[i][k] / a[k][k]
+                    t.read(a_m + (i * n + k) as u64 * 4, 4);
+                    t.read(a_m + (k * n + k) as u64 * 4, 4);
+                    t.alu(1);
+                    a[i * n + k] /= a[k * n + k];
+                    t.write(a_m + (i * n + k) as u64 * 4, 4);
+                    for j in (k + 1)..n {
+                        t.read(a_m + (i * n + j) as u64 * 4, 4);
+                        t.read(a_m + (k * n + j) as u64 * 4, 4);
+                        t.alu(2);
+                        a[i * n + j] -= a[i * n + k] * a[k * n + j];
+                        t.write(a_m + (i * n + j) as u64 * 4, 4);
+                    }
+                    t.branch((n - k) as u32);
+                }
+            });
+            a = ac.into_inner();
+        }
+        a
+    }
+}
+
+impl CpuWorkload for LudOmp {
+    fn name(&self) -> &'static str {
+        "lud"
+    }
+    fn run(&self, prof: &mut Profiler) {
+        let _ = self.run_traced(prof);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracekit::{profile, ProfileConfig};
+
+    #[test]
+    fn factorization_reconstructs_input() {
+        let lud = LudOmp { n: 32, seed: 6 };
+        let a0 = matrix::diag_dominant_matrix(lud.n, lud.seed);
+        let mut prof = Profiler::new(&ProfileConfig::default());
+        let lu = lud.run_traced(&mut prof);
+        let n = lud.n;
+        let mut worst = 0.0f32;
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { lu[i * n + k] as f64 };
+                    s += l * lu[k * n + j] as f64;
+                }
+                worst = worst.max((s as f32 - a0[i * n + j]).abs());
+            }
+        }
+        assert!(worst < 1e-2, "max reconstruction error {worst}");
+    }
+
+    #[test]
+    fn pivot_row_is_shared_among_threads() {
+        let p = profile(&LudOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let s = p.at_capacity(16 * 1024 * 1024);
+        // Every thread reads row k while updating its own rows.
+        assert!(s.shared_access_rate() > 0.1, "{s:?}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Needleman-Wunsch (OpenMP): anti-diagonal wavefront parallelism, as
+//! in the Rodinia OpenMP code (threads split each diagonal).
+
+use datasets::{rng_for, Scale};
+use rand::Rng;
+use std::cell::RefCell;
+use tracekit::{CpuWorkload, Profiler};
+
+use crate::util::chunk;
+
+const GAP: f32 = -2.0;
+
+/// The OpenMP Needleman-Wunsch instance.
+#[derive(Debug, Clone)]
+pub struct NwOmp {
+    /// Sequence length.
+    pub n: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl NwOmp {
+    /// Standard instance for a scale.
+    pub fn new(scale: Scale) -> NwOmp {
+        NwOmp {
+            n: scale.pick(64, 512, 2048),
+            seed: 33,
+        }
+    }
+
+    /// Runs the traced computation, returning the DP matrix.
+    pub fn run_traced(&self, prof: &mut Profiler) -> Vec<f32> {
+        let n = self.n;
+        let m = n + 1;
+        let mut rng = rng_for("nw", self.seed);
+        let sa: Vec<u8> = (0..n).map(|_| rng.random_range(0..4u8)).collect();
+        let sb: Vec<u8> = (0..n).map(|_| rng.random_range(0..4u8)).collect();
+        let a_sim = prof.alloc("similarity", (n * n) as u64);
+        let a_f = prof.alloc("score", (m * m * 4) as u64);
+        let code = prof.code_region("nw_diag", 1200);
+        let threads = prof.threads();
+        let mut f = vec![0.0f32; m * m];
+        for jj in 0..m {
+            f[jj] = jj as f32 * GAP;
+        }
+        for i in 0..m {
+            f[i * m] = i as f32 * GAP;
+        }
+        // Wavefront over anti-diagonals; threads share each diagonal.
+        for d in 1..(2 * n) {
+            let i_min = if d + 1 > n { d + 1 - n } else { 1 };
+            let i_max = d.min(n);
+            let count = i_max - i_min + 1;
+            let fc = RefCell::new(std::mem::take(&mut f));
+            let (sar, sbr) = (&sa, &sb);
+            prof.parallel(|t| {
+                t.exec(code);
+                let mut f = fc.borrow_mut();
+                for x in chunk(count, threads, t.tid()) {
+                    let i = i_min + x;
+                    let j = d + 1 - i;
+                    t.read(a_f + ((i - 1) * m + j - 1) as u64 * 4, 4);
+                    t.read(a_f + ((i - 1) * m + j) as u64 * 4, 4);
+                    t.read(a_f + (i * m + j - 1) as u64 * 4, 4);
+                    t.read(a_sim + ((i - 1) * n + j - 1) as u64, 1);
+                    t.alu(5);
+                    t.branch(2);
+                    let sim = if sar[i - 1] == sbr[j - 1] { 3.0 } else { -1.0 };
+                    let v = (f[(i - 1) * m + j - 1] + sim)
+                        .max(f[(i - 1) * m + j] + GAP)
+                        .max(f[i * m + j - 1] + GAP);
+                    f[i * m + j] = v;
+                    t.write(a_f + (i * m + j) as u64 * 4, 4);
+                }
+            });
+            f = fc.into_inner();
+        }
+        f
+    }
+}
+
+impl CpuWorkload for NwOmp {
+    fn name(&self) -> &'static str {
+        "nw"
+    }
+    fn run(&self, prof: &mut Profiler) {
+        let _ = self.run_traced(prof);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracekit::{profile, ProfileConfig};
+
+    #[test]
+    fn dp_matrix_is_monotone_along_gaps() {
+        let nw = NwOmp { n: 48, seed: 4 };
+        let mut prof = Profiler::new(&ProfileConfig::default());
+        let f = nw.run_traced(&mut prof);
+        let m = nw.n + 1;
+        // First row/column are gap-initialized.
+        assert_eq!(f[1], GAP);
+        assert_eq!(f[m], GAP);
+        // Score never drops by more than the gap penalty per step.
+        for i in 1..m {
+            for j in 1..m {
+                assert!(f[i * m + j] >= f[(i - 1) * m + j] + GAP - 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_shares_the_frontier() {
+        let p = profile(&NwOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let s = p.at_capacity(16 * 1024 * 1024);
+        // Adjacent diagonal cells land in different threads' chunks each
+        // wave, so DP-matrix lines are heavily shared.
+        assert!(s.shared_line_fraction() > 0.2, "{s:?}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Small helpers shared by the OpenMP-style workloads.
+
+use std::ops::Range;
+
+/// The contiguous chunk of `0..n` that thread `tid` of `threads` owns
+/// under an OpenMP static schedule.
+pub fn chunk(n: usize, threads: usize, tid: usize) -> Range<usize> {
+    let per = n.div_ceil(threads.max(1));
+    let lo = (tid * per).min(n);
+    let hi = ((tid + 1) * per).min(n);
+    lo..hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_partition_exactly() {
+        for n in [0usize, 1, 7, 8, 100, 1023] {
+            let mut seen = vec![false; n];
+            for tid in 0..8 {
+                for i in chunk(n, 8, tid) {
+                    assert!(!seen[i], "index {i} assigned twice");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "n = {n} not covered");
+        }
+    }
+
+    #[test]
+    fn chunks_are_balanced() {
+        let sizes: Vec<usize> = (0..8).map(|t| chunk(1000, 8, t).len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 125);
+    }
+}

@@ -1,0 +1,292 @@
+//! Breadth-First Search
+//! (Table I: 1,000,000 nodes; Graph Traversal dwarf).
+//!
+//! The Rodinia BFS is level-synchronous: every kernel launch assigns one
+//! thread per graph node, and only frontier nodes do work. The paper
+//! attributes BFS's low IPC to "the overhead of the GPU's global memory
+//! accesses" and its low warp occupancy to the frontier test and the
+//! variable-degree neighbor loops ("it must determine whether or not
+//! neighboring nodes have been visited ... hence the high number of low
+//! occupancy warps"). Both effects fall out of this implementation:
+//! almost every memory operation is an uncoalesced global access, and
+//! divergence grows as frontiers sparsify — making BFS one of the
+//! biggest winners from extra DRAM channels (Figure 4) and from the
+//! Fermi L1-bias configuration (Figure 5).
+
+use datasets::{graph, Graph, Scale};
+use simt::{BufU32, Gpu, GridShape, Kernel, KernelStats, PhaseControl, WarpCtx};
+
+/// Sentinel cost for unreached nodes.
+const UNREACHED: u32 = u32::MAX;
+
+/// The BFS benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    /// Number of graph nodes.
+    pub n: usize,
+    /// Maximum out-degree of the generated graph.
+    pub max_degree: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Bfs {
+    /// Standard instance for a scale (Table I: one million nodes).
+    pub fn new(scale: Scale) -> Bfs {
+        Bfs {
+            n: scale.pick(2048, 65_536, 1_000_000),
+            max_degree: 6,
+            seed: 12,
+        }
+    }
+
+    fn graph(&self) -> Graph {
+        graph::random_graph(self.n, self.max_degree, self.seed)
+    }
+
+    /// Sequential reference: BFS levels from node 0.
+    pub fn reference(&self) -> Vec<u32> {
+        let g = self.graph();
+        let mut cost = vec![UNREACHED; self.n];
+        cost[0] = 0;
+        let mut frontier = vec![0usize];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &u in g.neighbors(v) {
+                    if cost[u as usize] == UNREACHED {
+                        cost[u as usize] = cost[v] + 1;
+                        next.push(u as usize);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        cost
+    }
+
+    /// Runs the level-synchronous BFS on `gpu`.
+    pub fn launch(&self, gpu: &mut Gpu) -> (KernelStats, Vec<u32>) {
+        let g = self.graph();
+        let n = self.n;
+        let offsets = gpu.mem_mut().alloc_u32("bfs-offsets", &g.offsets);
+        let edges = gpu.mem_mut().alloc_u32("bfs-edges", &g.edges);
+        let mut frontier0 = vec![0u32; n];
+        frontier0[0] = 1;
+        let frontier = gpu.mem_mut().alloc_u32("bfs-frontier", &frontier0);
+        let updating = gpu.mem_mut().alloc_u32_zeroed("bfs-updating", n);
+        let mut visited0 = vec![0u32; n];
+        visited0[0] = 1;
+        let visited = gpu.mem_mut().alloc_u32("bfs-visited", &visited0);
+        let mut cost0 = vec![UNREACHED; n];
+        cost0[0] = 0;
+        let cost = gpu.mem_mut().alloc_u32("bfs-cost", &cost0);
+        let stop = gpu.mem_mut().alloc_u32_zeroed("bfs-stop", 1);
+
+        let mut stats: Option<KernelStats> = None;
+        loop {
+            gpu.mem_mut().write_u32(stop, &[0]);
+            let k1 = BfsExpand {
+                offsets,
+                edges,
+                frontier,
+                updating,
+                visited,
+                cost,
+                n,
+            };
+            let s1 = gpu.launch(&k1);
+            let k2 = BfsPromote {
+                frontier,
+                updating,
+                visited,
+                stop,
+                n,
+            };
+            let s2 = gpu.launch(&k2);
+            match &mut stats {
+                None => {
+                    let mut s = s1;
+                    s.merge(&s2);
+                    stats = Some(s);
+                }
+                Some(acc) => {
+                    acc.merge(&s1);
+                    acc.merge(&s2);
+                }
+            }
+            if gpu.mem().read_u32(stop)[0] == 0 {
+                break;
+            }
+        }
+        let out = gpu.mem().read_u32(cost);
+        (stats.expect("at least one level"), out)
+    }
+
+    /// Convenience wrapper returning only statistics.
+    pub fn run(&self, gpu: &mut Gpu) -> KernelStats {
+        self.launch(gpu).0
+    }
+}
+
+/// Kernel 1: frontier nodes visit their neighbors and mark updates.
+struct BfsExpand {
+    offsets: BufU32,
+    edges: BufU32,
+    frontier: BufU32,
+    updating: BufU32,
+    visited: BufU32,
+    cost: BufU32,
+    n: usize,
+}
+
+impl Kernel for BfsExpand {
+    fn name(&self) -> &str {
+        "bfs-expand"
+    }
+
+    fn shape(&self) -> GridShape {
+        GridShape::cover(self.n, 256)
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let n = self.n;
+        let me = (
+            self.offsets,
+            self.edges,
+            self.frontier,
+            self.updating,
+            self.visited,
+            self.cost,
+        );
+        let fv = w.ld_u32(self.frontier, |_, tid| (tid < n).then_some(tid));
+        let on_frontier: Vec<bool> = (0..w.warp_size())
+            .zip(w.tids())
+            .map(|(lane, tid)| tid < n && fv[lane] == 1)
+            .collect();
+        w.if_active(&on_frontier, |w| {
+            let (offsets, edges, frontier, updating, visited, cost) = me;
+            // Clear own frontier flag.
+            w.st_u32(frontier, |_, tid| Some((tid, 0)));
+            let start = w.ld_u32(offsets, |_, tid| Some(tid));
+            let end = w.ld_u32(offsets, |_, tid| Some(tid + 1));
+            let my_cost = w.ld_u32(cost, |_, tid| Some(tid));
+            let ws = w.warp_size();
+            let e = std::cell::RefCell::new(start.clone());
+            // Variable-degree neighbor loop: lanes drop out as their
+            // adjacency lists end (the paper's divergence source).
+            w.loop_while(
+                |w| {
+                    w.alu(1);
+                    let e = e.borrow();
+                    (0..ws).map(|l| e[l] < end[l]).collect()
+                },
+                |w| {
+                    let act = w.active();
+                    let cursor = e.borrow().clone();
+                    let nb =
+                        w.ld_u32(edges, |lane, _| act[lane].then_some(cursor[lane] as usize));
+                    let seen = w.ld_u32(visited, |lane, _| act[lane].then_some(nb[lane] as usize));
+                    let unseen: Vec<bool> = (0..ws).map(|l| act[l] && seen[l] == 0).collect();
+                    let nb2 = nb.clone();
+                    let mc = my_cost.clone();
+                    w.if_active(&unseen, |w| {
+                        w.st_u32(cost, |lane, _| Some((nb2[lane] as usize, mc[lane] + 1)));
+                        w.st_u32(updating, |lane, _| Some((nb2[lane] as usize, 1)));
+                    });
+                    w.alu(1);
+                    let mut e = e.borrow_mut();
+                    for l in 0..ws {
+                        if act[l] {
+                            e[l] += 1;
+                        }
+                    }
+                },
+            );
+        });
+        PhaseControl::Done
+    }
+}
+
+/// Kernel 2: promote updated nodes into the next frontier.
+struct BfsPromote {
+    frontier: BufU32,
+    updating: BufU32,
+    visited: BufU32,
+    stop: BufU32,
+    n: usize,
+}
+
+impl Kernel for BfsPromote {
+    fn name(&self) -> &str {
+        "bfs-promote"
+    }
+
+    fn shape(&self) -> GridShape {
+        GridShape::cover(self.n, 256)
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let n = self.n;
+        let uv = w.ld_u32(self.updating, |_, tid| (tid < n).then_some(tid));
+        let pending: Vec<bool> = (0..w.warp_size())
+            .zip(w.tids())
+            .map(|(lane, tid)| tid < n && uv[lane] == 1)
+            .collect();
+        let me = (self.frontier, self.updating, self.visited, self.stop);
+        w.if_active(&pending, |w| {
+            let (frontier, updating, visited, stop) = me;
+            w.st_u32(frontier, |_, tid| Some((tid, 1)));
+            w.st_u32(visited, |_, tid| Some((tid, 1)));
+            w.st_u32(updating, |_, tid| Some((tid, 0)));
+            w.st_u32(stop, |_, _| Some((0, 1)));
+        });
+        PhaseControl::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt::{GpuConfig, MemSpace};
+
+    #[test]
+    fn matches_reference() {
+        let bfs = Bfs {
+            n: 1500,
+            max_degree: 5,
+            seed: 3,
+        };
+        let want = bfs.reference();
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let (_, got) = bfs.launch(&mut gpu);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn every_node_is_reached() {
+        let bfs = Bfs::new(Scale::Tiny);
+        let cost = bfs.reference();
+        assert!(cost.iter().all(|&c| c != UNREACHED));
+        assert_eq!(cost[0], 0);
+    }
+
+    #[test]
+    fn bfs_is_global_memory_bound_and_divergent() {
+        let bfs = Bfs::new(Scale::Tiny);
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let stats = bfs.run(&mut gpu);
+        // All memory traffic is global (Figure 2's BFS bar).
+        assert!(
+            stats.mem_mix.fraction(MemSpace::Global) > 0.95,
+            "global fraction {:.3}",
+            stats.mem_mix.fraction(MemSpace::Global)
+        );
+        // Sparse frontiers: a large share of low-occupancy warps
+        // (Figure 3's BFS bar).
+        let q = stats.occupancy.quartile_fractions();
+        assert!(q[0] > 0.3, "low-occupancy fraction {q:?}");
+        // And low IPC overall (Figure 1).
+        assert!(stats.ipc() < 200.0, "BFS IPC {}", stats.ipc());
+    }
+}

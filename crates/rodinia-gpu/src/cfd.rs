@@ -1,0 +1,488 @@
+//! CFD Solver: unstructured-grid finite-volume solver for the 3-D Euler
+//! equations (Table I: 97k elements; Unstructured Grid dwarf, Fluid
+//! Dynamics). After Corrigan et al., as shipped in Rodinia.
+//!
+//! Per element and per iteration the flux kernel gathers the five
+//! conserved variables of each of four face neighbors through **indirect
+//! indices** — the defining memory behavior of the unstructured dwarf.
+//! Variables live in a struct-of-arrays (`[variable][element]`) layout so
+//! own-element accesses coalesce, while neighbor gathers do not; combined
+//! with heavy floating-point work per face this makes CFD
+//! bandwidth-hungry (it is one of the three big winners in the paper's
+//! Figure 4 channel sweep).
+//!
+//! The two released variants are modeled: [`CfdVariant::PrecomputedFlux`]
+//! reads per-face contributions computed once, while
+//! [`CfdVariant::RedundantFlux`] recomputes both sides of every face.
+
+use datasets::{mesh, Scale};
+use simt::{BufF32, BufU32, Gpu, GridShape, Kernel, KernelStats, PhaseControl, WarpCtx};
+
+/// Conserved variables per element (density, 3 momenta, energy).
+const NVAR: usize = 5;
+/// Faces per element.
+const NFACE: usize = 4;
+/// Pseudo-time-step factor.
+const DT: f32 = 0.001;
+/// Upwind dissipation strength.
+const EPS: f32 = 0.05;
+
+/// Floating-point precision of the solver's device arrays.
+///
+/// The paper: the CFD solver "provides both single-precision and
+/// double-precision floating point implementations for the GPU, which
+/// allows users to analyze the trade-off between performance and
+/// computational precision." [`CfdPrecision::Double`] models the
+/// double-precision *cost*: the conserved-variable and flux arrays are
+/// laid out as 8-byte elements (halving coalescing density and doubling
+/// DRAM traffic) and the flux arithmetic runs at the pre-Fermi 1:8
+/// DP:SP throughput ratio. Numerically the reproduction still computes
+/// in `f32` (the simulator's functional value type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CfdPrecision {
+    /// 4-byte elements, full-rate arithmetic.
+    Single,
+    /// 8-byte elements, eighth-rate arithmetic.
+    Double,
+}
+
+/// Flux-computation strategy (the two released versions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CfdVariant {
+    /// Each face's flux recomputed by both adjacent elements.
+    RedundantFlux,
+    /// Fluxes taken from a precomputed per-face table.
+    PrecomputedFlux,
+}
+
+/// The CFD benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Cfd {
+    /// Number of mesh elements.
+    pub n: usize,
+    /// Solver iterations.
+    pub iterations: usize,
+    /// Variant under test.
+    pub variant: CfdVariant,
+    /// Floating-point precision under test.
+    pub precision: CfdPrecision,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Cfd {
+    /// Standard (redundant-flux) instance for a scale.
+    pub fn new(scale: Scale) -> Cfd {
+        Cfd {
+            n: scale.pick(1024, 16_384, 97_000),
+            iterations: scale.pick(2, 3, 4),
+            variant: CfdVariant::RedundantFlux,
+            precision: CfdPrecision::Single,
+            seed: 19,
+        }
+    }
+
+    /// The same instance in double precision.
+    pub fn double_precision(self) -> Cfd {
+        Cfd {
+            precision: CfdPrecision::Double,
+            ..self
+        }
+    }
+
+    fn initial_variables(&self) -> Vec<f32> {
+        // Free-stream initialization with a density perturbation.
+        let mut v = vec![0.0f32; NVAR * self.n];
+        for e in 0..self.n {
+            v[e] = 1.0 + 0.1 * ((e % 97) as f32 / 97.0); // density
+            v[self.n + e] = 0.5; // x-momentum
+            v[2 * self.n + e] = 0.0;
+            v[3 * self.n + e] = 0.0;
+            v[4 * self.n + e] = 2.5; // energy
+        }
+        v
+    }
+
+    /// One element's flux accumulation, shared by kernel and reference.
+    /// `me` and `nb` are per-variable values; `normal` the face normal.
+    #[inline]
+    fn face_flux(me: &[f32; NVAR], nb: &[f32; NVAR], normal: &[f32; 3]) -> [f32; NVAR] {
+        // Central flux of the Euler equations with scalar dissipation.
+        let pressure = |v: &[f32; NVAR]| 0.4 * (v[4] - 0.5 * (v[1] * v[1] + v[2] * v[2] + v[3] * v[3]) / v[0]);
+        let pm = pressure(me);
+        let pn = pressure(nb);
+        let mut out = [0.0f32; NVAR];
+        for (k, o) in out.iter_mut().enumerate() {
+            // Momentum-weighted transport in the normal direction.
+            let fm = me[1] * normal[0] + me[2] * normal[1] + me[3] * normal[2];
+            let fn_ = nb[1] * normal[0] + nb[2] * normal[1] + nb[3] * normal[2];
+            let transport = 0.5 * (fm * me[k] / me[0] + fn_ * nb[k] / nb[0]);
+            let press = if (1..=3).contains(&k) {
+                0.5 * (pm + pn) * normal[k - 1]
+            } else if k == 4 {
+                0.5 * (pm * fm / me[0] + pn * fn_ / nb[0])
+            } else {
+                0.0
+            };
+            *o = transport + press - EPS * (nb[k] - me[k]);
+        }
+        out
+    }
+
+    /// Sequential reference run; returns final variables.
+    pub fn reference(&self) -> Vec<f32> {
+        let m = mesh::cfd_mesh(self.n, self.seed);
+        let mut vars = self.initial_variables();
+        let n = self.n;
+        for _ in 0..self.iterations {
+            let mut flux = vec![0.0f32; NVAR * n];
+            for e in 0..n {
+                let me: [f32; NVAR] = std::array::from_fn(|k| vars[k * n + e]);
+                for f in 0..NFACE {
+                    let nb_idx = m.neighbors[e * NFACE + f];
+                    let nb: [f32; NVAR] = if nb_idx == mesh::BOUNDARY {
+                        me // reflective boundary: mirror state
+                    } else {
+                        std::array::from_fn(|k| vars[k * n + nb_idx as usize])
+                    };
+                    let normal: [f32; 3] =
+                        std::array::from_fn(|d| m.normals[(e * NFACE + f) * 3 + d]);
+                    let ff = Self::face_flux(&me, &nb, &normal);
+                    for k in 0..NVAR {
+                        flux[k * n + e] += ff[k];
+                    }
+                }
+            }
+            for e in 0..n {
+                let factor = DT / m.volumes[e];
+                for k in 0..NVAR {
+                    vars[k * n + e] -= factor * flux[k * n + e];
+                }
+            }
+        }
+        vars
+    }
+
+    /// Element stride in f32 words (2 models the 8-byte footprint of
+    /// the double-precision arrays; values live at even indices).
+    fn stride(&self) -> usize {
+        match self.precision {
+            CfdPrecision::Single => 1,
+            CfdPrecision::Double => 2,
+        }
+    }
+
+    /// Spreads values to the configured element stride.
+    fn widen(&self, xs: &[f32]) -> Vec<f32> {
+        let w = self.stride();
+        if w == 1 {
+            return xs.to_vec();
+        }
+        let mut out = vec![0.0f32; xs.len() * w];
+        for (i, &x) in xs.iter().enumerate() {
+            out[i * w] = x;
+        }
+        out
+    }
+
+    /// Runs the solver on `gpu`; returns stats and the variables buffer.
+    pub fn launch(&self, gpu: &mut Gpu) -> (KernelStats, BufF32) {
+        let m = mesh::cfd_mesh(self.n, self.seed);
+        let n = self.n;
+        let vars = gpu
+            .mem_mut()
+            .alloc_f32("cfd-vars", &self.widen(&self.initial_variables()));
+        let flux = gpu
+            .mem_mut()
+            .alloc_f32_zeroed("cfd-flux", NVAR * n * self.stride());
+        let neighbors = gpu.mem_mut().alloc_u32("cfd-neighbors", &m.neighbors);
+        let normals = gpu.mem_mut().alloc_f32("cfd-normals", &self.widen(&m.normals));
+        let volumes = gpu.mem_mut().alloc_f32("cfd-volumes", &self.widen(&m.volumes));
+        let mut stats: Option<KernelStats> = None;
+        for _ in 0..self.iterations {
+            let kf = CfdFluxKernel {
+                vars,
+                flux,
+                neighbors,
+                normals,
+                n,
+                variant: self.variant,
+                stride: self.stride(),
+            };
+            let s1 = gpu.launch(&kf);
+            let kt = CfdTimeStepKernel {
+                vars,
+                flux,
+                volumes,
+                n,
+                stride: self.stride(),
+            };
+            let s2 = gpu.launch(&kt);
+            match &mut stats {
+                None => {
+                    let mut s = s1;
+                    s.merge(&s2);
+                    stats = Some(s);
+                }
+                Some(acc) => {
+                    acc.merge(&s1);
+                    acc.merge(&s2);
+                }
+            }
+        }
+        (stats.expect("iterations run"), vars)
+    }
+
+    /// Convenience wrapper returning only statistics.
+    pub fn run(&self, gpu: &mut Gpu) -> KernelStats {
+        self.launch(gpu).0
+    }
+}
+
+struct CfdFluxKernel {
+    vars: BufF32,
+    flux: BufF32,
+    neighbors: BufU32,
+    normals: BufF32,
+    n: usize,
+    variant: CfdVariant,
+    /// Element stride in f32 words (2 = double precision).
+    stride: usize,
+}
+
+impl Kernel for CfdFluxKernel {
+    fn name(&self) -> &str {
+        "cfd-flux"
+    }
+
+    fn shape(&self) -> GridShape {
+        GridShape::cover(self.n, 128)
+    }
+
+    fn regs_per_thread(&self) -> u32 {
+        32 // the flux kernel is register-hungry, limiting occupancy
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let n = self.n;
+        let sw = self.stride;
+        let tids = w.tids();
+        let in_range: Vec<bool> = tids.iter().map(|&t| t < n).collect();
+        let me = (self.vars, self.flux, self.neighbors, self.normals, self.variant);
+        w.if_active(&in_range, |w| {
+            let (vars, flux, neighbors, normals, variant) = me;
+            let ws = w.warp_size();
+            // Own variables: coalesced (SoA layout; 8-byte elements at
+            // stride 2 halve the coalescing density).
+            let mut own = vec![[0.0f32; NVAR]; ws];
+            for k in 0..NVAR {
+                let v = w.ld_f32(vars, |_, tid| (tid < n).then_some((k * n + tid) * sw));
+                for (lane, o) in own.iter_mut().enumerate() {
+                    o[k] = v[lane];
+                }
+            }
+            let mut acc = vec![[0.0f32; NVAR]; ws];
+            for f in 0..NFACE {
+                let nb_idx =
+                    w.ld_u32(neighbors, |_, tid| (tid < n).then_some(tid * NFACE + f));
+                // Neighbor gathers: indirect, uncoalesced.
+                let mut nbv = own.clone();
+                for k in 0..NVAR {
+                    let v = w.ld_f32(vars, |lane, tid| {
+                        (tid < n && nb_idx[lane] != mesh::BOUNDARY)
+                            .then_some((k * n + nb_idx[lane] as usize) * sw)
+                    });
+                    for (lane, nb) in nbv.iter_mut().enumerate() {
+                        if nb_idx[lane] != mesh::BOUNDARY {
+                            nb[k] = v[lane];
+                        }
+                    }
+                }
+                let mut normal = vec![[0.0f32; 3]; ws];
+                for d in 0..3 {
+                    let v = w.ld_f32(normals, |_, tid| {
+                        (tid < n).then_some(((tid * NFACE + f) * 3 + d) * sw)
+                    });
+                    for (lane, nm) in normal.iter_mut().enumerate() {
+                        nm[d] = v[lane];
+                    }
+                }
+                // The flux arithmetic: heavy FP work, with divides on
+                // the SFU. The redundant variant recomputes both sides;
+                // double precision runs at the pre-Fermi 1:8 DP:SP rate.
+                let flops = match variant {
+                    CfdVariant::RedundantFlux => 45,
+                    CfdVariant::PrecomputedFlux => 24,
+                };
+                let dp = if sw == 2 { 8 } else { 1 };
+                w.alu(flops * dp);
+                w.sfu(4 * dp);
+                for lane in 0..ws {
+                    let ff = Cfd::face_flux(&own[lane], &nbv[lane], &normal[lane]);
+                    for k in 0..NVAR {
+                        acc[lane][k] += ff[k];
+                    }
+                }
+            }
+            for k in 0..NVAR {
+                w.st_f32(flux, |lane, tid| {
+                    (tid < n).then_some(((k * n + tid) * sw, acc[lane][k]))
+                });
+            }
+        });
+        PhaseControl::Done
+    }
+}
+
+struct CfdTimeStepKernel {
+    vars: BufF32,
+    flux: BufF32,
+    volumes: BufF32,
+    n: usize,
+    /// Element stride in f32 words (2 = double precision).
+    stride: usize,
+}
+
+impl Kernel for CfdTimeStepKernel {
+    fn name(&self) -> &str {
+        "cfd-timestep"
+    }
+
+    fn shape(&self) -> GridShape {
+        GridShape::cover(self.n, 128)
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let n = self.n;
+        let sw = self.stride;
+        let tids = w.tids();
+        let in_range: Vec<bool> = tids.iter().map(|&t| t < n).collect();
+        let me = (self.vars, self.flux, self.volumes);
+        w.if_active(&in_range, |w| {
+            let (vars, flux, volumes) = me;
+            let ws = w.warp_size();
+            let dp = if sw == 2 { 8 } else { 1 };
+            let vol = w.ld_f32(volumes, |_, tid| (tid < n).then_some(tid * sw));
+            w.sfu(dp); // DT / volume
+            let factor: Vec<f32> = vol.iter().map(|&v| if v > 0.0 { DT / v } else { 0.0 }).collect();
+            for k in 0..NVAR {
+                let v = w.ld_f32(vars, |_, tid| (tid < n).then_some((k * n + tid) * sw));
+                let fl = w.ld_f32(flux, |_, tid| (tid < n).then_some((k * n + tid) * sw));
+                w.alu(2 * dp);
+                let out: Vec<f32> = (0..ws).map(|l| v[l] - factor[l] * fl[l]).collect();
+                w.st_f32(vars, |lane, tid| {
+                    (tid < n).then_some(((k * n + tid) * sw, out[lane]))
+                });
+            }
+        });
+        PhaseControl::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refimpl::max_abs_diff;
+    use simt::{GpuConfig, MemSpace};
+
+    #[test]
+    fn matches_reference() {
+        let cfd = Cfd {
+            n: 512,
+            iterations: 2,
+            variant: CfdVariant::RedundantFlux,
+            precision: CfdPrecision::Single,
+            seed: 4,
+        };
+        let want = cfd.reference();
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let (_, buf) = cfd.launch(&mut gpu);
+        let got = gpu.mem().read_f32(buf);
+        assert!(max_abs_diff(&want, &got) < 1e-4);
+    }
+
+    #[test]
+    fn solution_stays_finite_and_positive_density() {
+        let cfd = Cfd {
+            n: 256,
+            iterations: 4,
+            variant: CfdVariant::RedundantFlux,
+            precision: CfdPrecision::Single,
+            seed: 1,
+        };
+        let vars = cfd.reference();
+        assert!(vars.iter().all(|v| v.is_finite()));
+        assert!(vars[..cfd.n].iter().all(|&d| d > 0.0), "density positive");
+    }
+
+    #[test]
+    fn cfd_is_global_memory_heavy() {
+        let cfd = Cfd::new(Scale::Tiny);
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let stats = cfd.run(&mut gpu);
+        assert!(
+            stats.mem_mix.fraction(MemSpace::Global) > 0.9,
+            "global fraction {:.3}",
+            stats.mem_mix.fraction(MemSpace::Global)
+        );
+        // The unstructured gathers should consume real bandwidth.
+        assert!(stats.dram_bytes > 0);
+    }
+
+    #[test]
+    fn double_precision_costs_bandwidth_and_time() {
+        // The paper's performance-vs-precision trade-off: DP doubles the
+        // DRAM traffic of the variable arrays and runs the flux math at
+        // an eighth of the SP rate — while computing the same solution.
+        let sp = Cfd {
+            n: 1024,
+            iterations: 2,
+            variant: CfdVariant::RedundantFlux,
+            precision: CfdPrecision::Single,
+            seed: 3,
+        };
+        let dp = sp.clone().double_precision();
+        let mut g1 = Gpu::new(GpuConfig::gpgpusim_default());
+        let (s_sp, b_sp) = sp.launch(&mut g1);
+        let mut g2 = Gpu::new(GpuConfig::gpgpusim_default());
+        let (s_dp, b_dp) = dp.launch(&mut g2);
+        assert!(
+            s_dp.cycles > s_sp.cycles * 3 / 2,
+            "DP {} should be much slower than SP {}",
+            s_dp.cycles,
+            s_sp.cycles
+        );
+        // Coalesced streams double their traffic; the scattered
+        // neighbor gathers already fetched a full segment per lane at
+        // SP, so the aggregate rises by ~1.3-1.4x rather than 2x.
+        assert!(
+            s_dp.dram_bytes > s_sp.dram_bytes * 5 / 4,
+            "DP traffic {} vs SP {}",
+            s_dp.dram_bytes,
+            s_sp.dram_bytes
+        );
+        // Same solution: de-widen the DP buffer and compare.
+        let sp_out = g1.mem().read_f32(b_sp);
+        let dp_wide = g2.mem().read_f32(b_dp);
+        let dp_out: Vec<f32> = dp_wide.iter().step_by(2).copied().collect();
+        assert_eq!(sp_out, dp_out);
+    }
+
+    #[test]
+    fn redundant_variant_does_more_arithmetic() {
+        let mk = |variant| {
+            let cfd = Cfd {
+                n: 1024,
+                iterations: 1,
+                variant,
+                precision: CfdPrecision::Single,
+                seed: 2,
+            };
+            let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+            cfd.run(&mut gpu)
+        };
+        let red = mk(CfdVariant::RedundantFlux);
+        let pre = mk(CfdVariant::PrecomputedFlux);
+        assert!(red.thread_instructions > pre.thread_instructions);
+    }
+}

@@ -1,0 +1,270 @@
+//! Kmeans clustering
+//! (Table I: 204800 points × 34 features; Dense Linear Algebra dwarf,
+//! Data Mining).
+//!
+//! The Rodinia CUDA implementation binds the (feature-major, transposed)
+//! point array to **texture memory** and keeps the cluster centers in
+//! **constant memory**; membership assignment runs on the GPU and the
+//! center recomputation on the host. The texture working set per warp is
+//! small and reused across the cluster loop, so Kmeans barely responds to
+//! DRAM channel scaling (Figure 4) — the texture cache absorbs the
+//! traffic.
+
+use datasets::{mining, Scale};
+use simt::{BufF32, BufU32, Gpu, GridShape, Kernel, KernelStats, PhaseControl, WarpCtx};
+
+/// The Kmeans benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Kmeans {
+    /// Number of points.
+    pub n: usize,
+    /// Features per point (Table I: 34).
+    pub features: usize,
+    /// Number of clusters.
+    pub k: usize,
+    /// Lloyd iterations.
+    pub iterations: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Kmeans {
+    /// Standard instance for a scale.
+    pub fn new(scale: Scale) -> Kmeans {
+        Kmeans {
+            n: scale.pick(1024, 16_384, 204_800),
+            features: 34,
+            k: 5,
+            iterations: 2,
+            seed: 8,
+        }
+    }
+
+    /// Generates points in point-major layout (`n × features`).
+    pub fn points(&self) -> Vec<f32> {
+        mining::clustered_points(self.n, self.features, self.k, self.seed)
+    }
+
+    fn assign(&self, points: &[f32], centers: &[f32]) -> Vec<u32> {
+        let (n, f, k) = (self.n, self.features, self.k);
+        (0..n)
+            .map(|i| {
+                let mut best = 0u32;
+                let mut best_d = f32::INFINITY;
+                for c in 0..k {
+                    let mut d = 0.0f32;
+                    for j in 0..f {
+                        let diff = points[i * f + j] - centers[c * f + j];
+                        d += diff * diff;
+                    }
+                    if d < best_d {
+                        best_d = d;
+                        best = c as u32;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    fn recompute_centers(&self, points: &[f32], membership: &[u32]) -> Vec<f32> {
+        let (n, f, k) = (self.n, self.features, self.k);
+        let mut centers = vec![0.0f32; k * f];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = membership[i] as usize;
+            counts[c] += 1;
+            for j in 0..f {
+                centers[c * f + j] += points[i * f + j];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for j in 0..f {
+                    centers[c * f + j] /= counts[c] as f32;
+                }
+            }
+        }
+        centers
+    }
+
+    /// Sequential reference: returns final membership.
+    pub fn reference(&self) -> Vec<u32> {
+        let points = self.points();
+        // Initial centers = first k points, as in Rodinia.
+        let mut centers = points[..self.k * self.features].to_vec();
+        let mut membership = Vec::new();
+        for _ in 0..self.iterations {
+            membership = self.assign(&points, &centers);
+            centers = self.recompute_centers(&points, &membership);
+        }
+        membership
+    }
+
+    /// Runs on `gpu`; the assignment kernel executes per iteration, the
+    /// center update on the host (as in Rodinia).
+    pub fn launch(&self, gpu: &mut Gpu) -> (KernelStats, Vec<u32>) {
+        let points = self.points();
+        // Transposed (feature-major) copy for coalesced texture fetches.
+        let (n, f) = (self.n, self.features);
+        let mut tpoints = vec![0.0f32; n * f];
+        for i in 0..n {
+            for j in 0..f {
+                tpoints[j * n + i] = points[i * f + j];
+            }
+        }
+        let tex_points = gpu.mem_mut().alloc_f32("km-points-t", &tpoints);
+        let mut centers = points[..self.k * f].to_vec();
+        let membership_buf = gpu.mem_mut().alloc_u32_zeroed("km-membership", n);
+        let mut stats: Option<KernelStats> = None;
+        let mut membership = Vec::new();
+        for _ in 0..self.iterations {
+            let center_buf = gpu.mem_mut().alloc_f32("km-centers", &centers);
+            let kern = KmeansKernel {
+                points: tex_points,
+                centers: center_buf,
+                membership: membership_buf,
+                n,
+                features: f,
+                k: self.k,
+            };
+            let s = gpu.launch(&kern);
+            match &mut stats {
+                None => stats = Some(s),
+                Some(acc) => acc.merge(&s),
+            }
+            membership = gpu.mem().read_u32(membership_buf);
+            centers = self.recompute_centers(&points, &membership);
+        }
+        (stats.expect("at least one iteration"), membership)
+    }
+
+    /// Convenience wrapper returning only statistics.
+    pub fn run(&self, gpu: &mut Gpu) -> KernelStats {
+        self.launch(gpu).0
+    }
+}
+
+struct KmeansKernel {
+    points: BufF32,
+    centers: BufF32,
+    membership: BufU32,
+    n: usize,
+    features: usize,
+    k: usize,
+}
+
+impl Kernel for KmeansKernel {
+    fn name(&self) -> &str {
+        "kmeans-assign"
+    }
+
+    fn shape(&self) -> GridShape {
+        GridShape::cover(self.n, 256)
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let (n, f, k) = (self.n, self.features, self.k);
+        let tids = w.tids();
+        let in_range: Vec<bool> = tids.iter().map(|&t| t < n).collect();
+        let me = (self.points, self.centers, self.membership);
+        w.if_active(&in_range, |w| {
+            let (points, centers, membership) = me;
+            let ws = w.warp_size();
+            let mut d = vec![vec![0.0f32; ws]; k];
+            // Feature-outer, cluster-inner loop: each feature slab is
+            // re-read k times back-to-back while still texture-resident,
+            // which is what keeps Kmeans off the DRAM channels (the
+            // paper's Figure 4 observation).
+            for j in 0..f {
+                for (c, dc) in d.iter_mut().enumerate() {
+                    // Transposed layout: lane-consecutive texture fetch.
+                    let pv = w.ld_tex_f32(points, |_, tid| (tid < n).then_some(j * n + tid));
+                    let cv =
+                        w.ld_const_f32(centers, |_, tid| (tid < n).then_some(c * f + j));
+                    w.alu(6);
+                    for lane in 0..ws {
+                        let diff = pv[lane] - cv[lane];
+                        dc[lane] += diff * diff;
+                    }
+                }
+            }
+            let mut best = vec![0u32; ws];
+            let mut best_d = vec![f32::INFINITY; ws];
+            w.alu(2 * k as u32); // compare + select over clusters
+            for (c, dc) in d.iter().enumerate() {
+                for lane in 0..ws {
+                    if dc[lane] < best_d[lane] {
+                        best_d[lane] = dc[lane];
+                        best[lane] = c as u32;
+                    }
+                }
+            }
+            w.st_u32(membership, |lane, tid| {
+                (tid < n).then_some((tid, best[lane]))
+            });
+        });
+        PhaseControl::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt::{GpuConfig, MemSpace};
+
+    #[test]
+    fn matches_reference() {
+        let km = Kmeans {
+            n: 512,
+            features: 8,
+            k: 4,
+            iterations: 2,
+            seed: 3,
+        };
+        let want = km.reference();
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let (_, got) = km.launch(&mut gpu);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn memberships_respect_cluster_structure() {
+        // Points generated round-robin from k blobs: membership should
+        // be k-periodic for the overwhelming majority of points.
+        let km = Kmeans {
+            n: 600,
+            features: 6,
+            k: 3,
+            iterations: 4,
+            seed: 5,
+        };
+        let m = km.reference();
+        let agree = (0..km.n)
+            .filter(|&i| m[i] == m[i % km.k])
+            .count();
+        assert!(agree > km.n * 9 / 10, "only {agree}/{} consistent", km.n);
+    }
+
+    #[test]
+    fn texture_dominates_memory_mix() {
+        let km = Kmeans::new(Scale::Tiny);
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let stats = km.run(&mut gpu);
+        let mix = &stats.mem_mix;
+        assert!(
+            mix.fraction(MemSpace::Texture) > 0.4,
+            "tex fraction {:.3}",
+            mix.fraction(MemSpace::Texture)
+        );
+        assert!(mix.fraction(MemSpace::Global) < 0.1);
+        // Texture-cache reuse across the cluster loop keeps Kmeans off
+        // the DRAM channels.
+        assert!(
+            stats.tex_hits > stats.tex_misses,
+            "tex hits {} vs misses {}",
+            stats.tex_hits,
+            stats.tex_misses
+        );
+    }
+}

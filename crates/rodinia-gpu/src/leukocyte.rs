@@ -1,0 +1,559 @@
+//! Leukocyte Tracking: white-blood-cell detection in in-vivo microscopy
+//! (Table I: 219×640 pixels/frame; Structured Grid dwarf, Medical
+//! Imaging).
+//!
+//! The detection stage computes a GICOV (gradient inverse coefficient of
+//! variation) score per pixel by sampling the image-gradient field along
+//! candidate circles — sample offsets and trigonometric tables live in
+//! **constant memory** and the gradient field is fetched through the
+//! **texture cache** — followed by a grayscale dilation. Two versions
+//! reproduce Table III's incremental-optimization rows:
+//!
+//! * [`LeukocyteVersion::V1`]: separate GICOV and dilation kernels with
+//!   global-memory intermediates;
+//! * [`LeukocyteVersion::V2`]: a fused, ghost-zone kernel in the spirit
+//!   of the persistent-thread-block optimization of Boyer et al. — the
+//!   GICOV scores for a tile plus its dilation halo are (redundantly)
+//!   computed into shared memory and dilated in place, all but
+//!   eliminating global traffic (Table III reports v2 at 0.0% global).
+
+use datasets::{image, Scale};
+use simt::{BufF32, Gpu, GridShape, Kernel, KernelStats, PhaseControl, WarpCtx};
+
+/// Candidate circle directions sampled per pixel.
+const NDIR: usize = 7;
+/// Gradient samples per direction.
+const NSAMP: usize = 8;
+/// Dilation (structuring element) radius.
+const DILATE_R: usize = 3;
+/// Output tile edge for the fused v2 kernel.
+const TILE: usize = 16;
+/// v2 shared tile edge (tile + dilation halo).
+const HTILE: usize = TILE + 2 * DILATE_R;
+/// Padded shared-row stride for v2 (the +1 keeps the dilation's
+/// row-crossing accesses off a single bank — the classic padding trick).
+const HPAD: usize = HTILE + 1;
+/// Variance regularizer.
+const EPSILON: f32 = 1e-3;
+
+/// Which incremental version to run (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeukocyteVersion {
+    /// Separate kernels, global intermediates.
+    V1,
+    /// Fused ghost-zone kernel, shared intermediates.
+    V2,
+}
+
+/// The Leukocyte benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Leukocyte {
+    /// Frame width.
+    pub width: usize,
+    /// Frame height.
+    pub height: usize,
+    /// Number of synthetic cells in the frame.
+    pub cells: usize,
+    /// Version to run.
+    pub version: LeukocyteVersion,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Leukocyte {
+    /// Standard (v2) instance for a scale (Table I: 219×640).
+    pub fn new(scale: Scale) -> Leukocyte {
+        Leukocyte::v2(scale)
+    }
+
+    /// Version-1 instance.
+    pub fn v1(scale: Scale) -> Leukocyte {
+        Leukocyte {
+            width: scale.pick(80, 160, 640),
+            height: scale.pick(64, 128, 219),
+            cells: scale.pick(3, 8, 36),
+            version: LeukocyteVersion::V1,
+            seed: 23,
+        }
+    }
+
+    /// Version-2 instance.
+    pub fn v2(scale: Scale) -> Leukocyte {
+        Leukocyte {
+            version: LeukocyteVersion::V2,
+            ..Leukocyte::v1(scale)
+        }
+    }
+
+    /// Host-side preprocessing: gradient-magnitude field of the frame.
+    fn gradient(&self) -> Vec<f32> {
+        let (img, _) = image::cell_frame(self.width, self.height, self.cells, self.seed);
+        let (w, h) = (self.width, self.height);
+        let mut g = vec![0.0f32; w * h];
+        for r in 0..h {
+            for c in 0..w {
+                let e = img.at(r, c.min(w - 2) + 1);
+                let wst = img.at(r, c.max(1) - 1);
+                let s = img.at(r.min(h - 2) + 1, c);
+                let n = img.at(r.max(1) - 1, c);
+                g[r * w + c] = ((e - wst) * (e - wst) + (s - n) * (s - n)).sqrt();
+            }
+        }
+        g
+    }
+
+    /// Circle sample offsets `(dy, dx)` per direction (host-precomputed,
+    /// uploaded to constant memory like Rodinia's sin/cos tables).
+    fn sample_offsets(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(NDIR * NSAMP * 2);
+        for d in 0..NDIR {
+            let radius = 3.0 + d as f32;
+            for s in 0..NSAMP {
+                let theta = s as f32 / NSAMP as f32 * std::f32::consts::TAU;
+                out.push((radius * theta.sin()).round());
+                out.push((radius * theta.cos()).round());
+            }
+        }
+        out
+    }
+
+    /// GICOV score at one pixel (shared by kernels and reference).
+    fn gicov_at(grad: &[f32], w: usize, h: usize, r: usize, c: usize, offs: &[f32]) -> f32 {
+        let mut best = 0.0f32;
+        for d in 0..NDIR {
+            let mut sum = 0.0f32;
+            let mut sum2 = 0.0f32;
+            for s in 0..NSAMP {
+                let dy = offs[(d * NSAMP + s) * 2] as isize;
+                let dx = offs[(d * NSAMP + s) * 2 + 1] as isize;
+                let rr = (r as isize + dy).clamp(0, h as isize - 1) as usize;
+                let cc = (c as isize + dx).clamp(0, w as isize - 1) as usize;
+                let g = grad[rr * w + cc];
+                sum += g;
+                sum2 += g * g;
+            }
+            let mean = sum / NSAMP as f32;
+            let var = sum2 / NSAMP as f32 - mean * mean;
+            let score = mean * mean / (var + EPSILON);
+            if score > best {
+                best = score;
+            }
+        }
+        best
+    }
+
+    /// Grayscale dilation of `src` with a square structuring element.
+    fn dilate_at(src: &[f32], w: usize, h: usize, r: usize, c: usize) -> f32 {
+        let mut m = 0.0f32;
+        for dy in -(DILATE_R as isize)..=(DILATE_R as isize) {
+            for dx in -(DILATE_R as isize)..=(DILATE_R as isize) {
+                let rr = (r as isize + dy).clamp(0, h as isize - 1) as usize;
+                let cc = (c as isize + dx).clamp(0, w as isize - 1) as usize;
+                m = m.max(src[rr * w + cc]);
+            }
+        }
+        m
+    }
+
+    /// Sequential reference: the dilated GICOV field.
+    pub fn reference(&self) -> Vec<f32> {
+        let grad = self.gradient();
+        let offs = self.sample_offsets();
+        let (w, h) = (self.width, self.height);
+        let mut gicov = vec![0.0f32; w * h];
+        for r in 0..h {
+            for c in 0..w {
+                gicov[r * w + c] = Self::gicov_at(&grad, w, h, r, c, &offs);
+            }
+        }
+        let mut out = vec![0.0f32; w * h];
+        for r in 0..h {
+            for c in 0..w {
+                out[r * w + c] = Self::dilate_at(&gicov, w, h, r, c);
+            }
+        }
+        out
+    }
+
+    /// Runs detection on `gpu`; returns stats and the dilated GICOV
+    /// buffer.
+    pub fn launch(&self, gpu: &mut Gpu) -> (KernelStats, BufF32) {
+        let grad = self.gradient();
+        let offs = self.sample_offsets();
+        let (w, h) = (self.width, self.height);
+        let grad_buf = gpu.mem_mut().alloc_f32("lc-grad", &grad);
+        let offs_buf = gpu.mem_mut().alloc_f32("lc-offsets", &offs);
+        let out_buf = gpu.mem_mut().alloc_f32_zeroed("lc-out", w * h);
+        let stats = match self.version {
+            LeukocyteVersion::V1 => {
+                let gicov_buf = gpu.mem_mut().alloc_f32_zeroed("lc-gicov", w * h);
+                let k1 = GicovKernel {
+                    grad: grad_buf,
+                    offs: offs_buf,
+                    gicov: gicov_buf,
+                    w,
+                    h,
+                };
+                let mut s = gpu.launch(&k1);
+                let k2 = DilateKernel {
+                    gicov: gicov_buf,
+                    out: out_buf,
+                    w,
+                    h,
+                };
+                s.merge(&gpu.launch(&k2));
+                s
+            }
+            LeukocyteVersion::V2 => {
+                let k = FusedKernel {
+                    grad: grad_buf,
+                    offs: offs_buf,
+                    out: out_buf,
+                    w,
+                    h,
+                };
+                gpu.launch(&k)
+            }
+        };
+        (stats, out_buf)
+    }
+
+    /// Convenience wrapper returning only statistics.
+    pub fn run(&self, gpu: &mut Gpu) -> KernelStats {
+        self.launch(gpu).0
+    }
+}
+
+/// Emits the GICOV computation for the given pixel of each lane:
+/// texture fetches of the gradient, constant loads of the offset tables,
+/// and the score arithmetic. Returns per-lane scores.
+fn warp_gicov(
+    w: &mut WarpCtx<'_>,
+    grad: BufF32,
+    offs: BufF32,
+    width: usize,
+    height: usize,
+    pixel: &[Option<(usize, usize)>],
+) -> Vec<f32> {
+    let ws = w.warp_size();
+    let mut best = vec![0.0f32; ws];
+    for d in 0..NDIR {
+        let mut sum = vec![0.0f32; ws];
+        let mut sum2 = vec![0.0f32; ws];
+        for s in 0..NSAMP {
+            let oy = w.ld_const_f32(offs, |lane, _| {
+                pixel[lane].map(|_| (d * NSAMP + s) * 2)
+            });
+            let ox = w.ld_const_f32(offs, |lane, _| {
+                pixel[lane].map(|_| (d * NSAMP + s) * 2 + 1)
+            });
+            let g = w.ld_tex_f32(grad, |lane, _| {
+                pixel[lane].map(|(r, c)| {
+                    let rr = (r as isize + oy[lane] as isize).clamp(0, height as isize - 1);
+                    let cc = (c as isize + ox[lane] as isize).clamp(0, width as isize - 1);
+                    rr as usize * width + cc as usize
+                })
+            });
+            w.alu(8);
+            for lane in 0..ws {
+                sum[lane] += g[lane];
+                sum2[lane] += g[lane] * g[lane];
+            }
+        }
+        w.alu(6);
+        w.sfu(2);
+        for lane in 0..ws {
+            let mean = sum[lane] / NSAMP as f32;
+            let var = sum2[lane] / NSAMP as f32 - mean * mean;
+            let score = mean * mean / (var + EPSILON);
+            if score > best[lane] {
+                best[lane] = score;
+            }
+        }
+    }
+    best
+}
+
+struct GicovKernel {
+    grad: BufF32,
+    offs: BufF32,
+    gicov: BufF32,
+    w: usize,
+    h: usize,
+}
+
+impl Kernel for GicovKernel {
+    fn name(&self) -> &str {
+        "lc-gicov-v1"
+    }
+
+    fn shape(&self) -> GridShape {
+        GridShape::cover(self.w * self.h, 256)
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let (width, height) = (self.w, self.h);
+        let total = width * height;
+        let pixel: Vec<Option<(usize, usize)>> = w
+            .tids()
+            .iter()
+            .map(|&t| (t < total).then(|| (t / width, t % width)))
+            .collect();
+        let active: Vec<bool> = pixel.iter().map(Option::is_some).collect();
+        let me = (self.grad, self.offs, self.gicov);
+        w.if_active(&active, |w| {
+            let (grad, offs, gicov) = me;
+            let best = warp_gicov(w, grad, offs, width, height, &pixel);
+            w.st_f32(gicov, |lane, tid| {
+                (tid < total).then_some((tid, best[lane]))
+            });
+        });
+        PhaseControl::Done
+    }
+}
+
+struct DilateKernel {
+    gicov: BufF32,
+    out: BufF32,
+    w: usize,
+    h: usize,
+}
+
+impl Kernel for DilateKernel {
+    fn name(&self) -> &str {
+        "lc-dilate-v1"
+    }
+
+    fn shape(&self) -> GridShape {
+        GridShape::cover(self.w * self.h, 256)
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let (width, height) = (self.w, self.h);
+        let total = width * height;
+        let pixel: Vec<Option<(usize, usize)>> = w
+            .tids()
+            .iter()
+            .map(|&t| (t < total).then(|| (t / width, t % width)))
+            .collect();
+        let active: Vec<bool> = pixel.iter().map(Option::is_some).collect();
+        let me = (self.gicov, self.out);
+        w.if_active(&active, |w| {
+            let (gicov, out) = me;
+            let ws = w.warp_size();
+            let mut m = vec![0.0f32; ws];
+            for dy in -(DILATE_R as isize)..=(DILATE_R as isize) {
+                for dx in -(DILATE_R as isize)..=(DILATE_R as isize) {
+                    // The structuring element sweeps through the texture
+                    // cache (Rodinia binds the GICOV matrix to a texture).
+                    let v = w.ld_tex_f32(gicov, |lane, _| {
+                        pixel[lane].map(|(r, c)| {
+                            let rr = (r as isize + dy).clamp(0, height as isize - 1);
+                            let cc = (c as isize + dx).clamp(0, width as isize - 1);
+                            rr as usize * width + cc as usize
+                        })
+                    });
+                    w.alu(1);
+                    for lane in 0..ws {
+                        m[lane] = m[lane].max(v[lane]);
+                    }
+                }
+            }
+            w.st_f32(out, |lane, tid| (tid < total).then_some((tid, m[lane])));
+        });
+        PhaseControl::Done
+    }
+}
+
+/// v2: fused ghost-zone kernel. Each block computes GICOV for its
+/// TILE×TILE output tile *plus* the dilation halo into shared memory
+/// (redundantly with neighboring blocks), then dilates from shared.
+struct FusedKernel {
+    grad: BufF32,
+    offs: BufF32,
+    out: BufF32,
+    w: usize,
+    h: usize,
+}
+
+impl Kernel for FusedKernel {
+    fn name(&self) -> &str {
+        "lc-fused-v2"
+    }
+
+    fn shape(&self) -> GridShape {
+        let tiles_x = self.w.div_ceil(TILE);
+        let tiles_y = self.h.div_ceil(TILE);
+        GridShape::new(tiles_x * tiles_y, TILE * TILE)
+    }
+
+    fn shared_f32_words(&self) -> usize {
+        HTILE * HPAD
+    }
+
+    fn regs_per_thread(&self) -> u32 {
+        24
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let (width, height) = (self.w, self.h);
+        let tiles_x = width.div_ceil(TILE);
+        let (tile_r, tile_c) = (w.block() / tiles_x, w.block() % tiles_x);
+        let (row0, col0) = (tile_r * TILE, tile_c * TILE);
+        let ltids = w.ltids();
+        // Halo-tile linear index -> clamped image pixel.
+        let pixel_of = move |hidx: usize| -> (usize, usize) {
+            let hr = hidx / HTILE;
+            let hc = hidx % HTILE;
+            let r = (row0 + hr).saturating_sub(DILATE_R).min(height - 1);
+            let c = (col0 + hc).saturating_sub(DILATE_R).min(width - 1);
+            (r, c)
+        };
+        match w.phase() {
+            0 => {
+                // Compute GICOV for every halo-tile cell, 256 threads
+                // sweeping HTILE² cells in rounds.
+                let rounds = (HTILE * HTILE).div_ceil(TILE * TILE);
+                let me = (self.grad, self.offs);
+                for round in 0..rounds {
+                    let base = round * TILE * TILE;
+                    let pixel: Vec<Option<(usize, usize)>> = ltids
+                        .iter()
+                        .map(|&l| {
+                            let h = base + l;
+                            (h < HTILE * HTILE).then(|| pixel_of(h))
+                        })
+                        .collect();
+                    let active: Vec<bool> = pixel.iter().map(Option::is_some).collect();
+                    let lt = ltids.clone();
+                    let px = pixel.clone();
+                    w.if_active(&active, |w| {
+                        let (grad, offs) = me;
+                        let best = warp_gicov(w, grad, offs, width, height, &px);
+                        w.sh_st_f32(|lane, _| {
+                            let h = base + lt[lane];
+                            (h < HTILE * HTILE)
+                                .then_some((h / HTILE * HPAD + h % HTILE, best[lane]))
+                        });
+                    });
+                }
+                PhaseControl::Continue
+            }
+            _ => {
+                // Dilate from shared memory; one global store per output
+                // pixel is the kernel's only global traffic.
+                let in_img: Vec<bool> = ltids
+                    .iter()
+                    .map(|&l| row0 + l / TILE < height && col0 + l % TILE < width)
+                    .collect();
+                let out = self.out;
+                let lt = ltids.clone();
+                w.if_active(&in_img, |w| {
+                    let ws = w.warp_size();
+                    let mut m = vec![0.0f32; ws];
+                    for dy in 0..(2 * DILATE_R + 1) {
+                        for dx in 0..(2 * DILATE_R + 1) {
+                            let v = w.sh_ld_f32(|lane, _| {
+                                let l = lt[lane];
+                                Some((l / TILE + dy) * HPAD + (l % TILE + dx))
+                            });
+                            w.alu(1);
+                            for lane in 0..ws {
+                                m[lane] = m[lane].max(v[lane]);
+                            }
+                        }
+                    }
+                    w.st_f32(out, |lane, _| {
+                        let l = lt[lane];
+                        let (r, c) = (row0 + l / TILE, col0 + l % TILE);
+                        (r < height && c < width).then_some((r * width + c, m[lane]))
+                    });
+                });
+                PhaseControl::Done
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refimpl::max_abs_diff;
+    use simt::{GpuConfig, MemSpace};
+
+    fn run_version(version: LeukocyteVersion) -> Vec<f32> {
+        let lc = Leukocyte {
+            width: 48,
+            height: 32,
+            cells: 2,
+            version,
+            seed: 6,
+        };
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let (_, out) = lc.launch(&mut gpu);
+        gpu.mem().read_f32(out)
+    }
+
+    #[test]
+    fn v1_matches_reference() {
+        let lc = Leukocyte {
+            width: 48,
+            height: 32,
+            cells: 2,
+            version: LeukocyteVersion::V1,
+            seed: 6,
+        };
+        let want = lc.reference();
+        assert!(max_abs_diff(&want, &run_version(LeukocyteVersion::V1)) < 1e-4);
+    }
+
+    #[test]
+    fn v2_matches_v1() {
+        assert_eq!(run_version(LeukocyteVersion::V1), run_version(LeukocyteVersion::V2));
+    }
+
+    #[test]
+    fn gicov_peaks_near_cell_edges() {
+        let lc = Leukocyte {
+            width: 64,
+            height: 48,
+            cells: 1,
+            version: LeukocyteVersion::V1,
+            seed: 9,
+        };
+        let out = lc.reference();
+        let (img, centers) = image::cell_frame(lc.width, lc.height, lc.cells, lc.seed);
+        let _ = img;
+        let (cr, cc) = centers[0];
+        // The dilated GICOV near the cell should exceed the response in
+        // the opposite corner of the frame.
+        let near = out[cr * lc.width + cc];
+        let far = out[(lc.height - 1 - cr) * lc.width + (lc.width - 1 - cc)];
+        assert!(near > far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn table3_shape_v2_cuts_global_and_lifts_ipc() {
+        let mut g1 = Gpu::new(GpuConfig::gpgpusim_default());
+        let s1 = Leukocyte::v1(Scale::Tiny).run(&mut g1);
+        let mut g2 = Gpu::new(GpuConfig::gpgpusim_default());
+        let s2 = Leukocyte::v2(Scale::Tiny).run(&mut g2);
+        let g_frac1 = s1.mem_mix.fraction(MemSpace::Global);
+        let g_frac2 = s2.mem_mix.fraction(MemSpace::Global);
+        assert!(g_frac2 < g_frac1, "v2 global {g_frac2:.3} !< v1 {g_frac1:.3}");
+        assert!(g_frac2 < 0.02, "v2 global should be near zero: {g_frac2:.4}");
+        // Constant memory dominates both (Table III).
+        assert!(s1.mem_mix.fraction(MemSpace::Constant) > 0.4);
+        // The paper's headline v2 effect: bandwidth demand collapses
+        // (8% -> 3% utilization in Table III). The small IPC gain the
+        // paper also reports is not reproduced — this model's stores
+        // are fire-and-forget, so v1 pays no write latency to begin
+        // with (see EXPERIMENTS.md).
+        assert!(
+            s2.bw_utilization() < s1.bw_utilization(),
+            "v2 BW {:.3} !< v1 {:.3}",
+            s2.bw_utilization(),
+            s1.bw_utilization()
+        );
+    }
+}

@@ -1,0 +1,613 @@
+//! LU Decomposition: blocked, in-place Doolittle factorization
+//! (Table I: 256×256 data points; Dense Linear Algebra dwarf).
+//!
+//! The paper added LUD to Rodinia precisely for its "significant
+//! inter-thread sharing and row and column dependencies": the blocked
+//! algorithm serializes over diagonal steps, and early/late steps launch
+//! tiny grids, which caps IPC and scalability (Figure 1 shows LUD among
+//! the benchmarks that do *not* scale from 8 to 28 shaders).
+//!
+//! Three kernels per diagonal step, as in Rodinia:
+//! * `lud_diagonal` — one block factors the diagonal tile in shared
+//!   memory (16 dependent elimination phases);
+//! * `lud_perimeter` — row panels get `L⁻¹ ×` solves, column panels get
+//!   `× U⁻¹` solves, both against the shared diagonal tile;
+//! * `lud_internal` — the trailing submatrix receives a 16-term
+//!   rank-update from shared panel tiles (the only high-parallelism
+//!   kernel of the three).
+
+use datasets::{matrix, Scale};
+use simt::{BufF32, Gpu, GridShape, Kernel, KernelStats, PhaseControl, WarpCtx};
+
+const TILE: usize = 16;
+
+/// Which incremental LUD implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LudVersion {
+    /// Unblocked right-looking elimination: two global-memory kernels
+    /// per step (the "before" point of the incremental-optimization
+    /// road map).
+    Naive,
+    /// The shipping Rodinia scheme: blocked diagonal/perimeter/internal
+    /// kernels with shared-memory tiles.
+    Blocked,
+}
+
+/// The LU Decomposition benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Lud {
+    /// Matrix edge length (multiple of 16).
+    pub n: usize,
+    /// Implementation version.
+    pub version: LudVersion,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Lud {
+    /// Standard (blocked) instance (Table I uses 256×256 at every scale
+    /// but Tiny).
+    pub fn new(scale: Scale) -> Lud {
+        Lud {
+            n: scale.pick(64, 256, 256),
+            version: LudVersion::Blocked,
+            seed: 17,
+        }
+    }
+
+    /// Naive-version instance for the incremental-optimization study.
+    pub fn naive(scale: Scale) -> Lud {
+        Lud {
+            version: LudVersion::Naive,
+            ..Lud::new(scale)
+        }
+    }
+
+    /// Sequential in-place Doolittle reference; returns the packed LU
+    /// matrix (unit L below the diagonal, U on and above).
+    pub fn reference(&self, a: &[f32]) -> Vec<f32> {
+        let n = self.n;
+        let mut m = a.to_vec();
+        for k in 0..n {
+            for i in (k + 1)..n {
+                m[i * n + k] /= m[k * n + k];
+                for j in (k + 1)..n {
+                    m[i * n + j] -= m[i * n + k] * m[k * n + j];
+                }
+            }
+        }
+        m
+    }
+
+    /// Reconstructs `L·U` from a packed LU matrix (for validation).
+    pub fn reconstruct(&self, lu: &[f32]) -> Vec<f32> {
+        let n = self.n;
+        let mut out = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0f64 } else { lu[i * n + k] as f64 };
+                    s += l * lu[k * n + j] as f64;
+                }
+                out[i * n + j] = s as f32;
+            }
+        }
+        out
+    }
+
+    /// Runs the blocked factorization on `gpu`.
+    pub fn launch(&self, gpu: &mut Gpu) -> (KernelStats, BufF32) {
+        assert!(self.n.is_multiple_of(TILE), "n must be a multiple of 16");
+        let a = matrix::diag_dominant_matrix(self.n, self.seed);
+        let buf = gpu.mem_mut().alloc_f32("lud-a", &a);
+        let nb = self.n / TILE;
+        let mut stats: Option<KernelStats> = None;
+        let push = |s: KernelStats, stats: &mut Option<KernelStats>| match stats {
+            None => *stats = Some(s),
+            Some(acc) => acc.merge(&s),
+        };
+        if self.version == LudVersion::Naive {
+            for k in 0..self.n - 1 {
+                push(
+                    gpu.launch(&LudNaiveDiv {
+                        a: buf,
+                        n: self.n,
+                        k,
+                    }),
+                    &mut stats,
+                );
+                push(
+                    gpu.launch(&LudNaiveUpdate {
+                        a: buf,
+                        n: self.n,
+                        k,
+                    }),
+                    &mut stats,
+                );
+            }
+            return (stats.expect("kernels launched"), buf);
+        }
+        for b in 0..nb {
+            push(
+                gpu.launch(&LudDiagonal {
+                    a: buf,
+                    n: self.n,
+                    b,
+                }),
+                &mut stats,
+            );
+            if b + 1 < nb {
+                push(
+                    gpu.launch(&LudPerimeter {
+                        a: buf,
+                        n: self.n,
+                        b,
+                    }),
+                    &mut stats,
+                );
+                push(
+                    gpu.launch(&LudInternal {
+                        a: buf,
+                        n: self.n,
+                        b,
+                    }),
+                    &mut stats,
+                );
+            }
+        }
+        (stats.expect("kernels launched"), buf)
+    }
+
+    /// Convenience wrapper returning only statistics.
+    pub fn run(&self, gpu: &mut Gpu) -> KernelStats {
+        self.launch(gpu).0
+    }
+}
+
+/// Naive step 1: divide column `k` below the pivot (global memory).
+struct LudNaiveDiv {
+    a: BufF32,
+    n: usize,
+    k: usize,
+}
+
+impl Kernel for LudNaiveDiv {
+    fn name(&self) -> &str {
+        "lud-naive-div"
+    }
+
+    fn shape(&self) -> GridShape {
+        GridShape::cover(self.n - self.k - 1, 64)
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let (n, k) = (self.n, self.k);
+        let rows = n - k - 1;
+        let in_range: Vec<bool> = w.tids().iter().map(|&t| t < rows).collect();
+        let a = self.a;
+        w.if_active(&in_range, |w| {
+            let row = |tid: usize| k + 1 + tid;
+            let v = w.ld_f32(a, |_, t| (t < rows).then(|| row(t) * n + k));
+            let piv = w.ld_f32(a, |_, t| (t < rows).then_some(k * n + k));
+            w.sfu(1);
+            let ws = w.warp_size();
+            let out: Vec<f32> = (0..ws).map(|l| v[l] / piv[l]).collect();
+            w.st_f32(a, |lane, t| (t < rows).then(|| (row(t) * n + k, out[lane])));
+        });
+        PhaseControl::Done
+    }
+}
+
+/// Naive step 2: rank-1 update of the trailing submatrix (global
+/// memory; the column reads are uncoalesced, which is exactly what the
+/// blocked version fixes).
+struct LudNaiveUpdate {
+    a: BufF32,
+    n: usize,
+    k: usize,
+}
+
+impl Kernel for LudNaiveUpdate {
+    fn name(&self) -> &str {
+        "lud-naive-update"
+    }
+
+    fn shape(&self) -> GridShape {
+        let rem = self.n - self.k - 1;
+        GridShape::cover(rem * rem, 256)
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let (n, k) = (self.n, self.k);
+        let rem = n - k - 1;
+        let total = rem * rem;
+        let in_range: Vec<bool> = w.tids().iter().map(|&t| t < total).collect();
+        let a = self.a;
+        w.if_active(&in_range, |w| {
+            let cell = |tid: usize| (k + 1 + tid / rem, k + 1 + tid % rem);
+            let aij = w.ld_f32(a, |_, t| {
+                (t < total).then(|| {
+                    let (i, j) = cell(t);
+                    i * n + j
+                })
+            });
+            let lik = w.ld_f32(a, |_, t| {
+                (t < total).then(|| {
+                    let (i, _) = cell(t);
+                    i * n + k
+                })
+            });
+            let ukj = w.ld_f32(a, |_, t| {
+                (t < total).then(|| {
+                    let (_, j) = cell(t);
+                    k * n + j
+                })
+            });
+            w.alu(6);
+            let ws = w.warp_size();
+            let out: Vec<f32> = (0..ws).map(|l| aij[l] - lik[l] * ukj[l]).collect();
+            w.st_f32(a, |lane, t| {
+                (t < total).then(|| {
+                    let (i, j) = cell(t);
+                    (i * n + j, out[lane])
+                })
+            });
+        });
+        PhaseControl::Done
+    }
+}
+
+/// Lane decomposition shared by the three kernels: 256 threads as a
+/// 16×16 (row, col) tile.
+fn tile_coords(ltids: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let ty = ltids.iter().map(|&l| l / TILE).collect();
+    let tx = ltids.iter().map(|&l| l % TILE).collect();
+    (ty, tx)
+}
+
+struct LudDiagonal {
+    a: BufF32,
+    n: usize,
+    b: usize,
+}
+
+impl Kernel for LudDiagonal {
+    fn name(&self) -> &str {
+        "lud-diagonal"
+    }
+
+    fn shape(&self) -> GridShape {
+        GridShape::new(1, TILE * TILE)
+    }
+
+    fn shared_f32_words(&self) -> usize {
+        TILE * TILE
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let (n, off) = (self.n, self.b * TILE);
+        let (ty, tx) = tile_coords(&w.ltids());
+        match w.phase() {
+            0 => {
+                let a = self.a;
+                let v = w.ld_f32(a, |lane, _| Some((off + ty[lane]) * n + off + tx[lane]));
+                w.sh_st_f32(|lane, _| Some((ty[lane] * TILE + tx[lane], v[lane])));
+                PhaseControl::Continue
+            }
+            p @ 1..=TILE => {
+                let k = p - 1;
+                // Divide column k below the pivot.
+                let div_lanes: Vec<bool> = ty
+                    .iter()
+                    .zip(&tx)
+                    .map(|(&y, &x)| x == k && y > k)
+                    .collect();
+                let (tyv, txv) = (ty.clone(), tx.clone());
+                w.if_active(&div_lanes, |w| {
+                    let val = w.sh_ld_f32(|lane, _| Some(tyv[lane] * TILE + k));
+                    let piv = w.sh_ld_f32(|_, _| Some(k * TILE + k));
+                    w.sfu(1);
+                    w.sh_st_f32(|lane, _| {
+                        Some((tyv[lane] * TILE + k, val[lane] / piv[lane]))
+                    });
+                });
+                // Rank-1 update of the trailing tile.
+                let upd_lanes: Vec<bool> = ty
+                    .iter()
+                    .zip(&tx)
+                    .map(|(&y, &x)| y > k && x > k)
+                    .collect();
+                let (tyv, txv2) = (ty.clone(), txv);
+                w.if_active(&upd_lanes, |w| {
+                    let aij = w.sh_ld_f32(|lane, _| Some(tyv[lane] * TILE + txv2[lane]));
+                    let lik = w.sh_ld_f32(|lane, _| Some(tyv[lane] * TILE + k));
+                    let ukj = w.sh_ld_f32(|lane, _| Some(k * TILE + txv2[lane]));
+                    w.alu(2);
+                    w.sh_st_f32(|lane, _| {
+                        Some((
+                            tyv[lane] * TILE + txv2[lane],
+                            aij[lane] - lik[lane] * ukj[lane],
+                        ))
+                    });
+                });
+                PhaseControl::Continue
+            }
+            _ => {
+                let v = w.sh_ld_f32(|lane, _| Some(ty[lane] * TILE + tx[lane]));
+                w.st_f32(self.a, |lane, _| {
+                    Some(((off + ty[lane]) * n + off + tx[lane], v[lane]))
+                });
+                PhaseControl::Done
+            }
+        }
+    }
+}
+
+struct LudPerimeter {
+    a: BufF32,
+    n: usize,
+    b: usize,
+}
+
+impl Kernel for LudPerimeter {
+    fn name(&self) -> &str {
+        "lud-perimeter"
+    }
+
+    fn shape(&self) -> GridShape {
+        let nb = self.n / TILE;
+        GridShape::new(2 * (nb - self.b - 1), TILE * TILE)
+    }
+
+    fn shared_f32_words(&self) -> usize {
+        2 * TILE * TILE // diagonal tile + panel tile
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let (n, off) = (self.n, self.b * TILE);
+        let nb = self.n / TILE;
+        let panels = nb - self.b - 1;
+        let is_row_panel = w.block() < panels;
+        let panel_idx = w.block() % panels;
+        // Row panel (off, c): tile origin (off, c0); col panel: (r0, off).
+        let (pr0, pc0) = if is_row_panel {
+            (off, off + (panel_idx + 1) * TILE)
+        } else {
+            (off + (panel_idx + 1) * TILE, off)
+        };
+        const DIAG0: usize = 0;
+        const PANEL0: usize = TILE * TILE;
+        let (ty, tx) = tile_coords(&w.ltids());
+        match w.phase() {
+            0 => {
+                let a = self.a;
+                let d = w.ld_f32(a, |lane, _| Some((off + ty[lane]) * n + off + tx[lane]));
+                w.sh_st_f32(|lane, _| Some((DIAG0 + ty[lane] * TILE + tx[lane], d[lane])));
+                let p = w.ld_f32(a, |lane, _| Some((pr0 + ty[lane]) * n + pc0 + tx[lane]));
+                w.sh_st_f32(|lane, _| Some((PANEL0 + ty[lane] * TILE + tx[lane], p[lane])));
+                PhaseControl::Continue
+            }
+            p @ 1..=TILE => {
+                let k = p - 1;
+                let (tyv, txv) = (ty.clone(), tx.clone());
+                if is_row_panel {
+                    // panel[i][j] -= L_diag[i][k] * panel[k][j], i > k.
+                    let act: Vec<bool> = ty.iter().map(|&y| y > k).collect();
+                    w.if_active(&act, |w| {
+                        let pij =
+                            w.sh_ld_f32(|lane, _| Some(PANEL0 + tyv[lane] * TILE + txv[lane]));
+                        let lik = w.sh_ld_f32(|lane, _| Some(DIAG0 + tyv[lane] * TILE + k));
+                        let pkj = w.sh_ld_f32(|lane, _| Some(PANEL0 + k * TILE + txv[lane]));
+                        w.alu(2);
+                        w.sh_st_f32(|lane, _| {
+                            Some((
+                                PANEL0 + tyv[lane] * TILE + txv[lane],
+                                pij[lane] - lik[lane] * pkj[lane],
+                            ))
+                        });
+                    });
+                } else {
+                    // Divide column k, then update columns j > k.
+                    let div: Vec<bool> = tx.iter().map(|&x| x == k).collect();
+                    let tyv2 = tyv.clone();
+                    w.if_active(&div, |w| {
+                        let pik = w.sh_ld_f32(|lane, _| Some(PANEL0 + tyv2[lane] * TILE + k));
+                        let ukk = w.sh_ld_f32(|_, _| Some(DIAG0 + k * TILE + k));
+                        w.sfu(1);
+                        w.sh_st_f32(|lane, _| {
+                            Some((PANEL0 + tyv2[lane] * TILE + k, pik[lane] / ukk[lane]))
+                        });
+                    });
+                    let upd: Vec<bool> = tx.iter().map(|&x| x > k).collect();
+                    w.if_active(&upd, |w| {
+                        let pij =
+                            w.sh_ld_f32(|lane, _| Some(PANEL0 + tyv[lane] * TILE + txv[lane]));
+                        let pik = w.sh_ld_f32(|lane, _| Some(PANEL0 + tyv[lane] * TILE + k));
+                        let ukj = w.sh_ld_f32(|lane, _| Some(DIAG0 + k * TILE + txv[lane]));
+                        w.alu(2);
+                        w.sh_st_f32(|lane, _| {
+                            Some((
+                                PANEL0 + tyv[lane] * TILE + txv[lane],
+                                pij[lane] - pik[lane] * ukj[lane],
+                            ))
+                        });
+                    });
+                }
+                PhaseControl::Continue
+            }
+            _ => {
+                let v = w.sh_ld_f32(|lane, _| Some(PANEL0 + ty[lane] * TILE + tx[lane]));
+                w.st_f32(self.a, |lane, _| {
+                    Some(((pr0 + ty[lane]) * n + pc0 + tx[lane], v[lane]))
+                });
+                PhaseControl::Done
+            }
+        }
+    }
+}
+
+struct LudInternal {
+    a: BufF32,
+    n: usize,
+    b: usize,
+}
+
+impl Kernel for LudInternal {
+    fn name(&self) -> &str {
+        "lud-internal"
+    }
+
+    fn shape(&self) -> GridShape {
+        let rem = self.n / TILE - self.b - 1;
+        GridShape::new(rem * rem, TILE * TILE)
+    }
+
+    fn shared_f32_words(&self) -> usize {
+        2 * TILE * TILE // L panel tile + U panel tile
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let (n, off) = (self.n, self.b * TILE);
+        let rem = self.n / TILE - self.b - 1;
+        let (br, bc) = (w.block() / rem, w.block() % rem);
+        let r0 = off + (br + 1) * TILE;
+        let c0 = off + (bc + 1) * TILE;
+        const L0: usize = 0;
+        const U0: usize = TILE * TILE;
+        let (ty, tx) = tile_coords(&w.ltids());
+        match w.phase() {
+            0 => {
+                let a = self.a;
+                let l = w.ld_f32(a, |lane, _| Some((r0 + ty[lane]) * n + off + tx[lane]));
+                w.sh_st_f32(|lane, _| Some((L0 + ty[lane] * TILE + tx[lane], l[lane])));
+                let u = w.ld_f32(a, |lane, _| Some((off + ty[lane]) * n + c0 + tx[lane]));
+                w.sh_st_f32(|lane, _| Some((U0 + ty[lane] * TILE + tx[lane], u[lane])));
+                PhaseControl::Continue
+            }
+            _ => {
+                let a = self.a;
+                let mut acc = vec![0.0f32; w.warp_size()];
+                for k in 0..TILE {
+                    let l = w.sh_ld_f32(|lane, _| Some(L0 + ty[lane] * TILE + k));
+                    let u = w.sh_ld_f32(|lane, _| Some(U0 + k * TILE + tx[lane]));
+                    w.alu(2);
+                    for lane in 0..acc.len() {
+                        acc[lane] += l[lane] * u[lane];
+                    }
+                }
+                let own = w.ld_f32(a, |lane, _| Some((r0 + ty[lane]) * n + c0 + tx[lane]));
+                w.alu(1);
+                w.st_f32(a, |lane, _| {
+                    Some(((r0 + ty[lane]) * n + c0 + tx[lane], own[lane] - acc[lane]))
+                });
+                PhaseControl::Done
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refimpl::max_rel_diff;
+    use simt::GpuConfig;
+
+    #[test]
+    fn blocked_matches_sequential() {
+        let lud = Lud {
+            n: 64,
+            version: LudVersion::Blocked,
+            seed: 2,
+        };
+        let a = matrix::diag_dominant_matrix(lud.n, lud.seed);
+        let want = lud.reference(&a);
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let (_, buf) = lud.launch(&mut gpu);
+        let got = gpu.mem().read_f32(buf);
+        assert!(
+            max_rel_diff(&want, &got) < 1e-3,
+            "blocked LU differs: {}",
+            max_rel_diff(&want, &got)
+        );
+    }
+
+    #[test]
+    fn reconstruction_recovers_input() {
+        let lud = Lud {
+            n: 48,
+            version: LudVersion::Blocked,
+            seed: 6,
+        };
+        let a = matrix::diag_dominant_matrix(lud.n, lud.seed);
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let (_, buf) = lud.launch(&mut gpu);
+        let lu = gpu.mem().read_f32(buf);
+        let back = lud.reconstruct(&lu);
+        assert!(
+            max_rel_diff(&a, &back) < 1e-3,
+            "L*U must reproduce A, diff {}",
+            max_rel_diff(&a, &back)
+        );
+    }
+
+    #[test]
+    fn reference_reconstructs_too() {
+        let lud = Lud {
+            n: 32,
+            version: LudVersion::Blocked,
+            seed: 1,
+        };
+        let a = matrix::diag_dominant_matrix(lud.n, lud.seed);
+        let lu = lud.reference(&a);
+        assert!(max_rel_diff(&a, &lud.reconstruct(&lu)) < 1e-3);
+    }
+
+    #[test]
+    fn naive_matches_reference_exactly() {
+        // The unblocked kernels apply updates in the sequential order:
+        // bit-for-bit agreement with the reference.
+        let lud = Lud {
+            n: 48,
+            version: LudVersion::Naive,
+            seed: 2,
+        };
+        let a = matrix::diag_dominant_matrix(lud.n, lud.seed);
+        let want = lud.reference(&a);
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let (_, buf) = lud.launch(&mut gpu);
+        assert_eq!(want, gpu.mem().read_f32(buf));
+    }
+
+    #[test]
+    fn blocked_version_outperforms_naive() {
+        let mk = |version| {
+            let lud = Lud {
+                n: 64,
+                version,
+                seed: 2,
+            };
+            let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+            lud.run(&mut gpu)
+        };
+        let naive = mk(LudVersion::Naive);
+        let blocked = mk(LudVersion::Blocked);
+        assert!(
+            blocked.cycles < naive.cycles,
+            "blocked {} !< naive {}",
+            blocked.cycles,
+            naive.cycles
+        );
+    }
+
+    #[test]
+    fn lud_ipc_is_modest() {
+        // Row/column dependencies + small grids: LUD must not approach
+        // the compute-bound IPC ceiling.
+        let lud = Lud::new(Scale::Tiny);
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let stats = lud.run(&mut gpu);
+        assert!(stats.ipc() < 450.0, "LUD IPC {}", stats.ipc());
+        assert!(stats.ipc() > 0.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! MUMmerGPU: high-throughput DNA read alignment against a suffix tree
+//! (Table I: 50000 25-character queries; Graph Traversal dwarf,
+//! Bioinformatics). After Schatz et al., as shipped in Rodinia.
+//!
+//! The reference genome's suffix tree is built on the **CPU with
+//! Ukkonen's algorithm** (a real implementation, below) and flattened
+//! into arrays the GPU walks through the **texture** path — the paper
+//! notes the original encodes the tree in 2-D textures. Each thread
+//! aligns one query; reads diverge from the reference at sequencing
+//! errors after unpredictable depths, so warps bleed lanes as they
+//! descend, producing MUMmer's signature pathology: "more than 60% of
+//! its warps have less than 5 active threads". The tree dwarfs every
+//! cache, making MUMmer both the working-set outlier of Figure 8 and a
+//! prime beneficiary of extra DRAM channels (Figure 4) and the Fermi
+//! L1-bias configuration (Figure 5).
+
+use datasets::sequence::{self, base_code, SIGMA};
+use datasets::Scale;
+use simt::{BufU32, Gpu, GridShape, Kernel, KernelStats, PhaseControl, WarpCtx};
+use std::cell::RefCell;
+
+pub use datasets::sequence::SuffixTree;
+
+/// The MUMmer benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Mummer {
+    /// Reference-genome length.
+    pub ref_len: usize,
+    /// Number of query reads (Table I: 50000).
+    pub queries: usize,
+    /// Read length (Table I: 25).
+    pub read_len: usize,
+    /// Per-base sequencing-error probability.
+    pub error_rate: f64,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Mummer {
+    /// Standard instance for a scale.
+    pub fn new(scale: Scale) -> Mummer {
+        Mummer {
+            ref_len: scale.pick(2_000, 50_000, 1_000_000),
+            queries: scale.pick(256, 5_000, 50_000),
+            read_len: 25,
+            // Chosen so that per-lane match-depth attrition reproduces
+            // the paper's observation that most MUMmer warps run with
+            // fewer than 5 active threads by the end of a traversal.
+            error_rate: 0.12,
+            seed: 31,
+        }
+    }
+
+    fn inputs(&self) -> (Vec<u8>, Vec<Vec<u8>>) {
+        let reference = sequence::reference(self.ref_len, self.seed);
+        let reads = sequence::reads(
+            &reference,
+            self.queries,
+            self.read_len,
+            self.error_rate,
+            self.seed + 1,
+        );
+        (reference, reads)
+    }
+
+    /// Sequential reference: per-query longest-prefix match lengths via
+    /// the host-side tree walk.
+    pub fn reference(&self) -> Vec<u32> {
+        let (reference, reads) = self.inputs();
+        let tree = SuffixTree::build(&reference);
+        reads.iter().map(|r| tree.match_prefix(r) as u32).collect()
+    }
+
+    /// Runs alignment on `gpu` (tree construction on the host, matching
+    /// on the device); returns stats and per-query match lengths.
+    pub fn launch(&self, gpu: &mut Gpu) -> (KernelStats, Vec<u32>) {
+        let (reference, reads) = self.inputs();
+        let tree = SuffixTree::build(&reference);
+        let (children, starts, ends, text) = tree.flatten();
+        let children_buf = gpu.mem_mut().alloc_u32("mum-children", &children);
+        let starts_buf = gpu.mem_mut().alloc_u32("mum-starts", &starts);
+        let ends_buf = gpu.mem_mut().alloc_u32("mum-ends", &ends);
+        let text_buf = gpu.mem_mut().alloc_u32("mum-text", &text);
+        let qcodes: Vec<u32> = reads
+            .iter()
+            .flat_map(|r| r.iter().map(|&b| base_code(b) as u32))
+            .collect();
+        let query_buf = gpu.mem_mut().alloc_u32("mum-queries", &qcodes);
+        let out_buf = gpu.mem_mut().alloc_u32_zeroed("mum-out", self.queries);
+        let kern = MummerKernel {
+            children: children_buf,
+            starts: starts_buf,
+            ends: ends_buf,
+            text: text_buf,
+            queries: query_buf,
+            out: out_buf,
+            n_queries: self.queries,
+            read_len: self.read_len,
+        };
+        let stats = gpu.launch(&kern);
+        let out = gpu.mem().read_u32(out_buf);
+        (stats, out)
+    }
+
+    /// Convenience wrapper returning only statistics.
+    pub fn run(&self, gpu: &mut Gpu) -> KernelStats {
+        self.launch(gpu).0
+    }
+}
+
+struct MummerKernel {
+    children: BufU32,
+    starts: BufU32,
+    ends: BufU32,
+    text: BufU32,
+    queries: BufU32,
+    out: BufU32,
+    n_queries: usize,
+    read_len: usize,
+}
+
+impl Kernel for MummerKernel {
+    fn name(&self) -> &str {
+        "mummer-match"
+    }
+
+    fn shape(&self) -> GridShape {
+        GridShape::cover(self.n_queries, 256)
+    }
+
+    fn regs_per_thread(&self) -> u32 {
+        24
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let nq = self.n_queries;
+        let rl = self.read_len;
+        let tids = w.tids();
+        let in_range: Vec<bool> = tids.iter().map(|&t| t < nq).collect();
+        let me = (
+            self.children,
+            self.starts,
+            self.ends,
+            self.text,
+            self.queries,
+            self.out,
+        );
+        w.if_active(&in_range, |w| {
+            let (children, starts, ends, text, queries, out) = me;
+            let ws = w.warp_size();
+            // Per-lane walker state.
+            #[derive(Clone, Copy, Default)]
+            struct Lane {
+                node: u32,
+                edge_pos: u32,
+                edge_end: u32,
+                on_edge: bool,
+                matched: u32,
+                qpos: u32,
+                done: bool,
+            }
+            let state = RefCell::new(vec![Lane::default(); ws]);
+            w.loop_while(
+                |w| {
+                    w.alu(1);
+                    let st = state.borrow();
+                    (0..ws).map(|l| !st[l].done && (st[l].qpos as usize) < rl).collect()
+                },
+                |w| {
+                    let act = w.active();
+                    // Fetch this step's query character (one uncoalesced
+                    // global load per lane: queries are row-major).
+                    let snapshot = state.borrow().clone();
+                    let qc = w.ld_u32(queries, |lane, tid| {
+                        act[lane].then_some(tid * rl + snapshot[lane].qpos as usize)
+                    });
+                    // Lanes at a node boundary descend via the child
+                    // table; lanes inside an edge compare the next text
+                    // character. Both are texture walks over arrays far
+                    // larger than any cache.
+                    let at_node: Vec<bool> = (0..ws)
+                        .map(|l| act[l] && !snapshot[l].on_edge)
+                        .collect();
+                    let child = w.ld_tex_u32(children, |lane, _| {
+                        at_node[lane].then_some(
+                            snapshot[lane].node as usize * SIGMA + qc[lane] as usize,
+                        )
+                    });
+                    let child_start = w.ld_tex_u32(starts, |lane, _| {
+                        (at_node[lane] && child[lane] != 0).then_some(child[lane] as usize)
+                    });
+                    let child_end = w.ld_tex_u32(ends, |lane, _| {
+                        (at_node[lane] && child[lane] != 0).then_some(child[lane] as usize)
+                    });
+                    let on_edge: Vec<bool> =
+                        (0..ws).map(|l| act[l] && snapshot[l].on_edge).collect();
+                    let tchar = w.ld_tex_u32(text, |lane, _| {
+                        on_edge[lane].then_some(snapshot[lane].edge_pos as usize)
+                    });
+                    w.alu(6); // comparisons and cursor updates
+                    let mut st = state.borrow_mut();
+                    for l in 0..ws {
+                        if !act[l] {
+                            continue;
+                        }
+                        if !snapshot[l].on_edge {
+                            if child[l] == 0 {
+                                st[l].done = true;
+                                continue;
+                            }
+                            // First character of the edge always matches
+                            // the query character (children are indexed
+                            // by it).
+                            st[l].matched += 1;
+                            st[l].qpos += 1;
+                            if child_start[l] + 1 == child_end[l] {
+                                st[l].node = child[l];
+                            } else {
+                                st[l].on_edge = true;
+                                st[l].edge_pos = child_start[l] + 1;
+                                st[l].edge_end = child_end[l];
+                                st[l].node = child[l];
+                            }
+                        } else {
+                            if tchar[l] != qc[l] {
+                                st[l].done = true;
+                                continue;
+                            }
+                            st[l].matched += 1;
+                            st[l].qpos += 1;
+                            st[l].edge_pos += 1;
+                            if st[l].edge_pos == st[l].edge_end {
+                                st[l].on_edge = false;
+                            }
+                        }
+                    }
+                },
+            );
+            let st = state.borrow();
+            let matched: Vec<u32> = st.iter().map(|l| l.matched).collect();
+            w.st_u32(out, |lane, tid| (tid < nq).then_some((tid, matched[lane])));
+        });
+        PhaseControl::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt::{GpuConfig, MemSpace};
+
+    /// Naive longest-prefix-substring match for cross-validation.
+    fn naive_match(text: &[u8], query: &[u8]) -> usize {
+        let mut best = 0;
+        for s in 0..text.len() {
+            let mut k = 0;
+            while s + k < text.len() && k < query.len() && text[s + k] == query[k] {
+                k += 1;
+            }
+            best = best.max(k);
+        }
+        best
+    }
+
+    #[test]
+    fn suffix_tree_matches_naive_search() {
+        let reference = sequence::reference(500, 7);
+        let tree = SuffixTree::build(&reference);
+        let reads = sequence::reads(&reference, 60, 20, 0.15, 8);
+        for r in &reads {
+            assert_eq!(
+                tree.match_prefix(r),
+                naive_match(&reference, r),
+                "query {:?}",
+                String::from_utf8_lossy(r)
+            );
+        }
+    }
+
+    #[test]
+    fn suffix_tree_finds_all_substrings() {
+        let text = b"GATTACAGATTACAT".to_vec();
+        let tree = SuffixTree::build(&text);
+        for s in 0..text.len() {
+            for e in (s + 1)..=text.len() {
+                assert_eq!(
+                    tree.match_prefix(&text[s..e]),
+                    e - s,
+                    "substring {:?} must fully match",
+                    String::from_utf8_lossy(&text[s..e])
+                );
+            }
+        }
+        // A string absent from the text stops early.
+        assert!(tree.match_prefix(b"CCCCCCCC") < 8);
+    }
+
+    #[test]
+    fn suffix_tree_node_count_is_linear() {
+        let reference = sequence::reference(2000, 1);
+        let tree = SuffixTree::build(&reference);
+        // A suffix tree over n+1 symbols has at most 2(n+1) nodes.
+        assert!(tree.num_nodes() <= 2 * (reference.len() + 1) + 1);
+    }
+
+    #[test]
+    fn gpu_matches_host_tree_walk() {
+        let mum = Mummer {
+            ref_len: 800,
+            queries: 128,
+            read_len: 20,
+            error_rate: 0.1,
+            seed: 5,
+        };
+        let want = mum.reference();
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let (_, got) = mum.launch(&mut gpu);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn mummer_is_divergent_and_texture_heavy() {
+        let mum = Mummer::new(Scale::Tiny);
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let stats = mum.run(&mut gpu);
+        // Texture traffic dominates the mix (the tree walk).
+        assert!(
+            stats.mem_mix.fraction(MemSpace::Texture) > 0.4,
+            "tex fraction {:.3}",
+            stats.mem_mix.fraction(MemSpace::Texture)
+        );
+        // Severe divergence: a large share of warps run nearly empty as
+        // reads mismatch at different depths.
+        let q = stats.occupancy.quartile_fractions();
+        assert!(q[0] > 0.2, "low-occupancy share {q:?}");
+        assert!(stats.ipc() < 250.0, "MUMmer IPC {}", stats.ipc());
+    }
+
+    #[test]
+    fn error_free_reads_match_fully() {
+        let reference = sequence::reference(1000, 3);
+        let tree = SuffixTree::build(&reference);
+        for r in sequence::reads(&reference, 40, 25, 0.0, 4) {
+            assert_eq!(tree.match_prefix(&r), 25);
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Needleman-Wunsch: global DNA sequence alignment by dynamic programming
+//! (Table I: 2048×2048 data points; Dynamic Programming dwarf,
+//! Bioinformatics).
+//!
+//! The DP recurrence only exposes parallelism along anti-diagonals, which
+//! the paper cites as the cause of NW's low IPC ("limited parallelism per
+//! iteration ... due to the dependencies of processing data elements in a
+//! diagonal strip manner"). Two incremental versions are provided:
+//!
+//! * [`NwVersion::Naive`]: one kernel launch per *element* diagonal, all
+//!   operands in global memory;
+//! * [`NwVersion::Tiled`]: the shipping Rodinia scheme — one launch per
+//!   *tile* diagonal, each 16-thread block sweeping a 16×16 tile through
+//!   a (16+1)² shared-memory buffer. The 17-wide rows make the diagonal
+//!   accesses stride-16 across 16 banks, reproducing the "copious bank
+//!   conflict" the paper's Plackett–Burman discussion calls out.
+
+use datasets::{rng_for, Scale};
+use rand::Rng;
+use simt::{BufF32, Gpu, GridShape, Kernel, KernelStats, PhaseControl, WarpCtx};
+
+const TILE: usize = 16;
+/// Gap penalty.
+const GAP: f32 = -2.0;
+
+/// Which incremental implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NwVersion {
+    /// Per-element diagonal kernel, global memory only.
+    Naive,
+    /// Shared-memory tiled diagonal kernel (the Rodinia implementation).
+    Tiled,
+}
+
+/// The Needleman-Wunsch benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Nw {
+    /// Sequence length (the DP matrix is `(n+1)²`).
+    pub n: usize,
+    /// Implementation version.
+    pub version: NwVersion,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Nw {
+    /// Standard (tiled) instance; `n` is tile-aligned.
+    pub fn new(scale: Scale) -> Nw {
+        Nw {
+            n: scale.pick(64, 512, 2048),
+            version: NwVersion::Tiled,
+            seed: 33,
+        }
+    }
+
+    /// Naive-version instance for the incremental-optimization study.
+    pub fn naive(scale: Scale) -> Nw {
+        Nw {
+            version: NwVersion::Naive,
+            ..Nw::new(scale)
+        }
+    }
+
+    /// The pairwise similarity matrix (`n × n`) from two random DNA
+    /// sequences: +3 match / −1 mismatch.
+    pub fn similarity(&self) -> Vec<f32> {
+        let mut rng = rng_for("nw", self.seed);
+        let a: Vec<u8> = (0..self.n).map(|_| rng.random_range(0..4u8)).collect();
+        let b: Vec<u8> = (0..self.n).map(|_| rng.random_range(0..4u8)).collect();
+        let mut sim = vec![0.0f32; self.n * self.n];
+        for i in 0..self.n {
+            for j in 0..self.n {
+                sim[i * self.n + j] = if a[i] == b[j] { 3.0 } else { -1.0 };
+            }
+        }
+        sim
+    }
+
+    /// Sequential reference DP fill; returns the `(n+1)²` score matrix.
+    pub fn reference(&self, sim: &[f32]) -> Vec<f32> {
+        let n = self.n;
+        let m = n + 1;
+        let mut f = vec![0.0f32; m * m];
+        for j in 0..m {
+            f[j] = j as f32 * GAP;
+        }
+        for i in 0..m {
+            f[i * m] = i as f32 * GAP;
+        }
+        for i in 1..m {
+            for j in 1..m {
+                let diag = f[(i - 1) * m + (j - 1)] + sim[(i - 1) * n + (j - 1)];
+                let up = f[(i - 1) * m + j] + GAP;
+                let left = f[i * m + (j - 1)] + GAP;
+                f[i * m + j] = diag.max(up).max(left);
+            }
+        }
+        f
+    }
+
+    /// Runs on `gpu`; returns aggregate stats and the score-matrix buffer.
+    pub fn launch(&self, gpu: &mut Gpu) -> (KernelStats, BufF32) {
+        assert!(self.n.is_multiple_of(TILE), "n must be tile-aligned");
+        let n = self.n;
+        let m = n + 1;
+        let sim = self.similarity();
+        let sim_buf = gpu.mem_mut().alloc_f32("nw-sim", &sim);
+        // Initialize first row/column on the host (Rodinia does too).
+        let mut f0 = vec![0.0f32; m * m];
+        for j in 0..m {
+            f0[j] = j as f32 * GAP;
+        }
+        for i in 0..m {
+            f0[i * m] = i as f32 * GAP;
+        }
+        let f_buf = gpu.mem_mut().alloc_f32("nw-score", &f0);
+        let mut stats: Option<KernelStats> = None;
+        let push = |s: KernelStats, stats: &mut Option<KernelStats>| match stats {
+            None => *stats = Some(s),
+            Some(acc) => acc.merge(&s),
+        };
+        match self.version {
+            NwVersion::Tiled => {
+                let nb = n / TILE;
+                for db in 0..(2 * nb - 1) {
+                    let k = NwTiledKernel {
+                        sim: sim_buf,
+                        f: f_buf,
+                        n,
+                        diag: db,
+                    };
+                    push(gpu.launch(&k), &mut stats);
+                }
+            }
+            NwVersion::Naive => {
+                for d in 1..(2 * n) {
+                    let k = NwNaiveKernel {
+                        sim: sim_buf,
+                        f: f_buf,
+                        n,
+                        diag: d,
+                    };
+                    push(gpu.launch(&k), &mut stats);
+                }
+            }
+        }
+        (stats.expect("kernels launched"), f_buf)
+    }
+
+    /// Convenience wrapper returning only statistics.
+    pub fn run(&self, gpu: &mut Gpu) -> KernelStats {
+        self.launch(gpu).0
+    }
+}
+
+/// Cells on element-diagonal `d` of the DP interior: `(i, j)` with
+/// `i + j == d + 1`, `1 <= i, j <= n`.
+fn diag_cells(n: usize, d: usize) -> (usize, usize) {
+    let i_min = if d + 1 > n { d + 1 - n } else { 1 };
+    let i_max = d.min(n);
+    (i_min, i_max - i_min + 1)
+}
+
+struct NwNaiveKernel {
+    sim: BufF32,
+    f: BufF32,
+    n: usize,
+    diag: usize,
+}
+
+impl Kernel for NwNaiveKernel {
+    fn name(&self) -> &str {
+        "nw-naive"
+    }
+
+    fn shape(&self) -> GridShape {
+        let (_, count) = diag_cells(self.n, self.diag);
+        GridShape::cover(count, 64)
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let (n, m, d) = (self.n, self.n + 1, self.diag);
+        let (i_min, count) = diag_cells(n, d);
+        let tids = w.tids();
+        let cell = move |tid: usize| -> Option<(usize, usize)> {
+            (tid < count).then(|| {
+                let i = i_min + tid;
+                (i, d + 1 - i)
+            })
+        };
+        let in_range: Vec<bool> = tids.iter().map(|&t| cell(t).is_some()).collect();
+        let (sim_buf, f_buf) = (self.sim, self.f);
+        w.if_active(&in_range, |w| {
+            let dg = w.ld_f32(f_buf, |_, t| cell(t).map(|(i, j)| (i - 1) * m + j - 1));
+            let up = w.ld_f32(f_buf, |_, t| cell(t).map(|(i, j)| (i - 1) * m + j));
+            let lf = w.ld_f32(f_buf, |_, t| cell(t).map(|(i, j)| i * m + j - 1));
+            let sv = w.ld_f32(sim_buf, |_, t| cell(t).map(|(i, j)| (i - 1) * n + j - 1));
+            w.alu(5);
+            let out: Vec<f32> = (0..w.warp_size())
+                .map(|l| (dg[l] + sv[l]).max(up[l] + GAP).max(lf[l] + GAP))
+                .collect();
+            w.st_f32(f_buf, |lane, t| cell(t).map(|(i, j)| (i * m + j, out[lane])));
+        });
+        PhaseControl::Done
+    }
+}
+
+struct NwTiledKernel {
+    sim: BufF32,
+    f: BufF32,
+    n: usize,
+    /// Tile anti-diagonal index.
+    diag: usize,
+}
+
+impl Kernel for NwTiledKernel {
+    fn name(&self) -> &str {
+        "nw-tiled"
+    }
+
+    fn shape(&self) -> GridShape {
+        let nb = self.n / TILE;
+        let bi_min = self.diag.saturating_sub(nb - 1);
+        let bi_max = self.diag.min(nb - 1);
+        GridShape::new(bi_max - bi_min + 1, TILE)
+    }
+
+    // temp[(TILE+1)²] for scores; ref tile of TILE².
+    fn shared_f32_words(&self) -> usize {
+        (TILE + 1) * (TILE + 1) + TILE * TILE
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let (n, m) = (self.n, self.n + 1);
+        let nb = n / TILE;
+        let bi = self.diag.saturating_sub(nb - 1) + w.block();
+        let bj = self.diag - bi;
+        // Tile origin in DP-matrix coordinates.
+        let (r0, c0) = (1 + bi * TILE, 1 + bj * TILE);
+        const T1: usize = TILE + 1;
+        const REF0: usize = T1 * T1;
+        let ltids = w.ltids();
+        let tx: Vec<usize> = ltids.clone();
+        let valid: Vec<bool> = tx.iter().map(|&x| x < TILE).collect();
+        let (sim_buf, f_buf) = (self.sim, self.f);
+
+        // Load the north halo row (including corner) and the west halo
+        // column.
+        let txv = tx.clone();
+        w.if_active(&valid.clone(), |w| {
+            let north = w.ld_f32(f_buf, |lane, _| Some((r0 - 1) * m + (c0 - 1) + txv[lane]));
+            w.sh_st_f32(|lane, _| Some((txv[lane], north[lane])));
+            let west = w.ld_f32(f_buf, |lane, _| Some((r0 + txv[lane]) * m + (c0 - 1)));
+            w.sh_st_f32(|lane, _| Some(((txv[lane] + 1) * T1, west[lane])));
+            // Corner and the last north element.
+            let tail = w.ld_f32(f_buf, |lane, _| {
+                (txv[lane] == 0).then_some((r0 - 1) * m + (c0 - 1) + TILE)
+            });
+            w.sh_st_f32(|lane, _| (txv[lane] == 0).then_some((TILE, tail[lane])));
+            // Similarity tile, one coalesced row per step.
+            for row in 0..TILE {
+                let sv = w.ld_f32(sim_buf, |lane, _| {
+                    Some((r0 - 1 + row) * n + (c0 - 1) + txv[lane])
+                });
+                w.sh_st_f32(|lane, _| Some((REF0 + row * TILE + txv[lane], sv[lane])));
+            }
+        });
+
+        // Sweep the 31 internal anti-diagonals. temp rows are T1 = 17
+        // wide, so lanes on a diagonal access stride-16 words: a full
+        // 16-way bank conflict on a 16-bank scratchpad, as in Rodinia.
+        for d in 0..(2 * TILE - 1) {
+            let txv = tx.clone();
+            let on_diag: Vec<bool> = tx
+                .iter()
+                .zip(&valid)
+                .map(|(&x, &v)| v && x <= d && d - x < TILE)
+                .collect();
+            w.if_active(&on_diag, |w| {
+                let cell = |lane: usize| -> (usize, usize) {
+                    let x = txv[lane];
+                    (d - x, x) // (ty, tx) within the tile
+                };
+                let dg = w.sh_ld_f32(|lane, _| {
+                    let (ty, x) = cell(lane);
+                    Some(ty * T1 + x)
+                });
+                let up = w.sh_ld_f32(|lane, _| {
+                    let (ty, x) = cell(lane);
+                    Some(ty * T1 + x + 1)
+                });
+                let lf = w.sh_ld_f32(|lane, _| {
+                    let (ty, x) = cell(lane);
+                    Some((ty + 1) * T1 + x)
+                });
+                let sv = w.sh_ld_f32(|lane, _| {
+                    let (ty, x) = cell(lane);
+                    Some(REF0 + ty * TILE + x)
+                });
+                w.alu(5);
+                let out: Vec<f32> = (0..w.warp_size())
+                    .map(|l| (dg[l] + sv[l]).max(up[l] + GAP).max(lf[l] + GAP))
+                    .collect();
+                w.sh_st_f32(|lane, _| {
+                    let (ty, x) = cell(lane);
+                    Some(((ty + 1) * T1 + x + 1, out[lane]))
+                });
+            });
+        }
+
+        // Write the tile back, one row per step (coalesced).
+        let txv = tx;
+        w.if_active(&valid, |w| {
+            for row in 0..TILE {
+                let vals = w.sh_ld_f32(|lane, _| Some((row + 1) * T1 + txv[lane] + 1));
+                w.st_f32(f_buf, |lane, _| {
+                    Some(((r0 + row) * m + c0 + txv[lane], vals[lane]))
+                });
+            }
+        });
+        PhaseControl::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refimpl::max_abs_diff;
+    use simt::GpuConfig;
+
+    fn run_version(version: NwVersion, n: usize) -> Vec<f32> {
+        let nw = Nw {
+            n,
+            version,
+            seed: 4,
+        };
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let (_, f) = nw.launch(&mut gpu);
+        gpu.mem().read_f32(f)
+    }
+
+    #[test]
+    fn tiled_matches_reference() {
+        let nw = Nw {
+            n: 48,
+            version: NwVersion::Tiled,
+            seed: 4,
+        };
+        let want = nw.reference(&nw.similarity());
+        assert_eq!(max_abs_diff(&want, &run_version(NwVersion::Tiled, 48)), 0.0);
+    }
+
+    #[test]
+    fn naive_matches_reference() {
+        let nw = Nw {
+            n: 48,
+            version: NwVersion::Naive,
+            seed: 4,
+        };
+        let want = nw.reference(&nw.similarity());
+        assert_eq!(max_abs_diff(&want, &run_version(NwVersion::Naive, 48)), 0.0);
+    }
+
+    #[test]
+    fn diag_cells_enumeration() {
+        // n = 4: diagonals d = 1..8 have 1, 2, 3, 4, 3, 2, 1 cells... and
+        // d counts i+j-1.
+        let n = 4;
+        let counts: Vec<usize> = (1..2 * n).map(|d| diag_cells(n, d).1).collect();
+        assert_eq!(counts, vec![1, 2, 3, 4, 3, 2, 1]);
+        assert_eq!(diag_cells(n, 5), (2, 3)); // i in 2..=4
+    }
+
+    #[test]
+    fn nw_has_low_occupancy_and_bank_conflicts() {
+        let nw = Nw::new(Scale::Tiny);
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let stats = nw.run(&mut gpu);
+        // 16-thread blocks: every warp instruction has <= 16 active lanes.
+        let q = stats.occupancy.quartile_fractions();
+        assert_eq!(q[2] + q[3], 0.0, "no warp may exceed 16 lanes: {q:?}");
+        // IPC is low: limited parallelism per diagonal strip.
+        assert!(stats.ipc() < 150.0, "NW IPC should be low, got {}", stats.ipc());
+    }
+}

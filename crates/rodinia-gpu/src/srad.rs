@@ -1,0 +1,479 @@
+//! SRAD: Speckle Reducing Anisotropic Diffusion
+//! (Table I: 512×512 data points; Structured Grid dwarf, Image
+//! Processing).
+//!
+//! The benchmark ships in two incrementally optimized versions — the
+//! pair the paper's Table III characterizes:
+//!
+//! * **V1** keeps the image and the diffusion coefficients in global
+//!   memory (shared fraction ≈ 10%),
+//! * **V2** stages the image and coefficient tiles (plus ghost zones) in
+//!   shared memory, converting four of the five neighbor loads per pixel
+//!   into shared-memory reads (shared fraction ≈ 29%, higher IPC).
+//!
+//! Both versions run the same two-kernel pipeline per iteration
+//! (coefficient kernel, then update kernel) and produce bit-identical
+//! images.
+
+use datasets::{grid, Scale};
+use simt::{BufF32, Gpu, GridShape, Kernel, KernelStats, PhaseControl, WarpCtx};
+
+const TILE: usize = 16;
+const HALO: usize = TILE + 2;
+const LAMBDA: f32 = 0.5;
+
+/// Which incrementally optimized version to run (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SradVersion {
+    /// Global-memory version.
+    V1,
+    /// Shared-memory tiled version.
+    V2,
+}
+
+/// The SRAD benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Srad {
+    /// Image edge length.
+    pub n: usize,
+    /// Diffusion iterations.
+    pub iterations: usize,
+    /// Version to run.
+    pub version: SradVersion,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Srad {
+    /// The optimized (V2) instance the suite-level experiments use.
+    pub fn new(scale: Scale) -> Srad {
+        Srad::v2(scale)
+    }
+
+    /// Version-1 instance.
+    pub fn v1(scale: Scale) -> Srad {
+        Srad {
+            n: scale.pick(48, 256, 512),
+            iterations: scale.pick(2, 2, 4),
+            version: SradVersion::V1,
+            seed: 11,
+        }
+    }
+
+    /// Version-2 instance.
+    pub fn v2(scale: Scale) -> Srad {
+        Srad {
+            version: SradVersion::V2,
+            ..Srad::v1(scale)
+        }
+    }
+
+    /// Sequential reference implementation.
+    pub fn reference(&self, image: &[f32]) -> Vec<f32> {
+        let n = self.n;
+        let mut j = image.to_vec();
+        let mut c = vec![0.0f32; n * n];
+        let mut dn = vec![0.0f32; n * n];
+        let mut ds = vec![0.0f32; n * n];
+        let mut dw = vec![0.0f32; n * n];
+        let mut de = vec![0.0f32; n * n];
+        for _ in 0..self.iterations {
+            let q0 = q0sqr(&j);
+            for r in 0..n {
+                for cc in 0..n {
+                    let i = r * n + cc;
+                    let north = if r == 0 { i } else { i - n };
+                    let south = if r == n - 1 { i } else { i + n };
+                    let west = if cc == 0 { i } else { i - 1 };
+                    let east = if cc == n - 1 { i } else { i + 1 };
+                    let (cv, d4) = coeff(j[i], j[north], j[south], j[west], j[east], q0);
+                    c[i] = cv;
+                    dn[i] = d4[0];
+                    ds[i] = d4[1];
+                    dw[i] = d4[2];
+                    de[i] = d4[3];
+                }
+            }
+            let mut out = j.clone();
+            for r in 0..n {
+                for cc in 0..n {
+                    let i = r * n + cc;
+                    let south = if r == n - 1 { i } else { i + n };
+                    let east = if cc == n - 1 { i } else { i + 1 };
+                    out[i] = j[i]
+                        + 0.25 * LAMBDA * (c[i] * dn[i] + c[south] * ds[i] + c[i] * dw[i]
+                            + c[east] * de[i]);
+                }
+            }
+            j = out;
+        }
+        j
+    }
+
+    /// Runs on `gpu`; returns aggregate stats and the output buffer.
+    pub fn launch(&self, gpu: &mut Gpu) -> (KernelStats, BufF32) {
+        let n = self.n;
+        let image = grid::speckle_image(n, n, self.seed);
+        let j = gpu.mem_mut().alloc_f32("srad-j", &image);
+        let c = gpu.mem_mut().alloc_f32_zeroed("srad-c", n * n);
+        let dn = gpu.mem_mut().alloc_f32_zeroed("srad-dn", n * n);
+        let ds = gpu.mem_mut().alloc_f32_zeroed("srad-ds", n * n);
+        let dw = gpu.mem_mut().alloc_f32_zeroed("srad-dw", n * n);
+        let de = gpu.mem_mut().alloc_f32_zeroed("srad-de", n * n);
+        let mut stats: Option<KernelStats> = None;
+        for _ in 0..self.iterations {
+            let q0 = q0sqr(&gpu.mem_mut().copy_out_f32(j));
+            let k1 = SradKernel {
+                stage: Stage::Coeff,
+                version: self.version,
+                j,
+                c,
+                dn,
+                ds,
+                dw,
+                de,
+                n,
+                q0,
+            };
+            let s1 = gpu.launch(&k1);
+            let k2 = SradKernel {
+                stage: Stage::Update,
+                ..k1
+            };
+            let s2 = gpu.launch(&k2);
+            match &mut stats {
+                None => {
+                    let mut s = s1;
+                    s.merge(&s2);
+                    stats = Some(s);
+                }
+                Some(acc) => {
+                    acc.merge(&s1);
+                    acc.merge(&s2);
+                }
+            }
+        }
+        (stats.expect("at least one iteration"), j)
+    }
+
+    /// Convenience wrapper returning only statistics.
+    pub fn run(&self, gpu: &mut Gpu) -> KernelStats {
+        self.launch(gpu).0
+    }
+}
+
+/// Speckle statistic q0² over the whole field (the host-side reduction).
+fn q0sqr(j: &[f32]) -> f32 {
+    let nn = j.len() as f32;
+    let sum: f32 = j.iter().sum();
+    let sum2: f32 = j.iter().map(|x| x * x).sum();
+    let mean = sum / nn;
+    let var = sum2 / nn - mean * mean;
+    var / (mean * mean)
+}
+
+/// The per-pixel diffusion coefficient and the four directional
+/// derivatives; shared between kernels and reference.
+#[inline]
+fn coeff(jc: f32, jn: f32, js: f32, jw: f32, je: f32, q0: f32) -> (f32, [f32; 4]) {
+    let dn = jn - jc;
+    let ds = js - jc;
+    let dw = jw - jc;
+    let de = je - jc;
+    let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc);
+    let l = (dn + ds + dw + de) / jc;
+    let num = 0.5 * g2 - (l * l) / 16.0;
+    let den = 1.0 + 0.25 * l;
+    let qsqr = num / (den * den);
+    let d = (qsqr - q0) / (q0 * (1.0 + q0));
+    let c = (1.0 / (1.0 + d)).clamp(0.0, 1.0);
+    (c, [dn, ds, dw, de])
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Coeff,
+    Update,
+}
+
+#[derive(Clone, Copy)]
+struct SradKernel {
+    stage: Stage,
+    version: SradVersion,
+    j: BufF32,
+    c: BufF32,
+    dn: BufF32,
+    ds: BufF32,
+    dw: BufF32,
+    de: BufF32,
+    n: usize,
+    q0: f32,
+}
+
+impl SradKernel {
+    /// Which field the kernel stages in shared memory in V2 (the image
+    /// for the coefficient kernel, the coefficients for the update
+    /// kernel).
+    fn tiled_input(&self) -> BufF32 {
+        match self.stage {
+            Stage::Coeff => self.j,
+            Stage::Update => self.c,
+        }
+    }
+}
+
+impl Kernel for SradKernel {
+    fn name(&self) -> &str {
+        match (self.stage, self.version) {
+            (Stage::Coeff, SradVersion::V1) => "srad1-v1",
+            (Stage::Coeff, SradVersion::V2) => "srad1-v2",
+            (Stage::Update, SradVersion::V1) => "srad2-v1",
+            (Stage::Update, SradVersion::V2) => "srad2-v2",
+        }
+    }
+
+    fn shape(&self) -> GridShape {
+        let tiles = self.n.div_ceil(TILE);
+        GridShape::new(tiles * tiles, TILE * TILE)
+    }
+
+    fn shared_f32_words(&self) -> usize {
+        match self.version {
+            SradVersion::V1 => 0,
+            // The halo input tile plus five result/staging tiles
+            // (coefficient + four directional derivatives), as in
+            // Rodinia's srad_cuda kernels. This ~6.3 kB footprint is
+            // what makes SRAD prefer the Fermi shared-bias
+            // configuration: at 16 kB of shared memory only two CTAs
+            // fit per SM instead of four.
+            SradVersion::V2 => HALO * HALO + 5 * TILE * TILE,
+        }
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let n = self.n;
+        let tiles_x = n.div_ceil(TILE);
+        let (tile_r, tile_c) = (w.block() / tiles_x, w.block() % tiles_x);
+        let (row0, col0) = (tile_r * TILE, tile_c * TILE);
+        let ltids = w.ltids();
+        let pix = |lane: usize| -> Option<(usize, usize)> {
+            let l = ltids[lane];
+            let (r, c) = (row0 + l / TILE, col0 + l % TILE);
+            (r < n && c < n).then_some((r, c))
+        };
+        // Clamped-neighbor index of pixel (r, c).
+        let nbr = move |r: usize, c: usize, dr: isize, dc: isize| -> usize {
+            let rr = (r as isize + dr).clamp(0, n as isize - 1) as usize;
+            let cc = (c as isize + dc).clamp(0, n as isize - 1) as usize;
+            rr * n + cc
+        };
+
+        if self.version == SradVersion::V2 && w.phase() == 0 {
+            // Stage the tile + ghost zone in shared memory.
+            let global_of = move |h: usize| -> usize {
+                let hr = h / HALO;
+                let hc = h % HALO;
+                let r = (row0 + hr).saturating_sub(1).min(n - 1);
+                let c = (col0 + hc).saturating_sub(1).min(n - 1);
+                r * n + c
+            };
+            let input = self.tiled_input();
+            w.param(2);
+            for round in 0..2 {
+                let base = round * TILE * TILE;
+                let vals = w.ld_f32(input, |lane, _| {
+                    let h = base + ltids[lane];
+                    (h < HALO * HALO).then(|| global_of(h))
+                });
+                w.sh_st_f32(|lane, _| {
+                    let h = base + ltids[lane];
+                    (h < HALO * HALO).then_some((h, vals[lane]))
+                });
+            }
+            return PhaseControl::Continue;
+        }
+
+        // Compute phase (phase 0 for V1, phase 1 for V2).
+        let from_shared = self.version == SradVersion::V2;
+        let sh_idx = |lane: usize, dr: isize, dc: isize| -> usize {
+            let l = ltids[lane];
+            ((l / TILE) as isize + 1 + dr) as usize * HALO + ((l % TILE) as isize + 1 + dc) as usize
+        };
+        let in_grid: Vec<bool> = (0..w.warp_size()).map(|l| pix(l).is_some()).collect();
+        match self.stage {
+            Stage::Coeff => {
+                let me = *self;
+                w.if_active(&in_grid, move |w| {
+                    let (jc, jn, js, jw_, je);
+                    if from_shared {
+                        jc = w.sh_ld_f32(|lane, _| Some(sh_idx(lane, 0, 0)));
+                        jn = w.sh_ld_f32(|lane, _| Some(sh_idx(lane, -1, 0)));
+                        js = w.sh_ld_f32(|lane, _| Some(sh_idx(lane, 1, 0)));
+                        jw_ = w.sh_ld_f32(|lane, _| Some(sh_idx(lane, 0, -1)));
+                        je = w.sh_ld_f32(|lane, _| Some(sh_idx(lane, 0, 1)));
+                    } else {
+                        jc = w.ld_f32(me.j, |lane, _| pix(lane).map(|(r, c)| r * n + c));
+                        jn = w.ld_f32(me.j, |lane, _| pix(lane).map(|(r, c)| nbr(r, c, -1, 0)));
+                        js = w.ld_f32(me.j, |lane, _| pix(lane).map(|(r, c)| nbr(r, c, 1, 0)));
+                        jw_ = w.ld_f32(me.j, |lane, _| pix(lane).map(|(r, c)| nbr(r, c, 0, -1)));
+                        je = w.ld_f32(me.j, |lane, _| pix(lane).map(|(r, c)| nbr(r, c, 0, 1)));
+                    }
+                    w.alu(42); // gradients, statistics, boundary logic
+                    w.sfu(3); // the three divides
+                    let results: Vec<(f32, [f32; 4])> = (0..w.warp_size())
+                        .map(|l| coeff(jc[l], jn[l], js[l], jw_[l], je[l], me.q0))
+                        .collect();
+                    if from_shared {
+                        // Stage results in the shared result tiles
+                        // before the coalesced global write, as the
+                        // CUDA version's temp_result arrays do.
+                        let lt: Vec<usize> = (0..w.warp_size())
+                            .map(|l| l % (TILE * TILE))
+                            .collect();
+                        for d in 0..5 {
+                            let base = HALO * HALO + d * TILE * TILE;
+                            let res = results.clone();
+                            w.sh_st_f32(|lane, _| {
+                                pix(lane).map(|_| {
+                                    let v = if d == 0 {
+                                        res[lane].0
+                                    } else {
+                                        res[lane].1[d - 1]
+                                    };
+                                    (base + lt[lane], v)
+                                })
+                            });
+                        }
+                    }
+                    w.st_f32(me.c, |lane, _| {
+                        pix(lane).map(|(r, c)| (r * n + c, results[lane].0))
+                    });
+                    for (buf, d) in [(me.dn, 0), (me.ds, 1), (me.dw, 2), (me.de, 3)] {
+                        w.st_f32(buf, |lane, _| {
+                            pix(lane).map(|(r, c)| (r * n + c, results[lane].1[d]))
+                        });
+                    }
+                });
+            }
+            Stage::Update => {
+                let me = *self;
+                w.if_active(&in_grid, move |w| {
+                    let (cc, cs, ce);
+                    if from_shared {
+                        cc = w.sh_ld_f32(|lane, _| Some(sh_idx(lane, 0, 0)));
+                        cs = w.sh_ld_f32(|lane, _| Some(sh_idx(lane, 1, 0)));
+                        ce = w.sh_ld_f32(|lane, _| Some(sh_idx(lane, 0, 1)));
+                    } else {
+                        cc = w.ld_f32(me.c, |lane, _| pix(lane).map(|(r, c)| r * n + c));
+                        cs = w.ld_f32(me.c, |lane, _| pix(lane).map(|(r, c)| nbr(r, c, 1, 0)));
+                        ce = w.ld_f32(me.c, |lane, _| pix(lane).map(|(r, c)| nbr(r, c, 0, 1)));
+                    }
+                    let jc = w.ld_f32(me.j, |lane, _| pix(lane).map(|(r, c)| r * n + c));
+                    let dn = w.ld_f32(me.dn, |lane, _| pix(lane).map(|(r, c)| r * n + c));
+                    let ds = w.ld_f32(me.ds, |lane, _| pix(lane).map(|(r, c)| r * n + c));
+                    let dw_ = w.ld_f32(me.dw, |lane, _| pix(lane).map(|(r, c)| r * n + c));
+                    let de = w.ld_f32(me.de, |lane, _| pix(lane).map(|(r, c)| r * n + c));
+                    if from_shared {
+                        // Stage the operand tiles in shared memory, as
+                        // srad_cuda_2's d_cN/S/W/E arrays do.
+                        let lt: Vec<usize> = (0..w.warp_size())
+                            .map(|l| l % (TILE * TILE))
+                            .collect();
+                        for (d, vals) in [&jc, &dn, &ds, &dw_, &de].iter().enumerate() {
+                            let base = HALO * HALO + d * TILE * TILE;
+                            let v = (*vals).clone();
+                            w.sh_st_f32(|lane, _| {
+                                pix(lane).map(|_| (base + lt[lane], v[lane]))
+                            });
+                        }
+                    }
+                    w.alu(26);
+                    let out: Vec<f32> = (0..w.warp_size())
+                        .map(|l| {
+                            jc[l]
+                                + 0.25 * LAMBDA
+                                    * (cc[l] * dn[l] + cs[l] * ds[l] + cc[l] * dw_[l]
+                                        + ce[l] * de[l])
+                        })
+                        .collect();
+                    w.st_f32(me.j, |lane, _| pix(lane).map(|(r, c)| (r * n + c, out[lane])));
+                });
+            }
+        }
+        PhaseControl::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refimpl::max_abs_diff;
+    use simt::{GpuConfig, MemSpace};
+
+    fn run_version(version: SradVersion) -> Vec<f32> {
+        let srad = Srad {
+            n: 48,
+            iterations: 2,
+            version,
+            seed: 5,
+        };
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let (_, out) = srad.launch(&mut gpu);
+        gpu.mem().read_f32(out)
+    }
+
+    #[test]
+    fn v1_matches_reference() {
+        let srad = Srad {
+            n: 48,
+            iterations: 2,
+            version: SradVersion::V1,
+            seed: 5,
+        };
+        let image = grid::speckle_image(48, 48, 5);
+        let want = srad.reference(&image);
+        assert!(max_abs_diff(&want, &run_version(SradVersion::V1)) < 1e-4);
+    }
+
+    #[test]
+    fn v2_matches_v1_bit_for_bit() {
+        assert_eq!(run_version(SradVersion::V1), run_version(SradVersion::V2));
+    }
+
+    #[test]
+    fn v2_shifts_mix_toward_shared_and_raises_ipc() {
+        let mut g1 = Gpu::new(GpuConfig::gpgpusim_default());
+        let s1 = Srad::v1(Scale::Tiny).run(&mut g1);
+        let mut g2 = Gpu::new(GpuConfig::gpgpusim_default());
+        let s2 = Srad::v2(Scale::Tiny).run(&mut g2);
+        assert!(
+            s2.mem_mix.fraction(MemSpace::Shared) > s1.mem_mix.fraction(MemSpace::Shared) + 0.05,
+            "v2 shared {:.3} vs v1 {:.3}",
+            s2.mem_mix.fraction(MemSpace::Shared),
+            s1.mem_mix.fraction(MemSpace::Shared)
+        );
+        assert!(
+            s2.ipc() > s1.ipc(),
+            "v2 IPC {:.0} should beat v1 {:.0}",
+            s2.ipc(),
+            s1.ipc()
+        );
+    }
+
+    #[test]
+    fn diffusion_smooths_the_image() {
+        let srad = Srad {
+            n: 32,
+            iterations: 3,
+            version: SradVersion::V2,
+            seed: 2,
+        };
+        let image = grid::speckle_image(32, 32, 2);
+        let out = srad.reference(&image);
+        let var = |x: &[f32]| {
+            let m = x.iter().sum::<f32>() / x.len() as f32;
+            x.iter().map(|v| (v - m).powi(2)).sum::<f32>() / x.len() as f32
+        };
+        assert!(var(&out) < var(&image), "diffusion must reduce variance");
+    }
+}

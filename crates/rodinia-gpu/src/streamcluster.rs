@@ -1,0 +1,259 @@
+//! StreamCluster: online clustering (k-median facility opening)
+//! (Table I: 65536 points, 256 dimensions; Dense Linear Algebra dwarf,
+//! Data Mining).
+//!
+//! StreamCluster is the one workload Rodinia shares with Parsec. The GPU
+//! `pgain` kernel evaluates one candidate facility at a time: the
+//! candidate's coordinates are staged in **shared memory** (a broadcast
+//! read per dimension), every thread streams its own point from global
+//! memory (coalesced via a transposed layout), and the per-point gains
+//! are written back for the host to reduce. This gives StreamCluster its
+//! heavy shared-memory fraction in the paper's Figure 2.
+
+use datasets::{mining, Scale};
+use simt::{BufF32, Gpu, GridShape, Kernel, KernelStats, PhaseControl, WarpCtx};
+
+/// Cost of opening a new facility.
+const FACILITY_COST: f32 = 50.0;
+
+/// The StreamCluster benchmark instance.
+#[derive(Debug, Clone)]
+pub struct StreamCluster {
+    /// Number of points.
+    pub n: usize,
+    /// Dimensions per point.
+    pub dims: usize,
+    /// Candidate facilities evaluated (one kernel launch each).
+    pub candidates: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl StreamCluster {
+    /// Standard instance for a scale.
+    pub fn new(scale: Scale) -> StreamCluster {
+        StreamCluster {
+            n: scale.pick(512, 8192, 65_536),
+            dims: scale.pick(16, 32, 256),
+            candidates: scale.pick(4, 8, 16),
+            seed: 14,
+        }
+    }
+
+    fn points(&self) -> Vec<f32> {
+        mining::clustered_points(self.n, self.dims, 8, self.seed)
+    }
+
+    /// The candidate sequence: deterministic pseudo-random point indices.
+    fn candidate_ids(&self) -> Vec<usize> {
+        (0..self.candidates)
+            .map(|c| (c * 2_654_435_761 + 12_345) % self.n)
+            .collect()
+    }
+
+    fn dist(points: &[f32], dims: usize, a: usize, b: usize) -> f32 {
+        (0..dims)
+            .map(|d| {
+                let diff = points[a * dims + d] - points[b * dims + d];
+                diff * diff
+            })
+            .sum()
+    }
+
+    /// Sequential reference: runs the same facility-opening sweep and
+    /// returns each point's final assignment cost.
+    pub fn reference(&self) -> Vec<f32> {
+        let points = self.points();
+        let mut cost: Vec<f32> = (0..self.n)
+            .map(|i| Self::dist(&points, self.dims, i, 0))
+            .collect();
+        cost[0] = 0.0;
+        for cand in self.candidate_ids() {
+            let gains: Vec<f32> = (0..self.n)
+                .map(|i| {
+                    let d = Self::dist(&points, self.dims, i, cand);
+                    (cost[i] - d).max(0.0)
+                })
+                .collect();
+            let total: f32 = gains.iter().sum();
+            if total > FACILITY_COST {
+                for i in 0..self.n {
+                    if gains[i] > 0.0 {
+                        cost[i] -= gains[i];
+                    }
+                }
+            }
+        }
+        cost
+    }
+
+    /// Runs the candidate sweep on `gpu`; host performs the open/close
+    /// decision, mirroring Rodinia's CPU-GPU split.
+    pub fn launch(&self, gpu: &mut Gpu) -> (KernelStats, Vec<f32>) {
+        let points = self.points();
+        let (n, dims) = (self.n, self.dims);
+        // Transposed layout for coalescing.
+        let mut tpoints = vec![0.0f32; n * dims];
+        for i in 0..n {
+            for d in 0..dims {
+                tpoints[d * n + i] = points[i * dims + d];
+            }
+        }
+        let pts = gpu.mem_mut().alloc_f32("sc-points-t", &tpoints);
+        let mut cost: Vec<f32> = (0..n)
+            .map(|i| Self::dist(&points, dims, i, 0))
+            .collect();
+        cost[0] = 0.0;
+        let cost_buf = gpu.mem_mut().alloc_f32("sc-cost", &cost);
+        let gain_buf = gpu.mem_mut().alloc_f32_zeroed("sc-gain", n);
+        let mut stats: Option<KernelStats> = None;
+        for cand in self.candidate_ids() {
+            let kern = PgainKernel {
+                points: pts,
+                cost: cost_buf,
+                gain: gain_buf,
+                n,
+                dims,
+                cand,
+            };
+            let s = gpu.launch(&kern);
+            match &mut stats {
+                None => stats = Some(s),
+                Some(acc) => acc.merge(&s),
+            }
+            let gains = gpu.mem_mut().copy_out_f32(gain_buf);
+            let total: f32 = gains.iter().sum();
+            if total > FACILITY_COST {
+                let mut cost = gpu.mem().read_f32(cost_buf);
+                for i in 0..n {
+                    if gains[i] > 0.0 {
+                        cost[i] -= gains[i];
+                    }
+                }
+                gpu.mem_mut().write_f32(cost_buf, &cost);
+            }
+        }
+        let final_cost = gpu.mem().read_f32(cost_buf);
+        (stats.expect("candidates evaluated"), final_cost)
+    }
+
+    /// Convenience wrapper returning only statistics.
+    pub fn run(&self, gpu: &mut Gpu) -> KernelStats {
+        self.launch(gpu).0
+    }
+}
+
+struct PgainKernel {
+    points: BufF32,
+    cost: BufF32,
+    gain: BufF32,
+    n: usize,
+    dims: usize,
+    cand: usize,
+}
+
+impl Kernel for PgainKernel {
+    fn name(&self) -> &str {
+        "sc-pgain"
+    }
+
+    fn shape(&self) -> GridShape {
+        GridShape::cover(self.n, 256)
+    }
+
+    fn shared_f32_words(&self) -> usize {
+        self.dims
+    }
+
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        let (n, dims, cand) = (self.n, self.dims, self.cand);
+        let ltids = w.ltids();
+        match w.phase() {
+            0 => {
+                // First `dims` threads of the block stage the candidate.
+                let loaders: Vec<bool> = ltids.iter().map(|&l| l < dims).collect();
+                let points = self.points;
+                let lt = ltids.clone();
+                w.if_active(&loaders, |w| {
+                    let v = w.ld_f32(points, |lane, _| {
+                        (lt[lane] < dims).then_some(lt[lane] * n + cand)
+                    });
+                    w.sh_st_f32(|lane, _| (lt[lane] < dims).then_some((lt[lane], v[lane])));
+                });
+                PhaseControl::Continue
+            }
+            _ => {
+                let tids = w.tids();
+                let in_range: Vec<bool> = tids.iter().map(|&t| t < n).collect();
+                let me = (self.points, self.cost, self.gain);
+                w.if_active(&in_range, |w| {
+                    let (points, cost, gain) = me;
+                    let ws = w.warp_size();
+                    let mut d = vec![0.0f32; ws];
+                    for dim in 0..dims {
+                        // Broadcast read of the staged candidate.
+                        let cv = w.sh_ld_f32(|_, tid| (tid < n).then_some(dim));
+                        let pv = w.ld_f32(points, |_, tid| (tid < n).then_some(dim * n + tid));
+                        w.alu(6);
+                        for lane in 0..ws {
+                            let diff = pv[lane] - cv[lane];
+                            d[lane] += diff * diff;
+                        }
+                    }
+                    let cur = w.ld_f32(cost, |_, tid| (tid < n).then_some(tid));
+                    w.alu(2);
+                    let g: Vec<f32> = (0..ws).map(|l| (cur[l] - d[l]).max(0.0)).collect();
+                    w.st_f32(gain, |lane, tid| (tid < n).then_some((tid, g[lane])));
+                });
+                PhaseControl::Done
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refimpl::max_rel_diff;
+    use simt::{GpuConfig, MemSpace};
+
+    #[test]
+    fn matches_reference() {
+        let sc = StreamCluster {
+            n: 300,
+            dims: 12,
+            candidates: 5,
+            seed: 2,
+        };
+        let want = sc.reference();
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let (_, got) = sc.launch(&mut gpu);
+        assert!(max_rel_diff(&want, &got) < 1e-4);
+    }
+
+    #[test]
+    fn opening_facilities_lowers_total_cost() {
+        let sc = StreamCluster {
+            n: 400,
+            dims: 8,
+            candidates: 6,
+            seed: 3,
+        };
+        let points = sc.points();
+        let initial: f32 = (0..sc.n)
+            .map(|i| StreamCluster::dist(&points, sc.dims, i, 0))
+            .sum();
+        let final_cost: f32 = sc.reference().iter().sum();
+        assert!(final_cost < initial, "{final_cost} !< {initial}");
+        assert!(sc.reference().iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn shared_memory_is_prominent() {
+        let sc = StreamCluster::new(Scale::Tiny);
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let stats = sc.run(&mut gpu);
+        let shared = stats.mem_mix.fraction(MemSpace::Shared);
+        assert!(shared > 0.3, "shared fraction {shared:.3}");
+    }
+}

@@ -1,0 +1,265 @@
+//! The suite registry: Table I metadata and a uniform way to run every
+//! benchmark.
+
+use datasets::Scale;
+use simt::{Gpu, KernelStats};
+
+use crate::backprop::Backprop;
+use crate::bfs::Bfs;
+use crate::cfd::Cfd;
+use crate::heartwall::Heartwall;
+use crate::hotspot::Hotspot;
+use crate::kmeans::Kmeans;
+use crate::leukocyte::Leukocyte;
+use crate::lud::Lud;
+use crate::mummer::Mummer;
+use crate::nw::Nw;
+use crate::srad::Srad;
+use crate::streamcluster::StreamCluster;
+
+/// The Berkeley dwarf of a benchmark (Table I's second column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dwarf {
+    /// Dense Linear Algebra.
+    DenseLinearAlgebra,
+    /// Dynamic Programming.
+    DynamicProgramming,
+    /// Structured Grid.
+    StructuredGrid,
+    /// Unstructured Grid.
+    UnstructuredGrid,
+    /// Graph Traversal.
+    GraphTraversal,
+}
+
+impl std::fmt::Display for Dwarf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Dwarf::DenseLinearAlgebra => "Dense Linear Algebra",
+            Dwarf::DynamicProgramming => "Dynamic Programming",
+            Dwarf::StructuredGrid => "Structured Grid",
+            Dwarf::UnstructuredGrid => "Unstructured Grid",
+            Dwarf::GraphTraversal => "Graph Traversal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A runnable member of the Rodinia GPU suite with its Table I metadata.
+pub trait GpuBenchmark {
+    /// Full benchmark name.
+    fn name(&self) -> &'static str;
+
+    /// The abbreviation the paper's figures use (BP, BFS, ...).
+    fn abbrev(&self) -> &'static str;
+
+    /// Berkeley dwarf.
+    fn dwarf(&self) -> Dwarf;
+
+    /// Application domain (Table I's third column).
+    fn domain(&self) -> &'static str;
+
+    /// Human-readable problem size of this instance.
+    fn problem_size(&self) -> String;
+
+    /// Runs the benchmark on `gpu`, returning aggregate statistics over
+    /// all its kernel launches.
+    fn run_on(&self, gpu: &mut Gpu) -> KernelStats;
+}
+
+macro_rules! impl_benchmark {
+    ($ty:ty, $name:literal, $abbrev:literal, $dwarf:expr, $domain:literal, $size:expr) => {
+        impl GpuBenchmark for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+            fn abbrev(&self) -> &'static str {
+                $abbrev
+            }
+            fn dwarf(&self) -> Dwarf {
+                $dwarf
+            }
+            fn domain(&self) -> &'static str {
+                $domain
+            }
+            fn problem_size(&self) -> String {
+                ($size)(self)
+            }
+            fn run_on(&self, gpu: &mut Gpu) -> KernelStats {
+                self.run(gpu)
+            }
+        }
+    };
+}
+
+impl_benchmark!(
+    Backprop,
+    "Back Propagation",
+    "BP",
+    Dwarf::UnstructuredGrid,
+    "Pattern Recognition",
+    |b: &Backprop| format!("{} input nodes", b.n)
+);
+impl_benchmark!(
+    Bfs,
+    "Breadth-First Search",
+    "BFS",
+    Dwarf::GraphTraversal,
+    "Graph Algorithms",
+    |b: &Bfs| format!("{} nodes", b.n)
+);
+impl_benchmark!(
+    Cfd,
+    "CFD Solver",
+    "CFD",
+    Dwarf::UnstructuredGrid,
+    "Fluid Dynamics",
+    |b: &Cfd| format!("{}k elements", b.n / 1000)
+);
+impl_benchmark!(
+    Heartwall,
+    "Heart Wall Tracking",
+    "HW",
+    Dwarf::StructuredGrid,
+    "Medical Imaging",
+    |b: &Heartwall| format!("{}x{} pixels/frame, {} frames", b.width, b.height, b.frames)
+);
+impl_benchmark!(
+    Hotspot,
+    "HotSpot",
+    "HS",
+    Dwarf::StructuredGrid,
+    "Physics Simulation",
+    |b: &Hotspot| format!("{}x{} data points", b.n, b.n)
+);
+impl_benchmark!(
+    Kmeans,
+    "Kmeans",
+    "KM",
+    Dwarf::DenseLinearAlgebra,
+    "Data Mining",
+    |b: &Kmeans| format!("{} data points, {} features", b.n, b.features)
+);
+impl_benchmark!(
+    Leukocyte,
+    "Leukocyte Tracking",
+    "LC",
+    Dwarf::StructuredGrid,
+    "Medical Imaging",
+    |b: &Leukocyte| format!("{}x{} pixels/frame", b.height, b.width)
+);
+impl_benchmark!(
+    Lud,
+    "LU Decomposition",
+    "LUD",
+    Dwarf::DenseLinearAlgebra,
+    "Linear Algebra",
+    |b: &Lud| format!("{}x{} data points", b.n, b.n)
+);
+impl_benchmark!(
+    Mummer,
+    "MUMmer",
+    "MUM",
+    Dwarf::GraphTraversal,
+    "Bioinformatics",
+    |b: &Mummer| format!("{} {}-character queries", b.queries, b.read_len)
+);
+impl_benchmark!(
+    Nw,
+    "Needleman-Wunsch",
+    "NW",
+    Dwarf::DynamicProgramming,
+    "Bioinformatics",
+    |b: &Nw| format!("{}x{} data points", b.n, b.n)
+);
+impl_benchmark!(
+    Srad,
+    "SRAD",
+    "SRAD",
+    Dwarf::StructuredGrid,
+    "Image Processing",
+    |b: &Srad| format!("{}x{} data points", b.n, b.n)
+);
+impl_benchmark!(
+    StreamCluster,
+    "Stream Cluster",
+    "SC",
+    Dwarf::DenseLinearAlgebra,
+    "Data Mining",
+    |b: &StreamCluster| format!("{} points, {} dimensions", b.n, b.dims)
+);
+
+/// All twelve benchmarks at the given scale, in the order the paper's
+/// figures list them (BP, BFS, CFD, HW, HS, KM, LC, LUD, MUM, NW, SRAD,
+/// SC).
+pub fn all_benchmarks(scale: Scale) -> Vec<Box<dyn GpuBenchmark>> {
+    vec![
+        Box::new(Backprop::new(scale)),
+        Box::new(Bfs::new(scale)),
+        Box::new(Cfd::new(scale)),
+        Box::new(Heartwall::new(scale)),
+        Box::new(Hotspot::new(scale)),
+        Box::new(Kmeans::new(scale)),
+        Box::new(Leukocyte::new(scale)),
+        Box::new(Lud::new(scale)),
+        Box::new(Mummer::new(scale)),
+        Box::new(Nw::new(scale)),
+        Box::new(Srad::new(scale)),
+        Box::new(StreamCluster::new(scale)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt::GpuConfig;
+
+    #[test]
+    fn suite_has_twelve_members_in_figure_order() {
+        let suite = all_benchmarks(Scale::Tiny);
+        let abbrevs: Vec<&str> = suite.iter().map(|b| b.abbrev()).collect();
+        assert_eq!(
+            abbrevs,
+            vec!["BP", "BFS", "CFD", "HW", "HS", "KM", "LC", "LUD", "MUM", "NW", "SRAD", "SC"]
+        );
+    }
+
+    #[test]
+    fn table1_dwarves_match_the_paper() {
+        let suite = all_benchmarks(Scale::Tiny);
+        let dwarf_of = |a: &str| {
+            suite
+                .iter()
+                .find(|b| b.abbrev() == a)
+                .map(|b| b.dwarf())
+                .unwrap()
+        };
+        assert_eq!(dwarf_of("KM"), Dwarf::DenseLinearAlgebra);
+        assert_eq!(dwarf_of("NW"), Dwarf::DynamicProgramming);
+        assert_eq!(dwarf_of("HS"), Dwarf::StructuredGrid);
+        assert_eq!(dwarf_of("BP"), Dwarf::UnstructuredGrid);
+        assert_eq!(dwarf_of("BFS"), Dwarf::GraphTraversal);
+        assert_eq!(dwarf_of("MUM"), Dwarf::GraphTraversal);
+        assert_eq!(dwarf_of("CFD"), Dwarf::UnstructuredGrid);
+        assert_eq!(dwarf_of("LUD"), Dwarf::DenseLinearAlgebra);
+        assert_eq!(dwarf_of("HW"), Dwarf::StructuredGrid);
+        assert_eq!(dwarf_of("LC"), Dwarf::StructuredGrid);
+        assert_eq!(dwarf_of("SRAD"), Dwarf::StructuredGrid);
+        assert_eq!(dwarf_of("SC"), Dwarf::DenseLinearAlgebra);
+    }
+
+    #[test]
+    fn every_benchmark_runs_at_tiny_scale() {
+        for b in all_benchmarks(Scale::Tiny) {
+            let mut gpu = Gpu::new(GpuConfig::gpgpusim_8sm());
+            let stats = b.run_on(&mut gpu);
+            assert!(stats.cycles > 0, "{} produced no cycles", b.abbrev());
+            assert!(
+                stats.thread_instructions > 0,
+                "{} executed nothing",
+                b.abbrev()
+            );
+            assert!(!b.problem_size().is_empty());
+        }
+    }
+}

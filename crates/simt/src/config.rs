@@ -1,0 +1,420 @@
+//! GPU machine-model configuration and the presets used by the paper's
+//! experiments (GPGPU-Sim Table II, GTX 280, and the two GTX 480 / Fermi
+//! on-chip memory configurations).
+
+/// Warp-scheduler policy (the paper's future-work item on "the impact
+/// of hardware thread scheduling mechanisms").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Loose round-robin among ready warps (GPGPU-Sim's default).
+    #[default]
+    RoundRobin,
+    /// Greedy-then-oldest: keep issuing from the same warp until it
+    /// stalls, then switch to the least-recently-issued ready warp.
+    /// Improves cache locality for kernels with intra-warp reuse.
+    GreedyThenOldest,
+}
+
+/// Geometry of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeom {
+    /// Total capacity in bytes.
+    pub bytes: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line: u32,
+}
+
+impl CacheGeom {
+    /// A cache of `bytes` capacity with the given associativity and 64-byte
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not yield at least one full set.
+    pub fn new(bytes: u32, ways: u32, line: u32) -> CacheGeom {
+        assert!(bytes >= ways * line, "cache smaller than one set");
+        assert!(
+            (bytes / (ways * line)).is_power_of_two(),
+            "number of sets must be a power of two"
+        );
+        CacheGeom { bytes, ways, line }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.bytes / (self.ways * self.line)
+    }
+}
+
+/// Full machine-model configuration for [`crate::Gpu`].
+///
+/// Field defaults mirror the paper's Table II (the GPGPU-Sim configuration)
+/// where applicable; use the preset constructors for the exact
+/// configurations of each experiment and the builder-style `with_*`
+/// methods for parameter sweeps (Figure 4, Plackett–Burman).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Human-readable configuration name (appears in reports).
+    pub name: String,
+    /// Number of streaming multiprocessors (shader cores).
+    pub num_sms: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// SIMD pipeline width; a warp issues over `warp_size / simd_width`
+    /// cycles.
+    pub simd_width: u32,
+    /// Core clock in GHz (affects the core/memory clock ratio and the
+    /// wall-clock time reported for Figure 5).
+    pub core_clock_ghz: f64,
+    /// Memory clock in GHz.
+    pub mem_clock_ghz: f64,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident CTAs per SM.
+    pub max_ctas_per_sm: u32,
+    /// Register file size per SM (32-bit registers).
+    pub regs_per_sm: u32,
+    /// Shared-memory (scratchpad) capacity per SM, in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Number of shared-memory banks.
+    pub shared_banks: u32,
+    /// Whether shared-memory bank conflicts serialize accesses.
+    pub model_bank_conflicts: bool,
+    /// Number of DRAM channels.
+    pub mem_channels: u32,
+    /// DRAM bus width per channel, in bytes.
+    pub dram_bus_bytes: u32,
+    /// DRAM transfers per memory clock (2 = DDR).
+    pub dram_data_rate: u32,
+    /// DRAM access latency in core cycles (row access + controller).
+    pub dram_latency: u32,
+    /// ALU result latency in core cycles.
+    pub alu_latency: u32,
+    /// SFU (transcendental) result latency in core cycles.
+    pub sfu_latency: u32,
+    /// Shared-memory access latency in core cycles.
+    pub shared_latency: u32,
+    /// Constant-cache hit latency in core cycles.
+    pub const_latency: u32,
+    /// Parameter-load latency (always a hit) in core cycles.
+    pub param_latency: u32,
+    /// Coalescing segment size in bytes.
+    pub segment_bytes: u32,
+    /// Per-SM L1 data cache (Fermi); `None` on pre-Fermi configurations.
+    pub l1: Option<CacheGeom>,
+    /// Chip-wide L2 cache (Fermi); `None` on pre-Fermi configurations.
+    pub l2: Option<CacheGeom>,
+    /// Per-SM texture cache.
+    pub tex_cache: Option<CacheGeom>,
+    /// L1 hit latency in core cycles.
+    pub l1_latency: u32,
+    /// L2 hit latency in core cycles.
+    pub l2_latency: u32,
+    /// Texture-cache hit latency in core cycles.
+    pub tex_latency: u32,
+    /// Cycles between a CTA finishing and its replacement starting.
+    pub cta_launch_overhead: u32,
+    /// Warp-scheduler policy.
+    pub sched_policy: SchedPolicy,
+    /// Model ideal SIMD-lane compaction (dynamic-warp-formation style):
+    /// a warp instruction with `k` active lanes occupies the pipeline
+    /// for `ceil(k / simd_width)` cycles instead of the full
+    /// `warp_size / simd_width`. Used by the branch-divergence
+    /// sensitivity study; off for all paper configurations.
+    pub lane_compaction: bool,
+}
+
+impl GpuConfig {
+    /// The default GPGPU-Sim configuration of the paper's Table II:
+    /// 28 SMs, 2 GHz, warp size 32, SIMD width 32, 1024 threads and
+    /// 8 CTAs per SM, 16384 registers, 32 kB shared memory with bank
+    /// conflicts modeled, 8 memory channels, and **no** L1/L2 caches
+    /// (the paper's simulations disable the L2).
+    pub fn gpgpusim_default() -> GpuConfig {
+        GpuConfig {
+            name: "gpgpusim-28sm".to_string(),
+            num_sms: 28,
+            warp_size: 32,
+            simd_width: 32,
+            core_clock_ghz: 2.0,
+            // GDDR3-class memory clock; with 8 DDR channels of 8 bytes
+            // this yields a 256 GB/s-class simulated part.
+            mem_clock_ghz: 2.0,
+            max_threads_per_sm: 1024,
+            max_ctas_per_sm: 8,
+            regs_per_sm: 16384,
+            shared_mem_per_sm: 32 * 1024,
+            shared_banks: 16,
+            model_bank_conflicts: true,
+            mem_channels: 8,
+            dram_bus_bytes: 8,
+            dram_data_rate: 2,
+            dram_latency: 220,
+            alu_latency: 8,
+            sfu_latency: 20,
+            shared_latency: 24,
+            const_latency: 24,
+            param_latency: 8,
+            segment_bytes: 64,
+            l1: None,
+            l2: None,
+            tex_cache: Some(CacheGeom::new(8 * 1024, 4, 64)),
+            l1_latency: 28,
+            l2_latency: 120,
+            tex_latency: 28,
+            cta_launch_overhead: 20,
+            sched_policy: SchedPolicy::RoundRobin,
+            lane_compaction: false,
+        }
+    }
+
+    /// The 8-shader configuration used for the scalability comparison of
+    /// Figure 1.
+    pub fn gpgpusim_8sm() -> GpuConfig {
+        GpuConfig {
+            name: "gpgpusim-8sm".to_string(),
+            num_sms: 8,
+            ..GpuConfig::gpgpusim_default()
+        }
+    }
+
+    /// A GTX 280 model: 30 SMs of 8-wide SIMD at 1.3 GHz, 16 kB shared
+    /// memory, no L1/L2 (texture and constant caches only).
+    pub fn gtx280() -> GpuConfig {
+        GpuConfig {
+            name: "gtx280".to_string(),
+            num_sms: 30,
+            simd_width: 8,
+            core_clock_ghz: 1.3,
+            mem_clock_ghz: 1.1,
+            shared_mem_per_sm: 16 * 1024,
+            shared_banks: 16,
+            mem_channels: 8,
+            dram_bus_bytes: 8,
+            ..GpuConfig::gpgpusim_default()
+        }
+    }
+
+    /// A GTX 480 (Fermi) model in its **shared-bias** configuration:
+    /// 48 kB shared memory + 16 kB L1 per SM, with a 768 kB unified L2.
+    pub fn gtx480_shared_bias() -> GpuConfig {
+        GpuConfig {
+            name: "gtx480-shared-bias".to_string(),
+            num_sms: 15,
+            simd_width: 32,
+            core_clock_ghz: 1.4,
+            mem_clock_ghz: 1.8,
+            shared_mem_per_sm: 48 * 1024,
+            shared_banks: 32,
+            regs_per_sm: 32768,
+            mem_channels: 6,
+            dram_bus_bytes: 8,
+            l1: Some(CacheGeom::new(16 * 1024, 4, 64)),
+            l2: Some(CacheGeom::new(768 * 1024, 12, 64)),
+            ..GpuConfig::gpgpusim_default()
+        }
+    }
+
+    /// A GTX 480 (Fermi) model in its **L1-bias** configuration:
+    /// 16 kB shared memory + 48 kB L1 per SM, with a 768 kB unified L2.
+    pub fn gtx480_l1_bias() -> GpuConfig {
+        GpuConfig {
+            name: "gtx480-l1-bias".to_string(),
+            shared_mem_per_sm: 16 * 1024,
+            l1: Some(CacheGeom::new(48 * 1024, 6, 64)),
+            ..GpuConfig::gtx480_shared_bias()
+        }
+    }
+
+    /// Returns a copy with a different number of DRAM channels
+    /// (the Figure 4 sweep).
+    pub fn with_mem_channels(&self, channels: u32) -> GpuConfig {
+        assert!(channels > 0, "at least one memory channel is required");
+        GpuConfig {
+            name: format!("{}-{}ch", self.name, channels),
+            mem_channels: channels,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a different SM count.
+    pub fn with_num_sms(&self, sms: u32) -> GpuConfig {
+        assert!(sms > 0, "at least one SM is required");
+        GpuConfig {
+            name: format!("{}-{}sm", self.name, sms),
+            num_sms: sms,
+            ..self.clone()
+        }
+    }
+
+    /// Peak DRAM bandwidth in bytes per *core* cycle, used for the
+    /// bandwidth-utilization metric.
+    pub fn peak_bytes_per_core_cycle(&self) -> f64 {
+        let bytes_per_mem_cycle =
+            (self.mem_channels * self.dram_bus_bytes * self.dram_data_rate) as f64;
+        bytes_per_mem_cycle * (self.mem_clock_ghz / self.core_clock_ghz)
+    }
+
+    /// Core cycles a DRAM channel is busy serving one segment.
+    pub fn segment_service_cycles(&self) -> u64 {
+        let beat = self.dram_bus_bytes * self.dram_data_rate;
+        let mem_cycles = self.segment_bytes.div_ceil(beat);
+        let core_cycles = mem_cycles as f64 * (self.core_clock_ghz / self.mem_clock_ghz);
+        core_cycles.ceil().max(1.0) as u64
+    }
+
+    /// Warp issue occupancy of the SIMD pipeline, in cycles per warp
+    /// instruction (for a fully populated warp).
+    pub fn issue_cycles(&self) -> u64 {
+        self.warp_size.div_ceil(self.simd_width) as u64
+    }
+
+    /// Issue occupancy for an instruction with `lanes` active lanes,
+    /// honoring [`GpuConfig::lane_compaction`].
+    pub fn issue_cycles_for(&self, lanes: u32) -> u64 {
+        if self.lane_compaction {
+            lanes.max(1).div_ceil(self.simd_width) as u64
+        } else {
+            self.issue_cycles()
+        }
+    }
+
+    /// Validates internal consistency of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency
+    /// found (e.g. zero SMs, SIMD width exceeding the warp size).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_sms == 0 {
+            return Err("num_sms must be positive".into());
+        }
+        if self.warp_size == 0 || self.warp_size > 64 {
+            return Err("warp_size must be in 1..=64".into());
+        }
+        if self.simd_width == 0 || self.simd_width > self.warp_size {
+            return Err("simd_width must be in 1..=warp_size".into());
+        }
+        if self.mem_channels == 0 {
+            return Err("mem_channels must be positive".into());
+        }
+        if self.segment_bytes == 0 || !self.segment_bytes.is_power_of_two() {
+            return Err("segment_bytes must be a positive power of two".into());
+        }
+        if self.max_threads_per_sm < self.warp_size {
+            return Err("an SM must hold at least one warp".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::gpgpusim_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        // The values the paper lists in Table II.
+        let c = GpuConfig::gpgpusim_default();
+        assert_eq!(c.num_sms, 28);
+        assert_eq!(c.warp_size, 32);
+        assert_eq!(c.simd_width, 32);
+        assert_eq!(c.max_threads_per_sm, 1024);
+        assert_eq!(c.max_ctas_per_sm, 8);
+        assert_eq!(c.regs_per_sm, 16384);
+        assert_eq!(c.shared_mem_per_sm, 32 * 1024);
+        assert!(c.model_bank_conflicts);
+        assert_eq!(c.mem_channels, 8);
+        assert!((c.core_clock_ghz - 2.0).abs() < 1e-12);
+        assert!(c.l1.is_none() && c.l2.is_none());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn presets_validate() {
+        for c in [
+            GpuConfig::gpgpusim_default(),
+            GpuConfig::gpgpusim_8sm(),
+            GpuConfig::gtx280(),
+            GpuConfig::gtx480_shared_bias(),
+            GpuConfig::gtx480_l1_bias(),
+        ] {
+            assert!(c.validate().is_ok(), "{} should validate", c.name);
+        }
+    }
+
+    #[test]
+    fn fermi_bias_configs_trade_shared_for_l1() {
+        let sb = GpuConfig::gtx480_shared_bias();
+        let lb = GpuConfig::gtx480_l1_bias();
+        assert_eq!(sb.shared_mem_per_sm, 48 * 1024);
+        assert_eq!(lb.shared_mem_per_sm, 16 * 1024);
+        assert_eq!(sb.l1.unwrap().bytes, 16 * 1024);
+        assert_eq!(lb.l1.unwrap().bytes, 48 * 1024);
+        assert_eq!(sb.l2, lb.l2);
+    }
+
+    #[test]
+    fn issue_cycles_from_simd_width() {
+        let c = GpuConfig::gpgpusim_default();
+        assert_eq!(c.issue_cycles(), 1);
+        let narrow = GpuConfig {
+            simd_width: 8,
+            ..c
+        };
+        assert_eq!(narrow.issue_cycles(), 4);
+    }
+
+    #[test]
+    fn segment_service_scales_with_bus() {
+        let c = GpuConfig::gpgpusim_default();
+        // 64 B over an 8 B DDR bus at a 1:1 core:mem ratio = 4 core cycles.
+        assert_eq!(c.segment_service_cycles(), 4);
+        let wide = GpuConfig {
+            dram_bus_bytes: 16,
+            ..GpuConfig::gpgpusim_default()
+        };
+        assert_eq!(wide.segment_service_cycles(), 2);
+    }
+
+    #[test]
+    fn peak_bandwidth_accounting() {
+        let c = GpuConfig::gpgpusim_default();
+        // 8 channels * 8 B DDR per mem cycle, at mem:core = 1:1
+        // -> 128 B/core cycle.
+        assert!((c.peak_bytes_per_core_cycle() - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = GpuConfig::gpgpusim_default();
+        c.simd_width = 64;
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::gpgpusim_default();
+        c.mem_channels = 0;
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::gpgpusim_default();
+        c.segment_bytes = 48;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cache_geom_sets() {
+        let g = CacheGeom::new(8 * 1024, 4, 64);
+        assert_eq!(g.sets(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn cache_geom_rejects_non_pow2_sets() {
+        let _ = CacheGeom::new(48 * 1024, 4, 64);
+    }
+}

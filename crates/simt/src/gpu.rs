@@ -1,0 +1,892 @@
+//! The whole-GPU timing model: CTA scheduling and trace replay.
+
+use crate::caches::Cache;
+use crate::config::{GpuConfig, SchedPolicy};
+use crate::isa::TOp;
+use crate::kernel::Kernel;
+use crate::memory::GpuMem;
+use crate::sm::{ctas_per_sm, CtaRt, SmRt, WarpRt};
+use crate::stats::{KernelStats, MemMix, OccupancyHistogram};
+use crate::trace::{trace_kernel, KernelTrace};
+use crate::dram::Dram;
+
+/// A simulated GPU: a machine configuration plus device memory.
+///
+/// The typical flow mirrors a CUDA program: allocate and fill buffers
+/// through [`Gpu::mem_mut`], [`Gpu::launch`] one or more kernels, then
+/// read results back.
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    mem: GpuMem,
+}
+
+impl Gpu {
+    /// Creates a GPU with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`GpuConfig::validate`]).
+    pub fn new(cfg: GpuConfig) -> Gpu {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid GPU configuration {}: {e}", cfg.name);
+        }
+        Gpu {
+            cfg,
+            mem: GpuMem::new(),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Device memory (read access).
+    pub fn mem(&self) -> &GpuMem {
+        &self.mem
+    }
+
+    /// Device memory (for allocation and host↔device copies).
+    pub fn mem_mut(&mut self) -> &mut GpuMem {
+        &mut self.mem
+    }
+
+    /// Executes `kernel` functionally and times it on this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel's per-CTA resources exceed the SM's capacity,
+    /// or if the kernel itself misbehaves (out-of-bounds access, barrier
+    /// divergence).
+    pub fn launch(&mut self, kernel: &dyn Kernel) -> KernelStats {
+        let trace = trace_kernel(kernel, &mut self.mem, &self.cfg);
+        time_trace(&trace, &self.cfg)
+    }
+
+    /// Like [`Gpu::launch`], but also returns the captured trace so it can
+    /// be re-timed under other configurations.
+    pub fn launch_traced(&mut self, kernel: &dyn Kernel) -> (KernelTrace, KernelStats) {
+        let trace = trace_kernel(kernel, &mut self.mem, &self.cfg);
+        let stats = time_trace(&trace, &self.cfg);
+        (trace, stats)
+    }
+
+    /// Executes several kernels **concurrently** (Fermi-style
+    /// simultaneous kernel execution). Functional execution happens in
+    /// argument order — so the kernels must not depend on each other's
+    /// output — and the timing model then co-schedules their CTAs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty or any kernel cannot launch.
+    pub fn launch_concurrent(&mut self, kernels: &[&dyn Kernel]) -> ConcurrentStats {
+        let traces: Vec<KernelTrace> = kernels
+            .iter()
+            .map(|k| trace_kernel(*k, &mut self.mem, &self.cfg))
+            .collect();
+        let refs: Vec<&KernelTrace> = traces.iter().collect();
+        time_traces_concurrent(&refs, &self.cfg)
+    }
+}
+
+/// Result of a concurrent multi-kernel execution
+/// ([`time_traces_concurrent`]).
+#[derive(Debug, Clone)]
+pub struct ConcurrentStats {
+    /// Aggregate statistics over all co-resident kernels (its `cycles`
+    /// is the makespan).
+    pub combined: KernelStats,
+    /// Cycle at which each kernel's last CTA retired, in input order.
+    pub per_kernel_cycles: Vec<u64>,
+}
+
+/// Replays a captured trace on the machine model of `cfg`, producing the
+/// full statistics the paper reports.
+///
+/// The trace must have been captured with the same warp size and segment
+/// size as `cfg` (bank-conflict degrees are stored in the trace, so the
+/// `model_bank_conflicts` flag and everything downstream of issue — SIMD
+/// width, clocks, channels, caches — may differ freely; this is what
+/// enables the Figure 4 and Plackett–Burman sweeps to reuse traces).
+///
+/// # Panics
+///
+/// Panics on occupancy failure (a CTA that cannot fit on an SM) or on an
+/// internal scheduling deadlock, which would indicate a bug.
+pub fn time_trace(trace: &KernelTrace, cfg: &GpuConfig) -> KernelStats {
+    time_traces_concurrent(&[trace], cfg).combined
+}
+
+/// Executes several captured kernels **concurrently** on one GPU — the
+/// paper's "simultaneous kernel execution" future-work item. CTAs from
+/// the kernels are interleaved round-robin into the pending queue and
+/// placed wherever an SM has the resources (threads, registers, shared
+/// memory, CTA slots), so small kernels can co-reside on partially
+/// occupied SMs.
+///
+/// # Panics
+///
+/// Panics if `traces` is empty, if any kernel cannot fit a single CTA on
+/// an empty SM, or on a warp-size mismatch with `cfg`.
+pub fn time_traces_concurrent(traces: &[&KernelTrace], cfg: &GpuConfig) -> ConcurrentStats {
+    assert!(!traces.is_empty(), "no kernels to execute");
+    for trace in traces {
+        assert_eq!(
+            trace.warp_size, cfg.warp_size as usize,
+            "trace captured with a different warp size"
+        );
+        if let Err(e) = ctas_per_sm(
+            cfg,
+            trace.threads_per_block,
+            trace.regs_per_thread,
+            trace.shared_bytes_per_cta,
+        ) {
+            panic!("kernel {} cannot launch: {e}", trace.name);
+        }
+    }
+    let mut engine = Engine::new(traces, cfg);
+    engine.run();
+    engine.into_stats()
+}
+
+struct Engine<'a> {
+    traces: &'a [&'a KernelTrace],
+    cfg: &'a GpuConfig,
+    sms: Vec<SmRt>,
+    warps: Vec<WarpRt>,
+    ctas: Vec<CtaRt>,
+    dram: Dram,
+    l2: Option<Cache>,
+    /// Pending (kernel, cta) launches, FIFO.
+    queue: std::collections::VecDeque<(usize, usize)>,
+    live_warps: usize,
+    cycle: u64,
+    horizon: u64,
+    per_kernel_done: Vec<u64>,
+    // accumulators
+    thread_instructions: u64,
+    warp_instructions: u64,
+    mem_mix: MemMix,
+    occupancy: OccupancyHistogram,
+}
+
+impl<'a> Engine<'a> {
+    fn new(traces: &'a [&'a KernelTrace], cfg: &'a GpuConfig) -> Engine<'a> {
+        // CTAs of all kernels interleave round-robin into one queue.
+        let mut queue = std::collections::VecDeque::new();
+        let max_ctas = traces.iter().map(|t| t.ctas.len()).max().unwrap_or(0);
+        for c in 0..max_ctas {
+            for (k, t) in traces.iter().enumerate() {
+                if c < t.ctas.len() {
+                    queue.push_back((k, c));
+                }
+            }
+        }
+        let mut e = Engine {
+            traces,
+            cfg,
+            sms: (0..cfg.num_sms).map(|_| SmRt::new(cfg)).collect(),
+            warps: Vec::new(),
+            ctas: Vec::new(),
+            dram: Dram::new(cfg),
+            l2: cfg.l2.map(Cache::new),
+            queue,
+            live_warps: 0,
+            cycle: 0,
+            horizon: 0,
+            per_kernel_done: vec![0; traces.len()],
+            thread_instructions: 0,
+            warp_instructions: 0,
+            mem_mix: MemMix::default(),
+            occupancy: OccupancyHistogram::new(cfg.warp_size as usize),
+        };
+        // Initial breadth-first CTA placement, as GPGPU-Sim does: sweep
+        // the SMs round after round until the head of the queue no
+        // longer fits anywhere.
+        loop {
+            let mut placed = false;
+            for sm in 0..e.sms.len() {
+                if let Some(&(k, _)) = e.queue.front() {
+                    if e.fits(sm, k) {
+                        let (k, c) = e.queue.pop_front().unwrap();
+                        e.place_cta(sm, k, c, 0);
+                        placed = true;
+                    }
+                }
+            }
+            if !placed {
+                break;
+            }
+        }
+        e
+    }
+
+    /// Whether a CTA of kernel `k` fits on `sm` right now.
+    fn fits(&self, sm: usize, k: usize) -> bool {
+        let t = self.traces[k];
+        let s = &self.sms[sm];
+        let threads = t.threads_per_block as u32;
+        s.resident_ctas < self.cfg.max_ctas_per_sm as usize
+            && s.used_threads + threads <= self.cfg.max_threads_per_sm
+            && s.used_regs + threads * t.regs_per_thread <= self.cfg.regs_per_sm
+            && s.used_shared + t.shared_bytes_per_cta <= self.cfg.shared_mem_per_sm
+    }
+
+    fn place_cta(&mut self, sm: usize, kernel: usize, trace_idx: usize, at: u64) {
+        let t = self.traces[kernel];
+        let n_warps = t.ctas[trace_idx].warps.len();
+        let cta_rt = self.ctas.len();
+        let mut warp_ids = Vec::with_capacity(n_warps);
+        for w in 0..n_warps {
+            let id = self.warps.len();
+            self.warps.push(WarpRt {
+                kernel,
+                cta_rt,
+                cta_trace: trace_idx,
+                warp_idx: w,
+                pc: 0,
+                ready_at: at,
+                at_barrier: false,
+                done: false,
+                last_issue: 0,
+            });
+            warp_ids.push(id);
+            self.sms[sm].warps.push(id);
+        }
+        self.live_warps += n_warps;
+        self.ctas.push(CtaRt {
+            kernel,
+            sm,
+            warps: warp_ids,
+            arrived: 0,
+            done_warps: 0,
+        });
+        let s = &mut self.sms[sm];
+        s.resident_ctas += 1;
+        s.used_threads += t.threads_per_block as u32;
+        s.used_regs += t.threads_per_block as u32 * t.regs_per_thread;
+        s.used_shared += t.shared_bytes_per_cta;
+    }
+
+    fn run(&mut self) {
+        while self.live_warps > 0 {
+            let mut issued_any = false;
+            for sm in 0..self.sms.len() {
+                while self.sms[sm].port_free_at <= self.cycle {
+                    let Some(w) = self.pick_warp(sm) else {
+                        break;
+                    };
+                    self.issue(sm, w);
+                    issued_any = true;
+                    if self.live_warps == 0 {
+                        break;
+                    }
+                }
+            }
+            if self.live_warps == 0 {
+                break;
+            }
+            if issued_any {
+                self.cycle += 1;
+            } else {
+                self.fast_forward();
+            }
+        }
+        self.horizon = self.horizon.max(self.cycle);
+    }
+
+    /// Selects an issuable warp on `sm` according to the configured
+    /// scheduler policy.
+    fn pick_warp(&mut self, sm: usize) -> Option<usize> {
+        let n = self.sms[sm].warps.len();
+        if n == 0 {
+            return None;
+        }
+        let ready = |warp: &WarpRt, cycle: u64| {
+            !warp.done && !warp.at_barrier && warp.ready_at <= cycle
+        };
+        match self.cfg.sched_policy {
+            SchedPolicy::RoundRobin => {
+                let start = self.sms[sm].rr % n;
+                for i in 0..n {
+                    let slot = (start + i) % n;
+                    let w = self.sms[sm].warps[slot];
+                    if ready(&self.warps[w], self.cycle) {
+                        self.sms[sm].rr = slot + 1;
+                        return Some(w);
+                    }
+                }
+                None
+            }
+            SchedPolicy::GreedyThenOldest => {
+                // Greedy: stick with the last warp while it stays ready.
+                if let Some(w) = self.sms[sm].last_warp {
+                    if ready(&self.warps[w], self.cycle) {
+                        return Some(w);
+                    }
+                }
+                // Oldest: least-recently-issued ready warp.
+                let mut best: Option<usize> = None;
+                for &w in &self.sms[sm].warps {
+                    if ready(&self.warps[w], self.cycle)
+                        && best.is_none_or(|b| {
+                            self.warps[w].last_issue < self.warps[b].last_issue
+                        })
+                    {
+                        best = Some(w);
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    fn fast_forward(&mut self) {
+        let mut next = u64::MAX;
+        for (si, sm) in self.sms.iter().enumerate() {
+            for &w in &sm.warps {
+                let warp = &self.warps[w];
+                if !warp.done && !warp.at_barrier {
+                    let cand = warp.ready_at.max(self.sms[si].port_free_at);
+                    next = next.min(cand);
+                }
+            }
+        }
+        assert!(
+            next != u64::MAX,
+            "scheduling deadlock: all live warps parked at barriers"
+        );
+        self.cycle = next.max(self.cycle + 1);
+    }
+
+    fn issue(&mut self, sm: usize, w: usize) {
+        let (kernel, cta_trace, warp_idx, pc) = {
+            let warp = &self.warps[w];
+            (warp.kernel, warp.cta_trace, warp.warp_idx, warp.pc)
+        };
+        let op = &self.traces[kernel].ctas[cta_trace].warps[warp_idx].ops[pc];
+        self.warps[w].pc += 1;
+
+        // Account instructions and occupancy.
+        let wi = op.warp_instructions();
+        self.warp_instructions += wi;
+        self.thread_instructions += op.thread_instructions();
+        if op.lanes() > 0 {
+            self.occupancy.record(op.lanes(), wi);
+        }
+        if let Some(space) = op.mem_space() {
+            self.mem_mix.add(space, wi);
+        }
+
+        let cycle = self.cycle;
+        let ic = match op {
+            TOp::Bar => 1,
+            _ => self.cfg.issue_cycles_for(op.lanes()),
+        };
+        let (port_busy, ready_at) = match op {
+            TOp::Alu { n, .. } => {
+                let busy = ic * *n as u64;
+                (busy, cycle + busy + self.cfg.alu_latency as u64)
+            }
+            TOp::Sfu { n, .. } => {
+                // SFUs are quarter-rate.
+                let busy = 4 * ic * *n as u64;
+                (busy, cycle + busy + self.cfg.sfu_latency as u64)
+            }
+            TOp::Branch { .. } => (ic, cycle + ic + self.cfg.alu_latency as u64),
+            TOp::Param { n, .. } => {
+                let busy = ic * *n as u64;
+                (busy, cycle + busy + self.cfg.param_latency as u64)
+            }
+            TOp::Const { unique, .. } => {
+                let busy = ic * *unique as u64;
+                (busy, cycle + busy + self.cfg.const_latency as u64)
+            }
+            TOp::Shared { degree, .. } => {
+                let d = if self.cfg.model_bank_conflicts {
+                    *degree as u64
+                } else {
+                    1
+                };
+                let busy = ic * d;
+                (busy, cycle + busy + self.cfg.shared_latency as u64)
+            }
+            TOp::Tex { segs, .. } => {
+                let mut done = cycle + ic + self.cfg.tex_latency as u64;
+                for &seg in segs.iter() {
+                    let hit = match &mut self.sms[sm].tex {
+                        Some(tex) => tex.access(seg),
+                        None => false,
+                    };
+                    if !hit {
+                        let t = self.l2_dram_load(seg, cycle);
+                        done = done.max(t + self.cfg.tex_latency as u64);
+                    }
+                }
+                (ic, done)
+            }
+            TOp::Gmem { store, segs, .. } => {
+                if *store {
+                    // Stores retire through a write buffer; the warp does
+                    // not wait, but bandwidth is consumed.
+                    for &seg in segs.iter() {
+                        self.store_path(seg, cycle);
+                    }
+                    (ic, cycle + ic + self.cfg.alu_latency as u64)
+                } else {
+                    let mut done = cycle + ic;
+                    for &seg in segs.iter() {
+                        let t = self.load_path(sm, seg, cycle);
+                        done = done.max(t);
+                    }
+                    (ic, done)
+                }
+            }
+            TOp::Bar => {
+                self.arrive_barrier(w);
+                (1, cycle + 1)
+            }
+        };
+
+        self.sms[sm].port_free_at = cycle.max(self.sms[sm].port_free_at) + port_busy;
+        self.sms[sm].last_warp = Some(w);
+        self.warps[w].last_issue = cycle;
+        if !self.warps[w].at_barrier {
+            self.warps[w].ready_at = ready_at;
+        }
+        self.horizon = self.horizon.max(ready_at);
+
+        // Trace drained?
+        if self.warps[w].pc == self.traces[kernel].ctas[cta_trace].warps[warp_idx].ops.len() {
+            self.retire_warp(sm, w);
+        }
+    }
+
+    /// Load path: L1 (per SM) -> L2 -> DRAM. Returns completion cycle.
+    fn load_path(&mut self, sm: usize, seg: u64, cycle: u64) -> u64 {
+        let l1_lat = self.cfg.l1_latency as u64;
+        match &mut self.sms[sm].l1 {
+            Some(l1) => {
+                if l1.access(seg) {
+                    cycle + l1_lat
+                } else {
+                    self.l2_dram_load(seg, cycle) + l1_lat
+                }
+            }
+            None => self.l2_dram_load(seg, cycle),
+        }
+    }
+
+    fn l2_dram_load(&mut self, seg: u64, cycle: u64) -> u64 {
+        match &mut self.l2 {
+            Some(l2) => {
+                if l2.access(seg) {
+                    cycle + self.cfg.l2_latency as u64
+                } else {
+                    self.dram.access(seg, cycle) + self.cfg.l2_latency as u64
+                }
+            }
+            None => self.dram.access(seg, cycle),
+        }
+    }
+
+    /// Store path: the L2 (write-back) absorbs hits; everything else goes
+    /// to DRAM. Stores bypass the (write-evict) L1.
+    fn store_path(&mut self, seg: u64, cycle: u64) {
+        match &mut self.l2 {
+            Some(l2) => {
+                if !l2.access(seg) {
+                    self.dram.access(seg, cycle);
+                }
+            }
+            None => {
+                self.dram.access(seg, cycle);
+            }
+        }
+    }
+
+    fn arrive_barrier(&mut self, w: usize) {
+        let cta_rt = self.warps[w].cta_rt;
+        self.warps[w].at_barrier = true;
+        self.ctas[cta_rt].arrived += 1;
+        let expected = self.ctas[cta_rt].warps.len() - self.ctas[cta_rt].done_warps;
+        if self.ctas[cta_rt].arrived >= expected {
+            let release = self.cycle + 1;
+            self.ctas[cta_rt].arrived = 0;
+            let warps = self.ctas[cta_rt].warps.clone();
+            for wid in warps {
+                if self.warps[wid].at_barrier {
+                    self.warps[wid].at_barrier = false;
+                    self.warps[wid].ready_at = release;
+                }
+            }
+        }
+    }
+
+    fn retire_warp(&mut self, sm: usize, w: usize) {
+        self.warps[w].done = true;
+        self.live_warps -= 1;
+        let cta_rt = self.warps[w].cta_rt;
+        debug_assert_eq!(self.ctas[cta_rt].sm, sm, "warp retired on the wrong SM");
+        self.ctas[cta_rt].done_warps += 1;
+        if self.ctas[cta_rt].done_warps == self.ctas[cta_rt].warps.len() {
+            // CTA complete: free its resources and launch pending CTAs.
+            let kernel = self.ctas[cta_rt].kernel;
+            let t = self.traces[kernel];
+            {
+                let s = &mut self.sms[sm];
+                s.resident_ctas -= 1;
+                s.used_threads -= t.threads_per_block as u32;
+                s.used_regs -= t.threads_per_block as u32 * t.regs_per_thread;
+                s.used_shared -= t.shared_bytes_per_cta;
+            }
+            self.per_kernel_done[kernel] = self.per_kernel_done[kernel].max(self.cycle);
+            let dead: Vec<usize> = self.ctas[cta_rt].warps.clone();
+            self.sms[sm].warps.retain(|id| !dead.contains(id));
+            while let Some(&(k, _)) = self.queue.front() {
+                if !self.fits(sm, k) {
+                    break;
+                }
+                let (k, c) = self.queue.pop_front().unwrap();
+                let at = self.cycle + self.cfg.cta_launch_overhead as u64;
+                self.place_cta(sm, k, c, at);
+            }
+        }
+    }
+
+    fn into_stats(mut self) -> ConcurrentStats {
+        // Outstanding stores keep DRAM channels busy past the last
+        // warp's retirement; the kernel is not done until they drain.
+        self.horizon = self.horizon.max(self.dram.drain_cycle());
+        let mut l1_hits = 0;
+        let mut l1_misses = 0;
+        let mut tex_hits = 0;
+        let mut tex_misses = 0;
+        for sm in &self.sms {
+            if let Some(l1) = &sm.l1 {
+                l1_hits += l1.hits();
+                l1_misses += l1.misses();
+            }
+            if let Some(t) = &sm.tex {
+                tex_hits += t.hits();
+                tex_misses += t.misses();
+            }
+        }
+        let (l2_hits, l2_misses) = match &self.l2 {
+            Some(l2) => (l2.hits(), l2.misses()),
+            None => (0, 0),
+        };
+        let name = self
+            .traces
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+        let combined = KernelStats {
+            name,
+            config: self.cfg.name.clone(),
+            cycles: self.horizon,
+            thread_instructions: self.thread_instructions,
+            warp_instructions: self.warp_instructions,
+            mem_mix: self.mem_mix,
+            occupancy: self.occupancy,
+            dram_bytes: self.dram.bytes(),
+            dram_busy_cycles: self.dram.busy_cycles(),
+            peak_bytes_per_cycle: self.cfg.peak_bytes_per_core_cycle(),
+            core_clock_ghz: self.cfg.core_clock_ghz,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            tex_hits,
+            tex_misses,
+            launches: 1,
+        };
+        ConcurrentStats {
+            combined,
+            per_kernel_cycles: self.per_kernel_done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{GridShape, PhaseControl, WarpCtx};
+    use crate::memory::BufF32;
+
+    /// Pure-compute kernel: `iters` ALU instructions per thread.
+    struct Compute {
+        n: usize,
+        iters: u32,
+    }
+
+    impl Kernel for Compute {
+        fn name(&self) -> &str {
+            "compute"
+        }
+        fn shape(&self) -> GridShape {
+            GridShape::cover(self.n, 256)
+        }
+        fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+            w.alu(self.iters);
+            PhaseControl::Done
+        }
+    }
+
+    /// Streaming kernel: one strided (uncoalesced) load per thread.
+    struct Stream {
+        buf: BufF32,
+        n: usize,
+        stride: usize,
+    }
+
+    impl Kernel for Stream {
+        fn name(&self) -> &str {
+            "stream"
+        }
+        fn shape(&self) -> GridShape {
+            GridShape::cover(self.n, 256)
+        }
+        fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+            let (buf, n, stride) = (self.buf, self.n, self.stride);
+            let x = w.ld_f32(buf, |_, tid| {
+                (tid < n).then_some((tid * stride) % (n * stride))
+            });
+            w.alu(1);
+            let _ = x;
+            PhaseControl::Done
+        }
+    }
+
+    fn run(kernel: &dyn Kernel, cfg: &GpuConfig, setup: impl FnOnce(&mut GpuMem)) -> KernelStats {
+        let mut mem = GpuMem::new();
+        setup(&mut mem);
+        let trace = trace_kernel(kernel, &mut mem, cfg);
+        time_trace(&trace, cfg)
+    }
+
+    #[test]
+    fn compute_kernel_reaches_high_ipc() {
+        let cfg = GpuConfig::gpgpusim_default();
+        let s = run(&Compute { n: 28 * 1024, iters: 64 }, &cfg, |_| {});
+        // Plenty of warps, no memory: IPC should approach SMs * warp size.
+        assert!(s.ipc() > 0.6 * (28.0 * 32.0), "ipc = {}", s.ipc());
+        assert!(s.ipc() <= 28.0 * 32.0 + 1e-9);
+    }
+
+    #[test]
+    fn more_sms_scale_compute() {
+        let k = Compute { n: 28 * 1024, iters: 64 };
+        let s8 = run(&k, &GpuConfig::gpgpusim_8sm(), |_| {});
+        let s28 = run(&k, &GpuConfig::gpgpusim_default(), |_| {});
+        assert!(
+            s28.ipc() > 2.5 * s8.ipc(),
+            "28-SM IPC {} vs 8-SM IPC {}",
+            s28.ipc(),
+            s8.ipc()
+        );
+    }
+
+    #[test]
+    fn uncoalesced_stream_is_memory_bound_and_scales_with_channels() {
+        let n = 64 * 1024;
+        let mk = |cfg: &GpuConfig| {
+            let mut mem = GpuMem::new();
+            let buf = mem.alloc_f32_zeroed("buf", n * 16);
+            let trace = trace_kernel(&Stream { buf, n, stride: 16 }, &mut mem, cfg);
+            time_trace(&trace, cfg)
+        };
+        let base = GpuConfig::gpgpusim_default();
+        let s4 = mk(&base.with_mem_channels(4));
+        let s8 = mk(&base.with_mem_channels(8));
+        // Strided loads saturate DRAM: time should drop markedly with
+        // twice the channels (the Figure 4 effect).
+        let bw4 = s4.achieved_bandwidth_gbps();
+        let bw8 = s8.achieved_bandwidth_gbps();
+        assert!(
+            bw8 > 1.5 * bw4,
+            "bandwidth did not scale: {bw4:.1} -> {bw8:.1} GB/s"
+        );
+        assert!(s4.bw_utilization() > 0.5, "util {}", s4.bw_utilization());
+    }
+
+    #[test]
+    fn coalesced_beats_uncoalesced() {
+        let n = 64 * 1024;
+        let cfg = GpuConfig::gpgpusim_default();
+        let mk = |stride: usize| {
+            let mut mem = GpuMem::new();
+            let buf = mem.alloc_f32_zeroed("buf", n * stride.max(1));
+            let trace = trace_kernel(&Stream { buf, n, stride }, &mut mem, &cfg);
+            time_trace(&trace, &cfg)
+        };
+        let unit = mk(1);
+        let strided = mk(16);
+        assert!(
+            strided.cycles > 4 * unit.cycles,
+            "strided {} vs unit {}",
+            strided.cycles,
+            unit.cycles
+        );
+    }
+
+    #[test]
+    fn narrow_simd_issues_slower() {
+        let k = Compute { n: 8 * 1024, iters: 32 };
+        let wide = run(&k, &GpuConfig::gpgpusim_8sm(), |_| {});
+        let mut narrow_cfg = GpuConfig::gpgpusim_8sm();
+        narrow_cfg.simd_width = 8;
+        narrow_cfg.name = "narrow".into();
+        let narrow = run(&k, &narrow_cfg, |_| {});
+        assert!(narrow.cycles > 3 * wide.cycles);
+    }
+
+    #[test]
+    fn stats_instruction_totals_match_trace() {
+        let cfg = GpuConfig::gpgpusim_default();
+        let mut mem = GpuMem::new();
+        let buf = mem.alloc_f32_zeroed("buf", 4096);
+        let k = Stream { buf, n: 4096, stride: 1 };
+        let trace = trace_kernel(&k, &mut mem, &cfg);
+        let stats = time_trace(&trace, &cfg);
+        assert_eq!(stats.thread_instructions, trace.thread_instructions());
+        assert_eq!(stats.warp_instructions, trace.warp_instructions());
+        assert_eq!(stats.occupancy.total(), trace.warp_instructions());
+    }
+
+    #[test]
+    fn l1_reduces_repeat_traffic() {
+        // A kernel that reads the same small buffer many times.
+        struct Rereader {
+            buf: BufF32,
+            reps: usize,
+        }
+        impl Kernel for Rereader {
+            fn name(&self) -> &str {
+                "rereader"
+            }
+            fn shape(&self) -> GridShape {
+                GridShape::new(15, 256)
+            }
+            fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+                let (buf, reps) = (self.buf, self.reps);
+                for r in 0..reps {
+                    let _ = w.ld_f32(buf, move |lane, _| Some((r * 32 + lane) % 2048));
+                }
+                PhaseControl::Done
+            }
+        }
+        let mk = |cfg: &GpuConfig| {
+            let mut mem = GpuMem::new();
+            let buf = mem.alloc_f32_zeroed("buf", 2048);
+            let trace = trace_kernel(&Rereader { buf, reps: 64 }, &mut mem, cfg);
+            time_trace(&trace, cfg)
+        };
+        let no_l1 = mk(&GpuConfig::gtx280());
+        let with_l1 = mk(&GpuConfig::gtx480_l1_bias());
+        assert!(with_l1.l1_hits > 0);
+        assert!(with_l1.dram_bytes < no_l1.dram_bytes / 2);
+    }
+
+    #[test]
+    fn concurrent_kernels_overlap() {
+        // Two kernels that each fill only a few SMs finish much faster
+        // together than back-to-back.
+        let cfg = GpuConfig::gpgpusim_default();
+        let mk_trace = |mem: &mut GpuMem, n: usize| {
+            let buf = mem.alloc_f32_zeroed("buf", n);
+            trace_kernel(&Stream { buf, n, stride: 1 }, mem, &cfg)
+        };
+        let mut mem = GpuMem::new();
+        let ta = mk_trace(&mut mem, 2048);
+        let tb = mk_trace(&mut mem, 2048);
+        let serial = time_trace(&ta, &cfg).cycles + time_trace(&tb, &cfg).cycles;
+        let conc = time_traces_concurrent(&[&ta, &tb], &cfg);
+        assert!(
+            conc.combined.cycles < serial,
+            "concurrent {} !< serial {}",
+            conc.combined.cycles,
+            serial
+        );
+        assert_eq!(conc.per_kernel_cycles.len(), 2);
+        assert!(conc.per_kernel_cycles.iter().all(|&c| c > 0));
+        // Work is conserved.
+        let each = time_trace(&ta, &cfg).thread_instructions;
+        assert_eq!(conc.combined.thread_instructions, 2 * each);
+    }
+
+    #[test]
+    fn gto_scheduler_runs_and_conserves_work() {
+        let mut cfg = GpuConfig::gpgpusim_default();
+        let rr = run(&Compute { n: 8 * 1024, iters: 32 }, &cfg, |_| {});
+        cfg.sched_policy = crate::config::SchedPolicy::GreedyThenOldest;
+        cfg.name = "gto".into();
+        let gto = run(&Compute { n: 8 * 1024, iters: 32 }, &cfg, |_| {});
+        assert_eq!(rr.thread_instructions, gto.thread_instructions);
+        assert!(gto.cycles > 0);
+    }
+
+    #[test]
+    fn lane_compaction_speeds_up_divergent_kernels() {
+        // A kernel where half the warp is masked off: compaction lets
+        // the 16 active lanes issue in one 16-wide slot... with SIMD
+        // width 16 the full warp takes 2 cycles but the masked half
+        // needs only 1.
+        struct HalfMasked {
+            iters: u32,
+        }
+        impl Kernel for HalfMasked {
+            fn name(&self) -> &str {
+                "half-masked"
+            }
+            fn shape(&self) -> GridShape {
+                GridShape::new(64, 256)
+            }
+            fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+                let lower: Vec<bool> = (0..w.warp_size()).map(|l| l < 16).collect();
+                let iters = self.iters;
+                w.if_active(&lower, |w| w.alu(iters));
+                PhaseControl::Done
+            }
+        }
+        let mut narrow = GpuConfig::gpgpusim_default();
+        narrow.simd_width = 16;
+        narrow.name = "narrow".into();
+        let base = run(&HalfMasked { iters: 64 }, &narrow, |_| {});
+        let mut compact = narrow.clone();
+        compact.lane_compaction = true;
+        compact.name = "compact".into();
+        let fast = run(&HalfMasked { iters: 64 }, &compact, |_| {});
+        assert!(
+            fast.cycles < base.cycles,
+            "compaction {} !< baseline {}",
+            fast.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot launch")]
+    fn oversized_cta_panics_at_launch() {
+        struct Huge;
+        impl Kernel for Huge {
+            fn name(&self) -> &str {
+                "huge"
+            }
+            fn shape(&self) -> GridShape {
+                GridShape::new(1, 64)
+            }
+            fn shared_f32_words(&self) -> usize {
+                64 * 1024 // 256 kB: exceeds any SM
+            }
+            fn run_warp(&self, _w: &mut WarpCtx<'_>) -> PhaseControl {
+                PhaseControl::Done
+            }
+        }
+        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let _ = gpu.launch(&Huge);
+    }
+}

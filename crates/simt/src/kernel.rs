@@ -1,0 +1,593 @@
+//! The warp-explicit kernel DSL.
+//!
+//! Kernels are written the way CUDA kernels are *executed*: one warp at a
+//! time, in lockstep, with an active-lane mask. A kernel implements
+//! [`Kernel::run_warp`], which both performs the real computation (reading
+//! and writing [`crate::GpuMem`] buffers and per-CTA shared memory) and
+//! emits the warp-level operation trace the timing model replays.
+//!
+//! Control divergence is expressed with [`WarpCtx::if_else`] /
+//! [`WarpCtx::if_active`] / [`WarpCtx::loop_while`], which serialize the
+//! taken and not-taken paths under complementary masks — the SIMT
+//! post-dominator reconvergence model.
+//!
+//! `__syncthreads()` barriers split a kernel into *phases*: the executor
+//! runs phase *k* of every warp in a CTA before any warp starts phase
+//! *k + 1*, so shared-memory producer/consumer patterns behave exactly as
+//! they would on hardware. Return [`PhaseControl::Continue`] to request
+//! another phase (all warps of a CTA must agree).
+
+use std::collections::HashMap;
+
+use crate::banks::warp_conflict_degree;
+use crate::coalesce::coalesce;
+use crate::isa::{ActiveMask, MemSpace, TOp};
+use crate::memory::{BufF32, BufU32, GpuMem};
+
+/// Whether a warp has more phases (barrier-separated sections) to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseControl {
+    /// The kernel is finished for this warp.
+    Done,
+    /// Run another phase after a CTA-wide barrier.
+    Continue,
+}
+
+/// Grid dimensions of a kernel launch (linearized, CUDA-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridShape {
+    /// Number of thread blocks (CTAs).
+    pub blocks: usize,
+    /// Threads per block.
+    pub threads_per_block: usize,
+}
+
+impl GridShape {
+    /// A grid of exactly `blocks` CTAs of `threads_per_block` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(blocks: usize, threads_per_block: usize) -> GridShape {
+        assert!(blocks > 0 && threads_per_block > 0, "empty grid");
+        GridShape {
+            blocks,
+            threads_per_block,
+        }
+    }
+
+    /// The smallest grid of `threads_per_block`-sized CTAs covering `n`
+    /// threads — the ubiquitous `(n + tpb - 1) / tpb` launch idiom.
+    pub fn cover(n: usize, threads_per_block: usize) -> GridShape {
+        assert!(threads_per_block > 0, "empty block");
+        GridShape {
+            blocks: n.div_ceil(threads_per_block).max(1),
+            threads_per_block,
+        }
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> usize {
+        self.blocks * self.threads_per_block
+    }
+}
+
+/// A GPU kernel: functional behavior plus trace emission, one warp at a
+/// time.
+pub trait Kernel {
+    /// Kernel name (appears in statistics and reports).
+    fn name(&self) -> &str;
+
+    /// Launch dimensions.
+    fn shape(&self) -> GridShape;
+
+    /// Registers used per thread (occupancy limit input).
+    fn regs_per_thread(&self) -> u32 {
+        16
+    }
+
+    /// Per-CTA shared-memory words of `f32` scratch.
+    fn shared_f32_words(&self) -> usize {
+        0
+    }
+
+    /// Per-CTA shared-memory words of `u32` scratch.
+    fn shared_u32_words(&self) -> usize {
+        0
+    }
+
+    /// Per-CTA shared memory in bytes (occupancy limit input).
+    fn shared_bytes(&self) -> u32 {
+        ((self.shared_f32_words() + self.shared_u32_words()) * 4) as u32
+    }
+
+    /// Executes the current phase of one warp. Use [`WarpCtx::phase`] to
+    /// tell phases apart; returning [`PhaseControl::Continue`] inserts a
+    /// CTA-wide barrier and runs the next phase.
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl;
+}
+
+/// Per-warp scratch that survives across phases (the register state a
+/// real warp would keep live across a `__syncthreads()`).
+#[derive(Debug, Default)]
+pub struct Stash {
+    f32s: HashMap<&'static str, Vec<f32>>,
+    u32s: HashMap<&'static str, Vec<u32>>,
+}
+
+/// Execution context of one warp during one phase.
+///
+/// All `ld_*`/`st_*` methods take a closure mapping
+/// `(lane, global_thread_id)` to an element index (or `None` for lanes
+/// that do not participate in the access); they perform the real data
+/// movement *and* record the coalesced memory operation in the warp's
+/// trace.
+pub struct WarpCtx<'a> {
+    pub(crate) mem: &'a mut GpuMem,
+    pub(crate) shared_f32: &'a mut [f32],
+    pub(crate) shared_u32: &'a mut [u32],
+    pub(crate) stash: &'a mut Stash,
+    pub(crate) trace: &'a mut Vec<TOp>,
+    pub(crate) block: usize,
+    pub(crate) warp_in_block: usize,
+    pub(crate) warp_size: usize,
+    pub(crate) threads_per_block: usize,
+    pub(crate) phase: usize,
+    pub(crate) mask: ActiveMask,
+    pub(crate) banks: u32,
+    pub(crate) seg_bytes: u32,
+}
+
+impl WarpCtx<'_> {
+    /// The warp size (lanes per warp).
+    pub fn warp_size(&self) -> usize {
+        self.warp_size
+    }
+
+    /// Linear block (CTA) index.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Warp index within the block.
+    pub fn warp(&self) -> usize {
+        self.warp_in_block
+    }
+
+    /// Threads per block of the launch.
+    pub fn block_dim(&self) -> usize {
+        self.threads_per_block
+    }
+
+    /// Current phase number (0 before the first barrier).
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// The current active mask.
+    pub fn mask(&self) -> ActiveMask {
+        self.mask
+    }
+
+    /// Global thread id of each lane (length = warp size, including
+    /// inactive lanes).
+    pub fn tids(&self) -> Vec<usize> {
+        let base = self.block * self.threads_per_block + self.warp_in_block * self.warp_size;
+        (0..self.warp_size).map(|l| base + l).collect()
+    }
+
+    /// Thread id within the block, per lane.
+    pub fn ltids(&self) -> Vec<usize> {
+        let base = self.warp_in_block * self.warp_size;
+        (0..self.warp_size).map(|l| base + l).collect()
+    }
+
+    /// Per-lane activity flags under the current mask.
+    pub fn active(&self) -> Vec<bool> {
+        (0..self.warp_size).map(|l| self.mask.lane(l)).collect()
+    }
+
+    // ---- compute accounting -------------------------------------------
+
+    /// Records `n` back-to-back arithmetic instructions by the active
+    /// lanes.
+    pub fn alu(&mut self, n: u32) {
+        if n > 0 && !self.mask.is_empty() {
+            self.trace.push(TOp::Alu {
+                n,
+                lanes: self.mask.count() as u8,
+            });
+        }
+    }
+
+    /// Records `n` special-function (transcendental) instructions.
+    pub fn sfu(&mut self, n: u32) {
+        if n > 0 && !self.mask.is_empty() {
+            self.trace.push(TOp::Sfu {
+                n,
+                lanes: self.mask.count() as u8,
+            });
+        }
+    }
+
+    /// Records `n` kernel-parameter loads (always cache hits).
+    pub fn param(&mut self, n: u32) {
+        if n > 0 && !self.mask.is_empty() {
+            self.trace.push(TOp::Param {
+                n,
+                lanes: self.mask.count() as u8,
+            });
+        }
+    }
+
+    // ---- global memory -------------------------------------------------
+
+    /// Instructions a real kernel spends computing each global/texture
+    /// address (index arithmetic, base+offset, bounds tests).
+    const GMEM_ADDR_ALU: u32 = 4;
+    /// Ditto for on-chip accesses (shared/constant/parameter), whose
+    /// addressing is simpler.
+    const ONCHIP_ADDR_ALU: u32 = 2;
+
+    fn emit_gmem(&mut self, space: MemSpace, store: bool, addrs: &[u64]) {
+        if addrs.is_empty() {
+            return;
+        }
+        // Address-generation arithmetic accompanies every memory
+        // instruction in the real ISA; without it, instruction counts
+        // (and thus IPC) would be far below what GPGPU-Sim reports.
+        self.alu(Self::GMEM_ADDR_ALU);
+        let segs = coalesce(addrs, 4, self.seg_bytes).into_boxed_slice();
+        let lanes = self.mask.count() as u8;
+        let op = match space {
+            MemSpace::Texture => TOp::Tex { lanes, segs },
+            _ => TOp::Gmem {
+                space,
+                store,
+                lanes,
+                segs,
+            },
+        };
+        self.trace.push(op);
+    }
+
+    fn gather_f32(
+        &mut self,
+        buf: BufF32,
+        space: MemSpace,
+        mut f: impl FnMut(usize, usize) -> Option<usize>,
+    ) -> Vec<f32> {
+        let tids = self.tids();
+        let base = self.mem.base_f32(buf);
+        let data_len = self.mem.len_f32(buf);
+        let mut out = vec![0.0f32; self.warp_size];
+        let mut addrs = Vec::new();
+        for lane in self.mask.iter().take(self.warp_size) {
+            if let Some(idx) = f(lane, tids[lane]) {
+                assert!(
+                    idx < data_len,
+                    "kernel read out of bounds: {}[{idx}] (len {data_len})",
+                    self.mem.name_f32(buf)
+                );
+                out[lane] = self.mem.f32_slice(buf)[idx];
+                addrs.push(base + idx as u64 * 4);
+            }
+        }
+        self.emit_gmem(space, false, &addrs);
+        out
+    }
+
+    /// Loads `f32` values from global memory (coalesced, uncached unless
+    /// the configuration has an L1/L2).
+    pub fn ld_f32(
+        &mut self,
+        buf: BufF32,
+        f: impl FnMut(usize, usize) -> Option<usize>,
+    ) -> Vec<f32> {
+        self.gather_f32(buf, MemSpace::Global, f)
+    }
+
+    /// Loads `f32` values through the texture cache.
+    pub fn ld_tex_f32(
+        &mut self,
+        buf: BufF32,
+        f: impl FnMut(usize, usize) -> Option<usize>,
+    ) -> Vec<f32> {
+        self.gather_f32(buf, MemSpace::Texture, f)
+    }
+
+    /// Loads `f32` values from constant memory. Distinct addresses among
+    /// active lanes serialize the broadcast.
+    pub fn ld_const_f32(
+        &mut self,
+        buf: BufF32,
+        mut f: impl FnMut(usize, usize) -> Option<usize>,
+    ) -> Vec<f32> {
+        let tids = self.tids();
+        let data_len = self.mem.len_f32(buf);
+        let mut out = vec![0.0f32; self.warp_size];
+        let mut idxs = Vec::new();
+        for lane in self.mask.iter().take(self.warp_size) {
+            if let Some(idx) = f(lane, tids[lane]) {
+                assert!(idx < data_len, "constant read out of bounds");
+                out[lane] = self.mem.f32_slice(buf)[idx];
+                idxs.push(idx);
+            }
+        }
+        if !idxs.is_empty() {
+            idxs.sort_unstable();
+            idxs.dedup();
+            self.alu(Self::ONCHIP_ADDR_ALU);
+            self.trace.push(TOp::Const {
+                lanes: self.mask.count() as u8,
+                unique: idxs.len().min(255) as u8,
+            });
+        }
+        out
+    }
+
+    /// Stores `f32` values to global memory.
+    pub fn st_f32(&mut self, buf: BufF32, mut f: impl FnMut(usize, usize) -> Option<(usize, f32)>) {
+        let tids = self.tids();
+        let base = self.mem.base_f32(buf);
+        let mut addrs = Vec::new();
+        for lane in self.mask.iter().take(self.warp_size) {
+            if let Some((idx, val)) = f(lane, tids[lane]) {
+                let data = self.mem.f32_slice_mut(buf);
+                assert!(idx < data.len(), "kernel write out of bounds");
+                data[idx] = val;
+                addrs.push(base + idx as u64 * 4);
+            }
+        }
+        self.emit_gmem(MemSpace::Global, true, &addrs);
+    }
+
+    /// Loads `u32` values from global memory.
+    pub fn ld_u32(
+        &mut self,
+        buf: BufU32,
+        mut f: impl FnMut(usize, usize) -> Option<usize>,
+    ) -> Vec<u32> {
+        let tids = self.tids();
+        let base = self.mem.base_u32(buf);
+        let data_len = self.mem.len_u32(buf);
+        let mut out = vec![0u32; self.warp_size];
+        let mut addrs = Vec::new();
+        for lane in self.mask.iter().take(self.warp_size) {
+            if let Some(idx) = f(lane, tids[lane]) {
+                assert!(idx < data_len, "kernel read out of bounds (u32)");
+                out[lane] = self.mem.u32_slice(buf)[idx];
+                addrs.push(base + idx as u64 * 4);
+            }
+        }
+        self.emit_gmem(MemSpace::Global, false, &addrs);
+        out
+    }
+
+    /// Loads `u32` values through the texture cache.
+    pub fn ld_tex_u32(
+        &mut self,
+        buf: BufU32,
+        mut f: impl FnMut(usize, usize) -> Option<usize>,
+    ) -> Vec<u32> {
+        let tids = self.tids();
+        let base = self.mem.base_u32(buf);
+        let data_len = self.mem.len_u32(buf);
+        let mut out = vec![0u32; self.warp_size];
+        let mut addrs = Vec::new();
+        for lane in self.mask.iter().take(self.warp_size) {
+            if let Some(idx) = f(lane, tids[lane]) {
+                assert!(idx < data_len, "texture read out of bounds (u32)");
+                out[lane] = self.mem.u32_slice(buf)[idx];
+                addrs.push(base + idx as u64 * 4);
+            }
+        }
+        self.emit_gmem(MemSpace::Texture, false, &addrs);
+        out
+    }
+
+    /// Stores `u32` values to global memory.
+    pub fn st_u32(&mut self, buf: BufU32, mut f: impl FnMut(usize, usize) -> Option<(usize, u32)>) {
+        let tids = self.tids();
+        let base = self.mem.base_u32(buf);
+        let mut addrs = Vec::new();
+        for lane in self.mask.iter().take(self.warp_size) {
+            if let Some((idx, val)) = f(lane, tids[lane]) {
+                let data = self.mem.u32_slice_mut(buf);
+                assert!(idx < data.len(), "kernel write out of bounds (u32)");
+                data[idx] = val;
+                addrs.push(base + idx as u64 * 4);
+            }
+        }
+        self.emit_gmem(MemSpace::Global, true, &addrs);
+    }
+
+    /// Atomically adds to `u32` global memory, returning each lane's old
+    /// value. Lanes are serialized in lane order (deterministic).
+    pub fn atom_add_u32(
+        &mut self,
+        buf: BufU32,
+        mut f: impl FnMut(usize, usize) -> Option<(usize, u32)>,
+    ) -> Vec<u32> {
+        let tids = self.tids();
+        let base = self.mem.base_u32(buf);
+        let mut out = vec![0u32; self.warp_size];
+        let mut addrs = Vec::new();
+        for lane in self.mask.iter().take(self.warp_size) {
+            if let Some((idx, val)) = f(lane, tids[lane]) {
+                let data = self.mem.u32_slice_mut(buf);
+                assert!(idx < data.len(), "atomic out of bounds");
+                out[lane] = data[idx];
+                data[idx] = data[idx].wrapping_add(val);
+                addrs.push(base + idx as u64 * 4);
+            }
+        }
+        // An atomic is a read-modify-write: count both directions.
+        self.emit_gmem(MemSpace::Global, false, &addrs);
+        self.emit_gmem(MemSpace::Global, true, &addrs);
+        out
+    }
+
+    // ---- shared memory ---------------------------------------------------
+
+    fn emit_shared(&mut self, lane_words: &[(usize, usize)], store: bool) {
+        if lane_words.is_empty() {
+            return;
+        }
+        self.alu(Self::ONCHIP_ADDR_ALU);
+        let degree = warp_conflict_degree(lane_words, self.banks).min(255);
+        self.trace.push(TOp::Shared {
+            degree: degree as u8,
+            lanes: self.mask.count() as u8,
+            store,
+        });
+    }
+
+    /// Loads from the CTA's `f32` shared-memory scratch.
+    pub fn sh_ld_f32(&mut self, mut f: impl FnMut(usize, usize) -> Option<usize>) -> Vec<f32> {
+        let tids = self.tids();
+        let mut out = vec![0.0f32; self.warp_size];
+        let mut words = Vec::new();
+        for lane in self.mask.iter().take(self.warp_size) {
+            if let Some(idx) = f(lane, tids[lane]) {
+                assert!(idx < self.shared_f32.len(), "shared read out of bounds");
+                out[lane] = self.shared_f32[idx];
+                words.push((lane, idx));
+            }
+        }
+        self.emit_shared(&words, false);
+        out
+    }
+
+    /// Stores to the CTA's `f32` shared-memory scratch.
+    pub fn sh_st_f32(&mut self, mut f: impl FnMut(usize, usize) -> Option<(usize, f32)>) {
+        let tids = self.tids();
+        let mut words = Vec::new();
+        for lane in self.mask.iter().take(self.warp_size) {
+            if let Some((idx, val)) = f(lane, tids[lane]) {
+                assert!(idx < self.shared_f32.len(), "shared write out of bounds");
+                self.shared_f32[idx] = val;
+                words.push((lane, idx));
+            }
+        }
+        self.emit_shared(&words, true);
+    }
+
+    /// Loads from the CTA's `u32` shared-memory scratch. Bank indices are
+    /// offset past the `f32` scratch, mirroring a single physical
+    /// scratchpad.
+    pub fn sh_ld_u32(&mut self, mut f: impl FnMut(usize, usize) -> Option<usize>) -> Vec<u32> {
+        let tids = self.tids();
+        let off = self.shared_f32.len();
+        let mut out = vec![0u32; self.warp_size];
+        let mut words = Vec::new();
+        for lane in self.mask.iter().take(self.warp_size) {
+            if let Some(idx) = f(lane, tids[lane]) {
+                assert!(idx < self.shared_u32.len(), "shared read out of bounds");
+                out[lane] = self.shared_u32[idx];
+                words.push((lane, off + idx));
+            }
+        }
+        self.emit_shared(&words, false);
+        out
+    }
+
+    /// Stores to the CTA's `u32` shared-memory scratch.
+    pub fn sh_st_u32(&mut self, mut f: impl FnMut(usize, usize) -> Option<(usize, u32)>) {
+        let tids = self.tids();
+        let off = self.shared_f32.len();
+        let mut words = Vec::new();
+        for lane in self.mask.iter().take(self.warp_size) {
+            if let Some((idx, val)) = f(lane, tids[lane]) {
+                assert!(idx < self.shared_u32.len(), "shared write out of bounds");
+                self.shared_u32[idx] = val;
+                words.push((lane, off + idx));
+            }
+        }
+        self.emit_shared(&words, true);
+    }
+
+    // ---- divergence -----------------------------------------------------
+
+    /// SIMT `if`/`else`: serializes both paths under complementary masks
+    /// and records the branch.
+    pub fn if_else(
+        &mut self,
+        cond: &[bool],
+        then: impl FnOnce(&mut Self),
+        els: impl FnOnce(&mut Self),
+    ) {
+        if self.mask.is_empty() {
+            return;
+        }
+        let cm = ActiveMask::from_preds(cond);
+        let t = self.mask.and(cm);
+        let e = self.mask.and_not(cm);
+        self.trace.push(TOp::Branch {
+            lanes: self.mask.count() as u8,
+        });
+        let saved = self.mask;
+        if !t.is_empty() {
+            self.mask = t;
+            then(self);
+        }
+        if !e.is_empty() {
+            self.mask = e;
+            els(self);
+        }
+        self.mask = saved;
+    }
+
+    /// SIMT `if` with no `else` path.
+    pub fn if_active(&mut self, cond: &[bool], then: impl FnOnce(&mut Self)) {
+        self.if_else(cond, then, |_| {});
+    }
+
+    /// SIMT loop: re-evaluates `cond` each iteration; lanes drop out as
+    /// their predicate goes false, and the loop exits when none remain.
+    pub fn loop_while(
+        &mut self,
+        mut cond: impl FnMut(&mut Self) -> Vec<bool>,
+        mut body: impl FnMut(&mut Self),
+    ) {
+        let saved = self.mask;
+        loop {
+            if self.mask.is_empty() {
+                break;
+            }
+            let c = cond(self);
+            let m = self.mask.and(ActiveMask::from_preds(&c));
+            self.trace.push(TOp::Branch {
+                lanes: self.mask.count() as u8,
+            });
+            if m.is_empty() {
+                break;
+            }
+            self.mask = m;
+            body(self);
+        }
+        self.mask = saved;
+    }
+
+    // ---- cross-phase register state --------------------------------------
+
+    /// Saves per-lane `f32` state across a barrier (phase boundary).
+    pub fn stash_f32(&mut self, key: &'static str, vals: Vec<f32>) {
+        self.stash.f32s.insert(key, vals);
+    }
+
+    /// Restores per-lane `f32` state stashed in an earlier phase.
+    pub fn unstash_f32(&mut self, key: &'static str) -> Option<Vec<f32>> {
+        self.stash.f32s.remove(key)
+    }
+
+    /// Saves per-lane `u32` state across a barrier.
+    pub fn stash_u32(&mut self, key: &'static str, vals: Vec<u32>) {
+        self.stash.u32s.insert(key, vals);
+    }
+
+    /// Restores per-lane `u32` state stashed in an earlier phase.
+    pub fn unstash_u32(&mut self, key: &'static str) -> Option<Vec<u32>> {
+        self.stash.u32s.remove(key)
+    }
+}

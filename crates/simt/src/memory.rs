@@ -1,0 +1,242 @@
+//! Device memory: typed buffers laid out in a flat global address space.
+//!
+//! The Rodinia applications adopt an "offloading" model in which the
+//! accelerator uses a memory space disjoint from host memory; [`GpuMem`]
+//! models that space. Buffers receive 256-byte-aligned base addresses so
+//! that coalescing and cache behavior are realistic, and host↔device
+//! copies are counted (the offloading model's transfer traffic).
+
+/// Handle to a device buffer of `f32` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufF32(pub(crate) usize);
+
+/// Handle to a device buffer of `u32` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufU32(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+struct Region {
+    name: String,
+    base: u64,
+}
+
+/// The GPU's global memory: a set of typed buffers with stable base
+/// addresses.
+#[derive(Debug, Clone, Default)]
+pub struct GpuMem {
+    f32_data: Vec<Vec<f32>>,
+    f32_regions: Vec<Region>,
+    u32_data: Vec<Vec<u32>>,
+    u32_regions: Vec<Region>,
+    next_base: u64,
+    h2d_bytes: u64,
+    d2h_bytes: u64,
+}
+
+const BASE_ALIGN: u64 = 256;
+
+impl GpuMem {
+    /// Creates an empty device memory.
+    pub fn new() -> GpuMem {
+        GpuMem::default()
+    }
+
+    fn reserve(&mut self, bytes: u64) -> u64 {
+        let base = self.next_base;
+        let bytes = bytes.max(1);
+        self.next_base += bytes.div_ceil(BASE_ALIGN) * BASE_ALIGN;
+        base
+    }
+
+    /// Allocates a named `f32` buffer and copies `init` into it
+    /// (a `cudaMalloc` + `cudaMemcpy` host-to-device pair).
+    pub fn alloc_f32(&mut self, name: &str, init: &[f32]) -> BufF32 {
+        let base = self.reserve(init.len() as u64 * 4);
+        self.f32_data.push(init.to_vec());
+        self.f32_regions.push(Region {
+            name: name.to_string(),
+            base,
+        });
+        self.h2d_bytes += init.len() as u64 * 4;
+        BufF32(self.f32_data.len() - 1)
+    }
+
+    /// Allocates a named zero-filled `f32` buffer of `len` elements.
+    pub fn alloc_f32_zeroed(&mut self, name: &str, len: usize) -> BufF32 {
+        let base = self.reserve(len as u64 * 4);
+        self.f32_data.push(vec![0.0; len]);
+        self.f32_regions.push(Region {
+            name: name.to_string(),
+            base,
+        });
+        BufF32(self.f32_data.len() - 1)
+    }
+
+    /// Allocates a named `u32` buffer and copies `init` into it.
+    pub fn alloc_u32(&mut self, name: &str, init: &[u32]) -> BufU32 {
+        let base = self.reserve(init.len() as u64 * 4);
+        self.u32_data.push(init.to_vec());
+        self.u32_regions.push(Region {
+            name: name.to_string(),
+            base,
+        });
+        self.h2d_bytes += init.len() as u64 * 4;
+        BufU32(self.u32_data.len() - 1)
+    }
+
+    /// Allocates a named zero-filled `u32` buffer of `len` elements.
+    pub fn alloc_u32_zeroed(&mut self, name: &str, len: usize) -> BufU32 {
+        let base = self.reserve(len as u64 * 4);
+        self.u32_data.push(vec![0; len]);
+        self.u32_regions.push(Region {
+            name: name.to_string(),
+            base,
+        });
+        BufU32(self.u32_data.len() - 1)
+    }
+
+    /// Copies a buffer back to the host (`cudaMemcpy` device-to-host).
+    pub fn read_f32(&self, buf: BufF32) -> Vec<f32> {
+        self.f32_data[buf.0].clone()
+    }
+
+    /// Copies a `u32` buffer back to the host.
+    pub fn read_u32(&self, buf: BufU32) -> Vec<u32> {
+        self.u32_data[buf.0].clone()
+    }
+
+    /// Overwrites device data from the host (another H2D transfer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has a different length than the buffer.
+    pub fn write_f32(&mut self, buf: BufF32, data: &[f32]) {
+        assert_eq!(
+            data.len(),
+            self.f32_data[buf.0].len(),
+            "write must match buffer length"
+        );
+        self.f32_data[buf.0].copy_from_slice(data);
+        self.h2d_bytes += data.len() as u64 * 4;
+    }
+
+    /// Overwrites a `u32` device buffer from the host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has a different length than the buffer.
+    pub fn write_u32(&mut self, buf: BufU32, data: &[u32]) {
+        assert_eq!(
+            data.len(),
+            self.u32_data[buf.0].len(),
+            "write must match buffer length"
+        );
+        self.u32_data[buf.0].copy_from_slice(data);
+        self.h2d_bytes += data.len() as u64 * 4;
+    }
+
+    /// Number of elements in an `f32` buffer.
+    pub fn len_f32(&self, buf: BufF32) -> usize {
+        self.f32_data[buf.0].len()
+    }
+
+    /// Number of elements in a `u32` buffer.
+    pub fn len_u32(&self, buf: BufU32) -> usize {
+        self.u32_data[buf.0].len()
+    }
+
+    /// Base device address of an `f32` buffer.
+    pub fn base_f32(&self, buf: BufF32) -> u64 {
+        self.f32_regions[buf.0].base
+    }
+
+    /// Base device address of a `u32` buffer.
+    pub fn base_u32(&self, buf: BufU32) -> u64 {
+        self.u32_regions[buf.0].base
+    }
+
+    /// Name given to an `f32` buffer at allocation time.
+    pub fn name_f32(&self, buf: BufF32) -> &str {
+        &self.f32_regions[buf.0].name
+    }
+
+    /// Total host-to-device bytes copied so far.
+    pub fn h2d_bytes(&self) -> u64 {
+        self.h2d_bytes
+    }
+
+    /// Total device-to-host bytes copied so far.
+    pub fn d2h_bytes(&self) -> u64 {
+        self.d2h_bytes
+    }
+
+    /// Records a device-to-host copy of `buf` and returns its contents.
+    pub fn copy_out_f32(&mut self, buf: BufF32) -> Vec<f32> {
+        self.d2h_bytes += self.f32_data[buf.0].len() as u64 * 4;
+        self.f32_data[buf.0].clone()
+    }
+
+    pub(crate) fn f32_slice(&self, buf: BufF32) -> &[f32] {
+        &self.f32_data[buf.0]
+    }
+
+    pub(crate) fn f32_slice_mut(&mut self, buf: BufF32) -> &mut Vec<f32> {
+        &mut self.f32_data[buf.0]
+    }
+
+    pub(crate) fn u32_slice(&self, buf: BufU32) -> &[u32] {
+        &self.u32_data[buf.0]
+    }
+
+    pub(crate) fn u32_slice_mut(&mut self, buf: BufU32) -> &mut Vec<u32> {
+        &mut self.u32_data[buf.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_get_disjoint_aligned_bases() {
+        let mut m = GpuMem::new();
+        let a = m.alloc_f32("a", &[0.0; 100]);
+        let b = m.alloc_u32("b", &[0; 7]);
+        let c = m.alloc_f32_zeroed("c", 3);
+        let (ba, bb, bc) = (m.base_f32(a), m.base_u32(b), m.base_f32(c));
+        assert_eq!(ba % 256, 0);
+        assert_eq!(bb % 256, 0);
+        assert!(bb >= ba + 400);
+        assert!(bc > bb);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = GpuMem::new();
+        let a = m.alloc_f32_zeroed("a", 4);
+        m.write_f32(a, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.read_f32(a), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.len_f32(a), 4);
+        assert_eq!(m.name_f32(a), "a");
+    }
+
+    #[test]
+    fn transfer_accounting() {
+        let mut m = GpuMem::new();
+        let a = m.alloc_f32("a", &[0.0; 10]);
+        assert_eq!(m.h2d_bytes(), 40);
+        let _ = m.copy_out_f32(a);
+        assert_eq!(m.d2h_bytes(), 40);
+        let b = m.alloc_u32_zeroed("b", 5);
+        m.write_u32(b, &[1; 5]);
+        assert_eq!(m.h2d_bytes(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "match buffer length")]
+    fn mismatched_write_panics() {
+        let mut m = GpuMem::new();
+        let a = m.alloc_f32_zeroed("a", 4);
+        m.write_f32(a, &[1.0]);
+    }
+}

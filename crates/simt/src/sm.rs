@@ -1,0 +1,198 @@
+//! Runtime state of the timing model: warps, CTAs, and SMs.
+//!
+//! These types are internal to the replay engine in [`crate::gpu`]; they
+//! are exposed (crate-visible) for testability.
+
+use crate::caches::Cache;
+use crate::config::GpuConfig;
+
+/// Timing state of one resident warp.
+#[derive(Debug, Clone)]
+pub(crate) struct WarpRt {
+    /// Which kernel (trace) this warp belongs to.
+    pub kernel: usize,
+    /// Index of the owning CTA in the runtime CTA table.
+    pub cta_rt: usize,
+    /// CTA index in the kernel trace.
+    pub cta_trace: usize,
+    /// Warp index within the CTA trace.
+    pub warp_idx: usize,
+    /// Next operation to issue.
+    pub pc: usize,
+    /// Cycle at which the warp may issue again.
+    pub ready_at: u64,
+    /// Whether the warp is parked at a barrier.
+    pub at_barrier: bool,
+    /// Whether the warp has drained its trace.
+    pub done: bool,
+    /// Cycle of this warp's most recent issue (greedy-then-oldest input).
+    pub last_issue: u64,
+}
+
+/// Timing state of one resident CTA.
+#[derive(Debug, Clone)]
+pub(crate) struct CtaRt {
+    /// Which kernel (trace) the CTA belongs to.
+    pub kernel: usize,
+    /// SM the CTA is resident on.
+    pub sm: usize,
+    /// Indices of the CTA's warps in the runtime warp table.
+    pub warps: Vec<usize>,
+    /// Warps currently parked at the barrier.
+    pub arrived: usize,
+    /// Warps that have drained their traces.
+    pub done_warps: usize,
+}
+
+/// Timing state of one streaming multiprocessor.
+#[derive(Debug)]
+pub(crate) struct SmRt {
+    /// Runtime warp-table indices of resident warps.
+    pub warps: Vec<usize>,
+    /// Round-robin issue pointer into `warps`.
+    pub rr: usize,
+    /// Cycle at which the issue port frees.
+    pub port_free_at: u64,
+    /// Resident CTA count.
+    pub resident_ctas: usize,
+    /// Warp issued most recently (greedy-then-oldest state).
+    pub last_warp: Option<usize>,
+    /// Resident threads (occupancy tracking for concurrent kernels).
+    pub used_threads: u32,
+    /// Resident registers.
+    pub used_regs: u32,
+    /// Resident shared-memory bytes.
+    pub used_shared: u32,
+    /// Per-SM L1 data cache (Fermi configurations).
+    pub l1: Option<Cache>,
+    /// Per-SM texture cache.
+    pub tex: Option<Cache>,
+}
+
+impl SmRt {
+    pub(crate) fn new(cfg: &GpuConfig) -> SmRt {
+        SmRt {
+            warps: Vec::new(),
+            rr: 0,
+            port_free_at: 0,
+            resident_ctas: 0,
+            last_warp: None,
+            used_threads: 0,
+            used_regs: 0,
+            used_shared: 0,
+            l1: cfg.l1.map(Cache::new),
+            tex: cfg.tex_cache.map(Cache::new),
+        }
+    }
+}
+
+/// Maximum CTAs an SM can hold for a kernel, given all four occupancy
+/// limits (CTA slots, threads, registers, shared memory).
+///
+/// Returns an error naming the binding resource if even one CTA does not
+/// fit.
+pub(crate) fn ctas_per_sm(
+    cfg: &GpuConfig,
+    threads_per_cta: usize,
+    regs_per_thread: u32,
+    shared_bytes: u32,
+) -> Result<usize, String> {
+    let by_slots = cfg.max_ctas_per_sm as usize;
+    let by_threads = cfg.max_threads_per_sm as usize / threads_per_cta.max(1);
+    let cta_regs = regs_per_thread as usize * threads_per_cta;
+    let by_regs = (cfg.regs_per_sm as usize)
+        .checked_div(cta_regs)
+        .unwrap_or(usize::MAX);
+    let by_shared = if shared_bytes == 0 {
+        usize::MAX
+    } else {
+        cfg.shared_mem_per_sm as usize / shared_bytes as usize
+    };
+    let n = by_slots.min(by_threads).min(by_regs).min(by_shared);
+    if n == 0 {
+        if by_threads == 0 {
+            Err(format!(
+                "CTA of {threads_per_cta} threads exceeds {} threads/SM",
+                cfg.max_threads_per_sm
+            ))
+        } else if by_regs == 0 {
+            Err(format!(
+                "CTA needs {cta_regs} registers but the SM has {}",
+                cfg.regs_per_sm
+            ))
+        } else {
+            Err(format!(
+                "CTA needs {shared_bytes} B shared memory but the SM has {}",
+                cfg.shared_mem_per_sm
+            ))
+        }
+    } else {
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_limited_by_cta_slots() {
+        let cfg = GpuConfig::gpgpusim_default();
+        // Tiny CTAs: slot limit (8) binds.
+        assert_eq!(ctas_per_sm(&cfg, 32, 4, 0).unwrap(), 8);
+    }
+
+    #[test]
+    fn occupancy_limited_by_threads() {
+        let cfg = GpuConfig::gpgpusim_default();
+        // 512-thread CTAs: 1024 / 512 = 2.
+        assert_eq!(ctas_per_sm(&cfg, 512, 4, 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn occupancy_limited_by_registers() {
+        let cfg = GpuConfig::gpgpusim_default();
+        // 256 threads x 32 regs = 8192 regs -> 16384 / 8192 = 2.
+        assert_eq!(ctas_per_sm(&cfg, 256, 32, 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn occupancy_limited_by_shared_memory() {
+        let cfg = GpuConfig::gpgpusim_default();
+        // 12 kB shared per CTA -> 32 kB / 12 kB = 2.
+        assert_eq!(ctas_per_sm(&cfg, 64, 4, 12 * 1024).unwrap(), 2);
+    }
+
+    #[test]
+    fn oversized_cta_is_an_error() {
+        let cfg = GpuConfig::gpgpusim_default();
+        assert!(ctas_per_sm(&cfg, 2048, 4, 0).is_err());
+        assert!(ctas_per_sm(&cfg, 64, 4, 64 * 1024).is_err());
+        assert!(ctas_per_sm(&cfg, 1024, 64, 0).is_err());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The returned CTA count never violates any SM resource limit.
+        #[test]
+        fn occupancy_is_safe(
+            threads in 1usize..=1024,
+            regs in 1u32..=64,
+            shared in 0u32..=32_768,
+        ) {
+            let cfg = GpuConfig::gpgpusim_default();
+            if let Ok(n) = ctas_per_sm(&cfg, threads, regs, shared) {
+                prop_assert!(n >= 1);
+                prop_assert!(n <= cfg.max_ctas_per_sm as usize);
+                prop_assert!(n * threads <= cfg.max_threads_per_sm as usize);
+                prop_assert!(n as u64 * regs as u64 * threads as u64 <= cfg.regs_per_sm as u64);
+                prop_assert!(n as u64 * shared as u64 <= cfg.shared_mem_per_sm as u64);
+            }
+        }
+    }
+}

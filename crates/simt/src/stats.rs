@@ -1,0 +1,389 @@
+//! Kernel execution statistics: the metrics the paper reports.
+
+use std::fmt;
+
+use crate::isa::MemSpace;
+
+/// Memory-instruction counts by space (the paper's Figure 2 breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemMix {
+    /// Shared-memory (scratchpad) instructions.
+    pub shared: u64,
+    /// Texture fetches.
+    pub tex: u64,
+    /// Constant loads.
+    pub constant: u64,
+    /// Parameter loads.
+    pub param: u64,
+    /// Global and local memory instructions.
+    pub global_local: u64,
+}
+
+impl MemMix {
+    /// Total memory instructions.
+    pub fn total(&self) -> u64 {
+        self.shared + self.tex + self.constant + self.param + self.global_local
+    }
+
+    /// Fraction of memory instructions in `space` (0 when there are none).
+    pub fn fraction(&self, space: MemSpace) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        let n = match space {
+            MemSpace::Shared => self.shared,
+            MemSpace::Texture => self.tex,
+            MemSpace::Constant => self.constant,
+            MemSpace::Param => self.param,
+            MemSpace::Global | MemSpace::Local => self.global_local,
+        };
+        n as f64 / t as f64
+    }
+
+    /// Adds another mix into this one.
+    pub fn merge(&mut self, other: &MemMix) {
+        self.shared += other.shared;
+        self.tex += other.tex;
+        self.constant += other.constant;
+        self.param += other.param;
+        self.global_local += other.global_local;
+    }
+
+    /// Records `n` instructions in `space`.
+    pub fn add(&mut self, space: MemSpace, n: u64) {
+        match space {
+            MemSpace::Shared => self.shared += n,
+            MemSpace::Texture => self.tex += n,
+            MemSpace::Constant => self.constant += n,
+            MemSpace::Param => self.param += n,
+            MemSpace::Global | MemSpace::Local => self.global_local += n,
+        }
+    }
+}
+
+/// Histogram of active-lane counts over all issued warp instructions
+/// (the paper's Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancyHistogram {
+    /// `counts[k]` = warp instructions issued with exactly `k` active
+    /// lanes; index 0 is unused.
+    pub counts: Vec<u64>,
+}
+
+impl OccupancyHistogram {
+    /// An empty histogram for warps of `warp_size` lanes.
+    pub fn new(warp_size: usize) -> OccupancyHistogram {
+        OccupancyHistogram {
+            counts: vec![0; warp_size + 1],
+        }
+    }
+
+    /// Records `n` warp instructions with `lanes` active lanes.
+    pub fn record(&mut self, lanes: u32, n: u64) {
+        let idx = (lanes as usize).min(self.counts.len() - 1);
+        self.counts[idx] += n;
+    }
+
+    /// Total warp instructions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fractions of warp instructions falling in the paper's four bins
+    /// (1–8, 9–16, 17–24, 25–32 active lanes, scaled for other warp
+    /// sizes).
+    pub fn quartile_fractions(&self) -> [f64; 4] {
+        let total = self.total();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        let ws = self.counts.len() - 1;
+        let q = ws.div_ceil(4);
+        let mut out = [0.0; 4];
+        for (lanes, &n) in self.counts.iter().enumerate().skip(1) {
+            let bin = ((lanes - 1) / q).min(3);
+            out[bin] += n as f64;
+        }
+        for o in &mut out {
+            *o /= total as f64;
+        }
+        out
+    }
+
+    /// Average active lanes per issued warp instruction.
+    pub fn mean_lanes(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(lanes, &n)| lanes as u64 * n)
+            .sum();
+        sum as f64 / total as f64
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different warp sizes.
+    pub fn merge(&mut self, other: &OccupancyHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "warp size mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Aggregate statistics of one or more kernel launches under one GPU
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct KernelStats {
+    /// Kernel (or application) name.
+    pub name: String,
+    /// Configuration name the launch ran under.
+    pub config: String,
+    /// Total core cycles.
+    pub cycles: u64,
+    /// Scalar (thread-level) instructions executed.
+    pub thread_instructions: u64,
+    /// Warp-level instructions issued.
+    pub warp_instructions: u64,
+    /// Memory-instruction mix by space.
+    pub mem_mix: MemMix,
+    /// Warp occupancy histogram.
+    pub occupancy: OccupancyHistogram,
+    /// Bytes moved to/from DRAM.
+    pub dram_bytes: u64,
+    /// Channel-busy cycles summed over channels.
+    pub dram_busy_cycles: u64,
+    /// Peak DRAM bytes per core cycle of the configuration.
+    pub peak_bytes_per_cycle: f64,
+    /// Core clock of the configuration, in GHz.
+    pub core_clock_ghz: f64,
+    /// L1 hits/misses (zero when the configuration has no L1).
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Texture-cache hits.
+    pub tex_hits: u64,
+    /// Texture-cache misses.
+    pub tex_misses: u64,
+    /// Number of kernel launches aggregated into these stats.
+    pub launches: u32,
+}
+
+impl KernelStats {
+    /// Instructions per cycle (thread-level, the paper's Figure 1 metric).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.thread_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// DRAM bandwidth utilization in `[0, 1]` (Table III's "BW
+    /// Utilization").
+    pub fn bw_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.peak_bytes_per_cycle == 0.0 {
+            0.0
+        } else {
+            self.dram_bytes as f64 / (self.peak_bytes_per_cycle * self.cycles as f64)
+        }
+    }
+
+    /// Achieved DRAM bandwidth in GB/s.
+    pub fn achieved_bandwidth_gbps(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.dram_bytes as f64 / (self.cycles as f64 / self.core_clock_ghz)
+        }
+    }
+
+    /// Kernel execution time in microseconds (cycles over the core clock;
+    /// the Figure 5 metric).
+    pub fn time_us(&self) -> f64 {
+        self.cycles as f64 / (self.core_clock_ghz * 1e3)
+    }
+
+    /// SIMD efficiency: mean active lanes per issued warp instruction
+    /// over the warp width (1.0 = never diverges or idles lanes).
+    pub fn simd_efficiency(&self) -> f64 {
+        let ws = (self.occupancy.counts.len() - 1) as f64;
+        if ws == 0.0 {
+            0.0
+        } else {
+            self.occupancy.mean_lanes() / ws
+        }
+    }
+
+    /// Aggregates another launch's statistics (for multi-kernel
+    /// applications: iterative BFS, back-propagation's two kernels, and so
+    /// on). Cycles add because dependent launches serialize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats come from different configurations.
+    pub fn merge(&mut self, other: &KernelStats) {
+        assert_eq!(self.config, other.config, "cannot merge across configs");
+        self.cycles += other.cycles;
+        self.thread_instructions += other.thread_instructions;
+        self.warp_instructions += other.warp_instructions;
+        self.mem_mix.merge(&other.mem_mix);
+        self.occupancy.merge(&other.occupancy);
+        self.dram_bytes += other.dram_bytes;
+        self.dram_busy_cycles += other.dram_busy_cycles;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.tex_hits += other.tex_hits;
+        self.tex_misses += other.tex_misses;
+        self.launches += other.launches;
+    }
+}
+
+impl fmt::Display for KernelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on {}: {} cycles, IPC {:.1}, BW util {:.1}%",
+            self.name,
+            self.config,
+            self.cycles,
+            self.ipc(),
+            self.bw_utilization() * 100.0
+        )?;
+        let m = &self.mem_mix;
+        write!(
+            f,
+            "  mem mix: shared {:.1}% tex {:.1}% const {:.1}% param {:.1}% global/local {:.1}%",
+            m.fraction(MemSpace::Shared) * 100.0,
+            m.fraction(MemSpace::Texture) * 100.0,
+            m.fraction(MemSpace::Constant) * 100.0,
+            m.fraction(MemSpace::Param) * 100.0,
+            m.fraction(MemSpace::Global) * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_mix_fractions_sum_to_one() {
+        let mut m = MemMix::default();
+        m.add(MemSpace::Shared, 3);
+        m.add(MemSpace::Global, 5);
+        m.add(MemSpace::Local, 1);
+        m.add(MemSpace::Texture, 1);
+        assert_eq!(m.total(), 10);
+        assert_eq!(m.global_local, 6);
+        let sum: f64 = [
+            MemSpace::Shared,
+            MemSpace::Texture,
+            MemSpace::Constant,
+            MemSpace::Param,
+            MemSpace::Global,
+        ]
+        .iter()
+        .map(|&s| m.fraction(s))
+        .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_quartiles() {
+        let mut h = OccupancyHistogram::new(32);
+        h.record(1, 10); // bin 0 (1-8)
+        h.record(8, 10); // bin 0
+        h.record(9, 20); // bin 1 (9-16)
+        h.record(32, 60); // bin 3 (25-32)
+        let q = h.quartile_fractions();
+        assert!((q[0] - 0.2).abs() < 1e-12);
+        assert!((q[1] - 0.2).abs() < 1e-12);
+        assert_eq!(q[2], 0.0);
+        assert!((q[3] - 0.6).abs() < 1e-12);
+        assert!((h.mean_lanes() - (10.0 + 80.0 + 180.0 + 1920.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = OccupancyHistogram::new(32);
+        assert_eq!(h.quartile_fractions(), [0.0; 4]);
+        assert_eq!(h.mean_lanes(), 0.0);
+    }
+
+    fn stats(cycles: u64, instrs: u64) -> KernelStats {
+        KernelStats {
+            name: "k".into(),
+            config: "c".into(),
+            cycles,
+            thread_instructions: instrs,
+            warp_instructions: instrs / 32,
+            mem_mix: MemMix::default(),
+            occupancy: OccupancyHistogram::new(32),
+            dram_bytes: 0,
+            dram_busy_cycles: 0,
+            peak_bytes_per_cycle: 32.0,
+            core_clock_ghz: 2.0,
+            l1_hits: 0,
+            l1_misses: 0,
+            l2_hits: 0,
+            l2_misses: 0,
+            tex_hits: 0,
+            tex_misses: 0,
+            launches: 1,
+        }
+    }
+
+    #[test]
+    fn ipc_and_time() {
+        let s = stats(1000, 50_000);
+        assert!((s.ipc() - 50.0).abs() < 1e-12);
+        assert!((s.time_us() - 0.5).abs() < 1e-12);
+        assert_eq!(s.bw_utilization(), 0.0);
+    }
+
+    #[test]
+    fn simd_efficiency_bounds() {
+        let mut s = stats(100, 1000);
+        assert_eq!(s.simd_efficiency(), 0.0);
+        s.occupancy.record(32, 3);
+        s.occupancy.record(8, 1);
+        let expected = ((32 * 3 + 8) as f64 / 4.0) / 32.0;
+        assert!((s.simd_efficiency() - expected).abs() < 1e-12);
+        assert!(s.simd_efficiency() <= 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = stats(1000, 10_000);
+        let b = stats(500, 20_000);
+        a.merge(&b);
+        assert_eq!(a.cycles, 1500);
+        assert_eq!(a.thread_instructions, 30_000);
+        assert_eq!(a.launches, 2);
+        assert!((a.ipc() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "across configs")]
+    fn merge_rejects_mixed_configs() {
+        let mut a = stats(1, 1);
+        let mut b = stats(1, 1);
+        b.config = "other".into();
+        a.merge(&b);
+    }
+}

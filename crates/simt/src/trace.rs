@@ -1,0 +1,263 @@
+//! Functional kernel execution and trace capture.
+//!
+//! Runs every CTA of a launch sequentially (warps within a CTA in
+//! lockstep phases, as described in [`crate::kernel`]), producing a
+//! [`KernelTrace`] — the per-warp operation streams that the timing model
+//! in [`crate::gpu`] replays.
+
+use crate::config::GpuConfig;
+use crate::isa::{ActiveMask, TOp};
+use crate::kernel::{Kernel, PhaseControl, Stash, WarpCtx};
+use crate::memory::GpuMem;
+
+/// The trace of one warp: its operation stream, with barriers inline.
+#[derive(Debug, Clone, Default)]
+pub struct WarpTrace {
+    /// Captured operations in program order.
+    pub ops: Vec<TOp>,
+}
+
+/// The traces of all warps of one CTA.
+#[derive(Debug, Clone, Default)]
+pub struct CtaTrace {
+    /// One trace per warp, in warp order.
+    pub warps: Vec<WarpTrace>,
+}
+
+/// A complete captured kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelTrace {
+    /// Kernel name.
+    pub name: String,
+    /// Per-CTA traces in launch order.
+    pub ctas: Vec<CtaTrace>,
+    /// Threads per block of the launch.
+    pub threads_per_block: usize,
+    /// Registers per thread (occupancy input).
+    pub regs_per_thread: u32,
+    /// Shared memory per CTA in bytes (occupancy input).
+    pub shared_bytes_per_cta: u32,
+    /// Warp size the trace was captured with.
+    pub warp_size: usize,
+}
+
+impl KernelTrace {
+    /// Total scalar (thread-level) instructions in the trace.
+    pub fn thread_instructions(&self) -> u64 {
+        self.ctas
+            .iter()
+            .flat_map(|c| &c.warps)
+            .flat_map(|w| &w.ops)
+            .map(TOp::thread_instructions)
+            .sum()
+    }
+
+    /// Total warp-level instructions in the trace.
+    pub fn warp_instructions(&self) -> u64 {
+        self.ctas
+            .iter()
+            .flat_map(|c| &c.warps)
+            .flat_map(|w| &w.ops)
+            .map(TOp::warp_instructions)
+            .sum()
+    }
+
+    /// Total warp-level operations (including barriers).
+    pub fn total_ops(&self) -> usize {
+        self.ctas
+            .iter()
+            .flat_map(|c| &c.warps)
+            .map(|w| w.ops.len())
+            .sum()
+    }
+}
+
+/// Executes `kernel` functionally against `mem`, capturing its trace.
+///
+/// The trace depends only on the warp size, shared-memory bank count, and
+/// coalescing segment size of `cfg`, so one trace can be re-timed under
+/// many machine configurations (as the channel sweep and the
+/// Plackett–Burman study do).
+///
+/// # Panics
+///
+/// Panics if the warps of a CTA disagree on [`PhaseControl`] (a malformed
+/// kernel: barrier divergence is undefined behavior on real hardware
+/// too), or if the kernel accesses memory out of bounds.
+pub fn trace_kernel(kernel: &dyn Kernel, mem: &mut GpuMem, cfg: &GpuConfig) -> KernelTrace {
+    let shape = kernel.shape();
+    let warp_size = cfg.warp_size as usize;
+    let warps_per_block = shape.threads_per_block.div_ceil(warp_size);
+    let mut ctas = Vec::with_capacity(shape.blocks);
+
+    for block in 0..shape.blocks {
+        let mut shared_f32 = vec![0.0f32; kernel.shared_f32_words()];
+        let mut shared_u32 = vec![0u32; kernel.shared_u32_words()];
+        let mut stashes: Vec<Stash> = (0..warps_per_block).map(|_| Stash::default()).collect();
+        let mut traces: Vec<WarpTrace> = vec![WarpTrace::default(); warps_per_block];
+
+        let mut phase = 0usize;
+        loop {
+            let mut decision: Option<PhaseControl> = None;
+            for warp in 0..warps_per_block {
+                let lanes_in_warp =
+                    (shape.threads_per_block - warp * warp_size).min(warp_size);
+                let mut ctx = WarpCtx {
+                    mem,
+                    shared_f32: &mut shared_f32,
+                    shared_u32: &mut shared_u32,
+                    stash: &mut stashes[warp],
+                    trace: &mut traces[warp].ops,
+                    block,
+                    warp_in_block: warp,
+                    warp_size,
+                    threads_per_block: shape.threads_per_block,
+                    phase,
+                    mask: ActiveMask::first(lanes_in_warp),
+                    banks: cfg.shared_banks,
+                    seg_bytes: cfg.segment_bytes,
+                };
+                let pc = kernel.run_warp(&mut ctx);
+                match decision {
+                    None => decision = Some(pc),
+                    Some(prev) => assert_eq!(
+                        prev, pc,
+                        "warps of CTA {block} disagree on phase control in phase {phase} \
+                         of kernel {}",
+                        kernel.name()
+                    ),
+                }
+            }
+            match decision {
+                Some(PhaseControl::Continue) => {
+                    for t in &mut traces {
+                        t.ops.push(TOp::Bar);
+                    }
+                    phase += 1;
+                }
+                _ => break,
+            }
+        }
+        ctas.push(CtaTrace { warps: traces });
+    }
+
+    KernelTrace {
+        name: kernel.name().to_string(),
+        ctas,
+        threads_per_block: shape.threads_per_block,
+        regs_per_thread: kernel.regs_per_thread(),
+        shared_bytes_per_cta: kernel.shared_bytes(),
+        warp_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::GridShape;
+    use crate::memory::BufF32;
+
+    /// Phase 0: each thread writes tid to shared; phase 1: each thread
+    /// reads its neighbor's value (a classic barrier-dependent pattern).
+    struct NeighborExchange {
+        out: BufF32,
+        n: usize,
+    }
+
+    impl Kernel for NeighborExchange {
+        fn name(&self) -> &str {
+            "neighbor-exchange"
+        }
+        fn shape(&self) -> GridShape {
+            GridShape::cover(self.n, 64)
+        }
+        fn shared_f32_words(&self) -> usize {
+            64
+        }
+        fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+            let ltids = w.ltids();
+            match w.phase() {
+                0 => {
+                    w.sh_st_f32(|lane, tid| Some((ltids[lane], tid as f32)));
+                    PhaseControl::Continue
+                }
+                _ => {
+                    let vals = w.sh_ld_f32(|lane, _| Some((ltids[lane] + 1) % 64));
+                    let out = self.out;
+                    let n = self.n;
+                    w.st_f32(out, |lane, tid| (tid < n).then_some((tid, vals[lane])));
+                    PhaseControl::Done
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_phases_expose_other_warps_writes() {
+        let cfg = GpuConfig::gpgpusim_default();
+        let mut mem = GpuMem::new();
+        let out = mem.alloc_f32_zeroed("out", 128);
+        let k = NeighborExchange { out, n: 128 };
+        let trace = trace_kernel(&k, &mut mem, &cfg);
+        let got = mem.read_f32(out);
+        // Thread 0 of block 0 reads the value written by local thread 1.
+        assert_eq!(got[0], 1.0);
+        // Thread 31 (warp 0) reads from thread 32 (warp 1): cross-warp.
+        assert_eq!(got[31], 32.0);
+        // Thread 63 wraps to local thread 0 of its own block.
+        assert_eq!(got[63], 0.0);
+        assert_eq!(got[127], 64.0);
+        // Two CTAs of two warps each, with one barrier per warp.
+        assert_eq!(trace.ctas.len(), 2);
+        assert_eq!(trace.ctas[0].warps.len(), 2);
+        let bar_count = trace.ctas[0].warps[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TOp::Bar))
+            .count();
+        assert_eq!(bar_count, 1);
+    }
+
+    /// A kernel whose last warp is partially populated.
+    struct Partial {
+        out: BufF32,
+        n: usize,
+    }
+
+    impl Kernel for Partial {
+        fn name(&self) -> &str {
+            "partial"
+        }
+        fn shape(&self) -> GridShape {
+            GridShape::new(1, 40)
+        }
+        fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+            let out = self.out;
+            let n = self.n;
+            w.st_f32(out, |_, tid| (tid < n).then_some((tid, 1.0)));
+            PhaseControl::Done
+        }
+    }
+
+    #[test]
+    fn partial_warp_masks_trailing_lanes() {
+        let cfg = GpuConfig::gpgpusim_default();
+        let mut mem = GpuMem::new();
+        let out = mem.alloc_f32_zeroed("out", 40);
+        let trace = trace_kernel(&Partial { out, n: 40 }, &mut mem, &cfg);
+        assert!(mem.read_f32(out).iter().all(|&v| v == 1.0));
+        // Warp 1 has only 8 active lanes.
+        let last = &trace.ctas[0].warps[1].ops[0];
+        assert_eq!(last.lanes(), 8);
+    }
+
+    #[test]
+    fn instruction_totals_are_consistent() {
+        let cfg = GpuConfig::gpgpusim_default();
+        let mut mem = GpuMem::new();
+        let out = mem.alloc_f32_zeroed("out", 128);
+        let trace = trace_kernel(&NeighborExchange { out, n: 128 }, &mut mem, &cfg);
+        assert!(trace.thread_instructions() > trace.warp_instructions());
+        assert!(trace.total_ops() > 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! The shared-cache simulator of Bienia et al.'s methodology: one cache
+//! shared by all (8) cores, 4-way set-associative, 64-byte lines,
+//! capacities swept from 128 kB to 16 MB.
+//!
+//! Besides misses per memory reference (the working-set metric), the
+//! simulator tracks sharing: a resident line is *shared* once two or
+//! more distinct threads have accessed it during its current residency,
+//! and every access to such a line counts toward the shared-access rate.
+
+/// A shared, set-associative, LRU cache with per-line thread masks.
+#[derive(Debug, Clone)]
+pub struct SharedCache {
+    bytes: u64,
+    ways: usize,
+    line: u64,
+    sets: usize,
+    /// `sets * ways` entries; tag == u64::MAX is invalid.
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    masks: Vec<u8>,
+    access_counts: Vec<u64>,
+    clock: u64,
+    accesses: u64,
+    misses: u64,
+    shared_accesses: u64,
+    // Residency ("incarnation") accounting for the shared-line fraction.
+    finished_incarnations: u64,
+    finished_shared: u64,
+}
+
+impl SharedCache {
+    /// Creates a cache of `bytes` capacity with `ways` associativity and
+    /// `line`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the geometry yields a positive power-of-two set
+    /// count.
+    pub fn new(bytes: u64, ways: usize, line: u64) -> SharedCache {
+        let sets = (bytes / (ways as u64 * line)) as usize;
+        assert!(sets > 0, "cache smaller than one set");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        let entries = sets * ways;
+        SharedCache {
+            bytes,
+            ways,
+            line,
+            sets,
+            tags: vec![u64::MAX; entries],
+            stamps: vec![0; entries],
+            masks: vec![0; entries],
+            access_counts: vec![0; entries],
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+            shared_accesses: 0,
+            finished_incarnations: 0,
+            finished_shared: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Simulates one access by `tid` to byte address `addr`.
+    pub fn access(&mut self, tid: usize, addr: u64) {
+        self.clock += 1;
+        self.accesses += 1;
+        let lineno = addr / self.line;
+        let set = (lineno % self.sets as u64) as usize;
+        let base = set * self.ways;
+        let tbit = 1u8 << (tid % 8);
+        for w in 0..self.ways {
+            let e = base + w;
+            if self.tags[e] == lineno {
+                self.stamps[e] = self.clock;
+                self.masks[e] |= tbit;
+                self.access_counts[e] += 1;
+                if self.masks[e].count_ones() >= 2 {
+                    self.shared_accesses += 1;
+                }
+                return;
+            }
+        }
+        // Miss: evict LRU.
+        self.misses += 1;
+        let mut victim = base;
+        for w in 1..self.ways {
+            if self.stamps[base + w] < self.stamps[victim] {
+                victim = base + w;
+            }
+        }
+        if self.tags[victim] != u64::MAX {
+            self.finish_incarnation(victim);
+        }
+        self.tags[victim] = lineno;
+        self.stamps[victim] = self.clock;
+        self.masks[victim] = tbit;
+        self.access_counts[victim] = 1;
+    }
+
+    fn finish_incarnation(&mut self, e: usize) {
+        self.finished_incarnations += 1;
+        if self.masks[e].count_ones() >= 2 {
+            self.finished_shared += 1;
+        }
+    }
+
+    /// Finalizes and returns the statistics (flushing live residencies).
+    pub fn finish(mut self) -> CacheStats {
+        for e in 0..self.tags.len() {
+            if self.tags[e] != u64::MAX {
+                self.finish_incarnation(e);
+            }
+        }
+        CacheStats {
+            capacity: self.bytes,
+            accesses: self.accesses,
+            misses: self.misses,
+            shared_accesses: self.shared_accesses,
+            incarnations: self.finished_incarnations,
+            shared_incarnations: self.finished_shared,
+        }
+    }
+}
+
+/// Final statistics of one cache capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cache capacity in bytes.
+    pub capacity: u64,
+    /// Memory references simulated.
+    pub accesses: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// Accesses that hit a line already touched by ≥ 2 threads.
+    pub shared_accesses: u64,
+    /// Line residencies (fills) observed.
+    pub incarnations: u64,
+    /// Residencies touched by ≥ 2 threads.
+    pub shared_incarnations: u64,
+}
+
+impl CacheStats {
+    /// Misses per memory reference — the paper's working-set metric.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of line residencies shared between threads.
+    pub fn shared_line_fraction(&self) -> f64 {
+        if self.incarnations == 0 {
+            0.0
+        } else {
+            self.shared_incarnations as f64 / self.incarnations as f64
+        }
+    }
+
+    /// Accesses to shared lines per memory reference.
+    pub fn shared_access_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.shared_accesses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = SharedCache::new(8 * 1024, 4, 64);
+        c.access(0, 0);
+        c.access(0, 0);
+        c.access(0, 64);
+        let s = c.finish();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.misses, 2);
+        assert!((s.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharing_detected_within_residency() {
+        let mut c = SharedCache::new(8 * 1024, 4, 64);
+        c.access(0, 0);
+        c.access(1, 8); // same line, second thread -> shared access
+        c.access(2, 16);
+        c.access(0, 4096); // private line
+        let s = c.finish();
+        assert_eq!(s.shared_accesses, 2);
+        assert_eq!(s.incarnations, 2);
+        assert_eq!(s.shared_incarnations, 1);
+        assert!((s.shared_line_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_resets_sharing() {
+        // Direct-mapped-ish: 1 set x 4 ways x 64 B = 256 B cache.
+        let mut c = SharedCache::new(256, 4, 64);
+        c.access(0, 0);
+        c.access(1, 0); // shared residency
+        for i in 1..=4 {
+            c.access(0, i * 256 * 64); // 4 conflicting lines evict line 0
+        }
+        c.access(1, 0); // refill by thread 1 alone
+        let s = c.finish();
+        assert_eq!(s.shared_incarnations, 1, "only the first residency was shared");
+    }
+
+    #[test]
+    fn working_set_capture() {
+        // A working set of 512 lines fits an 8-way 64 kB cache but
+        // thrashes a 4 kB one.
+        let mut small = SharedCache::new(4 * 1024, 4, 64);
+        let mut large = SharedCache::new(64 * 1024, 4, 64);
+        for pass in 0..4 {
+            let _ = pass;
+            for i in 0..512u64 {
+                small.access(0, i * 64);
+                large.access(0, i * 64);
+            }
+        }
+        let (s, l) = (small.finish(), large.finish());
+        assert!(l.miss_rate() < 0.26, "large cache captures the set");
+        assert!(s.miss_rate() > 0.9, "small cache thrashes");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = SharedCache::new(48 * 1024, 4, 64);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Miss rate never increases with capacity (LRU inclusion holds
+        /// for same-associativity... strictly it holds per set; with the
+        /// same line size and doubling sets it can be violated in
+        /// pathological cases, so we check the common monotone trend on
+        /// small strided/looping traces where inclusion does hold).
+        #[test]
+        fn miss_counts_conserve(addrs in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+            let mut c = SharedCache::new(16 * 1024, 4, 64);
+            for &a in &addrs {
+                c.access(0, a);
+            }
+            let s = c.finish();
+            prop_assert_eq!(s.accesses, addrs.len() as u64);
+            prop_assert!(s.misses <= s.accesses);
+            prop_assert!(s.shared_accesses == 0, "single thread never shares");
+            prop_assert_eq!(s.shared_incarnations, 0);
+        }
+
+        /// Distinct lines accessed bounds misses from below (compulsory
+        /// misses) and incarnations equal misses.
+        #[test]
+        fn compulsory_lower_bound(addrs in proptest::collection::vec(0u64..100_000, 1..300)) {
+            let mut distinct: Vec<u64> = addrs.iter().map(|a| a / 64).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let mut c = SharedCache::new(1024 * 1024, 4, 64);
+            for &a in &addrs {
+                c.access(1, a);
+            }
+            let s = c.finish();
+            prop_assert!(s.misses >= distinct.len() as u64);
+            prop_assert_eq!(s.incarnations, s.misses);
+        }
+    }
+}

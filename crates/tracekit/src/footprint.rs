@@ -1,0 +1,82 @@
+//! Instruction and data footprints (the paper's Figures 11 and 12):
+//! distinct 64-byte instruction blocks and 4 kB data blocks touched over
+//! the whole execution.
+
+use std::collections::HashSet;
+
+/// Block-granular footprint accumulators.
+#[derive(Debug, Clone, Default)]
+pub struct Footprints {
+    instr_blocks: HashSet<u64>,
+    data_blocks: HashSet<u64>,
+}
+
+/// Instruction-block granularity (bytes).
+pub const INSTR_BLOCK: u64 = 64;
+/// Data-block granularity (bytes).
+pub const DATA_BLOCK: u64 = 4096;
+
+impl Footprints {
+    /// Creates empty footprints.
+    pub fn new() -> Footprints {
+        Footprints::default()
+    }
+
+    /// Marks the instruction bytes `[base, base + len)` as executed.
+    pub fn touch_code(&mut self, base: u64, len: u64) {
+        let first = base / INSTR_BLOCK;
+        let last = (base + len.max(1) - 1) / INSTR_BLOCK;
+        for b in first..=last {
+            self.instr_blocks.insert(b);
+        }
+    }
+
+    /// Marks the data bytes `[addr, addr + size)` as touched.
+    pub fn touch_data(&mut self, addr: u64, size: u64) {
+        let first = addr / DATA_BLOCK;
+        let last = (addr + size.max(1) - 1) / DATA_BLOCK;
+        for b in first..=last {
+            self.data_blocks.insert(b);
+        }
+    }
+
+    /// Number of distinct 64-byte instruction blocks executed.
+    pub fn instr_blocks(&self) -> usize {
+        self.instr_blocks.len()
+    }
+
+    /// Number of distinct 4 kB data blocks touched.
+    pub fn data_blocks(&self) -> usize {
+        self.data_blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_blocks_count_distinct() {
+        let mut f = Footprints::new();
+        f.touch_code(0, 256); // blocks 0..=3
+        f.touch_code(128, 64); // already covered
+        f.touch_code(1024, 1); // block 16
+        assert_eq!(f.instr_blocks(), 5);
+    }
+
+    #[test]
+    fn data_blocks_are_4kb() {
+        let mut f = Footprints::new();
+        f.touch_data(0, 4);
+        f.touch_data(4095, 2); // straddles into block 1
+        f.touch_data(8192, 1);
+        assert_eq!(f.data_blocks(), 3);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let f = Footprints::new();
+        assert_eq!(f.instr_blocks(), 0);
+        assert_eq!(f.data_blocks(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! # tracekit — a Pin-style instrumentation substrate
+//!
+//! The paper gathers its CPU-side characteristics (Sections IV–V) with
+//! Pin: instruction mix via `mix-mt`, and cache/working-set/sharing
+//! behavior via a custom multithreaded cache-simulation Pin tool using
+//! Bienia et al.'s methodology — 8 threads sharing a single 4-way,
+//! 64-byte-line cache swept from 128 kB to 16 MB.
+//!
+//! `tracekit` reproduces that pipeline for explicitly instrumented
+//! workloads:
+//!
+//! * [`Profiler`] runs a workload's *logical threads* and interleaves
+//!   their event streams round-robin with a fixed quantum, making every
+//!   measurement deterministic;
+//! * [`cache::SharedCache`] simulates the shared cache at every
+//!   configured capacity simultaneously in one pass, collecting misses
+//!   per memory reference (working set), the fraction of resident lines
+//!   shared between threads, and accesses to shared lines per reference
+//!   (sharing);
+//! * [`mix::InstrMix`] tallies the ALU / branch / read / write
+//!   instruction mix;
+//! * [`footprint::Footprints`] counts 64-byte instruction blocks and
+//!   4 kB data blocks touched (Figures 11 and 12).
+//!
+//! ## Example
+//!
+//! ```
+//! use tracekit::{profile, CpuWorkload, ProfileConfig, Profiler};
+//!
+//! /// Eight threads summing disjoint slices of an array.
+//! struct Sum;
+//!
+//! impl CpuWorkload for Sum {
+//!     fn name(&self) -> &'static str { "sum" }
+//!     fn run(&self, prof: &mut Profiler) {
+//!         let data = prof.alloc("data", 8 * 1024 * 4);
+//!         let code = prof.code_region("sum_loop", 256);
+//!         prof.parallel(|t| {
+//!             t.exec(code);
+//!             let lo = t.tid() * 1024;
+//!             for i in lo..lo + 1024 {
+//!                 t.read(data + i as u64 * 4, 4);
+//!                 t.alu(1);
+//!             }
+//!         });
+//!     }
+//! }
+//!
+//! let p = profile(&Sum, &ProfileConfig::default());
+//! assert_eq!(p.mix.reads, 8 * 1024);
+//! assert_eq!(p.cache_stats.len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod footprint;
+pub mod mix;
+pub mod profile;
+pub mod tracer;
+
+pub use cache::{CacheStats, SharedCache};
+pub use footprint::Footprints;
+pub use mix::InstrMix;
+pub use profile::{profile, CpuWorkload, Profile, ProfileConfig, Profiler};
+pub use tracer::{Ev, ThreadTracer};

@@ -1,0 +1,65 @@
+//! Instruction-mix accounting (the paper's `mix-mt` Pin tool).
+
+/// Counts of retired instructions by category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstrMix {
+    /// Arithmetic/logic instructions.
+    pub alu: u64,
+    /// Branch instructions.
+    pub branches: u64,
+    /// Memory reads.
+    pub reads: u64,
+    /// Memory writes.
+    pub writes: u64,
+}
+
+impl InstrMix {
+    /// Total instructions.
+    pub fn total(&self) -> u64 {
+        self.alu + self.branches + self.reads + self.writes
+    }
+
+    /// Fractions `[alu, branch, read, write]` (zeros when empty) — the
+    /// feature vector used for the Figure 7 PCA.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 4];
+        }
+        [
+            self.alu as f64 / t as f64,
+            self.branches as f64 / t as f64,
+            self.reads as f64 / t as f64,
+            self.writes as f64 / t as f64,
+        ]
+    }
+
+    /// Total memory references.
+    pub fn memory_refs(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let m = InstrMix {
+            alu: 50,
+            branches: 10,
+            reads: 30,
+            writes: 10,
+        };
+        let f = m.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[0] - 0.5).abs() < 1e-12);
+        assert_eq!(m.memory_refs(), 40);
+    }
+
+    #[test]
+    fn empty_mix_is_safe() {
+        assert_eq!(InstrMix::default().fractions(), [0.0; 4]);
+    }
+}

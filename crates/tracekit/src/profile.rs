@@ -1,0 +1,384 @@
+//! The one-pass profiling driver: runs a workload's logical threads,
+//! interleaves their events deterministically, and feeds every
+//! configured cache capacity plus the mix/footprint collectors
+//! simultaneously.
+
+use crate::cache::{CacheStats, SharedCache};
+use crate::footprint::Footprints;
+use crate::mix::InstrMix;
+use crate::tracer::{Ev, ThreadTracer};
+
+/// Profiling configuration (defaults follow Bienia et al. / the paper:
+/// 8 threads, a shared 4-way 64-byte-line cache at eight capacities from
+/// 128 kB to 16 MB).
+#[derive(Debug, Clone)]
+pub struct ProfileConfig {
+    /// Logical threads per parallel region.
+    pub threads: usize,
+    /// Cache capacities (bytes) simulated in one pass.
+    pub cache_sizes: Vec<u64>,
+    /// Cache associativity.
+    pub ways: usize,
+    /// Cache line size in bytes.
+    pub line: u64,
+    /// Round-robin interleaving quantum, in events.
+    pub quantum: usize,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> ProfileConfig {
+        ProfileConfig {
+            threads: 8,
+            cache_sizes: (0..8).map(|i| (128 * 1024u64) << i).collect(),
+            ways: 4,
+            line: 64,
+            quantum: 1000,
+        }
+    }
+}
+
+/// A workload that can be profiled by [`profile`].
+pub trait CpuWorkload {
+    /// Workload name.
+    fn name(&self) -> &'static str;
+
+    /// Emits the workload's computation through `prof`.
+    fn run(&self, prof: &mut Profiler);
+}
+
+/// The collected characteristics of one workload run.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Workload name.
+    pub name: String,
+    /// Instruction mix.
+    pub mix: InstrMix,
+    /// Per-capacity cache statistics, ordered as in
+    /// [`ProfileConfig::cache_sizes`].
+    pub cache_stats: Vec<CacheStats>,
+    /// Distinct 64-byte instruction blocks executed (Figure 11).
+    pub instr_blocks: usize,
+    /// Distinct 4 kB data blocks touched (Figure 12).
+    pub data_blocks: usize,
+    /// Total events processed.
+    pub events: u64,
+}
+
+impl Profile {
+    /// The cache stats for a given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity was not simulated.
+    pub fn at_capacity(&self, bytes: u64) -> &CacheStats {
+        self.cache_stats
+            .iter()
+            .find(|s| s.capacity == bytes)
+            .unwrap_or_else(|| panic!("capacity {bytes} was not simulated"))
+    }
+}
+
+/// The instrumentation context a workload runs against.
+#[derive(Debug)]
+pub struct Profiler {
+    cfg: ProfileConfig,
+    caches: Vec<SharedCache>,
+    mix: InstrMix,
+    footprints: Footprints,
+    regions: Vec<(u64, u64)>,
+    next_data: u64,
+    next_code: u64,
+    events: u64,
+}
+
+/// Base of the (synthetic) code address space, disjoint from data.
+const CODE_BASE: u64 = 1 << 40;
+
+impl Profiler {
+    /// Creates a profiler with the given configuration.
+    pub fn new(cfg: &ProfileConfig) -> Profiler {
+        Profiler {
+            caches: cfg
+                .cache_sizes
+                .iter()
+                .map(|&b| SharedCache::new(b, cfg.ways, cfg.line))
+                .collect(),
+            cfg: cfg.clone(),
+            mix: InstrMix::default(),
+            footprints: Footprints::new(),
+            regions: Vec::new(),
+            next_data: 0,
+            next_code: CODE_BASE,
+            events: 0,
+        }
+    }
+
+    /// Number of logical threads in a parallel region.
+    pub fn threads(&self) -> usize {
+        self.cfg.threads
+    }
+
+    /// Reserves `bytes` of data address space; returns the base address.
+    /// Allocations are page-aligned so footprints are clean.
+    pub fn alloc(&mut self, _name: &str, bytes: u64) -> u64 {
+        let base = self.next_data;
+        self.next_data += bytes.max(1).div_ceil(4096) * 4096;
+        base
+    }
+
+    /// Declares a code region of `bytes` of instructions (a function or
+    /// loop nest); returns its id for [`ThreadTracer::exec`]. Region
+    /// sizes model the relative code sizes of the real applications and
+    /// drive the instruction-footprint measurement.
+    pub fn code_region(&mut self, _name: &str, bytes: u64) -> u32 {
+        let base = self.next_code;
+        self.next_code += bytes.max(1).div_ceil(64) * 64;
+        self.regions.push((base, bytes));
+        (self.regions.len() - 1) as u32
+    }
+
+    /// Runs a parallel region: `f` is invoked once per logical thread,
+    /// and the buffered event streams are interleaved round-robin with
+    /// the configured quantum.
+    pub fn parallel(&mut self, f: impl Fn(&mut ThreadTracer)) {
+        let mut tracers: Vec<ThreadTracer> =
+            (0..self.cfg.threads).map(ThreadTracer::new).collect();
+        for t in tracers.iter_mut() {
+            f(t);
+        }
+        self.drain(tracers);
+    }
+
+    /// Runs a serial (single-thread) region on logical thread 0.
+    pub fn serial(&mut self, f: impl FnOnce(&mut ThreadTracer)) {
+        let mut t = ThreadTracer::new(0);
+        f(&mut t);
+        self.drain(vec![t]);
+    }
+
+    fn drain(&mut self, mut tracers: Vec<ThreadTracer>) {
+        let streams: Vec<(usize, Vec<Ev>)> = tracers
+            .iter_mut()
+            .map(|t| (t.tid(), t.take_events()))
+            .collect();
+        let q = self.cfg.quantum.max(1);
+        let mut cursors = vec![0usize; streams.len()];
+        loop {
+            let mut progressed = false;
+            for (i, (tid, evs)) in streams.iter().enumerate() {
+                let start = cursors[i];
+                let end = (start + q).min(evs.len());
+                for ev in &evs[start..end] {
+                    self.apply(*tid, *ev);
+                }
+                if end > start {
+                    progressed = true;
+                    cursors[i] = end;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn apply(&mut self, tid: usize, ev: Ev) {
+        self.events += 1;
+        match ev {
+            Ev::Read { addr, size } => {
+                self.mix.reads += 1;
+                self.footprints.touch_data(addr, size as u64);
+                self.access(tid, addr, size);
+            }
+            Ev::Write { addr, size } => {
+                self.mix.writes += 1;
+                self.footprints.touch_data(addr, size as u64);
+                self.access(tid, addr, size);
+            }
+            Ev::Alu(n) => self.mix.alu += n as u64,
+            Ev::Branch(n) => self.mix.branches += n as u64,
+            Ev::Exec(region) => {
+                let (base, len) = self.regions[region as usize];
+                self.footprints.touch_code(base, len);
+            }
+        }
+    }
+
+    fn access(&mut self, tid: usize, addr: u64, size: u8) {
+        let line = self.cfg.line;
+        let first = addr / line;
+        let last = (addr + size.max(1) as u64 - 1) / line;
+        for c in self.caches.iter_mut() {
+            c.access(tid, addr);
+            // A straddling access touches the next line too.
+            if last != first {
+                c.access(tid, last * line);
+            }
+        }
+    }
+
+    /// Finalizes the run into a [`Profile`].
+    pub fn finish(self, name: &str) -> Profile {
+        Profile {
+            name: name.to_string(),
+            mix: self.mix,
+            cache_stats: self.caches.into_iter().map(SharedCache::finish).collect(),
+            instr_blocks: self.footprints.instr_blocks(),
+            data_blocks: self.footprints.data_blocks(),
+            events: self.events,
+        }
+    }
+}
+
+/// Profiles `workload` under `cfg` in one pass.
+pub fn profile(workload: &dyn CpuWorkload, cfg: &ProfileConfig) -> Profile {
+    let mut prof = Profiler::new(cfg);
+    workload.run(&mut prof);
+    prof.finish(workload.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Strided {
+        lines: u64,
+        passes: usize,
+    }
+
+    impl CpuWorkload for Strided {
+        fn name(&self) -> &'static str {
+            "strided"
+        }
+        fn run(&self, prof: &mut Profiler) {
+            let data = prof.alloc("data", self.lines * 64);
+            let code = prof.code_region("loop", 320);
+            let (lines, passes) = (self.lines, self.passes);
+            prof.parallel(|t| {
+                t.exec(code);
+                for _ in 0..passes {
+                    for i in 0..lines {
+                        t.read(data + i * 64, 4);
+                        t.alu(2);
+                    }
+                }
+            });
+        }
+    }
+
+    fn small_cfg() -> ProfileConfig {
+        ProfileConfig {
+            threads: 4,
+            cache_sizes: vec![4 * 1024, 64 * 1024, 1024 * 1024],
+            quantum: 16,
+            ..ProfileConfig::default()
+        }
+    }
+
+    #[test]
+    fn mix_counts_all_threads() {
+        let p = profile(
+            &Strided {
+                lines: 100,
+                passes: 2,
+            },
+            &small_cfg(),
+        );
+        assert_eq!(p.mix.reads, 4 * 2 * 100);
+        assert_eq!(p.mix.alu, 4 * 2 * 100 * 2);
+        assert_eq!(p.mix.writes, 0);
+    }
+
+    #[test]
+    fn miss_rate_decreases_with_capacity() {
+        let p = profile(
+            &Strided {
+                lines: 512, // 32 kB working set
+                passes: 4,
+            },
+            &small_cfg(),
+        );
+        let rates: Vec<f64> = p.cache_stats.iter().map(|s| s.miss_rate()).collect();
+        assert!(rates[0] > rates[1], "4k vs 64k: {rates:?}");
+        assert!(rates[1] >= rates[2], "64k vs 1M: {rates:?}");
+        // At 1 MB only the compulsory misses remain: 512 distinct lines
+        // over 4 threads x 4 passes x 512 accesses = 1/16.
+        assert!(rates[2] <= 0.0625 + 1e-9, "only compulsory misses: {rates:?}");
+    }
+
+    #[test]
+    fn shared_data_is_detected() {
+        // All threads read the same lines: lines become shared.
+        let p = profile(
+            &Strided {
+                lines: 64,
+                passes: 1,
+            },
+            &small_cfg(),
+        );
+        let s = p.at_capacity(1024 * 1024);
+        assert!(s.shared_line_fraction() > 0.9, "{s:?}");
+        assert!(s.shared_access_rate() > 0.5);
+    }
+
+    #[test]
+    fn footprints_reflect_code_and_data() {
+        let p = profile(
+            &Strided {
+                lines: 128, // 8 kB = 2 pages
+                passes: 1,
+            },
+            &small_cfg(),
+        );
+        assert_eq!(p.instr_blocks, 5); // 320 B = 5 blocks
+        assert_eq!(p.data_blocks, 2);
+    }
+
+    #[test]
+    fn serial_region_uses_thread_zero() {
+        struct Serial;
+        impl CpuWorkload for Serial {
+            fn name(&self) -> &'static str {
+                "serial"
+            }
+            fn run(&self, prof: &mut Profiler) {
+                let d = prof.alloc("d", 4096);
+                prof.serial(|t| {
+                    assert_eq!(t.tid(), 0);
+                    t.write(d, 8);
+                });
+            }
+        }
+        let p = profile(&Serial, &small_cfg());
+        assert_eq!(p.mix.writes, 1);
+        let s = p.at_capacity(4 * 1024);
+        assert_eq!(s.shared_accesses, 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = small_cfg();
+        let w = Strided {
+            lines: 300,
+            passes: 3,
+        };
+        let a = profile(&w, &cfg);
+        let b = profile(&w, &cfg);
+        assert_eq!(a.mix, b.mix);
+        assert_eq!(a.cache_stats, b.cache_stats);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not simulated")]
+    fn unknown_capacity_panics() {
+        let p = profile(
+            &Strided {
+                lines: 8,
+                passes: 1,
+            },
+            &small_cfg(),
+        );
+        let _ = p.at_capacity(999);
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-thread event streams.
+
+/// One instrumentation event from a logical thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    /// A data read of `size` bytes at `addr`.
+    Read {
+        /// Byte address.
+        addr: u64,
+        /// Access width in bytes.
+        size: u8,
+    },
+    /// A data write of `size` bytes at `addr`.
+    Write {
+        /// Byte address.
+        addr: u64,
+        /// Access width in bytes.
+        size: u8,
+    },
+    /// `n` arithmetic/logic instructions.
+    Alu(u32),
+    /// `n` branch instructions.
+    Branch(u32),
+    /// Execution entered code region `id` (instruction-footprint marker).
+    Exec(u32),
+}
+
+/// The event recorder handed to each logical thread of a parallel
+/// region.
+#[derive(Debug)]
+pub struct ThreadTracer {
+    tid: usize,
+    events: Vec<Ev>,
+}
+
+impl ThreadTracer {
+    pub(crate) fn new(tid: usize) -> ThreadTracer {
+        ThreadTracer {
+            tid,
+            events: Vec::new(),
+        }
+    }
+
+    /// This logical thread's id.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Records a data read.
+    pub fn read(&mut self, addr: u64, size: u8) {
+        self.events.push(Ev::Read { addr, size });
+    }
+
+    /// Records a data write.
+    pub fn write(&mut self, addr: u64, size: u8) {
+        self.events.push(Ev::Write { addr, size });
+    }
+
+    /// Records `n` ALU instructions.
+    pub fn alu(&mut self, n: u32) {
+        if n > 0 {
+            self.events.push(Ev::Alu(n));
+        }
+    }
+
+    /// Records `n` branch instructions.
+    pub fn branch(&mut self, n: u32) {
+        if n > 0 {
+            self.events.push(Ev::Branch(n));
+        }
+    }
+
+    /// Records execution of a code region (see
+    /// [`crate::Profiler::code_region`]).
+    pub fn exec(&mut self, region: u32) {
+        self.events.push(Ev::Exec(region));
+    }
+
+    /// Convenience: a read-modify-write of one word plus its arithmetic.
+    pub fn update(&mut self, addr: u64, size: u8, alu: u32) {
+        self.read(addr, size);
+        self.alu(alu);
+        self.write(addr, size);
+    }
+
+    pub(crate) fn take_events(&mut self) -> Vec<Ev> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of buffered events (for region-size heuristics in tests).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_record_in_order() {
+        let mut t = ThreadTracer::new(3);
+        assert_eq!(t.tid(), 3);
+        t.read(0x100, 4);
+        t.alu(2);
+        t.write(0x104, 8);
+        t.branch(1);
+        t.exec(7);
+        let ev = t.take_events();
+        assert_eq!(
+            ev,
+            vec![
+                Ev::Read { addr: 0x100, size: 4 },
+                Ev::Alu(2),
+                Ev::Write { addr: 0x104, size: 8 },
+                Ev::Branch(1),
+                Ev::Exec(7),
+            ]
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn zero_counts_are_elided() {
+        let mut t = ThreadTracer::new(0);
+        t.alu(0);
+        t.branch(0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn update_is_read_alu_write() {
+        let mut t = ThreadTracer::new(0);
+        t.update(64, 4, 3);
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests on the shared-cache simulator: the classic stack
+//! properties LRU guarantees, plus bounds on the sharing metrics.
+
+use proptest::prelude::*;
+use tracekit::SharedCache;
+
+proptest! {
+    /// With the set count fixed, adding ways to an LRU cache never adds
+    /// misses (inclusion across associativity).
+    #[test]
+    fn more_ways_never_miss_more(
+        trace in proptest::collection::vec((0usize..4, 0u64..200_000), 10..400),
+    ) {
+        // 64 sets in both: 2-way = 8 kB, 4-way = 16 kB.
+        let mut narrow = SharedCache::new(8 * 1024, 2, 64);
+        let mut wide = SharedCache::new(16 * 1024, 4, 64);
+        for &(tid, addr) in &trace {
+            narrow.access(tid, addr);
+            wide.access(tid, addr);
+        }
+        let (n, w) = (narrow.finish(), wide.finish());
+        prop_assert!(w.misses <= n.misses, "4-way {} > 2-way {}", w.misses, n.misses);
+    }
+
+    /// Sharing metrics are well-formed fractions, and single-threaded
+    /// traces never share.
+    #[test]
+    fn sharing_bounds(
+        trace in proptest::collection::vec((0usize..8, 0u64..100_000), 1..300),
+        single in proptest::bool::ANY,
+    ) {
+        let mut c = SharedCache::new(32 * 1024, 4, 64);
+        for &(tid, addr) in &trace {
+            c.access(if single { 0 } else { tid }, addr);
+        }
+        let s = c.finish();
+        prop_assert!((0.0..=1.0).contains(&s.miss_rate()));
+        prop_assert!((0.0..=1.0).contains(&s.shared_line_fraction()));
+        prop_assert!((0.0..=1.0).contains(&s.shared_access_rate()));
+        if single {
+            prop_assert_eq!(s.shared_accesses, 0);
+            prop_assert_eq!(s.shared_incarnations, 0);
+        }
+    }
+
+    /// Replaying a trace after warming with itself can only hit (for a
+    /// working set that fits).
+    #[test]
+    fn warm_replay_hits(lines in proptest::collection::vec(0u64..128, 1..64)) {
+        // 128 lines of working set vs a 512-line cache.
+        let mut c = SharedCache::new(32 * 1024, 4, 64);
+        for &l in &lines {
+            c.access(0, l * 64);
+        }
+        let cold = c.finish().misses;
+        let mut c2 = SharedCache::new(32 * 1024, 4, 64);
+        for _ in 0..2 {
+            for &l in &lines {
+                c2.access(0, l * 64);
+            }
+        }
+        let warm = c2.finish();
+        prop_assert_eq!(warm.misses, cold, "second pass must be all hits");
+    }
+}

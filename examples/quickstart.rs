@@ -1,0 +1,61 @@
+//! Quickstart: one GPU benchmark on the simulator, one CPU workload
+//! through the Pin-style profiler, and a taste of the analysis stack.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rodinia_repro::prelude::*;
+use rodinia_repro::rodinia_gpu::srad::Srad;
+
+fn main() {
+    // --- GPU side: run SRAD v2 on the paper's GPGPU-Sim configuration.
+    let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+    let stats = Srad::v2(Scale::Tiny).run(&mut gpu);
+    println!("== GPU: SRAD v2 on {} ==", gpu.config().name);
+    println!("{stats}");
+    println!();
+
+    // --- CPU side: profile the OpenMP HotSpot under the Bienia
+    // methodology (8 threads, shared 4-way 64 B cache, 128 kB - 16 MB).
+    let profile = tracekit::profile(&HotspotOmp::new(Scale::Tiny), &ProfileConfig::default());
+    println!("== CPU: hotspot profile ==");
+    println!(
+        "instruction mix: alu {} branch {} read {} write {}",
+        profile.mix.alu, profile.mix.branches, profile.mix.reads, profile.mix.writes
+    );
+    for s in &profile.cache_stats {
+        println!(
+            "  {:>5} kB cache: {:.4} misses/ref, {:.1}% shared lines",
+            s.capacity / 1024,
+            s.miss_rate(),
+            s.shared_line_fraction() * 100.0
+        );
+    }
+    println!(
+        "footprints: {} instruction blocks (64 B), {} data blocks (4 kB)",
+        profile.instr_blocks, profile.data_blocks
+    );
+    println!();
+
+    // --- Analysis: cluster a few feature vectors.
+    let features = vec![
+        vec![0.9, 0.1],
+        vec![0.85, 0.12],
+        vec![0.2, 0.8],
+        vec![0.25, 0.75],
+    ];
+    let merges = hierarchical(
+        &rodinia_repro::analysis::euclidean_matrix(&features),
+        Linkage::Average,
+    );
+    let labels: Vec<String> = ["compute-a", "compute-b", "memory-a", "memory-b"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    println!("== Analysis: a small dendrogram ==");
+    print!(
+        "{}",
+        rodinia_repro::analysis::render_dendrogram(&labels, &merges)
+    );
+}

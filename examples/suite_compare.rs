@@ -1,0 +1,51 @@
+//! The cross-suite comparison study (the paper's Sections IV-V):
+//! profiles all 24 workloads, then prints the Figure 6 dendrogram, the
+//! Figure 7-9 PCA scatters, the Figure 10 miss rates, and the
+//! Figure 11-12 footprints.
+//!
+//! ```text
+//! cargo run --release --example suite_compare [tiny|small|paper]
+//! ```
+
+use rodinia_repro::prelude::*;
+use rodinia_repro::rodinia_study::footprints::footprint_study;
+
+fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Scale::Tiny,
+        Some("paper") => Scale::Paper,
+        Some("small") | None => Scale::Small,
+        Some(other) => {
+            eprintln!("unknown scale {other:?}; use tiny|small|paper");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("profiling 24 workloads (this is the expensive step) ...");
+    let study = ComparisonStudy::run(scale);
+
+    println!("Figure 6: similarity dendrogram (Rodinia R, Parsec P)");
+    println!("{}", study.dendrogram());
+
+    for scatter in [
+        study.instruction_mix_pca(),
+        study.working_set_pca(),
+        study.sharing_pca(),
+    ] {
+        println!("{}", scatter.to_table());
+        println!(
+            "  (PC1 explains {:.0}%, PC2 {:.0}% of variance)\n",
+            scatter.variance_explained.0 * 100.0,
+            scatter.variance_explained.1 * 100.0
+        );
+    }
+
+    println!("{}", study.miss_rates_4mb());
+    println!("{}", study.taxonomy_table());
+    let fp = footprint_study(&study);
+    println!("{}", fp.instruction_table());
+    println!("{}", fp.data_table());
+}

@@ -1,0 +1,131 @@
+//! `repro` — regenerate any table or figure of the paper from the
+//! command line.
+//!
+//! ```text
+//! repro list
+//! repro all   [tiny|small|paper] [--csv]
+//! repro fig1  [tiny|small|paper] [--csv]
+//! repro fig6 fig10 small
+//! ```
+//!
+//! GPU-side artifacts run independently; the comparison-corpus figures
+//! (fig6–fig12) share one profiling pass per invocation.
+
+use rodinia_repro::prelude::*;
+use rodinia_repro::rodinia_study::experiments::{run_comparison, run_gpu};
+use rodinia_repro::rodinia_study::report::Table;
+
+fn id_of(name: &str) -> Option<ExperimentId> {
+    use ExperimentId::*;
+    Some(match name.to_ascii_lowercase().as_str() {
+        "table1" => Table1,
+        "table2" => Table2,
+        "table3" => Table3,
+        "table4" => Table4,
+        "table5" => Table5,
+        "fig1" => Fig1,
+        "fig2" => Fig2,
+        "fig3" => Fig3,
+        "fig4" => Fig4,
+        "fig5" => Fig5,
+        "pb" | "sensitivity" => PlackettBurman,
+        "fig6" => Fig6,
+        "fig7" => Fig7,
+        "fig8" => Fig8,
+        "fig9" => Fig9,
+        "fig10" => Fig10,
+        "fig11" => Fig11,
+        "fig12" => Fig12,
+        _ => return None,
+    })
+}
+
+fn name_of(id: ExperimentId) -> &'static str {
+    use ExperimentId::*;
+    match id {
+        Table1 => "table1",
+        Table2 => "table2",
+        Table3 => "table3",
+        Table4 => "table4",
+        Table5 => "table5",
+        Fig1 => "fig1",
+        Fig2 => "fig2",
+        Fig3 => "fig3",
+        Fig4 => "fig4",
+        Fig5 => "fig5",
+        PlackettBurman => "pb",
+        Fig6 => "fig6",
+        Fig7 => "fig7",
+        Fig8 => "fig8",
+        Fig9 => "fig9",
+        Fig10 => "fig10",
+        Fig11 => "fig11",
+        Fig12 => "fig12",
+    }
+}
+
+fn needs_corpus(id: ExperimentId) -> bool {
+    use ExperimentId::*;
+    matches!(id, Fig6 | Fig7 | Fig8 | Fig9 | Fig10 | Fig11 | Fig12)
+}
+
+fn emit(tables: Vec<Table>, csv: bool) {
+    for t in tables {
+        if csv {
+            println!("# {}", t.title);
+            print!("{}", t.to_csv());
+        } else {
+            println!("{t}");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let scale = if args.iter().any(|a| a == "tiny") {
+        Scale::Tiny
+    } else if args.iter().any(|a| a == "paper") {
+        Scale::Paper
+    } else {
+        Scale::Small
+    };
+    let mut ids: Vec<ExperimentId> = Vec::new();
+    let mut listed = false;
+    for a in &args {
+        match a.as_str() {
+            "--csv" | "tiny" | "small" | "paper" => {}
+            "all" => ids = ExperimentId::all(),
+            "list" => listed = true,
+            other => match id_of(other) {
+                Some(id) => ids.push(id),
+                None => {
+                    eprintln!("unknown artifact {other:?}; try `repro list`");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if listed || ids.is_empty() {
+        println!("artifacts:");
+        for id in ExperimentId::all() {
+            println!("  {}", name_of(id));
+        }
+        println!("usage: repro <artifact|all> [tiny|small|paper] [--csv]");
+        return;
+    }
+
+    let corpus = if ids.iter().any(|&id| needs_corpus(id)) {
+        eprintln!("profiling the 24-workload comparison corpus ...");
+        Some(ComparisonStudy::run(scale))
+    } else {
+        None
+    };
+    for id in ids {
+        if needs_corpus(id) {
+            emit(run_comparison(id, corpus.as_ref().expect("corpus built")), csv);
+        } else {
+            emit(run_gpu(id, scale), csv);
+        }
+    }
+}

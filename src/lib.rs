@@ -1,0 +1,56 @@
+//! # rodinia-repro — reproduction of the IISWC 2010 Rodinia characterization
+//!
+//! This umbrella crate re-exports the full workspace. See `DESIGN.md`
+//! for the system inventory and `EXPERIMENTS.md` for paper-vs-measured
+//! results for every table and figure.
+//!
+//! * [`simt`] — the SIMT GPU simulator (GPGPU-Sim substitute);
+//! * [`rodinia_gpu`] — the 12 Rodinia benchmarks as CUDA-style kernels;
+//! * [`tracekit`] — the Pin-style CPU instrumentation substrate;
+//! * [`rodinia_cpu`] — the Rodinia OpenMP workloads;
+//! * [`parsec_lite`] — kernel-level Parsec re-implementations;
+//! * [`datasets`] — seeded synthetic input generators;
+//! * [`analysis`] — PCA, hierarchical clustering, Plackett–Burman;
+//! * [`rodinia_study`] — the experiment drivers for every table/figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rodinia_repro::prelude::*;
+//!
+//! // Characterize one GPU benchmark on the paper's simulator config.
+//! let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+//! let stats = Hotspot::new(Scale::Tiny).run(&mut gpu);
+//! assert!(stats.ipc() > 0.0);
+//!
+//! // Profile one CPU workload under the Bienia methodology.
+//! let profile = tracekit::profile(
+//!     &HotspotOmp::new(Scale::Tiny),
+//!     &ProfileConfig::default(),
+//! );
+//! assert_eq!(profile.cache_stats.len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use analysis;
+pub use datasets;
+pub use parsec_lite;
+pub use rodinia_cpu;
+pub use rodinia_gpu;
+pub use rodinia_study;
+pub use simt;
+pub use tracekit;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use analysis::{hierarchical, Linkage, Pca};
+    pub use datasets::Scale;
+    pub use rodinia_cpu::hotspot::HotspotOmp;
+    pub use rodinia_gpu::hotspot::Hotspot;
+    pub use rodinia_gpu::suite::{all_benchmarks, GpuBenchmark};
+    pub use rodinia_study::comparison::ComparisonStudy;
+    pub use rodinia_study::experiments::ExperimentId;
+    pub use simt::{Gpu, GpuConfig, KernelStats};
+    pub use tracekit::{profile, CpuWorkload, ProfileConfig};
+}

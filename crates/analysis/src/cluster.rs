@@ -1,6 +1,8 @@
 //! Agglomerative hierarchical clustering (the paper's "classical
 //! hierarchical clustering analysis", MATLAB `linkage`-style).
 
+use crate::error::AnalysisError;
+
 /// Linkage criterion for merging clusters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Linkage {
@@ -33,15 +35,52 @@ pub struct Merge {
 ///
 /// # Panics
 ///
-/// Panics if the matrix is not square or `n == 0`.
+/// Panics if the matrix is not square, contains non-finite distances,
+/// or `n == 0`. Prefer [`try_hierarchical`] for typed errors.
 pub fn hierarchical(dist: &[Vec<f64>], linkage: Linkage) -> Vec<Merge> {
+    try_hierarchical(dist, linkage).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`hierarchical`].
+///
+/// A single item is not an error: it clusters trivially into an empty
+/// merge list (the documented degenerate result for fewer than two
+/// observations).
+///
+/// # Errors
+///
+/// [`AnalysisError::EmptyInput`] on an empty matrix,
+/// [`AnalysisError::NotSquare`] if any row's length differs from the
+/// row count, and [`AnalysisError::NonFinite`] if any distance is NaN
+/// or infinite (NaN comparisons would silently corrupt the merge
+/// order).
+pub fn try_hierarchical(dist: &[Vec<f64>], linkage: Linkage) -> Result<Vec<Merge>, AnalysisError> {
     let n = dist.len();
-    assert!(n > 0, "no items to cluster");
-    for row in dist {
-        assert_eq!(row.len(), n, "distance matrix must be square");
+    if n == 0 {
+        return Err(AnalysisError::EmptyInput {
+            what: "distance matrix",
+        });
     }
-    // Active clusters: id -> member leaves.
-    let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    for (i, row) in dist.iter().enumerate() {
+        if row.len() != n {
+            return Err(AnalysisError::NotSquare {
+                row: i,
+                len: row.len(),
+                n,
+            });
+        }
+        if let Some(c) = row.iter().position(|x| !x.is_finite()) {
+            return Err(AnalysisError::NonFinite {
+                what: "distance matrix",
+                row: i,
+                col: c,
+            });
+        }
+    }
+    // Active clusters: id -> member leaves. Retired ids keep an empty
+    // vector; `active` is the single source of truth for liveness, so
+    // no Option/unwrap bookkeeping is needed in the merge loop.
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
     let mut active: Vec<usize> = (0..n).collect();
     let mut merges = Vec::with_capacity(n.saturating_sub(1));
 
@@ -74,20 +113,17 @@ pub fn hierarchical(dist: &[Vec<f64>], linkage: Linkage) -> Vec<Merge> {
         for x in 0..active.len() {
             for y in (x + 1)..active.len() {
                 let (ca, cb) = (active[x], active[y]);
-                let d = cluster_dist(
-                    members[ca].as_ref().unwrap(),
-                    members[cb].as_ref().unwrap(),
-                );
+                let d = cluster_dist(&members[ca], &members[cb]);
                 if d < best.2 {
                     best = (ca, cb, d);
                 }
             }
         }
         let (ca, cb, d) = best;
-        let mut merged = members[ca].take().unwrap();
-        merged.extend(members[cb].take().unwrap());
+        let mut merged = std::mem::take(&mut members[ca]);
+        merged.extend(std::mem::take(&mut members[cb]));
         let size = merged.len();
-        members.push(Some(merged));
+        members.push(merged);
         let new_id = members.len() - 1;
         active.retain(|&c| c != ca && c != cb);
         active.push(new_id);
@@ -98,7 +134,7 @@ pub fn hierarchical(dist: &[Vec<f64>], linkage: Linkage) -> Vec<Merge> {
             size,
         });
     }
-    merges
+    Ok(merges)
 }
 
 /// Cuts the merge tree into exactly `k` flat clusters; returns each
@@ -106,9 +142,25 @@ pub fn hierarchical(dist: &[Vec<f64>], linkage: Linkage) -> Vec<Merge> {
 ///
 /// # Panics
 ///
-/// Panics if `k` is 0 or exceeds the leaf count.
+/// Panics if `k` is 0 or exceeds the leaf count. Prefer
+/// [`try_flat_clusters`] for a typed error.
 pub fn flat_clusters(n_leaves: usize, merges: &[Merge], k: usize) -> Vec<usize> {
-    assert!(k >= 1 && k <= n_leaves, "k out of range");
+    try_flat_clusters(n_leaves, merges, k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`flat_clusters`].
+///
+/// # Errors
+///
+/// [`AnalysisError::InvalidK`] if `k` is 0 or exceeds the leaf count.
+pub fn try_flat_clusters(
+    n_leaves: usize,
+    merges: &[Merge],
+    k: usize,
+) -> Result<Vec<usize>, AnalysisError> {
+    if k < 1 || k > n_leaves {
+        return Err(AnalysisError::InvalidK { k, n_leaves });
+    }
     // Apply the first n - k merges with a union-find.
     let total = n_leaves + merges.len();
     let mut parent: Vec<usize> = (0..total).collect();
@@ -128,13 +180,13 @@ pub fn flat_clusters(n_leaves: usize, merges: &[Merge], k: usize) -> Vec<usize> 
     }
     // Label roots.
     let mut labels = std::collections::HashMap::new();
-    (0..n_leaves)
+    Ok((0..n_leaves)
         .map(|leaf| {
             let r = find(&mut parent, leaf);
             let next = labels.len();
             *labels.entry(r).or_insert(next)
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -187,6 +239,53 @@ mod tests {
         let merges = hierarchical(&[vec![0.0]], Linkage::Single);
         assert!(merges.is_empty());
         assert_eq!(flat_clusters(1, &merges, 1), vec![0]);
+    }
+
+    #[test]
+    fn try_hierarchical_rejects_empty_matrix() {
+        assert_eq!(
+            try_hierarchical(&[], Linkage::Average),
+            Err(AnalysisError::EmptyInput {
+                what: "distance matrix"
+            })
+        );
+    }
+
+    #[test]
+    fn try_hierarchical_rejects_non_square_and_nan() {
+        assert_eq!(
+            try_hierarchical(&[vec![0.0, 1.0], vec![1.0]], Linkage::Single),
+            Err(AnalysisError::NotSquare {
+                row: 1,
+                len: 1,
+                n: 2
+            })
+        );
+        let nan = vec![vec![0.0, f64::NAN], vec![f64::NAN, 0.0]];
+        assert!(matches!(
+            try_hierarchical(&nan, Linkage::Complete),
+            Err(AnalysisError::NonFinite { row: 0, col: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn try_flat_clusters_rejects_bad_k() {
+        let d = euclidean_matrix(&two_blobs());
+        let merges = hierarchical(&d, Linkage::Average);
+        assert_eq!(
+            try_flat_clusters(5, &merges, 0),
+            Err(AnalysisError::InvalidK { k: 0, n_leaves: 5 })
+        );
+        assert_eq!(
+            try_flat_clusters(5, &merges, 6),
+            Err(AnalysisError::InvalidK { k: 6, n_leaves: 5 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty distance matrix")]
+    fn hierarchical_wrapper_panics_on_empty_input() {
+        let _ = hierarchical(&[], Linkage::Average);
     }
 }
 

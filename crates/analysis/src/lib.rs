@@ -14,22 +14,28 @@
 //! * [`dendrogram`] — ASCII dendrogram rendering;
 //! * [`plackett_burman`] — the PB-12 two-level screening design and
 //!   effect estimation used by the paper's GPU sensitivity study
-//!   (Section III.E).
+//!   (Section III.E);
+//! * [`error`] — the [`AnalysisError`] type behind the `try_*` entry
+//!   points (`Pca::try_fit`, [`try_hierarchical`], …), which turn
+//!   malformed inputs (empty/ragged/NaN matrices, bad PB designs) into
+//!   typed errors instead of panics.
 
 #![warn(missing_docs)]
 
 pub mod cluster;
 pub mod dendrogram;
 pub mod distance;
+pub mod error;
 pub mod matrix;
 pub mod pca;
 pub mod plackett_burman;
 pub mod stats;
 
-pub use cluster::{hierarchical, Linkage, Merge};
+pub use cluster::{hierarchical, try_flat_clusters, try_hierarchical, Linkage, Merge};
 pub use dendrogram::render_dendrogram;
 pub use distance::euclidean_matrix;
+pub use error::AnalysisError;
 pub use matrix::{jacobi_eigen, SymMat};
 pub use pca::Pca;
 pub use plackett_burman::{pb12, PbResult};
-pub use stats::standardize;
+pub use stats::{standardize, try_standardize};

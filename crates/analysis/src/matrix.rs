@@ -1,5 +1,7 @@
 //! Minimal symmetric-matrix support and a cyclic Jacobi eigensolver.
 
+use crate::error::AnalysisError;
+
 /// A dense symmetric matrix (full storage for simplicity).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SymMat {
@@ -34,10 +36,46 @@ impl SymMat {
     ///
     /// # Panics
     ///
-    /// Panics on an empty or ragged data matrix.
+    /// Panics on an empty, ragged, or non-finite data matrix. Prefer
+    /// [`SymMat::try_covariance`] for typed errors.
     pub fn covariance(data: &[Vec<f64>]) -> SymMat {
-        assert!(!data.is_empty(), "empty data matrix");
+        SymMat::try_covariance(data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SymMat::covariance`].
+    ///
+    /// A single-row matrix is fine (its covariance is all zeros — a
+    /// documented degenerate result, not an error).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::EmptyInput`] on zero rows,
+    /// [`AnalysisError::RaggedMatrix`] if rows disagree on width, and
+    /// [`AnalysisError::NonFinite`] if any entry is NaN or infinite
+    /// (which would otherwise poison every downstream eigenvalue).
+    pub fn try_covariance(data: &[Vec<f64>]) -> Result<SymMat, AnalysisError> {
+        if data.is_empty() {
+            return Err(AnalysisError::EmptyInput {
+                what: "data matrix",
+            });
+        }
         let n = data[0].len();
+        for (i, row) in data.iter().enumerate() {
+            if row.len() != n {
+                return Err(AnalysisError::RaggedMatrix {
+                    row: i,
+                    len: row.len(),
+                    expected: n,
+                });
+            }
+            if let Some(c) = row.iter().position(|x| !x.is_finite()) {
+                return Err(AnalysisError::NonFinite {
+                    what: "data matrix",
+                    row: i,
+                    col: c,
+                });
+            }
+        }
         let m = data.len() as f64;
         let means: Vec<f64> = (0..n)
             .map(|c| data.iter().map(|r| r[c]).sum::<f64>() / m)
@@ -52,7 +90,7 @@ impl SymMat {
                 cov.set(i, j, s / m);
             }
         }
-        cov
+        Ok(cov)
     }
 }
 
@@ -168,6 +206,45 @@ mod tests {
         assert!((cov.at(0, 1) - 4.0 / 3.0).abs() < 1e-12);
         assert!((cov.at(1, 1) - 8.0 / 3.0).abs() < 1e-12);
         assert_eq!(cov.at(0, 1), cov.at(1, 0));
+    }
+
+    #[test]
+    fn try_covariance_rejects_empty_matrix() {
+        assert_eq!(
+            SymMat::try_covariance(&[]),
+            Err(AnalysisError::EmptyInput {
+                what: "data matrix"
+            })
+        );
+    }
+
+    #[test]
+    fn single_row_covariance_is_zero_not_error() {
+        let cov = SymMat::try_covariance(&[vec![3.0, 7.0]]).unwrap();
+        assert_eq!(cov.n, 2);
+        assert!(cov.data.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn try_covariance_rejects_ragged_and_nan_input() {
+        assert_eq!(
+            SymMat::try_covariance(&[vec![1.0, 2.0], vec![3.0]]),
+            Err(AnalysisError::RaggedMatrix {
+                row: 1,
+                len: 1,
+                expected: 2
+            })
+        );
+        assert!(matches!(
+            SymMat::try_covariance(&[vec![1.0, f64::INFINITY]]),
+            Err(AnalysisError::NonFinite { row: 0, col: 1, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data matrix")]
+    fn covariance_wrapper_panics_on_empty_input() {
+        let _ = SymMat::covariance(&[]);
     }
 }
 

@@ -1,7 +1,8 @@
 //! Principal component analysis.
 
+use crate::error::AnalysisError;
 use crate::matrix::{jacobi_eigen, SymMat};
-use crate::stats::standardize;
+use crate::stats::try_standardize;
 
 /// A fitted PCA model.
 #[derive(Debug, Clone)]
@@ -13,6 +14,9 @@ pub struct Pca {
     /// The standardized data projected onto all components
     /// (`samples × components`).
     pub scores: Vec<Vec<f64>>,
+    /// Human-readable notes about degenerate inputs the fit survived
+    /// (e.g. zero-variance feature columns dropped to all-zero).
+    pub warnings: Vec<String>,
 }
 
 impl Pca {
@@ -22,12 +26,35 @@ impl Pca {
     ///
     /// # Panics
     ///
-    /// Panics on an empty or ragged data matrix.
+    /// Panics on an empty, ragged, or non-finite data matrix. Prefer
+    /// [`Pca::try_fit`] for typed errors.
     pub fn fit(data: &[Vec<f64>]) -> Pca {
-        assert!(!data.is_empty(), "empty data matrix");
+        Pca::try_fit(data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Pca::fit`]. Rank-deficient input is not an error:
+    /// zero-variance columns are dropped to all-zero by
+    /// standardization and recorded in [`Pca::warnings`], and a
+    /// rank-deficient covariance simply yields trailing ~0 eigenvalues.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::EmptyInput`] on zero rows,
+    /// [`AnalysisError::RaggedMatrix`] if rows disagree on width, and
+    /// [`AnalysisError::NonFinite`] if any entry is NaN or infinite.
+    pub fn try_fit(data: &[Vec<f64>]) -> Result<Pca, AnalysisError> {
+        if data.is_empty() {
+            return Err(AnalysisError::EmptyInput {
+                what: "data matrix",
+            });
+        }
         let mut z = data.to_vec();
-        standardize(&mut z);
-        let cov = SymMat::covariance(&z);
+        let degenerate = try_standardize(&mut z)?;
+        let warnings: Vec<String> = degenerate
+            .iter()
+            .map(|&c| format!("feature column {c} has zero variance; dropped to all-zero"))
+            .collect();
+        let cov = SymMat::try_covariance(&z)?;
         let (eigenvalues, components) = jacobi_eigen(&cov);
         let scores = z
             .iter()
@@ -38,11 +65,12 @@ impl Pca {
                     .collect()
             })
             .collect();
-        Pca {
+        Ok(Pca {
             components,
             eigenvalues,
             scores,
-        }
+            warnings,
+        })
     }
 
     /// Fraction of total variance explained by each component.
@@ -129,6 +157,54 @@ mod tests {
         let pca = Pca::fit(&data);
         let t = pca.truncated_scores(2);
         assert!(t.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn try_fit_rejects_empty_matrix() {
+        assert!(matches!(
+            Pca::try_fit(&[]),
+            Err(AnalysisError::EmptyInput { .. })
+        ));
+    }
+
+    #[test]
+    fn single_row_fit_degrades_to_zero_variance_with_warnings() {
+        // One observation: every column is constant, so the whole fit
+        // collapses to zeros — gracefully, with one warning per column.
+        let pca = Pca::try_fit(&[vec![3.0, 7.0, 1.0]]).unwrap();
+        assert_eq!(pca.warnings.len(), 3);
+        assert!(pca.eigenvalues.iter().all(|&e| e.abs() < 1e-12));
+        assert!(pca.scores[0].iter().all(|&s| s.abs() < 1e-12));
+        assert_eq!(pca.variance_explained(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn rank_deficient_fit_records_degenerate_columns() {
+        // Column 1 is constant; the other two are perfectly correlated.
+        let data: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64, 4.0, 2.0 * i as f64])
+            .collect();
+        let pca = Pca::try_fit(&data).unwrap();
+        assert_eq!(pca.warnings.len(), 1);
+        assert!(pca.warnings[0].contains("column 1"));
+        // Two informative-but-identical directions: one eigenvalue
+        // carries everything.
+        assert!(pca.variance_explained()[0] > 0.99);
+    }
+
+    #[test]
+    fn try_fit_rejects_nan_with_location() {
+        let data = vec![vec![1.0, 2.0], vec![f64::NAN, 4.0]];
+        assert!(matches!(
+            Pca::try_fit(&data),
+            Err(AnalysisError::NonFinite { row: 1, col: 0, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data matrix")]
+    fn fit_wrapper_panics_on_empty_input() {
+        let _ = Pca::fit(&[]);
     }
 }
 

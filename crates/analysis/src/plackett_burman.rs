@@ -23,6 +23,8 @@ pub fn pb12() -> Vec<[i8; 11]> {
     rows
 }
 
+use crate::error::AnalysisError;
+
 /// Result of a Plackett–Burman analysis.
 #[derive(Debug, Clone)]
 pub struct PbResult {
@@ -38,10 +40,50 @@ impl PbResult {
     ///
     /// # Panics
     ///
-    /// Panics if dimensions disagree.
+    /// Panics on a malformed design (dimension mismatch, empty design,
+    /// too many factors, non-finite responses). Prefer
+    /// [`PbResult::try_analyze`] for typed errors.
     pub fn analyze(factors: &[&str], design: &[[i8; 11]], responses: &[f64]) -> PbResult {
-        assert_eq!(design.len(), responses.len(), "one response per run");
-        assert!(factors.len() <= 11, "PB-12 supports up to 11 factors");
+        PbResult::try_analyze(factors, design, responses).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PbResult::analyze`].
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::DesignMismatch`] when run and response counts
+    /// disagree, [`AnalysisError::EmptyInput`] on a zero-run design
+    /// (the effect divisor would be zero),
+    /// [`AnalysisError::TooManyFactors`] beyond the design's 11
+    /// columns, and [`AnalysisError::NonFinite`] for NaN/infinite
+    /// responses.
+    pub fn try_analyze(
+        factors: &[&str],
+        design: &[[i8; 11]],
+        responses: &[f64],
+    ) -> Result<PbResult, AnalysisError> {
+        if design.len() != responses.len() {
+            return Err(AnalysisError::DesignMismatch {
+                runs: design.len(),
+                responses: responses.len(),
+            });
+        }
+        if design.is_empty() {
+            return Err(AnalysisError::EmptyInput { what: "PB design" });
+        }
+        if factors.len() > 11 {
+            return Err(AnalysisError::TooManyFactors {
+                factors: factors.len(),
+                max: 11,
+            });
+        }
+        if let Some(i) = responses.iter().position(|y| !y.is_finite()) {
+            return Err(AnalysisError::NonFinite {
+                what: "PB responses",
+                row: i,
+                col: 0,
+            });
+        }
         let half = design.len() as f64 / 2.0;
         let effects = (0..factors.len())
             .map(|j| {
@@ -53,10 +95,10 @@ impl PbResult {
                     / half
             })
             .collect();
-        PbResult {
+        Ok(PbResult {
             factors: factors.iter().map(|s| s.to_string()).collect(),
             effects,
-        }
+        })
     }
 
     /// Factors ranked by decreasing absolute effect.
@@ -122,5 +164,35 @@ mod tests {
     #[should_panic(expected = "one response per run")]
     fn mismatched_responses_panic() {
         let _ = PbResult::analyze(&["a"], &pb12(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_analyze_types_each_malformed_design() {
+        assert_eq!(
+            PbResult::try_analyze(&["a"], &pb12(), &[1.0]).unwrap_err(),
+            AnalysisError::DesignMismatch {
+                runs: 12,
+                responses: 1
+            }
+        );
+        assert_eq!(
+            PbResult::try_analyze(&["a"], &[], &[]).unwrap_err(),
+            AnalysisError::EmptyInput { what: "PB design" }
+        );
+        let too_many: Vec<&str> = (0..12).map(|_| "f").collect();
+        let responses = vec![1.0; 12];
+        assert_eq!(
+            PbResult::try_analyze(&too_many, &pb12(), &responses).unwrap_err(),
+            AnalysisError::TooManyFactors {
+                factors: 12,
+                max: 11
+            }
+        );
+        let mut bad = responses;
+        bad[3] = f64::NAN;
+        assert!(matches!(
+            PbResult::try_analyze(&["a"], &pb12(), &bad),
+            Err(AnalysisError::NonFinite { row: 3, .. })
+        ));
     }
 }

@@ -1,5 +1,7 @@
 //! Feature standardization.
 
+use crate::error::AnalysisError;
+
 /// Mean of a slice (0 for empty).
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -24,23 +26,58 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if rows have inconsistent lengths.
+/// Panics if rows have inconsistent lengths or contain non-finite
+/// values. Prefer [`try_standardize`], which reports those as typed
+/// errors and also names the degenerate columns it zeroed.
 pub fn standardize(data: &mut [Vec<f64>]) {
+    if let Err(e) = try_standardize(data) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`standardize`]: z-scores each column in place and returns
+/// the indices of zero-variance columns that were dropped to all-zero
+/// (the "recorded warning" for degenerate features).
+///
+/// # Errors
+///
+/// [`AnalysisError::RaggedMatrix`] if rows disagree on width,
+/// [`AnalysisError::NonFinite`] if any entry is NaN or infinite. On
+/// error the data is left untouched.
+pub fn try_standardize(data: &mut [Vec<f64>]) -> Result<Vec<usize>, AnalysisError> {
     if data.is_empty() {
-        return;
+        return Ok(Vec::new());
     }
     let cols = data[0].len();
-    for row in data.iter() {
-        assert_eq!(row.len(), cols, "ragged feature matrix");
+    for (i, row) in data.iter().enumerate() {
+        if row.len() != cols {
+            return Err(AnalysisError::RaggedMatrix {
+                row: i,
+                len: row.len(),
+                expected: cols,
+            });
+        }
+        if let Some(c) = row.iter().position(|x| !x.is_finite()) {
+            return Err(AnalysisError::NonFinite {
+                what: "feature matrix",
+                row: i,
+                col: c,
+            });
+        }
     }
+    let mut degenerate = Vec::new();
     for c in 0..cols {
         let col: Vec<f64> = data.iter().map(|r| r[c]).collect();
         let m = mean(&col);
         let s = std_dev(&col);
+        if s <= 1e-12 {
+            degenerate.push(c);
+        }
         for r in data.iter_mut() {
             r[c] = if s > 1e-12 { (r[c] - m) / s } else { 0.0 };
         }
     }
+    Ok(degenerate)
 }
 
 #[cfg(test)]
@@ -77,6 +114,44 @@ mod tests {
         assert_eq!(d[0][0], 0.0);
         assert_eq!(d[1][0], 0.0);
         assert!(d[0][1] != 0.0);
+    }
+
+    #[test]
+    fn try_standardize_reports_degenerate_columns() {
+        let mut d = vec![vec![5.0, 1.0, 7.0], vec![5.0, 2.0, 7.0]];
+        let dropped = try_standardize(&mut d).unwrap();
+        assert_eq!(dropped, vec![0, 2]);
+    }
+
+    #[test]
+    fn try_standardize_rejects_ragged_rows_untouched() {
+        let mut d = vec![vec![1.0, 2.0], vec![3.0]];
+        let err = try_standardize(&mut d).unwrap_err();
+        assert_eq!(
+            err,
+            crate::AnalysisError::RaggedMatrix {
+                row: 1,
+                len: 1,
+                expected: 2
+            }
+        );
+        assert_eq!(d[0], vec![1.0, 2.0], "input left untouched on error");
+    }
+
+    #[test]
+    fn try_standardize_rejects_nan() {
+        let mut d = vec![vec![1.0, f64::NAN], vec![3.0, 4.0]];
+        assert!(matches!(
+            try_standardize(&mut d),
+            Err(crate::AnalysisError::NonFinite { row: 0, col: 1, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged feature matrix")]
+    fn standardize_wrapper_panics_on_ragged_input() {
+        let mut d = vec![vec![1.0, 2.0], vec![3.0]];
+        standardize(&mut d);
     }
 }
 

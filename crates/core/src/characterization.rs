@@ -7,6 +7,7 @@ use rodinia_gpu::srad::Srad;
 use rodinia_gpu::suite::all_benchmarks;
 use simt::{Gpu, GpuConfig, KernelStats, MemSpace};
 
+use crate::error::StudyError;
 use crate::report::{f1, pct, Table};
 
 /// Figure 1 data: per-benchmark IPC on the 8- and 28-shader
@@ -42,17 +43,21 @@ impl IpcScaling {
 
 /// Runs the Figure 1 experiment.
 pub fn ipc_scaling(scale: Scale) -> IpcScaling {
-    let rows = all_benchmarks(scale)
-        .iter()
-        .map(|b| {
-            let mut g8 = Gpu::new(GpuConfig::gpgpusim_8sm());
-            let s8 = b.run_on(&mut g8);
-            let mut g28 = Gpu::new(GpuConfig::gpgpusim_default());
-            let s28 = b.run_on(&mut g28);
-            (b.abbrev().to_string(), s8.ipc(), s28.ipc())
-        })
-        .collect();
-    IpcScaling { rows }
+    try_ipc_scaling(scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`ipc_scaling`]: surfaces configuration rejections as
+/// [`StudyError::Sim`] instead of panicking.
+pub fn try_ipc_scaling(scale: Scale) -> Result<IpcScaling, StudyError> {
+    let mut rows = Vec::new();
+    for b in all_benchmarks(scale) {
+        let mut g8 = Gpu::try_new(GpuConfig::gpgpusim_8sm())?;
+        let s8 = b.run_on(&mut g8);
+        let mut g28 = Gpu::try_new(GpuConfig::gpgpusim_default())?;
+        let s28 = b.run_on(&mut g28);
+        rows.push((b.abbrev().to_string(), s8.ipc(), s28.ipc()));
+    }
+    Ok(IpcScaling { rows })
 }
 
 /// Figure 2 data: memory-operation breakdown per benchmark.
@@ -99,15 +104,18 @@ fn mix_fractions(stats: &KernelStats) -> [f64; 5] {
 
 /// Runs the Figure 2 experiment.
 pub fn memory_mix(scale: Scale) -> MemoryMix {
-    let rows = all_benchmarks(scale)
-        .iter()
-        .map(|b| {
-            let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
-            let s = b.run_on(&mut gpu);
-            (b.abbrev().to_string(), mix_fractions(&s))
-        })
-        .collect();
-    MemoryMix { rows }
+    try_memory_mix(scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`memory_mix`].
+pub fn try_memory_mix(scale: Scale) -> Result<MemoryMix, StudyError> {
+    let mut rows = Vec::new();
+    for b in all_benchmarks(scale) {
+        let mut gpu = Gpu::try_new(GpuConfig::gpgpusim_default())?;
+        let s = b.run_on(&mut gpu);
+        rows.push((b.abbrev().to_string(), mix_fractions(&s)));
+    }
+    Ok(MemoryMix { rows })
 }
 
 /// Figure 3 data: warp-occupancy quartile fractions per benchmark.
@@ -152,15 +160,18 @@ impl WarpOccupancy {
 
 /// Runs the Figure 3 experiment.
 pub fn warp_occupancy(scale: Scale) -> WarpOccupancy {
-    let rows = all_benchmarks(scale)
-        .iter()
-        .map(|b| {
-            let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
-            let s = b.run_on(&mut gpu);
-            (b.abbrev().to_string(), s.occupancy.quartile_fractions())
-        })
-        .collect();
-    WarpOccupancy { rows }
+    try_warp_occupancy(scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`warp_occupancy`].
+pub fn try_warp_occupancy(scale: Scale) -> Result<WarpOccupancy, StudyError> {
+    let mut rows = Vec::new();
+    for b in all_benchmarks(scale) {
+        let mut gpu = Gpu::try_new(GpuConfig::gpgpusim_default())?;
+        let s = b.run_on(&mut gpu);
+        rows.push((b.abbrev().to_string(), s.occupancy.quartile_fractions()));
+    }
+    Ok(WarpOccupancy { rows })
 }
 
 /// Figure 4 data: achieved-bandwidth improvement over 4/6/8 channels.
@@ -205,20 +216,23 @@ impl ChannelSweep {
 /// identical by construction since channel count does not affect
 /// functional execution).
 pub fn channel_sweep(scale: Scale) -> ChannelSweep {
+    try_channel_sweep(scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`channel_sweep`].
+pub fn try_channel_sweep(scale: Scale) -> Result<ChannelSweep, StudyError> {
     let base = GpuConfig::gpgpusim_default();
-    let rows = all_benchmarks(scale)
-        .iter()
-        .map(|b| {
-            let mut bw = [0.0f64; 3];
-            for (i, ch) in [4u32, 6, 8].iter().enumerate() {
-                let mut gpu = Gpu::new(base.with_mem_channels(*ch));
-                let s = b.run_on(&mut gpu);
-                bw[i] = s.achieved_bandwidth_gbps().max(1e-9);
-            }
-            (b.abbrev().to_string(), bw[0], bw[1], bw[2])
-        })
-        .collect();
-    ChannelSweep { rows }
+    let mut rows = Vec::new();
+    for b in all_benchmarks(scale) {
+        let mut bw = [0.0f64; 3];
+        for (i, ch) in [4u32, 6, 8].iter().enumerate() {
+            let mut gpu = Gpu::try_new(base.with_mem_channels(*ch))?;
+            let s = b.run_on(&mut gpu);
+            bw[i] = s.achieved_bandwidth_gbps().max(1e-9);
+        }
+        rows.push((b.abbrev().to_string(), bw[0], bw[1], bw[2]));
+    }
+    Ok(ChannelSweep { rows })
 }
 
 /// Table III data: the incrementally optimized versions of SRAD and
@@ -268,6 +282,11 @@ impl IncrementalVersions {
 
 /// Runs the Table III experiment.
 pub fn incremental_versions(scale: Scale) -> IncrementalVersions {
+    try_incremental_versions(scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`incremental_versions`].
+pub fn try_incremental_versions(scale: Scale) -> Result<IncrementalVersions, StudyError> {
     let mut rows = Vec::new();
     let mut record = |label: &str, s: KernelStats| {
         let f = mix_fractions(&s);
@@ -282,17 +301,17 @@ pub fn incremental_versions(scale: Scale) -> IncrementalVersions {
         ));
     };
     for (label, srad) in [("SRAD v1", Srad::v1(scale)), ("SRAD v2", Srad::v2(scale))] {
-        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let mut gpu = Gpu::try_new(GpuConfig::gpgpusim_default())?;
         record(label, srad.run(&mut gpu));
     }
     for (label, lc) in [
         ("Leukocyte v1", Leukocyte::v1(scale)),
         ("Leukocyte v2", Leukocyte::v2(scale)),
     ] {
-        let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+        let mut gpu = Gpu::try_new(GpuConfig::gpgpusim_default())?;
         record(label, lc.run(&mut gpu));
     }
-    IncrementalVersions { rows }
+    Ok(IncrementalVersions { rows })
 }
 
 /// Figure 5 data: normalized kernel time on the GTX 280 model and the
@@ -379,39 +398,45 @@ impl OffloadStudy {
 /// Runs the offloading analysis: every benchmark's aggregate kernel
 /// time against the time to move its host↔device traffic over PCIe.
 pub fn offload_overheads(scale: Scale, pcie_gbps: f64) -> OffloadStudy {
-    let rows = all_benchmarks(scale)
-        .iter()
-        .map(|b| {
-            let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
-            let s = b.run_on(&mut gpu);
-            let bytes = gpu.mem().h2d_bytes() + gpu.mem().d2h_bytes();
-            let transfer_us = bytes as f64 / (pcie_gbps * 1e3);
-            (b.abbrev().to_string(), s.time_us(), transfer_us)
-        })
-        .collect();
-    OffloadStudy { rows, pcie_gbps }
+    try_offload_overheads(scale, pcie_gbps).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`offload_overheads`].
+pub fn try_offload_overheads(scale: Scale, pcie_gbps: f64) -> Result<OffloadStudy, StudyError> {
+    let mut rows = Vec::new();
+    for b in all_benchmarks(scale) {
+        let mut gpu = Gpu::try_new(GpuConfig::gpgpusim_default())?;
+        let s = b.run_on(&mut gpu);
+        let bytes = gpu.mem().h2d_bytes() + gpu.mem().d2h_bytes();
+        let transfer_us = bytes as f64 / (pcie_gbps * 1e3);
+        rows.push((b.abbrev().to_string(), s.time_us(), transfer_us));
+    }
+    Ok(OffloadStudy { rows, pcie_gbps })
 }
 
 /// Runs the Figure 5 experiment.
 pub fn fermi_study(scale: Scale) -> FermiStudy {
+    try_fermi_study(scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`fermi_study`].
+pub fn try_fermi_study(scale: Scale) -> Result<FermiStudy, StudyError> {
     let configs = [
         GpuConfig::gtx280(),
         GpuConfig::gtx480_shared_bias(),
         GpuConfig::gtx480_l1_bias(),
     ];
-    let rows = all_benchmarks(scale)
-        .iter()
-        .map(|b| {
-            let mut times = [0.0f64; 3];
-            for (i, cfg) in configs.iter().enumerate() {
-                let mut gpu = Gpu::new(cfg.clone());
-                let s = b.run_on(&mut gpu);
-                times[i] = s.time_us();
-            }
-            (b.abbrev().to_string(), times[0], times[1], times[2])
-        })
-        .collect();
-    FermiStudy { rows }
+    let mut rows = Vec::new();
+    for b in all_benchmarks(scale) {
+        let mut times = [0.0f64; 3];
+        for (i, cfg) in configs.iter().enumerate() {
+            let mut gpu = Gpu::try_new(cfg.clone())?;
+            let s = b.run_on(&mut gpu);
+            times[i] = s.time_us();
+        }
+        rows.push((b.abbrev().to_string(), times[0], times[1], times[2]));
+    }
+    Ok(FermiStudy { rows })
 }
 
 #[cfg(test)]

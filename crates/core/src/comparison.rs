@@ -1,13 +1,14 @@
 //! The cross-suite comparison study (Section V): profiles all 24
 //! workloads once, then derives Figures 6–10 from the shared profiles.
 
-use analysis::cluster::{flat_clusters, hierarchical, Linkage};
+use analysis::cluster::{try_flat_clusters, try_hierarchical, Linkage};
 use analysis::dendrogram::render_dendrogram;
 use analysis::distance::euclidean_matrix;
 use analysis::pca::Pca;
 use datasets::Scale;
 use tracekit::{profile, Profile, ProfileConfig};
 
+use crate::error::StudyError;
 use crate::features;
 use crate::report::{f3, Table};
 use crate::suite::combined_workloads;
@@ -85,20 +86,29 @@ impl ComparisonStudy {
         ComparisonStudy { labels, profiles }
     }
 
-    fn scatter(&self, title: &str, features_of: impl Fn(&Profile) -> Vec<f64>) -> Scatter {
+    fn scatter(
+        &self,
+        title: &str,
+        features_of: impl Fn(&Profile) -> Vec<f64>,
+    ) -> Result<Scatter, StudyError> {
         let data: Vec<Vec<f64>> = self.profiles.iter().map(features_of).collect();
-        let pca = Pca::fit(&data);
+        let pca = Pca::try_fit(&data)?;
         let ve = pca.variance_explained();
-        Scatter {
+        Ok(Scatter {
             title: title.to_string(),
             labels: self.labels.clone(),
             points: pca.scores.iter().map(|r| (r[0], r[1])).collect(),
             variance_explained: (ve[0], *ve.get(1).unwrap_or(&0.0)),
-        }
+        })
     }
 
     /// Figure 7: the instruction-mix PCA scatter.
     pub fn instruction_mix_pca(&self) -> Scatter {
+        self.try_instruction_mix_pca().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ComparisonStudy::instruction_mix_pca`].
+    pub fn try_instruction_mix_pca(&self) -> Result<Scatter, StudyError> {
         self.scatter(
             "Figure 7: instruction mix (two PCA components)",
             features::instruction_mix_features,
@@ -107,6 +117,11 @@ impl ComparisonStudy {
 
     /// Figure 8: the working-set PCA scatter.
     pub fn working_set_pca(&self) -> Scatter {
+        self.try_working_set_pca().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ComparisonStudy::working_set_pca`].
+    pub fn try_working_set_pca(&self) -> Result<Scatter, StudyError> {
         self.scatter(
             "Figure 8: working sets (two PCA components)",
             features::working_set_features,
@@ -115,6 +130,11 @@ impl ComparisonStudy {
 
     /// Figure 9: the sharing PCA scatter.
     pub fn sharing_pca(&self) -> Scatter {
+        self.try_sharing_pca().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ComparisonStudy::sharing_pca`].
+    pub fn try_sharing_pca(&self) -> Result<Scatter, StudyError> {
         self.scatter(
             "Figure 9: sharing behavior (two PCA components)",
             features::sharing_features,
@@ -125,12 +145,19 @@ impl ComparisonStudy {
     /// vector (components covering ≥ 90% variance), Euclidean distance,
     /// average linkage (MATLAB's default).
     pub fn cluster_merges(&self) -> Vec<analysis::cluster::Merge> {
+        self.try_cluster_merges().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ComparisonStudy::cluster_merges`]: a degenerate
+    /// profile corpus (empty, NaN features) surfaces as
+    /// [`StudyError::Analysis`] instead of panicking.
+    pub fn try_cluster_merges(&self) -> Result<Vec<analysis::cluster::Merge>, StudyError> {
         let data: Vec<Vec<f64>> = self.profiles.iter().map(features::full_features).collect();
-        let pca = Pca::fit(&data);
+        let pca = Pca::try_fit(&data)?;
         let k = pca.components_for(0.9);
         let scores = pca.truncated_scores(k);
         let dist = euclidean_matrix(&scores);
-        hierarchical(&dist, Linkage::Average)
+        Ok(try_hierarchical(&dist, Linkage::Average)?)
     }
 
     /// Figure 6: the rendered dendrogram.
@@ -141,7 +168,16 @@ impl ComparisonStudy {
     /// Flat cluster labels at a chosen cluster count (for the mixing
     /// analysis: most clusters should contain both suites).
     pub fn flat(&self, k: usize) -> Vec<usize> {
-        flat_clusters(self.labels.len(), &self.cluster_merges(), k)
+        self.try_flat(k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ComparisonStudy::flat`].
+    pub fn try_flat(&self, k: usize) -> Result<Vec<usize>, StudyError> {
+        Ok(try_flat_clusters(
+            self.labels.len(),
+            &self.try_cluster_merges()?,
+            k,
+        )?)
     }
 
     /// Figure 10: misses per memory reference under the 4 MB cache.

@@ -1,0 +1,104 @@
+//! Typed errors for the experiment drivers.
+//!
+//! [`StudyError`] unifies the two substrate error types — `simt`'s
+//! [`SimError`] for simulation faults and `analysis`'s
+//! [`AnalysisError`] for statistics faults — with the registry- and
+//! rendering-level failures the drivers themselves can hit. Every
+//! panicking driver entry point has a `try_*` sibling returning this
+//! type; the panicking wrappers format it with `panic!("{e}")`, which
+//! preserves the historical panic message substrings.
+
+use analysis::AnalysisError;
+use simt::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong while regenerating a paper artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StudyError {
+    /// The GPU simulator rejected a configuration or launch.
+    Sim(SimError),
+    /// The statistics pipeline rejected its input.
+    Analysis(AnalysisError),
+    /// An artifact was requested from the wrong registry entry point.
+    Registry {
+        /// The experiment id, Debug-formatted.
+        id: String,
+        /// Why the entry point refused (e.g. "needs the comparison
+        /// corpus; use run_comparison").
+        reason: &'static str,
+    },
+    /// A table row whose width disagrees with its header.
+    TableRow {
+        /// Cells in the offending row.
+        got: usize,
+        /// Columns in the header.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Sim(e) => e.fmt(f),
+            StudyError::Analysis(e) => e.fmt(f),
+            StudyError::Registry { id, reason } => write!(f, "{id} {reason}"),
+            StudyError::TableRow { got, expected } => write!(
+                f,
+                "row width mismatch: {got} cells for {expected} columns"
+            ),
+        }
+    }
+}
+
+impl Error for StudyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StudyError::Sim(e) => Some(e),
+            StudyError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for StudyError {
+    fn from(e: SimError) -> StudyError {
+        StudyError::Sim(e)
+    }
+}
+
+impl From<AnalysisError> for StudyError {
+    fn from(e: AnalysisError) -> StudyError {
+        StudyError::Analysis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_delegates_and_preserves_substrings() {
+        let sim: StudyError = SimError::EmptyLaunch.into();
+        assert_eq!(sim.to_string(), SimError::EmptyLaunch.to_string());
+        let reg = StudyError::Registry {
+            id: "Fig6".to_string(),
+            reason: "needs the comparison corpus; use run_comparison",
+        };
+        assert!(reg.to_string().contains("needs the comparison corpus"));
+        let row = StudyError::TableRow {
+            got: 1,
+            expected: 2,
+        };
+        assert!(row.to_string().contains("row width mismatch"));
+    }
+
+    #[test]
+    fn source_chains_to_the_substrate_error() {
+        let e: StudyError = AnalysisError::EmptyInput {
+            what: "data matrix",
+        }
+        .into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

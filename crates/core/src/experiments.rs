@@ -5,6 +5,7 @@ use simt::GpuConfig;
 
 use crate::characterization;
 use crate::comparison::ComparisonStudy;
+use crate::error::StudyError;
 use crate::footprints;
 use crate::report::Table;
 use crate::sensitivity;
@@ -110,25 +111,39 @@ pub fn table5() -> Table {
 /// # Panics
 ///
 /// Panics if asked for a comparison-corpus artifact; use
-/// [`run_comparison`] for Figures 6–12.
+/// [`run_comparison`] for Figures 6–12. Prefer [`try_run_gpu`] for a
+/// typed error.
 pub fn run_gpu(id: ExperimentId, scale: Scale) -> Vec<Table> {
-    match id {
+    try_run_gpu(id, scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_gpu`]: invalid configurations, malformed analyses,
+/// and registry misuse all surface as a typed [`StudyError`].
+pub fn try_run_gpu(id: ExperimentId, scale: Scale) -> Result<Vec<Table>, StudyError> {
+    Ok(match id {
         ExperimentId::Table1 => vec![suite::rodinia_table(scale)],
         ExperimentId::Table2 => vec![table2()],
-        ExperimentId::Fig1 => vec![characterization::ipc_scaling(scale).to_table()],
-        ExperimentId::Fig2 => vec![characterization::memory_mix(scale).to_table()],
-        ExperimentId::Fig3 => vec![characterization::warp_occupancy(scale).to_table()],
-        ExperimentId::Fig4 => vec![characterization::channel_sweep(scale).to_table()],
-        ExperimentId::Table3 => vec![characterization::incremental_versions(scale).to_table()],
-        ExperimentId::Fig5 => vec![characterization::fermi_study(scale).to_table()],
+        ExperimentId::Fig1 => vec![characterization::try_ipc_scaling(scale)?.to_table()],
+        ExperimentId::Fig2 => vec![characterization::try_memory_mix(scale)?.to_table()],
+        ExperimentId::Fig3 => vec![characterization::try_warp_occupancy(scale)?.to_table()],
+        ExperimentId::Fig4 => vec![characterization::try_channel_sweep(scale)?.to_table()],
+        ExperimentId::Table3 => {
+            vec![characterization::try_incremental_versions(scale)?.to_table()]
+        }
+        ExperimentId::Fig5 => vec![characterization::try_fermi_study(scale)?.to_table()],
         ExperimentId::PlackettBurman => {
-            let study = sensitivity::pb_study(scale, None);
+            let study = sensitivity::try_pb_study(scale, None)?;
             vec![study.to_table(), study.aggregate_table()]
         }
         ExperimentId::Table4 => vec![suite::comparison_table()],
         ExperimentId::Table5 => vec![table5()],
-        other => panic!("{other:?} needs the comparison corpus; use run_comparison"),
-    }
+        other => {
+            return Err(StudyError::Registry {
+                id: format!("{other:?}"),
+                reason: "needs the comparison corpus; use run_comparison",
+            })
+        }
+    })
 }
 
 /// Runs one comparison-corpus experiment against an existing study.
@@ -136,25 +151,39 @@ pub fn run_gpu(id: ExperimentId, scale: Scale) -> Vec<Table> {
 /// # Panics
 ///
 /// Panics if asked for a GPU-side artifact; use [`run_gpu`] for those.
+/// Prefer [`try_run_comparison`] for a typed error.
 pub fn run_comparison(id: ExperimentId, study: &ComparisonStudy) -> Vec<Table> {
-    match id {
+    try_run_comparison(id, study).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_comparison`].
+pub fn try_run_comparison(
+    id: ExperimentId,
+    study: &ComparisonStudy,
+) -> Result<Vec<Table>, StudyError> {
+    Ok(match id {
         ExperimentId::Fig6 => {
             let mut t = Table::new("Figure 6: cross-suite dendrogram", &["Dendrogram"]);
             for line in study.dendrogram().lines() {
-                t.push(vec![line.to_string()]);
+                t.try_push(vec![line.to_string()])?;
             }
             vec![t]
         }
-        ExperimentId::Fig7 => vec![study.instruction_mix_pca().to_table()],
-        ExperimentId::Fig8 => vec![study.working_set_pca().to_table()],
-        ExperimentId::Fig9 => vec![study.sharing_pca().to_table()],
+        ExperimentId::Fig7 => vec![study.try_instruction_mix_pca()?.to_table()],
+        ExperimentId::Fig8 => vec![study.try_working_set_pca()?.to_table()],
+        ExperimentId::Fig9 => vec![study.try_sharing_pca()?.to_table()],
         ExperimentId::Fig10 => vec![study.miss_rates_4mb()],
         ExperimentId::Fig11 => {
             vec![footprints::footprint_study(study).instruction_table()]
         }
         ExperimentId::Fig12 => vec![footprints::footprint_study(study).data_table()],
-        other => panic!("{other:?} is a GPU-side artifact; use run_gpu"),
-    }
+        other => {
+            return Err(StudyError::Registry {
+                id: format!("{other:?}"),
+                reason: "is a GPU-side artifact; use run_gpu",
+            })
+        }
+    })
 }
 
 #[cfg(test)]
@@ -193,5 +222,16 @@ mod tests {
     #[should_panic(expected = "needs the comparison corpus")]
     fn comparison_artifacts_reject_gpu_path() {
         let _ = run_gpu(ExperimentId::Fig6, Scale::Tiny);
+    }
+
+    #[test]
+    fn registry_misuse_yields_typed_error() {
+        match try_run_gpu(ExperimentId::Fig6, Scale::Tiny) {
+            Err(StudyError::Registry { id, reason }) => {
+                assert_eq!(id, "Fig6");
+                assert!(reason.contains("comparison corpus"));
+            }
+            other => panic!("expected StudyError::Registry, got {other:?}"),
+        }
     }
 }

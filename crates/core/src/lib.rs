@@ -25,11 +25,16 @@
 //!
 //! Everything prints through [`report::Table`], which renders aligned
 //! text and CSV.
+//!
+//! Every panicking driver has a `try_*` sibling returning
+//! [`error::StudyError`], which unifies `simt::SimError` and
+//! `analysis::AnalysisError` for callers that must not abort.
 
 #![warn(missing_docs)]
 
 pub mod characterization;
 pub mod comparison;
+pub mod error;
 pub mod experiments;
 pub mod features;
 pub mod footprints;
@@ -38,3 +43,4 @@ pub mod sensitivity;
 pub mod suite;
 
 pub use datasets::Scale;
+pub use error::StudyError;

@@ -1,5 +1,6 @@
 //! Plain-text and CSV rendering of experiment results.
 
+use crate::error::StudyError;
 use std::fmt;
 
 /// A titled table of strings, the uniform output of every experiment.
@@ -27,10 +28,27 @@ impl Table {
     ///
     /// # Panics
     ///
-    /// Panics if the row length does not match the header.
+    /// Panics if the row length does not match the header. Prefer
+    /// [`Table::try_push`] for a typed error.
     pub fn push(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.try_push(row).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Table::push`].
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::TableRow`] if the row length does not match the
+    /// header; the table is left unchanged.
+    pub fn try_push(&mut self, row: Vec<String>) -> Result<(), StudyError> {
+        if row.len() != self.columns.len() {
+            return Err(StudyError::TableRow {
+                got: row.len(),
+                expected: self.columns.len(),
+            });
+        }
         self.rows.push(row);
+        Ok(())
     }
 
     /// Renders the table as CSV (title omitted).
@@ -143,6 +161,20 @@ mod tests {
     fn bad_row_panics() {
         let mut t = Table::new("t", &["a", "b"]);
         t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn try_push_rejects_bad_row_untouched() {
+        let mut t = Table::new("t", &["a", "b"]);
+        let err = t.try_push(vec!["only-one".into()]).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::StudyError::TableRow {
+                got: 1,
+                expected: 2
+            }
+        );
+        assert!(t.rows.is_empty(), "table unchanged on error");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use datasets::Scale;
 use rodinia_gpu::suite::all_benchmarks;
 use simt::GpuConfig;
 
+use crate::error::StudyError;
 use crate::report::{f1, Table};
 
 /// The nine screened factors, in design-column order.
@@ -117,6 +118,13 @@ impl PbStudy {
 
 /// Runs the PB study over the whole suite (or a named subset).
 pub fn pb_study(scale: Scale, subset: Option<&[&str]>) -> PbStudy {
+    try_pb_study(scale, subset).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`pb_study`]: design-point configurations that fail
+/// [`GpuConfig::validate`] and malformed effect analyses surface as
+/// typed [`StudyError`]s instead of panics.
+pub fn try_pb_study(scale: Scale, subset: Option<&[&str]>) -> Result<PbStudy, StudyError> {
     let design = pb12();
     let configs: Vec<GpuConfig> = design.iter().map(config_for).collect();
     let mut per_benchmark = Vec::new();
@@ -129,20 +137,18 @@ pub fn pb_study(scale: Scale, subset: Option<&[&str]>) -> PbStudy {
         // Response: total cycles under each design point. Benchmarks may
         // launch many kernels, so we re-run the whole application per
         // design point via the cheap path: capture stats directly.
-        let responses: Vec<f64> = configs
-            .iter()
-            .map(|cfg| {
-                let mut gpu = simt::Gpu::new(cfg.clone());
-                let stats = b.run_on(&mut gpu);
-                stats.cycles as f64
-            })
-            .collect();
+        let mut responses = Vec::with_capacity(configs.len());
+        for cfg in &configs {
+            let mut gpu = simt::Gpu::try_new(cfg.clone())?;
+            let stats = b.run_on(&mut gpu);
+            responses.push(stats.cycles as f64);
+        }
         per_benchmark.push((
             b.abbrev().to_string(),
-            PbResult::analyze(&FACTORS, &design, &responses),
+            PbResult::try_analyze(&FACTORS, &design, &responses)?,
         ));
     }
-    PbStudy { per_benchmark }
+    Ok(PbStudy { per_benchmark })
 }
 
 #[cfg(test)]

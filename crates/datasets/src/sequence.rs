@@ -10,7 +10,7 @@ pub const ALPHABET: [u8; 4] = [b'A', b'C', b'G', b'T'];
 /// A uniformly random DNA reference of `len` bases.
 pub fn reference(len: usize, seed: u64) -> Vec<u8> {
     let mut rng = rng_for("dna-ref", seed);
-    (0..len).map(|_| ALPHABET[rng.random_range(0..4)]).collect()
+    (0..len).map(|_| ALPHABET[rng.random_range(0..4usize)]).collect()
 }
 
 /// Short reads sampled from `reference`, each `read_len` bases, with a
@@ -33,7 +33,7 @@ pub fn reads(
                 .iter()
                 .map(|&b| {
                     if rng.random::<f64>() < error_rate {
-                        ALPHABET[rng.random_range(0..4)]
+                        ALPHABET[rng.random_range(0..4usize)]
                     } else {
                         b
                     }

@@ -2,6 +2,8 @@
 //! experiments (GPGPU-Sim Table II, GTX 280, and the two GTX 480 / Fermi
 //! on-chip memory configurations).
 
+use crate::error::SimError;
+
 /// Warp-scheduler policy (the paper's future-work item on "the impact
 /// of hardware thread scheduling mechanisms").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,6 +47,39 @@ impl CacheGeom {
     /// Number of sets.
     pub fn sets(&self) -> u32 {
         self.bytes / (self.ways * self.line)
+    }
+}
+
+/// Abort budget for runaway launches.
+///
+/// Simulated kernels are arbitrary user code: a buggy kernel can loop
+/// forever requesting barrier phases, and a malformed trace can make the
+/// timing model spin without retiring work. The watchdog bounds both
+/// stages so [`crate::Gpu::try_launch`] returns
+/// [`SimError::Watchdog`] instead of hanging.
+///
+/// The defaults are far above anything a legitimate workload in this
+/// repository reaches (the largest experiment retires in well under
+/// 10⁸ cycles), so they never fire in normal use; tighten them for
+/// fault-injection tests or untrusted kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogBudget {
+    /// Hard ceiling on simulated core cycles per launch during timing
+    /// replay; `None` disables the cycle watchdog.
+    pub max_cycles: Option<u64>,
+    /// Hard ceiling on barrier-separated phases per CTA during
+    /// functional trace capture (a non-terminating kernel returns
+    /// [`crate::PhaseControl::Continue`] forever and would otherwise
+    /// hang before timing even starts); `None` disables it.
+    pub max_phases: Option<u64>,
+}
+
+impl Default for WatchdogBudget {
+    fn default() -> WatchdogBudget {
+        WatchdogBudget {
+            max_cycles: Some(10_000_000_000),
+            max_phases: Some(1_000_000),
+        }
     }
 }
 
@@ -124,6 +159,8 @@ pub struct GpuConfig {
     /// `warp_size / simd_width`. Used by the branch-divergence
     /// sensitivity study; off for all paper configurations.
     pub lane_compaction: bool,
+    /// Abort budget for runaway launches (see [`WatchdogBudget`]).
+    pub watchdog: WatchdogBudget,
 }
 
 impl GpuConfig {
@@ -167,6 +204,7 @@ impl GpuConfig {
             cta_launch_overhead: 20,
             sched_policy: SchedPolicy::RoundRobin,
             lane_compaction: false,
+            watchdog: WatchdogBudget::default(),
         }
     }
 
@@ -229,9 +267,10 @@ impl GpuConfig {
     }
 
     /// Returns a copy with a different number of DRAM channels
-    /// (the Figure 4 sweep).
+    /// (the Figure 4 sweep). A zero channel count is representable but
+    /// rejected by [`GpuConfig::validate`] when the configuration is
+    /// used.
     pub fn with_mem_channels(&self, channels: u32) -> GpuConfig {
-        assert!(channels > 0, "at least one memory channel is required");
         GpuConfig {
             name: format!("{}-{}ch", self.name, channels),
             mem_channels: channels,
@@ -239,9 +278,10 @@ impl GpuConfig {
         }
     }
 
-    /// Returns a copy with a different SM count.
+    /// Returns a copy with a different SM count. A zero SM count is
+    /// representable but rejected by [`GpuConfig::validate`] when the
+    /// configuration is used.
     pub fn with_num_sms(&self, sms: u32) -> GpuConfig {
-        assert!(sms > 0, "at least one SM is required");
         GpuConfig {
             name: format!("{}-{}sm", self.name, sms),
             num_sms: sms,
@@ -285,28 +325,52 @@ impl GpuConfig {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first inconsistency
-    /// found (e.g. zero SMs, SIMD width exceeding the warp size).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`SimError::InvalidConfig`] describing the first
+    /// inconsistency found (e.g. zero SMs, SIMD width exceeding the
+    /// warp size, a non-power-of-two shared-memory bank count).
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.first_problem()
+            .map_or(Ok(()), |reason| {
+                Err(SimError::InvalidConfig {
+                    config: self.name.clone(),
+                    reason,
+                })
+            })
+    }
+
+    fn first_problem(&self) -> Option<String> {
         if self.num_sms == 0 {
-            return Err("num_sms must be positive".into());
+            return Some("num_sms must be positive".into());
         }
         if self.warp_size == 0 || self.warp_size > 64 {
-            return Err("warp_size must be in 1..=64".into());
+            return Some("warp_size must be in 1..=64".into());
         }
         if self.simd_width == 0 || self.simd_width > self.warp_size {
-            return Err("simd_width must be in 1..=warp_size".into());
+            return Some("simd_width must be in 1..=warp_size".into());
         }
         if self.mem_channels == 0 {
-            return Err("mem_channels must be positive".into());
+            return Some("mem_channels must be positive".into());
+        }
+        if self.dram_bus_bytes == 0 || self.dram_data_rate == 0 {
+            return Some("DRAM bus width and data rate must be positive".into());
         }
         if self.segment_bytes == 0 || !self.segment_bytes.is_power_of_two() {
-            return Err("segment_bytes must be a positive power of two".into());
+            return Some("segment_bytes must be a positive power of two".into());
+        }
+        if self.shared_banks == 0 || !self.shared_banks.is_power_of_two() {
+            return Some("shared_banks must be a positive power of two".into());
         }
         if self.max_threads_per_sm < self.warp_size {
-            return Err("an SM must hold at least one warp".into());
+            return Some("an SM must hold at least one warp".into());
         }
-        Ok(())
+        if self.max_ctas_per_sm == 0 {
+            return Some("max_ctas_per_sm must be positive".into());
+        }
+        let clock_ok = |c: f64| c.is_finite() && c > 0.0;
+        if !clock_ok(self.core_clock_ghz) || !clock_ok(self.mem_clock_ghz) {
+            return Some("clocks must be finite and positive".into());
+        }
+        None
     }
 }
 
@@ -404,6 +468,27 @@ mod tests {
         let mut c = GpuConfig::gpgpusim_default();
         c.segment_bytes = 48;
         assert!(c.validate().is_err());
+        let mut c = GpuConfig::gpgpusim_default();
+        c.shared_banks = 12;
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::gpgpusim_default();
+        c.core_clock_ghz = f64::NAN;
+        assert!(c.validate().is_err());
+        let c = GpuConfig::gpgpusim_default().with_num_sms(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let mut c = GpuConfig::gpgpusim_default();
+        c.mem_channels = 0;
+        match c.validate() {
+            Err(crate::SimError::InvalidConfig { config, reason }) => {
+                assert_eq!(config, c.name);
+                assert!(reason.contains("mem_channels"));
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]

@@ -2,12 +2,13 @@
 
 use crate::caches::Cache;
 use crate::config::{GpuConfig, SchedPolicy};
+use crate::error::SimError;
 use crate::isa::TOp;
 use crate::kernel::Kernel;
 use crate::memory::GpuMem;
 use crate::sm::{ctas_per_sm, CtaRt, SmRt, WarpRt};
 use crate::stats::{KernelStats, MemMix, OccupancyHistogram};
-use crate::trace::{trace_kernel, KernelTrace};
+use crate::trace::{try_trace_kernel, KernelTrace};
 use crate::dram::Dram;
 
 /// A simulated GPU: a machine configuration plus device memory.
@@ -27,15 +28,24 @@ impl Gpu {
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent (see
-    /// [`GpuConfig::validate`]).
+    /// [`GpuConfig::validate`]). Use [`Gpu::try_new`] to handle the
+    /// failure instead.
     pub fn new(cfg: GpuConfig) -> Gpu {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid GPU configuration {}: {e}", cfg.name);
-        }
-        Gpu {
+        Gpu::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Gpu::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration fails
+    /// [`GpuConfig::validate`].
+    pub fn try_new(cfg: GpuConfig) -> Result<Gpu, SimError> {
+        cfg.validate()?;
+        Ok(Gpu {
             cfg,
             mem: GpuMem::new(),
-        }
+        })
     }
 
     /// The machine configuration.
@@ -59,18 +69,47 @@ impl Gpu {
     ///
     /// Panics if the kernel's per-CTA resources exceed the SM's capacity,
     /// or if the kernel itself misbehaves (out-of-bounds access, barrier
-    /// divergence).
+    /// divergence). Use [`Gpu::try_launch`] to handle those failures
+    /// instead.
     pub fn launch(&mut self, kernel: &dyn Kernel) -> KernelStats {
-        let trace = trace_kernel(kernel, &mut self.mem, &self.cfg);
-        time_trace(&trace, &self.cfg)
+        self.try_launch(kernel).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Gpu::launch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns every failure the simulation core can detect as a typed
+    /// [`SimError`]: an empty grid, an out-of-bounds access
+    /// ([`SimError::KernelFault`]), barrier divergence, an occupancy
+    /// failure ([`SimError::LaunchFailed`]), a watchdog expiry
+    /// ([`SimError::Watchdog`]), or a scheduling deadlock. On error,
+    /// device memory may hold partial writes from the functional
+    /// execution.
+    pub fn try_launch(&mut self, kernel: &dyn Kernel) -> Result<KernelStats, SimError> {
+        let trace = try_trace_kernel(kernel, &mut self.mem, &self.cfg)?;
+        try_time_trace(&trace, &self.cfg)
     }
 
     /// Like [`Gpu::launch`], but also returns the captured trace so it can
     /// be re-timed under other configurations.
     pub fn launch_traced(&mut self, kernel: &dyn Kernel) -> (KernelTrace, KernelStats) {
-        let trace = trace_kernel(kernel, &mut self.mem, &self.cfg);
-        let stats = time_trace(&trace, &self.cfg);
-        (trace, stats)
+        self.try_launch_traced(kernel)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Gpu::launch_traced`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::try_launch`].
+    pub fn try_launch_traced(
+        &mut self,
+        kernel: &dyn Kernel,
+    ) -> Result<(KernelTrace, KernelStats), SimError> {
+        let trace = try_trace_kernel(kernel, &mut self.mem, &self.cfg)?;
+        let stats = try_time_trace(&trace, &self.cfg)?;
+        Ok((trace, stats))
     }
 
     /// Executes several kernels **concurrently** (Fermi-style
@@ -80,14 +119,29 @@ impl Gpu {
     ///
     /// # Panics
     ///
-    /// Panics if `kernels` is empty or any kernel cannot launch.
+    /// Panics if `kernels` is empty or any kernel cannot launch. Use
+    /// [`Gpu::try_launch_concurrent`] to handle those failures instead.
     pub fn launch_concurrent(&mut self, kernels: &[&dyn Kernel]) -> ConcurrentStats {
-        let traces: Vec<KernelTrace> = kernels
-            .iter()
-            .map(|k| trace_kernel(*k, &mut self.mem, &self.cfg))
-            .collect();
+        self.try_launch_concurrent(kernels)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Gpu::launch_concurrent`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::try_launch`], plus [`SimError::EmptyLaunch`] if
+    /// `kernels` is empty.
+    pub fn try_launch_concurrent(
+        &mut self,
+        kernels: &[&dyn Kernel],
+    ) -> Result<ConcurrentStats, SimError> {
+        let mut traces = Vec::with_capacity(kernels.len());
+        for k in kernels {
+            traces.push(try_trace_kernel(*k, &mut self.mem, &self.cfg)?);
+        }
         let refs: Vec<&KernelTrace> = traces.iter().collect();
-        time_traces_concurrent(&refs, &self.cfg)
+        try_time_traces_concurrent(&refs, &self.cfg)
     }
 }
 
@@ -114,9 +168,19 @@ pub struct ConcurrentStats {
 /// # Panics
 ///
 /// Panics on occupancy failure (a CTA that cannot fit on an SM) or on an
-/// internal scheduling deadlock, which would indicate a bug.
+/// internal scheduling deadlock, which would indicate a bug. Use
+/// [`try_time_trace`] to handle those failures instead.
 pub fn time_trace(trace: &KernelTrace, cfg: &GpuConfig) -> KernelStats {
-    time_traces_concurrent(&[trace], cfg).combined
+    try_time_trace(trace, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`time_trace`].
+///
+/// # Errors
+///
+/// As [`try_time_traces_concurrent`].
+pub fn try_time_trace(trace: &KernelTrace, cfg: &GpuConfig) -> Result<KernelStats, SimError> {
+    Ok(try_time_traces_concurrent(&[trace], cfg)?.combined)
 }
 
 /// Executes several captured kernels **concurrently** on one GPU — the
@@ -129,26 +193,58 @@ pub fn time_trace(trace: &KernelTrace, cfg: &GpuConfig) -> KernelStats {
 /// # Panics
 ///
 /// Panics if `traces` is empty, if any kernel cannot fit a single CTA on
-/// an empty SM, or on a warp-size mismatch with `cfg`.
+/// an empty SM, or on a warp-size mismatch with `cfg`. Use
+/// [`try_time_traces_concurrent`] to handle those failures instead.
 pub fn time_traces_concurrent(traces: &[&KernelTrace], cfg: &GpuConfig) -> ConcurrentStats {
-    assert!(!traces.is_empty(), "no kernels to execute");
+    try_time_traces_concurrent(traces, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`time_traces_concurrent`].
+///
+/// # Errors
+///
+/// * [`SimError::EmptyLaunch`] — `traces` is empty.
+/// * [`SimError::InvalidConfig`] — `cfg` fails
+///   [`GpuConfig::validate`] (traces can be re-timed under arbitrary
+///   configurations, so the replay path re-validates).
+/// * [`SimError::WarpSizeMismatch`] — a trace was captured with a
+///   different warp size than `cfg`.
+/// * [`SimError::LaunchFailed`] — a kernel's CTA cannot fit on an empty
+///   SM (occupancy failure).
+/// * [`SimError::Watchdog`] — the replay exceeded
+///   `cfg.watchdog.max_cycles`.
+/// * [`SimError::Deadlock`] — every live warp is parked at a barrier
+///   that can never release (e.g. a truncated or corrupted trace).
+pub fn try_time_traces_concurrent(
+    traces: &[&KernelTrace],
+    cfg: &GpuConfig,
+) -> Result<ConcurrentStats, SimError> {
+    if traces.is_empty() {
+        return Err(SimError::EmptyLaunch);
+    }
+    cfg.validate()?;
     for trace in traces {
-        assert_eq!(
-            trace.warp_size, cfg.warp_size as usize,
-            "trace captured with a different warp size"
-        );
-        if let Err(e) = ctas_per_sm(
+        if trace.warp_size != cfg.warp_size as usize {
+            return Err(SimError::WarpSizeMismatch {
+                kernel: trace.name.clone(),
+                trace_warp_size: trace.warp_size,
+                config_warp_size: cfg.warp_size,
+            });
+        }
+        ctas_per_sm(
             cfg,
             trace.threads_per_block,
             trace.regs_per_thread,
             trace.shared_bytes_per_cta,
-        ) {
-            panic!("kernel {} cannot launch: {e}", trace.name);
-        }
+        )
+        .map_err(|e| SimError::LaunchFailed {
+            kernel: trace.name.clone(),
+            reason: e,
+        })?;
     }
     let mut engine = Engine::new(traces, cfg);
-    engine.run();
-    engine.into_stats()
+    engine.run()?;
+    Ok(engine.into_stats())
 }
 
 struct Engine<'a> {
@@ -270,8 +366,17 @@ impl<'a> Engine<'a> {
         s.used_shared += t.shared_bytes_per_cta;
     }
 
-    fn run(&mut self) {
+    fn run(&mut self) -> Result<(), SimError> {
+        let max_cycles = self.cfg.watchdog.max_cycles;
         while self.live_warps > 0 {
+            if let Some(budget) = max_cycles {
+                if self.cycle >= budget {
+                    return Err(SimError::Watchdog {
+                        cycles: self.cycle,
+                        warps_stuck: self.live_warps,
+                    });
+                }
+            }
             let mut issued_any = false;
             for sm in 0..self.sms.len() {
                 while self.sms[sm].port_free_at <= self.cycle {
@@ -291,10 +396,11 @@ impl<'a> Engine<'a> {
             if issued_any {
                 self.cycle += 1;
             } else {
-                self.fast_forward();
+                self.fast_forward()?;
             }
         }
         self.horizon = self.horizon.max(self.cycle);
+        Ok(())
     }
 
     /// Selects an issuable warp on `sm` according to the configured
@@ -343,7 +449,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn fast_forward(&mut self) {
+    fn fast_forward(&mut self) -> Result<(), SimError> {
         let mut next = u64::MAX;
         for (si, sm) in self.sms.iter().enumerate() {
             for &w in &sm.warps {
@@ -354,11 +460,14 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        assert!(
-            next != u64::MAX,
-            "scheduling deadlock: all live warps parked at barriers"
-        );
+        if next == u64::MAX {
+            return Err(SimError::Deadlock {
+                cycle: self.cycle,
+                warps_parked: self.live_warps,
+            });
+        }
         self.cycle = next.max(self.cycle + 1);
+        Ok(())
     }
 
     fn issue(&mut self, sm: usize, w: usize) {
@@ -616,6 +725,7 @@ mod tests {
     use super::*;
     use crate::kernel::{GridShape, PhaseControl, WarpCtx};
     use crate::memory::BufF32;
+    use crate::trace::trace_kernel;
 
     /// Pure-compute kernel: `iters` ALU instructions per thread.
     struct Compute {

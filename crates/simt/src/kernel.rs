@@ -136,6 +136,11 @@ pub struct WarpCtx<'a> {
     pub(crate) mask: ActiveMask,
     pub(crate) banks: u32,
     pub(crate) seg_bytes: u32,
+    /// First out-of-bounds access of this warp, if any. Set by the
+    /// `ld_*`/`st_*` methods instead of panicking; once set, subsequent
+    /// accesses become no-ops and the executor abandons the launch with
+    /// [`crate::SimError::KernelFault`] when `run_warp` returns.
+    pub(crate) fault: Option<String>,
 }
 
 impl WarpCtx<'_> {
@@ -167,6 +172,19 @@ impl WarpCtx<'_> {
     /// The current active mask.
     pub fn mask(&self) -> ActiveMask {
         self.mask
+    }
+
+    /// Records the warp's first memory fault; later accesses are
+    /// suppressed so one bad index does not cascade into a storm of
+    /// follow-on damage before the executor aborts the launch.
+    fn record_fault(&mut self, reason: String) {
+        if self.fault.is_none() {
+            self.fault = Some(reason);
+        }
+    }
+
+    fn faulted(&self) -> bool {
+        self.fault.is_some()
     }
 
     /// Global thread id of each lane (length = warp size, including
@@ -261,14 +279,20 @@ impl WarpCtx<'_> {
         let base = self.mem.base_f32(buf);
         let data_len = self.mem.len_f32(buf);
         let mut out = vec![0.0f32; self.warp_size];
+        if self.faulted() {
+            return out;
+        }
         let mut addrs = Vec::new();
-        for lane in self.mask.iter().take(self.warp_size) {
+        let mask = self.mask;
+        for lane in mask.iter().take(self.warp_size) {
             if let Some(idx) = f(lane, tids[lane]) {
-                assert!(
-                    idx < data_len,
-                    "kernel read out of bounds: {}[{idx}] (len {data_len})",
-                    self.mem.name_f32(buf)
-                );
+                if idx >= data_len {
+                    self.record_fault(format!(
+                        "read out of bounds: {}[{idx}] (len {data_len})",
+                        self.mem.name_f32(buf)
+                    ));
+                    return out;
+                }
                 out[lane] = self.mem.f32_slice(buf)[idx];
                 addrs.push(base + idx as u64 * 4);
             }
@@ -306,10 +330,20 @@ impl WarpCtx<'_> {
         let tids = self.tids();
         let data_len = self.mem.len_f32(buf);
         let mut out = vec![0.0f32; self.warp_size];
+        if self.faulted() {
+            return out;
+        }
         let mut idxs = Vec::new();
-        for lane in self.mask.iter().take(self.warp_size) {
+        let mask = self.mask;
+        for lane in mask.iter().take(self.warp_size) {
             if let Some(idx) = f(lane, tids[lane]) {
-                assert!(idx < data_len, "constant read out of bounds");
+                if idx >= data_len {
+                    self.record_fault(format!(
+                        "constant read out of bounds: {}[{idx}] (len {data_len})",
+                        self.mem.name_f32(buf)
+                    ));
+                    return out;
+                }
                 out[lane] = self.mem.f32_slice(buf)[idx];
                 idxs.push(idx);
             }
@@ -328,13 +362,24 @@ impl WarpCtx<'_> {
 
     /// Stores `f32` values to global memory.
     pub fn st_f32(&mut self, buf: BufF32, mut f: impl FnMut(usize, usize) -> Option<(usize, f32)>) {
+        if self.faulted() {
+            return;
+        }
         let tids = self.tids();
         let base = self.mem.base_f32(buf);
         let mut addrs = Vec::new();
-        for lane in self.mask.iter().take(self.warp_size) {
+        let mask = self.mask;
+        for lane in mask.iter().take(self.warp_size) {
             if let Some((idx, val)) = f(lane, tids[lane]) {
                 let data = self.mem.f32_slice_mut(buf);
-                assert!(idx < data.len(), "kernel write out of bounds");
+                if idx >= data.len() {
+                    let len = data.len();
+                    self.record_fault(format!(
+                        "write out of bounds: {}[{idx}] (len {len})",
+                        self.mem.name_f32(buf)
+                    ));
+                    return;
+                }
                 data[idx] = val;
                 addrs.push(base + idx as u64 * 4);
             }
@@ -352,10 +397,20 @@ impl WarpCtx<'_> {
         let base = self.mem.base_u32(buf);
         let data_len = self.mem.len_u32(buf);
         let mut out = vec![0u32; self.warp_size];
+        if self.faulted() {
+            return out;
+        }
         let mut addrs = Vec::new();
-        for lane in self.mask.iter().take(self.warp_size) {
+        let mask = self.mask;
+        for lane in mask.iter().take(self.warp_size) {
             if let Some(idx) = f(lane, tids[lane]) {
-                assert!(idx < data_len, "kernel read out of bounds (u32)");
+                if idx >= data_len {
+                    self.record_fault(format!(
+                        "read out of bounds: {}[{idx}] (len {data_len})",
+                        self.mem.name_u32(buf)
+                    ));
+                    return out;
+                }
                 out[lane] = self.mem.u32_slice(buf)[idx];
                 addrs.push(base + idx as u64 * 4);
             }
@@ -374,10 +429,20 @@ impl WarpCtx<'_> {
         let base = self.mem.base_u32(buf);
         let data_len = self.mem.len_u32(buf);
         let mut out = vec![0u32; self.warp_size];
+        if self.faulted() {
+            return out;
+        }
         let mut addrs = Vec::new();
-        for lane in self.mask.iter().take(self.warp_size) {
+        let mask = self.mask;
+        for lane in mask.iter().take(self.warp_size) {
             if let Some(idx) = f(lane, tids[lane]) {
-                assert!(idx < data_len, "texture read out of bounds (u32)");
+                if idx >= data_len {
+                    self.record_fault(format!(
+                        "texture read out of bounds: {}[{idx}] (len {data_len})",
+                        self.mem.name_u32(buf)
+                    ));
+                    return out;
+                }
                 out[lane] = self.mem.u32_slice(buf)[idx];
                 addrs.push(base + idx as u64 * 4);
             }
@@ -388,13 +453,24 @@ impl WarpCtx<'_> {
 
     /// Stores `u32` values to global memory.
     pub fn st_u32(&mut self, buf: BufU32, mut f: impl FnMut(usize, usize) -> Option<(usize, u32)>) {
+        if self.faulted() {
+            return;
+        }
         let tids = self.tids();
         let base = self.mem.base_u32(buf);
         let mut addrs = Vec::new();
-        for lane in self.mask.iter().take(self.warp_size) {
+        let mask = self.mask;
+        for lane in mask.iter().take(self.warp_size) {
             if let Some((idx, val)) = f(lane, tids[lane]) {
                 let data = self.mem.u32_slice_mut(buf);
-                assert!(idx < data.len(), "kernel write out of bounds (u32)");
+                if idx >= data.len() {
+                    let len = data.len();
+                    self.record_fault(format!(
+                        "write out of bounds: {}[{idx}] (len {len})",
+                        self.mem.name_u32(buf)
+                    ));
+                    return;
+                }
                 data[idx] = val;
                 addrs.push(base + idx as u64 * 4);
             }
@@ -412,11 +488,22 @@ impl WarpCtx<'_> {
         let tids = self.tids();
         let base = self.mem.base_u32(buf);
         let mut out = vec![0u32; self.warp_size];
+        if self.faulted() {
+            return out;
+        }
         let mut addrs = Vec::new();
-        for lane in self.mask.iter().take(self.warp_size) {
+        let mask = self.mask;
+        for lane in mask.iter().take(self.warp_size) {
             if let Some((idx, val)) = f(lane, tids[lane]) {
                 let data = self.mem.u32_slice_mut(buf);
-                assert!(idx < data.len(), "atomic out of bounds");
+                if idx >= data.len() {
+                    let len = data.len();
+                    self.record_fault(format!(
+                        "atomic out of bounds: {}[{idx}] (len {len})",
+                        self.mem.name_u32(buf)
+                    ));
+                    return out;
+                }
                 out[lane] = data[idx];
                 data[idx] = data[idx].wrapping_add(val);
                 addrs.push(base + idx as u64 * 4);
@@ -447,10 +534,20 @@ impl WarpCtx<'_> {
     pub fn sh_ld_f32(&mut self, mut f: impl FnMut(usize, usize) -> Option<usize>) -> Vec<f32> {
         let tids = self.tids();
         let mut out = vec![0.0f32; self.warp_size];
+        if self.faulted() {
+            return out;
+        }
         let mut words = Vec::new();
-        for lane in self.mask.iter().take(self.warp_size) {
+        let mask = self.mask;
+        for lane in mask.iter().take(self.warp_size) {
             if let Some(idx) = f(lane, tids[lane]) {
-                assert!(idx < self.shared_f32.len(), "shared read out of bounds");
+                if idx >= self.shared_f32.len() {
+                    let len = self.shared_f32.len();
+                    self.record_fault(format!(
+                        "shared read out of bounds: f32[{idx}] (len {len})"
+                    ));
+                    return out;
+                }
                 out[lane] = self.shared_f32[idx];
                 words.push((lane, idx));
             }
@@ -461,11 +558,21 @@ impl WarpCtx<'_> {
 
     /// Stores to the CTA's `f32` shared-memory scratch.
     pub fn sh_st_f32(&mut self, mut f: impl FnMut(usize, usize) -> Option<(usize, f32)>) {
+        if self.faulted() {
+            return;
+        }
         let tids = self.tids();
         let mut words = Vec::new();
-        for lane in self.mask.iter().take(self.warp_size) {
+        let mask = self.mask;
+        for lane in mask.iter().take(self.warp_size) {
             if let Some((idx, val)) = f(lane, tids[lane]) {
-                assert!(idx < self.shared_f32.len(), "shared write out of bounds");
+                if idx >= self.shared_f32.len() {
+                    let len = self.shared_f32.len();
+                    self.record_fault(format!(
+                        "shared write out of bounds: f32[{idx}] (len {len})"
+                    ));
+                    return;
+                }
                 self.shared_f32[idx] = val;
                 words.push((lane, idx));
             }
@@ -480,10 +587,20 @@ impl WarpCtx<'_> {
         let tids = self.tids();
         let off = self.shared_f32.len();
         let mut out = vec![0u32; self.warp_size];
+        if self.faulted() {
+            return out;
+        }
         let mut words = Vec::new();
-        for lane in self.mask.iter().take(self.warp_size) {
+        let mask = self.mask;
+        for lane in mask.iter().take(self.warp_size) {
             if let Some(idx) = f(lane, tids[lane]) {
-                assert!(idx < self.shared_u32.len(), "shared read out of bounds");
+                if idx >= self.shared_u32.len() {
+                    let len = self.shared_u32.len();
+                    self.record_fault(format!(
+                        "shared read out of bounds: u32[{idx}] (len {len})"
+                    ));
+                    return out;
+                }
                 out[lane] = self.shared_u32[idx];
                 words.push((lane, off + idx));
             }
@@ -494,12 +611,22 @@ impl WarpCtx<'_> {
 
     /// Stores to the CTA's `u32` shared-memory scratch.
     pub fn sh_st_u32(&mut self, mut f: impl FnMut(usize, usize) -> Option<(usize, u32)>) {
+        if self.faulted() {
+            return;
+        }
         let tids = self.tids();
         let off = self.shared_f32.len();
         let mut words = Vec::new();
-        for lane in self.mask.iter().take(self.warp_size) {
+        let mask = self.mask;
+        for lane in mask.iter().take(self.warp_size) {
             if let Some((idx, val)) = f(lane, tids[lane]) {
-                assert!(idx < self.shared_u32.len(), "shared write out of bounds");
+                if idx >= self.shared_u32.len() {
+                    let len = self.shared_u32.len();
+                    self.record_fault(format!(
+                        "shared write out of bounds: u32[{idx}] (len {len})"
+                    ));
+                    return;
+                }
                 self.shared_u32[idx] = val;
                 words.push((lane, off + idx));
             }

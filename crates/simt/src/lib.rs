@@ -65,6 +65,8 @@ pub mod caches;
 pub mod coalesce;
 pub mod config;
 pub mod dram;
+pub mod error;
+pub mod fault;
 pub mod gpu;
 pub mod isa;
 pub mod kernel;
@@ -73,10 +75,14 @@ pub mod sm;
 pub mod stats;
 pub mod trace;
 
-pub use config::{CacheGeom, GpuConfig, SchedPolicy};
-pub use gpu::{time_trace, time_traces_concurrent, ConcurrentStats, Gpu};
+pub use config::{CacheGeom, GpuConfig, SchedPolicy, WatchdogBudget};
+pub use error::SimError;
+pub use gpu::{
+    time_trace, time_traces_concurrent, try_time_trace, try_time_traces_concurrent,
+    ConcurrentStats, Gpu,
+};
 pub use isa::{ActiveMask, MemSpace, TOp};
 pub use kernel::{GridShape, Kernel, PhaseControl, WarpCtx};
 pub use memory::{BufF32, BufU32, GpuMem};
 pub use stats::{KernelStats, MemMix, OccupancyHistogram};
-pub use trace::{KernelTrace, trace_kernel};
+pub use trace::{try_trace_kernel, KernelTrace, trace_kernel};

@@ -160,6 +160,11 @@ impl GpuMem {
         &self.f32_regions[buf.0].name
     }
 
+    /// Name given to a `u32` buffer at allocation time.
+    pub fn name_u32(&self, buf: BufU32) -> &str {
+        &self.u32_regions[buf.0].name
+    }
+
     /// Total host-to-device bytes copied so far.
     pub fn h2d_bytes(&self) -> u64 {
         self.h2d_bytes

@@ -194,16 +194,18 @@ impl KernelStats {
     /// DRAM bandwidth utilization in `[0, 1]` (Table III's "BW
     /// Utilization").
     pub fn bw_utilization(&self) -> f64 {
-        if self.cycles == 0 || self.peak_bytes_per_cycle == 0.0 {
+        if self.cycles == 0 || self.peak_bytes_per_cycle.is_nan() || self.peak_bytes_per_cycle <= 0.0
+        {
             0.0
         } else {
             self.dram_bytes as f64 / (self.peak_bytes_per_cycle * self.cycles as f64)
         }
     }
 
-    /// Achieved DRAM bandwidth in GB/s.
+    /// Achieved DRAM bandwidth in GB/s. Reports 0.0 for an empty launch
+    /// or a degenerate (zero/non-finite) clock rather than NaN/inf.
     pub fn achieved_bandwidth_gbps(&self) -> f64 {
-        if self.cycles == 0 {
+        if self.cycles == 0 || self.core_clock_ghz.is_nan() || self.core_clock_ghz <= 0.0 {
             0.0
         } else {
             self.dram_bytes as f64 / (self.cycles as f64 / self.core_clock_ghz)
@@ -211,9 +213,14 @@ impl KernelStats {
     }
 
     /// Kernel execution time in microseconds (cycles over the core clock;
-    /// the Figure 5 metric).
+    /// the Figure 5 metric). Reports 0.0 for an empty launch or a
+    /// degenerate (zero/non-finite) clock rather than NaN/inf.
     pub fn time_us(&self) -> f64 {
-        self.cycles as f64 / (self.core_clock_ghz * 1e3)
+        if self.cycles == 0 || self.core_clock_ghz.is_nan() || self.core_clock_ghz <= 0.0 {
+            0.0
+        } else {
+            self.cycles as f64 / (self.core_clock_ghz * 1e3)
+        }
     }
 
     /// SIMD efficiency: mean active lanes per issued warp instruction
@@ -353,6 +360,33 @@ mod tests {
         let s = stats(1000, 50_000);
         assert!((s.ipc() - 50.0).abs() < 1e-12);
         assert!((s.time_us() - 0.5).abs() < 1e-12);
+        assert_eq!(s.bw_utilization(), 0.0);
+    }
+
+    #[test]
+    fn zero_cycle_stats_report_zero_not_nan() {
+        // An empty launch (or one aborted by the watchdog before any
+        // cycle elapsed) must not poison downstream analysis with
+        // NaN/inf.
+        let s = stats(0, 0);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.bw_utilization(), 0.0);
+        assert_eq!(s.achieved_bandwidth_gbps(), 0.0);
+        assert_eq!(s.time_us(), 0.0);
+        assert_eq!(s.simd_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_clock_reports_zero_not_nan() {
+        let mut s = stats(1000, 1000);
+        s.core_clock_ghz = 0.0;
+        s.dram_bytes = 4096;
+        assert_eq!(s.time_us(), 0.0);
+        assert_eq!(s.achieved_bandwidth_gbps(), 0.0);
+        s.core_clock_ghz = f64::NAN;
+        s.peak_bytes_per_cycle = f64::NAN;
+        assert_eq!(s.time_us(), 0.0);
+        assert_eq!(s.achieved_bandwidth_gbps(), 0.0);
         assert_eq!(s.bw_utilization(), 0.0);
     }
 

@@ -6,6 +6,7 @@
 //! in [`crate::gpu`] replays.
 
 use crate::config::GpuConfig;
+use crate::error::SimError;
 use crate::isa::{ActiveMask, TOp};
 use crate::kernel::{Kernel, PhaseControl, Stash, WarpCtx};
 use crate::memory::GpuMem;
@@ -83,9 +84,38 @@ impl KernelTrace {
 ///
 /// Panics if the warps of a CTA disagree on [`PhaseControl`] (a malformed
 /// kernel: barrier divergence is undefined behavior on real hardware
-/// too), or if the kernel accesses memory out of bounds.
+/// too), or if the kernel accesses memory out of bounds. Use
+/// [`try_trace_kernel`] to receive those failures as [`SimError`]
+/// instead.
 pub fn trace_kernel(kernel: &dyn Kernel, mem: &mut GpuMem, cfg: &GpuConfig) -> KernelTrace {
+    try_trace_kernel(kernel, mem, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`trace_kernel`].
+///
+/// # Errors
+///
+/// * [`SimError::EmptyGrid`] — the kernel declared zero blocks or zero
+///   threads per block.
+/// * [`SimError::KernelFault`] — the kernel accessed global, shared,
+///   constant, or atomic memory out of bounds; the launch is abandoned
+///   at the end of the faulting warp's phase. Device memory may have
+///   been partially written.
+/// * [`SimError::BarrierDivergence`] — warps of one CTA disagreed on
+///   [`PhaseControl`].
+/// * [`SimError::Watchdog`] — a CTA requested more barrier phases than
+///   `cfg.watchdog.max_phases` (the kernel never terminates).
+pub fn try_trace_kernel(
+    kernel: &dyn Kernel,
+    mem: &mut GpuMem,
+    cfg: &GpuConfig,
+) -> Result<KernelTrace, SimError> {
     let shape = kernel.shape();
+    if shape.blocks == 0 || shape.threads_per_block == 0 {
+        return Err(SimError::EmptyGrid {
+            kernel: kernel.name().to_string(),
+        });
+    }
     let warp_size = cfg.warp_size as usize;
     let warps_per_block = shape.threads_per_block.div_ceil(warp_size);
     let mut ctas = Vec::with_capacity(shape.blocks);
@@ -98,6 +128,14 @@ pub fn trace_kernel(kernel: &dyn Kernel, mem: &mut GpuMem, cfg: &GpuConfig) -> K
 
         let mut phase = 0usize;
         loop {
+            if let Some(budget) = cfg.watchdog.max_phases {
+                if phase as u64 >= budget {
+                    return Err(SimError::Watchdog {
+                        cycles: phase as u64,
+                        warps_stuck: warps_per_block,
+                    });
+                }
+            }
             let mut decision: Option<PhaseControl> = None;
             for warp in 0..warps_per_block {
                 let lanes_in_warp =
@@ -116,16 +154,26 @@ pub fn trace_kernel(kernel: &dyn Kernel, mem: &mut GpuMem, cfg: &GpuConfig) -> K
                     mask: ActiveMask::first(lanes_in_warp),
                     banks: cfg.shared_banks,
                     seg_bytes: cfg.segment_bytes,
+                    fault: None,
                 };
                 let pc = kernel.run_warp(&mut ctx);
+                if let Some(reason) = ctx.fault.take() {
+                    return Err(SimError::KernelFault {
+                        kernel: kernel.name().to_string(),
+                        reason,
+                    });
+                }
                 match decision {
                     None => decision = Some(pc),
-                    Some(prev) => assert_eq!(
-                        prev, pc,
-                        "warps of CTA {block} disagree on phase control in phase {phase} \
-                         of kernel {}",
-                        kernel.name()
-                    ),
+                    Some(prev) => {
+                        if prev != pc {
+                            return Err(SimError::BarrierDivergence {
+                                kernel: kernel.name().to_string(),
+                                block,
+                                phase,
+                            });
+                        }
+                    }
                 }
             }
             match decision {
@@ -141,14 +189,14 @@ pub fn trace_kernel(kernel: &dyn Kernel, mem: &mut GpuMem, cfg: &GpuConfig) -> K
         ctas.push(CtaTrace { warps: traces });
     }
 
-    KernelTrace {
+    Ok(KernelTrace {
         name: kernel.name().to_string(),
         ctas,
         threads_per_block: shape.threads_per_block,
         regs_per_thread: kernel.regs_per_thread(),
         shared_bytes_per_cta: kernel.shared_bytes(),
         warp_size,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use simt::{
-    time_trace, time_traces_concurrent, trace_kernel, GpuConfig, GpuMem, GridShape, Kernel,
-    KernelTrace, PhaseControl, WarpCtx,
+    time_trace, time_traces_concurrent, trace_kernel, try_time_trace, Gpu, GpuConfig, GpuMem,
+    GridShape, Kernel, KernelTrace, PhaseControl, SimError, WarpCtx,
 };
 
 /// A configurable synthetic kernel: per-thread ALU work, strided global
@@ -154,4 +154,65 @@ proptest! {
         let fast = time_trace(&trace, &compact).cycles;
         prop_assert!(fast <= base, "compaction {fast} > baseline {base}");
     }
+}
+
+/// A kernel that requests another barrier phase forever — the classic
+/// `while (true) __syncthreads();` bug.
+struct NeverDone;
+
+impl Kernel for NeverDone {
+    fn name(&self) -> &str {
+        "never-done"
+    }
+    fn shape(&self) -> GridShape {
+        GridShape::new(1, 64)
+    }
+    fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+        w.alu(1);
+        PhaseControl::Continue
+    }
+}
+
+/// The launch watchdog converts a non-terminating kernel into a typed
+/// error within its configured budget instead of hanging the process.
+#[test]
+fn watchdog_aborts_non_terminating_kernel() {
+    let mut cfg = GpuConfig::gpgpusim_default();
+    cfg.watchdog.max_phases = Some(256);
+    let mut gpu = Gpu::try_new(cfg).expect("config is valid");
+    match gpu.try_launch(&NeverDone) {
+        Err(SimError::Watchdog {
+            cycles,
+            warps_stuck,
+        }) => {
+            assert_eq!(cycles, 256, "aborted exactly at the phase budget");
+            assert_eq!(warps_stuck, 2, "two warps per 64-thread CTA");
+        }
+        other => panic!("expected SimError::Watchdog, got {other:?}"),
+    }
+}
+
+/// The cycle watchdog bounds timing replay of a well-formed trace.
+#[test]
+fn cycle_watchdog_bounds_timing_replay() {
+    let cfg = GpuConfig::gpgpusim_default();
+    let trace = build_trace(32, 4, true, true, &cfg);
+    let full = time_trace(&trace, &cfg);
+    let mut tight = cfg.clone();
+    tight.watchdog.max_cycles = Some(full.cycles / 2);
+    match try_time_trace(&trace, &tight) {
+        Err(SimError::Watchdog {
+            cycles,
+            warps_stuck,
+        }) => {
+            assert!(cycles <= full.cycles / 2 + 1, "stopped within budget");
+            assert!(warps_stuck > 0);
+        }
+        other => panic!("expected SimError::Watchdog, got {other:?}"),
+    }
+    // A generous budget never fires.
+    let mut roomy = cfg;
+    roomy.watchdog.max_cycles = Some(full.cycles * 2 + 16);
+    let s = try_time_trace(&trace, &roomy).expect("budget not reached");
+    assert_eq!(s.cycles, full.cycles);
 }

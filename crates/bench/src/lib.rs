@@ -1,1 +1,69 @@
-pub fn lib() {}
+//! Shared measurement helpers for the workspace benches.
+//!
+//! The vendored `criterion` stub prints per-benchmark medians but does
+//! not return them, so benches that need to *compute* with a
+//! measurement (e.g. the telemetry-overhead percentage printed by
+//! `benches/telemetry_overhead.rs`) use these helpers directly.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use datasets::Scale;
+use rodinia_gpu::hotspot::Hotspot;
+use simt::{Gpu, GpuConfig};
+
+/// Runs `f` once as warm-up and then `samples` timed times, returning
+/// the median wall-clock duration in microseconds.
+pub fn median_us<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    times[times.len() / 2]
+}
+
+/// Percentage overhead of `with_us` relative to `base_us`. Guarded: a
+/// non-positive baseline yields 0 instead of infinity/NaN.
+pub fn overhead_pct(base_us: f64, with_us: f64) -> f64 {
+    if base_us <= 0.0 {
+        return 0.0;
+    }
+    (with_us - base_us) / base_us * 100.0
+}
+
+/// Runs the Hotspot benchmark once on the paper's default simulator
+/// configuration, returning total cycles (so the work cannot be
+/// optimized away).
+pub fn run_hotspot(scale: Scale) -> u64 {
+    let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
+    Hotspot::new(scale).run(&mut gpu).cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_within_sample_range() {
+        let m = median_us(3, || std::thread::sleep(std::time::Duration::from_micros(100)));
+        assert!(m >= 100.0, "median {m} us below the sleep floor");
+    }
+
+    #[test]
+    fn overhead_handles_degenerate_baseline() {
+        assert_eq!(overhead_pct(0.0, 10.0), 0.0);
+        assert_eq!(overhead_pct(-1.0, 10.0), 0.0);
+        assert!((overhead_pct(100.0, 105.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hotspot_simulates_at_tiny_scale() {
+        assert!(run_hotspot(Scale::Tiny) > 0);
+    }
+}

@@ -19,16 +19,22 @@ pub struct IpcScaling {
 }
 
 impl IpcScaling {
-    /// Renders the figure's series as a table.
+    /// Renders the figure's series as a table. Prefer
+    /// [`IpcScaling::try_to_table`] in fallible pipelines.
     pub fn to_table(&self) -> Table {
+        self.try_to_table().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`IpcScaling::to_table`].
+    pub fn try_to_table(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(
             "Figure 1: IPC over 8-shader and 28-shader configurations",
             &["Benchmark", "IPC (8 SM)", "IPC (28 SM)", "Scaling"],
         );
         for (name, a, b) in &self.rows {
-            t.push(vec![name.clone(), f1(*a), f1(*b), format!("{:.2}x", b / a)]);
+            t.try_push(vec![name.clone(), f1(*a), f1(*b), format!("{:.2}x", b / a)])?;
         }
-        t
+        Ok(t)
     }
 
     /// IPC on 28 shaders for one benchmark.
@@ -51,6 +57,7 @@ pub fn ipc_scaling(scale: Scale) -> IpcScaling {
 pub fn try_ipc_scaling(scale: Scale) -> Result<IpcScaling, StudyError> {
     let mut rows = Vec::new();
     for b in all_benchmarks(scale) {
+        let _bench = obs::span!("bench.{}", b.abbrev());
         let mut g8 = Gpu::try_new(GpuConfig::gpgpusim_8sm())?;
         let s8 = b.run_on(&mut g8);
         let mut g28 = Gpu::try_new(GpuConfig::gpgpusim_default())?;
@@ -68,8 +75,14 @@ pub struct MemoryMix {
 }
 
 impl MemoryMix {
-    /// Renders the stacked-bar data as a table.
+    /// Renders the stacked-bar data as a table. Prefer
+    /// [`MemoryMix::try_to_table`] in fallible pipelines.
     pub fn to_table(&self) -> Table {
+        self.try_to_table().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MemoryMix::to_table`].
+    pub fn try_to_table(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(
             "Figure 2: memory operation breakdown",
             &["Benchmark", "Shared", "Tex", "Const", "Param", "Global/Local"],
@@ -77,9 +90,9 @@ impl MemoryMix {
         for (name, f) in &self.rows {
             let mut row = vec![name.clone()];
             row.extend(f.iter().map(|&x| pct(x)));
-            t.push(row);
+            t.try_push(row)?;
         }
-        t
+        Ok(t)
     }
 
     /// The fraction vector for one benchmark.
@@ -111,6 +124,7 @@ pub fn memory_mix(scale: Scale) -> MemoryMix {
 pub fn try_memory_mix(scale: Scale) -> Result<MemoryMix, StudyError> {
     let mut rows = Vec::new();
     for b in all_benchmarks(scale) {
+        let _bench = obs::span!("bench.{}", b.abbrev());
         let mut gpu = Gpu::try_new(GpuConfig::gpgpusim_default())?;
         let s = b.run_on(&mut gpu);
         rows.push((b.abbrev().to_string(), mix_fractions(&s)));
@@ -126,8 +140,14 @@ pub struct WarpOccupancy {
 }
 
 impl WarpOccupancy {
-    /// Renders the histogram data as a table.
+    /// Renders the histogram data as a table. Prefer
+    /// [`WarpOccupancy::try_to_table`] in fallible pipelines.
     pub fn to_table(&self) -> Table {
+        self.try_to_table().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`WarpOccupancy::to_table`].
+    pub fn try_to_table(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(
             "Figure 3: warp occupancies (active threads per issued warp)",
             &["Benchmark", "1-8", "9-16", "17-24", "25-32", "SIMD eff."],
@@ -143,9 +163,9 @@ impl WarpOccupancy {
                 .sum::<f64>()
                 / 32.0;
             row.push(pct(eff));
-            t.push(row);
+            t.try_push(row)?;
         }
-        t
+        Ok(t)
     }
 
     /// Quartile fractions for one benchmark.
@@ -167,6 +187,7 @@ pub fn warp_occupancy(scale: Scale) -> WarpOccupancy {
 pub fn try_warp_occupancy(scale: Scale) -> Result<WarpOccupancy, StudyError> {
     let mut rows = Vec::new();
     for b in all_benchmarks(scale) {
+        let _bench = obs::span!("bench.{}", b.abbrev());
         let mut gpu = Gpu::try_new(GpuConfig::gpgpusim_default())?;
         let s = b.run_on(&mut gpu);
         rows.push((b.abbrev().to_string(), s.occupancy.quartile_fractions()));
@@ -183,21 +204,27 @@ pub struct ChannelSweep {
 }
 
 impl ChannelSweep {
-    /// Renders the normalized series.
+    /// Renders the normalized series. Prefer
+    /// [`ChannelSweep::try_to_table`] in fallible pipelines.
     pub fn to_table(&self) -> Table {
+        self.try_to_table().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ChannelSweep::to_table`].
+    pub fn try_to_table(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(
             "Figure 4: bandwidth improvement with memory channels (normalized to 4)",
             &["Benchmark", "4 ch", "6 ch", "8 ch"],
         );
         for (name, b4, b6, b8) in &self.rows {
-            t.push(vec![
+            t.try_push(vec![
                 name.clone(),
                 "1.00".into(),
                 format!("{:.2}", b6 / b4),
                 format!("{:.2}", b8 / b4),
-            ]);
+            ])?;
         }
-        t
+        Ok(t)
     }
 
     /// Bandwidth improvement of the 8-channel over the 4-channel
@@ -224,6 +251,7 @@ pub fn try_channel_sweep(scale: Scale) -> Result<ChannelSweep, StudyError> {
     let base = GpuConfig::gpgpusim_default();
     let mut rows = Vec::new();
     for b in all_benchmarks(scale) {
+        let _bench = obs::span!("bench.{}", b.abbrev());
         let mut bw = [0.0f64; 3];
         for (i, ch) in [4u32, 6, 8].iter().enumerate() {
             let mut gpu = Gpu::try_new(base.with_mem_channels(*ch))?;
@@ -245,14 +273,20 @@ pub struct IncrementalVersions {
 }
 
 impl IncrementalVersions {
-    /// Renders Table III.
+    /// Renders Table III. Prefer [`IncrementalVersions::try_to_table`]
+    /// in fallible pipelines.
     pub fn to_table(&self) -> Table {
+        self.try_to_table().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`IncrementalVersions::to_table`].
+    pub fn try_to_table(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(
             "Table III: incrementally optimized versions of SRAD and Leukocyte",
             &["Version", "IPC", "BW Util", "Shared", "Const", "Tex", "Global"],
         );
         for (name, ipc, bw, sh, cn, tx, gl) in &self.rows {
-            t.push(vec![
+            t.try_push(vec![
                 name.clone(),
                 f1(*ipc),
                 pct(*bw),
@@ -260,9 +294,9 @@ impl IncrementalVersions {
                 pct(*cn),
                 pct(*tx),
                 pct(*gl),
-            ]);
+            ])?;
         }
-        t
+        Ok(t)
     }
 
     fn row(&self, label: &str) -> Option<&(String, f64, f64, f64, f64, f64, f64)> {
@@ -324,21 +358,27 @@ pub struct FermiStudy {
 }
 
 impl FermiStudy {
-    /// Renders the normalized series.
+    /// Renders the normalized series. Prefer
+    /// [`FermiStudy::try_to_table`] in fallible pipelines.
     pub fn to_table(&self) -> Table {
+        self.try_to_table().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`FermiStudy::to_table`].
+    pub fn try_to_table(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(
             "Figure 5: kernel time normalized to GTX 280 (lower is better)",
             &["Benchmark", "GTX280", "GTX480 shared-bias", "GTX480 L1-bias"],
         );
         for (name, t280, tsb, tlb) in &self.rows {
-            t.push(vec![
+            t.try_push(vec![
                 name.clone(),
                 "1.00".into(),
                 format!("{:.2}", tsb / t280),
                 format!("{:.2}", tlb / t280),
-            ]);
+            ])?;
         }
-        t
+        Ok(t)
     }
 
     /// `(shared_bias_time, l1_bias_time)` for one benchmark, normalized
@@ -365,8 +405,14 @@ pub struct OffloadStudy {
 }
 
 impl OffloadStudy {
-    /// Renders the analysis.
+    /// Renders the analysis. Prefer [`OffloadStudy::try_to_table`] in
+    /// fallible pipelines.
     pub fn to_table(&self) -> Table {
+        self.try_to_table().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`OffloadStudy::to_table`].
+    pub fn try_to_table(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(
             &format!(
                 "Offloading overhead: kernel vs transfer time at {} GB/s PCIe",
@@ -375,14 +421,14 @@ impl OffloadStudy {
             &["Benchmark", "Kernel (us)", "Transfer (us)", "Transfer share"],
         );
         for (name, k, tr) in &self.rows {
-            t.push(vec![
+            t.try_push(vec![
                 name.clone(),
                 f1(*k),
                 f1(*tr),
                 pct(tr / (k + tr).max(1e-12)),
-            ]);
+            ])?;
         }
-        t
+        Ok(t)
     }
 
     /// Transfer share of total offloaded time for one benchmark.
@@ -405,6 +451,7 @@ pub fn offload_overheads(scale: Scale, pcie_gbps: f64) -> OffloadStudy {
 pub fn try_offload_overheads(scale: Scale, pcie_gbps: f64) -> Result<OffloadStudy, StudyError> {
     let mut rows = Vec::new();
     for b in all_benchmarks(scale) {
+        let _bench = obs::span!("bench.{}", b.abbrev());
         let mut gpu = Gpu::try_new(GpuConfig::gpgpusim_default())?;
         let s = b.run_on(&mut gpu);
         let bytes = gpu.mem().h2d_bytes() + gpu.mem().d2h_bytes();
@@ -428,6 +475,7 @@ pub fn try_fermi_study(scale: Scale) -> Result<FermiStudy, StudyError> {
     ];
     let mut rows = Vec::new();
     for b in all_benchmarks(scale) {
+        let _bench = obs::span!("bench.{}", b.abbrev());
         let mut times = [0.0f64; 3];
         for (i, cfg) in configs.iter().enumerate() {
             let mut gpu = Gpu::try_new(cfg.clone())?;

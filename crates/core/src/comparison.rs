@@ -62,13 +62,19 @@ impl Scatter {
         d(self.point(name)) / mean_d.max(1e-12)
     }
 
-    /// Renders the scatter coordinates.
+    /// Renders the scatter coordinates. Prefer
+    /// [`Scatter::try_to_table`] in fallible pipelines.
     pub fn to_table(&self) -> Table {
+        self.try_to_table().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Scatter::to_table`].
+    pub fn try_to_table(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(&self.title, &["Workload", "PC1", "PC2"]);
         for (l, p) in self.labels.iter().zip(&self.points) {
-            t.push(vec![l.clone(), f3(p.0), f3(p.1)]);
+            t.try_push(vec![l.clone(), f3(p.0), f3(p.1)])?;
         }
-        t
+        Ok(t)
     }
 }
 
@@ -76,6 +82,7 @@ impl ComparisonStudy {
     /// Profiles all 24 workloads at the given scale. This is the
     /// expensive step; every figure below reuses the result.
     pub fn run(scale: Scale) -> ComparisonStudy {
+        let _span = obs::span!("comparison.profile_corpus");
         let cfg = ProfileConfig::default();
         let mut labels = Vec::new();
         let mut profiles = Vec::new();
@@ -181,15 +188,22 @@ impl ComparisonStudy {
     }
 
     /// Figure 10: misses per memory reference under the 4 MB cache.
+    /// Prefer [`ComparisonStudy::try_miss_rates_4mb`] in fallible
+    /// pipelines.
     pub fn miss_rates_4mb(&self) -> Table {
+        self.try_miss_rates_4mb().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ComparisonStudy::miss_rates_4mb`].
+    pub fn try_miss_rates_4mb(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(
             "Figure 10: miss rates under a 4 MB cache configuration",
             &["Workload", "Misses per memory reference"],
         );
         for (l, p) in self.labels.iter().zip(&self.profiles) {
-            t.push(vec![l.clone(), f3(p.at_capacity(4 * 1024 * 1024).miss_rate())]);
+            t.try_push(vec![l.clone(), f3(p.at_capacity(4 * 1024 * 1024).miss_rate())])?;
         }
-        t
+        Ok(t)
     }
 
     /// Distance between two workloads in the full-feature PCA space used

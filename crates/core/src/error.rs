@@ -35,6 +35,16 @@ pub enum StudyError {
         /// Columns in the header.
         expected: usize,
     },
+    /// A manifest or telemetry artifact could not be written.
+    ///
+    /// Holds the rendered `std::io::Error` message rather than the error
+    /// itself so [`StudyError`] stays `Clone + PartialEq`.
+    Io {
+        /// Path of the artifact that failed.
+        path: String,
+        /// Rendered I/O error.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StudyError {
@@ -47,6 +57,7 @@ impl fmt::Display for StudyError {
                 f,
                 "row width mismatch: {got} cells for {expected} columns"
             ),
+            StudyError::Io { path, reason } => write!(f, "cannot write {path}: {reason}"),
         }
     }
 }

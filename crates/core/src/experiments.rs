@@ -119,21 +119,27 @@ pub fn run_gpu(id: ExperimentId, scale: Scale) -> Vec<Table> {
 
 /// Fallible [`run_gpu`]: invalid configurations, malformed analyses,
 /// and registry misuse all surface as a typed [`StudyError`].
+///
+/// The whole experiment runs inside an `experiment.{id}` span; GPU
+/// drivers add `bench.{abbrev}` child spans per benchmark.
 pub fn try_run_gpu(id: ExperimentId, scale: Scale) -> Result<Vec<Table>, StudyError> {
+    let _span = obs::span!("experiment.{id:?}");
     Ok(match id {
         ExperimentId::Table1 => vec![suite::rodinia_table(scale)],
         ExperimentId::Table2 => vec![table2()],
-        ExperimentId::Fig1 => vec![characterization::try_ipc_scaling(scale)?.to_table()],
-        ExperimentId::Fig2 => vec![characterization::try_memory_mix(scale)?.to_table()],
-        ExperimentId::Fig3 => vec![characterization::try_warp_occupancy(scale)?.to_table()],
-        ExperimentId::Fig4 => vec![characterization::try_channel_sweep(scale)?.to_table()],
-        ExperimentId::Table3 => {
-            vec![characterization::try_incremental_versions(scale)?.to_table()]
+        ExperimentId::Fig1 => vec![characterization::try_ipc_scaling(scale)?.try_to_table()?],
+        ExperimentId::Fig2 => vec![characterization::try_memory_mix(scale)?.try_to_table()?],
+        ExperimentId::Fig3 => {
+            vec![characterization::try_warp_occupancy(scale)?.try_to_table()?]
         }
-        ExperimentId::Fig5 => vec![characterization::try_fermi_study(scale)?.to_table()],
+        ExperimentId::Fig4 => vec![characterization::try_channel_sweep(scale)?.try_to_table()?],
+        ExperimentId::Table3 => {
+            vec![characterization::try_incremental_versions(scale)?.try_to_table()?]
+        }
+        ExperimentId::Fig5 => vec![characterization::try_fermi_study(scale)?.try_to_table()?],
         ExperimentId::PlackettBurman => {
             let study = sensitivity::try_pb_study(scale, None)?;
-            vec![study.to_table(), study.aggregate_table()]
+            vec![study.try_to_table()?, study.try_aggregate_table()?]
         }
         ExperimentId::Table4 => vec![suite::comparison_table()],
         ExperimentId::Table5 => vec![table5()],
@@ -157,10 +163,15 @@ pub fn run_comparison(id: ExperimentId, study: &ComparisonStudy) -> Vec<Table> {
 }
 
 /// Fallible [`run_comparison`].
+///
+/// Runs inside an `experiment.{id}` span like [`try_run_gpu`]; the
+/// expensive corpus profiling is spanned separately by
+/// [`ComparisonStudy::run`].
 pub fn try_run_comparison(
     id: ExperimentId,
     study: &ComparisonStudy,
 ) -> Result<Vec<Table>, StudyError> {
+    let _span = obs::span!("experiment.{id:?}");
     Ok(match id {
         ExperimentId::Fig6 => {
             let mut t = Table::new("Figure 6: cross-suite dendrogram", &["Dendrogram"]);
@@ -169,14 +180,14 @@ pub fn try_run_comparison(
             }
             vec![t]
         }
-        ExperimentId::Fig7 => vec![study.try_instruction_mix_pca()?.to_table()],
-        ExperimentId::Fig8 => vec![study.try_working_set_pca()?.to_table()],
-        ExperimentId::Fig9 => vec![study.try_sharing_pca()?.to_table()],
-        ExperimentId::Fig10 => vec![study.miss_rates_4mb()],
+        ExperimentId::Fig7 => vec![study.try_instruction_mix_pca()?.try_to_table()?],
+        ExperimentId::Fig8 => vec![study.try_working_set_pca()?.try_to_table()?],
+        ExperimentId::Fig9 => vec![study.try_sharing_pca()?.try_to_table()?],
+        ExperimentId::Fig10 => vec![study.try_miss_rates_4mb()?],
         ExperimentId::Fig11 => {
-            vec![footprints::footprint_study(study).instruction_table()]
+            vec![footprints::footprint_study(study).try_instruction_table()?]
         }
-        ExperimentId::Fig12 => vec![footprints::footprint_study(study).data_table()],
+        ExperimentId::Fig12 => vec![footprints::footprint_study(study).try_data_table()?],
         other => {
             return Err(StudyError::Registry {
                 id: format!("{other:?}"),

@@ -1,6 +1,7 @@
 //! Instruction and data footprints (Figures 11 and 12).
 
 use crate::comparison::ComparisonStudy;
+use crate::error::StudyError;
 use crate::report::Table;
 
 /// Footprint data for all workloads in the study.
@@ -11,28 +12,40 @@ pub struct FootprintStudy {
 }
 
 impl FootprintStudy {
-    /// Figure 11's series: 64-byte instruction blocks touched.
+    /// Figure 11's series: 64-byte instruction blocks touched. Prefer
+    /// [`FootprintStudy::try_instruction_table`] in fallible pipelines.
     pub fn instruction_table(&self) -> Table {
+        self.try_instruction_table().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`FootprintStudy::instruction_table`].
+    pub fn try_instruction_table(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(
             "Figure 11: 64-byte instruction blocks touched",
             &["Workload", "Instruction blocks"],
         );
         for (l, i, _) in &self.rows {
-            t.push(vec![l.clone(), i.to_string()]);
+            t.try_push(vec![l.clone(), i.to_string()])?;
         }
-        t
+        Ok(t)
     }
 
-    /// Figure 12's series: 4 kB data blocks touched.
+    /// Figure 12's series: 4 kB data blocks touched. Prefer
+    /// [`FootprintStudy::try_data_table`] in fallible pipelines.
     pub fn data_table(&self) -> Table {
+        self.try_data_table().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`FootprintStudy::data_table`].
+    pub fn try_data_table(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(
             "Figure 12: 4 kB data blocks touched",
             &["Workload", "Data blocks"],
         );
         for (l, _, d) in &self.rows {
-            t.push(vec![l.clone(), d.to_string()]);
+            t.try_push(vec![l.clone(), d.to_string()])?;
         }
-        t
+        Ok(t)
     }
 
     /// Instruction blocks of one workload (by label prefix).

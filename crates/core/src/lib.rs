@@ -38,6 +38,7 @@ pub mod error;
 pub mod experiments;
 pub mod features;
 pub mod footprints;
+pub mod manifest;
 pub mod report;
 pub mod sensitivity;
 pub mod suite;

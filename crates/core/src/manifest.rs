@@ -1,0 +1,208 @@
+//! JSON run manifests: a machine-readable record of one `repro`
+//! invocation.
+//!
+//! A manifest captures everything a run produced — every rendered
+//! [`Table`], every `simt` kernel-stats record (with its stall
+//! breakdown and occupancy timeline, collected through the `obs`
+//! record buffer), and the wall-clock span timings from the global
+//! [`obs::Registry`] — as one self-describing JSON document. It is the
+//! first `BENCH_*.json`-style artifact of the repo; external tooling
+//! should dispatch on the `schema` tag.
+//!
+//! Schema (`rodinia-repro.manifest/v1`):
+//!
+//! ```text
+//! {
+//!   "schema": "rodinia-repro.manifest/v1",
+//!   "scale": "tiny",
+//!   "experiments": [
+//!     { "id": "Fig1", "wall_us": 1234,
+//!       "tables": [ { "title": ..., "columns": [...], "rows": [[...]] } ] },
+//!     ...
+//!   ],
+//!   "kernel_stats": [ <simt::KernelStats::to_json() objects> ... ],
+//!   "dropped_kernel_stats": 0,
+//!   "telemetry": { "counters": {...}, "gauges": {...}, "spans": {...} }
+//! }
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use obs::Json;
+
+use crate::error::StudyError;
+use crate::report::Table;
+use datasets::Scale;
+
+/// The manifest schema identifier written into every document.
+pub const MANIFEST_SCHEMA: &str = "rodinia-repro.manifest/v1";
+
+/// File name of the manifest inside the output directory.
+pub const MANIFEST_FILE: &str = "BENCH_manifest.json";
+
+/// Serializes a rendered [`Table`] (title, columns, row cells).
+pub fn table_to_json(t: &Table) -> Json {
+    Json::obj(vec![
+        ("title", Json::from(t.title.as_str())),
+        (
+            "columns",
+            Json::from(t.columns.iter().map(|c| Json::from(c.as_str())).collect::<Vec<_>>()),
+        ),
+        (
+            "rows",
+            Json::from(
+                t.rows
+                    .iter()
+                    .map(|r| {
+                        Json::from(r.iter().map(|c| Json::from(c.as_str())).collect::<Vec<_>>())
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+}
+
+/// Accumulates one run's experiments into a manifest document.
+///
+/// Construct it before running experiments (it turns on the `obs`
+/// record buffer so kernel-stats records are captured), push each
+/// experiment's tables as they complete, and call
+/// [`ManifestBuilder::write`] once at the end.
+#[derive(Debug)]
+pub struct ManifestBuilder {
+    scale: Scale,
+    experiments: Vec<Json>,
+}
+
+impl ManifestBuilder {
+    /// Starts a manifest for a run at `scale`, enabling kernel-stats
+    /// recording.
+    pub fn new(scale: Scale) -> ManifestBuilder {
+        obs::set_recording(true);
+        ManifestBuilder {
+            scale,
+            experiments: Vec::new(),
+        }
+    }
+
+    /// Appends one completed experiment with its rendered tables and
+    /// wall-clock duration.
+    pub fn push_experiment(&mut self, id: &str, tables: &[Table], wall_us: u64) {
+        self.experiments.push(Json::obj(vec![
+            ("id", Json::from(id)),
+            ("wall_us", Json::u64(wall_us)),
+            (
+                "tables",
+                Json::from(tables.iter().map(table_to_json).collect::<Vec<_>>()),
+            ),
+        ]));
+    }
+
+    /// Number of experiments pushed so far.
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// Whether no experiment has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    /// Finalizes the document: drains the `obs` record buffer for
+    /// kernel stats and snapshots the global registry (span timings and
+    /// counters).
+    pub fn build(self) -> Json {
+        let (records, dropped) = obs::drain_records();
+        let kernel_stats: Vec<Json> = records
+            .into_iter()
+            .filter(|r| r.kind == "kernel_stats")
+            .map(|r| r.value)
+            .collect();
+        let scale = match self.scale {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        };
+        Json::obj(vec![
+            ("schema", Json::from(MANIFEST_SCHEMA)),
+            ("scale", Json::from(scale)),
+            ("experiments", Json::from(self.experiments)),
+            ("kernel_stats", Json::from(kernel_stats)),
+            ("dropped_kernel_stats", Json::u64(dropped)),
+            ("telemetry", obs::Registry::global().snapshot_json()),
+        ])
+    }
+
+    /// Builds the document and writes it to `dir/BENCH_manifest.json`,
+    /// creating `dir` if needed. Returns the written path.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::Io`] if the directory cannot be created or the
+    /// file cannot be written.
+    pub fn write(self, dir: &Path) -> Result<PathBuf, StudyError> {
+        let io_err = |path: &Path, e: std::io::Error| StudyError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        };
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let path = dir.join(MANIFEST_FILE);
+        let doc = self.build();
+        fs::write(&path, format!("{doc}\n")).map_err(|e| io_err(&path, e))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_table() -> Table {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push(vec!["alpha".into(), "1.5".into()]);
+        t
+    }
+
+    #[test]
+    fn table_round_trips_through_json() {
+        let j = table_to_json(&demo_table());
+        let text = j.to_string();
+        let back = Json::parse(&text).expect("table JSON parses");
+        assert_eq!(back.get("title").and_then(Json::as_str), Some("Demo"));
+        let rows = back.get("rows").and_then(Json::as_arr).expect("rows");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].as_arr().expect("cells").len(), 2);
+    }
+
+    #[test]
+    fn manifest_document_is_self_describing() {
+        let mut b = ManifestBuilder::new(Scale::Tiny);
+        assert!(b.is_empty());
+        b.push_experiment("Demo", &[demo_table()], 42);
+        assert_eq!(b.len(), 1);
+        let doc = b.build();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(MANIFEST_SCHEMA)
+        );
+        assert_eq!(doc.get("scale").and_then(Json::as_str), Some("tiny"));
+        let exps = doc.get("experiments").and_then(Json::as_arr).expect("arr");
+        assert_eq!(exps.len(), 1);
+        assert_eq!(exps[0].get("wall_us").and_then(Json::as_f64), Some(42.0));
+        // The document is parseable as written.
+        assert!(Json::parse(&doc.to_string()).is_ok());
+    }
+
+    #[test]
+    fn write_creates_directory_and_file() {
+        let dir = std::env::temp_dir().join("rodinia-manifest-test");
+        let _ = fs::remove_dir_all(&dir);
+        let mut b = ManifestBuilder::new(Scale::Tiny);
+        b.push_experiment("Demo", &[demo_table()], 1);
+        let path = b.write(&dir).expect("write succeeds");
+        let text = fs::read_to_string(&path).expect("file exists");
+        assert!(Json::parse(&text).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -85,34 +85,46 @@ impl PbStudy {
         pairs
     }
 
-    /// Renders the per-benchmark ranked effects.
+    /// Renders the per-benchmark ranked effects. Prefer
+    /// [`PbStudy::try_to_table`] in fallible pipelines.
     pub fn to_table(&self) -> Table {
+        self.try_to_table().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PbStudy::to_table`].
+    pub fn try_to_table(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(
             "Plackett-Burman sensitivity: top factors per benchmark (effect on cycles)",
             &["Benchmark", "1st", "2nd", "3rd"],
         );
         for (name, res) in &self.per_benchmark {
             let ranked = res.ranked();
-            t.push(vec![
+            t.try_push(vec![
                 name.clone(),
                 format!("{} ({})", ranked[0].0, f1(ranked[0].1)),
                 format!("{} ({})", ranked[1].0, f1(ranked[1].1)),
                 format!("{} ({})", ranked[2].0, f1(ranked[2].1)),
-            ]);
+            ])?;
         }
-        t
+        Ok(t)
     }
 
-    /// Renders the aggregate factor ranking.
+    /// Renders the aggregate factor ranking. Prefer
+    /// [`PbStudy::try_aggregate_table`] in fallible pipelines.
     pub fn aggregate_table(&self) -> Table {
+        self.try_aggregate_table().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PbStudy::aggregate_table`].
+    pub fn try_aggregate_table(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(
             "Plackett-Burman sensitivity: aggregate factor importance",
             &["Factor", "Mean normalized |effect|"],
         );
         for (f, v) in self.aggregate() {
-            t.push(vec![f, format!("{v:.3}")]);
+            t.try_push(vec![f, format!("{v:.3}")])?;
         }
-        t
+        Ok(t)
     }
 }
 
@@ -134,6 +146,7 @@ pub fn try_pb_study(scale: Scale, subset: Option<&[&str]>) -> Result<PbStudy, St
                 continue;
             }
         }
+        let _bench = obs::span!("bench.{}", b.abbrev());
         // Response: total cycles under each design point. Benchmarks may
         // launch many kernels, so we re-run the whole application per
         // design point via the cheap path: capture stats directly.

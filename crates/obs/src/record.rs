@@ -1,0 +1,111 @@
+//! A bounded buffer of structured records for run manifests.
+//!
+//! The manifest writer (`repro --json`) cannot thread a collector through
+//! every layer of the stack, so instrumentation sites publish records
+//! here instead: [`record_with`] is a no-op (one relaxed atomic load)
+//! unless recording was switched on with [`set_recording`] or a sink is
+//! installed. The buffer is bounded; once full, new records are counted
+//! as dropped rather than growing without limit.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+use crate::sink::{emit_with, sinks_active, Event, EventKind};
+
+/// Upper bound on buffered records (a full `repro all` run produces a
+/// few thousand).
+pub const MAX_RECORDS: usize = 65_536;
+
+/// One buffered record.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Record kind (e.g. `kernel_stats`).
+    pub kind: String,
+    /// Structured payload.
+    pub value: Json,
+}
+
+static RECORDING: AtomicBool = AtomicBool::new(false);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Turns record buffering on or off.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Whether records are currently being buffered.
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Publishes a record of `kind` built by `build`. The closure is only
+/// evaluated when recording is on or a sink is installed; the value goes
+/// to the buffer (bounded) and to sinks as a [`EventKind::Record`] event.
+pub fn record_with(kind: &str, build: impl FnOnce() -> Json) {
+    let buffering = recording();
+    if !buffering && !sinks_active() {
+        return;
+    }
+    let value = build();
+    if buffering {
+        let mut g = RECORDS.lock().unwrap_or_else(|e| e.into_inner());
+        if g.len() < MAX_RECORDS {
+            g.push(Record {
+                kind: kind.to_string(),
+                value: value.clone(),
+            });
+        } else {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    // The payload always nests under one "value" field: flattening an
+    // object payload could collide with the envelope's reserved keys
+    // (ts_us/kind/name).
+    emit_with(|| Event {
+        kind: EventKind::Record,
+        name: kind.to_string(),
+        fields: vec![("value".to_string(), value)],
+    });
+}
+
+/// Drains every buffered record, returning them together with the count
+/// of records dropped since the last drain.
+pub fn drain_records() -> (Vec<Record>, u64) {
+    let mut g = RECORDS.lock().unwrap_or_else(|e| e.into_inner());
+    let records = std::mem::take(&mut *g);
+    let dropped = DROPPED.swap(0, Ordering::Relaxed);
+    (records, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_only_buffer_while_recording() {
+        // Global state: drain whatever other tests left behind first.
+        set_recording(false);
+        crate::sink::clear_sinks();
+        let _ = drain_records();
+
+        let mut evaluated = false;
+        record_with("t", || {
+            evaluated = true;
+            Json::Null
+        });
+        assert!(!evaluated, "closure must not run while disabled");
+
+        set_recording(true);
+        record_with("t", || Json::obj(vec![("x", Json::u64(1))]));
+        set_recording(false);
+        let (records, dropped) = drain_records();
+        assert_eq!(dropped, 0);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].kind, "t");
+        assert_eq!(records[0].value.get("x").and_then(Json::as_f64), Some(1.0));
+        // Drained: buffer is empty now.
+        assert!(drain_records().0.is_empty());
+    }
+}

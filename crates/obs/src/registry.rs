@@ -1,0 +1,206 @@
+//! The global metric registry: named counters, gauges, and span
+//! statistics.
+//!
+//! The registry is a process-wide accumulator; every instrumented crate
+//! (`simt`, `tracekit`, `core`) writes into the same instance via
+//! [`Registry::global`], and the run manifest snapshots it at the end.
+//! All operations take a single mutex, so they are cheap enough for
+//! per-launch / per-profile granularity but should not be called from
+//! per-cycle hot loops.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+use crate::json::Json;
+
+/// Aggregate timing of all closed spans sharing one name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall-clock time across them, in microseconds.
+    pub total_us: u64,
+    /// Longest single span, in microseconds.
+    pub max_us: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    spans: BTreeMap<String, SpanStat>,
+}
+
+/// A set of named counters, gauges, and span statistics.
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+static GLOBAL: Registry = Registry::new();
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Registry {
+        Registry {
+            inner: Mutex::new(Inner {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                spans: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// The process-wide registry shared by all instrumented crates.
+    pub fn global() -> &'static Registry {
+        &GLOBAL
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // Metric state stays usable even if a panicking thread held the
+        // lock; counters are monotonic so the worst case is a lost update.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut g = self.lock();
+        *g.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut g = self.lock();
+        g.gauges.insert(name.to_string(), value);
+    }
+
+    /// Folds one completed span of `dur_us` microseconds into `name`.
+    pub fn record_span(&self, name: &str, dur_us: u64) {
+        let mut g = self.lock();
+        let s = g.spans.entry(name.to_string()).or_default();
+        s.count += 1;
+        s.total_us += dur_us;
+        s.max_us = s.max_us.max(dur_us);
+    }
+
+    /// Current value of counter `name` (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Aggregate statistics of span `name`.
+    pub fn span_stat(&self, name: &str) -> Option<SpanStat> {
+        self.lock().spans.get(name).copied()
+    }
+
+    /// Clears every counter, gauge, and span statistic. Intended for
+    /// tests and benchmarks that need isolation from earlier runs.
+    pub fn reset(&self) {
+        let mut g = self.lock();
+        g.counters.clear();
+        g.gauges.clear();
+        g.spans.clear();
+    }
+
+    /// Snapshots the whole registry as a JSON object with `counters`,
+    /// `gauges`, and `spans` members (keys sorted, deterministic).
+    pub fn snapshot_json(&self) -> Json {
+        let g = self.lock();
+        let counters = g
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::u64(v)))
+            .collect();
+        let gauges = g
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Num(v)))
+            .collect();
+        let spans = g
+            .spans
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    Json::obj(vec![
+                        ("count", Json::u64(s.count)),
+                        ("total_us", Json::u64(s.total_us)),
+                        ("max_us", Json::u64(s.max_us)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("spans".to_string(), Json::Obj(spans)),
+        ])
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.add("x", 3);
+        r.add("x", 4);
+        assert_eq!(r.counter("x"), 7);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = Registry::new();
+        r.set_gauge("g", 1.5);
+        r.set_gauge("g", 2.5);
+        assert_eq!(r.gauge("g"), Some(2.5));
+        assert_eq!(r.gauge("missing"), None);
+    }
+
+    #[test]
+    fn spans_fold() {
+        let r = Registry::new();
+        r.record_span("s", 10);
+        r.record_span("s", 30);
+        let s = r.span_stat("s").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_us, 40);
+        assert_eq!(s.max_us, 30);
+    }
+
+    #[test]
+    fn snapshot_and_reset() {
+        let r = Registry::new();
+        r.add("c", 1);
+        r.set_gauge("g", 0.5);
+        r.record_span("s", 7);
+        let snap = r.snapshot_json();
+        assert_eq!(
+            snap.get("counters").and_then(|c| c.get("c")).and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            snap.get("spans")
+                .and_then(|s| s.get("s"))
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        r.reset();
+        assert_eq!(r.counter("c"), 0);
+        assert!(r.span_stat("s").is_none());
+    }
+}

@@ -1,0 +1,84 @@
+//! RAII timing spans.
+//!
+//! A [`Span`] measures the wall-clock time between its creation and drop
+//! on the monotonic clock ([`std::time::Instant`]), folds the duration
+//! into the global [`Registry`](crate::Registry), and — when sinks are
+//! installed — emits `span_start` / `span_end` events.
+
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::registry::Registry;
+use crate::sink::{emit_with, Event, EventKind};
+
+/// An open span; closes (and records itself) on drop.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span named `name`.
+    pub fn enter(name: impl Into<String>) -> Span {
+        let name = name.into();
+        emit_with(|| Event {
+            kind: EventKind::SpanStart,
+            name: name.clone(),
+            fields: vec![],
+        });
+        Span {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur_us = self.start.elapsed().as_micros() as u64;
+        Registry::global().record_span(&self.name, dur_us);
+        emit_with(|| Event {
+            kind: EventKind::SpanEnd,
+            name: self.name.clone(),
+            fields: vec![("dur_us".to_string(), Json::u64(dur_us))],
+        });
+    }
+}
+
+/// Opens a [`Span`] with a `format!`-style name; bind the result to keep
+/// it open:
+///
+/// ```
+/// let _span = obs::span!("experiment.{}", "fig1");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($($arg:tt)*) => {
+        $crate::Span::enter(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_global_registry() {
+        let name = "obs-test.span_records";
+        {
+            let _s = Span::enter(name);
+        }
+        {
+            let _s = crate::span!("obs-test.{}", "span_records");
+        }
+        let stat = Registry::global().span_stat(name).unwrap();
+        assert!(stat.count >= 2);
+        assert!(stat.max_us <= stat.total_us);
+    }
+}

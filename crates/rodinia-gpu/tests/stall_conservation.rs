@@ -1,0 +1,56 @@
+//! Stall-cycle conservation across the whole suite: for every Rodinia
+//! GPU benchmark, the six stall-breakdown components must sum *exactly*
+//! to the total SM cycles (`num_sms * cycles`) — every cycle of every
+//! SM is attributed to exactly one category.
+
+use datasets::Scale;
+use rodinia_gpu::suite::all_benchmarks;
+use simt::{Gpu, GpuConfig};
+
+#[test]
+fn stall_components_sum_to_sm_cycles_for_every_benchmark() {
+    let cfg = GpuConfig::gpgpusim_default();
+    for b in all_benchmarks(Scale::Tiny) {
+        let mut gpu = Gpu::new(cfg.clone());
+        let s = b.run_on(&mut gpu);
+        assert!(s.cycles > 0, "{} must simulate cycles", b.abbrev());
+        assert_eq!(
+            s.stall.total(),
+            cfg.num_sms as u64 * s.cycles,
+            "{}: stall components must sum to total SM cycles \
+             (issue={} mem={} bank={} div={} barrier={} empty={})",
+            b.abbrev(),
+            s.stall.issue,
+            s.stall.mem_pending,
+            s.stall.bank_conflict,
+            s.stall.divergence,
+            s.stall.barrier,
+            s.stall.empty,
+        );
+        // Something must have issued, and no benchmark keeps all 28 SMs
+        // busy every cycle at tiny scale.
+        assert!(s.stall.issue > 0, "{} must have issue cycles", b.abbrev());
+        assert!(
+            s.stall.total() > s.stall.issue,
+            "{} must have non-issue cycles",
+            b.abbrev()
+        );
+    }
+}
+
+#[test]
+fn conservation_holds_on_the_8sm_configuration() {
+    // The Figure 1 low-end machine exercises different occupancy and
+    // tail behavior; the invariant must hold there too.
+    let cfg = GpuConfig::gpgpusim_8sm();
+    for b in all_benchmarks(Scale::Tiny) {
+        let mut gpu = Gpu::new(cfg.clone());
+        let s = b.run_on(&mut gpu);
+        assert_eq!(
+            s.stall.total(),
+            cfg.num_sms as u64 * s.cycles,
+            "{}: conservation on 8 SMs",
+            b.abbrev()
+        );
+    }
+}

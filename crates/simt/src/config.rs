@@ -161,6 +161,12 @@ pub struct GpuConfig {
     pub lane_compaction: bool,
     /// Abort budget for runaway launches (see [`WatchdogBudget`]).
     pub watchdog: WatchdogBudget,
+    /// Occupancy/DRAM timeline sampling period in core cycles
+    /// (see [`crate::stats::Timeline`]); 0 disables sampling.
+    pub timeline_sample_period: u64,
+    /// Maximum retained timeline samples per launch; the oldest are
+    /// dropped once the ring fills, bounding telemetry memory.
+    pub timeline_capacity: usize,
 }
 
 impl GpuConfig {
@@ -205,6 +211,8 @@ impl GpuConfig {
             sched_policy: SchedPolicy::RoundRobin,
             lane_compaction: false,
             watchdog: WatchdogBudget::default(),
+            timeline_sample_period: 4096,
+            timeline_capacity: 512,
         }
     }
 
@@ -370,6 +378,9 @@ impl GpuConfig {
         if !clock_ok(self.core_clock_ghz) || !clock_ok(self.mem_clock_ghz) {
             return Some("clocks must be finite and positive".into());
         }
+        if self.timeline_sample_period > 0 && self.timeline_capacity == 0 {
+            return Some("timeline_capacity must be positive when sampling is enabled".into());
+        }
         None
     }
 }
@@ -476,6 +487,12 @@ mod tests {
         assert!(c.validate().is_err());
         let c = GpuConfig::gpgpusim_default().with_num_sms(0);
         assert!(c.validate().is_err());
+        let mut c = GpuConfig::gpgpusim_default();
+        c.timeline_sample_period = 1024;
+        c.timeline_capacity = 0;
+        assert!(c.validate().is_err());
+        c.timeline_sample_period = 0;
+        assert!(c.validate().is_ok(), "capacity unused when sampling is off");
     }
 
     #[test]

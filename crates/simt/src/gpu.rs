@@ -7,7 +7,9 @@ use crate::isa::TOp;
 use crate::kernel::Kernel;
 use crate::memory::GpuMem;
 use crate::sm::{ctas_per_sm, CtaRt, SmRt, WarpRt};
-use crate::stats::{KernelStats, MemMix, OccupancyHistogram};
+use crate::stats::{
+    KernelStats, MemMix, OccupancyHistogram, StallBreakdown, Timeline, TimelineSample,
+};
 use crate::trace::{try_trace_kernel, KernelTrace};
 use crate::dram::Dram;
 
@@ -242,9 +244,12 @@ pub fn try_time_traces_concurrent(
             reason: e,
         })?;
     }
+    let _span = obs::span!("simt.replay.{}", traces[0].name);
     let mut engine = Engine::new(traces, cfg);
     engine.run()?;
-    Ok(engine.into_stats())
+    let stats = engine.into_stats();
+    obs::record_with("kernel_stats", || stats.combined.to_json());
+    Ok(stats)
 }
 
 struct Engine<'a> {
@@ -266,6 +271,14 @@ struct Engine<'a> {
     warp_instructions: u64,
     mem_mix: MemMix,
     occupancy: OccupancyHistogram,
+    // telemetry: per-SM stall attribution and the sampled timeline
+    stalls: Vec<StallBreakdown>,
+    samples: std::collections::VecDeque<TimelineSample>,
+    dropped_samples: u64,
+    next_sample: u64,
+    last_dram_busy: u64,
+    /// Maximum resident warps across the GPU (occupancy denominator).
+    warp_capacity: f64,
 }
 
 impl<'a> Engine<'a> {
@@ -297,6 +310,14 @@ impl<'a> Engine<'a> {
             warp_instructions: 0,
             mem_mix: MemMix::default(),
             occupancy: OccupancyHistogram::new(cfg.warp_size as usize),
+            stalls: vec![StallBreakdown::default(); cfg.num_sms as usize],
+            samples: std::collections::VecDeque::new(),
+            dropped_samples: 0,
+            next_sample: cfg.timeline_sample_period.max(1),
+            last_dram_busy: 0,
+            warp_capacity: (cfg.num_sms as u64
+                * (cfg.max_threads_per_sm / cfg.warp_size).max(1) as u64)
+                as f64,
         };
         // Initial breadth-first CTA placement, as GPGPU-Sim does: sweep
         // the SMs round after round until the head of the queue no
@@ -345,6 +366,7 @@ impl<'a> Engine<'a> {
                 pc: 0,
                 ready_at: at,
                 at_barrier: false,
+                waiting_mem: false,
                 done: false,
                 last_issue: 0,
             });
@@ -393,14 +415,89 @@ impl<'a> Engine<'a> {
             if self.live_warps == 0 {
                 break;
             }
-            if issued_any {
-                self.cycle += 1;
+            let next = if issued_any {
+                self.cycle + 1
             } else {
-                self.fast_forward()?;
-            }
+                self.next_wake()?
+            };
+            self.account_interval(self.cycle, next);
+            self.cycle = next;
         }
         self.horizon = self.horizon.max(self.cycle);
         Ok(())
+    }
+
+    /// Attributes each SM's cycles in `[from, to)` to stall categories.
+    ///
+    /// Issues only happen at interval starts, so within the interval an
+    /// SM's busy cycles are the contiguous prefix up to `port_free_at`
+    /// (already charged to issue/bank-conflict/divergence at issue time);
+    /// the idle remainder is classified from the SM's warp state, which
+    /// cannot change mid-interval.
+    fn account_interval(&mut self, from: u64, to: u64) {
+        debug_assert!(to > from);
+        let delta = to - from;
+        for si in 0..self.sms.len() {
+            let busy = self.sms[si].port_free_at.clamp(from, to) - from;
+            let idle = delta - busy;
+            if idle == 0 {
+                continue;
+            }
+            let mut any_live = false;
+            let mut any_mem = false;
+            let mut all_barrier = true;
+            for &w in &self.sms[si].warps {
+                let warp = &self.warps[w];
+                if warp.done {
+                    continue;
+                }
+                any_live = true;
+                if warp.at_barrier {
+                    continue;
+                }
+                all_barrier = false;
+                if warp.waiting_mem {
+                    any_mem = true;
+                }
+            }
+            let st = &mut self.stalls[si];
+            if !any_live {
+                st.empty += idle;
+            } else if any_mem {
+                st.mem_pending += idle;
+            } else if all_barrier {
+                st.barrier += idle;
+            } else {
+                // Warps waiting on compute latency or a CTA-launch window.
+                st.issue += idle;
+            }
+        }
+        self.sample_timeline(to);
+    }
+
+    /// Emits timeline samples for every period boundary up to `upto`.
+    fn sample_timeline(&mut self, upto: u64) {
+        let period = self.cfg.timeline_sample_period;
+        if period == 0 {
+            return;
+        }
+        while self.next_sample <= upto {
+            let busy = self.dram.busy_cycles();
+            let window = (self.cfg.mem_channels as u64 * period) as f64;
+            let dram_util = ((busy - self.last_dram_busy) as f64 / window).min(1.0);
+            self.last_dram_busy = busy;
+            if self.samples.len() == self.cfg.timeline_capacity {
+                self.samples.pop_front();
+                self.dropped_samples += 1;
+            }
+            self.samples.push_back(TimelineSample {
+                cycle: self.next_sample,
+                live_warps: self.live_warps as u32,
+                occupancy: self.live_warps as f64 / self.warp_capacity,
+                dram_util,
+            });
+            self.next_sample += period;
+        }
     }
 
     /// Selects an issuable warp on `sm` according to the configured
@@ -449,7 +546,9 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn fast_forward(&mut self) -> Result<(), SimError> {
+    /// The next cycle at which any warp could issue (fast-forward
+    /// target), or a deadlock error if no warp can ever become ready.
+    fn next_wake(&self) -> Result<u64, SimError> {
         let mut next = u64::MAX;
         for (si, sm) in self.sms.iter().enumerate() {
             for &w in &sm.warps {
@@ -466,8 +565,7 @@ impl<'a> Engine<'a> {
                 warps_parked: self.live_warps,
             });
         }
-        self.cycle = next.max(self.cycle + 1);
-        Ok(())
+        Ok(next.max(self.cycle + 1))
     }
 
     fn issue(&mut self, sm: usize, w: usize) {
@@ -557,6 +655,40 @@ impl<'a> Engine<'a> {
                 self.arrive_barrier(w);
                 (1, cycle + 1)
             }
+        };
+
+        // Split the port-busy cycles into stall categories: bank-conflict
+        // replay beats, divergence-masked issue slots, and true issue.
+        // `slots` is the number of `ic`-cycle issue slots the op occupies;
+        // lanes masked off by divergence waste `ic - ceil(lanes/simd)`
+        // cycles of each (zero when lane compaction is modeled, where
+        // `ic` is already compacted).
+        let (slots, bank_extra) = match op {
+            TOp::Alu { n, .. } | TOp::Param { n, .. } => (*n as u64, 0),
+            TOp::Sfu { n, .. } => (4 * *n as u64, 0),
+            TOp::Const { unique, .. } => (*unique as u64, 0),
+            TOp::Shared { degree, .. } => {
+                let d = if self.cfg.model_bank_conflicts {
+                    *degree as u64
+                } else {
+                    1
+                };
+                (1, ic * (d - 1))
+            }
+            TOp::Branch { .. } | TOp::Tex { .. } | TOp::Gmem { .. } => (1, 0),
+            TOp::Bar => (0, 0),
+        };
+        let compact = (op.lanes().max(1) as u64).div_ceil(self.cfg.simd_width as u64);
+        let divergence = ic.saturating_sub(compact) * slots;
+        {
+            let st = &mut self.stalls[sm];
+            st.bank_conflict += bank_extra;
+            st.divergence += divergence;
+            st.issue += port_busy - bank_extra - divergence;
+        }
+        self.warps[w].waiting_mem = match op {
+            TOp::Gmem { store, .. } => !*store,
+            _ => op.mem_space().is_some(),
         };
 
         self.sms[sm].port_free_at = cycle.max(self.sms[sm].port_free_at) + port_busy;
@@ -669,6 +801,45 @@ impl<'a> Engine<'a> {
         // Outstanding stores keep DRAM channels busy past the last
         // warp's retirement; the kernel is not done until they drain.
         self.horizon = self.horizon.max(self.dram.drain_cycle());
+        // Close the stall accounting over the drain tail [cycle, horizon):
+        // any residual port occupancy is already charged as busy; the
+        // remainder is ramp-down with no live warps, i.e. `empty`. Port
+        // occupancy scheduled past the horizon never executed inside the
+        // measured window, so it is refunded from the busy categories —
+        // keeping the invariant that components sum to num_sms * cycles.
+        let end = self.horizon;
+        for si in 0..self.sms.len() {
+            let pfa = self.sms[si].port_free_at;
+            let from = self.cycle;
+            if end > from {
+                let busy = pfa.clamp(from, end) - from;
+                self.stalls[si].empty += (end - from) - busy;
+            }
+            let mut over = pfa.saturating_sub(end);
+            let st = &mut self.stalls[si];
+            for cat in [&mut st.issue, &mut st.bank_conflict, &mut st.divergence] {
+                let take = (*cat).min(over);
+                *cat -= take;
+                over -= take;
+            }
+            debug_assert_eq!(over, 0, "port overshoot exceeds busy accounting");
+        }
+        self.sample_timeline(end.saturating_sub(1));
+        let mut stall = StallBreakdown::default();
+        for s in &self.stalls {
+            stall.merge(s);
+        }
+        debug_assert_eq!(
+            stall.total(),
+            self.cfg.num_sms as u64 * end,
+            "stall components must sum to total SM cycles"
+        );
+        let timeline = Timeline {
+            period: self.cfg.timeline_sample_period,
+            capacity: self.cfg.timeline_capacity,
+            samples: self.samples.iter().copied().collect(),
+            dropped: self.dropped_samples,
+        };
         let mut l1_hits = 0;
         let mut l1_misses = 0;
         let mut tex_hits = 0;
@@ -711,6 +882,8 @@ impl<'a> Engine<'a> {
             l2_misses,
             tex_hits,
             tex_misses,
+            stall,
+            timeline,
             launches: 1,
         };
         ConcurrentStats {
@@ -976,6 +1149,77 @@ mod tests {
             fast.cycles,
             base.cycles
         );
+    }
+
+    #[test]
+    fn stall_breakdown_conserves_cycles() {
+        // The invariant: stall components sum to num_sms * cycles,
+        // across compute-bound, memory-bound, divergent, and
+        // shared-memory-conflict-free kernels and all presets.
+        let check = |stats: &KernelStats, cfg: &GpuConfig| {
+            assert_eq!(
+                stats.stall.total(),
+                cfg.num_sms as u64 * stats.cycles,
+                "{} on {}: {:?}",
+                stats.name,
+                cfg.name,
+                stats.stall
+            );
+        };
+        for cfg in [
+            GpuConfig::gpgpusim_default(),
+            GpuConfig::gpgpusim_8sm(),
+            GpuConfig::gtx280(),
+            GpuConfig::gtx480_l1_bias(),
+        ] {
+            let s = run(&Compute { n: 4 * 1024, iters: 16 }, &cfg, |_| {});
+            check(&s, &cfg);
+        }
+        let cfg = GpuConfig::gpgpusim_default();
+        let mut mem = GpuMem::new();
+        let n = 16 * 1024;
+        let buf = mem.alloc_f32_zeroed("buf", n * 16);
+        let trace = trace_kernel(&Stream { buf, n, stride: 16 }, &mut mem, &cfg);
+        let s = time_trace(&trace, &cfg);
+        check(&s, &cfg);
+        assert!(s.stall.mem_pending > 0, "streaming kernel must stall on memory");
+    }
+
+    #[test]
+    fn divergence_stalls_appear_under_narrow_simd() {
+        let k = Compute { n: 2 * 1024, iters: 16 };
+        let mut cfg = GpuConfig::gpgpusim_8sm();
+        cfg.simd_width = 8;
+        cfg.name = "narrow".into();
+        let full = run(&k, &cfg, |_| {});
+        // Fully populated warps: no divergence waste even when each warp
+        // issues over several cycles.
+        assert_eq!(full.stall.divergence, 0);
+        assert_eq!(full.stall.total(), cfg.num_sms as u64 * full.cycles);
+    }
+
+    #[test]
+    fn timeline_is_sampled_and_bounded() {
+        let mut cfg = GpuConfig::gpgpusim_8sm();
+        cfg.timeline_sample_period = 64;
+        cfg.timeline_capacity = 8;
+        cfg.name = "sampled".into();
+        let s = run(&Compute { n: 8 * 1024, iters: 64 }, &cfg, |_| {});
+        assert!(!s.timeline.samples.is_empty());
+        assert!(s.timeline.samples.len() <= 8);
+        assert!(s.timeline.dropped > 0, "long run must wrap the ring");
+        for w in s.timeline.samples.windows(2) {
+            assert!(w[0].cycle < w[1].cycle);
+        }
+        for sample in &s.timeline.samples {
+            assert!(sample.occupancy >= 0.0 && sample.occupancy <= 1.0);
+            assert!(sample.dram_util >= 0.0 && sample.dram_util <= 1.0);
+        }
+        // Sampling can be disabled entirely.
+        cfg.timeline_sample_period = 0;
+        cfg.name = "unsampled".into();
+        let s = run(&Compute { n: 1024, iters: 4 }, &cfg, |_| {});
+        assert!(s.timeline.samples.is_empty());
     }
 
     #[test]

@@ -84,5 +84,5 @@ pub use gpu::{
 pub use isa::{ActiveMask, MemSpace, TOp};
 pub use kernel::{GridShape, Kernel, PhaseControl, WarpCtx};
 pub use memory::{BufF32, BufU32, GpuMem};
-pub use stats::{KernelStats, MemMix, OccupancyHistogram};
+pub use stats::{KernelStats, MemMix, OccupancyHistogram, StallBreakdown, Timeline, TimelineSample};
 pub use trace::{try_trace_kernel, KernelTrace, trace_kernel};

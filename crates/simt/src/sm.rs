@@ -23,6 +23,10 @@ pub(crate) struct WarpRt {
     pub ready_at: u64,
     /// Whether the warp is parked at a barrier.
     pub at_barrier: bool,
+    /// Whether the warp's most recent issue is waiting on a memory
+    /// access (stall-attribution input; false for stores, which retire
+    /// through the write buffer without stalling the warp).
+    pub waiting_mem: bool,
     /// Whether the warp has drained its trace.
     pub done: bool,
     /// Cycle of this warp's most recent issue (greedy-then-oldest input).

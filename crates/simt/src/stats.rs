@@ -2,7 +2,163 @@
 
 use std::fmt;
 
+use obs::Json;
+
 use crate::isa::MemSpace;
+
+/// Where every SM cycle of a launch went (stall-cycle attribution).
+///
+/// The replay engine accounts each SM's cycles into exactly one of these
+/// six categories, so for a single launch the components sum to
+/// `num_sms * cycles` — an invariant the test suite asserts for every
+/// Rodinia benchmark. Merged launches preserve the invariant because the
+/// components and `cycles` both add under the same configuration.
+///
+/// Category semantics (see DESIGN.md "Observability" for how each maps
+/// to simulator events):
+///
+/// * `issue` — the issue port was busy issuing warp instructions, or
+///   every resident warp was waiting on an in-flight *compute* result
+///   (ALU/SFU latency) or a CTA-launch overhead window.
+/// * `mem_pending` — idle with at least one warp waiting on an
+///   outstanding memory access (global/local load, texture, constant,
+///   parameter, or shared).
+/// * `bank_conflict` — extra issue-port cycles spent replaying
+///   shared-memory accesses serialized by bank conflicts.
+/// * `divergence` — issue slots occupied by SIMD lanes masked off by
+///   branch divergence (the gap between the fixed warp issue occupancy
+///   and what an ideally lane-compacted issue would need).
+/// * `barrier` — idle with every live warp parked at a CTA barrier.
+/// * `empty` — no live warp resident (ramp-down, DRAM drain, or an SM
+///   the grid never filled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Issue-port busy plus compute-latency wait cycles.
+    pub issue: u64,
+    /// Idle cycles attributable to outstanding memory accesses.
+    pub mem_pending: u64,
+    /// Shared-memory bank-conflict replay cycles.
+    pub bank_conflict: u64,
+    /// Issue cycles wasted on divergence-masked lanes.
+    pub divergence: u64,
+    /// Idle cycles with all live warps at a barrier.
+    pub barrier: u64,
+    /// Cycles with no live warp on the SM.
+    pub empty: u64,
+}
+
+impl StallBreakdown {
+    /// Sum of all components; equals `num_sms * cycles` for stats
+    /// produced by the replay engine.
+    pub fn total(&self) -> u64 {
+        self.issue
+            + self.mem_pending
+            + self.bank_conflict
+            + self.divergence
+            + self.barrier
+            + self.empty
+    }
+
+    /// Fraction of the total in one component (0 when empty).
+    pub fn fraction(&self, component: u64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            component as f64 / t as f64
+        }
+    }
+
+    /// Adds another breakdown into this one.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        self.issue += other.issue;
+        self.mem_pending += other.mem_pending;
+        self.bank_conflict += other.bank_conflict;
+        self.divergence += other.divergence;
+        self.barrier += other.barrier;
+        self.empty += other.empty;
+    }
+
+    /// Serializes the breakdown as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("issue", Json::u64(self.issue)),
+            ("mem_pending", Json::u64(self.mem_pending)),
+            ("bank_conflict", Json::u64(self.bank_conflict)),
+            ("divergence", Json::u64(self.divergence)),
+            ("barrier", Json::u64(self.barrier)),
+            ("empty", Json::u64(self.empty)),
+            ("total", Json::u64(self.total())),
+        ])
+    }
+}
+
+/// One epoch sample of the occupancy/DRAM timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineSample {
+    /// Core cycle the sample was taken at.
+    pub cycle: u64,
+    /// Live (unretired) warps across the whole GPU at that cycle.
+    pub live_warps: u32,
+    /// `live_warps` over the GPU's maximum resident warp count.
+    pub occupancy: f64,
+    /// DRAM channel-busy cycles accrued since the previous sample, over
+    /// `mem_channels * period` (clamped to 1.0; accesses are charged
+    /// when scheduled, so a burst can momentarily exceed the window).
+    pub dram_util: f64,
+}
+
+/// An epoch-sampled occupancy / DRAM-utilization timeline with bounded
+/// memory: at most `capacity` samples are retained in a ring, with the
+/// oldest dropped first (`dropped` counts them).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// Sampling period in core cycles (0 = sampling disabled).
+    pub period: u64,
+    /// Ring capacity the timeline was collected with.
+    pub capacity: usize,
+    /// Retained samples, oldest first. Cycles are relative to each
+    /// launch's own start; merged stats concatenate launches.
+    pub samples: Vec<TimelineSample>,
+    /// Samples discarded because the ring was full.
+    pub dropped: u64,
+}
+
+impl Timeline {
+    /// Appends another launch's timeline, re-trimming to this ring's
+    /// capacity (oldest samples dropped first).
+    pub fn merge(&mut self, other: &Timeline) {
+        self.samples.extend(other.samples.iter().copied());
+        self.dropped += other.dropped;
+        if self.capacity > 0 && self.samples.len() > self.capacity {
+            let excess = self.samples.len() - self.capacity;
+            self.samples.drain(..excess);
+            self.dropped += excess as u64;
+        }
+    }
+
+    /// Serializes the timeline as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("cycle", Json::u64(s.cycle)),
+                    ("live_warps", Json::u64(s.live_warps as u64)),
+                    ("occupancy", Json::Num(s.occupancy)),
+                    ("dram_util", Json::Num(s.dram_util)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("period", Json::u64(self.period)),
+            ("capacity", Json::u64(self.capacity as u64)),
+            ("dropped", Json::u64(self.dropped)),
+            ("samples", Json::Arr(samples)),
+        ])
+    }
+}
 
 /// Memory-instruction counts by space (the paper's Figure 2 breakdown).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -177,6 +333,11 @@ pub struct KernelStats {
     pub tex_hits: u64,
     /// Texture-cache misses.
     pub tex_misses: u64,
+    /// Stall-cycle attribution summed over SMs; components sum to
+    /// `num_sms * cycles`.
+    pub stall: StallBreakdown,
+    /// Epoch-sampled occupancy / DRAM-utilization timeline.
+    pub timeline: Timeline,
     /// Number of kernel launches aggregated into these stats.
     pub launches: u32,
 }
@@ -256,7 +417,51 @@ impl KernelStats {
         self.l2_misses += other.l2_misses;
         self.tex_hits += other.tex_hits;
         self.tex_misses += other.tex_misses;
+        self.stall.merge(&other.stall);
+        self.timeline.merge(&other.timeline);
         self.launches += other.launches;
+    }
+
+    /// Serializes the full statistics record (including the stall
+    /// breakdown and timeline) as a JSON object — the per-kernel entry
+    /// of the run manifest.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::from(self.name.as_str())),
+            ("config", Json::from(self.config.as_str())),
+            ("cycles", Json::u64(self.cycles)),
+            ("thread_instructions", Json::u64(self.thread_instructions)),
+            ("warp_instructions", Json::u64(self.warp_instructions)),
+            ("ipc", Json::Num(self.ipc())),
+            ("time_us", Json::Num(self.time_us())),
+            ("simd_efficiency", Json::Num(self.simd_efficiency())),
+            (
+                "mem_mix",
+                Json::obj(vec![
+                    ("shared", Json::u64(self.mem_mix.shared)),
+                    ("tex", Json::u64(self.mem_mix.tex)),
+                    ("constant", Json::u64(self.mem_mix.constant)),
+                    ("param", Json::u64(self.mem_mix.param)),
+                    ("global_local", Json::u64(self.mem_mix.global_local)),
+                ]),
+            ),
+            (
+                "occupancy_counts",
+                Json::Arr(self.occupancy.counts.iter().map(|&c| Json::u64(c)).collect()),
+            ),
+            ("dram_bytes", Json::u64(self.dram_bytes)),
+            ("dram_busy_cycles", Json::u64(self.dram_busy_cycles)),
+            ("bw_utilization", Json::Num(self.bw_utilization())),
+            ("l1_hits", Json::u64(self.l1_hits)),
+            ("l1_misses", Json::u64(self.l1_misses)),
+            ("l2_hits", Json::u64(self.l2_hits)),
+            ("l2_misses", Json::u64(self.l2_misses)),
+            ("tex_hits", Json::u64(self.tex_hits)),
+            ("tex_misses", Json::u64(self.tex_misses)),
+            ("stall", self.stall.to_json()),
+            ("timeline", self.timeline.to_json()),
+            ("launches", Json::u64(self.launches as u64)),
+        ])
     }
 }
 
@@ -351,6 +556,8 @@ mod tests {
             l2_misses: 0,
             tex_hits: 0,
             tex_misses: 0,
+            stall: StallBreakdown::default(),
+            timeline: Timeline::default(),
             launches: 1,
         }
     }
@@ -410,6 +617,71 @@ mod tests {
         assert_eq!(a.thread_instructions, 30_000);
         assert_eq!(a.launches, 2);
         assert!((a.ipc() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_breakdown_totals_and_merge() {
+        let mut a = StallBreakdown {
+            issue: 10,
+            mem_pending: 20,
+            bank_conflict: 3,
+            divergence: 4,
+            barrier: 2,
+            empty: 1,
+        };
+        assert_eq!(a.total(), 40);
+        assert!((a.fraction(a.mem_pending) - 0.5).abs() < 1e-12);
+        a.merge(&a.clone());
+        assert_eq!(a.total(), 80);
+        assert_eq!(StallBreakdown::default().fraction(0), 0.0);
+    }
+
+    #[test]
+    fn timeline_merge_respects_capacity() {
+        let mk = |cycle| TimelineSample {
+            cycle,
+            live_warps: 1,
+            occupancy: 0.5,
+            dram_util: 0.0,
+        };
+        let mut a = Timeline {
+            period: 10,
+            capacity: 3,
+            samples: vec![mk(10), mk(20)],
+            dropped: 0,
+        };
+        let b = Timeline {
+            period: 10,
+            capacity: 3,
+            samples: vec![mk(10), mk(20)],
+            dropped: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.samples.len(), 3);
+        // Oldest sample evicted, its drop counted on top of b's.
+        assert_eq!(a.dropped, 2);
+        assert_eq!(a.samples[0].cycle, 20);
+    }
+
+    #[test]
+    fn stats_serialize_to_parseable_json() {
+        let mut s = stats(1000, 50_000);
+        s.stall = StallBreakdown {
+            issue: 500,
+            mem_pending: 300,
+            bank_conflict: 0,
+            divergence: 0,
+            barrier: 100,
+            empty: 100,
+        };
+        let text = s.to_json().to_string();
+        let v = obs::Json::parse(&text).unwrap();
+        assert_eq!(v.get("cycles").and_then(obs::Json::as_f64), Some(1000.0));
+        assert_eq!(
+            v.get("stall").and_then(|st| st.get("total")).and_then(obs::Json::as_f64),
+            Some(1000.0)
+        );
+        assert!(v.get("timeline").and_then(|t| t.get("samples")).is_some());
     }
 
     #[test]

@@ -110,6 +110,7 @@ pub fn try_trace_kernel(
     mem: &mut GpuMem,
     cfg: &GpuConfig,
 ) -> Result<KernelTrace, SimError> {
+    let _span = obs::span!("simt.trace.{}", kernel.name());
     let shape = kernel.shape();
     if shape.blocks == 0 || shape.threads_per_block == 0 {
         return Err(SimError::EmptyGrid {

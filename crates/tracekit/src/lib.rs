@@ -61,6 +61,6 @@ pub mod tracer;
 
 pub use cache::{CacheStats, SharedCache};
 pub use footprint::Footprints;
-pub use mix::InstrMix;
+pub use mix::{InstrMix, MixClass};
 pub use profile::{profile, CpuWorkload, Profile, ProfileConfig, Profiler};
 pub use tracer::{Ev, ThreadTracer};

@@ -218,7 +218,16 @@ impl Profiler {
     }
 
     /// Finalizes the run into a [`Profile`].
+    ///
+    /// Aggregate counters are published to the global [`obs::Registry`]
+    /// once here (not per-event, keeping the hot path untouched).
     pub fn finish(self, name: &str) -> Profile {
+        let reg = obs::Registry::global();
+        reg.add("tracekit.events", self.events);
+        reg.add("tracekit.reads", self.mix.reads);
+        reg.add("tracekit.writes", self.mix.writes);
+        reg.add("tracekit.alu", self.mix.alu);
+        reg.add("tracekit.branches", self.mix.branches);
         Profile {
             name: name.to_string(),
             mix: self.mix,
@@ -232,6 +241,7 @@ impl Profiler {
 
 /// Profiles `workload` under `cfg` in one pass.
 pub fn profile(workload: &dyn CpuWorkload, cfg: &ProfileConfig) -> Profile {
+    let _span = obs::span!("tracekit.profile.{}", workload.name());
     let mut prof = Profiler::new(cfg);
     workload.run(&mut prof);
     prof.finish(workload.name())

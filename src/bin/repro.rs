@@ -6,13 +6,27 @@
 //! repro all   [tiny|small|paper] [--csv]
 //! repro fig1  [tiny|small|paper] [--csv]
 //! repro fig6 fig10 small
+//! repro all tiny --json out/ --telemetry out/telemetry.jsonl
 //! ```
 //!
 //! GPU-side artifacts run independently; the comparison-corpus figures
 //! (fig6–fig12) share one profiling pass per invocation.
+//!
+//! Observability:
+//!
+//! * `--json <dir>` writes a run manifest (`BENCH_manifest.json`) with
+//!   every table, every kernel's stats and stall breakdown, and span
+//!   timings — see `rodinia_study::manifest`.
+//! * `--telemetry <file.jsonl>` streams every span/counter/record event
+//!   to a JSON-lines file.
+//! * `RODINIA_OBS=1|2` prints span (and at 2, all) events to stderr.
+
+use std::path::PathBuf;
+use std::time::Instant;
 
 use rodinia_repro::prelude::*;
-use rodinia_repro::rodinia_study::experiments::{run_comparison, run_gpu};
+use rodinia_repro::rodinia_study::experiments::{try_run_comparison, try_run_gpu};
+use rodinia_repro::rodinia_study::manifest::ManifestBuilder;
 use rodinia_repro::rodinia_study::report::Table;
 
 fn id_of(name: &str) -> Option<ExperimentId> {
@@ -69,7 +83,7 @@ fn needs_corpus(id: ExperimentId) -> bool {
     matches!(id, Fig6 | Fig7 | Fig8 | Fig9 | Fig10 | Fig11 | Fig12)
 }
 
-fn emit(tables: Vec<Table>, csv: bool) {
+fn emit(tables: &[Table], csv: bool) {
     for t in tables {
         if csv {
             println!("# {}", t.title);
@@ -80,21 +94,45 @@ fn emit(tables: Vec<Table>, csv: bool) {
     }
 }
 
+fn usage() {
+    println!("artifacts:");
+    for id in ExperimentId::all() {
+        println!("  {}", name_of(id));
+    }
+    println!("usage: repro <artifact|all> [tiny|small|paper] [--csv]");
+    println!("             [--json <dir>] [--telemetry <file.jsonl>]");
+    println!("env:   RODINIA_OBS=1|2 prints telemetry events to stderr");
+}
+
 fn main() {
+    obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let csv = args.iter().any(|a| a == "--csv");
-    let scale = if args.iter().any(|a| a == "tiny") {
-        Scale::Tiny
-    } else if args.iter().any(|a| a == "paper") {
-        Scale::Paper
-    } else {
-        Scale::Small
-    };
+    let mut csv = false;
+    let mut scale = Scale::Small;
     let mut ids: Vec<ExperimentId> = Vec::new();
     let mut listed = false;
-    for a in &args {
-        match a.as_str() {
-            "--csv" | "tiny" | "small" | "paper" => {}
+    let mut json_dir: Option<PathBuf> = None;
+    let mut telemetry: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" => csv = true,
+            "tiny" => scale = Scale::Tiny,
+            "small" => scale = Scale::Small,
+            "paper" => scale = Scale::Paper,
+            "--json" | "--telemetry" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("{flag} requires a path argument");
+                    std::process::exit(2);
+                };
+                if flag == "--json" {
+                    json_dir = Some(PathBuf::from(value));
+                } else {
+                    telemetry = Some(PathBuf::from(value));
+                }
+            }
             "all" => ids = ExperimentId::all(),
             "list" => listed = true,
             other => match id_of(other) {
@@ -105,15 +143,29 @@ fn main() {
                 }
             },
         }
+        i += 1;
     }
     if listed || ids.is_empty() {
-        println!("artifacts:");
-        for id in ExperimentId::all() {
-            println!("  {}", name_of(id));
-        }
-        println!("usage: repro <artifact|all> [tiny|small|paper] [--csv]");
+        usage();
         return;
     }
+
+    if let Some(path) = &telemetry {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                std::process::exit(1);
+            }
+        }
+        match obs::JsonlSink::create(path) {
+            Ok(sink) => obs::add_sink(Box::new(sink)),
+            Err(e) => {
+                eprintln!("cannot open telemetry file {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    let mut manifest = json_dir.as_ref().map(|_| ManifestBuilder::new(scale));
 
     let corpus = if ids.iter().any(|&id| needs_corpus(id)) {
         eprintln!("profiling the 24-workload comparison corpus ...");
@@ -122,10 +174,34 @@ fn main() {
         None
     };
     for id in ids {
-        if needs_corpus(id) {
-            emit(run_comparison(id, corpus.as_ref().expect("corpus built")), csv);
+        let start = Instant::now();
+        let result = if needs_corpus(id) {
+            try_run_comparison(id, corpus.as_ref().expect("corpus built"))
         } else {
-            emit(run_gpu(id, scale), csv);
+            try_run_gpu(id, scale)
+        };
+        let tables = match result {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: {e}", name_of(id));
+                obs::flush_sinks();
+                std::process::exit(1);
+            }
+        };
+        if let Some(m) = manifest.as_mut() {
+            m.push_experiment(name_of(id), &tables, start.elapsed().as_micros() as u64);
+        }
+        emit(&tables, csv);
+    }
+    if let (Some(m), Some(dir)) = (manifest, json_dir.as_ref()) {
+        match m.write(dir) {
+            Ok(path) => eprintln!("wrote manifest {}", path.display()),
+            Err(e) => {
+                eprintln!("{e}");
+                obs::flush_sinks();
+                std::process::exit(1);
+            }
         }
     }
+    obs::flush_sinks();
 }

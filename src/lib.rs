@@ -35,6 +35,7 @@
 
 pub use analysis;
 pub use datasets;
+pub use obs;
 pub use parsec_lite;
 pub use rodinia_cpu;
 pub use rodinia_gpu;

@@ -174,7 +174,14 @@ fn machine_knobs(c: &mut Criterion) {
     println!("== Extension: offloading-model overheads ==");
     println!(
         "{}",
-        rodinia_study::characterization::offload_overheads(Scale::Small, 8.0).to_table()
+        rodinia_study::characterization::offload_overheads(
+            &rodinia_study::StudySession::default(),
+            Scale::Small,
+            8.0,
+        )
+        .expect("offload study")
+        .to_table()
+        .expect("offload table")
     );
 
     let mut g = c.benchmark_group("ablation-knobs");

@@ -11,45 +11,77 @@ use datasets::Scale;
 use rodinia_study::characterization::{
     channel_sweep, fermi_study, incremental_versions, ipc_scaling, memory_mix, warp_occupancy,
 };
-use rodinia_study::{experiments, suite};
+use rodinia_study::{experiments, suite, StudySession};
 use std::hint::black_box;
 
 /// Prints every GPU-side table once (the "regenerate the figure" part),
 /// then registers timing benchmarks for the underlying pipeline.
 fn gpu_artifacts(c: &mut Criterion) {
     let scale = Scale::Small;
-    println!("{}", suite::rodinia_table(scale));
-    println!("{}", experiments::table2());
-    println!("{}", ipc_scaling(scale).to_table());
-    println!("{}", memory_mix(scale).to_table());
-    println!("{}", warp_occupancy(scale).to_table());
-    println!("{}", channel_sweep(scale).to_table());
-    println!("{}", incremental_versions(scale).to_table());
-    println!("{}", fermi_study(scale).to_table());
-    println!("{}", suite::comparison_table());
-    println!("{}", experiments::table5());
+    let session = StudySession::default();
+    println!("{}", suite::rodinia_table(scale).expect("table1"));
+    println!("{}", experiments::table2().expect("table2"));
+    println!(
+        "{}",
+        ipc_scaling(&session, scale).expect("fig1").to_table().expect("fig1 table")
+    );
+    println!(
+        "{}",
+        memory_mix(&session, scale).expect("fig2").to_table().expect("fig2 table")
+    );
+    println!(
+        "{}",
+        warp_occupancy(&session, scale)
+            .expect("fig3")
+            .to_table()
+            .expect("fig3 table")
+    );
+    println!(
+        "{}",
+        channel_sweep(&session, scale)
+            .expect("fig4")
+            .to_table()
+            .expect("fig4 table")
+    );
+    println!(
+        "{}",
+        incremental_versions(&session, scale)
+            .expect("table3")
+            .to_table()
+            .expect("table3 table")
+    );
+    println!(
+        "{}",
+        fermi_study(&session, scale)
+            .expect("fig5")
+            .to_table()
+            .expect("fig5 table")
+    );
+    println!("{}", suite::comparison_table().expect("table4"));
+    println!("{}", experiments::table5().expect("table5"));
 
     // Timing benchmarks run at Tiny scale so Criterion's sampling stays
-    // affordable.
+    // affordable. Each iteration uses a fresh sequential session so the
+    // trace cache does not amortize across samples.
     let mut g = c.benchmark_group("gpu-characterization");
     g.sample_size(10);
     g.bench_function("fig1_ipc_scaling", |b| {
-        b.iter(|| black_box(ipc_scaling(Scale::Tiny)))
+        b.iter(|| black_box(ipc_scaling(&StudySession::sequential(), Scale::Tiny)))
     });
     g.bench_function("fig2_memory_mix", |b| {
-        b.iter(|| black_box(memory_mix(Scale::Tiny)))
+        b.iter(|| black_box(memory_mix(&StudySession::sequential(), Scale::Tiny)))
     });
     g.bench_function("fig3_warp_occupancy", |b| {
-        b.iter(|| black_box(warp_occupancy(Scale::Tiny)))
+        b.iter(|| black_box(warp_occupancy(&StudySession::sequential(), Scale::Tiny)))
     });
     g.bench_function("fig4_channel_sweep", |b| {
-        b.iter(|| black_box(channel_sweep(Scale::Tiny)))
+        b.iter(|| black_box(channel_sweep(&StudySession::sequential(), Scale::Tiny)))
     });
     g.bench_function("table3_incremental_versions", |b| {
-        b.iter(|| black_box(incremental_versions(Scale::Tiny)))
+        b.iter(|| black_box(incremental_versions(&StudySession::sequential(), Scale::Tiny)))
     });
     g.bench_function("fig5_fermi_study", |b| {
-        b.iter(|| black_box(fermi_study(Scale::Tiny)))
+        b.iter(|| black_box(fermi_study(&StudySession::sequential(), Scale::Tiny)))
     });
     g.finish();
 }

@@ -1,0 +1,98 @@
+//! Wall-clock benefit of the parallel study engine on the Section III.E
+//! Plackett–Burman sweep at Small scale, measured three ways:
+//!
+//! 1. **seed path** — the pre-engine driver emulated faithfully: every
+//!    design point is a full functional run (capture *and* timing) of
+//!    every benchmark, no trace reuse;
+//! 2. **engine, 1 worker** — capture-once + replay, sequential;
+//! 3. **engine, 4 workers** — the same jobs fanned over the pool.
+//!
+//! It also re-checks the determinism guarantee on the spot (rendered
+//! tables from runs 2 and 3 must be byte-identical) and writes the
+//! measurements to `BENCH_parallel.json` (path overridable with the
+//! `BENCH_PARALLEL_OUT` environment variable) so CI can archive the
+//! trend.
+//!
+//! ```text
+//! cargo bench --bench parallel_engine
+//! ```
+
+use std::time::Instant;
+
+use analysis::plackett_burman::pb12;
+use datasets::Scale;
+use obs::Json;
+use rodinia_gpu::suite::all_benchmarks;
+use rodinia_study::{sensitivity, StudySession};
+use simt::Gpu;
+
+/// One full PB sweep the way the seed drove it: functional execution
+/// under every design-point configuration, nothing shared.
+fn seed_path_sweep(scale: Scale) -> u64 {
+    let mut checksum = 0u64;
+    for b in all_benchmarks(scale) {
+        for row in pb12() {
+            let mut gpu = Gpu::new(sensitivity::config_for(&row));
+            checksum = checksum.wrapping_add(b.run_on(&mut gpu).cycles);
+        }
+    }
+    checksum
+}
+
+/// Renders a PB study to one comparable string (both tables).
+fn rendered(study: &sensitivity::PbStudy) -> String {
+    format!(
+        "{}\n{}",
+        study.to_table().expect("pb table"),
+        study.aggregate_table().expect("pb aggregate")
+    )
+}
+
+fn main() {
+    let scale = Scale::Small;
+    let benchmarks = all_benchmarks(scale).len();
+
+    let start = Instant::now();
+    let checksum = seed_path_sweep(scale);
+    let seed_s = start.elapsed().as_secs_f64();
+    assert!(checksum > 0);
+
+    let session1 = StudySession::new(1);
+    let start = Instant::now();
+    let study1 = sensitivity::run(&session1, scale, None).expect("sequential engine run");
+    let engine1_s = start.elapsed().as_secs_f64();
+
+    let session4 = StudySession::new(4);
+    let start = Instant::now();
+    let study4 = sensitivity::run(&session4, scale, None).expect("4-worker engine run");
+    let engine4_s = start.elapsed().as_secs_f64();
+
+    let identical = rendered(&study1) == rendered(&study4);
+    assert!(identical, "worker count changed the rendered tables");
+    assert_eq!(session4.cache().len(), benchmarks, "one capture per benchmark");
+
+    let speedup = seed_s / engine4_s;
+    println!(
+        "PB sweep at Small, {benchmarks} benchmarks x 12 design points:\n\
+         \x20 seed path (capture per config) {seed_s:.2} s\n\
+         \x20 engine --jobs 1                {engine1_s:.2} s\n\
+         \x20 engine --jobs 4                {engine4_s:.2} s\n\
+         \x20 => {speedup:.2}x vs the sequential seed path, tables byte-identical"
+    );
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("rodinia-repro.bench-parallel/v1".into())),
+        ("experiment", Json::Str("sensitivity_pb12".into())),
+        ("scale", Json::Str(format!("{scale:?}"))),
+        ("benchmarks", Json::u64(benchmarks as u64)),
+        ("design_points", Json::u64(12)),
+        ("seed_sequential_s", Json::Num(seed_s)),
+        ("engine_jobs1_s", Json::Num(engine1_s)),
+        ("engine_jobs4_s", Json::Num(engine4_s)),
+        ("speedup_vs_seed", Json::Num(speedup)),
+        ("tables_byte_identical", Json::Bool(identical)),
+    ]);
+    let out = std::env::var("BENCH_PARALLEL_OUT").unwrap_or_else(|_| "BENCH_parallel.json".into());
+    std::fs::write(&out, format!("{doc}\n")).expect("write BENCH_parallel.json");
+    println!("wrote {out}");
+}

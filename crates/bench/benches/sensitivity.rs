@@ -7,19 +7,27 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use datasets::Scale;
-use rodinia_study::sensitivity::pb_study;
+use rodinia_study::{sensitivity, StudySession};
 use std::hint::black_box;
 
 fn pb_artifacts(c: &mut Criterion) {
-    // Full-suite screening: 12 design points x 12 benchmarks.
-    let study = pb_study(Scale::Small, None);
-    println!("{}", study.to_table());
-    println!("{}", study.aggregate_table());
+    // Full-suite screening: 12 design points x 12 benchmarks, with each
+    // benchmark captured once and replayed per design point.
+    let session = StudySession::default();
+    let study = sensitivity::run(&session, Scale::Small, None).expect("pb study");
+    println!("{}", study.to_table().expect("pb table"));
+    println!("{}", study.aggregate_table().expect("pb aggregate"));
 
     let mut g = c.benchmark_group("sensitivity");
     g.sample_size(10);
     g.bench_function("pb12_three_benchmarks_tiny", |b| {
-        b.iter(|| black_box(pb_study(Scale::Tiny, Some(&["HS", "BFS", "NW"]))))
+        b.iter(|| {
+            black_box(sensitivity::run(
+                &StudySession::sequential(),
+                Scale::Tiny,
+                Some(&["HS", "BFS", "NW"]),
+            ))
+        })
     });
     g.finish();
 }

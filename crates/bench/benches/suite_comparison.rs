@@ -15,23 +15,23 @@ fn suite_artifacts(c: &mut Criterion) {
     // The expensive step: profile all 24 workloads once at Small scale.
     let study = ComparisonStudy::run(Scale::Small);
     println!("Figure 6: similarity dendrogram (Rodinia R, Parsec P)");
-    println!("{}", study.dendrogram());
+    println!("{}", study.dendrogram().expect("fig6"));
     for scatter in [
-        study.instruction_mix_pca(),
-        study.working_set_pca(),
-        study.sharing_pca(),
+        study.instruction_mix_pca().expect("fig7"),
+        study.working_set_pca().expect("fig8"),
+        study.sharing_pca().expect("fig9"),
     ] {
-        println!("{}", scatter.to_table());
+        println!("{}", scatter.to_table().expect("scatter table"));
         println!(
             "  (PC1 {:.0}%, PC2 {:.0}% of variance)\n",
             scatter.variance_explained.0 * 100.0,
             scatter.variance_explained.1 * 100.0
         );
     }
-    println!("{}", study.miss_rates_4mb());
+    println!("{}", study.miss_rates_4mb().expect("fig10"));
     let fp = footprint_study(&study);
-    println!("{}", fp.instruction_table());
-    println!("{}", fp.data_table());
+    println!("{}", fp.instruction_table().expect("fig11"));
+    println!("{}", fp.data_table().expect("fig12"));
 
     let mut g = c.benchmark_group("suite-comparison");
     g.sample_size(10);

@@ -62,17 +62,11 @@ impl Scatter {
         d(self.point(name)) / mean_d.max(1e-12)
     }
 
-    /// Renders the scatter coordinates. Prefer
-    /// [`Scatter::try_to_table`] in fallible pipelines.
-    pub fn to_table(&self) -> Table {
-        self.try_to_table().unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible [`Scatter::to_table`].
-    pub fn try_to_table(&self) -> Result<Table, StudyError> {
+    /// Renders the scatter coordinates.
+    pub fn to_table(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(&self.title, &["Workload", "PC1", "PC2"]);
         for (l, p) in self.labels.iter().zip(&self.points) {
-            t.try_push(vec![l.clone(), f3(p.0), f3(p.1)])?;
+            t.push(vec![l.clone(), f3(p.0), f3(p.1)])?;
         }
         Ok(t)
     }
@@ -110,12 +104,7 @@ impl ComparisonStudy {
     }
 
     /// Figure 7: the instruction-mix PCA scatter.
-    pub fn instruction_mix_pca(&self) -> Scatter {
-        self.try_instruction_mix_pca().unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible [`ComparisonStudy::instruction_mix_pca`].
-    pub fn try_instruction_mix_pca(&self) -> Result<Scatter, StudyError> {
+    pub fn instruction_mix_pca(&self) -> Result<Scatter, StudyError> {
         self.scatter(
             "Figure 7: instruction mix (two PCA components)",
             features::instruction_mix_features,
@@ -123,12 +112,7 @@ impl ComparisonStudy {
     }
 
     /// Figure 8: the working-set PCA scatter.
-    pub fn working_set_pca(&self) -> Scatter {
-        self.try_working_set_pca().unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible [`ComparisonStudy::working_set_pca`].
-    pub fn try_working_set_pca(&self) -> Result<Scatter, StudyError> {
+    pub fn working_set_pca(&self) -> Result<Scatter, StudyError> {
         self.scatter(
             "Figure 8: working sets (two PCA components)",
             features::working_set_features,
@@ -136,12 +120,7 @@ impl ComparisonStudy {
     }
 
     /// Figure 9: the sharing PCA scatter.
-    pub fn sharing_pca(&self) -> Scatter {
-        self.try_sharing_pca().unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible [`ComparisonStudy::sharing_pca`].
-    pub fn try_sharing_pca(&self) -> Result<Scatter, StudyError> {
+    pub fn sharing_pca(&self) -> Result<Scatter, StudyError> {
         self.scatter(
             "Figure 9: sharing behavior (two PCA components)",
             features::sharing_features,
@@ -150,15 +129,9 @@ impl ComparisonStudy {
 
     /// The merges of the Figure 6 dendrogram: PCA over the full feature
     /// vector (components covering ≥ 90% variance), Euclidean distance,
-    /// average linkage (MATLAB's default).
-    pub fn cluster_merges(&self) -> Vec<analysis::cluster::Merge> {
-        self.try_cluster_merges().unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible [`ComparisonStudy::cluster_merges`]: a degenerate
-    /// profile corpus (empty, NaN features) surfaces as
-    /// [`StudyError::Analysis`] instead of panicking.
-    pub fn try_cluster_merges(&self) -> Result<Vec<analysis::cluster::Merge>, StudyError> {
+    /// average linkage (MATLAB's default). A degenerate profile corpus
+    /// (empty, NaN features) surfaces as [`StudyError::Analysis`].
+    pub fn cluster_merges(&self) -> Result<Vec<analysis::cluster::Merge>, StudyError> {
         let data: Vec<Vec<f64>> = self.profiles.iter().map(features::full_features).collect();
         let pca = Pca::try_fit(&data)?;
         let k = pca.components_for(0.9);
@@ -168,40 +141,28 @@ impl ComparisonStudy {
     }
 
     /// Figure 6: the rendered dendrogram.
-    pub fn dendrogram(&self) -> String {
-        render_dendrogram(&self.labels, &self.cluster_merges())
+    pub fn dendrogram(&self) -> Result<String, StudyError> {
+        Ok(render_dendrogram(&self.labels, &self.cluster_merges()?))
     }
 
     /// Flat cluster labels at a chosen cluster count (for the mixing
     /// analysis: most clusters should contain both suites).
-    pub fn flat(&self, k: usize) -> Vec<usize> {
-        self.try_flat(k).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible [`ComparisonStudy::flat`].
-    pub fn try_flat(&self, k: usize) -> Result<Vec<usize>, StudyError> {
+    pub fn flat(&self, k: usize) -> Result<Vec<usize>, StudyError> {
         Ok(try_flat_clusters(
             self.labels.len(),
-            &self.try_cluster_merges()?,
+            &self.cluster_merges()?,
             k,
         )?)
     }
 
     /// Figure 10: misses per memory reference under the 4 MB cache.
-    /// Prefer [`ComparisonStudy::try_miss_rates_4mb`] in fallible
-    /// pipelines.
-    pub fn miss_rates_4mb(&self) -> Table {
-        self.try_miss_rates_4mb().unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible [`ComparisonStudy::miss_rates_4mb`].
-    pub fn try_miss_rates_4mb(&self) -> Result<Table, StudyError> {
+    pub fn miss_rates_4mb(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(
             "Figure 10: miss rates under a 4 MB cache configuration",
             &["Workload", "Misses per memory reference"],
         );
         for (l, p) in self.labels.iter().zip(&self.profiles) {
-            t.try_push(vec![l.clone(), f3(p.at_capacity(4 * 1024 * 1024).miss_rate())])?;
+            t.push(vec![l.clone(), f3(p.at_capacity(4 * 1024 * 1024).miss_rate())])?;
         }
         Ok(t)
     }
@@ -213,9 +174,9 @@ impl ComparisonStudy {
     /// # Panics
     ///
     /// Panics if either workload is not in the study.
-    pub fn pc_distance(&self, a: &str, b: &str) -> f64 {
+    pub fn pc_distance(&self, a: &str, b: &str) -> Result<f64, StudyError> {
         let data: Vec<Vec<f64>> = self.profiles.iter().map(features::full_features).collect();
-        let pca = Pca::fit(&data);
+        let pca = Pca::try_fit(&data)?;
         let k = pca.components_for(0.9);
         let scores = pca.truncated_scores(k);
         let idx = |name: &str| {
@@ -224,13 +185,16 @@ impl ComparisonStudy {
                 .position(|l| l.starts_with(name))
                 .unwrap_or_else(|| panic!("{name} not in study"))
         };
-        analysis::distance::euclidean(&scores[idx(a)], &scores[idx(b)])
+        Ok(analysis::distance::euclidean(
+            &scores[idx(a)],
+            &scores[idx(b)],
+        ))
     }
 
     /// The Section V.B taxonomy discussion as a table: the paper's
     /// same-dwarf / same-domain pairs with their measured distances,
     /// against the reference pairs the paper contrasts them with.
-    pub fn taxonomy_table(&self) -> Table {
+    pub fn taxonomy_table(&self) -> Result<Table, StudyError> {
         let mut t = Table::new(
             "Section V.B: distances behind the taxonomy discussion",
             &["Pair", "Relation", "Distance"],
@@ -247,10 +211,10 @@ impl ComparisonStudy {
             t.push(vec![
                 format!("{a} vs {b}"),
                 rel.to_string(),
-                format!("{:.3}", self.pc_distance(a, b)),
-            ]);
+                format!("{:.3}", self.pc_distance(a, b)?),
+            ])?;
         }
-        t
+        Ok(t)
     }
 
     /// The 4 MB miss rate of one workload (by label prefix).
@@ -290,7 +254,7 @@ mod tests {
     #[test]
     fn dendrogram_names_every_workload() {
         let s = study();
-        let d = s.dendrogram();
+        let d = s.dendrogram().expect("dendrogram renders");
         for l in &s.labels {
             assert!(d.contains(l.as_str()), "{l} missing from dendrogram");
         }
@@ -301,7 +265,7 @@ mod tests {
         // The paper's key finding: "most clusters contain both Rodinia
         // and Parsec applications".
         let s = study();
-        let labels = s.flat(5);
+        let labels = s.flat(5).expect("flat clusters");
         let mut mixed = 0;
         for c in 0..5 {
             let members: Vec<&String> = s
@@ -323,7 +287,7 @@ mod tests {
     #[test]
     fn mummer_is_the_working_set_outlier() {
         let s = study();
-        let ws = s.working_set_pca();
+        let ws = s.working_set_pca().expect("pca");
         let score = ws.outlier_score("mummergpu");
         assert!(score > 1.5, "MUMmer outlier score {score}");
     }
@@ -331,7 +295,7 @@ mod tests {
     #[test]
     fn heartwall_stands_out_in_sharing() {
         let s = study();
-        let sh = s.sharing_pca();
+        let sh = s.sharing_pca().expect("pca");
         let score = sh.outlier_score("heartwall");
         assert!(score > 1.2, "Heartwall sharing outlier score {score}");
     }
@@ -340,9 +304,10 @@ mod tests {
     fn scatters_have_two_components() {
         let s = study();
         for sc in [s.instruction_mix_pca(), s.working_set_pca(), s.sharing_pca()] {
+            let sc = sc.expect("pca");
             assert_eq!(sc.points.len(), 24);
             assert!(sc.variance_explained.0 > 0.0);
-            assert!(sc.to_table().to_string().contains("PC1"));
+            assert!(sc.to_table().expect("renders").to_string().contains("PC1"));
         }
     }
 }

@@ -1,0 +1,165 @@
+//! The parallel study engine: a worker pool with deterministic result
+//! ordering, plus the per-session [`TraceCache`].
+//!
+//! Every experiment in the study decomposes into independent jobs —
+//! one benchmark × one replay configuration — so [`StudySession`] fans
+//! them over a [`std::thread::scope`] pool. Determinism is structural,
+//! not best-effort: jobs carry their submission index, workers write
+//! results into an index-addressed slot vector, and the caller reads
+//! the slots back in submission order. The rendered tables are
+//! therefore byte-identical for any worker count, including 1 (which
+//! bypasses thread spawning entirely).
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::error::StudyError;
+use crate::trace_cache::TraceCache;
+
+/// One run of the study: a worker-pool width and a shared trace cache.
+///
+/// Pass a session to the experiment drivers
+/// (e.g. [`crate::experiments::run_gpu`]); within one session each
+/// `(benchmark, scale, variant)` is functionally executed at most once
+/// per capture fingerprint, no matter how many experiments or replay
+/// configurations consume the trace.
+#[derive(Debug)]
+pub struct StudySession {
+    jobs: usize,
+    cache: TraceCache,
+}
+
+impl Default for StudySession {
+    /// A session sized to the machine: one worker per available CPU.
+    fn default() -> StudySession {
+        StudySession::new(
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+}
+
+impl StudySession {
+    /// Creates a session with `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> StudySession {
+        StudySession {
+            jobs: jobs.max(1),
+            cache: TraceCache::new(),
+        }
+    }
+
+    /// A single-worker session: jobs run inline on the caller's thread,
+    /// in submission order.
+    pub fn sequential() -> StudySession {
+        StudySession::new(1)
+    }
+
+    /// The worker-pool width.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The session's shared trace cache.
+    pub fn cache(&self) -> &TraceCache {
+        &self.cache
+    }
+
+    /// Runs `f(0), f(1), ..., f(n-1)` across the worker pool and
+    /// returns the results **in index order**.
+    ///
+    /// Workers claim indices from a shared counter, so scheduling is
+    /// nondeterministic — but reassembly is by index, which makes the
+    /// output independent of the worker count and of thread timing.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index job error, matching what a sequential
+    /// left-to-right run would report first. (Unlike the sequential
+    /// path, later jobs may already have started when an early one
+    /// fails; their side effects on the trace cache are harmless.)
+    pub fn run_indexed<T, F>(&self, n: usize, f: F) -> Result<Vec<T>, StudyError>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T, StudyError> + Sync,
+    {
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<T, StudyError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                });
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            let r = slot
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("scope joined: every claimed index stored a result");
+            out.push(r?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for jobs in [1, 2, 4, 7] {
+            let session = StudySession::new(jobs);
+            let out = session
+                .run_indexed(20, |i| Ok(i * i))
+                .expect("all jobs succeed");
+            assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let session = StudySession::new(4);
+        let err = session
+            .run_indexed(16, |i| {
+                if i == 3 || i == 11 {
+                    Err(StudyError::TableRow {
+                        got: i,
+                        expected: 0,
+                    })
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, StudyError::TableRow { got: 3, expected: 0 });
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one_and_empty_input_is_fine() {
+        let session = StudySession::new(0);
+        assert_eq!(session.jobs(), 1);
+        let out = session.run_indexed(0, |_| Ok(())).expect("empty");
+        assert!(out.is_empty());
+        assert!(session.cache().is_empty());
+    }
+
+    #[test]
+    fn default_session_uses_available_parallelism() {
+        let session = StudySession::default();
+        assert!(session.jobs() >= 1);
+    }
+}

@@ -2,11 +2,10 @@
 //!
 //! [`StudyError`] unifies the two substrate error types — `simt`'s
 //! [`SimError`] for simulation faults and `analysis`'s
-//! [`AnalysisError`] for statistics faults — with the registry- and
-//! rendering-level failures the drivers themselves can hit. Every
-//! panicking driver entry point has a `try_*` sibling returning this
-//! type; the panicking wrappers format it with `panic!("{e}")`, which
-//! preserves the historical panic message substrings.
+//! [`AnalysisError`] for statistics faults — with the registry-,
+//! trace-cache- and rendering-level failures the drivers themselves
+//! can hit. Every driver entry point returns `Result<_, StudyError>`;
+//! there are no panicking wrappers.
 
 use analysis::AnalysisError;
 use simt::SimError;
@@ -35,6 +34,15 @@ pub enum StudyError {
         /// Columns in the header.
         expected: usize,
     },
+    /// A cached trace was replayed under a configuration whose
+    /// capture-relevant parameters (warp size, shared banks, segment
+    /// bytes) differ from those it was captured with.
+    TraceReuse {
+        /// Fingerprint (and config name) the trace was captured under.
+        capture: String,
+        /// Fingerprint (and config name) the replay asked for.
+        replay: String,
+    },
     /// A manifest or telemetry artifact could not be written.
     ///
     /// Holds the rendered `std::io::Error` message rather than the error
@@ -56,6 +64,10 @@ impl fmt::Display for StudyError {
             StudyError::TableRow { got, expected } => write!(
                 f,
                 "row width mismatch: {got} cells for {expected} columns"
+            ),
+            StudyError::TraceReuse { capture, replay } => write!(
+                f,
+                "trace capture fingerprint mismatch: captured under {capture}, replayed under {replay}"
             ),
             StudyError::Io { path, reason } => write!(f, "cannot write {path}: {reason}"),
         }

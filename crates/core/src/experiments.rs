@@ -5,6 +5,7 @@ use simt::GpuConfig;
 
 use crate::characterization;
 use crate::comparison::ComparisonStudy;
+use crate::engine::StudySession;
 use crate::error::StudyError;
 use crate::footprints;
 use crate::report::Table;
@@ -64,7 +65,7 @@ impl ExperimentId {
 }
 
 /// Renders Table II from the default configuration.
-pub fn table2() -> Table {
+pub fn table2() -> Result<Table, StudyError> {
     let c = GpuConfig::gpgpusim_default();
     let mut t = Table::new("Table II: GPGPU-Sim configuration", &["Parameter", "Value"]);
     let rows: Vec<(&str, String)> = vec![
@@ -83,13 +84,13 @@ pub fn table2() -> Table {
         ("No. of Memory Channels", c.mem_channels.to_string()),
     ];
     for (k, v) in rows {
-        t.push(vec![k.into(), v]);
+        t.push(vec![k.into(), v])?;
     }
-    t
+    Ok(t)
 }
 
 /// Renders Table V from the parsec-lite catalog.
-pub fn table5() -> Table {
+pub fn table5() -> Result<Table, StudyError> {
     let mut t = Table::new(
         "Table V: Parsec applications and sim-large input sizes",
         &["Application", "Domain", "Problem size", "Description"],
@@ -100,49 +101,46 @@ pub fn table5() -> Table {
             a.domain.into(),
             a.sim_large.into(),
             a.description.into(),
-        ]);
+        ])?;
     }
-    t
+    Ok(t)
 }
 
 /// Runs one GPU-side experiment (those not needing the CPU comparison
-/// corpus) and returns its tables.
+/// corpus) and returns its tables. Invalid configurations, malformed
+/// analyses, and registry misuse all surface as a typed [`StudyError`].
 ///
-/// # Panics
-///
-/// Panics if asked for a comparison-corpus artifact; use
-/// [`run_comparison`] for Figures 6–12. Prefer [`try_run_gpu`] for a
-/// typed error.
-pub fn run_gpu(id: ExperimentId, scale: Scale) -> Vec<Table> {
-    try_run_gpu(id, scale).unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Fallible [`run_gpu`]: invalid configurations, malformed analyses,
-/// and registry misuse all surface as a typed [`StudyError`].
-///
-/// The whole experiment runs inside an `experiment.{id}` span; GPU
-/// drivers add `bench.{abbrev}` child spans per benchmark.
-pub fn try_run_gpu(id: ExperimentId, scale: Scale) -> Result<Vec<Table>, StudyError> {
+/// Jobs fan over `session`'s worker pool and share its trace cache;
+/// the rendered tables are byte-identical for any worker count. The
+/// whole experiment runs inside an `experiment.{id}` span; GPU drivers
+/// add `bench.{abbrev}` child spans per job.
+pub fn run_gpu(
+    session: &StudySession,
+    id: ExperimentId,
+    scale: Scale,
+) -> Result<Vec<Table>, StudyError> {
     let _span = obs::span!("experiment.{id:?}");
     Ok(match id {
-        ExperimentId::Table1 => vec![suite::rodinia_table(scale)],
-        ExperimentId::Table2 => vec![table2()],
-        ExperimentId::Fig1 => vec![characterization::try_ipc_scaling(scale)?.try_to_table()?],
-        ExperimentId::Fig2 => vec![characterization::try_memory_mix(scale)?.try_to_table()?],
+        ExperimentId::Table1 => vec![suite::rodinia_table(scale)?],
+        ExperimentId::Table2 => vec![table2()?],
+        ExperimentId::Fig1 => vec![characterization::ipc_scaling(session, scale)?.to_table()?],
+        ExperimentId::Fig2 => vec![characterization::memory_mix(session, scale)?.to_table()?],
         ExperimentId::Fig3 => {
-            vec![characterization::try_warp_occupancy(scale)?.try_to_table()?]
+            vec![characterization::warp_occupancy(session, scale)?.to_table()?]
         }
-        ExperimentId::Fig4 => vec![characterization::try_channel_sweep(scale)?.try_to_table()?],
+        ExperimentId::Fig4 => {
+            vec![characterization::channel_sweep(session, scale)?.to_table()?]
+        }
         ExperimentId::Table3 => {
-            vec![characterization::try_incremental_versions(scale)?.try_to_table()?]
+            vec![characterization::incremental_versions(session, scale)?.to_table()?]
         }
-        ExperimentId::Fig5 => vec![characterization::try_fermi_study(scale)?.try_to_table()?],
+        ExperimentId::Fig5 => vec![characterization::fermi_study(session, scale)?.to_table()?],
         ExperimentId::PlackettBurman => {
-            let study = sensitivity::try_pb_study(scale, None)?;
-            vec![study.try_to_table()?, study.try_aggregate_table()?]
+            let study = sensitivity::run(session, scale, None)?;
+            vec![study.to_table()?, study.aggregate_table()?]
         }
-        ExperimentId::Table4 => vec![suite::comparison_table()],
-        ExperimentId::Table5 => vec![table5()],
+        ExperimentId::Table4 => vec![suite::comparison_table()?],
+        ExperimentId::Table5 => vec![table5()?],
         other => {
             return Err(StudyError::Registry {
                 id: format!("{other:?}"),
@@ -154,40 +152,27 @@ pub fn try_run_gpu(id: ExperimentId, scale: Scale) -> Result<Vec<Table>, StudyEr
 
 /// Runs one comparison-corpus experiment against an existing study.
 ///
-/// # Panics
-///
-/// Panics if asked for a GPU-side artifact; use [`run_gpu`] for those.
-/// Prefer [`try_run_comparison`] for a typed error.
-pub fn run_comparison(id: ExperimentId, study: &ComparisonStudy) -> Vec<Table> {
-    try_run_comparison(id, study).unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Fallible [`run_comparison`].
-///
-/// Runs inside an `experiment.{id}` span like [`try_run_gpu`]; the
+/// Runs inside an `experiment.{id}` span like [`run_gpu`]; the
 /// expensive corpus profiling is spanned separately by
 /// [`ComparisonStudy::run`].
-pub fn try_run_comparison(
-    id: ExperimentId,
-    study: &ComparisonStudy,
-) -> Result<Vec<Table>, StudyError> {
+pub fn run_comparison(id: ExperimentId, study: &ComparisonStudy) -> Result<Vec<Table>, StudyError> {
     let _span = obs::span!("experiment.{id:?}");
     Ok(match id {
         ExperimentId::Fig6 => {
             let mut t = Table::new("Figure 6: cross-suite dendrogram", &["Dendrogram"]);
-            for line in study.dendrogram().lines() {
-                t.try_push(vec![line.to_string()])?;
+            for line in study.dendrogram()?.lines() {
+                t.push(vec![line.to_string()])?;
             }
             vec![t]
         }
-        ExperimentId::Fig7 => vec![study.try_instruction_mix_pca()?.try_to_table()?],
-        ExperimentId::Fig8 => vec![study.try_working_set_pca()?.try_to_table()?],
-        ExperimentId::Fig9 => vec![study.try_sharing_pca()?.try_to_table()?],
-        ExperimentId::Fig10 => vec![study.try_miss_rates_4mb()?],
+        ExperimentId::Fig7 => vec![study.instruction_mix_pca()?.to_table()?],
+        ExperimentId::Fig8 => vec![study.working_set_pca()?.to_table()?],
+        ExperimentId::Fig9 => vec![study.sharing_pca()?.to_table()?],
+        ExperimentId::Fig10 => vec![study.miss_rates_4mb()?],
         ExperimentId::Fig11 => {
-            vec![footprints::footprint_study(study).try_instruction_table()?]
+            vec![footprints::footprint_study(study).instruction_table()?]
         }
-        ExperimentId::Fig12 => vec![footprints::footprint_study(study).try_data_table()?],
+        ExperimentId::Fig12 => vec![footprints::footprint_study(study).data_table()?],
         other => {
             return Err(StudyError::Registry {
                 id: format!("{other:?}"),
@@ -208,7 +193,7 @@ mod tests {
 
     #[test]
     fn table2_lists_the_paper_parameters() {
-        let t = table2();
+        let t = table2().expect("table2 renders");
         let s = t.to_string();
         assert!(s.contains("Warp Size"));
         assert!(s.contains("28"));
@@ -217,30 +202,26 @@ mod tests {
 
     #[test]
     fn table5_lists_thirteen_apps() {
-        assert_eq!(table5().rows.len(), 13);
+        assert_eq!(table5().expect("table5 renders").rows.len(), 13);
     }
 
     #[test]
     fn cheap_gpu_experiments_run_at_tiny_scale() {
+        let session = StudySession::sequential();
         for id in [ExperimentId::Table1, ExperimentId::Table4, ExperimentId::Fig2] {
-            let tables = run_gpu(id, Scale::Tiny);
+            let tables = run_gpu(&session, id, Scale::Tiny).expect("experiment runs");
             assert!(!tables.is_empty());
             assert!(!tables[0].rows.is_empty());
         }
     }
 
     #[test]
-    #[should_panic(expected = "needs the comparison corpus")]
-    fn comparison_artifacts_reject_gpu_path() {
-        let _ = run_gpu(ExperimentId::Fig6, Scale::Tiny);
-    }
-
-    #[test]
     fn registry_misuse_yields_typed_error() {
-        match try_run_gpu(ExperimentId::Fig6, Scale::Tiny) {
+        let session = StudySession::sequential();
+        match run_gpu(&session, ExperimentId::Fig6, Scale::Tiny) {
             Err(StudyError::Registry { id, reason }) => {
                 assert_eq!(id, "Fig6");
-                assert!(reason.contains("comparison corpus"));
+                assert!(reason.contains("needs the comparison corpus"));
             }
             other => panic!("expected StudyError::Registry, got {other:?}"),
         }

@@ -15,7 +15,7 @@
 //! | Fig. 4 (channel sweep) | [`characterization`] | [`characterization::channel_sweep`] |
 //! | Table III (incremental versions) | [`characterization`] | [`characterization::incremental_versions`] |
 //! | Fig. 5 (Fermi configurations) | [`characterization`] | [`characterization::fermi_study`] |
-//! | §III.E (Plackett–Burman) | [`sensitivity`] | [`sensitivity::pb_study`] |
+//! | §III.E (Plackett–Burman) | [`sensitivity`] | [`sensitivity::run`] |
 //! | Table IV (suite comparison) | [`suite`] | [`suite::comparison_table`] |
 //! | Table V (Parsec catalog) | — | [`parsec_lite::catalog()`] |
 //! | Fig. 6 (dendrogram) | [`comparison`] | [`comparison::ComparisonStudy::dendrogram`] |
@@ -26,14 +26,22 @@
 //! Everything prints through [`report::Table`], which renders aligned
 //! text and CSV.
 //!
-//! Every panicking driver has a `try_*` sibling returning
-//! [`error::StudyError`], which unifies `simt::SimError` and
-//! `analysis::AnalysisError` for callers that must not abort.
+//! Every driver returns `Result<_, `[`error::StudyError`]`>`, which
+//! unifies `simt::SimError` and `analysis::AnalysisError` with the
+//! drivers' own failure modes; there are no panicking wrappers.
+//!
+//! GPU-side drivers take a [`engine::StudySession`]: a worker pool
+//! (`repro --jobs N`) plus a shared [`trace_cache::TraceCache`] that
+//! captures each benchmark's warp trace exactly once and replays it
+//! under every requested machine configuration. Results are reassembled
+//! in submission order, so tables are byte-identical for any worker
+//! count.
 
 #![warn(missing_docs)]
 
 pub mod characterization;
 pub mod comparison;
+pub mod engine;
 pub mod error;
 pub mod experiments;
 pub mod features;
@@ -42,6 +50,8 @@ pub mod manifest;
 pub mod report;
 pub mod sensitivity;
 pub mod suite;
+pub mod trace_cache;
 
 pub use datasets::Scale;
+pub use engine::StudySession;
 pub use error::StudyError;

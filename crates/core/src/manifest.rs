@@ -160,7 +160,7 @@ mod tests {
 
     fn demo_table() -> Table {
         let mut t = Table::new("Demo", &["name", "value"]);
-        t.push(vec!["alpha".into(), "1.5".into()]);
+        t.push(vec!["alpha".into(), "1.5".into()]).expect("row fits");
         t
     }
 

@@ -26,21 +26,11 @@ impl Table {
 
     /// Appends a row.
     ///
-    /// # Panics
-    ///
-    /// Panics if the row length does not match the header. Prefer
-    /// [`Table::try_push`] for a typed error.
-    pub fn push(&mut self, row: Vec<String>) {
-        self.try_push(row).unwrap_or_else(|e| panic!("{e}"));
-    }
-
-    /// Fallible [`Table::push`].
-    ///
     /// # Errors
     ///
     /// [`StudyError::TableRow`] if the row length does not match the
     /// header; the table is left unchanged.
-    pub fn try_push(&mut self, row: Vec<String>) -> Result<(), StudyError> {
+    pub fn push(&mut self, row: Vec<String>) -> Result<(), StudyError> {
         if row.len() != self.columns.len() {
             return Err(StudyError::TableRow {
                 got: row.len(),
@@ -136,8 +126,8 @@ mod tests {
 
     fn example() -> Table {
         let mut t = Table::new("Demo", &["name", "value"]);
-        t.push(vec!["alpha".into(), "1.5".into()]);
-        t.push(vec!["b,c".into(), "2".into()]);
+        t.push(vec!["alpha".into(), "1.5".into()]).unwrap();
+        t.push(vec!["b,c".into(), "2".into()]).unwrap();
         t
     }
 
@@ -157,16 +147,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "row width mismatch")]
-    fn bad_row_panics() {
+    fn push_rejects_bad_row_untouched() {
         let mut t = Table::new("t", &["a", "b"]);
-        t.push(vec!["only-one".into()]);
-    }
-
-    #[test]
-    fn try_push_rejects_bad_row_untouched() {
-        let mut t = Table::new("t", &["a", "b"]);
-        let err = t.try_push(vec!["only-one".into()]).unwrap_err();
+        let err = t.push(vec!["only-one".into()]).unwrap_err();
         assert_eq!(
             err,
             crate::error::StudyError::TableRow {

@@ -5,11 +5,12 @@ use datasets::Scale;
 use rodinia_gpu::suite::all_benchmarks;
 use tracekit::CpuWorkload;
 
+use crate::error::StudyError;
 use crate::report::Table;
 
 /// Reproduces Table I: the Rodinia applications, their dwarves, domains,
 /// and (scale-dependent) problem sizes.
-pub fn rodinia_table(scale: Scale) -> Table {
+pub fn rodinia_table(scale: Scale) -> Result<Table, StudyError> {
     let mut t = Table::new(
         "Table I: Rodinia applications and kernels",
         &["Application", "Dwarf", "Domain", "Problem size"],
@@ -20,13 +21,13 @@ pub fn rodinia_table(scale: Scale) -> Table {
             b.dwarf().to_string(),
             b.domain().to_string(),
             b.problem_size(),
-        ]);
+        ])?;
     }
-    t
+    Ok(t)
 }
 
 /// Reproduces Table IV: the qualitative Parsec-vs-Rodinia comparison.
-pub fn comparison_table() -> Table {
+pub fn comparison_table() -> Result<Table, StudyError> {
     let mut t = Table::new(
         "Table IV: comparison between Parsec and Rodinia",
         &["Feature", "Parsec", "Rodinia"],
@@ -69,9 +70,9 @@ pub fn comparison_table() -> Table {
         ),
     ];
     for (f, p, r) in rows {
-        t.push(vec![f.into(), p.into(), r.into()]);
+        t.push(vec![f.into(), p.into(), r.into()])?;
     }
-    t
+    Ok(t)
 }
 
 /// One entry of the combined cross-suite workload list.
@@ -111,14 +112,14 @@ mod tests {
 
     #[test]
     fn table1_has_twelve_apps() {
-        let t = rodinia_table(Scale::Tiny);
+        let t = rodinia_table(Scale::Tiny).expect("table1 renders");
         assert_eq!(t.rows.len(), 12);
         assert!(t.to_string().contains("Graph Traversal"));
     }
 
     #[test]
     fn table4_matches_the_paper_shape() {
-        let t = comparison_table();
+        let t = comparison_table().expect("table4 renders");
         assert_eq!(t.rows.len(), 11);
         let text = t.to_string();
         assert!(text.contains("Offloading"));

@@ -1,0 +1,312 @@
+//! A thread-safe cache of captured kernel traces, shared across
+//! experiment jobs.
+//!
+//! Trace capture (functional execution) is the expensive, replay-config
+//! independent half of a simulated launch: a recorded
+//! [`KernelTrace`](simt::KernelTrace) depends only on the warp size, the
+//! shared-memory bank count, and the coalescing segment size — not on
+//! SM count, clocks, latencies, channel count, caches, or the scheduler
+//! policy. All paper configurations agree on those three parameters
+//! except the GTX 480 family (32 banks instead of 16), so one capture
+//! per `(benchmark, scale, variant)` serves the 8↔28-SM comparison, the
+//! channel sweep, and all twelve Plackett–Burman design points.
+//!
+//! [`TraceCache`] keys captures by [`TraceKey`] and guarantees
+//! exactly-once capture even under concurrent lookups: each entry is an
+//! `Arc<OnceLock<...>>`, so racing workers block on the first
+//! initializer instead of capturing twice.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use datasets::Scale;
+use rodinia_gpu::suite::GpuBenchmark;
+use simt::{Gpu, GpuConfig, KernelStats, KernelTrace};
+
+use crate::error::StudyError;
+
+/// The subset of a [`GpuConfig`] that influences functional trace
+/// capture. Two configurations with equal fingerprints produce
+/// byte-identical traces for the same workload, so a trace captured
+/// under one may be replayed under the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CaptureFingerprint {
+    /// Threads per warp (shapes warp decomposition and divergence).
+    pub warp_size: u32,
+    /// Shared-memory bank count (shapes recorded conflict patterns).
+    pub shared_banks: u32,
+    /// Coalescing segment size in bytes (shapes recorded segments).
+    pub segment_bytes: u32,
+}
+
+impl CaptureFingerprint {
+    /// Extracts the capture-relevant parameters of `cfg`.
+    pub fn of(cfg: &GpuConfig) -> CaptureFingerprint {
+        CaptureFingerprint {
+            warp_size: cfg.warp_size,
+            shared_banks: cfg.shared_banks,
+            segment_bytes: cfg.segment_bytes,
+        }
+    }
+}
+
+/// Cache key: one functional execution of one workload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Benchmark abbreviation (`BP`, `BFS`, ...) or variant-family name.
+    pub benchmark: String,
+    /// Input scale.
+    pub scale: Scale,
+    /// Code variant (`""` for the suite default, `"v1"`/`"v2"` for the
+    /// Table III incremental versions).
+    pub variant: &'static str,
+    /// Capture-relevant configuration parameters.
+    pub fingerprint: CaptureFingerprint,
+}
+
+/// Everything one capture pass produced: the per-launch traces in
+/// launch order, the stats under the capture configuration, and the
+/// host↔device traffic of the functional run.
+#[derive(Debug)]
+pub struct CapturedRun {
+    /// Recorded traces, one per kernel launch, in launch order.
+    pub traces: Vec<Arc<KernelTrace>>,
+    /// The configuration the capture ran under.
+    pub capture_cfg: GpuConfig,
+    /// Aggregate stats of the capture run (capture and timing happen in
+    /// the same launch, so this equals a direct run under
+    /// `capture_cfg`).
+    pub baseline: KernelStats,
+    /// Host→device bytes moved by the functional run.
+    pub h2d_bytes: u64,
+    /// Device→host bytes moved by the functional run.
+    pub d2h_bytes: u64,
+}
+
+impl CapturedRun {
+    /// Re-times every recorded launch under `cfg` and merges the
+    /// per-launch stats in launch order — byte-identical to running the
+    /// benchmark directly under `cfg`, provided `cfg` shares this
+    /// capture's [`CaptureFingerprint`].
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::TraceReuse`] if `cfg`'s fingerprint differs from
+    /// the capture's; [`StudyError::Sim`] if replay itself fails.
+    pub fn replay(&self, cfg: &GpuConfig) -> Result<KernelStats, StudyError> {
+        let want = CaptureFingerprint::of(cfg);
+        let have = CaptureFingerprint::of(&self.capture_cfg);
+        if want != have {
+            return Err(StudyError::TraceReuse {
+                capture: format!("{have:?} ({})", self.capture_cfg.name),
+                replay: format!("{want:?} ({})", cfg.name),
+            });
+        }
+        let mut acc: Option<KernelStats> = None;
+        for trace in &self.traces {
+            let s = simt::try_time_trace(trace, cfg)?;
+            acc = Some(match acc {
+                None => s,
+                Some(mut a) => {
+                    a.merge(&s);
+                    a
+                }
+            });
+        }
+        acc.ok_or_else(|| StudyError::TraceReuse {
+            capture: self.capture_cfg.name.clone(),
+            replay: "no launches were recorded".to_string(),
+        })
+    }
+
+    /// Stats under `cfg`: the stored baseline when `cfg` is exactly the
+    /// capture configuration (no re-timing needed), a [`replay`] pass
+    /// otherwise.
+    ///
+    /// [`replay`]: CapturedRun::replay
+    pub fn stats_for(&self, cfg: &GpuConfig) -> Result<KernelStats, StudyError> {
+        if *cfg == self.capture_cfg {
+            Ok(self.baseline.clone())
+        } else {
+            self.replay(cfg)
+        }
+    }
+}
+
+type CacheSlot = Arc<OnceLock<Result<Arc<CapturedRun>, StudyError>>>;
+
+/// A thread-safe, exactly-once cache of captured runs.
+///
+/// The outer map is held only long enough to clone the entry's
+/// `Arc<OnceLock>`; the (possibly long) capture runs outside the map
+/// lock, so workers capturing *different* benchmarks never serialize on
+/// each other, while workers racing for the *same* key block on one
+/// shared `OnceLock` initializer.
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    map: Mutex<HashMap<TraceKey, CacheSlot>>,
+}
+
+impl TraceCache {
+    /// Creates an empty cache.
+    pub fn new() -> TraceCache {
+        TraceCache::default()
+    }
+
+    /// Number of cached (or in-flight) captures.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up `key`, running `capture` exactly once on a miss (even
+    /// under concurrent lookups of the same key).
+    pub fn get_or_capture(
+        &self,
+        key: TraceKey,
+        capture: impl FnOnce() -> Result<CapturedRun, StudyError>,
+    ) -> Result<Arc<CapturedRun>, StudyError> {
+        let slot = {
+            let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            map.entry(key).or_default().clone()
+        };
+        slot.get_or_init(|| capture().map(Arc::new)).clone()
+    }
+
+    /// Captures a suite benchmark under `cfg` (variant `""`), reusing a
+    /// cached capture with the same fingerprint when available.
+    pub fn capture_benchmark(
+        &self,
+        b: &dyn GpuBenchmark,
+        scale: Scale,
+        cfg: &GpuConfig,
+    ) -> Result<Arc<CapturedRun>, StudyError> {
+        self.capture_fn(b.abbrev(), scale, "", cfg, |gpu| b.run_on(gpu))
+    }
+
+    /// Captures an arbitrary workload closure under `cfg`, keyed by
+    /// `(name, scale, variant)` plus `cfg`'s fingerprint. The closure
+    /// runs at most once; it must drive every kernel launch through the
+    /// provided [`Gpu`].
+    pub fn capture_fn(
+        &self,
+        name: &str,
+        scale: Scale,
+        variant: &'static str,
+        cfg: &GpuConfig,
+        run: impl FnOnce(&mut Gpu) -> KernelStats,
+    ) -> Result<Arc<CapturedRun>, StudyError> {
+        let key = TraceKey {
+            benchmark: name.to_string(),
+            scale,
+            variant,
+            fingerprint: CaptureFingerprint::of(cfg),
+        };
+        self.get_or_capture(key, || {
+            let _span = obs::span!("trace_cache.capture.{name}");
+            let mut gpu = Gpu::try_new(cfg.clone())?;
+            gpu.set_trace_recording(true);
+            let baseline = run(&mut gpu);
+            Ok(CapturedRun {
+                traces: gpu.take_recorded_traces(),
+                capture_cfg: cfg.clone(),
+                baseline,
+                h2d_bytes: gpu.mem().h2d_bytes(),
+                d2h_bytes: gpu.mem().d2h_bytes(),
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodinia_gpu::suite::all_benchmarks;
+
+    #[test]
+    fn paper_configs_share_the_default_fingerprint_except_fermi() {
+        let base = CaptureFingerprint::of(&GpuConfig::gpgpusim_default());
+        assert_eq!(CaptureFingerprint::of(&GpuConfig::gpgpusim_8sm()), base);
+        assert_eq!(CaptureFingerprint::of(&GpuConfig::gtx280()), base);
+        assert_eq!(
+            CaptureFingerprint::of(&GpuConfig::gpgpusim_default().with_mem_channels(4)),
+            base
+        );
+        let fermi = CaptureFingerprint::of(&GpuConfig::gtx480_shared_bias());
+        assert_ne!(fermi, base);
+        assert_eq!(CaptureFingerprint::of(&GpuConfig::gtx480_l1_bias()), fermi);
+    }
+
+    #[test]
+    fn capture_happens_exactly_once_and_replays_identically() {
+        let cache = TraceCache::new();
+        let cfg = GpuConfig::gpgpusim_default();
+        let benches = all_benchmarks(Scale::Tiny);
+        let b = benches[0].as_ref();
+
+        let run1 = cache
+            .capture_benchmark(b, Scale::Tiny, &cfg)
+            .expect("capture");
+        let run2 = cache
+            .capture_benchmark(b, Scale::Tiny, &cfg)
+            .expect("cache hit");
+        assert!(Arc::ptr_eq(&run1, &run2), "second lookup hit the cache");
+        assert_eq!(cache.len(), 1);
+
+        // Replay under the capture config reproduces the baseline.
+        let replayed = run1.replay(&cfg).expect("replay");
+        assert_eq!(replayed.cycles, run1.baseline.cycles);
+        assert_eq!(
+            replayed.thread_instructions,
+            run1.baseline.thread_instructions
+        );
+        // Replay on a different machine (same fingerprint) works too.
+        let s8 = run1.replay(&GpuConfig::gpgpusim_8sm()).expect("8-SM replay");
+        assert!(s8.cycles > 0);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_a_typed_error() {
+        let cache = TraceCache::new();
+        let cfg = GpuConfig::gpgpusim_default();
+        let benches = all_benchmarks(Scale::Tiny);
+        let run = cache
+            .capture_benchmark(benches[0].as_ref(), Scale::Tiny, &cfg)
+            .expect("capture");
+        let err = run.replay(&GpuConfig::gtx480_l1_bias()).unwrap_err();
+        assert!(matches!(err, StudyError::TraceReuse { .. }), "{err}");
+        assert!(err.to_string().contains("fingerprint"));
+    }
+
+    #[test]
+    fn concurrent_lookups_capture_once() {
+        let cache = TraceCache::new();
+        let cfg = GpuConfig::gpgpusim_default();
+        let captures = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let benches = all_benchmarks(Scale::Tiny);
+                    let b = benches[4].as_ref(); // HotSpot: cheap at Tiny
+                    let run = cache
+                        .capture_fn(b.abbrev(), Scale::Tiny, "", &cfg, |gpu| {
+                            captures.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                            b.run_on(gpu)
+                        })
+                        .expect("capture");
+                    assert!(run.baseline.cycles > 0);
+                });
+            }
+        });
+        assert_eq!(
+            captures.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "exactly one thread ran the capture closure"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+}

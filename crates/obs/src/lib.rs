@@ -37,4 +37,4 @@ pub use sink::{
     add_sink, clear_sinks, emit_with, flush_sinks, init_from_env, sinks_active, Event, EventKind,
     JsonlSink, Sink, TextSink, ENV_VERBOSITY,
 };
-pub use span::Span;
+pub use span::{span_depth, span_path, Span};

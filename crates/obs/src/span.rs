@@ -4,12 +4,35 @@
 //! on the monotonic clock ([`std::time::Instant`]), folds the duration
 //! into the global [`Registry`](crate::Registry), and — when sinks are
 //! installed — emits `span_start` / `span_end` events.
+//!
+//! Each thread keeps its own stack of open spans, so nesting is tracked
+//! per worker with no cross-thread locking: `span_start` events carry a
+//! `depth` field (number of enclosing open spans on the emitting
+//! thread), and [`span_depth`] / [`span_path`] expose the current
+//! thread's stack to instrumentation sites.
 
+use std::cell::RefCell;
 use std::time::Instant;
 
 use crate::json::Json;
 use crate::registry::Registry;
 use crate::sink::{emit_with, Event, EventKind};
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Number of spans currently open on the calling thread.
+pub fn span_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+/// The calling thread's open spans joined with `/`, outermost first
+/// (e.g. `experiment.fig1/simt.replay`). Empty when no span is open.
+pub fn span_path() -> String {
+    STACK.with(|s| s.borrow().join("/"))
+}
 
 /// An open span; closes (and records itself) on drop.
 #[derive(Debug)]
@@ -19,13 +42,20 @@ pub struct Span {
 }
 
 impl Span {
-    /// Opens a span named `name`.
+    /// Opens a span named `name`, pushing it onto the calling thread's
+    /// span stack. The emitted `span_start` event carries the number of
+    /// spans that were already open on this thread as its `depth` field.
     pub fn enter(name: impl Into<String>) -> Span {
         let name = name.into();
+        let depth = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name.clone());
+            s.len() - 1
+        });
         emit_with(|| Event {
             kind: EventKind::SpanStart,
             name: name.clone(),
-            fields: vec![],
+            fields: vec![("depth".to_string(), Json::u64(depth as u64))],
         });
         Span {
             name,
@@ -41,6 +71,17 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        // Pop the last stack entry with this span's name: spans usually
+        // close LIFO, but a span moved across threads or dropped out of
+        // order must not corrupt unrelated entries. A span dropped on a
+        // thread other than the one that opened it finds no entry and
+        // leaves that thread's stack untouched.
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(i) = s.iter().rposition(|n| n == &self.name) {
+                s.remove(i);
+            }
+        });
         let dur_us = self.start.elapsed().as_micros() as u64;
         Registry::global().record_span(&self.name, dur_us);
         emit_with(|| Event {
@@ -80,5 +121,43 @@ mod tests {
         let stat = Registry::global().span_stat(name).unwrap();
         assert!(stat.count >= 2);
         assert!(stat.max_us <= stat.total_us);
+    }
+
+    #[test]
+    fn stack_tracks_nesting_on_this_thread() {
+        assert_eq!(span_depth(), 0);
+        let _outer = Span::enter("obs-test.outer");
+        assert_eq!(span_depth(), 1);
+        assert_eq!(span_path(), "obs-test.outer");
+        {
+            let _inner = Span::enter("obs-test.inner");
+            assert_eq!(span_depth(), 2);
+            assert_eq!(span_path(), "obs-test.outer/obs-test.inner");
+        }
+        assert_eq!(span_depth(), 1);
+        assert_eq!(span_path(), "obs-test.outer");
+    }
+
+    #[test]
+    fn out_of_order_drop_pops_the_matching_entry() {
+        let a = Span::enter("obs-test.a");
+        let b = Span::enter("obs-test.b");
+        drop(a);
+        assert_eq!(span_path(), "obs-test.b");
+        drop(b);
+        assert_eq!(span_depth(), 0);
+    }
+
+    #[test]
+    fn stacks_are_per_thread() {
+        let _outer = Span::enter("obs-test.main-thread");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert_eq!(span_depth(), 0, "fresh thread starts empty");
+                let _t = Span::enter("obs-test.worker");
+                assert_eq!(span_path(), "obs-test.worker");
+            });
+        });
+        assert_eq!(span_path(), "obs-test.main-thread");
     }
 }

@@ -46,7 +46,10 @@ impl std::fmt::Display for Dwarf {
 }
 
 /// A runnable member of the Rodinia GPU suite with its Table I metadata.
-pub trait GpuBenchmark {
+///
+/// `Send + Sync` is a supertrait so boxed benchmarks can be shared with
+/// the parallel study engine's worker threads (`rodinia_study::engine`).
+pub trait GpuBenchmark: Send + Sync {
     /// Full benchmark name.
     fn name(&self) -> &'static str;
 

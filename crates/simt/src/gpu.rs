@@ -6,7 +6,10 @@ use crate::error::SimError;
 use crate::isa::TOp;
 use crate::kernel::Kernel;
 use crate::memory::GpuMem;
-use crate::sm::{ctas_per_sm, CtaRt, SmRt, WarpRt};
+use crate::sm::{
+    ctas_per_sm, CtaRt, SmRt, WarpRt, SCHED_BARRIER, SCHED_DONE, SCHED_MEM, SCHED_PICK_MASK,
+    SCHED_READY_MASK,
+};
 use crate::stats::{
     KernelStats, MemMix, OccupancyHistogram, StallBreakdown, Timeline, TimelineSample,
 };
@@ -22,6 +25,8 @@ use crate::dram::Dram;
 pub struct Gpu {
     cfg: GpuConfig,
     mem: GpuMem,
+    record_traces: bool,
+    recorded: Vec<std::sync::Arc<KernelTrace>>,
 }
 
 impl Gpu {
@@ -47,7 +52,29 @@ impl Gpu {
         Ok(Gpu {
             cfg,
             mem: GpuMem::new(),
+            record_traces: false,
+            recorded: Vec::new(),
         })
+    }
+
+    /// Turns transparent trace recording on or off. While on, every
+    /// successful [`Gpu::launch`] / [`Gpu::try_launch`] stashes its
+    /// captured [`KernelTrace`] (behind an `Arc`, in launch order) so a
+    /// whole application run can later be re-timed on other
+    /// configurations without re-executing it functionally.
+    pub fn set_trace_recording(&mut self, on: bool) {
+        self.record_traces = on;
+    }
+
+    /// Whether launches currently record their traces.
+    pub fn trace_recording(&self) -> bool {
+        self.record_traces
+    }
+
+    /// Takes the traces recorded since recording was enabled (or since
+    /// the last call), in launch order, leaving the buffer empty.
+    pub fn take_recorded_traces(&mut self) -> Vec<std::sync::Arc<KernelTrace>> {
+        std::mem::take(&mut self.recorded)
     }
 
     /// The machine configuration.
@@ -90,7 +117,11 @@ impl Gpu {
     /// execution.
     pub fn try_launch(&mut self, kernel: &dyn Kernel) -> Result<KernelStats, SimError> {
         let trace = try_trace_kernel(kernel, &mut self.mem, &self.cfg)?;
-        try_time_trace(&trace, &self.cfg)
+        let stats = try_time_trace(&trace, &self.cfg)?;
+        if self.record_traces {
+            self.recorded.push(std::sync::Arc::new(trace));
+        }
+        Ok(stats)
     }
 
     /// Like [`Gpu::launch`], but also returns the captured trace so it can
@@ -252,11 +283,35 @@ pub fn try_time_traces_concurrent(
     Ok(stats)
 }
 
+/// Cached per-SM warp-state digest, recomputed lazily after any warp on
+/// the SM changes state. It answers the three questions the scheduler
+/// loop, the fast-forward targeting, and the stall attribution ask every
+/// cycle — without re-scanning the SM's warp list when nothing changed
+/// (the common case for an SM parked on a long memory stall).
+#[derive(Debug, Clone, Copy)]
+struct SmSummary {
+    /// Earliest `ready_at` among live, non-barrier warps (`u64::MAX` when
+    /// the SM has none).
+    min_ready: u64,
+    /// Any resident warp not yet retired.
+    any_live: bool,
+    /// Any live, non-barrier warp waiting on a memory response.
+    any_mem: bool,
+    /// Every live warp is parked at a barrier.
+    all_barrier: bool,
+}
+
 struct Engine<'a> {
     traces: &'a [&'a KernelTrace],
     cfg: &'a GpuConfig,
     sms: Vec<SmRt>,
-    warps: Vec<WarpRt>,
+    /// Lazily maintained per-SM digests (`None` = stale, recompute).
+    summaries: Vec<Option<SmSummary>>,
+    warps: Vec<WarpRt<'a>>,
+    /// Each warp's current slot in its SM's `warps`/`sched` lists
+    /// (indexed by runtime warp id; rebuilt when a CTA's dead warps are
+    /// compacted away).
+    slot_of: Vec<usize>,
     ctas: Vec<CtaRt>,
     dram: Dram,
     l2: Option<Cache>,
@@ -273,6 +328,13 @@ struct Engine<'a> {
     occupancy: OccupancyHistogram,
     // telemetry: per-SM stall attribution and the sampled timeline
     stalls: Vec<StallBreakdown>,
+    /// Cycle up to which each SM's idle time has been attributed. An
+    /// SM's warp state (and thus its stall classification) only changes
+    /// when the SM issues or receives a CTA, so attribution is deferred
+    /// and charged in one merged span at each such event — equivalent,
+    /// cycle for cycle, to per-interval accounting, without walking
+    /// every SM on every simulated cycle.
+    attributed: Vec<u64>,
     samples: std::collections::VecDeque<TimelineSample>,
     dropped_samples: u64,
     next_sample: u64,
@@ -297,7 +359,9 @@ impl<'a> Engine<'a> {
             traces,
             cfg,
             sms: (0..cfg.num_sms).map(|_| SmRt::new(cfg)).collect(),
+            summaries: vec![None; cfg.num_sms as usize],
             warps: Vec::new(),
+            slot_of: Vec::new(),
             ctas: Vec::new(),
             dram: Dram::new(cfg),
             l2: cfg.l2.map(Cache::new),
@@ -311,6 +375,7 @@ impl<'a> Engine<'a> {
             mem_mix: MemMix::default(),
             occupancy: OccupancyHistogram::new(cfg.warp_size as usize),
             stalls: vec![StallBreakdown::default(); cfg.num_sms as usize],
+            attributed: vec![0; cfg.num_sms as usize],
             samples: std::collections::VecDeque::new(),
             dropped_samples: 0,
             next_sample: cfg.timeline_sample_period.max(1),
@@ -340,6 +405,38 @@ impl<'a> Engine<'a> {
         e
     }
 
+    /// The (cached) warp-state digest of `sm`. Recomputed in one scan of
+    /// the SM's warp list when stale; every warp mutation on the SM —
+    /// all of which flow through [`Engine::issue`] and
+    /// [`Engine::place_cta`] — marks it stale.
+    fn summary(&mut self, sm: usize) -> SmSummary {
+        if let Some(s) = self.summaries[sm] {
+            return s;
+        }
+        let mut s = SmSummary {
+            min_ready: u64::MAX,
+            any_live: false,
+            any_mem: false,
+            all_barrier: true,
+        };
+        for &v in &self.sms[sm].sched {
+            if v & SCHED_DONE != 0 {
+                continue;
+            }
+            s.any_live = true;
+            if v & SCHED_BARRIER != 0 {
+                continue;
+            }
+            s.all_barrier = false;
+            if v & SCHED_MEM != 0 {
+                s.any_mem = true;
+            }
+            s.min_ready = s.min_ready.min(v & SCHED_READY_MASK);
+        }
+        self.summaries[sm] = Some(s);
+        s
+    }
+
     /// Whether a CTA of kernel `k` fits on `sm` right now.
     fn fits(&self, sm: usize, k: usize) -> bool {
         let t = self.traces[k];
@@ -352,6 +449,8 @@ impl<'a> Engine<'a> {
     }
 
     fn place_cta(&mut self, sm: usize, kernel: usize, trace_idx: usize, at: u64) {
+        self.attribute_span(sm);
+        self.summaries[sm] = None;
         let t = self.traces[kernel];
         let n_warps = t.ctas[trace_idx].warps.len();
         let cta_rt = self.ctas.len();
@@ -359,10 +458,8 @@ impl<'a> Engine<'a> {
         for w in 0..n_warps {
             let id = self.warps.len();
             self.warps.push(WarpRt {
-                kernel,
                 cta_rt,
-                cta_trace: trace_idx,
-                warp_idx: w,
+                ops: &t.ctas[trace_idx].warps[w].ops,
                 pc: 0,
                 ready_at: at,
                 at_barrier: false,
@@ -371,7 +468,9 @@ impl<'a> Engine<'a> {
                 last_issue: 0,
             });
             warp_ids.push(id);
+            self.slot_of.push(self.sms[sm].warps.len());
             self.sms[sm].warps.push(id);
+            self.sms[sm].sched.push(at);
         }
         self.live_warps += n_warps;
         self.ctas.push(CtaRt {
@@ -399,14 +498,23 @@ impl<'a> Engine<'a> {
                     });
                 }
             }
-            let mut issued_any = false;
             for sm in 0..self.sms.len() {
                 while self.sms[sm].port_free_at <= self.cycle {
+                    // Cheap gate when a cached digest exists: no warp on
+                    // this SM can be ready before `min_ready`, so skip
+                    // the scheduler scan entirely. A stale digest is NOT
+                    // recomputed here — a failed `pick_warp` scan below
+                    // rebuilds it as a side effect, so issuing SMs never
+                    // pay a separate summary pass.
+                    if let Some(s) = self.summaries[sm] {
+                        if s.min_ready > self.cycle {
+                            break;
+                        }
+                    }
                     let Some(w) = self.pick_warp(sm) else {
                         break;
                     };
                     self.issue(sm, w);
-                    issued_any = true;
                     if self.live_warps == 0 {
                         break;
                     }
@@ -415,64 +523,55 @@ impl<'a> Engine<'a> {
             if self.live_warps == 0 {
                 break;
             }
-            let next = if issued_any {
-                self.cycle + 1
-            } else {
-                self.next_wake()?
-            };
-            self.account_interval(self.cycle, next);
+            // Jump straight to the next cycle on which any SM could
+            // issue: for every SM, no warp is pickable before
+            // `max(min_ready, port_free_at)` (an unpickable warp has
+            // `ready_at > cycle`, and the port gates the rest), so the
+            // skipped cycles are exactly the cycles the per-cycle loop
+            // would have spent re-checking gates and finding nothing.
+            let next = self.next_wake()?;
+            self.sample_timeline(next);
             self.cycle = next;
         }
         self.horizon = self.horizon.max(self.cycle);
         Ok(())
     }
 
-    /// Attributes each SM's cycles in `[from, to)` to stall categories.
+    /// Attributes `sm`'s cycles in `[attributed[sm], cycle)` to stall
+    /// categories, then advances the watermark.
     ///
-    /// Issues only happen at interval starts, so within the interval an
-    /// SM's busy cycles are the contiguous prefix up to `port_free_at`
-    /// (already charged to issue/bank-conflict/divergence at issue time);
-    /// the idle remainder is classified from the SM's warp state, which
-    /// cannot change mid-interval.
-    fn account_interval(&mut self, from: u64, to: u64) {
-        debug_assert!(to > from);
-        let delta = to - from;
-        for si in 0..self.sms.len() {
-            let busy = self.sms[si].port_free_at.clamp(from, to) - from;
-            let idle = delta - busy;
-            if idle == 0 {
-                continue;
-            }
-            let mut any_live = false;
-            let mut any_mem = false;
-            let mut all_barrier = true;
-            for &w in &self.sms[si].warps {
-                let warp = &self.warps[w];
-                if warp.done {
-                    continue;
-                }
-                any_live = true;
-                if warp.at_barrier {
-                    continue;
-                }
-                all_barrier = false;
-                if warp.waiting_mem {
-                    any_mem = true;
-                }
-            }
-            let st = &mut self.stalls[si];
-            if !any_live {
-                st.empty += idle;
-            } else if any_mem {
-                st.mem_pending += idle;
-            } else if all_barrier {
-                st.barrier += idle;
-            } else {
-                // Warps waiting on compute latency or a CTA-launch window.
-                st.issue += idle;
-            }
+    /// Called immediately before any state change on the SM (an issue or
+    /// a CTA placement) and once at the end of simulation. Issues only
+    /// happen at span starts, so within the span the SM's busy cycles
+    /// are the contiguous prefix up to `port_free_at` (already charged
+    /// to issue/bank-conflict/divergence at issue time); the idle
+    /// remainder is classified from the SM's warp state, which cannot
+    /// change mid-span. Charging the merged span is therefore exactly
+    /// equivalent to accounting every simulated cycle individually.
+    fn attribute_span(&mut self, sm: usize) {
+        let from = self.attributed[sm];
+        let to = self.cycle;
+        if to <= from {
+            return;
         }
-        self.sample_timeline(to);
+        self.attributed[sm] = to;
+        let busy = self.sms[sm].port_free_at.clamp(from, to) - from;
+        let idle = (to - from) - busy;
+        if idle == 0 {
+            return;
+        }
+        let s = self.summary(sm);
+        let st = &mut self.stalls[sm];
+        if !s.any_live {
+            st.empty += idle;
+        } else if s.any_mem {
+            st.mem_pending += idle;
+        } else if s.all_barrier {
+            st.barrier += idle;
+        } else {
+            // Warps waiting on compute latency or a CTA-launch window.
+            st.issue += idle;
+        }
     }
 
     /// Emits timeline samples for every period boundary up to `upto`.
@@ -502,44 +601,115 @@ impl<'a> Engine<'a> {
 
     /// Selects an issuable warp on `sm` according to the configured
     /// scheduler policy.
+    ///
+    /// A *failed* selection has necessarily scanned every resident warp,
+    /// so it rebuilds and caches the SM's [`SmSummary`] in the same pass
+    /// — the run-loop gate and the stall attribution then reuse it
+    /// without a second scan. (A successful pick leaves a stale digest;
+    /// [`Engine::issue`] invalidates it anyway.)
     fn pick_warp(&mut self, sm: usize) -> Option<usize> {
         let n = self.sms[sm].warps.len();
         if n == 0 {
+            self.summaries[sm] = Some(SmSummary {
+                min_ready: u64::MAX,
+                any_live: false,
+                any_mem: false,
+                all_barrier: true,
+            });
             return None;
         }
-        let ready = |warp: &WarpRt, cycle: u64| {
-            !warp.done && !warp.at_barrier && warp.ready_at <= cycle
+        let mut s = SmSummary {
+            min_ready: u64::MAX,
+            any_live: false,
+            any_mem: false,
+            all_barrier: true,
         };
+        // Both policies scan the SM's packed scheduler words: a single
+        // `word <= cycle` compare per slot decides pickability (done and
+        // barrier-parked warps carry a high flag bit and always fail),
+        // and the flag bits of unpickable slots feed the summary. The
+        // visit order — and therefore the pick — is identical to
+        // scanning the `WarpRt`s themselves.
         match self.cfg.sched_policy {
             SchedPolicy::RoundRobin => {
-                let start = self.sms[sm].rr % n;
-                for i in 0..n {
-                    let slot = (start + i) % n;
-                    let w = self.sms[sm].warps[slot];
-                    if ready(&self.warps[w], self.cycle) {
+                let cycle = self.cycle;
+                let hit = {
+                    let smr = &self.sms[sm];
+                    let sched = &smr.sched[..n];
+                    let start = smr.rr % n;
+                    // Hot pass: pickability only, in round-robin order as
+                    // two linear ranges. The summary of a scan that finds
+                    // a ready warp is never consulted, so flag folding is
+                    // deferred to the no-pick case below.
+                    let mut hit = sched[start..]
+                        .iter()
+                        .position(|&v| v & SCHED_PICK_MASK <= cycle)
+                        .map(|i| start + i);
+                    if hit.is_none() {
+                        hit = sched[..start]
+                            .iter()
+                            .position(|&v| v & SCHED_PICK_MASK <= cycle);
+                    }
+                    if hit.is_none() {
+                        // No pickable warp: one branchless fold over all
+                        // slots builds the cached summary.
+                        for &v in sched {
+                            let live = v & SCHED_DONE == 0;
+                            let active = live && v & SCHED_BARRIER == 0;
+                            s.any_live |= live;
+                            s.all_barrier &= !active;
+                            s.any_mem |= active && v & SCHED_MEM != 0;
+                            let r = if active { v & SCHED_READY_MASK } else { u64::MAX };
+                            s.min_ready = s.min_ready.min(r);
+                        }
+                    }
+                    hit
+                };
+                match hit {
+                    Some(slot) => {
                         self.sms[sm].rr = slot + 1;
-                        return Some(w);
+                        Some(self.sms[sm].warps[slot])
+                    }
+                    None => {
+                        self.summaries[sm] = Some(s);
+                        None
                     }
                 }
-                None
             }
             SchedPolicy::GreedyThenOldest => {
                 // Greedy: stick with the last warp while it stays ready.
                 if let Some(w) = self.sms[sm].last_warp {
-                    if ready(&self.warps[w], self.cycle) {
+                    if self.sms[sm].sched[self.slot_of[w]] & SCHED_PICK_MASK <= self.cycle {
                         return Some(w);
                     }
                 }
                 // Oldest: least-recently-issued ready warp.
                 let mut best: Option<usize> = None;
-                for &w in &self.sms[sm].warps {
-                    if ready(&self.warps[w], self.cycle)
-                        && best.is_none_or(|b| {
-                            self.warps[w].last_issue < self.warps[b].last_issue
-                        })
-                    {
-                        best = Some(w);
+                for slot in 0..n {
+                    let v = self.sms[sm].sched[slot];
+                    if v & SCHED_PICK_MASK <= self.cycle {
+                        let w = self.sms[sm].warps[slot];
+                        if best.is_none_or(|b| self.warps[w].last_issue < self.warps[b].last_issue)
+                        {
+                            best = Some(w);
+                        }
+                        continue;
                     }
+                    if v & SCHED_DONE != 0 {
+                        continue;
+                    }
+                    s.any_live = true;
+                    if v & SCHED_BARRIER != 0 {
+                        continue;
+                    }
+                    s.all_barrier = false;
+                    if v & SCHED_MEM != 0 {
+                        s.any_mem = true;
+                    }
+                    s.min_ready = s.min_ready.min(v & SCHED_READY_MASK);
+                }
+                if best.is_none() {
+                    self.summaries[sm] = Some(s);
                 }
                 best
             }
@@ -548,15 +718,14 @@ impl<'a> Engine<'a> {
 
     /// The next cycle at which any warp could issue (fast-forward
     /// target), or a deadlock error if no warp can ever become ready.
-    fn next_wake(&self) -> Result<u64, SimError> {
+    fn next_wake(&mut self) -> Result<u64, SimError> {
         let mut next = u64::MAX;
-        for (si, sm) in self.sms.iter().enumerate() {
-            for &w in &sm.warps {
-                let warp = &self.warps[w];
-                if !warp.done && !warp.at_barrier {
-                    let cand = warp.ready_at.max(self.sms[si].port_free_at);
-                    next = next.min(cand);
-                }
+        for si in 0..self.sms.len() {
+            // min over warps of max(ready_at, port_free_at) equals
+            // max(min_ready, port_free_at): port_free_at is per-SM.
+            let s = self.summary(si);
+            if s.min_ready != u64::MAX {
+                next = next.min(s.min_ready.max(self.sms[si].port_free_at));
             }
         }
         if next == u64::MAX {
@@ -569,11 +738,17 @@ impl<'a> Engine<'a> {
     }
 
     fn issue(&mut self, sm: usize, w: usize) {
-        let (kernel, cta_trace, warp_idx, pc) = {
+        // Issuing mutates this warp's state (and possibly, via barrier
+        // release or CTA retirement, its whole CTA's) — all on this SM.
+        // Settle the SM's deferred stall attribution under the old state
+        // first, then invalidate the digest.
+        self.attribute_span(sm);
+        self.summaries[sm] = None;
+        let (ops, pc) = {
             let warp = &self.warps[w];
-            (warp.kernel, warp.cta_trace, warp.warp_idx, warp.pc)
+            (warp.ops, warp.pc)
         };
-        let op = &self.traces[kernel].ctas[cta_trace].warps[warp_idx].ops[pc];
+        let op = &ops[pc];
         self.warps[w].pc += 1;
 
         // Account instructions and occupancy.
@@ -697,10 +872,11 @@ impl<'a> Engine<'a> {
         if !self.warps[w].at_barrier {
             self.warps[w].ready_at = ready_at;
         }
+        self.sms[sm].sched[self.slot_of[w]] = self.warps[w].sched_word();
         self.horizon = self.horizon.max(ready_at);
 
         // Trace drained?
-        if self.warps[w].pc == self.traces[kernel].ctas[cta_trace].warps[warp_idx].ops.len() {
+        if self.warps[w].pc == ops.len() {
             self.retire_warp(sm, w);
         }
     }
@@ -750,7 +926,9 @@ impl<'a> Engine<'a> {
 
     fn arrive_barrier(&mut self, w: usize) {
         let cta_rt = self.warps[w].cta_rt;
+        let sm = self.ctas[cta_rt].sm;
         self.warps[w].at_barrier = true;
+        self.sms[sm].sched[self.slot_of[w]] = self.warps[w].sched_word();
         self.ctas[cta_rt].arrived += 1;
         let expected = self.ctas[cta_rt].warps.len() - self.ctas[cta_rt].done_warps;
         if self.ctas[cta_rt].arrived >= expected {
@@ -761,6 +939,7 @@ impl<'a> Engine<'a> {
                 if self.warps[wid].at_barrier {
                     self.warps[wid].at_barrier = false;
                     self.warps[wid].ready_at = release;
+                    self.sms[sm].sched[self.slot_of[wid]] = self.warps[wid].sched_word();
                 }
             }
         }
@@ -768,6 +947,7 @@ impl<'a> Engine<'a> {
 
     fn retire_warp(&mut self, sm: usize, w: usize) {
         self.warps[w].done = true;
+        self.sms[sm].sched[self.slot_of[w]] = SCHED_DONE;
         self.live_warps -= 1;
         let cta_rt = self.warps[w].cta_rt;
         debug_assert_eq!(self.ctas[cta_rt].sm, sm, "warp retired on the wrong SM");
@@ -786,6 +966,22 @@ impl<'a> Engine<'a> {
             self.per_kernel_done[kernel] = self.per_kernel_done[kernel].max(self.cycle);
             let dead: Vec<usize> = self.ctas[cta_rt].warps.clone();
             self.sms[sm].warps.retain(|id| !dead.contains(id));
+            // A dead last_warp would fail the greedy readiness check
+            // anyway; drop it rather than leave its slot map dangling.
+            if let Some(lw) = self.sms[sm].last_warp {
+                if dead.contains(&lw) {
+                    self.sms[sm].last_warp = None;
+                }
+            }
+            // Compact the scheduler words identically and re-point the
+            // surviving warps' slot map at their shifted positions.
+            self.sms[sm].sched.clear();
+            for slot in 0..self.sms[sm].warps.len() {
+                let id = self.sms[sm].warps[slot];
+                self.slot_of[id] = slot;
+                let word = self.warps[id].sched_word();
+                self.sms[sm].sched.push(word);
+            }
             while let Some(&(k, _)) = self.queue.front() {
                 if !self.fits(sm, k) {
                     break;
@@ -798,6 +994,11 @@ impl<'a> Engine<'a> {
     }
 
     fn into_stats(mut self) -> ConcurrentStats {
+        // Settle every SM's deferred stall attribution up to the last
+        // simulated cycle before closing the books over the drain tail.
+        for si in 0..self.sms.len() {
+            self.attribute_span(si);
+        }
         // Outstanding stores keep DRAM channels busy past the last
         // warp's retirement; the kernel is not done until they drain.
         self.horizon = self.horizon.max(self.dram.drain_cycle());
@@ -949,6 +1150,42 @@ mod tests {
         setup(&mut mem);
         let trace = trace_kernel(kernel, &mut mem, cfg);
         time_trace(&trace, cfg)
+    }
+
+    #[test]
+    fn trace_types_are_send_and_sync() {
+        // The parallel study engine shares traces, configs, and stats
+        // across a `std::thread::scope` worker pool; all three are plain
+        // data and must stay transferable.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KernelTrace>();
+        assert_send_sync::<GpuConfig>();
+        assert_send_sync::<KernelStats>();
+        assert_send_sync::<Gpu>();
+    }
+
+    #[test]
+    fn recorded_traces_replay_to_identical_stats() {
+        let cfg = GpuConfig::gpgpusim_default();
+        let mut gpu = Gpu::new(cfg.clone());
+        assert!(!gpu.trace_recording());
+        gpu.set_trace_recording(true);
+        let direct_a = gpu.launch(&Compute { n: 4096, iters: 16 });
+        let direct_b = gpu.launch(&Compute { n: 2048, iters: 4 });
+        let traces = gpu.take_recorded_traces();
+        assert_eq!(traces.len(), 2);
+        assert!(gpu.take_recorded_traces().is_empty(), "buffer drained");
+        // Replaying the recorded traces under the capture configuration
+        // reproduces the launch statistics exactly.
+        let replay_a = time_trace(&traces[0], &cfg);
+        let replay_b = time_trace(&traces[1], &cfg);
+        assert_eq!(replay_a.cycles, direct_a.cycles);
+        assert_eq!(replay_a.thread_instructions, direct_a.thread_instructions);
+        assert_eq!(replay_b.cycles, direct_b.cycles);
+        // Recording off: launches no longer accumulate.
+        gpu.set_trace_recording(false);
+        let _ = gpu.launch(&Compute { n: 1024, iters: 2 });
+        assert!(gpu.take_recorded_traces().is_empty());
     }
 
     #[test]

@@ -5,18 +5,31 @@
 
 use crate::caches::Cache;
 use crate::config::GpuConfig;
+use crate::isa::TOp;
+
+/// Scheduler-word flag: the warp has drained its trace.
+pub(crate) const SCHED_DONE: u64 = 1 << 63;
+/// Scheduler-word flag: the warp is parked at a barrier.
+pub(crate) const SCHED_BARRIER: u64 = 1 << 62;
+/// Scheduler-word flag: the warp's pending latency is a memory access.
+pub(crate) const SCHED_MEM: u64 = 1 << 61;
+/// Low bits of a scheduler word: the warp's `ready_at` cycle.
+pub(crate) const SCHED_READY_MASK: u64 = SCHED_MEM - 1;
+/// Pickability view of a scheduler word: the memory-wait bit is purely
+/// classificatory (a warp whose load has returned is pickable), so it is
+/// masked out; the DONE/BARRIER flags stay and keep the compare failing.
+pub(crate) const SCHED_PICK_MASK: u64 = !SCHED_MEM;
 
 /// Timing state of one resident warp.
 #[derive(Debug, Clone)]
-pub(crate) struct WarpRt {
-    /// Which kernel (trace) this warp belongs to.
-    pub kernel: usize,
-    /// Index of the owning CTA in the runtime CTA table.
+pub(crate) struct WarpRt<'a> {
+    /// Index of the owning CTA in the runtime CTA table (which also
+    /// records the kernel the warp belongs to).
     pub cta_rt: usize,
-    /// CTA index in the kernel trace.
-    pub cta_trace: usize,
-    /// Warp index within the CTA trace.
-    pub warp_idx: usize,
+    /// The warp's recorded operation stream, resolved once at CTA
+    /// placement so the (very hot) issue path reads `ops[pc]` directly
+    /// instead of chasing trace → CTA → warp indirections every issue.
+    pub ops: &'a [TOp],
     /// Next operation to issue.
     pub pc: usize,
     /// Cycle at which the warp may issue again.
@@ -31,6 +44,25 @@ pub(crate) struct WarpRt {
     pub done: bool,
     /// Cycle of this warp's most recent issue (greedy-then-oldest input).
     pub last_issue: u64,
+}
+
+impl WarpRt<'_> {
+    /// The warp's packed scheduler word (see [`SmRt::sched`]): an
+    /// unpickable warp (done or at a barrier) gets a flag in the top
+    /// bits, so the scheduler's pickability test collapses to a single
+    /// `word <= cycle` compare; a waiting warp carries its `ready_at`
+    /// plus the memory-wait bit for stall classification.
+    pub fn sched_word(&self) -> u64 {
+        if self.done {
+            SCHED_DONE
+        } else if self.at_barrier {
+            SCHED_BARRIER
+        } else if self.waiting_mem {
+            self.ready_at | SCHED_MEM
+        } else {
+            self.ready_at
+        }
+    }
 }
 
 /// Timing state of one resident CTA.
@@ -53,6 +85,11 @@ pub(crate) struct CtaRt {
 pub(crate) struct SmRt {
     /// Runtime warp-table indices of resident warps.
     pub warps: Vec<usize>,
+    /// Packed scheduler words, parallel to `warps` (see
+    /// [`WarpRt::sched_word`]). Kept in sync at every warp-state
+    /// mutation so scheduler scans read one dense `u64` per slot
+    /// instead of chasing a `WarpRt` per visit.
+    pub sched: Vec<u64>,
     /// Round-robin issue pointer into `warps`.
     pub rr: usize,
     /// Cycle at which the issue port frees.
@@ -77,6 +114,7 @@ impl SmRt {
     pub(crate) fn new(cfg: &GpuConfig) -> SmRt {
         SmRt {
             warps: Vec::new(),
+            sched: Vec::new(),
             rr: 0,
             port_free_at: 0,
             resident_ctas: 0,

@@ -24,13 +24,15 @@ fn scale_from_args() -> Scale {
     }
 }
 
-fn main() {
+fn main() -> Result<(), StudyError> {
     let scale = scale_from_args();
-    println!("{}", experiments::table2());
-    println!("{}", characterization::ipc_scaling(scale).to_table());
-    println!("{}", characterization::memory_mix(scale).to_table());
-    println!("{}", characterization::warp_occupancy(scale).to_table());
-    println!("{}", characterization::channel_sweep(scale).to_table());
-    println!("{}", characterization::incremental_versions(scale).to_table());
-    println!("{}", characterization::fermi_study(scale).to_table());
+    let session = StudySession::default();
+    println!("{}", experiments::table2()?);
+    println!("{}", characterization::ipc_scaling(&session, scale)?.to_table()?);
+    println!("{}", characterization::memory_mix(&session, scale)?.to_table()?);
+    println!("{}", characterization::warp_occupancy(&session, scale)?.to_table()?);
+    println!("{}", characterization::channel_sweep(&session, scale)?.to_table()?);
+    println!("{}", characterization::incremental_versions(&session, scale)?.to_table()?);
+    println!("{}", characterization::fermi_study(&session, scale)?.to_table()?);
+    Ok(())
 }

@@ -12,7 +12,7 @@
 use rodinia_repro::prelude::*;
 use rodinia_repro::rodinia_study::sensitivity;
 
-fn main() {
+fn main() -> Result<(), StudyError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (scale, names): (Scale, Vec<&str>) = match args.split_first() {
         Some((first, rest)) if first == "tiny" => (Scale::Tiny, rest.iter().map(|s| s.as_str()).collect()),
@@ -25,11 +25,13 @@ fn main() {
     } else {
         Some(names.as_slice())
     };
-    let study = sensitivity::pb_study(scale, subset);
-    println!("{}", study.to_table());
-    println!("{}", study.aggregate_table());
+    let session = StudySession::default();
+    let study = sensitivity::run(&session, scale, subset)?;
+    println!("{}", study.to_table()?);
+    println!("{}", study.aggregate_table()?);
     println!(
         "(the paper reports SIMD width and memory channels as the dominant factors,\n\
          \"often demonstrating more than an order of magnitude greater effect\")"
     );
+    Ok(())
 }

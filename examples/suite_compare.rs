@@ -22,20 +22,20 @@ fn scale_from_args() -> Scale {
     }
 }
 
-fn main() {
+fn main() -> Result<(), StudyError> {
     let scale = scale_from_args();
     eprintln!("profiling 24 workloads (this is the expensive step) ...");
     let study = ComparisonStudy::run(scale);
 
     println!("Figure 6: similarity dendrogram (Rodinia R, Parsec P)");
-    println!("{}", study.dendrogram());
+    println!("{}", study.dendrogram()?);
 
     for scatter in [
-        study.instruction_mix_pca(),
-        study.working_set_pca(),
-        study.sharing_pca(),
+        study.instruction_mix_pca()?,
+        study.working_set_pca()?,
+        study.sharing_pca()?,
     ] {
-        println!("{}", scatter.to_table());
+        println!("{}", scatter.to_table()?);
         println!(
             "  (PC1 explains {:.0}%, PC2 {:.0}% of variance)\n",
             scatter.variance_explained.0 * 100.0,
@@ -43,9 +43,10 @@ fn main() {
         );
     }
 
-    println!("{}", study.miss_rates_4mb());
-    println!("{}", study.taxonomy_table());
+    println!("{}", study.miss_rates_4mb()?);
+    println!("{}", study.taxonomy_table()?);
     let fp = footprint_study(&study);
-    println!("{}", fp.instruction_table());
-    println!("{}", fp.data_table());
+    println!("{}", fp.instruction_table()?);
+    println!("{}", fp.data_table()?);
+    Ok(())
 }

@@ -3,14 +3,19 @@
 //!
 //! ```text
 //! repro list
-//! repro all   [tiny|small|paper] [--csv]
+//! repro all   [tiny|small|paper] [--csv] [--jobs N]
 //! repro fig1  [tiny|small|paper] [--csv]
 //! repro fig6 fig10 small
-//! repro all tiny --json out/ --telemetry out/telemetry.jsonl
+//! repro all tiny --jobs 4 --json out/ --telemetry out/telemetry.jsonl
 //! ```
 //!
-//! GPU-side artifacts run independently; the comparison-corpus figures
-//! (fig6–fig12) share one profiling pass per invocation.
+//! GPU-side artifacts run on a shared [`StudySession`]: each
+//! benchmark's warp trace is captured once into the session's trace
+//! cache and replayed under every requested machine configuration, with
+//! replay jobs fanned across `--jobs N` workers (default: available
+//! parallelism). Results are reassembled in submission order, so every
+//! table is byte-identical for any worker count. The comparison-corpus
+//! figures (fig6–fig12) share one profiling pass per invocation.
 //!
 //! Observability:
 //!
@@ -25,7 +30,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use rodinia_repro::prelude::*;
-use rodinia_repro::rodinia_study::experiments::{try_run_comparison, try_run_gpu};
+use rodinia_repro::rodinia_study::experiments::{run_comparison, run_gpu};
 use rodinia_repro::rodinia_study::manifest::ManifestBuilder;
 use rodinia_repro::rodinia_study::report::Table;
 
@@ -99,8 +104,11 @@ fn usage() {
     for id in ExperimentId::all() {
         println!("  {}", name_of(id));
     }
-    println!("usage: repro <artifact|all> [tiny|small|paper] [--csv]");
+    println!("usage: repro <artifact|all> [tiny|small|paper] [--csv] [--jobs N]");
     println!("             [--json <dir>] [--telemetry <file.jsonl>]");
+    println!("flags: --jobs N  worker threads for GPU-side replay jobs");
+    println!("                 (default: available parallelism; output is");
+    println!("                 byte-identical for any N)");
     println!("env:   RODINIA_OBS=1|2 prints telemetry events to stderr");
 }
 
@@ -113,6 +121,7 @@ fn main() {
     let mut listed = false;
     let mut json_dir: Option<PathBuf> = None;
     let mut telemetry: Option<PathBuf> = None;
+    let mut jobs: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -120,6 +129,15 @@ fn main() {
             "tiny" => scale = Scale::Tiny,
             "small" => scale = Scale::Small,
             "paper" => scale = Scale::Paper,
+            "--jobs" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = parsed else {
+                    eprintln!("--jobs requires a positive integer argument");
+                    std::process::exit(2);
+                };
+                jobs = Some(n);
+            }
             "--json" | "--telemetry" => {
                 let flag = args[i].clone();
                 i += 1;
@@ -167,6 +185,10 @@ fn main() {
     }
     let mut manifest = json_dir.as_ref().map(|_| ManifestBuilder::new(scale));
 
+    let session = match jobs {
+        Some(n) => StudySession::new(n),
+        None => StudySession::default(),
+    };
     let corpus = if ids.iter().any(|&id| needs_corpus(id)) {
         eprintln!("profiling the 24-workload comparison corpus ...");
         Some(ComparisonStudy::run(scale))
@@ -176,9 +198,9 @@ fn main() {
     for id in ids {
         let start = Instant::now();
         let result = if needs_corpus(id) {
-            try_run_comparison(id, corpus.as_ref().expect("corpus built"))
+            run_comparison(id, corpus.as_ref().expect("corpus built"))
         } else {
-            try_run_gpu(id, scale)
+            run_gpu(&session, id, scale)
         };
         let tables = match result {
             Ok(t) => t,

@@ -52,6 +52,7 @@ pub mod prelude {
     pub use rodinia_gpu::suite::{all_benchmarks, GpuBenchmark};
     pub use rodinia_study::comparison::ComparisonStudy;
     pub use rodinia_study::experiments::ExperimentId;
+    pub use rodinia_study::{StudyError, StudySession};
     pub use simt::{Gpu, GpuConfig, KernelStats};
     pub use tracekit::{profile, CpuWorkload, ProfileConfig};
 }

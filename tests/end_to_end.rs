@@ -7,8 +7,9 @@ use rodinia_repro::rodinia_study::experiments::{run_comparison, run_gpu};
 #[test]
 fn every_gpu_side_artifact_renders() {
     use ExperimentId::*;
+    let session = StudySession::default();
     for id in [Table1, Table2, Fig1, Fig2, Fig3, Fig4, Table3, Fig5, Table4, Table5] {
-        for table in run_gpu(id, Scale::Tiny) {
+        for table in run_gpu(&session, id, Scale::Tiny).expect("experiment runs") {
             assert!(!table.rows.is_empty(), "{id:?} produced an empty table");
             let text = table.to_string();
             assert!(text.lines().count() >= 3, "{id:?} rendered nothing");
@@ -26,12 +27,15 @@ fn every_gpu_side_artifact_renders() {
 fn plackett_burman_artifact_renders() {
     // Narrow subset: the full-suite PB study is exercised by the bench
     // harness.
-    let study = rodinia_repro::rodinia_study::sensitivity::pb_study(
+    let session = StudySession::default();
+    let study = rodinia_repro::rodinia_study::sensitivity::run(
+        &session,
         Scale::Tiny,
         Some(&["HS", "NW"]),
-    );
+    )
+    .expect("pb study runs");
     assert_eq!(study.per_benchmark.len(), 2);
-    assert!(study.to_table().to_string().contains("HS"));
+    assert!(study.to_table().expect("pb table").to_string().contains("HS"));
     assert_eq!(study.aggregate().len(), 9);
 }
 
@@ -40,7 +44,7 @@ fn every_comparison_artifact_renders() {
     use ExperimentId::*;
     let study = ComparisonStudy::run(Scale::Tiny);
     for id in [Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12] {
-        for table in run_comparison(id, &study) {
+        for table in run_comparison(id, &study).expect("experiment runs") {
             assert!(!table.rows.is_empty(), "{id:?} produced an empty table");
         }
     }

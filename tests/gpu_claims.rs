@@ -7,11 +7,15 @@ use rodinia_repro::rodinia_study::characterization::{
     channel_sweep, fermi_study, incremental_versions, ipc_scaling, memory_mix, warp_occupancy,
 };
 
+fn session() -> StudySession {
+    StudySession::default()
+}
+
 #[test]
 fn figure1_ipc_ordering() {
     // Small scale: Tiny grids have too few thread blocks to fill 28 SMs,
     // so the scalability half of the claim needs realistic sizes.
-    let d = ipc_scaling(Scale::Small);
+    let d = ipc_scaling(&session(), Scale::Small).expect("fig1");
     // "IPCs ... range from less than 100 in MUMmer and Needleman-Wunsch
     // to more than 700 in SRAD, HotSpot and Leukocyte" — check the
     // ordinal claim: the structured-grid benchmarks beat the graph/DP
@@ -51,7 +55,7 @@ fn figure1_ipc_ordering() {
 
 #[test]
 fn figure2_memory_mix_shapes() {
-    let d = memory_mix(Scale::Tiny);
+    let d = memory_mix(&session(), Scale::Tiny).expect("fig2");
     // Fractions are [shared, tex, const, param, global/local].
     // "Back Propagation, HotSpot, Needleman-Wunsch and StreamCluster
     // make extensive use of shared memory."
@@ -72,7 +76,7 @@ fn figure2_memory_mix_shapes() {
 
 #[test]
 fn figure3_divergence_shapes() {
-    let d = warp_occupancy(Scale::Tiny);
+    let d = warp_occupancy(&session(), Scale::Tiny).expect("fig3");
     // "Breadth-First Search contains many control flow operations;
     // hence the high number of low occupancy warps."
     assert!(d.quartiles("BFS")[0] > 0.3, "BFS {:?}", d.quartiles("BFS"));
@@ -87,7 +91,7 @@ fn figure3_divergence_shapes() {
 
 #[test]
 fn figure4_channel_winners() {
-    let d = channel_sweep(Scale::Small);
+    let d = channel_sweep(&session(), Scale::Small).expect("fig4");
     // "The benchmarks which benefit most from this change include
     // Breadth-First Search, CFD and MUMmer."
     let winners = ["BFS", "CFD", "MUM"];
@@ -116,7 +120,7 @@ fn figure4_channel_winners() {
 
 #[test]
 fn table3_incremental_versions() {
-    let d = incremental_versions(Scale::Tiny);
+    let d = incremental_versions(&session(), Scale::Tiny).expect("table3");
     // SRAD v2 raises IPC via shared memory; Leukocyte v2 eliminates
     // global accesses (Table III: 0.0% global).
     assert!(d.ipc("SRAD v2") > d.ipc("SRAD v1"));
@@ -126,7 +130,7 @@ fn table3_incremental_versions() {
 
 #[test]
 fn figure5_fermi_preferences() {
-    let d = fermi_study(Scale::Small);
+    let d = fermi_study(&session(), Scale::Small).expect("fig5");
     // "The performances of MUMmer and BFS ... improve after switching
     // the configuration from shared bias to L1 bias."
     for b in ["MUM", "BFS"] {

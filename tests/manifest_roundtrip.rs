@@ -5,8 +5,9 @@
 //! masked by a matching parser bug.
 
 use rodinia_repro::datasets::Scale;
-use rodinia_repro::rodinia_study::experiments::{try_run_gpu, ExperimentId};
+use rodinia_repro::rodinia_study::experiments::{run_gpu, ExperimentId};
 use rodinia_repro::rodinia_study::manifest::{ManifestBuilder, MANIFEST_SCHEMA};
+use rodinia_repro::rodinia_study::StudySession;
 
 /// A deliberately small JSON value model: just enough to check the
 /// manifest document's structure.
@@ -223,10 +224,11 @@ fn manifest_round_trips_with_all_tables_present() {
         ExperimentId::Table4,
         ExperimentId::Table5,
     ];
+    let session = StudySession::default();
     let mut builder = ManifestBuilder::new(Scale::Tiny);
     let mut expected: Vec<(String, Vec<String>)> = Vec::new();
     for id in ids {
-        let tables = try_run_gpu(id, Scale::Tiny).expect("experiment runs");
+        let tables = run_gpu(&session, id, Scale::Tiny).expect("experiment runs");
         expected.push((
             format!("{id:?}"),
             tables.iter().map(|t| t.title.clone()).collect(),

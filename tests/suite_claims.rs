@@ -16,7 +16,7 @@ fn study() -> &'static ComparisonStudy {
 #[test]
 fn figure6_dendrogram_covers_both_suites() {
     let s = study();
-    let dendro = s.dendrogram();
+    let dendro = s.dendrogram().expect("fig6");
     // All 24 leaves appear, including the jointly-owned StreamCluster.
     assert_eq!(s.labels.len(), 24);
     for l in &s.labels {
@@ -37,7 +37,7 @@ fn figure6_clusters_mix_suites() {
     // application spaces, with most clusters containing both Rodinia and
     // Parsec applications."
     let s = study();
-    let labels = s.flat(6);
+    let labels = s.flat(6).expect("fig6 flat");
     let mut mixed = 0;
     let mut nonempty = 0;
     for c in 0..6 {
@@ -66,7 +66,7 @@ fn figure6_clusters_mix_suites() {
 fn figure8_mummer_is_the_working_set_outlier() {
     // "MUMmer is a significant outlier, which correlates with its high
     // miss rates."
-    let ws = study().working_set_pca();
+    let ws = study().working_set_pca().expect("fig8");
     let mum = ws.outlier_score("mummergpu");
     assert!(mum > 1.5, "MUMmer outlier score {mum}");
 }
@@ -78,7 +78,7 @@ fn figure9_heartwall_stands_out_in_sharing() {
     // check is: top-4 outlier overall and the most extreme Rodinia
     // workload (at Small scale it is the clear #1/#2; see
     // EXPERIMENTS.md).
-    let sh = study().sharing_pca();
+    let sh = study().sharing_pca().expect("fig9");
     let hw = sh.outlier_score("heartwall");
     let rodinia_max_other = study()
         .labels
@@ -152,29 +152,31 @@ fn section_vb_dwarf_taxonomy_is_insufficient() {
     let mut dists = Vec::new();
     for i in 0..names.len() {
         for j in (i + 1)..names.len() {
-            dists.push(s.pc_distance(&names[i], &names[j]));
+            dists.push(s.pc_distance(&names[i], &names[j]).expect("distance"));
         }
     }
     dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = dists[dists.len() / 2];
     // "The Graph Traversal applications, MUMmer and Breadth-First
     // Search, are also very dissimilar."
+    let mum_bfs = s.pc_distance("mummergpu", "bfs").expect("distance");
     assert!(
-        s.pc_distance("mummergpu", "bfs") > median,
-        "MUM-BFS {:.3} vs median {:.3}",
-        s.pc_distance("mummergpu", "bfs"),
-        median
+        mum_bfs > median,
+        "MUM-BFS {mum_bfs:.3} vs median {median:.3}"
     );
     // "applications such as HotSpot ... and Heartwall are located in
     // different clusters."
+    let hs_hw = s.pc_distance("hotspot", "heartwall").expect("distance");
     assert!(
-        s.pc_distance("hotspot", "heartwall") > median,
-        "HS-HW {:.3} vs median {:.3}",
-        s.pc_distance("hotspot", "heartwall"),
-        median
+        hs_hw > median,
+        "HS-HW {hs_hw:.3} vs median {median:.3}"
     );
     // The table renders.
-    assert!(s.taxonomy_table().to_string().contains("mummergpu vs bfs"));
+    assert!(s
+        .taxonomy_table()
+        .expect("taxonomy table")
+        .to_string()
+        .contains("mummergpu vs bfs"));
 }
 
 #[test]

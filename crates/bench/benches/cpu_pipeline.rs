@@ -1,0 +1,242 @@
+//! Wall-clock benefit of the capture-once CPU trace pipeline on the
+//! Section V comparison corpus at Small scale.
+//!
+//! The corpus cost splits into *stream generation* (running the
+//! instrumented workloads — paid once per session, cached by the
+//! [`rodinia_study::trace_cache::CpuTraceCache`]) and the *8-capacity
+//! sweep* (the shared-cache simulation itself, re-run by every
+//! comparison/footprint invocation). The sweep is measured three ways:
+//!
+//! 1. **seed path** — the pre-pipeline sweep emulated faithfully: each
+//!    reference pushed through all eight capacities *per reference* on
+//!    the seed's cache layout (separate tag/stamp/mask/count arrays,
+//!    per-access division and modulo indexing, branchy LRU scan),
+//!    exactly as `SharedCache::access` worked before the packed-word
+//!    rework;
+//! 2. **pipeline, 1 worker** — eight sequential replays per workload on
+//!    the packed branchless hot loop, through the real driver
+//!    (`ComparisonStudy::run` with a warm capture cache);
+//! 3. **pipeline, 4 workers** — the same replay jobs fanned over the
+//!    study engine's pool (a wash on single-core runners, a further win
+//!    wherever the pool gets real cores).
+//!
+//! It re-checks the determinism guarantee on the spot (all paths must
+//! produce byte-identical profiles) and writes the measurements to
+//! `BENCH_cpu.json` (path overridable with the `BENCH_CPU_OUT`
+//! environment variable) so CI can archive the trend.
+//!
+//! ```text
+//! cargo bench --bench cpu_pipeline
+//! ```
+
+use std::time::Instant;
+
+use datasets::Scale;
+use obs::Json;
+use rodinia_study::comparison::ComparisonStudy;
+use rodinia_study::suite::combined_workloads;
+use rodinia_study::StudySession;
+use tracekit::{CacheStats, CpuCapture, Profile, ProfileConfig};
+
+/// The seed's `SharedCache`, reproduced verbatim: four parallel entry
+/// arrays, `addr / line` and `lineno % sets` on every access, an
+/// early-return hit scan, and a branching LRU victim search.
+struct SeedCache {
+    bytes: u64,
+    ways: usize,
+    line: u64,
+    sets: usize,
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    masks: Vec<u8>,
+    access_counts: Vec<u64>,
+    clock: u64,
+    accesses: u64,
+    misses: u64,
+    shared_accesses: u64,
+    finished_incarnations: u64,
+    finished_shared: u64,
+}
+
+impl SeedCache {
+    fn new(bytes: u64, ways: usize, line: u64) -> SeedCache {
+        let sets = (bytes / (ways as u64 * line)) as usize;
+        assert!(sets > 0 && sets.is_power_of_two());
+        let entries = sets * ways;
+        SeedCache {
+            bytes,
+            ways,
+            line,
+            sets,
+            tags: vec![u64::MAX; entries],
+            stamps: vec![0; entries],
+            masks: vec![0; entries],
+            access_counts: vec![0; entries],
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+            shared_accesses: 0,
+            finished_incarnations: 0,
+            finished_shared: 0,
+        }
+    }
+
+    fn access(&mut self, tid: usize, addr: u64) {
+        self.clock += 1;
+        self.accesses += 1;
+        let lineno = addr / self.line;
+        let set = (lineno % self.sets as u64) as usize;
+        let base = set * self.ways;
+        let tbit = 1u8 << (tid % 8);
+        for w in 0..self.ways {
+            let e = base + w;
+            if self.tags[e] == lineno {
+                self.stamps[e] = self.clock;
+                self.masks[e] |= tbit;
+                self.access_counts[e] += 1;
+                if self.masks[e].count_ones() >= 2 {
+                    self.shared_accesses += 1;
+                }
+                return;
+            }
+        }
+        self.misses += 1;
+        let mut victim = base;
+        for w in 1..self.ways {
+            if self.stamps[base + w] < self.stamps[victim] {
+                victim = base + w;
+            }
+        }
+        if self.tags[victim] != u64::MAX {
+            self.finish_incarnation(victim);
+        }
+        self.tags[victim] = lineno;
+        self.stamps[victim] = self.clock;
+        self.masks[victim] = tbit;
+        self.access_counts[victim] = 1;
+    }
+
+    fn finish_incarnation(&mut self, e: usize) {
+        self.finished_incarnations += 1;
+        if self.masks[e].count_ones() >= 2 {
+            self.finished_shared += 1;
+        }
+    }
+
+    fn finish(mut self) -> CacheStats {
+        for e in 0..self.tags.len() {
+            if self.tags[e] != u64::MAX {
+                self.finish_incarnation(e);
+            }
+        }
+        CacheStats {
+            capacity: self.bytes,
+            accesses: self.accesses,
+            misses: self.misses,
+            shared_accesses: self.shared_accesses,
+            incarnations: self.finished_incarnations,
+            shared_incarnations: self.finished_shared,
+        }
+    }
+}
+
+/// One workload's sweep the way the seed drove it: every reference
+/// through all eight seed-layout caches, reference-major, as
+/// `Profiler::access` iterated before the rework.
+fn seed_sweep(cap: &CpuCapture, cfg: &ProfileConfig) -> Profile {
+    let mut caches: Vec<SeedCache> = cfg
+        .cache_sizes
+        .iter()
+        .map(|&b| SeedCache::new(b, cfg.ways, cfg.line))
+        .collect();
+    for &w in cap.packed_words() {
+        let (tid, addr) = ((w & 0xff) as usize, (w >> 8) * cfg.line);
+        for c in caches.iter_mut() {
+            c.access(tid, addr);
+        }
+    }
+    cap.profile_with(caches.into_iter().map(SeedCache::finish).collect())
+}
+
+fn main() {
+    let scale = Scale::Small;
+    let cfg = ProfileConfig::default();
+    let workloads = combined_workloads(scale);
+    let n = workloads.len();
+
+    // Stream generation, paid once per session on every path (the
+    // seed's direct pass generated the identical stream inline).
+    let session1 = StudySession::new(1);
+    let start = Instant::now();
+    let captures: Vec<_> = workloads
+        .iter()
+        .map(|lw| {
+            session1
+                .cpu_cache()
+                .capture_workload(&lw.label, lw.workload.as_ref(), scale, &cfg)
+                .expect("capture")
+        })
+        .collect();
+    let capture_s = start.elapsed().as_secs_f64();
+
+    // Seed-path sweep: per-reference, seed cache layout.
+    let start = Instant::now();
+    let seed_profiles: Vec<Profile> = captures.iter().map(|c| seed_sweep(c, &cfg)).collect();
+    let seed_sweep_s = start.elapsed().as_secs_f64();
+
+    // Pipeline sweep, 1 worker: the real driver against the warm cache.
+    let start = Instant::now();
+    let study1 = ComparisonStudy::run(&session1, scale).expect("sequential pipeline run");
+    let sweep1_s = start.elapsed().as_secs_f64();
+
+    // Pipeline, 4 workers: one cold end-to-end run (capture + sweep),
+    // then the sweep alone against the warm cache.
+    let session4 = StudySession::new(4);
+    let start = Instant::now();
+    let study4_cold = ComparisonStudy::run(&session4, scale).expect("4-worker cold run");
+    let e2e4_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let study4 = ComparisonStudy::run(&session4, scale).expect("4-worker warm run");
+    let sweep4_s = start.elapsed().as_secs_f64();
+
+    let identical = seed_profiles == study1.profiles
+        && seed_profiles == study4.profiles
+        && seed_profiles == study4_cold.profiles;
+    assert!(identical, "pipeline profiles diverged from the seed path");
+    assert_eq!(session4.cpu_cache().len(), n, "one capture per workload");
+
+    let sweep_speedup1 = seed_sweep_s / sweep1_s;
+    let sweep_speedup4 = seed_sweep_s / sweep4_s;
+    let e2e_seed_s = capture_s + seed_sweep_s;
+    let e2e_speedup4 = e2e_seed_s / e2e4_s;
+    println!(
+        "comparison corpus at Small, {n} workloads x 8 capacities:\n\
+         \x20 stream generation (once per session)      {capture_s:.2} s\n\
+         \x20 sweep, seed path (per-ref, seed layout)   {seed_sweep_s:.2} s\n\
+         \x20 sweep, pipeline --jobs 1                  {sweep1_s:.2} s ({sweep_speedup1:.2}x)\n\
+         \x20 sweep, pipeline --jobs 4                  {sweep4_s:.2} s ({sweep_speedup4:.2}x)\n\
+         \x20 end-to-end --jobs 4 cold                  {e2e4_s:.2} s ({e2e_speedup4:.2}x vs seed {e2e_seed_s:.2} s)\n\
+         \x20 profiles byte-identical across all paths"
+    );
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("rodinia-repro.bench-cpu/v1".into())),
+        ("experiment", Json::Str("comparison_corpus".into())),
+        ("scale", Json::Str(format!("{scale:?}"))),
+        ("workloads", Json::u64(n as u64)),
+        ("capacities", Json::u64(cfg.cache_sizes.len() as u64)),
+        ("capture_s", Json::Num(capture_s)),
+        ("seed_sweep_s", Json::Num(seed_sweep_s)),
+        ("pipeline_sweep_jobs1_s", Json::Num(sweep1_s)),
+        ("pipeline_sweep_jobs4_s", Json::Num(sweep4_s)),
+        ("e2e_seed_s", Json::Num(e2e_seed_s)),
+        ("e2e_jobs4_s", Json::Num(e2e4_s)),
+        ("sweep_speedup_jobs1_vs_seed", Json::Num(sweep_speedup1)),
+        ("sweep_speedup_jobs4_vs_seed", Json::Num(sweep_speedup4)),
+        ("e2e_speedup_jobs4_vs_seed", Json::Num(e2e_speedup4)),
+        ("profiles_byte_identical", Json::Bool(identical)),
+    ]);
+    let out = std::env::var("BENCH_CPU_OUT").unwrap_or_else(|_| "BENCH_cpu.json".into());
+    std::fs::write(&out, format!("{doc}\n")).expect("write BENCH_cpu.json");
+    println!("wrote {out}");
+}

@@ -71,10 +71,13 @@ fn cpu_substrate(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("profile_hotspot_omp_tiny", |b| {
         b.iter(|| {
-            black_box(profile(
-                &rodinia_cpu::hotspot::HotspotOmp::new(Scale::Tiny),
-                &ProfileConfig::default(),
-            ))
+            black_box(
+                profile(
+                    &rodinia_cpu::hotspot::HotspotOmp::new(Scale::Tiny),
+                    &ProfileConfig::default(),
+                )
+                .expect("profile"),
+            )
         })
     });
     g.finish();

@@ -8,12 +8,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use datasets::Scale;
 use rodinia_study::comparison::ComparisonStudy;
+use rodinia_study::StudySession;
 use rodinia_study::footprints::footprint_study;
 use std::hint::black_box;
 
 fn suite_artifacts(c: &mut Criterion) {
     // The expensive step: profile all 24 workloads once at Small scale.
-    let study = ComparisonStudy::run(Scale::Small);
+    let session = StudySession::default();
+    let study = ComparisonStudy::run(&session, Scale::Small).expect("small study");
     println!("Figure 6: similarity dendrogram (Rodinia R, Parsec P)");
     println!("{}", study.dendrogram().expect("fig6"));
     for scatter in [
@@ -56,7 +58,10 @@ fn suite_artifacts(c: &mut Criterion) {
     });
     // The profiling front-end, at Tiny scale.
     g.bench_function("profile_corpus_tiny", |b| {
-        b.iter(|| black_box(ComparisonStudy::run(Scale::Tiny)))
+        b.iter(|| {
+            let fresh = StudySession::sequential();
+            black_box(ComparisonStudy::run(&fresh, Scale::Tiny).expect("tiny study"))
+        })
     });
     g.finish();
 }

@@ -1,13 +1,22 @@
 //! The cross-suite comparison study (Section V): profiles all 24
 //! workloads once, then derives Figures 6–10 from the shared profiles.
+//!
+//! Profiling goes through the capture-once trace pipeline: each
+//! workload's memory trace is captured exactly once into the session's
+//! [`crate::trace_cache::CpuTraceCache`], then the eight cache
+//! capacities replay as independent jobs on the session's worker pool.
+//! The assembled profiles are byte-identical to the direct
+//! [`tracekit::profile()`] path at any worker count (proven in
+//! `tests/cpu_replay_determinism.rs`).
 
 use analysis::cluster::{try_flat_clusters, try_hierarchical, Linkage};
 use analysis::dendrogram::render_dendrogram;
 use analysis::distance::euclidean_matrix;
 use analysis::pca::Pca;
 use datasets::Scale;
-use tracekit::{profile, Profile, ProfileConfig};
+use tracekit::{Profile, ProfileConfig};
 
+use crate::engine::StudySession;
 use crate::error::StudyError;
 use crate::features;
 use crate::report::{f3, Table};
@@ -75,16 +84,45 @@ impl Scatter {
 impl ComparisonStudy {
     /// Profiles all 24 workloads at the given scale. This is the
     /// expensive step; every figure below reuses the result.
-    pub fn run(scale: Scale) -> ComparisonStudy {
+    ///
+    /// Two fan-out stages over the session pool: (1) one capture job
+    /// per workload, deduplicated through the session's CPU trace
+    /// cache; (2) one replay job per `(workload, capacity)` pair —
+    /// 24 × 8 independent cache simulations at the default
+    /// configuration. Results are reassembled in submission order, so
+    /// the study is byte-identical for any `--jobs` value.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::Trace`] if the profile configuration is invalid
+    /// (the lowest-index failing job wins, as with every engine
+    /// fan-out).
+    pub fn run(session: &StudySession, scale: Scale) -> Result<ComparisonStudy, StudyError> {
         let _span = obs::span!("comparison.profile_corpus");
         let cfg = ProfileConfig::default();
-        let mut labels = Vec::new();
-        let mut profiles = Vec::new();
-        for lw in combined_workloads(scale) {
-            labels.push(lw.label);
-            profiles.push(profile(lw.workload.as_ref(), &cfg));
-        }
-        ComparisonStudy { labels, profiles }
+        let workloads = combined_workloads(scale);
+        let labels: Vec<String> = workloads.iter().map(|w| w.label.clone()).collect();
+        let captures = session.run_indexed(workloads.len(), |i| {
+            session.cpu_cache().capture_workload(
+                &workloads[i].label,
+                workloads[i].workload.as_ref(),
+                scale,
+                &cfg,
+            )
+        })?;
+        let sizes = &cfg.cache_sizes;
+        let per = sizes.len();
+        let stats = session.run_indexed(captures.len() * per, |j| {
+            captures[j / per]
+                .replay(sizes[j % per])
+                .map_err(StudyError::from)
+        })?;
+        let profiles = captures
+            .iter()
+            .zip(stats.chunks(per))
+            .map(|(c, s)| c.profile_with(s.to_vec()))
+            .collect();
+        Ok(ComparisonStudy { labels, profiles })
     }
 
     fn scatter(
@@ -241,7 +279,9 @@ mod tests {
     fn study() -> &'static ComparisonStudy {
         use std::sync::OnceLock;
         static STUDY: OnceLock<ComparisonStudy> = OnceLock::new();
-        STUDY.get_or_init(|| ComparisonStudy::run(Scale::Tiny))
+        STUDY.get_or_init(|| {
+            ComparisonStudy::run(&StudySession::new(2), Scale::Tiny).expect("tiny study")
+        })
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::error::StudyError;
-use crate::trace_cache::TraceCache;
+use crate::trace_cache::{CpuTraceCache, TraceCache};
 
 /// One run of the study: a worker-pool width and a shared trace cache.
 ///
@@ -28,6 +28,7 @@ use crate::trace_cache::TraceCache;
 pub struct StudySession {
     jobs: usize,
     cache: TraceCache,
+    cpu_cache: CpuTraceCache,
 }
 
 impl Default for StudySession {
@@ -47,6 +48,7 @@ impl StudySession {
         StudySession {
             jobs: jobs.max(1),
             cache: TraceCache::new(),
+            cpu_cache: CpuTraceCache::new(),
         }
     }
 
@@ -61,9 +63,14 @@ impl StudySession {
         self.jobs
     }
 
-    /// The session's shared trace cache.
+    /// The session's shared GPU kernel-trace cache.
     pub fn cache(&self) -> &TraceCache {
         &self.cache
+    }
+
+    /// The session's shared CPU memory-trace cache.
+    pub fn cpu_cache(&self) -> &CpuTraceCache {
+        &self.cpu_cache
     }
 
     /// Runs `f(0), f(1), ..., f(n-1)` across the worker pool and

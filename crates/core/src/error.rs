@@ -11,6 +11,7 @@ use analysis::AnalysisError;
 use simt::SimError;
 use std::error::Error;
 use std::fmt;
+use tracekit::TraceError;
 
 /// Everything that can go wrong while regenerating a paper artifact.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +20,9 @@ pub enum StudyError {
     Sim(SimError),
     /// The statistics pipeline rejected its input.
     Analysis(AnalysisError),
+    /// The CPU instrumentation substrate rejected a configuration
+    /// (cache geometry, thread count) during capture or replay.
+    Trace(TraceError),
     /// An artifact was requested from the wrong registry entry point.
     Registry {
         /// The experiment id, Debug-formatted.
@@ -60,6 +64,7 @@ impl fmt::Display for StudyError {
         match self {
             StudyError::Sim(e) => e.fmt(f),
             StudyError::Analysis(e) => e.fmt(f),
+            StudyError::Trace(e) => e.fmt(f),
             StudyError::Registry { id, reason } => write!(f, "{id} {reason}"),
             StudyError::TableRow { got, expected } => write!(
                 f,
@@ -79,6 +84,7 @@ impl Error for StudyError {
         match self {
             StudyError::Sim(e) => Some(e),
             StudyError::Analysis(e) => Some(e),
+            StudyError::Trace(e) => Some(e),
             _ => None,
         }
     }
@@ -93,6 +99,12 @@ impl From<SimError> for StudyError {
 impl From<AnalysisError> for StudyError {
     fn from(e: AnalysisError) -> StudyError {
         StudyError::Analysis(e)
+    }
+}
+
+impl From<TraceError> for StudyError {
+    fn from(e: TraceError) -> StudyError {
+        StudyError::Trace(e)
     }
 }
 
@@ -114,6 +126,13 @@ mod tests {
             expected: 2,
         };
         assert!(row.to_string().contains("row width mismatch"));
+    }
+
+    #[test]
+    fn trace_errors_wrap_and_chain() {
+        let e: StudyError = TraceError::SetsNotPowerOfTwo { sets: 192 }.into();
+        assert!(e.to_string().contains("power of two"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

@@ -59,7 +59,7 @@ mod tests {
 
     #[test]
     fn feature_dimensions() {
-        let p = profile(&Toy, &ProfileConfig::default());
+        let p = profile(&Toy, &ProfileConfig::default()).expect("profile");
         assert_eq!(instruction_mix_features(&p).len(), 4);
         assert_eq!(working_set_features(&p).len(), 8);
         assert_eq!(sharing_features(&p).len(), 16);
@@ -68,7 +68,7 @@ mod tests {
 
     #[test]
     fn mix_features_sum_to_one() {
-        let p = profile(&Toy, &ProfileConfig::default());
+        let p = profile(&Toy, &ProfileConfig::default()).expect("profile");
         let s: f64 = instruction_mix_features(&p).iter().sum();
         assert!((s - 1.0).abs() < 1e-12);
     }

@@ -99,7 +99,8 @@ mod tests {
 
     #[test]
     fn parsec_code_exceeds_rodinia_with_mummer_exception() {
-        let study = ComparisonStudy::run(Scale::Tiny);
+        let study = ComparisonStudy::run(&crate::engine::StudySession::sequential(), Scale::Tiny)
+            .expect("tiny study");
         let fp = footprint_study(&study);
         assert_eq!(fp.rows.len(), 24);
         // The paper: "Parsec applications tend to have larger

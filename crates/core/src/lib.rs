@@ -30,12 +30,14 @@
 //! unifies `simt::SimError` and `analysis::AnalysisError` with the
 //! drivers' own failure modes; there are no panicking wrappers.
 //!
-//! GPU-side drivers take a [`engine::StudySession`]: a worker pool
-//! (`repro --jobs N`) plus a shared [`trace_cache::TraceCache`] that
-//! captures each benchmark's warp trace exactly once and replays it
-//! under every requested machine configuration. Results are reassembled
-//! in submission order, so tables are byte-identical for any worker
-//! count.
+//! Drivers take a [`engine::StudySession`]: a worker pool
+//! (`repro --jobs N`) plus two shared trace caches — a
+//! [`trace_cache::TraceCache`] that captures each GPU benchmark's warp
+//! trace exactly once and replays it under every requested machine
+//! configuration, and a [`trace_cache::CpuTraceCache`] that captures
+//! each CPU workload's memory trace exactly once and replays it at
+//! every shared-cache capacity. Results are reassembled in submission
+//! order, so tables are byte-identical for any worker count.
 
 #![warn(missing_docs)]
 

@@ -1,9 +1,9 @@
-//! A thread-safe cache of captured kernel traces, shared across
-//! experiment jobs.
+//! Thread-safe caches of captured traces — GPU kernel traces and CPU
+//! memory traces — shared across experiment jobs.
 //!
 //! Trace capture (functional execution) is the expensive, replay-config
 //! independent half of a simulated launch: a recorded
-//! [`KernelTrace`](simt::KernelTrace) depends only on the warp size, the
+//! [`KernelTrace`] depends only on the warp size, the
 //! shared-memory bank count, and the coalescing segment size — not on
 //! SM count, clocks, latencies, channel count, caches, or the scheduler
 //! policy. All paper configurations agree on those three parameters
@@ -15,6 +15,13 @@
 //! exactly-once capture even under concurrent lookups: each entry is an
 //! `Arc<OnceLock<...>>`, so racing workers block on the first
 //! initializer instead of capturing twice.
+//!
+//! [`CpuTraceCache`] is the Pin-side twin: it caches
+//! [`CpuCapture`]s — a workload's interleaved memory-reference trace
+//! plus its capacity-independent characteristics — keyed by
+//! `(workload, scale, capture fingerprint)`, so the eight shared-cache
+//! capacities of the comparison study replay one capture instead of
+//! re-running the workload eight times.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -22,6 +29,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use datasets::Scale;
 use rodinia_gpu::suite::GpuBenchmark;
 use simt::{Gpu, GpuConfig, KernelStats, KernelTrace};
+use tracekit::{CpuCapture, CpuWorkload, ProfileConfig};
 
 use crate::error::StudyError;
 
@@ -222,10 +230,175 @@ impl TraceCache {
     }
 }
 
+/// The subset of a [`ProfileConfig`] that influences a CPU capture's
+/// recorded trace and replay geometry. `cache_sizes` is deliberately
+/// absent: capacities are pure replay parameters, which is the whole
+/// point of the capture-once pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CpuCaptureFingerprint {
+    /// Logical thread count (shapes the interleaved stream and ids).
+    pub threads: usize,
+    /// Cache line size in bytes (shapes the line-granular trace words).
+    pub line: u64,
+    /// Round-robin interleaving quantum (shapes the interleaving).
+    pub quantum: usize,
+    /// Associativity — it does not shape the recorded words, but it is
+    /// baked into the capture's replay geometry, so captures with
+    /// different `ways` are not interchangeable.
+    pub ways: usize,
+}
+
+impl CpuCaptureFingerprint {
+    /// Extracts the capture-relevant parameters of `cfg`.
+    pub fn of(cfg: &ProfileConfig) -> CpuCaptureFingerprint {
+        CpuCaptureFingerprint {
+            threads: cfg.threads,
+            line: cfg.line,
+            quantum: cfg.quantum,
+            ways: cfg.ways,
+        }
+    }
+}
+
+/// Cache key: one capture pass of one CPU workload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CpuTraceKey {
+    /// Workload label (Figure 6 style, e.g. `srad(R)` — unique across
+    /// the combined corpus, unlike bare names, which StreamCluster
+    /// shares between suites).
+    pub workload: String,
+    /// Input scale.
+    pub scale: Scale,
+    /// Capture-relevant configuration parameters.
+    pub fingerprint: CpuCaptureFingerprint,
+}
+
+type CpuSlot = Arc<OnceLock<Result<Arc<CpuCapture>, StudyError>>>;
+
+/// A thread-safe, exactly-once cache of CPU memory-trace captures,
+/// mirroring [`TraceCache`]: the map lock is held only to clone the
+/// slot, and racing workers block on one shared `OnceLock` initializer
+/// instead of capturing twice.
+#[derive(Debug, Default)]
+pub struct CpuTraceCache {
+    map: Mutex<HashMap<CpuTraceKey, CpuSlot>>,
+}
+
+impl CpuTraceCache {
+    /// Creates an empty cache.
+    pub fn new() -> CpuTraceCache {
+        CpuTraceCache::default()
+    }
+
+    /// Number of cached (or in-flight) captures.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up `key`, running `capture` exactly once on a miss (even
+    /// under concurrent lookups of the same key).
+    pub fn get_or_capture(
+        &self,
+        key: CpuTraceKey,
+        capture: impl FnOnce() -> Result<CpuCapture, StudyError>,
+    ) -> Result<Arc<CpuCapture>, StudyError> {
+        let slot = {
+            let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            map.entry(key).or_default().clone()
+        };
+        slot.get_or_init(|| capture().map(Arc::new)).clone()
+    }
+
+    /// Captures `workload` under `cfg` (once per `(label, scale,
+    /// fingerprint)`).
+    pub fn capture_workload(
+        &self,
+        label: &str,
+        workload: &dyn CpuWorkload,
+        scale: Scale,
+        cfg: &ProfileConfig,
+    ) -> Result<Arc<CpuCapture>, StudyError> {
+        let key = CpuTraceKey {
+            workload: label.to_string(),
+            scale,
+            fingerprint: CpuCaptureFingerprint::of(cfg),
+        };
+        self.get_or_capture(key, || {
+            CpuCapture::capture(workload, cfg).map_err(StudyError::from)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rodinia_gpu::suite::all_benchmarks;
+
+    #[test]
+    fn cpu_fingerprint_ignores_capacities() {
+        let base = CpuCaptureFingerprint::of(&ProfileConfig::default());
+        let shrunk = ProfileConfig {
+            cache_sizes: vec![4 * 1024],
+            ..ProfileConfig::default()
+        };
+        assert_eq!(CpuCaptureFingerprint::of(&shrunk), base);
+        let rethreaded = ProfileConfig {
+            threads: 4,
+            ..ProfileConfig::default()
+        };
+        assert_ne!(CpuCaptureFingerprint::of(&rethreaded), base);
+    }
+
+    #[test]
+    fn cpu_capture_happens_exactly_once_per_label() {
+        let cache = CpuTraceCache::new();
+        let cfg = ProfileConfig::default();
+        let ws = crate::suite::combined_workloads(Scale::Tiny);
+        let lw = &ws[0];
+        let a = cache
+            .capture_workload(&lw.label, lw.workload.as_ref(), Scale::Tiny, &cfg)
+            .expect("capture");
+        let b = cache
+            .capture_workload(&lw.label, lw.workload.as_ref(), Scale::Tiny, &cfg)
+            .expect("cache hit");
+        assert!(Arc::ptr_eq(&a, &b), "second lookup hit the cache");
+        assert_eq!(cache.len(), 1);
+        // The cached capture replays to the direct path's stats.
+        let direct = tracekit::profile(lw.workload.as_ref(), &cfg).expect("direct");
+        let stats = a.replay_all(&cfg.cache_sizes).expect("replay");
+        assert_eq!(a.profile_with(stats), direct);
+    }
+
+    #[test]
+    fn cpu_concurrent_lookups_capture_once() {
+        let cache = CpuTraceCache::new();
+        let cfg = ProfileConfig::default();
+        let captures = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let key = CpuTraceKey {
+                        workload: "w".to_string(),
+                        scale: Scale::Tiny,
+                        fingerprint: CpuCaptureFingerprint::of(&cfg),
+                    };
+                    let ws = crate::suite::combined_workloads(Scale::Tiny);
+                    let r = cache.get_or_capture(key, || {
+                        captures.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        CpuCapture::capture(ws[0].workload.as_ref(), &cfg)
+                            .map_err(StudyError::from)
+                    });
+                    assert!(r.is_ok());
+                });
+            }
+        });
+        assert_eq!(captures.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
 
     #[test]
     fn paper_configs_share_the_default_fingerprint_except_fermi() {

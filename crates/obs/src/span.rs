@@ -2,7 +2,7 @@
 //!
 //! A [`Span`] measures the wall-clock time between its creation and drop
 //! on the monotonic clock ([`std::time::Instant`]), folds the duration
-//! into the global [`Registry`](crate::Registry), and — when sinks are
+//! into the global [`Registry`], and — when sinks are
 //! installed — emits `span_start` / `span_end` events.
 //!
 //! Each thread keeps its own stack of open spans, so nesting is tracked

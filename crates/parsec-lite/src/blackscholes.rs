@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn prices_are_sane() {
         let bs = Blackscholes::new(Scale::Tiny);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let prices = bs.run_traced(&mut prof);
         let portfolio = finance::option_portfolio(bs.options, bs.seed);
         for (p, o) in prices.iter().zip(&portfolio) {
@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn tiny_working_set_and_no_sharing() {
-        let p = profile(&Blackscholes::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&Blackscholes::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         // The portfolio fits even the smallest cache: capacity-insensitive
         // (compulsory-only) miss behavior.
         let small = p.at_capacity(128 * 1024).miss_rate();

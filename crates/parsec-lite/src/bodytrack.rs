@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn estimate_stays_in_frame() {
         let bt = Bodytrack::new(Scale::Tiny);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let (er, ec) = bt.run_traced(&mut prof);
         assert!(er >= 0.0 && er < bt.height as f32);
         assert!(ec >= 0.0 && ec < bt.width as f32);
@@ -156,7 +156,7 @@ mod tests {
 
     #[test]
     fn frame_is_read_shared() {
-        let p = profile(&Bodytrack::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&Bodytrack::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let s = p.at_capacity(16 * 1024 * 1024);
         assert!(s.shared_line_fraction() > 0.05, "{s:?}");
     }

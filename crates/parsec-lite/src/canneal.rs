@@ -154,7 +154,7 @@ mod tests {
             steps: 4,
             seed: 9,
         };
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let (nl, placed) = cn.run_traced(&mut prof);
         let before = Canneal::total_cost(&nl, &nl.locations);
         let after = Canneal::total_cost(&nl, &placed);
@@ -171,7 +171,7 @@ mod tests {
             steps: 2,
             seed: 11,
         };
-        let p = profile(&cn, &ProfileConfig::default());
+        let p = profile(&cn, &ProfileConfig::default()).expect("profile");
         let small = p.at_capacity(128 * 1024).miss_rate();
         let large = p.at_capacity(16 * 1024 * 1024).miss_rate();
         assert!(small > 0.1, "canneal must thrash small caches: {small}");

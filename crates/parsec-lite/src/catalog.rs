@@ -112,7 +112,7 @@ mod tests {
     fn every_workload_profiles_cleanly() {
         let cfg = ProfileConfig::default();
         for w in all_workloads(Scale::Tiny) {
-            let p = profile(w.as_ref(), &cfg);
+            let p = profile(w.as_ref(), &cfg).expect("profile");
             assert!(p.mix.total() > 0, "{} executed nothing", w.name());
             assert!(p.mix.memory_refs() > 0, "{}", w.name());
             assert!(p.instr_blocks > 0, "{}", w.name());

@@ -225,7 +225,7 @@ mod tests {
             dup_fraction: 0.6,
             seed: 4,
         };
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let r = dd.run_traced(&mut prof);
         assert!(r.chunks > 10);
         assert!(
@@ -242,14 +242,14 @@ mod tests {
             dup_fraction: 0.0,
             seed: 5,
         };
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let r = dd.run_traced(&mut prof);
         assert!(r.duplicates * 20 < r.chunks.max(20), "{r:?}");
     }
 
     #[test]
     fn streaming_footprint_is_large() {
-        let p = profile(&Dedup::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&Dedup::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         // 64 kB stream = 16 pages minimum.
         assert!(p.data_blocks >= 16);
         assert!(p.mix.branches > 0);

@@ -151,7 +151,7 @@ mod tests {
             seed: 3,
         };
         let m = mesh::tet_mesh(fs.side, fs.seed);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let out = fs.run_traced(&mut prof);
         // The squashed mesh should expand back toward rest lengths:
         // mean edge length grows from the compressed state.
@@ -177,7 +177,7 @@ mod tests {
 
     #[test]
     fn fem_is_alu_heavy_with_boundary_sharing() {
-        let p = profile(&Facesim::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&Facesim::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let f = p.mix.fractions();
         assert!(f[0] > 0.3, "{f:?}");
         let s = p.at_capacity(16 * 1024 * 1024);

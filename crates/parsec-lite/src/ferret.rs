@@ -155,7 +155,7 @@ mod tests {
             seed: 6,
         };
         let db = mining::clustered_points(fr.database, DIMS, 16, fr.seed);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let results = fr.run_traced(&mut prof);
         // Each query was a perturbed database row; its best match must be
         // genuinely close (far below the typical inter-point distance).
@@ -171,7 +171,7 @@ mod tests {
 
     #[test]
     fn database_is_read_shared_and_reads_dominate() {
-        let p = profile(&Ferret::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&Ferret::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         assert!(p.mix.reads > 10 * p.mix.writes, "{:?}", p.mix);
         let s = p.at_capacity(16 * 1024 * 1024);
         assert!(s.shared_line_fraction() > 0.05, "{s:?}");

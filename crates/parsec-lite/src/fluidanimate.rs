@@ -195,7 +195,7 @@ mod tests {
         let initial: Vec<[f32; 3]> = (0..fl.particles)
             .map(|_| std::array::from_fn(|_| rng.random::<f32>() * (g * 0.6)))
             .collect();
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let out = fl.run_traced(&mut prof);
         let mean_y = |p: &[[f32; 3]]| p.iter().map(|q| q[1] as f64).sum::<f64>() / p.len() as f64;
         assert!(mean_y(&out) < mean_y(&initial), "gravity must act");
@@ -206,7 +206,7 @@ mod tests {
 
     #[test]
     fn neighborhood_gathers_dominate_reads() {
-        let p = profile(&Fluidanimate::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&Fluidanimate::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         assert!(p.mix.reads > 2 * p.mix.writes, "{:?}", p.mix);
     }
 }

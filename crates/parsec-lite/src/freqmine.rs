@@ -130,7 +130,10 @@ impl Freqmine {
 
         // Stage 3: mine frequent pairs by walking the tree in parallel
         // over root branches.
-        let roots: Vec<usize> = nodes[0].children.values().copied().collect();
+        // Sorted so the mining trace never depends on HashMap iteration
+        // order (node ids are insertion-ordered, hence deterministic).
+        let mut roots: Vec<usize> = nodes[0].children.values().copied().collect();
+        roots.sort_unstable();
         let pair_count = RefCell::new(0usize);
         let nd = &nodes;
         let sup = &support;
@@ -159,7 +162,9 @@ impl Freqmine {
                     }
                     let mut next = path.clone();
                     next.push(node.item);
-                    for &c in node.children.values() {
+                    let mut kids: Vec<usize> = node.children.values().copied().collect();
+                    kids.sort_unstable();
+                    for c in kids {
                         stack.push((c, next.clone()));
                     }
                 }
@@ -192,7 +197,7 @@ mod tests {
             min_support: 100,
             seed: 2,
         };
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let (singles, pairs) = fm.run_traced(&mut prof);
         // The generator embeds frequent patterns in 40% of transactions;
         // their items and co-occurrences must surface.
@@ -202,7 +207,7 @@ mod tests {
 
     #[test]
     fn mining_is_branch_heavy() {
-        let p = profile(&Freqmine::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&Freqmine::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let f = p.mix.fractions();
         assert!(f[1] > 0.05, "branch fraction {f:?}");
     }

@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn image_contains_spheres_and_sky() {
         let rt = Raytrace::new(Scale::Tiny);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let fb = rt.run_traced(&mut prof);
         let sky = fb.iter().filter(|&&p| (p - 0.05).abs() < 1e-6).count();
         let lit = fb.iter().filter(|&&p| p > 0.1).count();
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn scene_is_read_shared() {
-        let p = profile(&Raytrace::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&Raytrace::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let s = p.at_capacity(16 * 1024 * 1024);
         assert!(s.shared_access_rate() > 0.3, "{s:?}");
         let f = p.mix.fractions();

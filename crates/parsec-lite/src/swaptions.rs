@@ -107,7 +107,7 @@ mod tests {
     #[test]
     fn prices_are_nonnegative_and_bounded() {
         let sw = Swaptions::new(Scale::Tiny);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let prices = sw.run_traced(&mut prof);
         assert!(prices.iter().all(|&p| (0.0..1.0).contains(&p)), "{prices:?}");
         // Some swaption should be in the money on average.
@@ -139,7 +139,7 @@ mod tests {
 
     #[test]
     fn private_compute_profile() {
-        let p = profile(&Swaptions::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&Swaptions::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let f = p.mix.fractions();
         assert!(f[0] > 0.5, "ALU fraction {f:?}");
         let s = p.at_capacity(16 * 1024 * 1024);

@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn pipeline_halves_the_image_and_stays_in_range() {
         let v = Vips::new(Scale::Tiny);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let out = v.run_traced(&mut prof);
         assert_eq!(out.width, v.width / 2);
         assert_eq!(out.height, v.height / 2);
@@ -154,7 +154,7 @@ mod tests {
             seed: 3,
         };
         let src = image::textured_image(v.width, v.height, v.seed);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let out = v.run_traced(&mut prof);
         let roughness = |img: &image::Image| -> f64 {
             let mut s = 0.0f64;
@@ -170,7 +170,7 @@ mod tests {
 
     #[test]
     fn large_code_footprint() {
-        let p = profile(&Vips::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&Vips::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         // ~100 kB of operator code = ~1,600 blocks.
         assert!(p.instr_blocks > 1_000, "{}", p.instr_blocks);
     }

@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn encoder_produces_output() {
         let x = X264::new(Scale::Tiny);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let s = x.run_traced(&mut prof);
         assert!(s.macroblocks > 0);
         assert!(s.mean_sad.is_finite() && s.mean_sad >= 0.0);
@@ -204,7 +204,7 @@ mod tests {
 
     #[test]
     fn motion_estimation_reads_dominate() {
-        let p = profile(&X264::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&X264::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         assert!(p.mix.reads > 5 * p.mix.writes, "{:?}", p.mix);
         // Big encoder code base.
         assert!(p.instr_blocks > 1_000, "{}", p.instr_blocks);

@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn output_is_a_probability() {
         let bp = BackpropOmp::new(Scale::Tiny);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let out = bp.run_traced(&mut prof);
         assert!((0.0..1.0).contains(&out));
     }
@@ -140,7 +140,7 @@ mod tests {
     fn weight_updates_make_writes_prominent() {
         // The adjust-weights pass writes every weight: BP has one of the
         // highest write fractions in the suite (a Figure 7 outlier).
-        let p = profile(&BackpropOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&BackpropOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let f = p.mix.fractions();
         assert!(f[3] > 0.1, "write fraction {f:?}");
     }

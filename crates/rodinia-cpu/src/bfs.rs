@@ -140,7 +140,7 @@ mod tests {
             max_degree: 5,
             seed: 3,
         };
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let got = bfs.run_traced(&mut prof);
         // Plain sequential BFS.
         let g = graph::random_graph(bfs.n, bfs.max_degree, bfs.seed);
@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn branchy_low_locality_mix() {
-        let p = profile(&BfsOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&BfsOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let f = p.mix.fractions();
         // BFS is the branchiest Rodinia workload (Figure 7's outlier).
         assert!(f[1] > 0.15, "branch fraction {f:?}");

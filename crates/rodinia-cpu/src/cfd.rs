@@ -157,7 +157,7 @@ mod tests {
     #[test]
     fn solution_stays_finite() {
         let cfd = CfdOmp::new(Scale::Tiny);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let vars = cfd.run_traced(&mut prof);
         assert!(vars.iter().all(|v| v.is_finite()));
         assert!(vars[..cfd.n].iter().all(|&d| d > 0.0));
@@ -165,7 +165,7 @@ mod tests {
 
     #[test]
     fn flux_loop_is_alu_heavy() {
-        let p = profile(&CfdOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&CfdOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let f = p.mix.fractions();
         assert!(f[0] > 0.5, "CFD is FP-dominated: {f:?}");
     }

@@ -215,7 +215,7 @@ mod tests {
     #[test]
     fn points_stay_in_frame_and_spread() {
         let hw = HeartwallOmp::new(Scale::Tiny);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let pts = hw.run_traced(&mut prof);
         assert!(pts.iter().all(|&(r, c)| r < hw.height && c < hw.width));
         let distinct: std::collections::HashSet<_> = pts.iter().collect();
@@ -225,7 +225,7 @@ mod tests {
     #[test]
     fn heartwall_shares_the_frame_heavily() {
         // The sharing outlier: overlapping windows on different threads.
-        let p = profile(&HeartwallOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&HeartwallOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let s = p.at_capacity(16 * 1024 * 1024);
         assert!(
             s.shared_access_rate() > 0.5,

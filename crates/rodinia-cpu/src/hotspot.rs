@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn temperatures_stay_physical() {
         let hs = HotspotOmp::new(Scale::Tiny);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let out = hs.run_traced(&mut prof);
         assert_eq!(out.len(), hs.n * hs.n);
         assert!(out.iter().all(|&t| (250.0..400.0).contains(&t)));
@@ -108,7 +108,7 @@ mod tests {
 
     #[test]
     fn stencil_mix_is_read_heavy() {
-        let p = profile(&HotspotOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&HotspotOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         assert!(p.mix.reads > 5 * p.mix.writes, "{:?}", p.mix);
         assert!(p.mix.alu > p.mix.reads, "stencil does arithmetic");
     }
@@ -116,7 +116,7 @@ mod tests {
     #[test]
     fn row_band_halos_are_shared() {
         // Threads share the boundary rows between bands.
-        let p = profile(&HotspotOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&HotspotOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let s = p.at_capacity(16 * 1024 * 1024);
         assert!(s.shared_line_fraction() > 0.0);
         assert!(s.shared_line_fraction() < 0.9, "most lines are private");

@@ -148,7 +148,7 @@ mod tests {
             iterations: 3,
             seed: 5,
         };
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let m = km.run_traced(&mut prof);
         let agree = (0..km.n).filter(|&i| m[i] == m[i % km.k]).count();
         assert!(agree > km.n * 9 / 10, "{agree}/{}", km.n);
@@ -157,14 +157,14 @@ mod tests {
     #[test]
     fn centers_are_shared_lines() {
         // Every thread reads the whole center table: strong sharing.
-        let p = profile(&KmeansOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&KmeansOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let s = p.at_capacity(16 * 1024 * 1024);
         assert!(s.shared_access_rate() > 0.2, "{s:?}");
     }
 
     #[test]
     fn read_dominated_mix() {
-        let p = profile(&KmeansOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&KmeansOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         assert!(p.mix.reads > 20 * p.mix.writes, "{:?}", p.mix);
     }
 }

@@ -170,7 +170,7 @@ mod tests {
             cells: 1,
             seed: 9,
         };
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let out = lc.run_traced(&mut prof);
         let (_, centers) = image::cell_frame(lc.width, lc.height, lc.cells, lc.seed);
         let (cr, cc) = centers[0];
@@ -183,7 +183,7 @@ mod tests {
     fn small_working_set() {
         // A frame plus its gradient fit comfortably in mid-size caches:
         // Leukocyte has one of the lowest 4 MB miss rates (Figure 10).
-        let p = profile(&LeukocyteOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&LeukocyteOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         assert!(p.at_capacity(4 * 1024 * 1024).miss_rate() < 0.01);
     }
 }

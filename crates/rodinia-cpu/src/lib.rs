@@ -9,8 +9,24 @@
 //! [`tracekit::Profiler`]: the same algorithms as
 //! `rodinia-gpu`, restructured the way the OpenMP codes are.
 //!
+//! | Module | Dwarf (Table II) | Dominant behavior traced |
+//! |--------|------------------|--------------------------|
+//! | [`backprop`] | Unstructured Grid | layer sweeps over a read-shared weight matrix |
+//! | [`bfs`] | Graph Traversal | frontier expansion, irregular neighbor gathers |
+//! | [`cfd`] | Unstructured Grid | flux accumulation with indirect face→cell access |
+//! | [`heartwall`] | Structured Grid | per-sample template convolutions on shared frames |
+//! | [`hotspot`] | Structured Grid | 5-point stencil, halo rows shared between threads |
+//! | [`kmeans`] | Dense Linear Algebra | distance scans + reduction over shared centroids |
+//! | [`leukocyte`] | Structured Grid | per-cell ellipse tracking on a shared video frame |
+//! | [`lud`] | Dense Linear Algebra | blocked factorization with pivot-row sharing |
+//! | [`mummer`] | Graph Traversal | suffix-tree walks, pointer chasing |
+//! | [`nw`] | Dynamic Programming | anti-diagonal wavefronts over a shared score matrix |
+//! | [`srad`] | Structured Grid | two-pass stencil with a global statistics reduction |
+//! | [`streamcluster`] | Dense Linear Algebra | online clustering, shared center table (also in Parsec) |
+//!
 //! [`suite::all_workloads`] exposes the twelve benchmarks for the
-//! Figure 6–12 experiments.
+//! Figure 6–12 experiments; the combined 24-workload corpus (with
+//! `parsec-lite`) is assembled by `rodinia-study`.
 
 #![warn(missing_docs)]
 // In workload code the loop index is usually also the *traced address*,

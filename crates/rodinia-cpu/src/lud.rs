@@ -84,7 +84,7 @@ mod tests {
     fn factorization_reconstructs_input() {
         let lud = LudOmp { n: 32, seed: 6 };
         let a0 = matrix::diag_dominant_matrix(lud.n, lud.seed);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let lu = lud.run_traced(&mut prof);
         let n = lud.n;
         let mut worst = 0.0f32;
@@ -103,7 +103,7 @@ mod tests {
 
     #[test]
     fn pivot_row_is_shared_among_threads() {
-        let p = profile(&LudOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&LudOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let s = p.at_capacity(16 * 1024 * 1024);
         // Every thread reads row k while updating its own rows.
         assert!(s.shared_access_rate() > 0.1, "{s:?}");

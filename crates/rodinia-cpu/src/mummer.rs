@@ -160,7 +160,7 @@ mod tests {
             error_rate: 0.1,
             seed: 5,
         };
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let got = mum.run_traced(&mut prof);
         let reference = sequence::reference(mum.ref_len, mum.seed);
         let reads =
@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn mummer_has_a_large_working_set() {
         // Even at tiny scale the tree misses hard in small caches.
-        let p = profile(&MummerOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&MummerOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let small = p.at_capacity(128 * 1024).miss_rate();
         let large = p.at_capacity(16 * 1024 * 1024).miss_rate();
         assert!(small > large);
@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn mummer_instruction_footprint_is_large() {
-        let p = profile(&MummerOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&MummerOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         // 38 kB of code regions = ~594 blocks of 64 B.
         assert!(p.instr_blocks > 500, "{}", p.instr_blocks);
     }

@@ -96,7 +96,7 @@ mod tests {
     #[test]
     fn dp_matrix_is_monotone_along_gaps() {
         let nw = NwOmp { n: 48, seed: 4 };
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let f = nw.run_traced(&mut prof);
         let m = nw.n + 1;
         // First row/column are gap-initialized.
@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn wavefront_shares_the_frontier() {
-        let p = profile(&NwOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&NwOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let s = p.at_capacity(16 * 1024 * 1024);
         // Adjacent diagonal cells land in different threads' chunks each
         // wave, so DP-matrix lines are heavily shared.

@@ -133,7 +133,7 @@ mod tests {
     fn diffusion_reduces_variance() {
         let srad = SradOmp::new(Scale::Tiny);
         let input = grid::speckle_image(srad.n, srad.n, srad.seed);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let out = srad.run_traced(&mut prof);
         let var = |x: &[f32]| {
             let m = x.iter().sum::<f32>() / x.len() as f32;
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn mix_is_stencil_like() {
-        let p = profile(&SradOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&SradOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let f = p.mix.fractions();
         assert!(f[0] > 0.4, "ALU-dominated: {f:?}");
         assert!(p.mix.reads > p.mix.writes);

@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn costs_decrease_and_stay_nonnegative() {
         let sc = StreamClusterOmp::new(Scale::Tiny);
-        let mut prof = Profiler::new(&ProfileConfig::default());
+        let mut prof = Profiler::new(&ProfileConfig::default()).expect("profile");
         let cost = sc.run_traced(&mut prof);
         assert!(cost.iter().all(|&c| c >= -1e-3));
         assert_eq!(cost.len(), sc.n);
@@ -126,7 +126,7 @@ mod tests {
     #[test]
     fn candidate_rows_are_shared() {
         // Every thread streams the candidate point's coordinates.
-        let p = profile(&StreamClusterOmp::new(Scale::Tiny), &ProfileConfig::default());
+        let p = profile(&StreamClusterOmp::new(Scale::Tiny), &ProfileConfig::default()).expect("profile");
         let s = p.at_capacity(16 * 1024 * 1024);
         assert!(s.shared_access_rate() > 0.1, "{s:?}");
     }

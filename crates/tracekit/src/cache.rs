@@ -6,6 +6,20 @@
 //! simulator tracks sharing: a resident line is *shared* once two or
 //! more distinct threads have accessed it during its current residency,
 //! and every access to such a line counts toward the shared-access rate.
+//!
+//! The hot loop is laid out for the replay path of the capture-once
+//! pipeline (see [`crate::trace`]): per-entry state is two words — the
+//! line tag, and a packed `stamp << 8 | thread_mask` word — the set
+//! index is a mask of the line number, the address-to-line mapping is a
+//! shift, and LRU victim selection is a branchless min-fold over the
+//! packed stamps.
+
+use crate::error::TraceError;
+
+/// Bits of each packed meta word reserved for the thread mask.
+const MASK_BITS: u32 = 8;
+/// Mask extracting the thread bits of a packed meta word.
+const THREAD_MASK: u64 = (1 << MASK_BITS) - 1;
 
 /// A shared, set-associative, LRU cache with per-line thread masks.
 #[derive(Debug, Clone)]
@@ -13,12 +27,15 @@ pub struct SharedCache {
     bytes: u64,
     ways: usize,
     line: u64,
-    sets: usize,
+    /// `sets - 1`: the set index is `lineno & set_mask`.
+    set_mask: u64,
+    /// `log2(line)`: the line number is `addr >> line_shift`.
+    line_shift: u32,
     /// `sets * ways` entries; tag == u64::MAX is invalid.
     tags: Vec<u64>,
-    stamps: Vec<u64>,
-    masks: Vec<u8>,
-    access_counts: Vec<u64>,
+    /// `stamp << 8 | thread_mask`, one word per entry. The clock is
+    /// bounded by the access count, so 56 stamp bits never overflow.
+    meta: Vec<u64>,
     clock: u64,
     accesses: u64,
     misses: u64,
@@ -32,31 +49,31 @@ impl SharedCache {
     /// Creates a cache of `bytes` capacity with `ways` associativity and
     /// `line`-byte lines.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless the geometry yields a positive power-of-two set
-    /// count.
-    pub fn new(bytes: u64, ways: usize, line: u64) -> SharedCache {
+    /// [`TraceError::CacheTooSmall`] if the geometry yields no complete
+    /// set, [`TraceError::SetsNotPowerOfTwo`] /
+    /// [`TraceError::LineNotPowerOfTwo`] if set count or line size defeat
+    /// the mask/shift index mapping.
+    pub fn new(bytes: u64, ways: usize, line: u64) -> Result<SharedCache, TraceError> {
+        validate_geometry(bytes, ways, line)?;
         let sets = (bytes / (ways as u64 * line)) as usize;
-        assert!(sets > 0, "cache smaller than one set");
-        assert!(sets.is_power_of_two(), "set count must be a power of two");
         let entries = sets * ways;
-        SharedCache {
+        Ok(SharedCache {
             bytes,
             ways,
             line,
-            sets,
+            set_mask: sets as u64 - 1,
+            line_shift: line.trailing_zeros(),
             tags: vec![u64::MAX; entries],
-            stamps: vec![0; entries],
-            masks: vec![0; entries],
-            access_counts: vec![0; entries],
+            meta: vec![0; entries],
             clock: 0,
             accesses: 0,
             misses: 0,
             shared_accesses: 0,
             finished_incarnations: 0,
             finished_shared: 0,
-        }
+        })
     }
 
     /// Capacity in bytes.
@@ -64,48 +81,58 @@ impl SharedCache {
         self.bytes
     }
 
+    /// Line size in bytes.
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+
     /// Simulates one access by `tid` to byte address `addr`.
     pub fn access(&mut self, tid: usize, addr: u64) {
+        self.access_line(tid, addr >> self.line_shift);
+    }
+
+    /// Simulates one access by `tid` to cache line `lineno` — the hot
+    /// entry point of the replay path, where the line number was
+    /// computed once at capture time instead of per capacity.
+    #[inline]
+    pub fn access_line(&mut self, tid: usize, lineno: u64) {
         self.clock += 1;
         self.accesses += 1;
-        let lineno = addr / self.line;
-        let set = (lineno % self.sets as u64) as usize;
-        let base = set * self.ways;
-        let tbit = 1u8 << (tid % 8);
-        for w in 0..self.ways {
-            let e = base + w;
+        let base = (lineno & self.set_mask) as usize * self.ways;
+        let tbit = 1u64 << (tid as u32 & (MASK_BITS - 1));
+        for e in base..base + self.ways {
             if self.tags[e] == lineno {
-                self.stamps[e] = self.clock;
-                self.masks[e] |= tbit;
-                self.access_counts[e] += 1;
-                if self.masks[e].count_ones() >= 2 {
-                    self.shared_accesses += 1;
-                }
+                let mask = (self.meta[e] | tbit) & THREAD_MASK;
+                self.meta[e] = (self.clock << MASK_BITS) | mask;
+                // mask & (mask - 1) != 0  <=>  >= 2 thread bits set.
+                self.shared_accesses += u64::from(mask & (mask - 1) != 0);
                 return;
             }
         }
-        // Miss: evict LRU.
+        // Miss: evict LRU, selected by a branchless min-fold over the
+        // packed stamps (the mask bits below the stamp never change the
+        // ordering between distinct stamps, and equal stamps cannot
+        // occur — the clock is unique per access).
         self.misses += 1;
         let mut victim = base;
-        for w in 1..self.ways {
-            if self.stamps[base + w] < self.stamps[victim] {
-                victim = base + w;
-            }
+        let mut best = self.meta[base] >> MASK_BITS;
+        for e in base + 1..base + self.ways {
+            let stamp = self.meta[e] >> MASK_BITS;
+            let better = stamp < best;
+            victim = if better { e } else { victim };
+            best = if better { stamp } else { best };
         }
         if self.tags[victim] != u64::MAX {
             self.finish_incarnation(victim);
         }
         self.tags[victim] = lineno;
-        self.stamps[victim] = self.clock;
-        self.masks[victim] = tbit;
-        self.access_counts[victim] = 1;
+        self.meta[victim] = (self.clock << MASK_BITS) | tbit;
     }
 
     fn finish_incarnation(&mut self, e: usize) {
         self.finished_incarnations += 1;
-        if self.masks[e].count_ones() >= 2 {
-            self.finished_shared += 1;
-        }
+        let mask = self.meta[e] & THREAD_MASK;
+        self.finished_shared += u64::from(mask & (mask.wrapping_sub(1)) != 0);
     }
 
     /// Finalizes and returns the statistics (flushing live residencies).
@@ -124,6 +151,25 @@ impl SharedCache {
             shared_incarnations: self.finished_shared,
         }
     }
+}
+
+/// Checks a cache geometry without allocating it: `bytes / (ways *
+/// line)` must yield a positive power-of-two set count and `line` must
+/// be a power of two (the hot loop maps addresses to lines with a shift
+/// and lines to sets with a mask).
+pub fn validate_geometry(bytes: u64, ways: usize, line: u64) -> Result<(), TraceError> {
+    if !line.is_power_of_two() {
+        return Err(TraceError::LineNotPowerOfTwo { line });
+    }
+    let denom = ways as u64 * line;
+    if denom == 0 || bytes / denom == 0 {
+        return Err(TraceError::CacheTooSmall { bytes, ways, line });
+    }
+    let sets = (bytes / denom) as usize;
+    if !sets.is_power_of_two() {
+        return Err(TraceError::SetsNotPowerOfTwo { sets });
+    }
+    Ok(())
 }
 
 /// Final statistics of one cache capacity.
@@ -176,9 +222,13 @@ impl CacheStats {
 mod tests {
     use super::*;
 
+    fn cache(bytes: u64) -> SharedCache {
+        SharedCache::new(bytes, 4, 64).expect("valid geometry")
+    }
+
     #[test]
     fn hit_and_miss_accounting() {
-        let mut c = SharedCache::new(8 * 1024, 4, 64);
+        let mut c = cache(8 * 1024);
         c.access(0, 0);
         c.access(0, 0);
         c.access(0, 64);
@@ -190,7 +240,7 @@ mod tests {
 
     #[test]
     fn sharing_detected_within_residency() {
-        let mut c = SharedCache::new(8 * 1024, 4, 64);
+        let mut c = cache(8 * 1024);
         c.access(0, 0);
         c.access(1, 8); // same line, second thread -> shared access
         c.access(2, 16);
@@ -205,7 +255,7 @@ mod tests {
     #[test]
     fn eviction_resets_sharing() {
         // Direct-mapped-ish: 1 set x 4 ways x 64 B = 256 B cache.
-        let mut c = SharedCache::new(256, 4, 64);
+        let mut c = SharedCache::new(256, 4, 64).expect("one-set geometry");
         c.access(0, 0);
         c.access(1, 0); // shared residency
         for i in 1..=4 {
@@ -220,8 +270,8 @@ mod tests {
     fn working_set_capture() {
         // A working set of 512 lines fits an 8-way 64 kB cache but
         // thrashes a 4 kB one.
-        let mut small = SharedCache::new(4 * 1024, 4, 64);
-        let mut large = SharedCache::new(64 * 1024, 4, 64);
+        let mut small = cache(4 * 1024);
+        let mut large = cache(64 * 1024);
         for pass in 0..4 {
             let _ = pass;
             for i in 0..512u64 {
@@ -235,9 +285,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
-    fn bad_geometry_panics() {
-        let _ = SharedCache::new(48 * 1024, 4, 64);
+    fn access_line_is_the_access_fast_path() {
+        let mut by_addr = cache(8 * 1024);
+        let mut by_line = cache(8 * 1024);
+        for (tid, addr) in [(0, 0u64), (1, 8), (0, 4096), (2, 64), (1, 4100)] {
+            by_addr.access(tid, addr);
+            by_line.access_line(tid, addr / 64);
+        }
+        assert_eq!(by_addr.finish(), by_line.finish());
+    }
+
+    #[test]
+    fn bad_geometries_are_typed_errors() {
+        // 48 kB / (4 x 64 B) = 192 sets: not a power of two.
+        assert_eq!(
+            SharedCache::new(48 * 1024, 4, 64).unwrap_err(),
+            TraceError::SetsNotPowerOfTwo { sets: 192 }
+        );
+        // Smaller than one set.
+        assert_eq!(
+            SharedCache::new(64, 4, 64).unwrap_err(),
+            TraceError::CacheTooSmall { bytes: 64, ways: 4, line: 64 }
+        );
+        // Degenerate ways/line hit the same arm instead of dividing by zero.
+        assert!(matches!(
+            SharedCache::new(1024, 0, 64),
+            Err(TraceError::CacheTooSmall { .. })
+        ));
+        // Non-power-of-two line defeats the shift mapping.
+        assert_eq!(
+            SharedCache::new(8 * 1024, 4, 48).unwrap_err(),
+            TraceError::LineNotPowerOfTwo { line: 48 }
+        );
+        assert!(matches!(
+            SharedCache::new(8 * 1024, 4, 0),
+            Err(TraceError::LineNotPowerOfTwo { .. })
+        ));
     }
 }
 
@@ -254,7 +337,7 @@ mod prop_tests {
         /// small strided/looping traces where inclusion does hold).
         #[test]
         fn miss_counts_conserve(addrs in proptest::collection::vec(0u64..1_000_000, 1..500)) {
-            let mut c = SharedCache::new(16 * 1024, 4, 64);
+            let mut c = SharedCache::new(16 * 1024, 4, 64).expect("geometry");
             for &a in &addrs {
                 c.access(0, a);
             }
@@ -272,7 +355,7 @@ mod prop_tests {
             let mut distinct: Vec<u64> = addrs.iter().map(|a| a / 64).collect();
             distinct.sort_unstable();
             distinct.dedup();
-            let mut c = SharedCache::new(1024 * 1024, 4, 64);
+            let mut c = SharedCache::new(1024 * 1024, 4, 64).expect("geometry");
             for &a in &addrs {
                 c.access(1, a);
             }

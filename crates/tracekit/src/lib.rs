@@ -20,7 +20,13 @@
 //! * [`mix::InstrMix`] tallies the ALU / branch / read / write
 //!   instruction mix;
 //! * [`footprint::Footprints`] counts 64-byte instruction blocks and
-//!   4 kB data blocks touched (Figures 11 and 12).
+//!   4 kB data blocks touched (Figures 11 and 12);
+//! * [`trace::CpuCapture`] is the capture-once path: the interleaved
+//!   reference stream is recorded once as packed line-granular words
+//!   and each capacity is then replayed independently — byte-identical
+//!   to the direct path, and parallelizable by the study engine;
+//! * [`error::TraceError`] is the crate's typed error — no fallible
+//!   entry point panics.
 //!
 //! ## Example
 //!
@@ -46,21 +52,31 @@
 //!     }
 //! }
 //!
-//! let p = profile(&Sum, &ProfileConfig::default());
+//! let p = profile(&Sum, &ProfileConfig::default()).expect("default config is valid");
 //! assert_eq!(p.mix.reads, 8 * 1024);
 //! assert_eq!(p.cache_stats.len(), 8);
+//!
+//! // The same workload through the capture-once pipeline gives the
+//! // byte-identical profile:
+//! let cap = tracekit::CpuCapture::capture(&Sum, &ProfileConfig::default()).unwrap();
+//! let stats = cap.replay_all(&ProfileConfig::default().cache_sizes).unwrap();
+//! assert_eq!(cap.profile_with(stats), p);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod error;
 pub mod footprint;
 pub mod mix;
 pub mod profile;
+pub mod trace;
 pub mod tracer;
 
 pub use cache::{CacheStats, SharedCache};
+pub use error::TraceError;
 pub use footprint::Footprints;
 pub use mix::{InstrMix, MixClass};
-pub use profile::{profile, CpuWorkload, Profile, ProfileConfig, Profiler};
+pub use profile::{profile, CpuWorkload, Profile, ProfileConfig, Profiler, MAX_THREADS};
+pub use trace::{profile_via_replay, CpuCapture};
 pub use tracer::{Ev, ThreadTracer};

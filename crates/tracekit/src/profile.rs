@@ -2,8 +2,16 @@
 //! interleaves their events deterministically, and feeds every
 //! configured cache capacity plus the mix/footprint collectors
 //! simultaneously.
+//!
+//! The driver has two sinks for memory references: the **direct** sink
+//! feeds all configured [`SharedCache`] capacities as events are
+//! applied (the seed path), and the **capture** sink records the
+//! line-granular reference stream into a packed trace instead, for the
+//! replay pipeline in [`crate::trace`]. Both sinks see the identical
+//! interleaved stream, which is what makes replay byte-identical.
 
-use crate::cache::{CacheStats, SharedCache};
+use crate::cache::{validate_geometry, CacheStats, SharedCache};
+use crate::error::TraceError;
 use crate::footprint::Footprints;
 use crate::mix::InstrMix;
 use crate::tracer::{Ev, ThreadTracer};
@@ -37,8 +45,16 @@ impl Default for ProfileConfig {
     }
 }
 
+/// Largest thread count the packed trace word can address (thread ids
+/// live in the low byte of each trace word).
+pub const MAX_THREADS: usize = 256;
+
 /// A workload that can be profiled by [`profile`].
-pub trait CpuWorkload {
+///
+/// `Send + Sync` is a supertrait so workload corpora can be shared
+/// across the study engine's capture workers, mirroring
+/// `GpuBenchmark` on the simulator side.
+pub trait CpuWorkload: Send + Sync {
     /// Workload name.
     fn name(&self) -> &'static str;
 
@@ -47,7 +63,7 @@ pub trait CpuWorkload {
 }
 
 /// The collected characteristics of one workload run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
     /// Workload name.
     pub name: String,
@@ -78,11 +94,20 @@ impl Profile {
     }
 }
 
+/// Where the interleaved memory-reference stream goes.
+#[derive(Debug)]
+enum Sink {
+    /// Feed every configured cache capacity as references arrive.
+    Direct(Vec<SharedCache>),
+    /// Record packed `(lineno << 8) | tid` words for later replay.
+    Capture(Vec<u64>),
+}
+
 /// The instrumentation context a workload runs against.
 #[derive(Debug)]
 pub struct Profiler {
     cfg: ProfileConfig,
-    caches: Vec<SharedCache>,
+    sink: Sink,
     mix: InstrMix,
     footprints: Footprints,
     regions: Vec<(u64, u64)>,
@@ -94,15 +119,49 @@ pub struct Profiler {
 /// Base of the (synthetic) code address space, disjoint from data.
 const CODE_BASE: u64 = 1 << 40;
 
+fn check_threads(threads: usize) -> Result<(), TraceError> {
+    if threads > MAX_THREADS {
+        return Err(TraceError::TooManyThreads {
+            threads,
+            max: MAX_THREADS,
+        });
+    }
+    Ok(())
+}
+
 impl Profiler {
-    /// Creates a profiler with the given configuration.
-    pub fn new(cfg: &ProfileConfig) -> Profiler {
+    /// Creates a direct-mode profiler with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// A [`TraceError`] if any configured cache geometry is invalid or
+    /// the thread count exceeds [`MAX_THREADS`].
+    pub fn new(cfg: &ProfileConfig) -> Result<Profiler, TraceError> {
+        check_threads(cfg.threads)?;
+        let caches = cfg
+            .cache_sizes
+            .iter()
+            .map(|&b| SharedCache::new(b, cfg.ways, cfg.line))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Profiler::with_sink(cfg, Sink::Direct(caches)))
+    }
+
+    /// Creates a capture-mode profiler: memory references are recorded
+    /// instead of simulated. Validates the same geometries as [`new`]
+    /// so a bad configuration fails at capture, not first replay.
+    ///
+    /// [`new`]: Profiler::new
+    pub(crate) fn new_capturing(cfg: &ProfileConfig) -> Result<Profiler, TraceError> {
+        check_threads(cfg.threads)?;
+        for &b in &cfg.cache_sizes {
+            validate_geometry(b, cfg.ways, cfg.line)?;
+        }
+        Ok(Profiler::with_sink(cfg, Sink::Capture(Vec::new())))
+    }
+
+    fn with_sink(cfg: &ProfileConfig, sink: Sink) -> Profiler {
         Profiler {
-            caches: cfg
-                .cache_sizes
-                .iter()
-                .map(|&b| SharedCache::new(b, cfg.ways, cfg.line))
-                .collect(),
+            sink,
             cfg: cfg.clone(),
             mix: InstrMix::default(),
             footprints: Footprints::new(),
@@ -208,11 +267,21 @@ impl Profiler {
         let line = self.cfg.line;
         let first = addr / line;
         let last = (addr + size.max(1) as u64 - 1) / line;
-        for c in self.caches.iter_mut() {
-            c.access(tid, addr);
-            // A straddling access touches the next line too.
-            if last != first {
-                c.access(tid, last * line);
+        match &mut self.sink {
+            Sink::Direct(caches) => {
+                for c in caches.iter_mut() {
+                    c.access_line(tid, first);
+                    // A straddling access touches the next line too.
+                    if last != first {
+                        c.access_line(tid, last);
+                    }
+                }
+            }
+            Sink::Capture(words) => {
+                words.push((first << 8) | tid as u64);
+                if last != first {
+                    words.push((last << 8) | tid as u64);
+                }
             }
         }
     }
@@ -220,31 +289,55 @@ impl Profiler {
     /// Finalizes the run into a [`Profile`].
     ///
     /// Aggregate counters are published to the global [`obs::Registry`]
-    /// once here (not per-event, keeping the hot path untouched).
+    /// once here (not per-event, keeping the hot path untouched). In
+    /// capture mode the returned profile has no cache stats — the
+    /// crate-internal `finish_capture` also returns the packed trace.
     pub fn finish(self, name: &str) -> Profile {
+        self.finish_capture(name).0
+    }
+
+    /// Finalizes the run, also returning the packed reference trace
+    /// (empty in direct mode).
+    pub(crate) fn finish_capture(self, name: &str) -> (Profile, Vec<u64>) {
         let reg = obs::Registry::global();
         reg.add("tracekit.events", self.events);
         reg.add("tracekit.reads", self.mix.reads);
         reg.add("tracekit.writes", self.mix.writes);
         reg.add("tracekit.alu", self.mix.alu);
         reg.add("tracekit.branches", self.mix.branches);
-        Profile {
-            name: name.to_string(),
-            mix: self.mix,
-            cache_stats: self.caches.into_iter().map(SharedCache::finish).collect(),
-            instr_blocks: self.footprints.instr_blocks(),
-            data_blocks: self.footprints.data_blocks(),
-            events: self.events,
-        }
+        let (cache_stats, words) = match self.sink {
+            Sink::Direct(caches) => (
+                caches.into_iter().map(SharedCache::finish).collect(),
+                Vec::new(),
+            ),
+            Sink::Capture(words) => (Vec::new(), words),
+        };
+        (
+            Profile {
+                name: name.to_string(),
+                mix: self.mix,
+                cache_stats,
+                instr_blocks: self.footprints.instr_blocks(),
+                data_blocks: self.footprints.data_blocks(),
+                events: self.events,
+            },
+            words,
+        )
     }
 }
 
-/// Profiles `workload` under `cfg` in one pass.
-pub fn profile(workload: &dyn CpuWorkload, cfg: &ProfileConfig) -> Profile {
+/// Profiles `workload` under `cfg` in one pass (the direct path: all
+/// capacities simulated simultaneously).
+///
+/// # Errors
+///
+/// A [`TraceError`] if the configuration is invalid (bad cache
+/// geometry, too many threads).
+pub fn profile(workload: &dyn CpuWorkload, cfg: &ProfileConfig) -> Result<Profile, TraceError> {
     let _span = obs::span!("tracekit.profile.{}", workload.name());
-    let mut prof = Profiler::new(cfg);
+    let mut prof = Profiler::new(cfg)?;
     workload.run(&mut prof);
-    prof.finish(workload.name())
+    Ok(prof.finish(workload.name()))
 }
 
 #[cfg(test)]
@@ -285,9 +378,13 @@ mod tests {
         }
     }
 
+    fn must_profile(w: &dyn CpuWorkload, cfg: &ProfileConfig) -> Profile {
+        profile(w, cfg).expect("valid test configuration")
+    }
+
     #[test]
     fn mix_counts_all_threads() {
-        let p = profile(
+        let p = must_profile(
             &Strided {
                 lines: 100,
                 passes: 2,
@@ -301,7 +398,7 @@ mod tests {
 
     #[test]
     fn miss_rate_decreases_with_capacity() {
-        let p = profile(
+        let p = must_profile(
             &Strided {
                 lines: 512, // 32 kB working set
                 passes: 4,
@@ -319,7 +416,7 @@ mod tests {
     #[test]
     fn shared_data_is_detected() {
         // All threads read the same lines: lines become shared.
-        let p = profile(
+        let p = must_profile(
             &Strided {
                 lines: 64,
                 passes: 1,
@@ -333,7 +430,7 @@ mod tests {
 
     #[test]
     fn footprints_reflect_code_and_data() {
-        let p = profile(
+        let p = must_profile(
             &Strided {
                 lines: 128, // 8 kB = 2 pages
                 passes: 1,
@@ -359,7 +456,7 @@ mod tests {
                 });
             }
         }
-        let p = profile(&Serial, &small_cfg());
+        let p = must_profile(&Serial, &small_cfg());
         assert_eq!(p.mix.writes, 1);
         let s = p.at_capacity(4 * 1024);
         assert_eq!(s.shared_accesses, 0);
@@ -372,17 +469,41 @@ mod tests {
             lines: 300,
             passes: 3,
         };
-        let a = profile(&w, &cfg);
-        let b = profile(&w, &cfg);
-        assert_eq!(a.mix, b.mix);
-        assert_eq!(a.cache_stats, b.cache_stats);
-        assert_eq!(a.events, b.events);
+        let a = must_profile(&w, &cfg);
+        let b = must_profile(&w, &cfg);
+        assert_eq!(a, b, "profiles are fully deterministic");
+    }
+
+    #[test]
+    fn bad_geometry_is_reported_not_panicked() {
+        let cfg = ProfileConfig {
+            cache_sizes: vec![48 * 1024],
+            ..small_cfg()
+        };
+        let w = Strided { lines: 8, passes: 1 };
+        assert_eq!(
+            profile(&w, &cfg).unwrap_err(),
+            crate::TraceError::SetsNotPowerOfTwo { sets: 192 }
+        );
+    }
+
+    #[test]
+    fn too_many_threads_is_reported() {
+        let cfg = ProfileConfig {
+            threads: 300,
+            ..small_cfg()
+        };
+        let w = Strided { lines: 8, passes: 1 };
+        assert_eq!(
+            profile(&w, &cfg).unwrap_err(),
+            crate::TraceError::TooManyThreads { threads: 300, max: MAX_THREADS }
+        );
     }
 
     #[test]
     #[should_panic(expected = "was not simulated")]
     fn unknown_capacity_panics() {
-        let p = profile(
+        let p = must_profile(
             &Strided {
                 lines: 8,
                 passes: 1,

@@ -1,0 +1,244 @@
+//! Capture-once / replay-many memory traces.
+//!
+//! The direct path ([`crate::profile()`]) pushes every interleaved memory
+//! reference through all eight cache capacities as it is generated —
+//! O(events x capacities) cache work per workload, repeated from
+//! scratch on every study run. This module splits that into:
+//!
+//! 1. **capture** — run the workload once under a capture-mode
+//!    [`Profiler`], recording the line-granular reference stream as
+//!    packed `(lineno << 8) | tid` words (mix, footprints and event
+//!    counts are finalized here too; they do not depend on capacity);
+//! 2. **replay** — feed the packed words to a single [`SharedCache`]
+//!    per capacity. Replays are independent, so the study engine can
+//!    fan them out over its worker pool.
+//!
+//! Because the packed words record exactly the `(tid, lineno)` pairs
+//! the direct sink would have fed each cache — including the second
+//! line of a straddling access — each replayed cache observes the
+//! byte-identical access sequence, and [`CacheStats`] come out equal to
+//! the direct path's. `tests` below prove it; the study-level
+//! determinism is re-proven per workload in
+//! `tests/cpu_replay_determinism.rs` at the workspace root.
+
+use crate::cache::{CacheStats, SharedCache};
+use crate::error::TraceError;
+use crate::profile::{CpuWorkload, Profile, ProfileConfig, Profiler};
+
+/// A workload's capture: everything capacity-independent (mix,
+/// footprints, event count) plus the packed reference trace.
+///
+/// Captures are immutable once built; replaying takes `&self`, so one
+/// capture can serve many concurrent replays behind an `Arc`.
+#[derive(Debug, Clone)]
+pub struct CpuCapture {
+    base: Profile,
+    words: Vec<u64>,
+    ways: usize,
+    line: u64,
+}
+
+impl CpuCapture {
+    /// Runs `workload` once in capture mode.
+    ///
+    /// Emits a `tracekit.capture.{name}` span and bumps the
+    /// `tracekit.captures` / `tracekit.capture.words` registry
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// A [`TraceError`] if the configuration is invalid; geometry is
+    /// validated here (not at first replay) so misconfiguration
+    /// surfaces before any work is done.
+    pub fn capture(
+        workload: &dyn CpuWorkload,
+        cfg: &ProfileConfig,
+    ) -> Result<CpuCapture, TraceError> {
+        let _span = obs::span!("tracekit.capture.{}", workload.name());
+        let mut prof = Profiler::new_capturing(cfg)?;
+        workload.run(&mut prof);
+        let (base, words) = prof.finish_capture(workload.name());
+        let reg = obs::Registry::global();
+        reg.add("tracekit.captures", 1);
+        reg.add("tracekit.capture.words", words.len() as u64);
+        Ok(CpuCapture {
+            base,
+            words,
+            ways: cfg.ways,
+            line: cfg.line,
+        })
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &str {
+        &self.base.name
+    }
+
+    /// Packed trace length in words (one word per line-granular
+    /// reference).
+    pub fn words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The raw packed trace: `(lineno << 8) | tid` per reference, in
+    /// interleaved stream order (straddling accesses contribute two
+    /// consecutive words).
+    pub fn packed_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Replays the trace against one cache capacity.
+    ///
+    /// Emits a `tracekit.replay.{name}` span and bumps the
+    /// `tracekit.replays` registry counter.
+    ///
+    /// # Errors
+    ///
+    /// A [`TraceError`] if `bytes` is not a valid geometry with the
+    /// captured associativity and line size.
+    pub fn replay(&self, bytes: u64) -> Result<CacheStats, TraceError> {
+        let _span = obs::span!("tracekit.replay.{}", self.base.name);
+        let mut cache = SharedCache::new(bytes, self.ways, self.line)?;
+        for &w in &self.words {
+            cache.access_line((w & 0xff) as usize, w >> 8);
+        }
+        obs::Registry::global().add("tracekit.replays", 1);
+        Ok(cache.finish())
+    }
+
+    /// Replays every capacity in `sizes`, in order.
+    ///
+    /// # Errors
+    ///
+    /// The first [`TraceError`] from a replay.
+    pub fn replay_all(&self, sizes: &[u64]) -> Result<Vec<CacheStats>, TraceError> {
+        sizes.iter().map(|&b| self.replay(b)).collect()
+    }
+
+    /// Assembles a full [`Profile`] from this capture plus
+    /// already-replayed cache stats (in the study's capacity order).
+    pub fn profile_with(&self, cache_stats: Vec<CacheStats>) -> Profile {
+        Profile {
+            cache_stats,
+            ..self.base.clone()
+        }
+    }
+}
+
+/// Capture + sequential full-sweep replay: the drop-in equivalent of
+/// [`crate::profile()`] through the trace pipeline. Produces a profile
+/// byte-identical to the direct path's.
+///
+/// # Errors
+///
+/// A [`TraceError`] if the configuration is invalid.
+pub fn profile_via_replay(
+    workload: &dyn CpuWorkload,
+    cfg: &ProfileConfig,
+) -> Result<Profile, TraceError> {
+    let cap = CpuCapture::capture(workload, cfg)?;
+    let stats = cap.replay_all(&cfg.cache_sizes)?;
+    Ok(cap.profile_with(stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile;
+    use crate::tracer::ThreadTracer;
+
+    /// A workload exercising sharing, straddles, and serial regions.
+    struct Mixed;
+
+    impl CpuWorkload for Mixed {
+        fn name(&self) -> &'static str {
+            "mixed"
+        }
+        fn run(&self, prof: &mut Profiler) {
+            let shared = prof.alloc("shared", 64 * 64);
+            let private = prof.alloc("private", 4 * 4096);
+            let code = prof.code_region("kernel", 400);
+            prof.serial(|t: &mut ThreadTracer| {
+                t.exec(code);
+                // Straddling access: 8 bytes across a line boundary.
+                t.write(shared + 60, 8);
+            });
+            prof.parallel(|t| {
+                t.exec(code);
+                for i in 0..64u64 {
+                    t.read(shared + i * 64, 4);
+                    t.update(private + t.tid() as u64 * 4096 + i * 8, 8, 1);
+                    t.branch(1);
+                }
+            });
+        }
+    }
+
+    fn cfg() -> ProfileConfig {
+        ProfileConfig {
+            threads: 4,
+            cache_sizes: vec![1024, 8 * 1024, 256 * 1024],
+            quantum: 7,
+            ..ProfileConfig::default()
+        }
+    }
+
+    #[test]
+    fn replay_is_byte_identical_to_direct() {
+        let direct = profile(&Mixed, &cfg()).expect("direct profile");
+        let replayed = profile_via_replay(&Mixed, &cfg()).expect("replayed profile");
+        assert_eq!(direct, replayed);
+    }
+
+    #[test]
+    fn capture_is_reusable_across_capacities() {
+        let cap = CpuCapture::capture(&Mixed, &cfg()).expect("capture");
+        assert!(cap.words() > 0);
+        let a = cap.replay(8 * 1024).expect("replay");
+        let b = cap.replay(8 * 1024).expect("replay again");
+        assert_eq!(a, b, "replay does not mutate the capture");
+        let direct = profile(&Mixed, &cfg()).expect("direct");
+        assert_eq!(&a, direct.at_capacity(8 * 1024));
+    }
+
+    #[test]
+    fn trace_words_pack_tid_in_low_byte() {
+        let cap = CpuCapture::capture(&Mixed, &cfg()).expect("capture");
+        // Every recorded thread id must be one of the configured ones.
+        for &w in &cap.words {
+            assert!((w & 0xff) < 4, "tid {} out of range", w & 0xff);
+        }
+    }
+
+    #[test]
+    fn capture_validates_geometry_upfront() {
+        let bad = ProfileConfig {
+            cache_sizes: vec![48 * 1024],
+            ..cfg()
+        };
+        assert_eq!(
+            CpuCapture::capture(&Mixed, &bad).unwrap_err(),
+            TraceError::SetsNotPowerOfTwo { sets: 192 }
+        );
+    }
+
+    #[test]
+    fn replay_rejects_bad_capacity() {
+        let cap = CpuCapture::capture(&Mixed, &cfg()).expect("capture");
+        assert!(matches!(
+            cap.replay(48 * 1024),
+            Err(TraceError::SetsNotPowerOfTwo { .. })
+        ));
+    }
+
+    #[test]
+    fn capture_publishes_counters() {
+        let before = obs::Registry::global().counter("tracekit.captures");
+        let cap = CpuCapture::capture(&Mixed, &cfg()).expect("capture");
+        let _ = cap.replay(8 * 1024).expect("replay");
+        let reg = obs::Registry::global();
+        assert!(reg.counter("tracekit.captures") > before);
+        assert!(reg.counter("tracekit.capture.words") >= cap.words() as u64);
+        assert!(reg.counter("tracekit.replays") >= 1);
+    }
+}

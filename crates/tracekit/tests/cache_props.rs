@@ -1,8 +1,14 @@
 //! Property tests on the shared-cache simulator: the classic stack
-//! properties LRU guarantees, plus bounds on the sharing metrics.
+//! properties LRU guarantees, plus bounds on the sharing metrics,
+//! eviction-order checks under full-set pressure, mid-residency
+//! eviction accounting, and geometry edge cases.
 
 use proptest::prelude::*;
-use tracekit::SharedCache;
+use tracekit::{CpuCapture, ProfileConfig, SharedCache, TraceError};
+
+fn cache(bytes: u64, ways: usize, line: u64) -> SharedCache {
+    SharedCache::new(bytes, ways, line).expect("valid test geometry")
+}
 
 proptest! {
     /// With the set count fixed, adding ways to an LRU cache never adds
@@ -12,8 +18,8 @@ proptest! {
         trace in proptest::collection::vec((0usize..4, 0u64..200_000), 10..400),
     ) {
         // 64 sets in both: 2-way = 8 kB, 4-way = 16 kB.
-        let mut narrow = SharedCache::new(8 * 1024, 2, 64);
-        let mut wide = SharedCache::new(16 * 1024, 4, 64);
+        let mut narrow = cache(8 * 1024, 2, 64);
+        let mut wide = cache(16 * 1024, 4, 64);
         for &(tid, addr) in &trace {
             narrow.access(tid, addr);
             wide.access(tid, addr);
@@ -29,7 +35,7 @@ proptest! {
         trace in proptest::collection::vec((0usize..8, 0u64..100_000), 1..300),
         single in proptest::bool::ANY,
     ) {
-        let mut c = SharedCache::new(32 * 1024, 4, 64);
+        let mut c = cache(32 * 1024, 4, 64);
         for &(tid, addr) in &trace {
             c.access(if single { 0 } else { tid }, addr);
         }
@@ -48,12 +54,12 @@ proptest! {
     #[test]
     fn warm_replay_hits(lines in proptest::collection::vec(0u64..128, 1..64)) {
         // 128 lines of working set vs a 512-line cache.
-        let mut c = SharedCache::new(32 * 1024, 4, 64);
+        let mut c = cache(32 * 1024, 4, 64);
         for &l in &lines {
             c.access(0, l * 64);
         }
         let cold = c.finish().misses;
-        let mut c2 = SharedCache::new(32 * 1024, 4, 64);
+        let mut c2 = cache(32 * 1024, 4, 64);
         for _ in 0..2 {
             for &l in &lines {
                 c2.access(0, l * 64);
@@ -61,5 +67,159 @@ proptest! {
         }
         let warm = c2.finish();
         prop_assert_eq!(warm.misses, cold, "second pass must be all hits");
+    }
+
+    /// Eviction order under full-set pressure is strict LRU: against a
+    /// reference model keeping per-set recency stacks, the packed
+    /// branchless hot loop must miss on exactly the same accesses.
+    #[test]
+    fn eviction_order_matches_reference_lru(
+        trace in proptest::collection::vec((0usize..4, 0u64..64), 50..500),
+    ) {
+        // 4 sets x 4 ways x 64 B = 1 kB: a 64-line address space keeps
+        // every set under continuous replacement pressure.
+        let ways = 4;
+        let sets = 4u64;
+        let mut c = cache(1024, ways, 64);
+        let mut model: Vec<Vec<u64>> = vec![Vec::new(); sets as usize];
+        let mut model_misses = 0u64;
+        for &(tid, lineno) in &trace {
+            c.access_line(tid, lineno);
+            let stack = &mut model[(lineno % sets) as usize];
+            match stack.iter().position(|&l| l == lineno) {
+                Some(i) => {
+                    stack.remove(i);
+                }
+                None => {
+                    model_misses += 1;
+                    if stack.len() == ways {
+                        stack.remove(0); // least recently used
+                    }
+                }
+            }
+            stack.push(lineno); // most recently used on top
+        }
+        let s = c.finish();
+        prop_assert_eq!(s.misses, model_misses, "LRU victim selection diverged");
+    }
+
+    /// Mid-residency eviction accounting: every fill is one incarnation,
+    /// shared incarnations count residencies (not lines) touched by two
+    /// or more threads, and finish() flushes live residencies exactly
+    /// once — so incarnations == misses always, even when lines are
+    /// evicted while shared and refilled privately.
+    #[test]
+    fn mid_residency_eviction_accounting(
+        trace in proptest::collection::vec((0usize..8, 0u64..32), 20..400),
+    ) {
+        // One set, 2 ways: maximal eviction churn on a tiny line space.
+        let mut c = cache(128, 2, 64);
+        let mut resident: Vec<(u64, u8)> = Vec::new(); // (lineno, thread mask), LRU first
+        let mut shared_finished = 0u64;
+        let mut shared_accesses = 0u64;
+        for &(tid, lineno) in &trace {
+            c.access_line(tid, lineno);
+            let tbit = 1u8 << (tid % 8);
+            match resident.iter().position(|&(l, _)| l == lineno) {
+                Some(i) => {
+                    let (_, mask) = resident.remove(i);
+                    let mask = mask | tbit;
+                    if mask.count_ones() >= 2 {
+                        shared_accesses += 1;
+                    }
+                    resident.push((lineno, mask));
+                }
+                None => {
+                    if resident.len() == 2 {
+                        let (_, mask) = resident.remove(0);
+                        if mask.count_ones() >= 2 {
+                            shared_finished += 1;
+                        }
+                    }
+                    resident.push((lineno, tbit));
+                }
+            }
+        }
+        for &(_, mask) in &resident {
+            if mask.count_ones() >= 2 {
+                shared_finished += 1;
+            }
+        }
+        let s = c.finish();
+        prop_assert_eq!(s.incarnations, s.misses, "every fill is one residency");
+        prop_assert_eq!(s.shared_incarnations, shared_finished);
+        prop_assert_eq!(s.shared_accesses, shared_accesses);
+    }
+
+    /// Geometry validation over the whole parameter lattice: power-of-two
+    /// sets and lines succeed, everything else fails with the right
+    /// typed error, and construction never panics.
+    #[test]
+    fn geometry_edge_cases(
+        bytes in 0u64..1 << 22,
+        ways in 0usize..9,
+        line_log in 0u32..9,
+        line_off in 0u64..3,
+    ) {
+        let line = (1u64 << line_log) + line_off; // pow2 and near-pow2
+        match SharedCache::new(bytes, ways, line) {
+            Ok(c) => {
+                prop_assert!(line.is_power_of_two());
+                let denom = ways as u64 * line;
+                let sets = bytes / denom;
+                prop_assert!(sets >= 1 && sets.is_power_of_two());
+                prop_assert_eq!(c.capacity(), bytes);
+            }
+            Err(TraceError::LineNotPowerOfTwo { line: l }) => {
+                prop_assert_eq!(l, line);
+                prop_assert!(!line.is_power_of_two());
+            }
+            Err(TraceError::CacheTooSmall { .. }) => {
+                let denom = ways as u64 * line;
+                prop_assert!(denom == 0 || bytes / denom == 0);
+            }
+            Err(TraceError::SetsNotPowerOfTwo { sets }) => {
+                prop_assert_eq!(sets as u64, bytes / (ways as u64 * line));
+                prop_assert!(!sets.is_power_of_two());
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// The packed trace replay reproduces the direct simulation on
+    /// arbitrary synthetic workload shapes (sizes straddle lines).
+    #[test]
+    fn replay_equals_direct_on_random_traces(
+        refs in proptest::collection::vec((0usize..6, 0u64..50_000, 1u8..65), 1..300),
+    ) {
+        use tracekit::{profile, CpuWorkload, Profiler};
+
+        struct Replay(Vec<(usize, u64, u8)>);
+        impl CpuWorkload for Replay {
+            fn name(&self) -> &'static str { "replay-prop" }
+            fn run(&self, prof: &mut Profiler) {
+                let base = prof.alloc("data", 64 * 1024);
+                let refs = self.0.clone();
+                prof.parallel(|t| {
+                    for &(tid, addr, size) in &refs {
+                        if tid == t.tid() {
+                            t.read(base + addr, size);
+                        }
+                    }
+                });
+            }
+        }
+
+        let cfg = ProfileConfig {
+            threads: 6,
+            cache_sizes: vec![1024, 16 * 1024],
+            quantum: 5,
+            ..ProfileConfig::default()
+        };
+        let w = Replay(refs);
+        let direct = profile(&w, &cfg).expect("direct");
+        let cap = CpuCapture::capture(&w, &cfg).expect("capture");
+        let stats = cap.replay_all(&cfg.cache_sizes).expect("replay");
+        prop_assert_eq!(direct, cap.profile_with(stats));
     }
 }

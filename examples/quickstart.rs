@@ -18,7 +18,8 @@ fn main() {
 
     // --- CPU side: profile the OpenMP HotSpot under the Bienia
     // methodology (8 threads, shared 4-way 64 B cache, 128 kB - 16 MB).
-    let profile = tracekit::profile(&HotspotOmp::new(Scale::Tiny), &ProfileConfig::default());
+    let profile = tracekit::profile(&HotspotOmp::new(Scale::Tiny), &ProfileConfig::default())
+        .expect("default profile config is valid");
     println!("== CPU: hotspot profile ==");
     println!(
         "instruction mix: alu {} branch {} read {} write {}",

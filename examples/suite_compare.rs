@@ -25,7 +25,7 @@ fn scale_from_args() -> Scale {
 fn main() -> Result<(), StudyError> {
     let scale = scale_from_args();
     eprintln!("profiling 24 workloads (this is the expensive step) ...");
-    let study = ComparisonStudy::run(scale);
+    let study = ComparisonStudy::run(&StudySession::default(), scale)?;
 
     println!("Figure 6: similarity dendrogram (Rodinia R, Parsec P)");
     println!("{}", study.dendrogram()?);

@@ -191,7 +191,13 @@ fn main() {
     };
     let corpus = if ids.iter().any(|&id| needs_corpus(id)) {
         eprintln!("profiling the 24-workload comparison corpus ...");
-        Some(ComparisonStudy::run(scale))
+        match ComparisonStudy::run(&session, scale) {
+            Ok(study) => Some(study),
+            Err(e) => {
+                eprintln!("comparison corpus failed: {e}");
+                std::process::exit(1);
+            }
+        }
     } else {
         None
     };

@@ -27,7 +27,7 @@
 //! let profile = tracekit::profile(
 //!     &HotspotOmp::new(Scale::Tiny),
 //!     &ProfileConfig::default(),
-//! );
+//! ).expect("default profile config is valid");
 //! assert_eq!(profile.cache_stats.len(), 8);
 //! ```
 

@@ -17,7 +17,7 @@ fn gpu() -> Gpu {
 }
 
 fn profiler() -> Profiler {
-    Profiler::new(&ProfileConfig::default())
+    Profiler::new(&ProfileConfig::default()).expect("default config is valid")
 }
 
 #[test]

@@ -42,7 +42,7 @@ fn plackett_burman_artifact_renders() {
 #[test]
 fn every_comparison_artifact_renders() {
     use ExperimentId::*;
-    let study = ComparisonStudy::run(Scale::Tiny);
+    let study = ComparisonStudy::run(&StudySession::sequential(), Scale::Tiny).expect("tiny study");
     for id in [Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12] {
         for table in run_comparison(id, &study).expect("experiment runs") {
             assert!(!table.rows.is_empty(), "{id:?} produced an empty table");
@@ -55,7 +55,7 @@ fn full_feature_pca_explains_variance_in_few_components() {
     // The clustering pipeline retains the components covering >= 90% of
     // variance; sanity-check that this is a meaningful reduction of the
     // 28-dimensional feature space.
-    let study = ComparisonStudy::run(Scale::Tiny);
+    let study = ComparisonStudy::run(&StudySession::sequential(), Scale::Tiny).expect("tiny study");
     let data: Vec<Vec<f64>> = study
         .profiles
         .iter()

@@ -10,7 +10,9 @@ use std::sync::OnceLock;
 /// workloads dominates the runtime).
 fn study() -> &'static ComparisonStudy {
     static STUDY: OnceLock<ComparisonStudy> = OnceLock::new();
-    STUDY.get_or_init(|| ComparisonStudy::run(Scale::Tiny))
+    STUDY.get_or_init(|| {
+        ComparisonStudy::run(&StudySession::new(2), Scale::Tiny).expect("tiny study")
+    })
 }
 
 #[test]
@@ -184,11 +186,13 @@ fn profiles_are_deterministic() {
     let a = tracekit::profile(
         &rodinia_repro::parsec_lite::canneal::Canneal::new(Scale::Tiny),
         &ProfileConfig::default(),
-    );
+    )
+    .expect("profile");
     let b = tracekit::profile(
         &rodinia_repro::parsec_lite::canneal::Canneal::new(Scale::Tiny),
         &ProfileConfig::default(),
-    );
+    )
+    .expect("profile");
     assert_eq!(a.mix, b.mix);
     assert_eq!(a.cache_stats, b.cache_stats);
     assert_eq!(a.instr_blocks, b.instr_blocks);

@@ -191,7 +191,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// An inclusive-exclusive length specification for [`vec`]; built
+    /// An inclusive-exclusive length specification for [`vec()`]; built
     /// from a fixed `usize` or a `Range<usize>`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {

@@ -84,7 +84,7 @@ mod tests {
         let pts = vec![vec![0.0], vec![0.2], vec![5.0], vec![5.1]];
         let labels: Vec<String> = ["alpha", "beta", "gamma", "zeta"]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         let merges = hierarchical(&euclidean_matrix(&pts), Linkage::Average);
         (labels, merges)

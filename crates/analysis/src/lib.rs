@@ -20,7 +20,8 @@
 //!   malformed inputs (empty/ragged/NaN matrices, bad PB designs) into
 //!   typed errors instead of panics.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 
 pub mod cluster;
 pub mod dendrogram;

@@ -96,7 +96,7 @@ impl PbResult {
             })
             .collect();
         Ok(PbResult {
-            factors: factors.iter().map(|s| s.to_string()).collect(),
+            factors: factors.iter().map(std::string::ToString::to_string).collect(),
             effects,
         })
     }

@@ -87,10 +87,10 @@ fn incremental_optimizations(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation-incremental");
     g.sample_size(10);
     g.bench_function("srad_v1_tiny", |b| {
-        b.iter(|| black_box(run_on(&cfg, |g| Srad::v1(Scale::Tiny).run(g))))
+        b.iter(|| black_box(run_on(&cfg, |g| Srad::v1(Scale::Tiny).run(g))));
     });
     g.bench_function("srad_v2_tiny", |b| {
-        b.iter(|| black_box(run_on(&cfg, |g| Srad::v2(Scale::Tiny).run(g))))
+        b.iter(|| black_box(run_on(&cfg, |g| Srad::v2(Scale::Tiny).run(g))));
     });
     g.finish();
 }
@@ -191,7 +191,7 @@ fn machine_knobs(c: &mut Criterion) {
             black_box(run_on(&GpuConfig::gpgpusim_default(), |g| {
                 Bfs::new(Scale::Tiny).run(g)
             }))
-        })
+        });
     });
     let _ = scale;
     g.finish();

@@ -151,7 +151,7 @@ fn seed_sweep(cap: &CpuCapture, cfg: &ProfileConfig) -> Profile {
         .collect();
     for &w in cap.packed_words() {
         let (tid, addr) = ((w & 0xff) as usize, (w >> 8) * cfg.line);
-        for c in caches.iter_mut() {
+        for c in &mut caches {
             c.access(tid, addr);
         }
     }

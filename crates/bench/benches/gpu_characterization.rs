@@ -66,22 +66,22 @@ fn gpu_artifacts(c: &mut Criterion) {
     let mut g = c.benchmark_group("gpu-characterization");
     g.sample_size(10);
     g.bench_function("fig1_ipc_scaling", |b| {
-        b.iter(|| black_box(ipc_scaling(&StudySession::sequential(), Scale::Tiny)))
+        b.iter(|| black_box(ipc_scaling(&StudySession::sequential(), Scale::Tiny)));
     });
     g.bench_function("fig2_memory_mix", |b| {
-        b.iter(|| black_box(memory_mix(&StudySession::sequential(), Scale::Tiny)))
+        b.iter(|| black_box(memory_mix(&StudySession::sequential(), Scale::Tiny)));
     });
     g.bench_function("fig3_warp_occupancy", |b| {
-        b.iter(|| black_box(warp_occupancy(&StudySession::sequential(), Scale::Tiny)))
+        b.iter(|| black_box(warp_occupancy(&StudySession::sequential(), Scale::Tiny)));
     });
     g.bench_function("fig4_channel_sweep", |b| {
-        b.iter(|| black_box(channel_sweep(&StudySession::sequential(), Scale::Tiny)))
+        b.iter(|| black_box(channel_sweep(&StudySession::sequential(), Scale::Tiny)));
     });
     g.bench_function("table3_incremental_versions", |b| {
-        b.iter(|| black_box(incremental_versions(&StudySession::sequential(), Scale::Tiny)))
+        b.iter(|| black_box(incremental_versions(&StudySession::sequential(), Scale::Tiny)));
     });
     g.bench_function("fig5_fermi_study", |b| {
-        b.iter(|| black_box(fermi_study(&StudySession::sequential(), Scale::Tiny)))
+        b.iter(|| black_box(fermi_study(&StudySession::sequential(), Scale::Tiny)));
     });
     g.finish();
 }

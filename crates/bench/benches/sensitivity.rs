@@ -27,7 +27,7 @@ fn pb_artifacts(c: &mut Criterion) {
                 Scale::Tiny,
                 Some(&["HS", "BFS", "NW"]),
             ))
-        })
+        });
     });
     g.finish();
 }

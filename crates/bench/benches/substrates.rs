@@ -26,7 +26,7 @@ fn simulator(c: &mut Criterion) {
         b.iter(|| {
             let mut gpu = Gpu::new(cfg.clone());
             black_box(hs.run(&mut gpu))
-        })
+        });
     });
     // Re-timing an existing trace (the PB/Figure-4 fast path).
     let (temp, power) = datasets::grid::hotspot_fields(256, 256, 1);
@@ -61,7 +61,7 @@ fn simulator(c: &mut Criterion) {
         &cfg,
     );
     g.bench_function("retime_256k_thread_trace", |b| {
-        b.iter(|| black_box(time_trace(&trace, &cfg)))
+        b.iter(|| black_box(time_trace(&trace, &cfg)));
     });
     g.finish();
 }
@@ -78,7 +78,7 @@ fn cpu_substrate(c: &mut Criterion) {
                 )
                 .expect("profile"),
             )
-        })
+        });
     });
     g.finish();
 }
@@ -88,7 +88,7 @@ fn algorithms(c: &mut Criterion) {
     g.sample_size(10);
     let text = sequence::reference(50_000, 1);
     g.bench_function("ukkonen_suffix_tree_50k", |b| {
-        b.iter(|| black_box(SuffixTree::build(&text)))
+        b.iter(|| black_box(SuffixTree::build(&text)));
     });
     let tree = SuffixTree::build(&text);
     let reads = sequence::reads(&text, 1000, 25, 0.1, 2);
@@ -96,7 +96,7 @@ fn algorithms(c: &mut Criterion) {
         b.iter(|| {
             let total: usize = reads.iter().map(|r| tree.match_prefix(r)).sum();
             black_box(total)
-        })
+        });
     });
     // The analysis stack on a synthetic 24x28 feature matrix.
     let data: Vec<Vec<f64>> = (0..24)
@@ -107,7 +107,7 @@ fn algorithms(c: &mut Criterion) {
             let pca = analysis::Pca::fit(&data);
             let d = analysis::euclidean_matrix(&pca.truncated_scores(4));
             black_box(analysis::hierarchical(&d, analysis::Linkage::Average))
-        })
+        });
     });
     g.finish();
 }

@@ -39,29 +39,29 @@ fn suite_artifacts(c: &mut Criterion) {
     g.sample_size(10);
     // The analysis stages, benchmarked against the Small-scale corpus.
     g.bench_function("fig6_cluster_merges", |b| {
-        b.iter(|| black_box(study.cluster_merges()))
+        b.iter(|| black_box(study.cluster_merges()));
     });
     g.bench_function("fig7_instruction_mix_pca", |b| {
-        b.iter(|| black_box(study.instruction_mix_pca()))
+        b.iter(|| black_box(study.instruction_mix_pca()));
     });
     g.bench_function("fig8_working_set_pca", |b| {
-        b.iter(|| black_box(study.working_set_pca()))
+        b.iter(|| black_box(study.working_set_pca()));
     });
     g.bench_function("fig9_sharing_pca", |b| {
-        b.iter(|| black_box(study.sharing_pca()))
+        b.iter(|| black_box(study.sharing_pca()));
     });
     g.bench_function("fig10_12_tables", |b| {
         b.iter(|| {
             let fp = footprint_study(&study);
             black_box((study.miss_rates_4mb(), fp))
-        })
+        });
     });
     // The profiling front-end, at Tiny scale.
     g.bench_function("profile_corpus_tiny", |b| {
         b.iter(|| {
             let fresh = StudySession::sequential();
             black_box(ComparisonStudy::run(&fresh, Scale::Tiny).expect("tiny study"))
-        })
+        });
     });
     g.finish();
 }

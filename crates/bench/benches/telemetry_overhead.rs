@@ -24,13 +24,13 @@ fn telemetry_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("telemetry-overhead");
     g.sample_size(5);
     g.bench_function("hotspot_small_sinks_disabled", |b| {
-        b.iter(|| run_hotspot(Scale::Small))
+        b.iter(|| run_hotspot(Scale::Small));
     });
     let path = std::env::temp_dir().join("telemetry-overhead.jsonl");
     let sink = obs::JsonlSink::create(&path).expect("temp jsonl sink");
     obs::add_sink(Box::new(sink));
     g.bench_function("hotspot_small_jsonl_sink", |b| {
-        b.iter(|| run_hotspot(Scale::Small))
+        b.iter(|| run_hotspot(Scale::Small));
     });
     obs::clear_sinks();
     g.finish();

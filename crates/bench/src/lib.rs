@@ -5,7 +5,8 @@
 //! measurement (e.g. the telemetry-overhead percentage printed by
 //! `benches/telemetry_overhead.rs`) use these helpers directly.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 
 use std::time::Instant;
 

@@ -44,8 +44,7 @@ impl IpcScaling {
         self.rows
             .iter()
             .find(|(n, _, _)| n == abbrev)
-            .map(|&(_, _, b)| b)
-            .unwrap_or(0.0)
+            .map_or(0.0, |&(_, _, b)| b)
     }
 }
 
@@ -93,8 +92,7 @@ impl MemoryMix {
         self.rows
             .iter()
             .find(|(n, _)| n == abbrev)
-            .map(|&(_, f)| f)
-            .unwrap_or([0.0; 5])
+            .map_or([0.0; 5], |&(_, f)| f)
     }
 }
 
@@ -157,8 +155,7 @@ impl WarpOccupancy {
         self.rows
             .iter()
             .find(|(n, _)| n == abbrev)
-            .map(|&(_, q)| q)
-            .unwrap_or([0.0; 4])
+            .map_or([0.0; 4], |&(_, q)| q)
     }
 }
 
@@ -208,8 +205,7 @@ impl ChannelSweep {
         self.rows
             .iter()
             .find(|(n, ..)| n == abbrev)
-            .map(|&(_, b4, _, b8)| b8 / b4)
-            .unwrap_or(0.0)
+            .map_or(0.0, |&(_, b4, _, b8)| b8 / b4)
     }
 }
 
@@ -269,12 +265,12 @@ impl IncrementalVersions {
 
     /// IPC of a version by label (e.g. `"SRAD v2"`).
     pub fn ipc(&self, label: &str) -> f64 {
-        self.row(label).map(|r| r.1).unwrap_or(0.0)
+        self.row(label).map_or(0.0, |r| r.1)
     }
 
     /// Global-memory fraction of a version by label.
     pub fn global_frac(&self, label: &str) -> f64 {
-        self.row(label).map(|r| r.6).unwrap_or(0.0)
+        self.row(label).map_or(0.0, |r| r.6)
     }
 }
 
@@ -351,8 +347,7 @@ impl FermiStudy {
         self.rows
             .iter()
             .find(|(n, ..)| n == abbrev)
-            .map(|&(_, t280, tsb, tlb)| (tsb / t280, tlb / t280))
-            .unwrap_or((0.0, 0.0))
+            .map_or((0.0, 0.0), |&(_, t280, tsb, tlb)| (tsb / t280, tlb / t280))
     }
 }
 
@@ -394,8 +389,7 @@ impl OffloadStudy {
         self.rows
             .iter()
             .find(|(n, ..)| n == abbrev)
-            .map(|&(_, k, tr)| tr / (k + tr).max(1e-12))
-            .unwrap_or(0.0)
+            .map_or(0.0, |&(_, k, tr)| tr / (k + tr).max(1e-12))
     }
 }
 

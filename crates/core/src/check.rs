@@ -1,0 +1,310 @@
+//! The `repro check` driver: the full suite through the sanitizer.
+//!
+//! For every suite benchmark (and the Table III incremental variants),
+//! this captures the workload once through the shared
+//! [`TraceCache`](crate::trace_cache::TraceCache)
+//! with a sanitizer sink installed, runs the [`sanitize::Analyzer`]
+//! dynamic checkers over the collected launch tapes, and runs the
+//! access-shape lints over the captured kernel traces (merged per
+//! kernel across launches, so thresholds see whole-kernel statistics).
+//!
+//! Error-severity findings are contract violations — the suite must
+//! report none — so [`CheckReport::error_count`] drives the process
+//! exit code and the CI gate. Warnings (the lints) are advisory: the
+//! paper's own Table III narrative expects the unoptimized variants to
+//! trip them.
+
+use std::sync::{Arc, Mutex};
+
+use datasets::Scale;
+use obs::Json;
+use rodinia_gpu::{leukocyte::Leukocyte, nw::Nw, srad::Srad, suite::all_benchmarks};
+use sanitize::{
+    error_count, findings_json, lint_trace, warning_count, Analyzer, Finding, KernelLintMetrics,
+    LintConfig,
+};
+use simt::{Gpu, GpuConfig, KernelStats, KernelTrace, LaunchTape};
+
+use crate::engine::StudySession;
+use crate::error::StudyError;
+use crate::report::Table;
+
+/// The sanitizer verdict for one benchmark (or variant).
+#[derive(Debug)]
+pub struct BenchCheck {
+    /// Display name (`BP`, `SRAD v1`, ...).
+    pub name: String,
+    /// Kernel launches the sanitizer observed.
+    pub launches: u64,
+    /// Dynamic-checker and lint findings, coalesced and ordered.
+    pub findings: Vec<Finding>,
+    /// Measured access-shape statistics, one per distinct kernel.
+    pub metrics: Vec<KernelLintMetrics>,
+}
+
+impl BenchCheck {
+    /// Error-severity findings for this benchmark.
+    pub fn errors(&self) -> usize {
+        error_count(&self.findings)
+    }
+
+    /// Warning-severity findings for this benchmark.
+    pub fn warnings(&self) -> usize {
+        warning_count(&self.findings)
+    }
+}
+
+/// The full `repro check` result across the suite.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Scale the suite ran at.
+    pub scale: Scale,
+    /// Per-benchmark verdicts, suite order then variants.
+    pub benches: Vec<BenchCheck>,
+}
+
+impl CheckReport {
+    /// Total error-severity findings (drives the exit code).
+    pub fn error_count(&self) -> usize {
+        self.benches.iter().map(BenchCheck::errors).sum()
+    }
+
+    /// Total warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.benches.iter().map(BenchCheck::warnings).sum()
+    }
+
+    /// The summary table: one row per benchmark.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::TableRow`] only on an internal width bug.
+    pub fn summary_table(&self) -> Result<Table, StudyError> {
+        let mut t = Table::new(
+            &format!("Sanitizer check ({:?} scale)", self.scale),
+            &["Benchmark", "Launches", "Kernels", "Errors", "Warnings"],
+        );
+        for b in &self.benches {
+            t.push(vec![
+                b.name.clone(),
+                b.launches.to_string(),
+                b.metrics.len().to_string(),
+                b.errors().to_string(),
+                b.warnings().to_string(),
+            ])?;
+        }
+        Ok(t)
+    }
+
+    /// Every finding as a rendered text line, grouped by benchmark.
+    pub fn finding_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for b in &self.benches {
+            for line in sanitize::render_findings(&b.findings) {
+                out.push(format!("{}: {line}", b.name));
+            }
+        }
+        out
+    }
+
+    /// The machine-readable report (`repro check --json` schema):
+    /// `{"scale", "errors", "warnings", "benchmarks": [{"name",
+    /// "launches", ...findings payload..., "metrics": [...]}]}`.
+    pub fn to_json(&self) -> Json {
+        let benches = self
+            .benches
+            .iter()
+            .map(|b| {
+                let mut pairs = vec![
+                    ("name".to_string(), Json::Str(b.name.clone())),
+                    ("launches".to_string(), Json::u64(b.launches)),
+                ];
+                if let Json::Obj(inner) = findings_json(&b.findings) {
+                    pairs.extend(inner);
+                }
+                pairs.push((
+                    "metrics".to_string(),
+                    Json::Arr(b.metrics.iter().map(metrics_json).collect()),
+                ));
+                Json::Obj(pairs)
+            })
+            .collect();
+        Json::obj(vec![
+            ("scale", Json::Str(format!("{:?}", self.scale))),
+            ("errors", Json::u64(self.error_count() as u64)),
+            ("warnings", Json::u64(self.warning_count() as u64)),
+            ("benchmarks", Json::Arr(benches)),
+        ])
+    }
+}
+
+fn metrics_json(m: &KernelLintMetrics) -> Json {
+    Json::obj(vec![
+        ("kernel", Json::Str(m.kernel.clone())),
+        ("shared_ops", Json::u64(m.shared_ops)),
+        ("bank_degree_avg", Json::Num(m.bank_degree_avg)),
+        ("bank_degree_max", Json::u64(u64::from(m.bank_degree_max))),
+        ("global_ops", Json::u64(m.global_ops)),
+        ("tex_ops", Json::u64(m.tex_ops)),
+        ("coalescing_ratio", Json::Num(m.coalescing_ratio)),
+        ("redundancy", Json::Num(m.redundancy)),
+        (
+            "distinct_segments_per_cta",
+            Json::Num(m.distinct_segments_per_cta),
+        ),
+    ])
+}
+
+/// Concatenates the CTAs of every launch of each kernel, in first-launch
+/// order, so lints see whole-kernel statistics instead of per-launch
+/// fragments (NW launches one kernel per anti-diagonal; linting a
+/// two-CTA fragment would duplicate findings and starve the minimums).
+fn merge_traces_by_kernel(traces: &[Arc<KernelTrace>]) -> Vec<KernelTrace> {
+    let mut merged: Vec<KernelTrace> = Vec::new();
+    for t in traces {
+        match merged.iter_mut().find(|m| m.name == t.name) {
+            Some(m) => m.ctas.extend(t.ctas.iter().cloned()),
+            None => merged.push((**t).clone()),
+        }
+    }
+    merged
+}
+
+/// One checkable workload: a suite benchmark or an incremental variant.
+struct CheckTarget {
+    /// Display name in the report.
+    label: String,
+    /// Trace-cache family key.
+    family: &'static str,
+    /// Trace-cache variant key.
+    variant: &'static str,
+    /// Runs the workload on a device.
+    run: Box<dyn Fn(&mut Gpu) -> KernelStats + Send + Sync>,
+}
+
+fn suite_targets(scale: Scale) -> Vec<CheckTarget> {
+    let mut targets: Vec<CheckTarget> = all_benchmarks(scale)
+        .into_iter()
+        .map(|b| {
+            let b = Arc::new(b);
+            CheckTarget {
+                label: b.abbrev().to_string(),
+                family: b.abbrev(),
+                variant: "",
+                run: Box::new(move |gpu| b.run_on(gpu)),
+            }
+        })
+        .collect();
+    // The Table III incremental versions: the lint ground truth.
+    targets.push(variant_target("SRAD v1", "SRAD", "v1", move |gpu| {
+        Srad::v1(scale).run(gpu)
+    }));
+    targets.push(variant_target("SRAD v2", "SRAD", "v2", move |gpu| {
+        Srad::v2(scale).run(gpu)
+    }));
+    targets.push(variant_target("LC v1", "LC", "v1", move |gpu| {
+        Leukocyte::v1(scale).run(gpu)
+    }));
+    targets.push(variant_target("LC v2", "LC", "v2", move |gpu| {
+        Leukocyte::v2(scale).run(gpu)
+    }));
+    targets.push(variant_target("NW naive", "NW", "naive", move |gpu| {
+        Nw::naive(scale).run(gpu)
+    }));
+    targets
+}
+
+fn variant_target(
+    label: &str,
+    family: &'static str,
+    variant: &'static str,
+    run: impl Fn(&mut Gpu) -> KernelStats + Send + Sync + 'static,
+) -> CheckTarget {
+    CheckTarget {
+        label: label.to_string(),
+        family,
+        variant,
+        run: Box::new(run),
+    }
+}
+
+/// Runs one target with a sanitizer sink installed and returns its
+/// collected tapes plus the captured traces.
+fn sanitized_capture(
+    session: &StudySession,
+    scale: Scale,
+    cfg: &GpuConfig,
+    target: &CheckTarget,
+) -> Result<(Vec<LaunchTape>, Vec<Arc<KernelTrace>>), StudyError> {
+    let tapes: Arc<Mutex<Vec<LaunchTape>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink_tapes = Arc::clone(&tapes);
+    let run = session
+        .cache()
+        .capture_fn(target.family, scale, target.variant, cfg, |gpu| {
+            gpu.set_sanitizer_sink(move |tape| {
+                sink_tapes
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(tape);
+            });
+            (target.run)(gpu)
+        })?;
+    let mut collected = std::mem::take(&mut *tapes.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
+    if collected.is_empty() && !run.traces.is_empty() {
+        // The cache was already warm, so the capture closure (and its
+        // sink) never ran. Re-execute directly; functional execution is
+        // deterministic, so the tapes match what capture would have seen.
+        let mut gpu = Gpu::try_new(cfg.clone())?;
+        let direct = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&direct);
+        gpu.set_sanitizer_sink(move |tape| {
+            sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(tape);
+        });
+        (target.run)(&mut gpu);
+        collected = std::mem::take(&mut *direct.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
+    }
+    Ok((collected, run.traces.clone()))
+}
+
+/// Runs the sanitizer across the suite and the incremental variants.
+///
+/// Each benchmark captures at most once (shared [`TraceCache`]); the
+/// checkers and lints then run over the tapes and traces. Jobs fan out
+/// across the session's workers.
+///
+/// # Errors
+///
+/// [`StudyError::Sim`] if a capture itself fails — a *failed launch* is
+/// not an error here (it becomes a finding), but a refused
+/// configuration is.
+///
+/// [`TraceCache`]: crate::trace_cache::TraceCache
+pub fn run_check(session: &StudySession, scale: Scale) -> Result<CheckReport, StudyError> {
+    let cfg = GpuConfig::gpgpusim_default();
+    let lint_cfg = LintConfig::default();
+    let targets = suite_targets(scale);
+    let benches = session.run_indexed(targets.len(), |i| {
+        let target = &targets[i];
+        let _span = obs::span!("check.{}", target.label);
+        let (tapes, traces) = sanitized_capture(session, scale, &cfg, target)?;
+        let mut analyzer = Analyzer::new();
+        for tape in &tapes {
+            analyzer.observe(tape);
+        }
+        let launches = analyzer.launches();
+        let mut findings = analyzer.finish();
+        let mut metrics = Vec::new();
+        for kernel in merge_traces_by_kernel(&traces) {
+            let (m, lint_findings) = lint_trace(&kernel, &lint_cfg);
+            metrics.push(m);
+            findings.extend(lint_findings);
+        }
+        Ok(BenchCheck {
+            name: target.label.clone(),
+            launches,
+            findings,
+            metrics,
+        })
+    })?;
+    Ok(CheckReport { scale, benches })
+}

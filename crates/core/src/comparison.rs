@@ -24,6 +24,7 @@ use crate::suite::combined_workloads;
 
 /// The profiled corpus: every Rodinia and Parsec workload under the
 /// Bienia methodology (8 threads, shared 4-way 64 B cache, 128 kB–16 MB).
+#[derive(Debug)]
 pub struct ComparisonStudy {
     /// Workload labels in Figure 6 style (`name(R)` / `name(P)`).
     pub labels: Vec<String>,

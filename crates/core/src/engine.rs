@@ -36,14 +36,14 @@ impl Default for StudySession {
     fn default() -> StudySession {
         StudySession::new(
             std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1),
+                .map_or(1, NonZeroUsize::get),
         )
     }
 }
 
 impl StudySession {
     /// Creates a session with `jobs` workers (clamped to at least 1).
+    #[must_use = "builds a session without running anything"]
     pub fn new(jobs: usize) -> StudySession {
         StudySession {
             jobs: jobs.max(1),
@@ -54,6 +54,7 @@ impl StudySession {
 
     /// A single-worker session: jobs run inline on the caller's thread,
     /// in submission order.
+    #[must_use = "builds a session without running anything"]
     pub fn sequential() -> StudySession {
         StudySession::new(1)
     }
@@ -106,7 +107,7 @@ impl StudySession {
                         break;
                     }
                     let r = f(i);
-                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                    *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
                 });
             }
         });
@@ -114,7 +115,7 @@ impl StudySession {
         for slot in slots {
             let r = slot
                 .into_inner()
-                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("scope joined: every claimed index stored a result");
             out.push(r?);
         }

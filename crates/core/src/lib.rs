@@ -39,9 +39,11 @@
 //! every shared-cache capacity. Results are reassembled in submission
 //! order, so tables are byte-identical for any worker count.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 
 pub mod characterization;
+pub mod check;
 pub mod comparison;
 pub mod engine;
 pub mod error;

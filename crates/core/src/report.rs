@@ -19,7 +19,7 @@ impl Table {
     pub fn new(title: &str, columns: &[&str]) -> Table {
         Table {
             title: title.to_string(),
-            columns: columns.iter().map(|c| c.to_string()).collect(),
+            columns: columns.iter().map(std::string::ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
@@ -71,7 +71,7 @@ impl Table {
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.title)?;
-        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.len());

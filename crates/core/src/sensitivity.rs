@@ -79,7 +79,7 @@ impl PbStudy {
         let n = self.per_benchmark.len().max(1) as f64;
         let mut pairs: Vec<(String, f64)> = FACTORS
             .iter()
-            .map(|f| f.to_string())
+            .map(std::string::ToString::to_string)
             .zip(agg.into_iter().map(|a| a / n))
             .collect();
         pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));

@@ -84,6 +84,14 @@ pub struct LabeledWorkload {
     pub workload: Box<dyn CpuWorkload>,
 }
 
+impl std::fmt::Debug for LabeledWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LabeledWorkload")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The 24 workloads of the paper's Figure 6: 11 Rodinia (without
 /// StreamCluster) + 12 Parsec (without StreamCluster) + the shared
 /// StreamCluster labeled `(R, P)`.

@@ -163,7 +163,7 @@ impl TraceCache {
 
     /// Number of cached (or in-flight) captures.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// Whether nothing has been captured yet.
@@ -179,7 +179,7 @@ impl TraceCache {
         capture: impl FnOnce() -> Result<CapturedRun, StudyError>,
     ) -> Result<Arc<CapturedRun>, StudyError> {
         let slot = {
-            let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            let mut map = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             map.entry(key).or_default().clone()
         };
         slot.get_or_init(|| capture().map(Arc::new)).clone()
@@ -292,7 +292,7 @@ impl CpuTraceCache {
 
     /// Number of cached (or in-flight) captures.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// Whether nothing has been captured yet.
@@ -308,7 +308,7 @@ impl CpuTraceCache {
         capture: impl FnOnce() -> Result<CpuCapture, StudyError>,
     ) -> Result<Arc<CpuCapture>, StudyError> {
         let slot = {
-            let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            let mut map = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             map.entry(key).or_default().clone()
         };
         slot.get_or_init(|| capture().map(Arc::new)).clone()

@@ -84,7 +84,7 @@ pub fn cell_frame(
 ) -> (Image, Vec<(usize, usize)>) {
     let mut rng = rng_for("cells", seed);
     let mut img = Image::black(width, height);
-    for p in img.pixels.iter_mut() {
+    for p in &mut img.pixels {
         *p = 0.2 + 0.1 * rng.random::<f32>();
     }
     let radius = (height.min(width) as f32 / 20.0).max(3.0);
@@ -107,7 +107,7 @@ pub fn heart_sequence(width: usize, height: usize, frames: usize, seed: u64) -> 
     (0..frames)
         .map(|f| {
             let mut img = Image::black(width, height);
-            for p in img.pixels.iter_mut() {
+            for p in &mut img.pixels {
                 *p = 0.15 + 0.1 * rng.random::<f32>();
             }
             // Systole/diastole pulsation.

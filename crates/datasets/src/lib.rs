@@ -14,7 +14,8 @@
 //! The [`Scale`] type selects between fast CI-friendly sizes and the
 //! paper's Table I / Table V sizes.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 
 pub mod finance;
 pub mod graph;

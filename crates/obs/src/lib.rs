@@ -22,7 +22,8 @@
 //! The crate deliberately has **no dependencies**, not even workspace
 //! ones, so every layer of the stack can use it without cycles.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 
 pub mod json;
 pub mod record;

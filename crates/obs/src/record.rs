@@ -50,7 +50,7 @@ pub fn record_with(kind: &str, build: impl FnOnce() -> Json) {
     }
     let value = build();
     if buffering {
-        let mut g = RECORDS.lock().unwrap_or_else(|e| e.into_inner());
+        let mut g = RECORDS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if g.len() < MAX_RECORDS {
             g.push(Record {
                 kind: kind.to_string(),
@@ -73,7 +73,7 @@ pub fn record_with(kind: &str, build: impl FnOnce() -> Json) {
 /// Drains every buffered record, returning them together with the count
 /// of records dropped since the last drain.
 pub fn drain_records() -> (Vec<Record>, u64) {
-    let mut g = RECORDS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut g = RECORDS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let records = std::mem::take(&mut *g);
     let dropped = DROPPED.swap(0, Ordering::Relaxed);
     (records, dropped)

@@ -24,7 +24,7 @@ pub struct SpanStat {
     pub max_us: u64,
 }
 
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
@@ -32,6 +32,7 @@ struct Inner {
 }
 
 /// A set of named counters, gauges, and span statistics.
+#[derive(Debug)]
 pub struct Registry {
     inner: Mutex<Inner>,
 }
@@ -58,7 +59,7 @@ impl Registry {
     fn lock(&self) -> MutexGuard<'_, Inner> {
         // Metric state stays usable even if a panicking thread held the
         // lock; counters are monotonic so the worst case is a lost update.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Adds `delta` to counter `name` (creating it at zero).

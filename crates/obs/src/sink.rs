@@ -55,14 +55,22 @@ pub trait Sink: Send {
     /// Consumes one event.
     fn emit(&mut self, event: &Event);
     /// Flushes any buffered output.
-    fn flush(&mut self) {}
+    ///
+    /// # Errors
+    ///
+    /// A rendered description of the first write failure, so callers
+    /// that promised the user an artifact (`--telemetry`) can exit
+    /// nonzero instead of silently shipping a truncated file.
+    fn flush(&mut self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 static SINK_COUNT: AtomicUsize = AtomicUsize::new(0);
 static SINKS: Mutex<Vec<Box<dyn Sink>>> = Mutex::new(Vec::new());
 
 fn sinks() -> std::sync::MutexGuard<'static, Vec<Box<dyn Sink>>> {
-    SINKS.lock().unwrap_or_else(|e| e.into_inner())
+    SINKS.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Whether at least one sink is installed (the fast path for
@@ -78,20 +86,34 @@ pub fn add_sink(sink: Box<dyn Sink>) {
     SINK_COUNT.store(g.len(), Ordering::Relaxed);
 }
 
-/// Flushes and removes every installed sink.
+/// Flushes and removes every installed sink, discarding flush errors
+/// (teardown path; use [`flush_sinks`] first when errors must surface).
 pub fn clear_sinks() {
     let mut g = sinks();
     for s in g.iter_mut() {
-        s.flush();
+        let _ = s.flush();
     }
     g.clear();
     SINK_COUNT.store(0, Ordering::Relaxed);
 }
 
 /// Flushes every installed sink without removing it.
-pub fn flush_sinks() {
+///
+/// # Errors
+///
+/// The first sink's flush failure, rendered. Telemetry emission never
+/// aborts a run, so this is where dropped lines finally surface; CLI
+/// drivers turn it into a nonzero exit.
+pub fn flush_sinks() -> Result<(), String> {
+    let mut first_err = None;
     for s in sinks().iter_mut() {
-        s.flush();
+        if let Err(e) = s.flush() {
+            first_err.get_or_insert(e);
+        }
+    }
+    match first_err {
+        None => Ok(()),
+        Some(e) => Err(e),
     }
 }
 
@@ -167,6 +189,9 @@ impl Sink for TextSink {
 pub struct JsonlSink {
     out: BufWriter<File>,
     epoch: Instant,
+    /// First write failure, latched so [`Sink::flush`] can report lines
+    /// dropped by [`Sink::emit`] (which must never abort the run).
+    write_error: Option<String>,
 }
 
 impl JsonlSink {
@@ -179,6 +204,7 @@ impl JsonlSink {
         Ok(JsonlSink {
             out: BufWriter::new(File::create(path)?),
             epoch: Instant::now(),
+            write_error: None,
         })
     }
 }
@@ -191,12 +217,21 @@ impl Sink for JsonlSink {
             ("name".to_string(), Json::from(event.name.as_str())),
         ];
         pairs.extend(event.fields.iter().cloned());
-        // Telemetry must never abort the run; drop the line on I/O error.
-        let _ = writeln!(self.out, "{}", Json::Obj(pairs));
+        // Telemetry must never abort the run; latch the first I/O error
+        // for flush() to report instead.
+        if let Err(e) = writeln!(self.out, "{}", Json::Obj(pairs)) {
+            self.write_error.get_or_insert_with(|| e.to_string());
+        }
     }
 
-    fn flush(&mut self) {
-        let _ = self.out.flush();
+    fn flush(&mut self) -> Result<(), String> {
+        if let Err(e) = self.out.flush() {
+            self.write_error.get_or_insert_with(|| e.to_string());
+        }
+        match &self.write_error {
+            Some(e) => Err(format!("telemetry write failed: {e}")),
+            None => Ok(()),
+        }
     }
 }
 
@@ -254,7 +289,7 @@ mod tests {
                 name: "kernel".into(),
                 fields: vec![("cycles".into(), Json::u64(42))],
             });
-            sink.flush();
+            sink.flush().unwrap();
         }
         let text = std::fs::read_to_string(&path).unwrap();
         let line = text.lines().next().unwrap();

@@ -21,7 +21,7 @@ static GLOBAL_STATE: Mutex<()> = Mutex::new(());
 
 #[test]
 fn concurrent_spans_and_counters_are_exact() {
-    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     set_recording(false);
     let _ = drain_records();
 
@@ -70,7 +70,7 @@ fn concurrent_spans_and_counters_are_exact() {
 
 #[test]
 fn record_buffer_bounds_and_dropped_count_are_exact() {
-    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     // Start from a clean buffer and a zeroed dropped counter.
     set_recording(false);
     let _ = drain_records();

@@ -100,7 +100,7 @@ impl Canneal {
                         let outs = &nlr.nets[lo..hi];
                         let ins = &revr[e];
                         for (which, group) in [(a_nets, outs), (a_rev, ins)] {
-                            for &o in group.iter() {
+                            for &o in group {
                                 t.read(which + e as u64 * 4, 4);
                                 t.read(a_loc + o as u64 * 8, 8);
                                 t.alu(8);

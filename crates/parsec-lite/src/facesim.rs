@@ -77,7 +77,7 @@ impl Facesim {
                 std::array::from_fn(|i| dist(&pos, e[i].0, e[i].1))
             })
             .collect();
-        for p in pos.iter_mut() {
+        for p in &mut pos {
             *p *= 0.9; // initial compression
         }
 

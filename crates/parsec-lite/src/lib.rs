@@ -28,7 +28,8 @@
 //! combined 24-workload study in `rodinia-study` labels it
 //! `streamcluster(R, P)` exactly as the paper's Figure 6 does.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 // In workload code the loop index is usually also the *traced address*,
 // so indexed loops are clearer than iterator chains here.
 #![allow(clippy::needless_range_loop)]

@@ -153,7 +153,7 @@ impl X264 {
                                 // Quantize: count significant coefficients.
                                 t.alu(16);
                                 t.branch(4);
-                                for &c in block.iter() {
+                                for &c in &block {
                                     if c.abs() > 0.25 {
                                         bits += 1;
                                     }

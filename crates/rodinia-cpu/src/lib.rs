@@ -28,7 +28,8 @@
 //! Figure 6–12 experiments; the combined 24-workload corpus (with
 //! `parsec-lite`) is assembled by `rodinia-study`.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 // In workload code the loop index is usually also the *traced address*,
 // so indexed loops are clearer than iterator chains here.
 #![allow(clippy::needless_range_loop)]

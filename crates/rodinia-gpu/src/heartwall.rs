@@ -297,7 +297,7 @@ impl Kernel for HeartwallKernel {
                         w.alu(2);
                     } else {
                         w.alu(4);
-                        for s in score.iter_mut() {
+                        for s in &mut score {
                             *s *= 1.0; // outer-wall normalization is a no-op numerically
                         }
                     }

@@ -25,7 +25,8 @@
 //! drivers; incrementally optimized versions (Table III) live in
 //! [`srad`], [`leukocyte`], [`nw`], and [`lud`].
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 // In workload code the loop index is usually also the *traced address*,
 // so indexed loops are clearer than iterator chains here.
 #![allow(clippy::needless_range_loop)]

@@ -300,9 +300,16 @@ impl Kernel for SradKernel {
             ((l / TILE) as isize + 1 + dr) as usize * HALO + ((l % TILE) as isize + 1 + dc) as usize
         };
         let in_grid: Vec<bool> = (0..w.warp_size()).map(|l| pix(l).is_some()).collect();
+        // Per-lane staging slot in the shared result/operand tiles: the
+        // thread's block-local id. Indexing by warp lane instead would
+        // make every warp of the CTA fight over slots 0..31.
+        let lt: Vec<usize> = (0..w.warp_size())
+            .map(|l| ltids[l] % (TILE * TILE))
+            .collect();
         match self.stage {
             Stage::Coeff => {
                 let me = *self;
+                let lt = lt.clone();
                 w.if_active(&in_grid, move |w| {
                     let (jc, jn, js, jw_, je);
                     if from_shared {
@@ -327,9 +334,6 @@ impl Kernel for SradKernel {
                         // Stage results in the shared result tiles
                         // before the coalesced global write, as the
                         // CUDA version's temp_result arrays do.
-                        let lt: Vec<usize> = (0..w.warp_size())
-                            .map(|l| l % (TILE * TILE))
-                            .collect();
                         for d in 0..5 {
                             let base = HALO * HALO + d * TILE * TILE;
                             let res = results.clone();
@@ -357,6 +361,7 @@ impl Kernel for SradKernel {
             }
             Stage::Update => {
                 let me = *self;
+                let lt = lt.clone();
                 w.if_active(&in_grid, move |w| {
                     let (cc, cs, ce);
                     if from_shared {
@@ -376,9 +381,6 @@ impl Kernel for SradKernel {
                     if from_shared {
                         // Stage the operand tiles in shared memory, as
                         // srad_cuda_2's d_cN/S/W/E arrays do.
-                        let lt: Vec<usize> = (0..w.warp_size())
-                            .map(|l| l % (TILE * TILE))
-                            .collect();
                         for (d, vals) in [&jc, &dn, &ds, &dw_, &de].iter().enumerate() {
                             let base = HALO * HALO + d * TILE * TILE;
                             let v = (*vals).clone();

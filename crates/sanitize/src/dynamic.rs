@@ -1,0 +1,438 @@
+//! Dynamic checkers over captured launch tapes.
+//!
+//! [`Analyzer`] consumes the [`LaunchTape`]s of one application run (one
+//! benchmark = many launches against one device memory) and reports:
+//!
+//! * **shared-memory races** — conflicting same-word accesses from
+//!   *different warps* of one CTA within one barrier interval, tracked
+//!   with a per-word last-writer/reader shadow map that resets at each
+//!   barrier. Accesses by different threads of the *same* warp are not
+//!   races here: the executor runs a warp in lockstep program order, the
+//!   warp-synchronous idiom Rodinia-era kernels rely on.
+//! * **barrier divergence** — a CTA whose warps split their phase votes
+//!   (some arrived at `__syncthreads`, some exited the kernel).
+//! * **out-of-bounds** — any lane word at or past the target
+//!   allocation's extent, for global and shared spaces.
+//! * **read-before-write** — a read of a shared word no thread of the
+//!   CTA has written (shared memory is never zero-initialized on real
+//!   hardware), or of an uninitialized global allocation
+//!   ([`simt::GpuMem::alloc_f32_uninit`]) before any kernel wrote the
+//!   word. Global write shadows persist across the launches one
+//!   `Analyzer` observes, so a producer kernel legitimately feeds a
+//!   consumer kernel.
+//!
+//! Findings are coalesced per `(kind, kernel, subject)` and returned in
+//! a deterministic order.
+
+use std::collections::BTreeMap;
+
+use simt::{AccessKind, LaunchTape, SimError, TapeBuf, TapeEvent};
+
+use crate::finding::{Finding, FindingKind};
+
+/// Aggregates findings per `(kind, kernel, subject)`, keeping the first
+/// occurrence's message and counting repeats, in deterministic order.
+#[derive(Debug, Default)]
+pub(crate) struct FindingSet {
+    map: BTreeMap<(FindingKind, String, String), (String, u64)>,
+}
+
+impl FindingSet {
+    pub(crate) fn record(&mut self, kind: FindingKind, kernel: &str, subject: &str, msg: String) {
+        self.map
+            .entry((kind, kernel.to_string(), subject.to_string()))
+            .and_modify(|(_, n)| *n += 1)
+            .or_insert((msg, 1));
+    }
+
+    pub(crate) fn into_findings(self) -> Vec<Finding> {
+        self.map
+            .into_iter()
+            .map(|((kind, kernel, subject), (message, count))| Finding {
+                kind,
+                kernel,
+                subject,
+                message,
+                count,
+            })
+            .collect()
+    }
+}
+
+/// Per-word interval state for the shared-memory race shadow map.
+#[derive(Debug, Clone, Copy, Default)]
+struct WordState {
+    /// Interval (epoch) this state belongs to; stale states read as
+    /// empty, so barriers reset the map in O(1).
+    epoch: u32,
+    /// Warps that wrote the word this interval (bit = warp index,
+    /// saturated at 63).
+    writer_mask: u64,
+    /// Warps that read the word this interval.
+    reader_mask: u64,
+}
+
+impl WordState {
+    fn fresh(&self, epoch: u32) -> WordState {
+        if self.epoch == epoch {
+            *self
+        } else {
+            WordState {
+                epoch,
+                ..WordState::default()
+            }
+        }
+    }
+}
+
+/// Per-CTA shadow state, rebuilt for each block as the tape streams by.
+#[derive(Debug, Default)]
+struct BlockState {
+    block: u32,
+    epoch: u32,
+    phase: u32,
+    f32_words: Vec<WordState>,
+    u32_words: Vec<WordState>,
+    /// Words written by any thread of the block so far (any interval);
+    /// shared read-before-write keys off this.
+    f32_written: Vec<bool>,
+    u32_written: Vec<bool>,
+}
+
+fn warp_bit(warp: u32) -> u64 {
+    1u64 << warp.min(63)
+}
+
+/// Streaming checker over the launch tapes of one application run.
+///
+/// Feed every tape (in launch order) to [`Analyzer::observe`], then take
+/// the coalesced findings with [`Analyzer::finish`]. One-shot helper:
+/// [`analyze_tape`].
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    findings: FindingSet,
+    /// Cross-launch kernel-write shadow for *uninitialized* global
+    /// allocations, indexed like the tape's allocation tables
+    /// (`None` = initialized or never seen: no tracking needed).
+    gwritten_f32: Vec<Option<Vec<bool>>>,
+    gwritten_u32: Vec<Option<Vec<bool>>>,
+    launches: u64,
+}
+
+impl Analyzer {
+    /// Creates an analyzer with empty shadows.
+    pub fn new() -> Analyzer {
+        Analyzer::default()
+    }
+
+    /// Number of tapes observed so far.
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// Checks one launch tape, accumulating findings.
+    pub fn observe(&mut self, tape: &LaunchTape) {
+        self.launches += 1;
+        self.sync_global_shadows(tape);
+        let kernel = tape.kernel.as_str();
+        let mut blk = BlockState::default();
+        let mut blk_live = false;
+
+        for ev in &tape.events {
+            match ev {
+                TapeEvent::Access(a) => match a.buf {
+                    TapeBuf::SharedF32 | TapeBuf::SharedU32 => {
+                        if !blk_live || blk.block != a.block {
+                            blk = BlockState {
+                                block: a.block,
+                                epoch: 1,
+                                phase: a.phase,
+                                f32_words: vec![
+                                    WordState::default();
+                                    tape.shared_f32_words as usize
+                                ],
+                                u32_words: vec![
+                                    WordState::default();
+                                    tape.shared_u32_words as usize
+                                ],
+                                f32_written: vec![false; tape.shared_f32_words as usize],
+                                u32_written: vec![false; tape.shared_u32_words as usize],
+                            };
+                            blk_live = true;
+                        }
+                        if a.phase != blk.phase {
+                            // Barrier interval boundary: new epoch makes
+                            // every word's interval state read as empty.
+                            blk.phase = a.phase;
+                            blk.epoch += 1;
+                        }
+                        self.check_shared(tape, kernel, &mut blk, a);
+                    }
+                    TapeBuf::GlobalF32(_) | TapeBuf::GlobalU32(_) => {
+                        self.check_global(tape, kernel, a);
+                    }
+                },
+                TapeEvent::Barrier(b) => {
+                    let arrived = b.continues.iter().filter(|&&c| c).count();
+                    if arrived != 0 && arrived != b.continues.len() {
+                        self.findings.record(
+                            FindingKind::BarrierDivergence,
+                            kernel,
+                            "barrier",
+                            format!(
+                                "block {} phase {}: {}/{} warps arrived at the barrier",
+                                b.block,
+                                b.phase,
+                                arrived,
+                                b.continues.len()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Aborts no event stream can express (watchdog, empty grid, ...).
+        match &tape.aborted {
+            Some(SimError::KernelFault { .. }) | Some(SimError::BarrierDivergence { .. }) => {
+                // Already reported from the faulting access / the
+                // divergent barrier record.
+            }
+            Some(e) => {
+                self.findings
+                    .record(FindingKind::LaunchFailure, kernel, "launch", format!("{e}"));
+            }
+            None => {}
+        }
+    }
+
+    /// Returns the coalesced findings, consuming the analyzer.
+    pub fn finish(self) -> Vec<Finding> {
+        self.findings.into_findings()
+    }
+
+    /// Grows/initializes the uninitialized-allocation shadows to match
+    /// this tape's allocation tables.
+    fn sync_global_shadows(&mut self, tape: &LaunchTape) {
+        if self.gwritten_f32.len() < tape.allocs_f32.len() {
+            self.gwritten_f32.resize(tape.allocs_f32.len(), None);
+        }
+        if self.gwritten_u32.len() < tape.allocs_u32.len() {
+            self.gwritten_u32.resize(tape.allocs_u32.len(), None);
+        }
+        for (i, a) in tape.allocs_f32.iter().enumerate() {
+            if !a.initialized && self.gwritten_f32[i].is_none() {
+                self.gwritten_f32[i] = Some(vec![false; a.words as usize]);
+            }
+        }
+        for (i, a) in tape.allocs_u32.iter().enumerate() {
+            if !a.initialized && self.gwritten_u32[i].is_none() {
+                self.gwritten_u32[i] = Some(vec![false; a.words as usize]);
+            }
+        }
+    }
+
+    fn check_shared(
+        &mut self,
+        tape: &LaunchTape,
+        kernel: &str,
+        blk: &mut BlockState,
+        a: &simt::MemAccess,
+    ) {
+        let is_u32 = a.buf == TapeBuf::SharedU32;
+        let extent = if is_u32 {
+            tape.shared_u32_words
+        } else {
+            tape.shared_f32_words
+        };
+        let subject = tape.buf_name(a.buf).to_string();
+        let bit = warp_bit(a.warp);
+        for &(lane, word) in &a.lane_words {
+            if word >= extent {
+                self.findings.record(
+                    FindingKind::SharedOutOfBounds,
+                    kernel,
+                    &subject,
+                    format!(
+                        "block {} warp {} lane {}: {} {}[{}] out of bounds (len {})",
+                        a.block,
+                        a.warp,
+                        lane,
+                        kind_verb(a.kind),
+                        subject,
+                        word,
+                        extent
+                    ),
+                );
+                continue;
+            }
+            let w = word as usize;
+            let (words, written) = if is_u32 {
+                (&mut blk.u32_words, &mut blk.u32_written)
+            } else {
+                (&mut blk.f32_words, &mut blk.f32_written)
+            };
+            let mut st = words[w].fresh(blk.epoch);
+            match a.kind {
+                AccessKind::Store | AccessKind::Atomic => {
+                    let others = (st.writer_mask | st.reader_mask) & !bit;
+                    if others != 0 {
+                        self.findings.record(
+                            FindingKind::SharedRace,
+                            kernel,
+                            &subject,
+                            format!(
+                                "block {} phase {}: warp {} lane {} wrote {}[{}] also touched \
+                                 by warp {} in the same barrier interval",
+                                a.block,
+                                a.phase,
+                                a.warp,
+                                lane,
+                                subject,
+                                word,
+                                others.trailing_zeros()
+                            ),
+                        );
+                    }
+                    st.writer_mask |= bit;
+                    written[w] = true;
+                }
+                AccessKind::Load => {
+                    if !written[w] {
+                        self.findings.record(
+                            FindingKind::SharedReadBeforeWrite,
+                            kernel,
+                            &subject,
+                            format!(
+                                "block {} warp {} lane {}: read {}[{}] before any thread of \
+                                 the block wrote it",
+                                a.block, a.warp, lane, subject, word
+                            ),
+                        );
+                    }
+                    let others = st.writer_mask & !bit;
+                    if others != 0 {
+                        self.findings.record(
+                            FindingKind::SharedRace,
+                            kernel,
+                            &subject,
+                            format!(
+                                "block {} phase {}: warp {} lane {} read {}[{}] written by \
+                                 warp {} in the same barrier interval",
+                                a.block,
+                                a.phase,
+                                a.warp,
+                                lane,
+                                subject,
+                                word,
+                                others.trailing_zeros()
+                            ),
+                        );
+                    }
+                    st.reader_mask |= bit;
+                }
+            }
+            words[w] = st;
+        }
+    }
+
+    fn check_global(&mut self, tape: &LaunchTape, kernel: &str, a: &simt::MemAccess) {
+        let Some(extent) = tape.extent(a.buf) else {
+            return;
+        };
+        let subject = tape.buf_name(a.buf).to_string();
+        let (shadow, initialized) = match a.buf {
+            TapeBuf::GlobalF32(i) => (
+                self.gwritten_f32.get_mut(i as usize),
+                tape.allocs_f32
+                    .get(i as usize)
+                    .is_none_or(|al| al.initialized),
+            ),
+            TapeBuf::GlobalU32(i) => (
+                self.gwritten_u32.get_mut(i as usize),
+                tape.allocs_u32
+                    .get(i as usize)
+                    .is_none_or(|al| al.initialized),
+            ),
+            _ => unreachable!("check_global only sees global bufs"),
+        };
+        let shadow = shadow.and_then(Option::as_mut);
+        for &(lane, word) in &a.lane_words {
+            if word >= extent {
+                let kind = match a.kind {
+                    AccessKind::Load => FindingKind::GlobalOutOfBoundsLoad,
+                    AccessKind::Store | AccessKind::Atomic => {
+                        FindingKind::GlobalOutOfBoundsStore
+                    }
+                };
+                self.findings.record(
+                    kind,
+                    kernel,
+                    &subject,
+                    format!(
+                        "block {} warp {} lane {}: {} {}[{}] out of bounds (len {}, {:?} space)",
+                        a.block,
+                        a.warp,
+                        lane,
+                        kind_verb(a.kind),
+                        subject,
+                        word,
+                        extent,
+                        a.space
+                    ),
+                );
+                continue;
+            }
+            if initialized {
+                continue;
+            }
+            let Some(shadow) = &shadow else { continue };
+            let w = word as usize;
+            if matches!(a.kind, AccessKind::Load | AccessKind::Atomic) && !shadow[w] {
+                self.findings.record(
+                    FindingKind::GlobalReadBeforeWrite,
+                    kernel,
+                    &subject,
+                    format!(
+                        "block {} warp {} lane {}: read uninitialized {}[{}] before any \
+                         kernel wrote it",
+                        a.block, a.warp, lane, subject, word
+                    ),
+                );
+            }
+        }
+        // Second pass for the shadow marks: borrow rules keep this out
+        // of the loop above (findings borrows self mutably).
+        if !initialized {
+            let shadow = match a.buf {
+                TapeBuf::GlobalF32(i) => self.gwritten_f32.get_mut(i as usize),
+                TapeBuf::GlobalU32(i) => self.gwritten_u32.get_mut(i as usize),
+                _ => None,
+            };
+            if let Some(Some(shadow)) = shadow {
+                if matches!(a.kind, AccessKind::Store | AccessKind::Atomic) {
+                    for &(_, word) in &a.lane_words {
+                        if (word as usize) < shadow.len() {
+                            shadow[word as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn kind_verb(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Load => "read",
+        AccessKind::Store => "write",
+        AccessKind::Atomic => "atomic",
+    }
+}
+
+/// Checks a single tape with a fresh [`Analyzer`].
+pub fn analyze_tape(tape: &LaunchTape) -> Vec<Finding> {
+    let mut a = Analyzer::new();
+    a.observe(tape);
+    a.finish()
+}

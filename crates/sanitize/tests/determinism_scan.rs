@@ -1,0 +1,27 @@
+//! Repo-level determinism lint: the CPU-suite crates must not iterate
+//! hash-ordered containers into anything that feeds a rendered table.
+//!
+//! The workspace's byte-identical-output guarantee (every table is
+//! identical for any `--jobs N`) would silently break if a profile or
+//! catalog walked a `HashMap` while summing, sorting, or folding — the
+//! iteration order varies run to run. [`sanitize::scan_source`] flags
+//! exactly that shape; this test keeps `parsec-lite` and `rodinia-cpu`
+//! (the crates whose workloads feed the comparison tables) clean.
+
+use std::path::Path;
+
+#[test]
+fn cpu_suite_crates_have_no_unordered_iteration() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let crates_dir = manifest.parent().expect("sanitize lives under crates/");
+    for krate in ["parsec-lite", "rodinia-cpu"] {
+        let root = crates_dir.join(krate).join("src");
+        let findings = sanitize::scan_tree(&root, &root)
+            .unwrap_or_else(|e| panic!("scan {}: {e}", root.display()));
+        assert!(
+            findings.is_empty(),
+            "{krate}: hash-ordered iteration feeding ordered output:\n{}",
+            sanitize::render_findings(&findings).join("\n")
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! The `simt::fault` harness as the sanitizer's true-positive corpus.
+//!
+//! Every fault class that corrupts memory behavior or barrier structure
+//! must leave a tape from which the sanitizer reproduces and *classifies*
+//! the fault ([`sanitize::expected_kind`] maps class to finding kind).
+//! Classes whose fault lives before any launch (configuration and
+//! trace-replay faults) have no expected kind and must produce no
+//! misclassification from whatever tapes they do leave.
+
+use sanitize::{analyze_tape, classify_tape, expected_kind, FindingKind, Severity};
+use simt::fault::{inject_with, Fault};
+
+#[test]
+fn every_memory_and_barrier_fault_is_caught_and_classified() {
+    let mut covered = 0;
+    for fault in Fault::all() {
+        let Some(expected) = expected_kind(fault) else {
+            continue;
+        };
+        covered += 1;
+        let (outcome, tapes) = inject_with(fault, true);
+        assert!(
+            outcome.is_err(),
+            "{fault:?}: scenario no longer faults; corpus is stale"
+        );
+        assert!(
+            !tapes.is_empty(),
+            "{fault:?}: faulting launch produced no tape"
+        );
+        let kinds: Vec<_> = tapes.iter().filter_map(classify_tape).collect();
+        assert!(
+            kinds.contains(&expected),
+            "{fault:?}: expected {expected:?}, sanitizer classified {kinds:?}"
+        );
+    }
+    // The corpus covers the four memory/barrier classes; a new Fault
+    // variant with dynamic-checker semantics must extend expected_kind.
+    assert_eq!(covered, 4, "fault corpus shrank");
+}
+
+#[test]
+fn config_and_replay_faults_are_never_misclassified() {
+    // Faults with no expected kind live outside the kernel's memory or
+    // barrier behavior. An aborted launch may faithfully relay its
+    // abort as a LaunchFailure, but any memory/barrier classification
+    // would be a false positive.
+    for fault in Fault::all() {
+        if expected_kind(fault).is_some() {
+            continue;
+        }
+        let (_outcome, tapes) = inject_with(fault, true);
+        for tape in &tapes {
+            let misclassified: Vec<_> = analyze_tape(tape)
+                .into_iter()
+                .filter(|f| {
+                    f.severity() == Severity::Error && f.kind != FindingKind::LaunchFailure
+                })
+                .collect();
+            assert!(
+                misclassified.is_empty(),
+                "{fault:?}: spurious sanitizer errors {misclassified:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sanitizer_off_by_default_collects_nothing() {
+    // `inject_with(_, false)` must not install a sink: the zero-cost
+    // disabled path of the tracing contract.
+    for fault in [Fault::OutOfRangeLoad, Fault::BarrierDivergence] {
+        let (outcome, tapes) = inject_with(fault, false);
+        assert!(outcome.is_err());
+        assert!(tapes.is_empty(), "{fault:?}: tape without a sink");
+    }
+}

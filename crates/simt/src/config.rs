@@ -175,6 +175,7 @@ impl GpuConfig {
     /// 8 CTAs per SM, 16384 registers, 32 kB shared memory with bank
     /// conflicts modeled, 8 memory channels, and **no** L1/L2 caches
     /// (the paper's simulations disable the L2).
+    #[must_use = "builds a configuration without applying it"]
     pub fn gpgpusim_default() -> GpuConfig {
         GpuConfig {
             name: "gpgpusim-28sm".to_string(),
@@ -218,6 +219,7 @@ impl GpuConfig {
 
     /// The 8-shader configuration used for the scalability comparison of
     /// Figure 1.
+    #[must_use = "builds a configuration without applying it"]
     pub fn gpgpusim_8sm() -> GpuConfig {
         GpuConfig {
             name: "gpgpusim-8sm".to_string(),
@@ -228,6 +230,7 @@ impl GpuConfig {
 
     /// A GTX 280 model: 30 SMs of 8-wide SIMD at 1.3 GHz, 16 kB shared
     /// memory, no L1/L2 (texture and constant caches only).
+    #[must_use = "builds a configuration without applying it"]
     pub fn gtx280() -> GpuConfig {
         GpuConfig {
             name: "gtx280".to_string(),
@@ -245,6 +248,7 @@ impl GpuConfig {
 
     /// A GTX 480 (Fermi) model in its **shared-bias** configuration:
     /// 48 kB shared memory + 16 kB L1 per SM, with a 768 kB unified L2.
+    #[must_use = "builds a configuration without applying it"]
     pub fn gtx480_shared_bias() -> GpuConfig {
         GpuConfig {
             name: "gtx480-shared-bias".to_string(),
@@ -265,6 +269,7 @@ impl GpuConfig {
 
     /// A GTX 480 (Fermi) model in its **L1-bias** configuration:
     /// 16 kB shared memory + 48 kB L1 per SM, with a 768 kB unified L2.
+    #[must_use = "builds a configuration without applying it"]
     pub fn gtx480_l1_bias() -> GpuConfig {
         GpuConfig {
             name: "gtx480-l1-bias".to_string(),
@@ -278,6 +283,7 @@ impl GpuConfig {
     /// (the Figure 4 sweep). A zero channel count is representable but
     /// rejected by [`GpuConfig::validate`] when the configuration is
     /// used.
+    #[must_use = "builds a configuration without applying it"]
     pub fn with_mem_channels(&self, channels: u32) -> GpuConfig {
         GpuConfig {
             name: format!("{}-{}ch", self.name, channels),
@@ -289,6 +295,7 @@ impl GpuConfig {
     /// Returns a copy with a different SM count. A zero SM count is
     /// representable but rejected by [`GpuConfig::validate`] when the
     /// configuration is used.
+    #[must_use = "builds a configuration without applying it"]
     pub fn with_num_sms(&self, sms: u32) -> GpuConfig {
         GpuConfig {
             name: format!("{}-{}sm", self.name, sms),
@@ -336,6 +343,7 @@ impl GpuConfig {
     /// Returns [`SimError::InvalidConfig`] describing the first
     /// inconsistency found (e.g. zero SMs, SIMD width exceeding the
     /// warp size, a non-power-of-two shared-memory bank count).
+    #[must_use = "the validation verdict must be checked"]
     pub fn validate(&self) -> Result<(), SimError> {
         self.first_problem()
             .map_or(Ok(()), |reason| {

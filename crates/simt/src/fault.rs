@@ -17,11 +17,14 @@
 //! downstream crates and future fuzzing drivers can reuse the
 //! scenarios.
 
+use std::sync::{Arc, Mutex};
+
 use crate::config::GpuConfig;
 use crate::error::SimError;
 use crate::gpu::{try_time_trace, try_time_traces_concurrent, Gpu};
 use crate::isa::TOp;
 use crate::kernel::{GridShape, Kernel, PhaseControl, WarpCtx};
+use crate::sanitizer::LaunchTape;
 use crate::trace::try_trace_kernel;
 
 /// A class of injectable fault.
@@ -209,6 +212,46 @@ fn broken_config(fault: Fault) -> GpuConfig {
 /// carries a description of a documented degraded completion and is
 /// reserved for future soft-fault classes.
 pub fn inject(fault: Fault) -> Result<String, SimError> {
+    inject_with(fault, false).0
+}
+
+/// [`inject`] with the sanitizer optionally attached, returning the
+/// launch tapes the scenario produced alongside the outcome.
+///
+/// With `sanitize = true`, every [`Gpu`]-driven scenario installs a
+/// sanitizer sink before launching, so the fault harness doubles as the
+/// sanitizer's true-positive corpus: the memory and barrier fault
+/// classes ([`Fault::OutOfRangeLoad`], [`Fault::OutOfRangeStore`],
+/// [`Fault::SharedOutOfRange`], [`Fault::BarrierDivergence`]) each yield
+/// a tape from which `sanitize` must reproduce and classify the fault.
+/// Scenarios that never construct a `Gpu` (or whose fault lives in the
+/// configuration, rejected before any launch) return no tapes.
+pub fn inject_with(fault: Fault, sanitize: bool) -> (Result<String, SimError>, Vec<LaunchTape>) {
+    let tapes: Arc<Mutex<Vec<LaunchTape>>> = Arc::new(Mutex::new(Vec::new()));
+    let result = inject_impl(fault, sanitize.then_some(&tapes));
+    let collected = match Arc::try_unwrap(tapes) {
+        Ok(m) => m.into_inner().unwrap_or_default(),
+        Err(shared) => shared.lock().map(|v| v.clone()).unwrap_or_default(),
+    };
+    (result, collected)
+}
+
+/// Installs a collecting sanitizer sink on `gpu` when requested.
+fn attach_sink(gpu: &mut Gpu, tapes: Option<&Arc<Mutex<Vec<LaunchTape>>>>) {
+    if let Some(tapes) = tapes {
+        let sink = Arc::clone(tapes);
+        gpu.set_sanitizer_sink(move |tape| {
+            if let Ok(mut v) = sink.lock() {
+                v.push(tape);
+            }
+        });
+    }
+}
+
+fn inject_impl(
+    fault: Fault,
+    tapes: Option<&Arc<Mutex<Vec<LaunchTape>>>>,
+) -> Result<String, SimError> {
     let cfg = GpuConfig::gpgpusim_default();
     match fault {
         Fault::ZeroSms
@@ -219,6 +262,7 @@ pub fn inject(fault: Fault) -> Result<String, SimError> {
         | Fault::NonPow2SharedBanks
         | Fault::NanCoreClock => {
             let mut gpu = Gpu::try_new(broken_config(fault))?;
+            attach_sink(&mut gpu, tapes);
             // try_new rejects every current config fault, so this is
             // unreachable today; kept total in case validation ever
             // loosens — the launch path re-validates.
@@ -228,6 +272,7 @@ pub fn inject(fault: Fault) -> Result<String, SimError> {
         }
         Fault::ZeroSizedGrid => {
             let mut gpu = Gpu::try_new(cfg)?;
+            attach_sink(&mut gpu, tapes);
             gpu.try_launch(&Saboteur {
                 shape: GridShape {
                     blocks: 0,
@@ -240,6 +285,7 @@ pub fn inject(fault: Fault) -> Result<String, SimError> {
         }
         Fault::OutOfRangeLoad => {
             let mut gpu = Gpu::try_new(cfg)?;
+            attach_sink(&mut gpu, tapes);
             let buf = gpu.mem_mut().alloc_f32_zeroed("victim", 128);
             gpu.try_launch(&Saboteur {
                 shape: GridShape::new(1, 64),
@@ -250,6 +296,7 @@ pub fn inject(fault: Fault) -> Result<String, SimError> {
         }
         Fault::OutOfRangeStore => {
             let mut gpu = Gpu::try_new(cfg)?;
+            attach_sink(&mut gpu, tapes);
             let buf = gpu.mem_mut().alloc_f32_zeroed("victim", 128);
             gpu.try_launch(&Saboteur {
                 shape: GridShape::new(1, 64),
@@ -260,6 +307,7 @@ pub fn inject(fault: Fault) -> Result<String, SimError> {
         }
         Fault::SharedOversubscription => {
             let mut gpu = Gpu::try_new(cfg)?;
+            attach_sink(&mut gpu, tapes);
             gpu.try_launch(&Saboteur {
                 shape: GridShape::new(1, 64),
                 // 256 kB of f32 scratch: exceeds every preset's SM.
@@ -270,6 +318,7 @@ pub fn inject(fault: Fault) -> Result<String, SimError> {
         }
         Fault::SharedOutOfRange => {
             let mut gpu = Gpu::try_new(cfg)?;
+            attach_sink(&mut gpu, tapes);
             gpu.try_launch(&Saboteur {
                 shape: GridShape::new(1, 64),
                 shared_words: 32,
@@ -279,6 +328,7 @@ pub fn inject(fault: Fault) -> Result<String, SimError> {
         }
         Fault::BarrierDivergence => {
             let mut gpu = Gpu::try_new(cfg)?;
+            attach_sink(&mut gpu, tapes);
             gpu.try_launch(&Saboteur {
                 shape: GridShape::new(1, 128),
                 shared_words: 0,
@@ -292,6 +342,7 @@ pub fn inject(fault: Fault) -> Result<String, SimError> {
             // budget would also fire, just later.
             tight.watchdog.max_phases = Some(512);
             let mut gpu = Gpu::try_new(tight)?;
+            attach_sink(&mut gpu, tapes);
             gpu.try_launch(&Saboteur {
                 shape: GridShape::new(1, 64),
                 shared_words: 0,
@@ -301,6 +352,7 @@ pub fn inject(fault: Fault) -> Result<String, SimError> {
         }
         Fault::TruncatedTrace => {
             let mut gpu = Gpu::try_new(cfg.clone())?;
+            attach_sink(&mut gpu, tapes);
             let data = gpu.mem_mut().alloc_f32_zeroed("data", 256);
             // A healthy two-warp kernel with one barrier...
             struct TwoPhase {
@@ -348,6 +400,7 @@ pub fn inject(fault: Fault) -> Result<String, SimError> {
         }
         Fault::WarpSizeMismatchTrace => {
             let mut gpu = Gpu::try_new(cfg.clone())?;
+            attach_sink(&mut gpu, tapes);
             let data = gpu.mem_mut().alloc_f32_zeroed("data", 256);
             let trace = try_trace_kernel(&Victim { data, n: 256 }, gpu.mem_mut(), &cfg)?;
             let mut narrow = cfg;

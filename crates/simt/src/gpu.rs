@@ -13,8 +13,18 @@ use crate::sm::{
 use crate::stats::{
     KernelStats, MemMix, OccupancyHistogram, StallBreakdown, Timeline, TimelineSample,
 };
-use crate::trace::{try_trace_kernel, KernelTrace};
+use crate::sanitizer::LaunchTape;
+use crate::trace::{try_trace_kernel, try_trace_kernel_with, KernelTrace};
 use crate::dram::Dram;
+
+/// An installed sanitizer sink (a boxed closure; opaque to `Debug`).
+struct SanitizerSink(Box<dyn FnMut(LaunchTape) + Send + Sync>);
+
+impl std::fmt::Debug for SanitizerSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SanitizerSink(..)")
+    }
+}
 
 /// A simulated GPU: a machine configuration plus device memory.
 ///
@@ -27,6 +37,7 @@ pub struct Gpu {
     mem: GpuMem,
     record_traces: bool,
     recorded: Vec<std::sync::Arc<KernelTrace>>,
+    sanitizer: Option<SanitizerSink>,
 }
 
 impl Gpu {
@@ -54,7 +65,53 @@ impl Gpu {
             mem: GpuMem::new(),
             record_traces: false,
             recorded: Vec::new(),
+            sanitizer: None,
         })
+    }
+
+    /// Installs a sanitizer sink: every subsequent launch (successful or
+    /// aborted) delivers one [`LaunchTape`] — the per-lane access and
+    /// barrier-vote record the `sanitize` crate's checkers consume. On an
+    /// aborted launch the tape carries the [`SimError`] in
+    /// [`LaunchTape::aborted`] along with the events recorded up to the
+    /// abort.
+    ///
+    /// Off by default and free when off: without a sink the executor
+    /// records nothing, and with one the captured traces (and therefore
+    /// all replayed statistics) are byte-identical anyway.
+    pub fn set_sanitizer_sink(&mut self, sink: impl FnMut(LaunchTape) + Send + Sync + 'static) {
+        self.sanitizer = Some(SanitizerSink(Box::new(sink)));
+    }
+
+    /// Removes the sanitizer sink, returning launches to the untaped
+    /// fast path.
+    pub fn clear_sanitizer_sink(&mut self) {
+        self.sanitizer = None;
+    }
+
+    /// Whether a sanitizer sink is currently installed.
+    pub fn sanitizing(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// Captures a kernel's functional trace, delivering a sanitizer tape
+    /// to the installed sink (if any) even when the capture aborts.
+    fn capture(&mut self, kernel: &dyn Kernel) -> Result<KernelTrace, SimError> {
+        match self.sanitizer.as_mut() {
+            None => try_trace_kernel(kernel, &mut self.mem, &self.cfg),
+            Some(_) => {
+                let mut tape = LaunchTape::for_launch(kernel, &self.mem, &self.cfg);
+                let res =
+                    try_trace_kernel_with(kernel, &mut self.mem, &self.cfg, Some(&mut tape));
+                if let Err(e) = &res {
+                    tape.aborted = Some(e.clone());
+                }
+                if let Some(SanitizerSink(sink)) = self.sanitizer.as_mut() {
+                    sink(tape);
+                }
+                res
+            }
+        }
     }
 
     /// Turns transparent trace recording on or off. While on, every
@@ -116,7 +173,7 @@ impl Gpu {
     /// device memory may hold partial writes from the functional
     /// execution.
     pub fn try_launch(&mut self, kernel: &dyn Kernel) -> Result<KernelStats, SimError> {
-        let trace = try_trace_kernel(kernel, &mut self.mem, &self.cfg)?;
+        let trace = self.capture(kernel)?;
         let stats = try_time_trace(&trace, &self.cfg)?;
         if self.record_traces {
             self.recorded.push(std::sync::Arc::new(trace));
@@ -140,7 +197,7 @@ impl Gpu {
         &mut self,
         kernel: &dyn Kernel,
     ) -> Result<(KernelTrace, KernelStats), SimError> {
-        let trace = try_trace_kernel(kernel, &mut self.mem, &self.cfg)?;
+        let trace = self.capture(kernel)?;
         let stats = try_time_trace(&trace, &self.cfg)?;
         Ok((trace, stats))
     }
@@ -171,7 +228,7 @@ impl Gpu {
     ) -> Result<ConcurrentStats, SimError> {
         let mut traces = Vec::with_capacity(kernels.len());
         for k in kernels {
-            traces.push(try_trace_kernel(*k, &mut self.mem, &self.cfg)?);
+            traces.push(self.capture(*k)?);
         }
         let refs: Vec<&KernelTrace> = traces.iter().collect();
         try_time_traces_concurrent(&refs, &self.cfg)
@@ -797,7 +854,7 @@ impl<'a> Engine<'a> {
             }
             TOp::Tex { segs, .. } => {
                 let mut done = cycle + ic + self.cfg.tex_latency as u64;
-                for &seg in segs.iter() {
+                for &seg in segs {
                     let hit = match &mut self.sms[sm].tex {
                         Some(tex) => tex.access(seg),
                         None => false,
@@ -813,13 +870,13 @@ impl<'a> Engine<'a> {
                 if *store {
                     // Stores retire through a write buffer; the warp does
                     // not wait, but bandwidth is consumed.
-                    for &seg in segs.iter() {
+                    for &seg in segs {
                         self.store_path(seg, cycle);
                     }
                     (ic, cycle + ic + self.cfg.alu_latency as u64)
                 } else {
                     let mut done = cycle + ic;
-                    for &seg in segs.iter() {
+                    for &seg in segs {
                         let t = self.load_path(sm, seg, cycle);
                         done = done.max(t);
                     }

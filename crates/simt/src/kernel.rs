@@ -23,6 +23,7 @@ use crate::banks::warp_conflict_degree;
 use crate::coalesce::coalesce;
 use crate::isa::{ActiveMask, MemSpace, TOp};
 use crate::memory::{BufF32, BufU32, GpuMem};
+use crate::sanitizer::{AccessKind, MemAccess, TapeBuf, TapeEvent};
 
 /// Whether a warp has more phases (barrier-separated sections) to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +142,24 @@ pub struct WarpCtx<'a> {
     /// accesses become no-ops and the executor abandons the launch with
     /// [`crate::SimError::KernelFault`] when `run_warp` returns.
     pub(crate) fault: Option<String>,
+    /// Sanitizer tape of the enclosing launch, when a sink is installed
+    /// (`None` in normal runs: every recording site is guarded on it, so
+    /// taping never perturbs the emitted trace).
+    pub(crate) tape: Option<&'a mut Vec<TapeEvent>>,
+}
+
+impl std::fmt::Debug for WarpCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarpCtx")
+            .field("block", &self.block)
+            .field("warp_in_block", &self.warp_in_block)
+            .field("warp_size", &self.warp_size)
+            .field("threads_per_block", &self.threads_per_block)
+            .field("phase", &self.phase)
+            .field("mask", &self.mask)
+            .field("fault", &self.fault)
+            .finish_non_exhaustive()
+    }
 }
 
 impl WarpCtx<'_> {
@@ -185,6 +204,39 @@ impl WarpCtx<'_> {
 
     fn faulted(&self) -> bool {
         self.fault.is_some()
+    }
+
+    /// Whether a sanitizer tape is attached to this launch.
+    fn taping(&self) -> bool {
+        self.tape.is_some()
+    }
+
+    /// Records one warp-level access on the sanitizer tape (no-op when
+    /// no tape is attached; `words` is empty in that case too, because
+    /// the access methods only collect words while taping).
+    fn tape_access(
+        &mut self,
+        kind: AccessKind,
+        space: MemSpace,
+        buf: TapeBuf,
+        words: Vec<(u8, u32)>,
+        faulted: bool,
+    ) {
+        if words.is_empty() {
+            return;
+        }
+        if let Some(tape) = self.tape.as_deref_mut() {
+            tape.push(TapeEvent::Access(MemAccess {
+                block: self.block as u32,
+                warp: self.warp_in_block as u32,
+                phase: self.phase as u32,
+                kind,
+                space,
+                buf,
+                lane_words: words.into_boxed_slice(),
+                faulted,
+            }));
+        }
     }
 
     /// Global thread id of each lane (length = warp size, including
@@ -282,15 +334,22 @@ impl WarpCtx<'_> {
         if self.faulted() {
             return out;
         }
+        let taping = self.taping();
+        let mut twords: Vec<(u8, u32)> = Vec::new();
         let mut addrs = Vec::new();
         let mask = self.mask;
         for lane in mask.iter().take(self.warp_size) {
             if let Some(idx) = f(lane, tids[lane]) {
+                if taping {
+                    twords.push((lane as u8, idx as u32));
+                }
                 if idx >= data_len {
                     self.record_fault(format!(
                         "read out of bounds: {}[{idx}] (len {data_len})",
                         self.mem.name_f32(buf)
                     ));
+                    let tb = TapeBuf::GlobalF32(buf.0 as u32);
+                    self.tape_access(AccessKind::Load, space, tb, twords, true);
                     return out;
                 }
                 out[lane] = self.mem.f32_slice(buf)[idx];
@@ -298,6 +357,8 @@ impl WarpCtx<'_> {
             }
         }
         self.emit_gmem(space, false, &addrs);
+        let tb = TapeBuf::GlobalF32(buf.0 as u32);
+        self.tape_access(AccessKind::Load, space, tb, twords, false);
         out
     }
 
@@ -333,21 +394,30 @@ impl WarpCtx<'_> {
         if self.faulted() {
             return out;
         }
+        let taping = self.taping();
+        let mut twords: Vec<(u8, u32)> = Vec::new();
         let mut idxs = Vec::new();
         let mask = self.mask;
         for lane in mask.iter().take(self.warp_size) {
             if let Some(idx) = f(lane, tids[lane]) {
+                if taping {
+                    twords.push((lane as u8, idx as u32));
+                }
                 if idx >= data_len {
                     self.record_fault(format!(
                         "constant read out of bounds: {}[{idx}] (len {data_len})",
                         self.mem.name_f32(buf)
                     ));
+                    let tb = TapeBuf::GlobalF32(buf.0 as u32);
+                    self.tape_access(AccessKind::Load, MemSpace::Constant, tb, twords, true);
                     return out;
                 }
                 out[lane] = self.mem.f32_slice(buf)[idx];
                 idxs.push(idx);
             }
         }
+        let tb = TapeBuf::GlobalF32(buf.0 as u32);
+        self.tape_access(AccessKind::Load, MemSpace::Constant, tb, twords, false);
         if !idxs.is_empty() {
             idxs.sort_unstable();
             idxs.dedup();
@@ -367,10 +437,15 @@ impl WarpCtx<'_> {
         }
         let tids = self.tids();
         let base = self.mem.base_f32(buf);
+        let taping = self.taping();
+        let mut twords: Vec<(u8, u32)> = Vec::new();
         let mut addrs = Vec::new();
         let mask = self.mask;
         for lane in mask.iter().take(self.warp_size) {
             if let Some((idx, val)) = f(lane, tids[lane]) {
+                if taping {
+                    twords.push((lane as u8, idx as u32));
+                }
                 let data = self.mem.f32_slice_mut(buf);
                 if idx >= data.len() {
                     let len = data.len();
@@ -378,6 +453,8 @@ impl WarpCtx<'_> {
                         "write out of bounds: {}[{idx}] (len {len})",
                         self.mem.name_f32(buf)
                     ));
+                    let tb = TapeBuf::GlobalF32(buf.0 as u32);
+                    self.tape_access(AccessKind::Store, MemSpace::Global, tb, twords, true);
                     return;
                 }
                 data[idx] = val;
@@ -385,6 +462,8 @@ impl WarpCtx<'_> {
             }
         }
         self.emit_gmem(MemSpace::Global, true, &addrs);
+        let tb = TapeBuf::GlobalF32(buf.0 as u32);
+        self.tape_access(AccessKind::Store, MemSpace::Global, tb, twords, false);
     }
 
     /// Loads `u32` values from global memory.
@@ -400,15 +479,22 @@ impl WarpCtx<'_> {
         if self.faulted() {
             return out;
         }
+        let taping = self.taping();
+        let mut twords: Vec<(u8, u32)> = Vec::new();
         let mut addrs = Vec::new();
         let mask = self.mask;
         for lane in mask.iter().take(self.warp_size) {
             if let Some(idx) = f(lane, tids[lane]) {
+                if taping {
+                    twords.push((lane as u8, idx as u32));
+                }
                 if idx >= data_len {
                     self.record_fault(format!(
                         "read out of bounds: {}[{idx}] (len {data_len})",
                         self.mem.name_u32(buf)
                     ));
+                    let tb = TapeBuf::GlobalU32(buf.0 as u32);
+                    self.tape_access(AccessKind::Load, MemSpace::Global, tb, twords, true);
                     return out;
                 }
                 out[lane] = self.mem.u32_slice(buf)[idx];
@@ -416,6 +502,8 @@ impl WarpCtx<'_> {
             }
         }
         self.emit_gmem(MemSpace::Global, false, &addrs);
+        let tb = TapeBuf::GlobalU32(buf.0 as u32);
+        self.tape_access(AccessKind::Load, MemSpace::Global, tb, twords, false);
         out
     }
 
@@ -432,15 +520,22 @@ impl WarpCtx<'_> {
         if self.faulted() {
             return out;
         }
+        let taping = self.taping();
+        let mut twords: Vec<(u8, u32)> = Vec::new();
         let mut addrs = Vec::new();
         let mask = self.mask;
         for lane in mask.iter().take(self.warp_size) {
             if let Some(idx) = f(lane, tids[lane]) {
+                if taping {
+                    twords.push((lane as u8, idx as u32));
+                }
                 if idx >= data_len {
                     self.record_fault(format!(
                         "texture read out of bounds: {}[{idx}] (len {data_len})",
                         self.mem.name_u32(buf)
                     ));
+                    let tb = TapeBuf::GlobalU32(buf.0 as u32);
+                    self.tape_access(AccessKind::Load, MemSpace::Texture, tb, twords, true);
                     return out;
                 }
                 out[lane] = self.mem.u32_slice(buf)[idx];
@@ -448,6 +543,8 @@ impl WarpCtx<'_> {
             }
         }
         self.emit_gmem(MemSpace::Texture, false, &addrs);
+        let tb = TapeBuf::GlobalU32(buf.0 as u32);
+        self.tape_access(AccessKind::Load, MemSpace::Texture, tb, twords, false);
         out
     }
 
@@ -458,10 +555,15 @@ impl WarpCtx<'_> {
         }
         let tids = self.tids();
         let base = self.mem.base_u32(buf);
+        let taping = self.taping();
+        let mut twords: Vec<(u8, u32)> = Vec::new();
         let mut addrs = Vec::new();
         let mask = self.mask;
         for lane in mask.iter().take(self.warp_size) {
             if let Some((idx, val)) = f(lane, tids[lane]) {
+                if taping {
+                    twords.push((lane as u8, idx as u32));
+                }
                 let data = self.mem.u32_slice_mut(buf);
                 if idx >= data.len() {
                     let len = data.len();
@@ -469,6 +571,8 @@ impl WarpCtx<'_> {
                         "write out of bounds: {}[{idx}] (len {len})",
                         self.mem.name_u32(buf)
                     ));
+                    let tb = TapeBuf::GlobalU32(buf.0 as u32);
+                    self.tape_access(AccessKind::Store, MemSpace::Global, tb, twords, true);
                     return;
                 }
                 data[idx] = val;
@@ -476,6 +580,8 @@ impl WarpCtx<'_> {
             }
         }
         self.emit_gmem(MemSpace::Global, true, &addrs);
+        let tb = TapeBuf::GlobalU32(buf.0 as u32);
+        self.tape_access(AccessKind::Store, MemSpace::Global, tb, twords, false);
     }
 
     /// Atomically adds to `u32` global memory, returning each lane's old
@@ -491,10 +597,15 @@ impl WarpCtx<'_> {
         if self.faulted() {
             return out;
         }
+        let taping = self.taping();
+        let mut twords: Vec<(u8, u32)> = Vec::new();
         let mut addrs = Vec::new();
         let mask = self.mask;
         for lane in mask.iter().take(self.warp_size) {
             if let Some((idx, val)) = f(lane, tids[lane]) {
+                if taping {
+                    twords.push((lane as u8, idx as u32));
+                }
                 let data = self.mem.u32_slice_mut(buf);
                 if idx >= data.len() {
                     let len = data.len();
@@ -502,6 +613,8 @@ impl WarpCtx<'_> {
                         "atomic out of bounds: {}[{idx}] (len {len})",
                         self.mem.name_u32(buf)
                     ));
+                    let tb = TapeBuf::GlobalU32(buf.0 as u32);
+                    self.tape_access(AccessKind::Atomic, MemSpace::Global, tb, twords, true);
                     return out;
                 }
                 out[lane] = data[idx];
@@ -512,6 +625,8 @@ impl WarpCtx<'_> {
         // An atomic is a read-modify-write: count both directions.
         self.emit_gmem(MemSpace::Global, false, &addrs);
         self.emit_gmem(MemSpace::Global, true, &addrs);
+        let tb = TapeBuf::GlobalU32(buf.0 as u32);
+        self.tape_access(AccessKind::Atomic, MemSpace::Global, tb, twords, false);
         out
     }
 
@@ -537,15 +652,22 @@ impl WarpCtx<'_> {
         if self.faulted() {
             return out;
         }
+        let taping = self.taping();
+        let mut twords: Vec<(u8, u32)> = Vec::new();
         let mut words = Vec::new();
         let mask = self.mask;
         for lane in mask.iter().take(self.warp_size) {
             if let Some(idx) = f(lane, tids[lane]) {
+                if taping {
+                    twords.push((lane as u8, idx as u32));
+                }
                 if idx >= self.shared_f32.len() {
                     let len = self.shared_f32.len();
                     self.record_fault(format!(
                         "shared read out of bounds: f32[{idx}] (len {len})"
                     ));
+                    let (ak, sp) = (AccessKind::Load, MemSpace::Shared);
+                    self.tape_access(ak, sp, TapeBuf::SharedF32, twords, true);
                     return out;
                 }
                 out[lane] = self.shared_f32[idx];
@@ -553,6 +675,8 @@ impl WarpCtx<'_> {
             }
         }
         self.emit_shared(&words, false);
+        let (ak, sp) = (AccessKind::Load, MemSpace::Shared);
+        self.tape_access(ak, sp, TapeBuf::SharedF32, twords, false);
         out
     }
 
@@ -562,15 +686,22 @@ impl WarpCtx<'_> {
             return;
         }
         let tids = self.tids();
+        let taping = self.taping();
+        let mut twords: Vec<(u8, u32)> = Vec::new();
         let mut words = Vec::new();
         let mask = self.mask;
         for lane in mask.iter().take(self.warp_size) {
             if let Some((idx, val)) = f(lane, tids[lane]) {
+                if taping {
+                    twords.push((lane as u8, idx as u32));
+                }
                 if idx >= self.shared_f32.len() {
                     let len = self.shared_f32.len();
                     self.record_fault(format!(
                         "shared write out of bounds: f32[{idx}] (len {len})"
                     ));
+                    let (ak, sp) = (AccessKind::Store, MemSpace::Shared);
+                    self.tape_access(ak, sp, TapeBuf::SharedF32, twords, true);
                     return;
                 }
                 self.shared_f32[idx] = val;
@@ -578,6 +709,8 @@ impl WarpCtx<'_> {
             }
         }
         self.emit_shared(&words, true);
+        let (ak, sp) = (AccessKind::Store, MemSpace::Shared);
+        self.tape_access(ak, sp, TapeBuf::SharedF32, twords, false);
     }
 
     /// Loads from the CTA's `u32` shared-memory scratch. Bank indices are
@@ -590,15 +723,22 @@ impl WarpCtx<'_> {
         if self.faulted() {
             return out;
         }
+        let taping = self.taping();
+        let mut twords: Vec<(u8, u32)> = Vec::new();
         let mut words = Vec::new();
         let mask = self.mask;
         for lane in mask.iter().take(self.warp_size) {
             if let Some(idx) = f(lane, tids[lane]) {
+                if taping {
+                    twords.push((lane as u8, idx as u32));
+                }
                 if idx >= self.shared_u32.len() {
                     let len = self.shared_u32.len();
                     self.record_fault(format!(
                         "shared read out of bounds: u32[{idx}] (len {len})"
                     ));
+                    let (ak, sp) = (AccessKind::Load, MemSpace::Shared);
+                    self.tape_access(ak, sp, TapeBuf::SharedU32, twords, true);
                     return out;
                 }
                 out[lane] = self.shared_u32[idx];
@@ -606,6 +746,8 @@ impl WarpCtx<'_> {
             }
         }
         self.emit_shared(&words, false);
+        let (ak, sp) = (AccessKind::Load, MemSpace::Shared);
+        self.tape_access(ak, sp, TapeBuf::SharedU32, twords, false);
         out
     }
 
@@ -616,15 +758,22 @@ impl WarpCtx<'_> {
         }
         let tids = self.tids();
         let off = self.shared_f32.len();
+        let taping = self.taping();
+        let mut twords: Vec<(u8, u32)> = Vec::new();
         let mut words = Vec::new();
         let mask = self.mask;
         for lane in mask.iter().take(self.warp_size) {
             if let Some((idx, val)) = f(lane, tids[lane]) {
+                if taping {
+                    twords.push((lane as u8, idx as u32));
+                }
                 if idx >= self.shared_u32.len() {
                     let len = self.shared_u32.len();
                     self.record_fault(format!(
                         "shared write out of bounds: u32[{idx}] (len {len})"
                     ));
+                    let (ak, sp) = (AccessKind::Store, MemSpace::Shared);
+                    self.tape_access(ak, sp, TapeBuf::SharedU32, twords, true);
                     return;
                 }
                 self.shared_u32[idx] = val;
@@ -632,6 +781,8 @@ impl WarpCtx<'_> {
             }
         }
         self.emit_shared(&words, true);
+        let (ak, sp) = (AccessKind::Store, MemSpace::Shared);
+        self.tape_access(ak, sp, TapeBuf::SharedU32, twords, false);
     }
 
     // ---- divergence -----------------------------------------------------

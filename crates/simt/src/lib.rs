@@ -58,7 +58,8 @@
 //! assert!(stats.ipc() > 0.0);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 
 pub mod banks;
 pub mod caches;
@@ -71,6 +72,7 @@ pub mod gpu;
 pub mod isa;
 pub mod kernel;
 pub mod memory;
+pub mod sanitizer;
 pub mod sm;
 pub mod stats;
 pub mod trace;
@@ -84,5 +86,8 @@ pub use gpu::{
 pub use isa::{ActiveMask, MemSpace, TOp};
 pub use kernel::{GridShape, Kernel, PhaseControl, WarpCtx};
 pub use memory::{BufF32, BufU32, GpuMem};
+pub use sanitizer::{
+    AccessKind, AllocInfo, BarrierRecord, LaunchTape, MemAccess, TapeBuf, TapeEvent,
+};
 pub use stats::{KernelStats, MemMix, OccupancyHistogram, StallBreakdown, Timeline, TimelineSample};
 pub use trace::{try_trace_kernel, KernelTrace, trace_kernel};

@@ -18,6 +18,12 @@ pub struct BufU32(pub(crate) usize);
 struct Region {
     name: String,
     base: u64,
+    /// Whether the buffer's contents were defined by the host (initial
+    /// copy, zero fill, or a later `write_*`). `false` only for the
+    /// `alloc_*_uninit` allocators, whose contents are undefined until a
+    /// kernel writes them — the sanitizer's read-before-write checker
+    /// keys off this flag.
+    host_init: bool,
 }
 
 /// The GPU's global memory: a set of typed buffers with stable base
@@ -56,6 +62,7 @@ impl GpuMem {
         self.f32_regions.push(Region {
             name: name.to_string(),
             base,
+            host_init: true,
         });
         self.h2d_bytes += init.len() as u64 * 4;
         BufF32(self.f32_data.len() - 1)
@@ -68,6 +75,7 @@ impl GpuMem {
         self.f32_regions.push(Region {
             name: name.to_string(),
             base,
+            host_init: true,
         });
         BufF32(self.f32_data.len() - 1)
     }
@@ -79,6 +87,7 @@ impl GpuMem {
         self.u32_regions.push(Region {
             name: name.to_string(),
             base,
+            host_init: true,
         });
         self.h2d_bytes += init.len() as u64 * 4;
         BufU32(self.u32_data.len() - 1)
@@ -91,6 +100,37 @@ impl GpuMem {
         self.u32_regions.push(Region {
             name: name.to_string(),
             base,
+            host_init: true,
+        });
+        BufU32(self.u32_data.len() - 1)
+    }
+
+    /// Allocates a named `f32` buffer **without initializing it** — a
+    /// bare `cudaMalloc` with no `cudaMemcpy`/`cudaMemset`. The
+    /// simulator zero-fills it so execution stays deterministic, but the
+    /// contents are *undefined* on real hardware until a kernel writes
+    /// them, and the sanitizer's read-before-write checker reports any
+    /// read that precedes the first kernel write.
+    pub fn alloc_f32_uninit(&mut self, name: &str, len: usize) -> BufF32 {
+        let base = self.reserve(len as u64 * 4);
+        self.f32_data.push(vec![0.0; len]);
+        self.f32_regions.push(Region {
+            name: name.to_string(),
+            base,
+            host_init: false,
+        });
+        BufF32(self.f32_data.len() - 1)
+    }
+
+    /// Allocates a named uninitialized `u32` buffer of `len` elements
+    /// (see [`GpuMem::alloc_f32_uninit`]).
+    pub fn alloc_u32_uninit(&mut self, name: &str, len: usize) -> BufU32 {
+        let base = self.reserve(len as u64 * 4);
+        self.u32_data.push(vec![0; len]);
+        self.u32_regions.push(Region {
+            name: name.to_string(),
+            base,
+            host_init: false,
         });
         BufU32(self.u32_data.len() - 1)
     }
@@ -117,6 +157,7 @@ impl GpuMem {
             "write must match buffer length"
         );
         self.f32_data[buf.0].copy_from_slice(data);
+        self.f32_regions[buf.0].host_init = true;
         self.h2d_bytes += data.len() as u64 * 4;
     }
 
@@ -132,6 +173,7 @@ impl GpuMem {
             "write must match buffer length"
         );
         self.u32_data[buf.0].copy_from_slice(data);
+        self.u32_regions[buf.0].host_init = true;
         self.h2d_bytes += data.len() as u64 * 4;
     }
 
@@ -179,6 +221,32 @@ impl GpuMem {
     pub fn copy_out_f32(&mut self, buf: BufF32) -> Vec<f32> {
         self.d2h_bytes += self.f32_data[buf.0].len() as u64 * 4;
         self.f32_data[buf.0].clone()
+    }
+
+    /// Snapshot of the `f32` allocation table for a sanitizer tape.
+    pub(crate) fn snapshot_f32(&self) -> Vec<crate::sanitizer::AllocInfo> {
+        self.f32_data
+            .iter()
+            .zip(&self.f32_regions)
+            .map(|(d, r)| crate::sanitizer::AllocInfo {
+                name: r.name.clone(),
+                words: d.len() as u32,
+                initialized: r.host_init,
+            })
+            .collect()
+    }
+
+    /// Snapshot of the `u32` allocation table for a sanitizer tape.
+    pub(crate) fn snapshot_u32(&self) -> Vec<crate::sanitizer::AllocInfo> {
+        self.u32_data
+            .iter()
+            .zip(&self.u32_regions)
+            .map(|(d, r)| crate::sanitizer::AllocInfo {
+                name: r.name.clone(),
+                words: d.len() as u32,
+                initialized: r.host_init,
+            })
+            .collect()
     }
 
     pub(crate) fn f32_slice(&self, buf: BufF32) -> &[f32] {

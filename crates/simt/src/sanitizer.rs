@@ -1,0 +1,250 @@
+//! Sanitizer instrumentation: the per-launch access **tape**.
+//!
+//! The timing trace ([`crate::KernelTrace`]) deliberately forgets *which
+//! words* a warp touched — it keeps only the coalesced shape of each
+//! access, because that is all the timing model needs. A
+//! compute-sanitizer-style checker needs the opposite: the exact per-lane
+//! resolved word indices, the allocation each access targeted, and the
+//! per-warp barrier votes. This module defines that record — the
+//! [`LaunchTape`] — and the sink through which [`crate::Gpu`] delivers
+//! one tape per launch.
+//!
+//! Taping is **off by default and free when off**: the executor carries
+//! an `Option<&mut Vec<TapeEvent>>` that is `None` unless a sink is
+//! installed with [`crate::Gpu::set_sanitizer_sink`], every recording
+//! site is guarded by that option, and no emitted [`crate::TOp`] changes
+//! either way — captured traces (and therefore every replayed statistic)
+//! are byte-identical with the sanitizer on or off.
+//!
+//! The tape is delivered to the sink even when the launch aborts with a
+//! [`SimError`] (out-of-bounds access, barrier divergence, watchdog …):
+//! the events recorded up to the abort, plus the error itself in
+//! [`LaunchTape::aborted`], are exactly what a checker needs to classify
+//! the failure. The `crates/sanitize` crate consumes these tapes.
+
+use crate::config::GpuConfig;
+use crate::error::SimError;
+use crate::isa::MemSpace;
+use crate::kernel::Kernel;
+use crate::memory::GpuMem;
+
+/// Which direction a recorded access moves data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read (global, texture, constant, or shared load).
+    Load,
+    /// A write (global or shared store).
+    Store,
+    /// An atomic read-modify-write.
+    Atomic,
+}
+
+/// The allocation an access resolved into.
+///
+/// Global indices refer to [`LaunchTape::allocs_f32`] /
+/// [`LaunchTape::allocs_u32`]; shared accesses target the CTA scratch
+/// declared by the kernel ([`LaunchTape::shared_f32_words`] /
+/// [`LaunchTape::shared_u32_words`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TapeBuf {
+    /// A global `f32` buffer (index into the allocation table).
+    GlobalF32(u32),
+    /// A global `u32` buffer (index into the allocation table).
+    GlobalU32(u32),
+    /// The CTA's `f32` shared-memory scratch.
+    SharedF32,
+    /// The CTA's `u32` shared-memory scratch.
+    SharedU32,
+}
+
+/// One warp-level memory instruction with per-lane resolved word indices.
+#[derive(Debug, Clone)]
+pub struct MemAccess {
+    /// CTA (block) index of the accessing warp.
+    pub block: u32,
+    /// Warp index within the block.
+    pub warp: u32,
+    /// Barrier phase in which the access executed.
+    pub phase: u32,
+    /// Load, store, or atomic.
+    pub kind: AccessKind,
+    /// Memory space of the instruction (global/texture/constant/shared).
+    pub space: MemSpace,
+    /// Target allocation.
+    pub buf: TapeBuf,
+    /// `(lane, word index)` for each participating lane, in lane order.
+    pub lane_words: Box<[(u8, u32)]>,
+    /// `true` if the access faulted: the **last** entry of `lane_words`
+    /// is the out-of-range word and the remaining lanes were suppressed.
+    pub faulted: bool,
+}
+
+/// The barrier votes of one CTA at the end of one phase.
+///
+/// Recorded whenever a CTA passes a barrier (all warps voted `Continue`)
+/// or aborts on a divergent vote; `continues[w]` is warp *w*'s vote. A
+/// mixed vector is barrier divergence — some warps arrived at
+/// `__syncthreads()` while others exited the kernel.
+#[derive(Debug, Clone)]
+pub struct BarrierRecord {
+    /// CTA (block) index.
+    pub block: u32,
+    /// Phase the votes conclude.
+    pub phase: u32,
+    /// Per-warp vote: `true` = `Continue` (arrived at the barrier).
+    pub continues: Box<[bool]>,
+}
+
+/// One entry of a launch tape, in execution order (blocks run
+/// sequentially; within a block, warps run a phase at a time in warp
+/// order).
+#[derive(Debug, Clone)]
+pub enum TapeEvent {
+    /// A warp-level memory access.
+    Access(MemAccess),
+    /// A CTA barrier (or a divergent attempt at one).
+    Barrier(BarrierRecord),
+}
+
+/// Extent (and initialization state) of one global allocation at launch
+/// time.
+#[derive(Debug, Clone)]
+pub struct AllocInfo {
+    /// Name given at allocation time.
+    pub name: String,
+    /// Length in 4-byte words.
+    pub words: u32,
+    /// Whether the contents were defined before any kernel ran: `true`
+    /// for host-initialized and zero-filled (`cudaMemset`-style)
+    /// allocations, `false` for [`GpuMem::alloc_f32_uninit`] /
+    /// [`GpuMem::alloc_u32_uninit`].
+    pub initialized: bool,
+}
+
+/// Everything the sanitizer needs to know about one kernel launch: the
+/// launch geometry, the allocation tables, and the event stream.
+#[derive(Debug, Clone)]
+pub struct LaunchTape {
+    /// Kernel name.
+    pub kernel: String,
+    /// Number of CTAs launched.
+    pub blocks: u32,
+    /// Threads per CTA.
+    pub threads_per_block: u32,
+    /// Warp size of the capture.
+    pub warp_size: u32,
+    /// Words of per-CTA `f32` shared scratch.
+    pub shared_f32_words: u32,
+    /// Words of per-CTA `u32` shared scratch.
+    pub shared_u32_words: u32,
+    /// Global `f32` allocations at launch time, in allocation order.
+    pub allocs_f32: Vec<AllocInfo>,
+    /// Global `u32` allocations at launch time, in allocation order.
+    pub allocs_u32: Vec<AllocInfo>,
+    /// The recorded access/barrier stream.
+    pub events: Vec<TapeEvent>,
+    /// The error that abandoned the launch, if it did not complete.
+    pub aborted: Option<SimError>,
+}
+
+impl LaunchTape {
+    /// Builds an empty tape for a launch of `kernel` against `mem`,
+    /// snapshotting the allocation table.
+    pub fn for_launch(kernel: &dyn Kernel, mem: &GpuMem, cfg: &GpuConfig) -> LaunchTape {
+        let shape = kernel.shape();
+        LaunchTape {
+            kernel: kernel.name().to_string(),
+            blocks: shape.blocks as u32,
+            threads_per_block: shape.threads_per_block as u32,
+            warp_size: cfg.warp_size,
+            shared_f32_words: kernel.shared_f32_words() as u32,
+            shared_u32_words: kernel.shared_u32_words() as u32,
+            allocs_f32: mem.snapshot_f32(),
+            allocs_u32: mem.snapshot_u32(),
+            events: Vec::new(),
+            aborted: None,
+        }
+    }
+
+    /// Word extent of `buf` under this tape's allocation tables
+    /// (`None` for a global index past the snapshot, which cannot occur
+    /// for tapes produced by the executor).
+    pub fn extent(&self, buf: TapeBuf) -> Option<u32> {
+        match buf {
+            TapeBuf::GlobalF32(i) => self.allocs_f32.get(i as usize).map(|a| a.words),
+            TapeBuf::GlobalU32(i) => self.allocs_u32.get(i as usize).map(|a| a.words),
+            TapeBuf::SharedF32 => Some(self.shared_f32_words),
+            TapeBuf::SharedU32 => Some(self.shared_u32_words),
+        }
+    }
+
+    /// Human-readable name of `buf` ("shared f32" / the allocation name).
+    pub fn buf_name(&self, buf: TapeBuf) -> &str {
+        match buf {
+            TapeBuf::GlobalF32(i) => self
+                .allocs_f32
+                .get(i as usize)
+                .map_or("<unknown f32>", |a| a.name.as_str()),
+            TapeBuf::GlobalU32(i) => self
+                .allocs_u32
+                .get(i as usize)
+                .map_or("<unknown u32>", |a| a.name.as_str()),
+            TapeBuf::SharedF32 => "shared f32",
+            TapeBuf::SharedU32 => "shared u32",
+        }
+    }
+
+    /// Number of recorded memory accesses.
+    pub fn access_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TapeEvent::Access(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{GridShape, PhaseControl, WarpCtx};
+
+    struct Nop;
+    impl Kernel for Nop {
+        fn name(&self) -> &str {
+            "nop"
+        }
+        fn shape(&self) -> GridShape {
+            GridShape::new(2, 64)
+        }
+        fn shared_f32_words(&self) -> usize {
+            32
+        }
+        fn run_warp(&self, _w: &mut WarpCtx<'_>) -> PhaseControl {
+            PhaseControl::Done
+        }
+    }
+
+    #[test]
+    fn tape_snapshots_allocations_and_geometry() {
+        let cfg = GpuConfig::gpgpusim_default();
+        let mut mem = GpuMem::new();
+        let a = mem.alloc_f32("a", &[0.0; 100]);
+        let b = mem.alloc_u32_zeroed("b", 7);
+        let c = mem.alloc_f32_uninit("c", 9);
+        let tape = LaunchTape::for_launch(&Nop, &mem, &cfg);
+        assert_eq!(tape.blocks, 2);
+        assert_eq!(tape.threads_per_block, 64);
+        assert_eq!(tape.shared_f32_words, 32);
+        assert_eq!(tape.allocs_f32.len(), 2);
+        assert_eq!(tape.allocs_u32.len(), 1);
+        assert!(tape.allocs_f32[0].initialized);
+        assert!(tape.allocs_u32[0].initialized);
+        assert!(!tape.allocs_f32[1].initialized);
+        assert_eq!(tape.extent(TapeBuf::GlobalF32(0)), Some(100));
+        assert_eq!(tape.extent(TapeBuf::GlobalU32(0)), Some(7));
+        assert_eq!(tape.extent(TapeBuf::SharedF32), Some(32));
+        assert_eq!(tape.buf_name(TapeBuf::GlobalF32(1)), "c");
+        assert_eq!(tape.buf_name(TapeBuf::SharedU32), "shared u32");
+        let _ = (a, b, c);
+    }
+}

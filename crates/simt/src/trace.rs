@@ -10,6 +10,7 @@ use crate::error::SimError;
 use crate::isa::{ActiveMask, TOp};
 use crate::kernel::{Kernel, PhaseControl, Stash, WarpCtx};
 use crate::memory::GpuMem;
+use crate::sanitizer::{BarrierRecord, LaunchTape, TapeEvent};
 
 /// The trace of one warp: its operation stream, with barriers inline.
 #[derive(Debug, Clone, Default)]
@@ -110,6 +111,28 @@ pub fn try_trace_kernel(
     mem: &mut GpuMem,
     cfg: &GpuConfig,
 ) -> Result<KernelTrace, SimError> {
+    try_trace_kernel_with(kernel, mem, cfg, None)
+}
+
+/// [`try_trace_kernel`] with an optional sanitizer tape attached: every
+/// per-lane resolved access and every CTA barrier vote is appended to
+/// `tape.events` as execution proceeds (see [`crate::sanitizer`]). The
+/// emitted [`KernelTrace`] is byte-identical with or without a tape.
+///
+/// On an error return the tape holds every event recorded up to the
+/// abort — including the faulting access (flagged `faulted`) and, for
+/// barrier divergence, the mixed vote vector. The caller is responsible
+/// for stamping [`LaunchTape::aborted`] ([`crate::Gpu`] does).
+///
+/// # Errors
+///
+/// As [`try_trace_kernel`].
+pub(crate) fn try_trace_kernel_with(
+    kernel: &dyn Kernel,
+    mem: &mut GpuMem,
+    cfg: &GpuConfig,
+    mut tape: Option<&mut LaunchTape>,
+) -> Result<KernelTrace, SimError> {
     let _span = obs::span!("simt.trace.{}", kernel.name());
     let shape = kernel.shape();
     if shape.blocks == 0 || shape.threads_per_block == 0 {
@@ -137,7 +160,7 @@ pub fn try_trace_kernel(
                     });
                 }
             }
-            let mut decision: Option<PhaseControl> = None;
+            let mut votes: Vec<PhaseControl> = Vec::with_capacity(warps_per_block);
             for warp in 0..warps_per_block {
                 let lanes_in_warp =
                     (shape.threads_per_block - warp * warp_size).min(warp_size);
@@ -156,6 +179,7 @@ pub fn try_trace_kernel(
                     banks: cfg.shared_banks,
                     seg_bytes: cfg.segment_bytes,
                     fault: None,
+                    tape: tape.as_deref_mut().map(|t| &mut t.events),
                 };
                 let pc = kernel.run_warp(&mut ctx);
                 if let Some(reason) = ctx.fault.take() {
@@ -164,21 +188,37 @@ pub fn try_trace_kernel(
                         reason,
                     });
                 }
-                match decision {
-                    None => decision = Some(pc),
-                    Some(prev) => {
-                        if prev != pc {
-                            return Err(SimError::BarrierDivergence {
-                                kernel: kernel.name().to_string(),
-                                block,
-                                phase,
-                            });
-                        }
+                votes.push(pc);
+                if pc != votes[0] {
+                    // Record the divergent vote vector (as collected so
+                    // far) before abandoning: the sanitizer classifies
+                    // barrier divergence from exactly this record.
+                    if let Some(t) = tape.as_deref_mut() {
+                        t.events.push(TapeEvent::Barrier(BarrierRecord {
+                            block: block as u32,
+                            phase: phase as u32,
+                            continues: votes
+                                .iter()
+                                .map(|v| *v == PhaseControl::Continue)
+                                .collect(),
+                        }));
                     }
+                    return Err(SimError::BarrierDivergence {
+                        kernel: kernel.name().to_string(),
+                        block,
+                        phase,
+                    });
                 }
             }
-            match decision {
+            match votes.first() {
                 Some(PhaseControl::Continue) => {
+                    if let Some(t) = tape.as_deref_mut() {
+                        t.events.push(TapeEvent::Barrier(BarrierRecord {
+                            block: block as u32,
+                            phase: phase as u32,
+                            continues: vec![true; warps_per_block].into_boxed_slice(),
+                        }));
+                    }
                     for t in &mut traces {
                         t.ops.push(TOp::Bar);
                     }

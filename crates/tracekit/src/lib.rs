@@ -63,7 +63,8 @@
 //! assert_eq!(cap.profile_with(stats), p);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 
 pub mod cache;
 pub mod error;

@@ -202,7 +202,7 @@ impl Profiler {
     pub fn parallel(&mut self, f: impl Fn(&mut ThreadTracer)) {
         let mut tracers: Vec<ThreadTracer> =
             (0..self.cfg.threads).map(ThreadTracer::new).collect();
-        for t in tracers.iter_mut() {
+        for t in &mut tracers {
             f(t);
         }
         self.drain(tracers);
@@ -405,7 +405,7 @@ mod tests {
             },
             &small_cfg(),
         );
-        let rates: Vec<f64> = p.cache_stats.iter().map(|s| s.miss_rate()).collect();
+        let rates: Vec<f64> = p.cache_stats.iter().map(super::super::cache::CacheStats::miss_rate).collect();
         assert!(rates[0] > rates[1], "4k vs 64k: {rates:?}");
         assert!(rates[1] >= rates[2], "64k vs 1M: {rates:?}");
         // At 1 MB only the compulsory misses remain: 512 distinct lines

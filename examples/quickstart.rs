@@ -52,7 +52,7 @@ fn main() {
     );
     let labels: Vec<String> = ["compute-a", "compute-b", "memory-a", "memory-b"]
         .iter()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     println!("== Analysis: a small dendrogram ==");
     print!(

@@ -106,10 +106,62 @@ fn usage() {
     }
     println!("usage: repro <artifact|all> [tiny|small|paper] [--csv] [--jobs N]");
     println!("             [--json <dir>] [--telemetry <file.jsonl>]");
+    println!("       repro check [tiny|small|paper] [--json <dir>] [--jobs N]");
     println!("flags: --jobs N  worker threads for GPU-side replay jobs");
     println!("                 (default: available parallelism; output is");
     println!("                 byte-identical for any N)");
+    println!("check: runs the sanitizer over the whole suite (races, barrier");
+    println!("       divergence, OOB, read-before-write, access-shape lints);");
+    println!("       exits nonzero on any error-severity finding; --json writes");
+    println!("       check_report.json");
     println!("env:   RODINIA_OBS=1|2 prints telemetry events to stderr");
+}
+
+/// Flushes telemetry sinks; a latched write failure turns into the given
+/// exit code so `--telemetry` never silently ships a truncated file.
+fn flush_or_exit(code: i32) {
+    if let Err(e) = obs::flush_sinks() {
+        eprintln!("{e}");
+        std::process::exit(code);
+    }
+}
+
+/// `repro check`: the suite through the sanitizer. Exits nonzero on any
+/// error-severity finding.
+fn run_check_cmd(session: &StudySession, scale: Scale, json_dir: Option<&PathBuf>) -> i32 {
+    let report = match rodinia_repro::rodinia_study::check::run_check(session, scale) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("check: {e}");
+            return 1;
+        }
+    };
+    match report.summary_table() {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("check: {e}");
+            return 1;
+        }
+    }
+    for line in report.finding_lines() {
+        println!("{line}");
+    }
+    let errors = report.error_count();
+    let warnings = report.warning_count();
+    println!("check: {errors} error(s), {warnings} warning(s)");
+    if let Some(dir) = json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return 1;
+        }
+        let path = dir.join("check_report.json");
+        if let Err(e) = std::fs::write(&path, format!("{}\n", report.to_json())) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return 1;
+        }
+        eprintln!("wrote report {}", path.display());
+    }
+    i32::from(errors > 0)
 }
 
 fn main() {
@@ -119,6 +171,7 @@ fn main() {
     let mut scale = Scale::Small;
     let mut ids: Vec<ExperimentId> = Vec::new();
     let mut listed = false;
+    let mut check = false;
     let mut json_dir: Option<PathBuf> = None;
     let mut telemetry: Option<PathBuf> = None;
     let mut jobs: Option<usize> = None;
@@ -153,6 +206,7 @@ fn main() {
             }
             "all" => ids = ExperimentId::all(),
             "list" => listed = true,
+            "check" => check = true,
             other => match id_of(other) {
                 Some(id) => ids.push(id),
                 None => {
@@ -163,8 +217,13 @@ fn main() {
         }
         i += 1;
     }
-    if listed || ids.is_empty() {
+    if listed || (ids.is_empty() && !check) {
         usage();
+        // `repro` / `repro list` asked for the usage text; anything else
+        // reaching this point produced no artifact, which is a misuse.
+        if !listed && !args.is_empty() {
+            std::process::exit(2);
+        }
         return;
     }
 
@@ -189,6 +248,11 @@ fn main() {
         Some(n) => StudySession::new(n),
         None => StudySession::default(),
     };
+    if check {
+        let code = run_check_cmd(&session, scale, json_dir.as_ref());
+        flush_or_exit(1);
+        std::process::exit(code);
+    }
     let corpus = if ids.iter().any(|&id| needs_corpus(id)) {
         eprintln!("profiling the 24-workload comparison corpus ...");
         match ComparisonStudy::run(&session, scale) {
@@ -212,7 +276,7 @@ fn main() {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("{}: {e}", name_of(id));
-                obs::flush_sinks();
+                let _ = obs::flush_sinks();
                 std::process::exit(1);
             }
         };
@@ -226,10 +290,10 @@ fn main() {
             Ok(path) => eprintln!("wrote manifest {}", path.display()),
             Err(e) => {
                 eprintln!("{e}");
-                obs::flush_sinks();
+                let _ = obs::flush_sinks();
                 std::process::exit(1);
             }
         }
     }
-    obs::flush_sinks();
+    flush_or_exit(1);
 }

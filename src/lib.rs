@@ -31,7 +31,8 @@
 //! assert_eq!(profile.cache_stats.len(), 8);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 
 pub use analysis;
 pub use datasets;

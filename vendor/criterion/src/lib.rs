@@ -9,7 +9,8 @@
 //! per-iteration time — enough for the coarse before/after comparisons
 //! the repo's benches are used for, with zero external dependencies.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 
 use std::time::{Duration, Instant};
 

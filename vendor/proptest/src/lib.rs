@@ -16,7 +16,8 @@
 //! Both are acceptable for an offline CI environment, and keep the
 //! crate a single file with no external dependencies.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 
 /// Deterministic test RNG (splitmix64).
 pub mod test_runner {

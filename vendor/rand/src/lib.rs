@@ -9,7 +9,8 @@
 //! is fine here: all consumers treat the stream as an arbitrary but
 //! reproducible source.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 
 /// Low-level generator interface: a source of random 64-bit words.
 pub trait RngCore {

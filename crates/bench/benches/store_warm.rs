@@ -1,0 +1,109 @@
+//! Wall-clock benefit of the persistent trace store on the Section
+//! III.E Plackett–Burman sweep at Small scale, measured three ways:
+//!
+//! 1. **in-memory** — no store attached; every session captures from
+//!    scratch (the pre-store behaviour);
+//! 2. **store warm, journal dropped** — a fresh session restores every
+//!    capture from verified store entries and replays (the cross-process
+//!    cache-hit path the store exists for);
+//! 3. **journal resume** — the sweep journal restores every response
+//!    outright, the fastest possible restart.
+//!
+//! It re-checks the determinism guarantee on the spot (all three paths
+//! must render byte-identical tables) and writes the measurements plus
+//! the store's own hit/miss/restore counters to `BENCH_store.json`
+//! (path overridable with the `BENCH_STORE_OUT` environment variable).
+//!
+//! ```text
+//! cargo bench --bench store_warm
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use datasets::Scale;
+use obs::Json;
+use rodinia_study::{sensitivity, StudySession};
+use store::TraceStore;
+
+/// Renders a PB study to one comparable string (both tables).
+fn rendered(study: &sensitivity::PbStudy) -> String {
+    format!(
+        "{}\n{}",
+        study.to_table().expect("pb table"),
+        study.aggregate_table().expect("pb aggregate")
+    )
+}
+
+/// Runs the full PB sweep in a fresh session, optionally store-backed.
+fn sweep(scale: Scale, store: Option<&Arc<TraceStore>>) -> (String, f64) {
+    let mut session = StudySession::sequential();
+    if let Some(s) = store {
+        session.attach_store(Arc::clone(s));
+    }
+    let start = Instant::now();
+    let study = sensitivity::run(&session, scale, None).expect("pb sweep runs");
+    (rendered(&study), start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let scale = Scale::Small;
+    let dir = std::env::temp_dir().join(format!("rodinia-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(TraceStore::open(&dir).expect("open bench store"));
+
+    // Populate, then measure the three paths.
+    let (reference, _) = sweep(scale, Some(&store));
+    let (in_memory, memory_s) = sweep(scale, None);
+    // Dropping the journal forces the next session onto the
+    // store-restore path instead of the response-restore shortcut.
+    let _ = std::fs::remove_dir_all(dir.join("journals"));
+    let reg = obs::Registry::global();
+    let hits_before = reg.counter("store.hit");
+    let (store_warm, warm_s) = sweep(scale, Some(&store));
+    let hits = reg.counter("store.hit") - hits_before;
+    let (journal, journal_s) = sweep(scale, Some(&store));
+
+    assert_eq!(in_memory, reference, "in-memory tables diverged");
+    assert_eq!(store_warm, reference, "store-warm tables diverged");
+    assert_eq!(journal, reference, "journal-resume tables diverged");
+    assert!(hits > 0, "warm run never hit the store");
+
+    println!(
+        "PB sweep at Small:\n\
+         \x20 in-memory (capture every run)  {memory_s:.2} s\n\
+         \x20 store warm ({hits} entry hits)     {warm_s:.2} s\n\
+         \x20 journal resume                 {journal_s:.2} s\n\
+         \x20 => {:.2}x from the store, {:.2}x from the journal, \
+         tables byte-identical",
+        memory_s / warm_s,
+        memory_s / journal_s
+    );
+
+    let c = |name: &str| Json::u64(reg.counter(name));
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("rodinia-repro.bench-store/v1".into())),
+        ("experiment", Json::Str("sensitivity_pb12".into())),
+        ("scale", Json::Str(format!("{scale:?}"))),
+        ("in_memory_s", Json::Num(memory_s)),
+        ("store_warm_s", Json::Num(warm_s)),
+        ("journal_resume_s", Json::Num(journal_s)),
+        ("speedup_store_warm", Json::Num(memory_s / warm_s)),
+        ("speedup_journal_resume", Json::Num(memory_s / journal_s)),
+        (
+            "counters",
+            Json::obj(vec![
+                ("hit", c("store.hit")),
+                ("miss", c("store.miss")),
+                ("write", c("store.write")),
+                ("corrupt", c("store.corrupt")),
+                ("gpu_restored", c("store.gpu_restored")),
+                ("sweep_restored", c("store.sweep_restored")),
+            ]),
+        ),
+    ]);
+    let out = std::env::var("BENCH_STORE_OUT").unwrap_or_else(|_| "BENCH_store.json".into());
+    std::fs::write(&out, format!("{doc}\n")).expect("write BENCH_store.json");
+    println!("wrote {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -134,8 +134,26 @@ impl CheckReport {
             ("errors", Json::u64(self.error_count() as u64)),
             ("warnings", Json::u64(self.warning_count() as u64)),
             ("benchmarks", Json::Arr(benches)),
+            ("store", store_counters_json()),
         ])
     }
+}
+
+/// Snapshot of the persistent-store health counters, embedded in the
+/// check report (and, via the registry snapshot, in every
+/// `BENCH_manifest.json`): a run that silently recaptured half its
+/// store should say so in its artifacts.
+fn store_counters_json() -> Json {
+    let reg = obs::Registry::global();
+    let c = |name: &str| Json::u64(reg.counter(name));
+    Json::obj(vec![
+        ("hit", c("store.hit")),
+        ("miss", c("store.miss")),
+        ("write", c("store.write")),
+        ("corrupt", c("store.corrupt")),
+        ("evict", c("store.evict")),
+        ("retry", c("store.retry")),
+    ])
 }
 
 fn metrics_json(m: &KernelLintMetrics) -> Json {

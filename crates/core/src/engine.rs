@@ -12,7 +12,9 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use store::TraceStore;
 
 use crate::error::StudyError;
 use crate::trace_cache::{CpuTraceCache, TraceCache};
@@ -29,6 +31,7 @@ pub struct StudySession {
     jobs: usize,
     cache: TraceCache,
     cpu_cache: CpuTraceCache,
+    store: Option<Arc<TraceStore>>,
 }
 
 impl Default for StudySession {
@@ -49,6 +52,7 @@ impl StudySession {
             jobs: jobs.max(1),
             cache: TraceCache::new(),
             cpu_cache: CpuTraceCache::new(),
+            store: None,
         }
     }
 
@@ -72,6 +76,22 @@ impl StudySession {
     /// The session's shared CPU memory-trace cache.
     pub fn cpu_cache(&self) -> &CpuTraceCache {
         &self.cpu_cache
+    }
+
+    /// Attaches a persistent [`TraceStore`] to this session: both trace
+    /// caches check it before capturing and persist fresh captures back
+    /// to it, and sweep drivers checkpoint their progress in its
+    /// journals. The store is strictly a durability layer — detaching
+    /// it (or damaging it) changes wall-clock time, never results.
+    pub fn attach_store(&mut self, store: Arc<TraceStore>) {
+        self.cache.set_store(Arc::clone(&store));
+        self.cpu_cache.set_store(Arc::clone(&store));
+        self.store = Some(store);
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&Arc<TraceStore>> {
+        self.store.as_ref()
     }
 
     /// Runs `f(0), f(1), ..., f(n-1)` across the worker pool and

@@ -108,6 +108,20 @@ impl From<TraceError> for StudyError {
     }
 }
 
+impl From<store::StoreError> for StudyError {
+    /// Store failures surface as I/O errors: by the time one reaches a
+    /// driver it has already exhausted the store's own retry and
+    /// degradation ladder.
+    fn from(e: store::StoreError) -> StudyError {
+        match e {
+            store::StoreError::Unavailable { dir, reason } => StudyError::Io { path: dir, reason },
+            store::StoreError::Io { path, reason } | store::StoreError::Journal { path, reason } => {
+                StudyError::Io { path, reason }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

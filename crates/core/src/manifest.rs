@@ -41,6 +41,17 @@ pub const MANIFEST_SCHEMA: &str = "rodinia-repro.manifest/v1";
 /// File name of the manifest inside the output directory.
 pub const MANIFEST_FILE: &str = "BENCH_manifest.json";
 
+/// Schema tag of the deterministic study manifest.
+pub const STUDY_SCHEMA: &str = "rodinia-repro.study/v1";
+
+/// File name of the deterministic study manifest.
+///
+/// Unlike [`MANIFEST_FILE`], this document holds *only* the rendered
+/// result tables — no wall-clock timings, no telemetry — so two runs of
+/// the same study are byte-identical, interrupted-and-resumed or not.
+/// The crash-recovery CI gate diffs it with `cmp`.
+pub const STUDY_MANIFEST_FILE: &str = "STUDY_manifest.json";
+
 /// Serializes a rendered [`Table`] (title, columns, row cells).
 pub fn table_to_json(t: &Table) -> Json {
     Json::obj(vec![
@@ -61,6 +72,84 @@ pub fn table_to_json(t: &Table) -> Json {
             ),
         ),
     ])
+}
+
+/// Rebuilds a [`Table`] from its [`table_to_json`] document.
+///
+/// Returns `None` on any shape mismatch — callers restoring journaled
+/// experiments treat a malformed record as "not done" and recompute,
+/// so there is nothing useful for an error to carry.
+pub fn table_from_json(j: &Json) -> Option<Table> {
+    let title = j.get("title")?.as_str()?;
+    let columns: Vec<&str> = j
+        .get("columns")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_str)
+        .collect::<Option<Vec<_>>>()?;
+    let mut t = Table::new(title, &columns);
+    for row in j.get("rows")?.as_arr()? {
+        let cells: Vec<String> = row
+            .as_arr()?
+            .iter()
+            .map(|c| c.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?;
+        t.push(cells).ok()?;
+    }
+    Some(t)
+}
+
+/// Renders `scale` as its lowercase manifest token.
+fn scale_str(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Builds the deterministic study manifest: schema, scale, and per
+/// experiment only its id and rendered tables. Everything in this
+/// document is a pure function of `(experiment set, scale)`, which is
+/// what makes the kill-and-resume byte-for-byte diff meaningful.
+pub fn study_manifest_json(scale: Scale, experiments: &[(String, Vec<Table>)]) -> Json {
+    Json::obj(vec![
+        ("schema", Json::from(STUDY_SCHEMA)),
+        ("scale", Json::from(scale_str(scale))),
+        (
+            "experiments",
+            Json::from(
+                experiments
+                    .iter()
+                    .map(|(id, tables)| {
+                        Json::obj(vec![
+                            ("id", Json::from(id.as_str())),
+                            (
+                                "tables",
+                                Json::from(tables.iter().map(table_to_json).collect::<Vec<_>>()),
+                            ),
+                        ])
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+}
+
+/// Atomically writes the deterministic study manifest to
+/// `dir/STUDY_manifest.json` and returns the path.
+///
+/// # Errors
+///
+/// [`StudyError::Io`] if the write fails.
+pub fn write_study_manifest(
+    dir: &Path,
+    scale: Scale,
+    experiments: &[(String, Vec<Table>)],
+) -> Result<PathBuf, StudyError> {
+    let doc = study_manifest_json(scale, experiments);
+    let path = store::write_atomic(dir, STUDY_MANIFEST_FILE, format!("{doc}\n").as_bytes())?;
+    Ok(path)
 }
 
 /// Accumulates one run's experiments into a manifest document.
@@ -119,14 +208,9 @@ impl ManifestBuilder {
             .filter(|r| r.kind == "kernel_stats")
             .map(|r| r.value)
             .collect();
-        let scale = match self.scale {
-            Scale::Tiny => "tiny",
-            Scale::Small => "small",
-            Scale::Paper => "paper",
-        };
         Json::obj(vec![
             ("schema", Json::from(MANIFEST_SCHEMA)),
-            ("scale", Json::from(scale)),
+            ("scale", Json::from(scale_str(self.scale))),
             ("experiments", Json::from(self.experiments)),
             ("kernel_stats", Json::from(kernel_stats)),
             ("dropped_kernel_stats", Json::u64(dropped)),
@@ -192,6 +276,40 @@ mod tests {
         assert_eq!(exps[0].get("wall_us").and_then(Json::as_f64), Some(42.0));
         // The document is parseable as written.
         assert!(Json::parse(&doc.to_string()).is_ok());
+    }
+
+    #[test]
+    fn table_rebuilds_from_its_json() {
+        let t = demo_table();
+        let back = table_from_json(&table_to_json(&t)).expect("round trip");
+        assert_eq!(back.to_string(), t.to_string());
+        assert!(table_from_json(&Json::u64(3)).is_none(), "non-table JSON is rejected");
+    }
+
+    #[test]
+    fn study_manifest_is_deterministic_and_table_only() {
+        let exps = vec![("Fig1".to_string(), vec![demo_table()])];
+        let a = study_manifest_json(Scale::Tiny, &exps).to_string();
+        let b = study_manifest_json(Scale::Tiny, &exps).to_string();
+        assert_eq!(a, b, "same inputs render the same bytes");
+        let doc = Json::parse(&a).expect("parses");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(STUDY_SCHEMA));
+        // The crash-recovery diff depends on nothing run-dependent
+        // leaking into this document.
+        assert!(!a.contains("wall_us"));
+        assert!(!a.contains("telemetry"));
+    }
+
+    #[test]
+    fn study_manifest_writes_atomically() {
+        let dir = std::env::temp_dir().join("rodinia-study-manifest-test");
+        let _ = fs::remove_dir_all(&dir);
+        let exps = vec![("Fig1".to_string(), vec![demo_table()])];
+        let path = write_study_manifest(&dir, Scale::Tiny, &exps).expect("write");
+        assert_eq!(path.file_name().and_then(|n| n.to_str()), Some(STUDY_MANIFEST_FILE));
+        let text = fs::read_to_string(&path).expect("read");
+        assert!(Json::parse(&text).is_ok());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

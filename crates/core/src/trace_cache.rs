@@ -29,6 +29,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use datasets::Scale;
 use rodinia_gpu::suite::GpuBenchmark;
 use simt::{Gpu, GpuConfig, KernelStats, KernelTrace};
+use store::TraceStore;
 use tracekit::{CpuCapture, CpuWorkload, ProfileConfig};
 
 use crate::error::StudyError;
@@ -70,6 +71,25 @@ pub struct TraceKey {
     pub variant: &'static str,
     /// Capture-relevant configuration parameters.
     pub fingerprint: CaptureFingerprint,
+}
+
+impl TraceKey {
+    /// The persistent-store key of this capture. Every field that
+    /// shapes the recorded trace is spelled into the key, so a store
+    /// hit is — by the entry's verified key echo — a capture of exactly
+    /// this workload under exactly this fingerprint.
+    pub fn store_key(&self) -> String {
+        let fp = &self.fingerprint;
+        format!(
+            "gpu/v1/{}/{:?}/{}/w{}b{}s{}",
+            self.benchmark,
+            self.scale,
+            if self.variant.is_empty() { "-" } else { self.variant },
+            fp.warp_size,
+            fp.shared_banks,
+            fp.segment_bytes,
+        )
+    }
 }
 
 /// Everything one capture pass produced: the per-launch traces in
@@ -153,12 +173,31 @@ type CacheSlot = Arc<OnceLock<Result<Arc<CapturedRun>, StudyError>>>;
 #[derive(Debug, Default)]
 pub struct TraceCache {
     map: Mutex<HashMap<TraceKey, CacheSlot>>,
+    store: Mutex<Option<Arc<TraceStore>>>,
 }
 
 impl TraceCache {
     /// Creates an empty cache.
     pub fn new() -> TraceCache {
         TraceCache::default()
+    }
+
+    /// Attaches a persistent [`TraceStore`]: subsequent captures check
+    /// the store first and persist fresh captures back to it. The store
+    /// is strictly a second-level cache — a damaged or unwritable store
+    /// only costs recaptures, never results.
+    pub fn set_store(&self, store: Arc<TraceStore>) {
+        *self
+            .store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(store);
+    }
+
+    fn store(&self) -> Option<Arc<TraceStore>> {
+        self.store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Number of cached (or in-flight) captures.
@@ -199,7 +238,9 @@ impl TraceCache {
     /// Captures an arbitrary workload closure under `cfg`, keyed by
     /// `(name, scale, variant)` plus `cfg`'s fingerprint. The closure
     /// runs at most once; it must drive every kernel launch through the
-    /// provided [`Gpu`].
+    /// provided [`Gpu`]. With a store attached, a verified persisted
+    /// capture short-circuits the closure entirely, and a fresh capture
+    /// is persisted for the next process.
     pub fn capture_fn(
         &self,
         name: &str,
@@ -214,20 +255,92 @@ impl TraceCache {
             variant,
             fingerprint: CaptureFingerprint::of(cfg),
         };
-        self.get_or_capture(key, || {
+        let store = self.store();
+        self.get_or_capture(key.clone(), || {
+            if let Some(store) = &store {
+                if let Some(restored) = load_persisted_gpu_run(store, &key, cfg) {
+                    return Ok(restored);
+                }
+            }
             let _span = obs::span!("trace_cache.capture.{name}");
             let mut gpu = Gpu::try_new(cfg.clone())?;
             gpu.set_trace_recording(true);
             let baseline = run(&mut gpu);
-            Ok(CapturedRun {
+            let captured = CapturedRun {
                 traces: gpu.take_recorded_traces(),
                 capture_cfg: cfg.clone(),
                 baseline,
                 h2d_bytes: gpu.mem().h2d_bytes(),
                 d2h_bytes: gpu.mem().d2h_bytes(),
-            })
+            };
+            if let Some(store) = &store {
+                store.save_or_warn(
+                    &key.store_key(),
+                    &simt::encode_capture_payload(
+                        &captured.traces,
+                        captured.h2d_bytes,
+                        captured.d2h_bytes,
+                    ),
+                );
+            }
+            Ok(captured)
         })
     }
+}
+
+/// Loads, decodes, and re-times a persisted GPU capture. Any failure
+/// past the store's own framing check — codec rejection, an empty
+/// launch list, a replay error — quarantines the entry exactly like
+/// bit rot and falls back to recapture: semantic staleness must never
+/// reach a results table.
+fn load_persisted_gpu_run(
+    store: &TraceStore,
+    key: &TraceKey,
+    cfg: &GpuConfig,
+) -> Option<CapturedRun> {
+    let skey = key.store_key();
+    let payload = store.load(&skey)?;
+    let (traces, h2d_bytes, d2h_bytes) = match simt::decode_capture_payload(&payload) {
+        Ok(parts) => parts,
+        Err(e) => {
+            store.quarantine(&skey, &format!("payload: {e}"));
+            return None;
+        }
+    };
+    if traces.is_empty() {
+        store.quarantine(&skey, "payload records no launches");
+        return None;
+    }
+    // The baseline is deliberately not serialized: replay ≡ direct run,
+    // so re-timing the decoded traces under the capture configuration
+    // reproduces it exactly — and doubles as an end-to-end validity
+    // check on the decoded ops.
+    let mut baseline: Option<KernelStats> = None;
+    for trace in &traces {
+        match simt::try_time_trace(trace, cfg) {
+            Ok(s) => {
+                baseline = Some(match baseline {
+                    None => s,
+                    Some(mut a) => {
+                        a.merge(&s);
+                        a
+                    }
+                });
+            }
+            Err(e) => {
+                store.quarantine(&skey, &format!("replay: {e}"));
+                return None;
+            }
+        }
+    }
+    obs::Registry::global().incr("store.gpu_restored");
+    Some(CapturedRun {
+        traces,
+        capture_cfg: cfg.clone(),
+        baseline: baseline.expect("non-empty trace list produced a baseline"),
+        h2d_bytes,
+        d2h_bytes,
+    })
 }
 
 /// The subset of a [`ProfileConfig`] that influences a CPU capture's
@@ -273,6 +386,18 @@ pub struct CpuTraceKey {
     pub fingerprint: CpuCaptureFingerprint,
 }
 
+impl CpuTraceKey {
+    /// The persistent-store key of this capture (see
+    /// [`TraceKey::store_key`] for the contract).
+    pub fn store_key(&self) -> String {
+        let fp = &self.fingerprint;
+        format!(
+            "cpu/v1/{}/{:?}/t{}l{}q{}w{}",
+            self.workload, self.scale, fp.threads, fp.line, fp.quantum, fp.ways,
+        )
+    }
+}
+
 type CpuSlot = Arc<OnceLock<Result<Arc<CpuCapture>, StudyError>>>;
 
 /// A thread-safe, exactly-once cache of CPU memory-trace captures,
@@ -282,12 +407,29 @@ type CpuSlot = Arc<OnceLock<Result<Arc<CpuCapture>, StudyError>>>;
 #[derive(Debug, Default)]
 pub struct CpuTraceCache {
     map: Mutex<HashMap<CpuTraceKey, CpuSlot>>,
+    store: Mutex<Option<Arc<TraceStore>>>,
 }
 
 impl CpuTraceCache {
     /// Creates an empty cache.
     pub fn new() -> CpuTraceCache {
         CpuTraceCache::default()
+    }
+
+    /// Attaches a persistent [`TraceStore`] (see
+    /// [`TraceCache::set_store`]).
+    pub fn set_store(&self, store: Arc<TraceStore>) {
+        *self
+            .store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(store);
+    }
+
+    fn store(&self) -> Option<Arc<TraceStore>> {
+        self.store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Number of cached (or in-flight) captures.
@@ -315,7 +457,9 @@ impl CpuTraceCache {
     }
 
     /// Captures `workload` under `cfg` (once per `(label, scale,
-    /// fingerprint)`).
+    /// fingerprint)`). With a store attached, a verified persisted
+    /// capture short-circuits the run, and a fresh capture is persisted
+    /// for the next process.
     pub fn capture_workload(
         &self,
         label: &str,
@@ -328,10 +472,45 @@ impl CpuTraceCache {
             scale,
             fingerprint: CpuCaptureFingerprint::of(cfg),
         };
-        self.get_or_capture(key, || {
-            CpuCapture::capture(workload, cfg).map_err(StudyError::from)
+        let store = self.store();
+        self.get_or_capture(key.clone(), || {
+            if let Some(store) = &store {
+                if let Some(restored) = load_persisted_cpu_capture(store, &key) {
+                    return Ok(restored);
+                }
+            }
+            let cap = CpuCapture::capture(workload, cfg)?;
+            if let Some(store) = &store {
+                store.save_or_warn(&key.store_key(), &tracekit::encode_capture(&cap));
+            }
+            Ok(cap)
         })
     }
+}
+
+/// Loads and decodes a persisted CPU capture. Codec rejections and
+/// replay-geometry drift quarantine the entry and fall back to
+/// recapture, mirroring [`load_persisted_gpu_run`].
+fn load_persisted_cpu_capture(store: &TraceStore, key: &CpuTraceKey) -> Option<CpuCapture> {
+    let skey = key.store_key();
+    let payload = store.load(&skey)?;
+    let cap = match tracekit::decode_capture(&payload) {
+        Ok(cap) => cap,
+        Err(e) => {
+            store.quarantine(&skey, &format!("payload: {e}"));
+            return None;
+        }
+    };
+    // The key already spells the fingerprint, but the decoded geometry
+    // is re-checked so a semantically stale payload behind a valid
+    // frame still degrades to recapture instead of a wrong replay.
+    let fp = &key.fingerprint;
+    if cap.ways() != fp.ways || cap.line() != fp.line {
+        store.quarantine(&skey, "replay geometry differs from the requested fingerprint");
+        return None;
+    }
+    obs::Registry::global().incr("store.cpu_restored");
+    Some(cap)
 }
 
 #[cfg(test)]

@@ -68,6 +68,13 @@ impl Registry {
         *g.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
+    /// Increments counter `name` by one — shorthand for event-shaped
+    /// counters (store hits/misses, quarantines) where the delta is
+    /// always 1.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
     /// Sets gauge `name` to `value` (last write wins).
     pub fn set_gauge(&self, name: &str, value: f64) {
         let mut g = self.lock();

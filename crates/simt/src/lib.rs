@@ -73,6 +73,7 @@ pub mod isa;
 pub mod kernel;
 pub mod memory;
 pub mod sanitizer;
+pub mod serdes;
 pub mod sm;
 pub mod stats;
 pub mod trace;
@@ -88,6 +89,9 @@ pub use kernel::{GridShape, Kernel, PhaseControl, WarpCtx};
 pub use memory::{BufF32, BufU32, GpuMem};
 pub use sanitizer::{
     AccessKind, AllocInfo, BarrierRecord, LaunchTape, MemAccess, TapeBuf, TapeEvent,
+};
+pub use serdes::{
+    decode_capture_payload, encode_capture_payload, CodecError, TRACE_CODEC_VERSION,
 };
 pub use stats::{KernelStats, MemMix, OccupancyHistogram, StallBreakdown, Timeline, TimelineSample};
 pub use trace::{try_trace_kernel, KernelTrace, trace_kernel};

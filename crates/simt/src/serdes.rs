@@ -1,0 +1,494 @@
+//! Byte codec for captured kernel traces — the payload format of the
+//! persistent trace store.
+//!
+//! Encodes a capture's launch-ordered [`KernelTrace`] list (plus the
+//! host↔device byte counts of the functional run, which cannot be
+//! recomputed without re-executing) into a flat, versioned,
+//! little-endian byte stream. The codec is *defensive on decode*: every
+//! read is bounds-checked and every enum tag validated, so a payload
+//! that passed the store's checksum but was written by a buggy or
+//! skewed producer turns into a typed [`CodecError`] (which the study
+//! layer treats as quarantine-and-recapture), never a panic or a
+//! mis-shaped trace.
+//!
+//! Timing replay of a decoded trace is byte-identical to replaying the
+//! original: the codec preserves every field the timing model reads
+//! (op streams per warp per CTA in order, launch geometry, occupancy
+//! inputs, warp size).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::isa::{MemSpace, TOp};
+use crate::trace::{CtaTrace, KernelTrace, WarpTrace};
+
+/// Version of this codec; bump on any layout change. The store's
+/// entry framing already partitions by its own format version, but the
+/// payload carries its own tag so producer/consumer skew inside one
+/// store version is also detected.
+pub const TRACE_CODEC_VERSION: u32 = 1;
+
+/// A malformed trace payload (truncated, bad tag, version skew).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// What was expected there.
+    pub what: &'static str,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed trace payload at byte {}: {}", self.offset, self.what)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encodes a capture — launch-ordered traces plus the functional run's
+/// host↔device traffic — into one payload.
+pub fn encode_capture_payload(traces: &[Arc<KernelTrace>], h2d_bytes: u64, d2h_bytes: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, TRACE_CODEC_VERSION);
+    put_u64(&mut out, h2d_bytes);
+    put_u64(&mut out, d2h_bytes);
+    put_u32(&mut out, traces.len() as u32);
+    for t in traces {
+        encode_trace(t, &mut out);
+    }
+    out
+}
+
+/// Decodes a payload produced by [`encode_capture_payload`], returning
+/// `(traces, h2d_bytes, d2h_bytes)`.
+///
+/// # Errors
+///
+/// A [`CodecError`] on any structural problem; no partially decoded
+/// trace is ever returned.
+pub fn decode_capture_payload(bytes: &[u8]) -> Result<(Vec<Arc<KernelTrace>>, u64, u64), CodecError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let version = r.u32("codec version")?;
+    if version != TRACE_CODEC_VERSION {
+        return Err(CodecError {
+            offset: 0,
+            what: "unsupported trace codec version",
+        });
+    }
+    let h2d = r.u64("h2d bytes")?;
+    let d2h = r.u64("d2h bytes")?;
+    let n = r.u32("trace count")? as usize;
+    let mut traces = Vec::with_capacity(n.min(r.remaining()));
+    for _ in 0..n {
+        traces.push(Arc::new(decode_trace(&mut r)?));
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError {
+            offset: r.pos,
+            what: "trailing bytes after last trace",
+        });
+    }
+    Ok((traces, h2d, d2h))
+}
+
+fn encode_trace(t: &KernelTrace, out: &mut Vec<u8>) {
+    put_str(out, &t.name);
+    put_u64(out, t.threads_per_block as u64);
+    put_u32(out, t.regs_per_thread);
+    put_u32(out, t.shared_bytes_per_cta);
+    put_u32(out, t.warp_size as u32);
+    put_u32(out, t.ctas.len() as u32);
+    for cta in &t.ctas {
+        put_u32(out, cta.warps.len() as u32);
+        for warp in &cta.warps {
+            put_u32(out, warp.ops.len() as u32);
+            for op in &warp.ops {
+                encode_op(op, out);
+            }
+        }
+    }
+}
+
+fn decode_trace(r: &mut Reader<'_>) -> Result<KernelTrace, CodecError> {
+    let name = r.str("kernel name")?;
+    let threads_per_block = r.u64("threads per block")? as usize;
+    let regs_per_thread = r.u32("regs per thread")?;
+    let shared_bytes_per_cta = r.u32("shared bytes per cta")?;
+    let warp_size = r.u32("warp size")? as usize;
+    let n_ctas = r.u32("cta count")? as usize;
+    let mut ctas = Vec::with_capacity(n_ctas.min(r.remaining()));
+    for _ in 0..n_ctas {
+        let n_warps = r.u32("warp count")? as usize;
+        let mut warps = Vec::with_capacity(n_warps.min(r.remaining()));
+        for _ in 0..n_warps {
+            let n_ops = r.u32("op count")? as usize;
+            let mut ops = Vec::with_capacity(n_ops.min(r.remaining()));
+            for _ in 0..n_ops {
+                ops.push(decode_op(r)?);
+            }
+            warps.push(WarpTrace { ops });
+        }
+        ctas.push(CtaTrace { warps });
+    }
+    Ok(KernelTrace {
+        name,
+        ctas,
+        threads_per_block,
+        regs_per_thread,
+        shared_bytes_per_cta,
+        warp_size,
+    })
+}
+
+// Op tags. Every TOp variant has exactly one.
+const TAG_ALU: u8 = 0;
+const TAG_SFU: u8 = 1;
+const TAG_SHARED: u8 = 2;
+const TAG_GMEM: u8 = 3;
+const TAG_TEX: u8 = 4;
+const TAG_CONST: u8 = 5;
+const TAG_PARAM: u8 = 6;
+const TAG_BRANCH: u8 = 7;
+const TAG_BAR: u8 = 8;
+
+fn encode_op(op: &TOp, out: &mut Vec<u8>) {
+    match op {
+        TOp::Alu { n, lanes } => {
+            out.push(TAG_ALU);
+            put_u32(out, *n);
+            out.push(*lanes);
+        }
+        TOp::Sfu { n, lanes } => {
+            out.push(TAG_SFU);
+            put_u32(out, *n);
+            out.push(*lanes);
+        }
+        TOp::Shared { degree, lanes, store } => {
+            out.push(TAG_SHARED);
+            out.push(*degree);
+            out.push(*lanes);
+            out.push(u8::from(*store));
+        }
+        TOp::Gmem { space, store, lanes, segs } => {
+            out.push(TAG_GMEM);
+            out.push(u8::from(*space == MemSpace::Local));
+            out.push(u8::from(*store));
+            out.push(*lanes);
+            put_u32(out, segs.len() as u32);
+            for &s in segs {
+                put_u64(out, s);
+            }
+        }
+        TOp::Tex { lanes, segs } => {
+            out.push(TAG_TEX);
+            out.push(*lanes);
+            put_u32(out, segs.len() as u32);
+            for &s in segs {
+                put_u64(out, s);
+            }
+        }
+        TOp::Const { lanes, unique } => {
+            out.push(TAG_CONST);
+            out.push(*lanes);
+            out.push(*unique);
+        }
+        TOp::Param { n, lanes } => {
+            out.push(TAG_PARAM);
+            put_u32(out, *n);
+            out.push(*lanes);
+        }
+        TOp::Branch { lanes } => {
+            out.push(TAG_BRANCH);
+            out.push(*lanes);
+        }
+        TOp::Bar => out.push(TAG_BAR),
+    }
+}
+
+fn decode_op(r: &mut Reader<'_>) -> Result<TOp, CodecError> {
+    let tag = r.u8("op tag")?;
+    Ok(match tag {
+        TAG_ALU => TOp::Alu {
+            n: r.u32("alu n")?,
+            lanes: r.u8("alu lanes")?,
+        },
+        TAG_SFU => TOp::Sfu {
+            n: r.u32("sfu n")?,
+            lanes: r.u8("sfu lanes")?,
+        },
+        TAG_SHARED => TOp::Shared {
+            degree: r.u8("shared degree")?,
+            lanes: r.u8("shared lanes")?,
+            store: r.bool("shared store flag")?,
+        },
+        TAG_GMEM => {
+            let local = r.bool("gmem space flag")?;
+            let store = r.bool("gmem store flag")?;
+            let lanes = r.u8("gmem lanes")?;
+            let segs = r.segs("gmem segments")?;
+            TOp::Gmem {
+                space: if local { MemSpace::Local } else { MemSpace::Global },
+                store,
+                lanes,
+                segs,
+            }
+        }
+        TAG_TEX => TOp::Tex {
+            lanes: r.u8("tex lanes")?,
+            segs: r.segs("tex segments")?,
+        },
+        TAG_CONST => TOp::Const {
+            lanes: r.u8("const lanes")?,
+            unique: r.u8("const unique")?,
+        },
+        TAG_PARAM => TOp::Param {
+            n: r.u32("param n")?,
+            lanes: r.u8("param lanes")?,
+        },
+        TAG_BRANCH => TOp::Branch {
+            lanes: r.u8("branch lanes")?,
+        },
+        TAG_BAR => TOp::Bar,
+        _ => {
+            return Err(CodecError {
+                offset: r.pos - 1,
+                what: "unknown op tag",
+            })
+        }
+    })
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked little-endian cursor.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError {
+                offset: self.pos,
+                what,
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn bool(&mut self, what: &'static str) -> Result<bool, CodecError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError {
+                offset: self.pos - 1,
+                what,
+            }),
+        }
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<String, CodecError> {
+        let len = self.u32(what)? as usize;
+        let offset = self.pos;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError {
+            offset,
+            what: "invalid UTF-8 string",
+        })
+    }
+
+    fn segs(&mut self, what: &'static str) -> Result<Box<[u64]>, CodecError> {
+        let n = self.u32(what)? as usize;
+        let mut segs = Vec::with_capacity(n.min(self.remaining()));
+        for _ in 0..n {
+            segs.push(self.u64(what)?);
+        }
+        Ok(segs.into_boxed_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One warp exercising every op variant.
+    fn kitchen_sink_trace() -> KernelTrace {
+        let ops = vec![
+            TOp::Alu { n: 3, lanes: 32 },
+            TOp::Sfu { n: 1, lanes: 16 },
+            TOp::Shared { degree: 4, lanes: 32, store: true },
+            TOp::Gmem {
+                space: MemSpace::Global,
+                store: false,
+                lanes: 32,
+                segs: vec![0, 64, 128].into_boxed_slice(),
+            },
+            TOp::Gmem {
+                space: MemSpace::Local,
+                store: true,
+                lanes: 8,
+                segs: vec![1 << 40].into_boxed_slice(),
+            },
+            TOp::Tex { lanes: 32, segs: vec![4096].into_boxed_slice() },
+            TOp::Const { lanes: 32, unique: 2 },
+            TOp::Param { n: 2, lanes: 32 },
+            TOp::Branch { lanes: 32 },
+            TOp::Bar,
+        ];
+        KernelTrace {
+            name: "kitchen-sink".to_string(),
+            ctas: vec![
+                CtaTrace { warps: vec![WarpTrace { ops: ops.clone() }, WarpTrace { ops: vec![] }] },
+                CtaTrace { warps: vec![WarpTrace { ops }] },
+            ],
+            threads_per_block: 96,
+            regs_per_thread: 21,
+            shared_bytes_per_cta: 2048,
+            warp_size: 32,
+        }
+    }
+
+    #[test]
+    fn every_op_variant_round_trips() {
+        let t = Arc::new(kitchen_sink_trace());
+        let bytes = encode_capture_payload(&[Arc::clone(&t), Arc::clone(&t)], 1234, 99);
+        let (back, h2d, d2h) = decode_capture_payload(&bytes).expect("decode");
+        assert_eq!((h2d, d2h), (1234, 99));
+        assert_eq!(back.len(), 2);
+        for b in &back {
+            assert_eq!(b.name, t.name);
+            assert_eq!(b.ctas.len(), t.ctas.len());
+            for (bc, tc) in b.ctas.iter().zip(&t.ctas) {
+                assert_eq!(bc.warps.len(), tc.warps.len());
+                for (bw, tw) in bc.warps.iter().zip(&tc.warps) {
+                    assert_eq!(bw.ops, tw.ops);
+                }
+            }
+            assert_eq!(b.threads_per_block, t.threads_per_block);
+            assert_eq!(b.regs_per_thread, t.regs_per_thread);
+            assert_eq!(b.shared_bytes_per_cta, t.shared_bytes_per_cta);
+            assert_eq!(b.warp_size, t.warp_size);
+        }
+    }
+
+    #[test]
+    fn empty_capture_round_trips() {
+        let bytes = encode_capture_payload(&[], 0, 0);
+        let (traces, h2d, d2h) = decode_capture_payload(&bytes).expect("decode");
+        assert!(traces.is_empty());
+        assert_eq!((h2d, d2h), (0, 0));
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_a_typed_error() {
+        let t = Arc::new(kitchen_sink_trace());
+        let bytes = encode_capture_payload(&[t], 7, 7);
+        for cut in 0..bytes.len() {
+            let r = decode_capture_payload(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let t = Arc::new(kitchen_sink_trace());
+        let mut bytes = encode_capture_payload(&[t], 0, 0);
+        bytes.push(0);
+        assert!(decode_capture_payload(&bytes).is_err());
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut bytes = encode_capture_payload(&[], 0, 0);
+        bytes[0] = TRACE_CODEC_VERSION as u8 + 1;
+        let err = decode_capture_payload(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn unknown_op_tag_is_rejected() {
+        let t = Arc::new(KernelTrace {
+            name: "t".to_string(),
+            ctas: vec![CtaTrace { warps: vec![WarpTrace { ops: vec![TOp::Bar] }] }],
+            threads_per_block: 32,
+            regs_per_thread: 1,
+            shared_bytes_per_cta: 0,
+            warp_size: 32,
+        });
+        let mut bytes = encode_capture_payload(&[t], 0, 0);
+        let last = bytes.len() - 1;
+        bytes[last] = 0xEE; // the Bar tag is the final byte
+        let err = decode_capture_payload(&bytes).unwrap_err();
+        assert!(err.to_string().contains("op tag"), "{err}");
+    }
+
+    #[test]
+    fn decoded_trace_times_identically() {
+        use crate::config::GpuConfig;
+        // A real captured trace: run a tiny kernel through the
+        // functional path, round-trip it, and compare replay stats.
+        use crate::kernel::{GridShape, Kernel, PhaseControl, WarpCtx};
+        use crate::memory::GpuMem;
+
+        struct Saxpy {
+            buf: crate::memory::BufF32,
+            n: usize,
+        }
+        impl Kernel for Saxpy {
+            fn name(&self) -> &str {
+                "saxpy"
+            }
+            fn shape(&self) -> GridShape {
+                GridShape::cover(self.n, 64)
+            }
+            fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+                let (buf, n) = (self.buf, self.n);
+                let x = w.ld_f32(buf, |_, tid| (tid < n).then_some(tid));
+                w.alu(2);
+                w.st_f32(buf, |lane, tid| (tid < n).then_some((tid, x[lane] * 2.0 + 1.0)));
+                PhaseControl::Done
+            }
+        }
+
+        let cfg = GpuConfig::gpgpusim_default();
+        let mut mem = GpuMem::new();
+        let buf = mem.alloc_f32_zeroed("buf", 256);
+        let trace = Arc::new(crate::trace::trace_kernel(&Saxpy { buf, n: 256 }, &mut mem, &cfg));
+        let bytes = encode_capture_payload(std::slice::from_ref(&trace), 1024, 1024);
+        let (back, _, _) = decode_capture_payload(&bytes).expect("decode");
+        let a = crate::gpu::try_time_trace(&trace, &cfg).expect("time original");
+        let b = crate::gpu::try_time_trace(&back[0], &cfg).expect("time decoded");
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.thread_instructions, b.thread_instructions);
+    }
+}

@@ -1,0 +1,80 @@
+//! The store's typed error.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong talking to the on-disk store.
+///
+/// Holds rendered `std::io::Error` messages rather than the errors
+/// themselves so the type stays `Clone + PartialEq` (matching the
+/// workspace's other error enums, which tests compare structurally).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The store directory cannot be used at all (not creatable, not
+    /// writable, ENOSPC on the probe). Callers downgrade to in-memory
+    /// caching on this error.
+    Unavailable {
+        /// The store directory.
+        dir: String,
+        /// Rendered I/O error.
+        reason: String,
+    },
+    /// An I/O operation on one entry or journal failed after retries.
+    Io {
+        /// Path of the file involved.
+        path: String,
+        /// Rendered I/O error.
+        reason: String,
+    },
+    /// A journal line or record did not have the expected shape.
+    Journal {
+        /// Path of the journal.
+        path: String,
+        /// What was malformed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Unavailable { dir, reason } => {
+                write!(f, "trace store at {dir} unavailable: {reason}")
+            }
+            StoreError::Io { path, reason } => write!(f, "store I/O on {path}: {reason}"),
+            StoreError::Journal { path, reason } => {
+                write!(f, "journal {path}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+impl StoreError {
+    /// Wraps an I/O error on `path`.
+    pub fn io(path: &std::path::Path, e: &std::io::Error) -> StoreError {
+        StoreError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn display_names_the_path() {
+        let e = StoreError::io(Path::new("/x/y.trace"), &std::io::Error::other("boom"));
+        assert!(e.to_string().contains("/x/y.trace"));
+        assert!(e.to_string().contains("boom"));
+        let u = StoreError::Unavailable {
+            dir: "/ro".to_string(),
+            reason: "read-only file system".to_string(),
+        };
+        assert!(u.to_string().contains("unavailable"));
+    }
+}

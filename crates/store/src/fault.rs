@@ -1,0 +1,128 @@
+//! Injectable store faults — the persistence-layer extension of the
+//! `simt::fault` harness.
+//!
+//! Each [`StoreFault`] damages one on-disk entry (or arms the
+//! transient-error hook) the way a real storage failure would. The
+//! contract under test, exhaustively, is the robustness tentpole:
+//! **every** class must end in detect → quarantine → recapture with
+//! correct tables — never a panic, never a wrong result. See
+//! `tests/fault_classes.rs` here for the store-level half and
+//! `crates/core/tests/store_recovery.rs` for the full
+//! study-table-level proof.
+
+use std::fs;
+
+use crate::entry::{decode_entry, encode_entry};
+use crate::error::StoreError;
+use crate::store::TraceStore;
+
+/// The injectable store fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// A write that stopped partway: the entry keeps its header but
+    /// loses the back half of its payload (as after a crash on a
+    /// filesystem that exposed an in-progress write).
+    TornWrite,
+    /// A single flipped bit in the payload (media bit rot).
+    BitFlip,
+    /// An entry cut down to a few header bytes.
+    TruncatedEntry,
+    /// A well-formed, correctly checksummed entry... for a *different*
+    /// key: only the fingerprint echo can catch it.
+    StaleFingerprint,
+    /// `EINTR`-style transient I/O errors on the next operations —
+    /// more of them than the retry budget absorbs, so the load
+    /// degrades to a miss.
+    TransientIo,
+}
+
+impl StoreFault {
+    /// Every fault class, for exhaustive iteration in tests.
+    pub const ALL: [StoreFault; 5] = [
+        StoreFault::TornWrite,
+        StoreFault::BitFlip,
+        StoreFault::TruncatedEntry,
+        StoreFault::StaleFingerprint,
+        StoreFault::TransientIo,
+    ];
+}
+
+/// Injects `fault` against `key`'s entry in `store`.
+///
+/// All filesystem-shaped faults require the entry to exist (inject
+/// after a save); `TransientIo` only arms the store's failure hook.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] if the entry cannot be read or rewritten — that
+/// is a test-harness failure, not a simulated fault.
+pub fn inject(store: &TraceStore, key: &str, fault: StoreFault) -> Result<(), StoreError> {
+    let path = store.entry_path(key);
+    let damage = |bytes: Vec<u8>| -> Result<(), StoreError> {
+        fs::write(&path, bytes).map_err(|e| StoreError::io(&path, &e))
+    };
+    match fault {
+        StoreFault::TornWrite => {
+            let mut bytes = fs::read(&path).map_err(|e| StoreError::io(&path, &e))?;
+            bytes.truncate(bytes.len() - bytes.len() / 3);
+            damage(bytes)
+        }
+        StoreFault::BitFlip => {
+            let mut bytes = fs::read(&path).map_err(|e| StoreError::io(&path, &e))?;
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x10;
+            damage(bytes)
+        }
+        StoreFault::TruncatedEntry => {
+            let mut bytes = fs::read(&path).map_err(|e| StoreError::io(&path, &e))?;
+            bytes.truncate(bytes.len().min(10));
+            damage(bytes)
+        }
+        StoreFault::StaleFingerprint => {
+            let bytes = fs::read(&path).map_err(|e| StoreError::io(&path, &e))?;
+            let payload = decode_entry(key, &bytes).map_err(|c| StoreError::Io {
+                path: path.display().to_string(),
+                reason: format!("cannot build stale entry from damaged input: {c}"),
+            })?;
+            let stale = encode_entry(&format!("{key}#stale"), payload);
+            damage(stale)
+        }
+        StoreFault::TransientIo => {
+            // More than the retry budget: the bounded backoff must give
+            // up and degrade to recapture rather than spin.
+            store.inject_transient_failures(8);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn store(name: &str) -> (TraceStore, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("rodinia-fault-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        (TraceStore::open(&dir).expect("open"), dir)
+    }
+
+    #[test]
+    fn injection_requires_an_entry() {
+        let (s, dir) = store("missing");
+        assert!(inject(&s, "absent", StoreFault::BitFlip).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_fingerprint_entry_still_verifies_as_an_entry() {
+        let (s, dir) = store("stale");
+        s.save("k", b"payload").expect("save");
+        inject(&s, "k", StoreFault::StaleFingerprint).expect("inject");
+        // The framing is intact — only the key echo differs.
+        let bytes = fs::read(s.entry_path("k")).expect("read");
+        assert!(decode_entry("k#stale", &bytes).is_ok());
+        assert!(decode_entry("k", &bytes).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -71,6 +71,7 @@ pub mod error;
 pub mod footprint;
 pub mod mix;
 pub mod profile;
+pub mod serdes;
 pub mod trace;
 pub mod tracer;
 
@@ -79,5 +80,6 @@ pub use error::TraceError;
 pub use footprint::Footprints;
 pub use mix::{InstrMix, MixClass};
 pub use profile::{profile, CpuWorkload, Profile, ProfileConfig, Profiler, MAX_THREADS};
+pub use serdes::{decode_capture, encode_capture, CpuCodecError, CPU_CODEC_VERSION};
 pub use trace::{profile_via_replay, CpuCapture};
 pub use tracer::{Ev, ThreadTracer};

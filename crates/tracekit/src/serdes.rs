@@ -1,0 +1,298 @@
+//! Binary codec for [`CpuCapture`] — the persistent-store payload
+//! format for CPU traces.
+//!
+//! The payload is everything [`CpuCapture::from_parts`] needs: the
+//! capacity-independent base [`Profile`] (name, instruction mix,
+//! footprints, event count — `cache_stats` is empty by construction in
+//! capture mode and is not serialized), the replay geometry (ways,
+//! line), and the packed reference words. A capture decoded from a
+//! faithfully stored payload replays byte-identically to the original;
+//! `tests` below prove it against a real workload.
+//!
+//! Layout (all integers little-endian, fixed width):
+//!
+//! ```text
+//! u32  codec version (CPU_CODEC_VERSION)
+//! u32  name length + that many UTF-8 bytes
+//! u64  mix.alu, mix.branches, mix.reads, mix.writes
+//! u64  instr_blocks, data_blocks, events
+//! u64  ways, line
+//! u64  word count + that many u64 packed words
+//! ```
+//!
+//! Decoding is fully bounds-checked and rejects version skew, invalid
+//! UTF-8, and trailing bytes; it never panics on malformed input. The
+//! codec carries *no* checksum — integrity is the store framing layer's
+//! job (`store::encode_entry`); this layer only has to fail cleanly on
+//! anything that slips through.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::mix::InstrMix;
+use crate::profile::Profile;
+use crate::trace::CpuCapture;
+
+/// Current CPU-trace codec version. Bump on any layout change; stored
+/// payloads from other versions are rejected by
+/// [`decode_capture`] and the store recaptures.
+pub const CPU_CODEC_VERSION: u32 = 1;
+
+/// A malformed CPU-capture payload: what failed, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuCodecError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// What the decoder was reading when it failed.
+    pub what: &'static str,
+}
+
+impl fmt::Display for CpuCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu trace payload: bad {} at byte {}", self.what, self.offset)
+    }
+}
+
+impl Error for CpuCodecError {}
+
+/// Serializes a capture into a store payload.
+pub fn encode_capture(cap: &CpuCapture) -> Vec<u8> {
+    let base = cap.base();
+    let words = cap.packed_words();
+    let mut out = Vec::with_capacity(64 + base.name.len() + words.len() * 8);
+    out.extend_from_slice(&CPU_CODEC_VERSION.to_le_bytes());
+    out.extend_from_slice(&(base.name.len() as u32).to_le_bytes());
+    out.extend_from_slice(base.name.as_bytes());
+    for n in [
+        base.mix.alu,
+        base.mix.branches,
+        base.mix.reads,
+        base.mix.writes,
+        base.instr_blocks as u64,
+        base.data_blocks as u64,
+        base.events,
+        cap.ways() as u64,
+        cap.line(),
+        words.len() as u64,
+    ] {
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+    for &w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes a payload back into a capture.
+///
+/// # Errors
+///
+/// A [`CpuCodecError`] on version skew, truncation, invalid UTF-8, or
+/// trailing bytes. Never panics on malformed input.
+pub fn decode_capture(bytes: &[u8]) -> Result<CpuCapture, CpuCodecError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let version = r.u32("codec version")?;
+    if version != CPU_CODEC_VERSION {
+        return Err(CpuCodecError {
+            offset: 0,
+            what: "codec version",
+        });
+    }
+    let name = r.str("workload name")?;
+    let mix = InstrMix {
+        alu: r.u64("mix.alu")?,
+        branches: r.u64("mix.branches")?,
+        reads: r.u64("mix.reads")?,
+        writes: r.u64("mix.writes")?,
+    };
+    let instr_blocks = r.usize("instr_blocks")?;
+    let data_blocks = r.usize("data_blocks")?;
+    let events = r.u64("events")?;
+    let ways = r.usize("ways")?;
+    let line = r.u64("line")?;
+    let count = r.usize("word count")?;
+    // Clamp pre-allocation by what the buffer can actually hold so a
+    // corrupt count cannot force a huge allocation before the bounds
+    // check trips.
+    let mut words = Vec::with_capacity(count.min(r.remaining() / 8));
+    for _ in 0..count {
+        words.push(r.u64("packed word")?);
+    }
+    if r.remaining() != 0 {
+        return Err(CpuCodecError {
+            offset: r.pos,
+            what: "trailing bytes",
+        });
+    }
+    let base = Profile {
+        name,
+        mix,
+        cache_stats: Vec::new(),
+        instr_blocks,
+        data_blocks,
+        events,
+    };
+    Ok(CpuCapture::from_parts(base, words, ways, line))
+}
+
+/// Bounds-checked little-endian cursor.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CpuCodecError> {
+        if self.remaining() < n {
+            return Err(CpuCodecError {
+                offset: self.pos,
+                what,
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, CpuCodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, CpuCodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn usize(&mut self, what: &'static str) -> Result<usize, CpuCodecError> {
+        let offset = self.pos;
+        usize::try_from(self.u64(what)?).map_err(|_| CpuCodecError { offset, what })
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<String, CpuCodecError> {
+        let offset = self.pos;
+        let len = self.u32(what)? as usize;
+        let raw = self.take(len, what)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| CpuCodecError { offset, what })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{CpuWorkload, ProfileConfig, Profiler};
+    use crate::tracer::ThreadTracer;
+
+    /// A workload exercising reads, writes, straddles, and branches so
+    /// the packed stream is non-trivial.
+    struct Blend;
+
+    impl CpuWorkload for Blend {
+        fn name(&self) -> &'static str {
+            "blend"
+        }
+        fn run(&self, prof: &mut Profiler) {
+            let data = prof.alloc("data", 64 * 256);
+            let code = prof.code_region("blend_loop", 320);
+            prof.serial(|t: &mut ThreadTracer| {
+                t.exec(code);
+                t.write(data + 62, 8); // straddle
+            });
+            prof.parallel(|t| {
+                t.exec(code);
+                for i in 0..32u64 {
+                    t.read(data + (t.tid() as u64 * 32 + i) * 64, 4);
+                    t.update(data + i * 8, 8, 1);
+                    t.branch(1);
+                }
+            });
+        }
+    }
+
+    fn cfg() -> ProfileConfig {
+        ProfileConfig {
+            threads: 4,
+            cache_sizes: vec![1024, 16 * 1024],
+            quantum: 5,
+            ..ProfileConfig::default()
+        }
+    }
+
+    #[test]
+    fn round_trip_replays_identically() {
+        let cap = CpuCapture::capture(&Blend, &cfg()).expect("capture");
+        let bytes = encode_capture(&cap);
+        let back = decode_capture(&bytes).expect("decode");
+        assert_eq!(back.base(), cap.base());
+        assert_eq!(back.packed_words(), cap.packed_words());
+        assert_eq!(back.ways(), cap.ways());
+        assert_eq!(back.line(), cap.line());
+        for &size in &cfg().cache_sizes {
+            assert_eq!(
+                back.replay(size).expect("replay decoded"),
+                cap.replay(size).expect("replay original"),
+                "replay at {size} bytes must match"
+            );
+        }
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let cap = CpuCapture::capture(&Blend, &cfg()).expect("capture");
+        let mut bytes = encode_capture(&cap);
+        bytes[0] = 99;
+        assert_eq!(
+            decode_capture(&bytes).unwrap_err(),
+            CpuCodecError {
+                offset: 0,
+                what: "codec version"
+            }
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_rejected() {
+        let cap = CpuCapture::capture(&Blend, &cfg()).expect("capture");
+        let bytes = encode_capture(&cap);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_capture(&bytes[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let cap = CpuCapture::capture(&Blend, &cfg()).expect("capture");
+        let mut bytes = encode_capture(&cap);
+        bytes.push(0);
+        let err = decode_capture(&bytes).unwrap_err();
+        assert_eq!(err.what, "trailing bytes");
+    }
+
+    #[test]
+    fn invalid_utf8_name_is_rejected() {
+        let cap = CpuCapture::capture(&Blend, &cfg()).expect("capture");
+        let mut bytes = encode_capture(&cap);
+        bytes[8] = 0xff; // first name byte ("blend" starts at offset 8)
+        let err = decode_capture(&bytes).unwrap_err();
+        assert_eq!(err.what, "workload name");
+    }
+
+    #[test]
+    fn corrupt_word_count_fails_cleanly() {
+        let cap = CpuCapture::capture(&Blend, &cfg()).expect("capture");
+        let mut bytes = encode_capture(&cap);
+        // The word count is the last u64 before the words; inflate it.
+        let count_at = bytes.len() - cap.packed_words().len() * 8 - 8;
+        bytes[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_capture(&bytes).is_err());
+    }
+}

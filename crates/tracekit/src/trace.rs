@@ -87,6 +87,38 @@ impl CpuCapture {
         &self.words
     }
 
+    /// The capture's capacity-independent base [`Profile`] (its
+    /// `cache_stats` is empty; replays fill one in via
+    /// [`profile_with`](CpuCapture::profile_with)).
+    pub fn base(&self) -> &Profile {
+        &self.base
+    }
+
+    /// Replay-geometry associativity baked into the capture.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Replay-geometry line size baked into the capture.
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+
+    /// Reassembles a capture from its parts — the inverse of reading
+    /// [`base`](CpuCapture::base) / [`packed_words`](CpuCapture::packed_words)
+    /// / [`ways`](CpuCapture::ways) / [`line`](CpuCapture::line), for
+    /// the persistent-store codec in [`crate::serdes`]. A capture
+    /// rebuilt from a faithfully stored round trip replays
+    /// byte-identically to the original.
+    pub fn from_parts(base: Profile, words: Vec<u64>, ways: usize, line: u64) -> CpuCapture {
+        CpuCapture {
+            base,
+            words,
+            ways,
+            line,
+        }
+    }
+
     /// Replays the trace against one cache capacity.
     ///
     /// Emits a `tracekit.replay.{name}` span and bumps the

@@ -25,14 +25,29 @@
 //! * `--telemetry <file.jsonl>` streams every span/counter/record event
 //!   to a JSON-lines file.
 //! * `RODINIA_OBS=1|2` prints span (and at 2, all) events to stderr.
+//!
+//! Durability:
+//!
+//! * `--store <dir>` opens a crash-safe persistent trace store:
+//!   captures are verified on load, reused across processes, and
+//!   recaptured (after quarantine) when damaged. An unwritable store
+//!   downgrades to in-memory caching with one warning — it never
+//!   changes results or the exit code.
+//! * `--resume` (requires `--store`) replays the study journal: a run
+//!   killed mid-sweep restarts from its last durable checkpoint and
+//!   produces a byte-identical `STUDY_manifest.json`.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
+use obs::Json;
 use rodinia_repro::prelude::*;
 use rodinia_repro::rodinia_study::experiments::{run_comparison, run_gpu};
-use rodinia_repro::rodinia_study::manifest::ManifestBuilder;
+use rodinia_repro::rodinia_study::manifest::{self, ManifestBuilder};
 use rodinia_repro::rodinia_study::report::Table;
+use rodinia_repro::store::{fnv1a64, Journal, TraceStore};
 
 fn id_of(name: &str) -> Option<ExperimentId> {
     use ExperimentId::*;
@@ -106,10 +121,17 @@ fn usage() {
     }
     println!("usage: repro <artifact|all> [tiny|small|paper] [--csv] [--jobs N]");
     println!("             [--json <dir>] [--telemetry <file.jsonl>]");
+    println!("             [--store <dir>] [--resume]");
     println!("       repro check [tiny|small|paper] [--json <dir>] [--jobs N]");
     println!("flags: --jobs N  worker threads for GPU-side replay jobs");
     println!("                 (default: available parallelism; output is");
     println!("                 byte-identical for any N)");
+    println!("       --store <dir>  persistent trace store: captures persist and");
+    println!("                 are verified + reused across runs; writes a");
+    println!("                 deterministic STUDY_manifest.json into <dir>");
+    println!("       --resume  (with --store) restart a killed run from its");
+    println!("                 last durable checkpoint; the final tables are");
+    println!("                 byte-identical to an uninterrupted run");
     println!("check: runs the sanitizer over the whole suite (races, barrier");
     println!("       divergence, OOB, read-before-write, access-shape lints);");
     println!("       exits nonzero on any error-severity finding; --json writes");
@@ -175,10 +197,21 @@ fn main() {
     let mut json_dir: Option<PathBuf> = None;
     let mut telemetry: Option<PathBuf> = None;
     let mut jobs: Option<usize> = None;
+    let mut store_dir: Option<PathBuf> = None;
+    let mut resume = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--csv" => csv = true,
+            "--resume" => resume = true,
+            "--store" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("--store requires a directory argument");
+                    std::process::exit(2);
+                };
+                store_dir = Some(PathBuf::from(value));
+            }
             "tiny" => scale = Scale::Tiny,
             "small" => scale = Scale::Small,
             "paper" => scale = Scale::Paper,
@@ -217,6 +250,10 @@ fn main() {
         }
         i += 1;
     }
+    if resume && store_dir.is_none() {
+        eprintln!("--resume requires --store <dir>");
+        std::process::exit(2);
+    }
     if listed || (ids.is_empty() && !check) {
         usage();
         // `repro` / `repro list` asked for the usage text; anything else
@@ -244,16 +281,66 @@ fn main() {
     }
     let mut manifest = json_dir.as_ref().map(|_| ManifestBuilder::new(scale));
 
-    let session = match jobs {
+    let mut session = match jobs {
         Some(n) => StudySession::new(n),
         None => StudySession::default(),
     };
+    // An unusable store (read-only dir, ENOSPC, a file in the way)
+    // costs one warning and the durability layer — never the run.
+    let store = store_dir.as_ref().and_then(|dir| match TraceStore::open(dir) {
+        Ok(s) => Some(Arc::new(s)),
+        Err(e) => {
+            eprintln!("store: {e}; continuing with in-memory caching only");
+            None
+        }
+    });
+    if let Some(s) = &store {
+        session.attach_store(Arc::clone(s));
+    }
     if check {
         let code = run_check_cmd(&session, scale, json_dir.as_ref());
         flush_or_exit(1);
         std::process::exit(code);
     }
-    let corpus = if ids.iter().any(|&id| needs_corpus(id)) {
+    // The study journal checkpoints whole experiments (id + rendered
+    // tables). With --resume, completed experiments restore from it and
+    // skip recomputation entirely; the sweep-level journal inside the
+    // sensitivity driver resumes partially-finished experiments.
+    let study_key = format!(
+        "repro/{scale:?}/{}",
+        ids.iter().map(|&id| name_of(id)).collect::<Vec<_>>().join("+")
+    );
+    let mut restored: HashMap<&'static str, Vec<Table>> = HashMap::new();
+    let journal = store.as_ref().and_then(|s| {
+        let name = format!("study-{:016x}.journal", fnv1a64(study_key.as_bytes()));
+        match Journal::open(&s.journal_path(&name), &study_key, resume) {
+            Ok((j, records)) => {
+                for r in records {
+                    let Some(id) = r.get("id").and_then(Json::as_str) else { continue };
+                    let Some(doc) = r.get("tables").and_then(Json::as_arr) else { continue };
+                    let Some(tables) = doc
+                        .iter()
+                        .map(manifest::table_from_json)
+                        .collect::<Option<Vec<_>>>()
+                    else {
+                        continue;
+                    };
+                    if let Some(&known) = ids.iter().find(|&&k| name_of(k) == id) {
+                        restored.insert(name_of(known), tables);
+                    }
+                }
+                Some(j)
+            }
+            Err(e) => {
+                eprintln!("store: study journal unavailable ({e}); running without experiment checkpoints");
+                None
+            }
+        }
+    });
+    let corpus = if ids
+        .iter()
+        .any(|&id| needs_corpus(id) && !restored.contains_key(name_of(id)))
+    {
         eprintln!("profiling the 24-workload comparison corpus ...");
         match ComparisonStudy::run(&session, scale) {
             Ok(study) => Some(study),
@@ -265,25 +352,45 @@ fn main() {
     } else {
         None
     };
+    let mut completed: Vec<(String, Vec<Table>)> = Vec::new();
     for id in ids {
         let start = Instant::now();
-        let result = if needs_corpus(id) {
-            run_comparison(id, corpus.as_ref().expect("corpus built"))
+        let tables = if let Some(t) = restored.remove(name_of(id)) {
+            eprintln!("{}: restored from study journal", name_of(id));
+            t
         } else {
-            run_gpu(&session, id, scale)
-        };
-        let tables = match result {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("{}: {e}", name_of(id));
-                let _ = obs::flush_sinks();
-                std::process::exit(1);
+            let result = if needs_corpus(id) {
+                run_comparison(id, corpus.as_ref().expect("corpus built"))
+            } else {
+                run_gpu(&session, id, scale)
+            };
+            let tables = match result {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{}: {e}", name_of(id));
+                    let _ = obs::flush_sinks();
+                    std::process::exit(1);
+                }
+            };
+            if let Some(j) = &journal {
+                let record = Json::obj(vec![
+                    ("id", Json::from(name_of(id))),
+                    (
+                        "tables",
+                        Json::from(tables.iter().map(manifest::table_to_json).collect::<Vec<_>>()),
+                    ),
+                ]);
+                if let Err(e) = j.append(&record) {
+                    eprintln!("store: cannot checkpoint {}: {e}", name_of(id));
+                }
             }
+            tables
         };
         if let Some(m) = manifest.as_mut() {
             m.push_experiment(name_of(id), &tables, start.elapsed().as_micros() as u64);
         }
         emit(&tables, csv);
+        completed.push((name_of(id).to_string(), tables));
     }
     if let (Some(m), Some(dir)) = (manifest, json_dir.as_ref()) {
         match m.write(dir) {
@@ -293,6 +400,16 @@ fn main() {
                 let _ = obs::flush_sinks();
                 std::process::exit(1);
             }
+        }
+    }
+    // The deterministic study manifest rides along with the store: pure
+    // tables, no timings, so an interrupted-and-resumed run's file is
+    // byte-identical to an uninterrupted one (the CI crash-recovery
+    // gate diffs exactly this).
+    if let Some(s) = &store {
+        match manifest::write_study_manifest(s.dir(), scale, &completed) {
+            Ok(path) => eprintln!("wrote study manifest {}", path.display()),
+            Err(e) => eprintln!("store: {e}"),
         }
     }
     flush_or_exit(1);

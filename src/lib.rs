@@ -11,6 +11,7 @@
 //! * [`parsec_lite`] — kernel-level Parsec re-implementations;
 //! * [`datasets`] — seeded synthetic input generators;
 //! * [`analysis`] — PCA, hierarchical clustering, Plackett–Burman;
+//! * [`store`] — the crash-safe persistent trace store and journals;
 //! * [`rodinia_study`] — the experiment drivers for every table/figure.
 //!
 //! ## Quickstart
@@ -42,6 +43,7 @@ pub use rodinia_cpu;
 pub use rodinia_gpu;
 pub use rodinia_study;
 pub use simt;
+pub use store;
 pub use tracekit;
 
 /// The most commonly used items across the workspace.

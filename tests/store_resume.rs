@@ -1,0 +1,119 @@
+//! End-to-end crash/recovery check of the `repro` binary: a study run
+//! killed mid-sweep by the deterministic crash hook and resumed with
+//! `--resume` must produce a `STUDY_manifest.json` byte-identical to
+//! an uninterrupted run's, and an unusable store directory must
+//! degrade to in-memory caching instead of aborting the study.
+//!
+//! This drives the real binary through [`std::process::Command`] — the
+//! same sequence the crash-recovery CI job scripts with `cmp`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const STUDY_ARGS: [&str; 3] = ["pb", "fig1", "tiny"];
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rodinia-resume-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn killed_study_resumes_to_byte_identical_manifest() {
+    // Reference: one uninterrupted run.
+    let ref_dir = test_dir("ref");
+    let out = repro()
+        .args(STUDY_ARGS)
+        .args(["--store"])
+        .arg(&ref_dir)
+        .output()
+        .expect("spawn repro");
+    assert!(out.status.success(), "reference run: {}", stderr_of(&out));
+    let ref_manifest =
+        fs::read(ref_dir.join("STUDY_manifest.json")).expect("reference manifest written");
+
+    // Crash run: the hook SIGKILLs the process after the 3rd store
+    // save, mid-way through the Plackett–Burman capture sweep.
+    let crash_dir = test_dir("crash");
+    let out = repro()
+        .args(STUDY_ARGS)
+        .args(["--store"])
+        .arg(&crash_dir)
+        .env("RODINIA_STORE_CRASH_AFTER_SAVES", "3")
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success(), "crash hook must kill the run");
+    assert!(
+        !crash_dir.join("STUDY_manifest.json").exists(),
+        "killed run must not have written a final manifest"
+    );
+
+    // Resume over the partial store: finishes, and the manifest is
+    // byte-for-byte what the uninterrupted run wrote.
+    let out = repro()
+        .args(STUDY_ARGS)
+        .args(["--store"])
+        .arg(&crash_dir)
+        .arg("--resume")
+        .output()
+        .expect("spawn repro");
+    assert!(out.status.success(), "resumed run: {}", stderr_of(&out));
+    let resumed =
+        fs::read(crash_dir.join("STUDY_manifest.json")).expect("resumed manifest written");
+    assert_eq!(
+        resumed, ref_manifest,
+        "resumed manifest differs from the uninterrupted run's"
+    );
+
+    let _ = fs::remove_dir_all(&ref_dir);
+    let _ = fs::remove_dir_all(&crash_dir);
+}
+
+#[test]
+fn unusable_store_degrades_to_in_memory_with_warning() {
+    // A plain file where the store directory should be: the run must
+    // still succeed, with one warning on stderr.
+    let dir = test_dir("unusable");
+    fs::create_dir_all(&dir).expect("mkdir");
+    let occupied = dir.join("occupied");
+    fs::write(&occupied, b"not a directory").expect("write");
+    let out = repro()
+        .args(["fig1", "tiny", "--store"])
+        .arg(&occupied)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "unusable store must not abort the study: {}",
+        stderr_of(&out)
+    );
+    assert!(
+        stderr_of(&out).contains("continuing with in-memory caching only"),
+        "downgrade warning missing from stderr: {}",
+        stderr_of(&out)
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_store_is_a_usage_error() {
+    let out = repro()
+        .args(["fig1", "tiny", "--resume"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2), "--resume alone is misuse");
+    assert!(
+        stderr_of(&out).contains("--resume requires --store"),
+        "usage message missing: {}",
+        stderr_of(&out)
+    );
+}

@@ -11,9 +11,17 @@
 //! The final line prints the computed overhead percentage; the
 //! sinks-disabled configuration is the one every normal `cargo test` /
 //! `repro` run without `--telemetry` pays.
+//!
+//! The measurements are also written to `BENCH_telemetry.json` (path
+//! overridable with the `BENCH_TELEMETRY_OUT` environment variable),
+//! schema `rodinia-repro.bench-telemetry/v1`. The document carries its
+//! own `noise_pct` (the spread of the two sinks-disabled runs), which
+//! `bench-gate` uses to widen its tolerance — the CI perf gate never
+//! fails on run-to-run jitter the artifact itself admits to.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use datasets::Scale;
+use obs::Json;
 use suite_bench::{median_us, overhead_pct, run_hotspot};
 
 fn telemetry_overhead(c: &mut Criterion) {
@@ -46,15 +54,27 @@ fn telemetry_overhead(c: &mut Criterion) {
     let with = median_us(7, || run_hotspot(Scale::Small));
     obs::clear_sinks();
     let _ = std::fs::remove_file(&path);
+    let noise_pct = overhead_pct(base.min(base2), base.max(base2));
+    let sink_overhead_pct = overhead_pct(base.min(base2), with);
     println!(
-        "telemetry overhead (hotspot small): sinks disabled {:.0} us \
-         (re-run noise {:+.2}%), JSONL sink {:.0} us => {:+.2}% from \
-         enabling the sink",
-        base,
-        overhead_pct(base, base2),
-        with,
-        overhead_pct(base.min(base2), with)
+        "telemetry overhead (hotspot small): sinks disabled {base:.0} us \
+         (re-run noise {noise_pct:+.2}%), JSONL sink {with:.0} us => \
+         {sink_overhead_pct:+.2}% from enabling the sink"
     );
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("rodinia-repro.bench-telemetry/v1".into())),
+        ("experiment", Json::Str("hotspot_small_telemetry".into())),
+        ("base_us", Json::Num(base.min(base2))),
+        ("rerun_us", Json::Num(base.max(base2))),
+        ("jsonl_sink_us", Json::Num(with)),
+        ("sink_overhead_pct", Json::Num(sink_overhead_pct)),
+        ("noise_pct", Json::Num(noise_pct)),
+    ]);
+    let out =
+        std::env::var("BENCH_TELEMETRY_OUT").unwrap_or_else(|_| "BENCH_telemetry.json".into());
+    std::fs::write(&out, format!("{doc}\n")).expect("write BENCH_telemetry.json");
+    println!("wrote {out}");
 }
 
 criterion_group!(benches, telemetry_overhead);

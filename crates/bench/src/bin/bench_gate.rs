@@ -1,0 +1,105 @@
+//! `bench-gate` — noise-aware perf-regression gate over two
+//! `BENCH_*.json` artifacts.
+//!
+//! ```text
+//! bench-gate <baseline.json> <current.json> [--tolerance-pct N] [--out report.json]
+//! ```
+//!
+//! Compares the numeric leaves of the two documents with
+//! [`obs::gate::compare`]: metric directions are inferred from their
+//! names (`*_s` durations regress upward, `speedup*` regresses
+//! downward, unknown metrics are informational), the tolerance widens
+//! to cover any self-reported `noise_pct`, and sub-floor absolute
+//! jitter never trips the gate. The delta table prints either way;
+//! `--out` additionally writes the machine-readable
+//! `rodinia-repro.gate/v1` report.
+//!
+//! Exit codes: `0` pass, `1` significant regression, `2` usage, I/O,
+//! or parse error — so CI can distinguish "the code got slower" from
+//! "the gate itself could not run".
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use obs::gate::{compare, GatePolicy};
+use obs::Json;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench-gate <baseline.json> <current.json> [--tolerance-pct N] [--out report.json]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("bench-gate: cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("bench-gate: {} is not valid JSON: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut policy = GatePolicy::default();
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance-pct" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse::<f64>().ok()).filter(|n| *n >= 0.0)
+                else {
+                    eprintln!("bench-gate: --tolerance-pct requires a non-negative number");
+                    return ExitCode::from(2);
+                };
+                policy.rel_tolerance_pct = n;
+            }
+            "--out" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("bench-gate: --out requires a path argument");
+                    return ExitCode::from(2);
+                };
+                out = Some(PathBuf::from(value));
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("bench-gate: unknown flag {flag}");
+                return usage();
+            }
+            path => inputs.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = inputs.as_slice() else {
+        return usage();
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = compare(&baseline, &current, &policy);
+    print!("{}", report.table());
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, format!("{}\n", report.to_json())) {
+            eprintln!("bench-gate: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote gate report {}", path.display());
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench-gate: {} regression(s) beyond the {:.2}% tolerance",
+            report.regressions(),
+            report
+                .deltas
+                .first()
+                .map_or(policy.rel_tolerance_pct, |d| d.tolerance_pct)
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -134,26 +134,37 @@ impl CheckReport {
             ("errors", Json::u64(self.error_count() as u64)),
             ("warnings", Json::u64(self.warning_count() as u64)),
             ("benchmarks", Json::Arr(benches)),
-            ("store", store_counters_json()),
+            ("store", crate::manifest::store_counters_json()),
         ])
     }
-}
 
-/// Snapshot of the persistent-store health counters, embedded in the
-/// check report (and, via the registry snapshot, in every
-/// `BENCH_manifest.json`): a run that silently recaptured half its
-/// store should say so in its artifacts.
-fn store_counters_json() -> Json {
-    let reg = obs::Registry::global();
-    let c = |name: &str| Json::u64(reg.counter(name));
-    Json::obj(vec![
-        ("hit", c("store.hit")),
-        ("miss", c("store.miss")),
-        ("write", c("store.write")),
-        ("corrupt", c("store.corrupt")),
-        ("evict", c("store.evict")),
-        ("retry", c("store.retry")),
-    ])
+    /// A compact verdict for embedding in `BENCH_manifest.json`:
+    /// error/warning totals and the per-benchmark counts, without the
+    /// full finding payloads.
+    pub fn manifest_section(&self) -> Json {
+        Json::obj(vec![
+            ("errors", Json::u64(self.error_count() as u64)),
+            ("warnings", Json::u64(self.warning_count() as u64)),
+            (
+                "benchmarks",
+                Json::Obj(
+                    self.benches
+                        .iter()
+                        .map(|b| {
+                            (
+                                b.name.clone(),
+                                Json::obj(vec![
+                                    ("launches", Json::u64(b.launches)),
+                                    ("errors", Json::u64(b.errors() as u64)),
+                                    ("warnings", Json::u64(b.warnings() as u64)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 fn metrics_json(m: &KernelLintMetrics) -> Json {

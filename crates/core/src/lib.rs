@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod analyze;
 pub mod characterization;
 pub mod check;
 pub mod comparison;

@@ -20,8 +20,10 @@
 //!       "tables": [ { "title": ..., "columns": [...], "rows": [[...]] } ] },
 //!     ...
 //!   ],
+//!   ...driver sections ("check", "critpath", ...) in push order...,
 //!   "kernel_stats": [ <simt::KernelStats::to_json() objects> ... ],
 //!   "dropped_kernel_stats": 0,
+//!   "store": { "hit": 0, "miss": 0, ... },
 //!   "telemetry": { "counters": {...}, "gauges": {...}, "spans": {...} }
 //! }
 //! ```
@@ -100,7 +102,7 @@ pub fn table_from_json(j: &Json) -> Option<Table> {
 }
 
 /// Renders `scale` as its lowercase manifest token.
-fn scale_str(scale: Scale) -> &'static str {
+pub(crate) fn scale_str(scale: Scale) -> &'static str {
     match scale {
         Scale::Tiny => "tiny",
         Scale::Small => "small",
@@ -152,16 +154,38 @@ pub fn write_study_manifest(
     Ok(path)
 }
 
+/// Snapshot of the persistent-store health counters as a JSON object
+/// (`hit`, `miss`, `write`, `corrupt`, `evict`, `retry`), embedded in
+/// every `BENCH_manifest.json` and in the `repro check` report: a run
+/// that silently recaptured half its store should say so in its
+/// artifacts.
+pub fn store_counters_json() -> Json {
+    let reg = obs::Registry::global();
+    let c = |name: &str| Json::u64(reg.counter(name));
+    Json::obj(vec![
+        ("hit", c("store.hit")),
+        ("miss", c("store.miss")),
+        ("write", c("store.write")),
+        ("corrupt", c("store.corrupt")),
+        ("evict", c("store.evict")),
+        ("retry", c("store.retry")),
+    ])
+}
+
 /// Accumulates one run's experiments into a manifest document.
 ///
 /// Construct it before running experiments (it turns on the `obs`
 /// record buffer so kernel-stats records are captured), push each
 /// experiment's tables as they complete, and call
-/// [`ManifestBuilder::write`] once at the end.
+/// [`ManifestBuilder::write`] once at the end. Drivers with their own
+/// machine-readable verdicts (`repro check` findings, `repro analyze`
+/// critical paths) attach them as named sections via
+/// [`ManifestBuilder::push_section`].
 #[derive(Debug)]
 pub struct ManifestBuilder {
     scale: Scale,
     experiments: Vec<Json>,
+    sections: Vec<(String, Json)>,
 }
 
 impl ManifestBuilder {
@@ -172,6 +196,19 @@ impl ManifestBuilder {
         ManifestBuilder {
             scale,
             experiments: Vec::new(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Attaches a named top-level section to the document (e.g.
+    /// `"check"` with the sanitizer verdict, `"critpath"` with the
+    /// bottleneck summary). Sections appear after `experiments` in
+    /// push order; a repeated name replaces the earlier payload.
+    pub fn push_section(&mut self, name: &str, payload: Json) {
+        if let Some(s) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            s.1 = payload;
+        } else {
+            self.sections.push((name.to_string(), payload));
         }
     }
 
@@ -208,14 +245,19 @@ impl ManifestBuilder {
             .filter(|r| r.kind == "kernel_stats")
             .map(|r| r.value)
             .collect();
-        Json::obj(vec![
-            ("schema", Json::from(MANIFEST_SCHEMA)),
-            ("scale", Json::from(scale_str(self.scale))),
-            ("experiments", Json::from(self.experiments)),
-            ("kernel_stats", Json::from(kernel_stats)),
-            ("dropped_kernel_stats", Json::u64(dropped)),
-            ("telemetry", obs::Registry::global().snapshot_json()),
-        ])
+        let mut pairs = vec![
+            ("schema".to_string(), Json::from(MANIFEST_SCHEMA)),
+            ("scale".to_string(), Json::from(scale_str(self.scale))),
+            ("experiments".to_string(), Json::from(self.experiments)),
+        ];
+        pairs.extend(self.sections);
+        pairs.extend([
+            ("kernel_stats".to_string(), Json::from(kernel_stats)),
+            ("dropped_kernel_stats".to_string(), Json::u64(dropped)),
+            ("store".to_string(), store_counters_json()),
+            ("telemetry".to_string(), obs::Registry::global().snapshot_json()),
+        ]);
+        Json::Obj(pairs)
     }
 
     /// Builds the document and writes it to `dir/BENCH_manifest.json`,
@@ -276,6 +318,25 @@ mod tests {
         assert_eq!(exps[0].get("wall_us").and_then(Json::as_f64), Some(42.0));
         // The document is parseable as written.
         assert!(Json::parse(&doc.to_string()).is_ok());
+    }
+
+    #[test]
+    fn sections_and_store_counters_are_embedded() {
+        let mut b = ManifestBuilder::new(Scale::Tiny);
+        b.push_section("check", Json::obj(vec![("errors", Json::u64(0))]));
+        b.push_section("check", Json::obj(vec![("errors", Json::u64(2))]));
+        b.push_section("critpath", Json::obj(vec![("ranking", Json::Arr(vec![]))]));
+        let doc = b.build();
+        assert_eq!(
+            doc.get("check").and_then(|c| c.get("errors")).and_then(Json::as_f64),
+            Some(2.0),
+            "repeated section name replaces the payload"
+        );
+        assert!(doc.get("critpath").is_some());
+        let store = doc.get("store").expect("store counters present");
+        for key in ["hit", "miss", "write", "corrupt", "evict", "retry"] {
+            assert!(store.get(key).is_some(), "missing store counter {key}");
+        }
     }
 
     #[test]

@@ -1,0 +1,456 @@
+//! Noise-aware perf-regression gating over `BENCH_*.json` artifacts.
+//!
+//! [`compare`] flattens the numeric leaves of two JSON documents
+//! (baseline vs current) into dotted metric paths, classifies each
+//! metric's *direction* from its name (`*_s`/`*_us`/`overhead*` regress
+//! upward, `speedup*`/`*throughput*` regress downward, unknown metrics
+//! are informational), and applies a threshold test per metric:
+//!
+//! * the relative change must exceed the tolerance, **and**
+//! * the absolute change must exceed a floor (so nanosecond jitter on
+//!   a near-zero metric never trips the gate).
+//!
+//! The tolerance is noise-aware: when either document carries a
+//! top-level `noise_pct` field (the telemetry-overhead bench records
+//! its own re-run noise there), the effective tolerance is widened to
+//! `noise_multiplier` times the larger observed noise. Identical
+//! documents therefore always pass, and a genuine regression has to
+//! clear both the static tolerance and the measured noise band.
+//!
+//! [`GateReport::table`] renders the human-readable delta table CI
+//! prints on failure; [`GateReport::to_json`] is the machine-readable
+//! gate report artifact.
+
+use crate::json::Json;
+
+/// Which way a metric regresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger is worse (durations, overheads, drop/miss counts).
+    LowerIsBetter,
+    /// Smaller is worse (speedups, throughputs, hit rates).
+    HigherIsBetter,
+    /// Direction unknown from the name: reported, never gated.
+    Informational,
+}
+
+impl Direction {
+    fn label(self) -> &'static str {
+        match self {
+            Direction::LowerIsBetter => "lower-is-better",
+            Direction::HigherIsBetter => "higher-is-better",
+            Direction::Informational => "informational",
+        }
+    }
+}
+
+/// Infers a metric's direction from the last segment of its dotted
+/// path. Conservative: anything unrecognized is informational.
+pub fn direction_of(path: &str) -> Direction {
+    let last = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
+    let higher = ["speedup", "throughput", "ipc", "hit_rate", "identical", "ok", "passed"];
+    if higher.iter().any(|t| last.contains(t)) {
+        return Direction::HigherIsBetter;
+    }
+    let lower_suffix = ["_s", "_us", "_ms", "_ns", "_cycles"];
+    let lower_substr = ["overhead", "latency", "time", "dropped", "miss", "corrupt", "retry"];
+    if lower_suffix.iter().any(|t| last.ends_with(t))
+        || lower_substr.iter().any(|t| last.contains(t))
+    {
+        return Direction::LowerIsBetter;
+    }
+    Direction::Informational
+}
+
+/// Threshold policy for [`compare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatePolicy {
+    /// Minimum relative change (percent) considered significant.
+    pub rel_tolerance_pct: f64,
+    /// Multiplier applied to an artifact's self-reported `noise_pct`
+    /// when widening the tolerance.
+    pub noise_multiplier: f64,
+    /// Minimum absolute change (in the metric's own unit) considered
+    /// significant.
+    pub abs_floor: f64,
+}
+
+impl Default for GatePolicy {
+    fn default() -> GatePolicy {
+        GatePolicy {
+            rel_tolerance_pct: 10.0,
+            noise_multiplier: 3.0,
+            abs_floor: 1e-6,
+        }
+    }
+}
+
+/// One metric's baseline/current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Dotted metric path.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed relative change in percent (`(current - baseline) /
+    /// |baseline| * 100`; 0 when the baseline is 0 and nothing moved,
+    /// ±100 when it moved off a zero baseline).
+    pub change_pct: f64,
+    /// Direction the metric was classified under.
+    pub direction: Direction,
+    /// Effective tolerance (percent) the test used.
+    pub tolerance_pct: f64,
+    /// Whether the change is a statistically significant regression.
+    pub regressed: bool,
+}
+
+/// The full gate verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Per-metric deltas, sorted by metric path.
+    pub deltas: Vec<Delta>,
+    /// Metrics present only in the baseline.
+    pub only_baseline: Vec<String>,
+    /// Metrics present only in the current document.
+    pub only_current: Vec<String>,
+    /// The larger of the two documents' self-reported `noise_pct`
+    /// (0 when neither reports one).
+    pub noise_pct: f64,
+}
+
+impl GateReport {
+    /// Whether the gate passes (no significant regression).
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Number of significant regressions.
+    pub fn regressions(&self) -> usize {
+        self.deltas.iter().filter(|d| d.regressed).count()
+    }
+
+    /// Renders the human-readable delta table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<42} {:>14} {:>14} {:>9} {:>8}  verdict\n",
+            "metric", "baseline", "current", "delta", "tol"
+        ));
+        for d in &self.deltas {
+            let verdict = if d.regressed {
+                "REGRESSED"
+            } else if d.direction == Direction::Informational {
+                "info"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "{:<42} {:>14.6} {:>14.6} {:>+8.2}% {:>7.2}%  {}\n",
+                d.metric, d.baseline, d.current, d.change_pct, d.tolerance_pct, verdict
+            ));
+        }
+        for m in &self.only_baseline {
+            out.push_str(&format!("{m:<42} (removed: present only in baseline)\n"));
+        }
+        for m in &self.only_current {
+            out.push_str(&format!("{m:<42} (added: present only in current)\n"));
+        }
+        out.push_str(&format!(
+            "gate: {} metric(s), {} regression(s), noise band {:.2}%\n",
+            self.deltas.len(),
+            self.regressions(),
+            self.noise_pct
+        ));
+        out
+    }
+
+    /// Serializes the report (schema `rodinia-repro.gate/v1`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::from("rodinia-repro.gate/v1")),
+            ("passed", Json::Bool(self.passed())),
+            ("regressions", Json::u64(self.regressions() as u64)),
+            ("noise_pct", Json::Num(self.noise_pct)),
+            (
+                "deltas",
+                Json::Arr(
+                    self.deltas
+                        .iter()
+                        .map(|d| {
+                            Json::obj(vec![
+                                ("metric", Json::from(d.metric.as_str())),
+                                ("baseline", Json::Num(d.baseline)),
+                                ("current", Json::Num(d.current)),
+                                ("change_pct", Json::Num(d.change_pct)),
+                                ("direction", Json::from(d.direction.label())),
+                                ("tolerance_pct", Json::Num(d.tolerance_pct)),
+                                ("regressed", Json::Bool(d.regressed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "only_baseline",
+                Json::from(self.only_baseline.iter().map(|m| Json::from(m.as_str())).collect::<Vec<_>>()),
+            ),
+            (
+                "only_current",
+                Json::from(self.only_current.iter().map(|m| Json::from(m.as_str())).collect::<Vec<_>>()),
+            ),
+        ])
+    }
+}
+
+/// Collects every numeric (and boolean, as 0/1) leaf of `doc` into
+/// dotted-path metrics. Array elements are addressed as `path[i]`; the
+/// `schema` tag is skipped.
+fn flatten(prefix: &str, doc: &Json, out: &mut Vec<(String, f64)>) {
+    match doc {
+        Json::Num(n) => out.push((prefix.to_string(), *n)),
+        Json::Bool(b) => out.push((prefix.to_string(), f64::from(u8::from(*b)))),
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                if prefix.is_empty() && k == "schema" {
+                    continue;
+                }
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&path, v, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(&format!("{prefix}[{i}]"), v, out);
+            }
+        }
+        Json::Null | Json::Str(_) => {}
+    }
+}
+
+fn metric_map(doc: &Json) -> std::collections::BTreeMap<String, f64> {
+    let mut flat = Vec::new();
+    flatten("", doc, &mut flat);
+    flat.into_iter().collect()
+}
+
+/// Compares two benchmark artifacts under `policy`.
+///
+/// Deterministic: metrics are sorted by path and no global state is
+/// consulted. Identical documents always produce a passing report.
+pub fn compare(baseline: &Json, current: &Json, policy: &GatePolicy) -> GateReport {
+    let base = metric_map(baseline);
+    let cur = metric_map(current);
+    let self_noise = |doc: &Json| {
+        doc.get("noise_pct")
+            .and_then(Json::as_f64)
+            .map_or(0.0, f64::abs)
+    };
+    let noise_pct = self_noise(baseline).max(self_noise(current));
+    let tolerance_pct = policy
+        .rel_tolerance_pct
+        .max(policy.noise_multiplier * noise_pct);
+
+    let mut deltas = Vec::new();
+    let mut only_baseline = Vec::new();
+    let mut only_current: Vec<String> = cur.keys().filter(|k| !base.contains_key(*k)).cloned().collect();
+    only_current.sort();
+    for (metric, &b) in &base {
+        let Some(&c) = cur.get(metric) else {
+            only_baseline.push(metric.clone());
+            continue;
+        };
+        let direction = direction_of(metric);
+        let change = c - b;
+        let change_pct = if b.abs() > 0.0 {
+            change / b.abs() * 100.0
+        } else if change == 0.0 {
+            0.0
+        } else {
+            100.0 * change.signum()
+        };
+        // The metric's own noise band never gates itself.
+        let gated = direction != Direction::Informational && metric != "noise_pct";
+        let bad = match direction {
+            Direction::LowerIsBetter => change,
+            Direction::HigherIsBetter => -change,
+            Direction::Informational => 0.0,
+        };
+        let regressed = gated
+            && bad > policy.abs_floor
+            && (if b.abs() > 0.0 {
+                bad / b.abs() * 100.0 > tolerance_pct
+            } else {
+                true // moved off a zero baseline in the bad direction
+            });
+        deltas.push(Delta {
+            metric: metric.clone(),
+            baseline: b,
+            current: c,
+            change_pct,
+            direction,
+            tolerance_pct,
+            regressed,
+        });
+    }
+    GateReport {
+        deltas,
+        only_baseline,
+        only_current,
+        noise_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(pairs: &[(&str, f64)]) -> Json {
+        Json::Obj(
+            pairs
+                .iter()
+                .map(|&(k, v)| (k.to_string(), Json::Num(v)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_documents_always_pass() {
+        let d = doc(&[("engine_jobs4_s", 1.5), ("speedup_vs_seed", 2.1)]);
+        let r = compare(&d, &d.clone(), &GatePolicy::default());
+        assert!(r.passed());
+        assert_eq!(r.regressions(), 0);
+        assert!(r.deltas.iter().all(|x| x.change_pct == 0.0));
+    }
+
+    #[test]
+    fn injected_regression_fails() {
+        let base = doc(&[("engine_jobs4_s", 1.0), ("speedup_vs_seed", 2.0)]);
+        let slow = doc(&[("engine_jobs4_s", 1.5), ("speedup_vs_seed", 2.0)]);
+        let r = compare(&base, &slow, &GatePolicy::default());
+        assert!(!r.passed());
+        let d = r.deltas.iter().find(|d| d.metric == "engine_jobs4_s").unwrap();
+        assert!(d.regressed);
+        assert!((d.change_pct - 50.0).abs() < 1e-9);
+        assert!(r.table().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn direction_awareness_speedup_drop_fails_duration_drop_passes() {
+        let base = doc(&[("engine_jobs4_s", 1.0), ("speedup_vs_seed", 2.0)]);
+        let cur = doc(&[("engine_jobs4_s", 0.5), ("speedup_vs_seed", 1.0)]);
+        let r = compare(&base, &cur, &GatePolicy::default());
+        assert_eq!(r.regressions(), 1);
+        let d = r.deltas.iter().find(|d| d.metric == "speedup_vs_seed").unwrap();
+        assert!(d.regressed, "halved speedup is a regression");
+        let d = r.deltas.iter().find(|d| d.metric == "engine_jobs4_s").unwrap();
+        assert!(!d.regressed, "a faster run is an improvement");
+    }
+
+    #[test]
+    fn tolerance_absorbs_small_changes() {
+        let base = doc(&[("wall_s", 1.00)]);
+        let cur = doc(&[("wall_s", 1.05)]);
+        assert!(compare(&base, &cur, &GatePolicy::default()).passed());
+        let cur = doc(&[("wall_s", 1.11)]);
+        assert!(!compare(&base, &cur, &GatePolicy::default()).passed());
+    }
+
+    #[test]
+    fn abs_floor_ignores_nanosecond_jitter() {
+        let base = doc(&[("tiny_s", 1e-9)]);
+        let cur = doc(&[("tiny_s", 5e-9)]); // +400%, but absolutely nothing
+        assert!(compare(&base, &cur, &GatePolicy::default()).passed());
+    }
+
+    #[test]
+    fn self_reported_noise_widens_the_tolerance() {
+        let mut base = doc(&[("hotspot_us", 100.0)]);
+        let cur = doc(&[("hotspot_us", 118.0)]);
+        // Without a noise band, +18% > 10% tolerance fails.
+        assert!(!compare(&base, &cur, &GatePolicy::default()).passed());
+        // With a 7% measured noise band, tolerance widens to 21%.
+        if let Json::Obj(pairs) = &mut base {
+            pairs.push(("noise_pct".to_string(), Json::Num(7.0)));
+        }
+        let r = compare(&base, &cur, &GatePolicy::default());
+        assert!(r.passed());
+        assert!((r.noise_pct - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_metrics_are_informational() {
+        let base = doc(&[("mystery_quantity", 1.0)]);
+        let cur = doc(&[("mystery_quantity", 100.0)]);
+        let r = compare(&base, &cur, &GatePolicy::default());
+        assert!(r.passed());
+        assert_eq!(r.deltas[0].direction, Direction::Informational);
+    }
+
+    #[test]
+    fn added_and_removed_metrics_are_reported_not_gated() {
+        let base = doc(&[("old_s", 1.0), ("both_s", 1.0)]);
+        let cur = doc(&[("new_s", 9.0), ("both_s", 1.0)]);
+        let r = compare(&base, &cur, &GatePolicy::default());
+        assert!(r.passed());
+        assert_eq!(r.only_baseline, vec!["old_s".to_string()]);
+        assert_eq!(r.only_current, vec!["new_s".to_string()]);
+    }
+
+    #[test]
+    fn nested_and_boolean_leaves_flatten() {
+        let base = Json::obj(vec![
+            ("schema", Json::from("x/v1")),
+            ("tables_byte_identical", Json::Bool(true)),
+            (
+                "inner",
+                Json::obj(vec![("run_s", Json::Num(1.0))]),
+            ),
+            ("series", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+        ]);
+        let mut cur = base.clone();
+        if let Json::Obj(pairs) = &mut cur {
+            pairs[1].1 = Json::Bool(false); // identity bit flips
+        }
+        let r = compare(&base, &cur, &GatePolicy::default());
+        assert!(!r.passed(), "identity bit is higher-is-better");
+        assert!(r.deltas.iter().any(|d| d.metric == "inner.run_s"));
+        assert!(r.deltas.iter().any(|d| d.metric == "series[0]"));
+        assert!(!r.deltas.iter().any(|d| d.metric == "schema"));
+    }
+
+    #[test]
+    fn zero_baseline_regression_in_bad_direction_fails() {
+        let base = doc(&[("dropped", 0.0)]);
+        let cur = doc(&[("dropped", 50.0)]);
+        let r = compare(&base, &cur, &GatePolicy::default());
+        assert!(!r.passed());
+        assert_eq!(r.deltas[0].change_pct, 100.0);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let base = doc(&[("run_s", 1.0)]);
+        let cur = doc(&[("run_s", 2.0)]);
+        let r = compare(&base, &cur, &GatePolicy::default());
+        let text = r.to_json().to_string();
+        let doc = Json::parse(&text).expect("parses");
+        assert_eq!(doc.get("passed"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("regressions").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn direction_classification() {
+        assert_eq!(direction_of("engine_jobs4_s"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("a.b.overhead_pct"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("speedup_vs_seed"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("telemetry.wall_us"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("store.miss"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("seed"), Direction::Informational);
+    }
+}

@@ -18,6 +18,12 @@
 //!   a bounded buffer that the run-manifest writer drains.
 //! * **JSON** — a hand-rolled [`Json`] value type with serializer and
 //!   parser, since the workspace is offline and serde-free by policy.
+//! * **Analysis** — consumers that close the telemetry loop:
+//!   [`critpath`] ranks where cycles went (dominant stall chains,
+//!   what-if speedups, suite-wide bottleneck rankings), [`sampler`]
+//!   keeps timeline memory and overhead flat with a budget-bounded
+//!   adaptive sampler, and [`gate`] diffs two `BENCH_*.json` artifacts
+//!   with a noise-aware threshold test for CI regression gating.
 //!
 //! The crate deliberately has **no dependencies**, not even workspace
 //! ones, so every layer of the stack can use it without cycles.
@@ -25,13 +31,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod critpath;
+pub mod gate;
 pub mod json;
 pub mod record;
 pub mod registry;
+pub mod sampler;
 pub mod sink;
 pub mod span;
 
 pub use json::{Json, JsonError};
+pub use sampler::AdaptiveSampler;
 pub use record::{drain_records, record_with, recording, set_recording, Record, MAX_RECORDS};
 pub use registry::{Registry, SpanStat};
 pub use sink::{

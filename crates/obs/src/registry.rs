@@ -211,4 +211,39 @@ mod tests {
         assert_eq!(r.counter("c"), 0);
         assert!(r.span_stat("s").is_none());
     }
+
+    #[test]
+    fn snapshot_bytes_are_insertion_order_independent() {
+        // Manifests and JSONL dumps embed this snapshot verbatim, so
+        // its rendering must not depend on the order instrumentation
+        // sites happened to fire in (the freqmine HashMap-order class
+        // of bug). Keys are sorted: two registries holding the same
+        // state render the same bytes regardless of write order.
+        let names = ["store.hit", "bench.a", "zzz", "bench.b", "alpha"];
+        let fwd = Registry::new();
+        for (i, n) in names.iter().enumerate() {
+            fwd.add(n, i as u64 + 1);
+            fwd.set_gauge(n, i as f64);
+            fwd.record_span(n, 10 * (i as u64 + 1));
+        }
+        let rev = Registry::new();
+        for (i, n) in names.iter().enumerate().rev() {
+            rev.add(n, i as u64 + 1);
+            rev.set_gauge(n, i as f64);
+            rev.record_span(n, 10 * (i as u64 + 1));
+        }
+        let a = fwd.snapshot_json().to_string();
+        let b = rev.snapshot_json().to_string();
+        assert_eq!(a, b, "snapshot must be byte-stable across write orders");
+        // And the sorted order is actually sorted.
+        let doc = Json::parse(&a).expect("parses");
+        if let Some(Json::Obj(pairs)) = doc.get("counters") {
+            let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(keys, sorted);
+        } else {
+            panic!("counters object missing");
+        }
+    }
 }

@@ -4,6 +4,16 @@
 
 use crate::error::SimError;
 
+/// Largest accepted timeline sample budget (2²⁴ samples ≈ 0.5 GiB of
+/// retained telemetry — far beyond any sane configuration).
+pub const MAX_TIMELINE_CAPACITY: usize = 1 << 24;
+
+/// Largest accepted timeline sampling period in core cycles. The
+/// adaptive sampler doubles the period under backoff, so a period that
+/// starts near `u64::MAX` would overflow the epoch arithmetic; 2⁴⁸
+/// cycles is already orders of magnitude past the watchdog budget.
+pub const MAX_TIMELINE_PERIOD: u64 = 1 << 48;
+
 /// Warp-scheduler policy (the paper's future-work item on "the impact
 /// of hardware thread scheduling mechanisms").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -161,11 +171,16 @@ pub struct GpuConfig {
     pub lane_compaction: bool,
     /// Abort budget for runaway launches (see [`WatchdogBudget`]).
     pub watchdog: WatchdogBudget,
-    /// Occupancy/DRAM timeline sampling period in core cycles
-    /// (see [`crate::stats::Timeline`]); 0 disables sampling.
+    /// Initial occupancy/DRAM timeline sampling period in core cycles
+    /// (see [`crate::stats::Timeline`]); 0 disables sampling. The
+    /// sampler is adaptive: short kernels are captured exactly at this
+    /// period, and once a launch has produced `timeline_capacity`
+    /// samples the period doubles (dropping every other retained
+    /// sample), so the whole launch stays visible at bounded memory.
     pub timeline_sample_period: u64,
-    /// Maximum retained timeline samples per launch; the oldest are
-    /// dropped once the ring fills, bounding telemetry memory.
+    /// Target timeline sample budget per launch — the retained series
+    /// never exceeds this many points. Must be at least 2 when
+    /// sampling is enabled (the first and final epochs are pinned).
     pub timeline_capacity: usize,
 }
 
@@ -386,8 +401,30 @@ impl GpuConfig {
         if !clock_ok(self.core_clock_ghz) || !clock_ok(self.mem_clock_ghz) {
             return Some("clocks must be finite and positive".into());
         }
-        if self.timeline_sample_period > 0 && self.timeline_capacity == 0 {
-            return Some("timeline_capacity must be positive when sampling is enabled".into());
+        if self.timeline_sample_period > 0 {
+            // Reject degenerate telemetry geometry up front instead of
+            // silently degrading the sampler: a budget below 2 cannot
+            // pin both the first and final epoch, an absurd budget is
+            // an unbounded-memory footgun, and a period near u64::MAX
+            // overflows the epoch arithmetic before the watchdog can
+            // possibly fire.
+            if self.timeline_capacity < 2 {
+                return Some(
+                    "timeline_capacity must be at least 2 when sampling is enabled".into(),
+                );
+            }
+            if self.timeline_capacity > MAX_TIMELINE_CAPACITY {
+                return Some(format!(
+                    "timeline_capacity {} exceeds the telemetry memory bound {}",
+                    self.timeline_capacity, MAX_TIMELINE_CAPACITY
+                ));
+            }
+            if self.timeline_sample_period > MAX_TIMELINE_PERIOD {
+                return Some(format!(
+                    "timeline_sample_period {} is overflow-prone (max {})",
+                    self.timeline_sample_period, MAX_TIMELINE_PERIOD
+                ));
+            }
         }
         None
     }
@@ -501,6 +538,38 @@ mod tests {
         assert!(c.validate().is_err());
         c.timeline_sample_period = 0;
         assert!(c.validate().is_ok(), "capacity unused when sampling is off");
+    }
+
+    #[test]
+    fn degenerate_timeline_geometry_is_rejected_with_typed_errors() {
+        let check = |mutate: fn(&mut GpuConfig), needle: &str| {
+            let mut c = GpuConfig::gpgpusim_default();
+            mutate(&mut c);
+            match c.validate() {
+                Err(crate::SimError::InvalidConfig { config, reason }) => {
+                    assert_eq!(config, c.name);
+                    assert!(reason.contains(needle), "{reason:?} missing {needle:?}");
+                }
+                other => panic!("expected InvalidConfig({needle}), got {other:?}"),
+            }
+        };
+        // A budget of 1 cannot pin both the first and final epoch.
+        check(|c| c.timeline_capacity = 1, "timeline_capacity");
+        check(|c| c.timeline_capacity = MAX_TIMELINE_CAPACITY + 1, "memory bound");
+        check(
+            |c| c.timeline_sample_period = MAX_TIMELINE_PERIOD + 1,
+            "overflow-prone",
+        );
+        // The same values are fine with sampling disabled.
+        let mut c = GpuConfig::gpgpusim_default();
+        c.timeline_sample_period = 0;
+        c.timeline_capacity = 1;
+        assert!(c.validate().is_ok());
+        // And the boundary values themselves are accepted.
+        let mut c = GpuConfig::gpgpusim_default();
+        c.timeline_sample_period = MAX_TIMELINE_PERIOD;
+        c.timeline_capacity = 2;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

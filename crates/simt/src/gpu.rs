@@ -392,12 +392,22 @@ struct Engine<'a> {
     /// cycle for cycle, to per-interval accounting, without walking
     /// every SM on every simulated cycle.
     attributed: Vec<u64>,
-    samples: std::collections::VecDeque<TimelineSample>,
-    dropped_samples: u64,
-    next_sample: u64,
-    last_dram_busy: u64,
+    /// Budget-bounded adaptive timeline sampler. Raw cumulative
+    /// counters are recorded per epoch; windowed rates (DRAM
+    /// utilization) are derived at the end from the *retained* cycle
+    /// gaps, so they stay exact under decimation.
+    sampler: obs::AdaptiveSampler<RawSample>,
     /// Maximum resident warps across the GPU (occupancy denominator).
     warp_capacity: f64,
+}
+
+/// Raw payload of one timeline epoch before rate derivation.
+#[derive(Debug, Clone, Copy)]
+struct RawSample {
+    /// Live (unretired) warps at the epoch.
+    live_warps: u32,
+    /// Cumulative DRAM channel-busy cycles at the epoch.
+    busy_cum: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -433,10 +443,7 @@ impl<'a> Engine<'a> {
             occupancy: OccupancyHistogram::new(cfg.warp_size as usize),
             stalls: vec![StallBreakdown::default(); cfg.num_sms as usize],
             attributed: vec![0; cfg.num_sms as usize],
-            samples: std::collections::VecDeque::new(),
-            dropped_samples: 0,
-            next_sample: cfg.timeline_sample_period.max(1),
-            last_dram_busy: 0,
+            sampler: obs::AdaptiveSampler::new(cfg.timeline_sample_period, cfg.timeline_capacity),
             warp_capacity: (cfg.num_sms as u64
                 * (cfg.max_threads_per_sm / cfg.warp_size).max(1) as u64)
                 as f64,
@@ -631,28 +638,19 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Emits timeline samples for every period boundary up to `upto`.
+    /// Records a timeline epoch for every sample boundary up to `upto`.
+    ///
+    /// Warp state is constant over the jumped span (no SM mutates
+    /// between `cycle` and the next wake), so each due epoch sees the
+    /// correct live-warp count. DRAM busy cycles are recorded as a
+    /// cumulative counter and converted to windowed utilization at the
+    /// end of the run, over the *retained* inter-sample gaps.
     fn sample_timeline(&mut self, upto: u64) {
-        let period = self.cfg.timeline_sample_period;
-        if period == 0 {
-            return;
-        }
-        while self.next_sample <= upto {
-            let busy = self.dram.busy_cycles();
-            let window = (self.cfg.mem_channels as u64 * period) as f64;
-            let dram_util = ((busy - self.last_dram_busy) as f64 / window).min(1.0);
-            self.last_dram_busy = busy;
-            if self.samples.len() == self.cfg.timeline_capacity {
-                self.samples.pop_front();
-                self.dropped_samples += 1;
-            }
-            self.samples.push_back(TimelineSample {
-                cycle: self.next_sample,
+        while self.sampler.is_due(upto) {
+            self.sampler.record_due(RawSample {
                 live_warps: self.live_warps as u32,
-                occupancy: self.live_warps as f64 / self.warp_capacity,
-                dram_util,
+                busy_cum: self.dram.busy_cycles(),
             });
-            self.next_sample += period;
         }
     }
 
@@ -1083,6 +1081,17 @@ impl<'a> Engine<'a> {
             debug_assert_eq!(over, 0, "port overshoot exceeds busy accounting");
         }
         self.sample_timeline(end.saturating_sub(1));
+        // Pin the closing epoch so the ramp-down tail is never lost,
+        // however aggressively the sampler backed off.
+        if end > 0 {
+            self.sampler.record_final(
+                end,
+                RawSample {
+                    live_warps: self.live_warps as u32,
+                    busy_cum: self.dram.busy_cycles(),
+                },
+            );
+        }
         let mut stall = StallBreakdown::default();
         for s in &self.stalls {
             stall.merge(s);
@@ -1092,11 +1101,39 @@ impl<'a> Engine<'a> {
             self.cfg.num_sms as u64 * end,
             "stall components must sum to total SM cycles"
         );
+        let warp_capacity = self.warp_capacity;
+        let mem_channels = self.cfg.mem_channels as u64;
+        let dropped = self.sampler.dropped();
+        let decimations = self.sampler.decimations();
+        let mut prev = (0u64, 0u64); // (cycle, cumulative busy)
+        let samples = std::mem::replace(
+            &mut self.sampler,
+            obs::AdaptiveSampler::new(0, 0),
+        )
+        .into_samples()
+        .into_iter()
+        .map(|(cycle, raw)| {
+            let window = (mem_channels * (cycle - prev.0)) as f64;
+            let dram_util = if window > 0.0 {
+                ((raw.busy_cum.saturating_sub(prev.1)) as f64 / window).min(1.0)
+            } else {
+                0.0
+            };
+            prev = (cycle, raw.busy_cum);
+            TimelineSample {
+                cycle,
+                live_warps: raw.live_warps,
+                occupancy: f64::from(raw.live_warps) / warp_capacity,
+                dram_util,
+            }
+        })
+        .collect();
         let timeline = Timeline {
             period: self.cfg.timeline_sample_period,
             capacity: self.cfg.timeline_capacity,
-            samples: self.samples.iter().copied().collect(),
-            dropped: self.dropped_samples,
+            samples,
+            dropped,
+            decimations,
         };
         let mut l1_hits = 0;
         let mut l1_misses = 0;

@@ -102,26 +102,40 @@ pub struct TimelineSample {
     pub live_warps: u32,
     /// `live_warps` over the GPU's maximum resident warp count.
     pub occupancy: f64,
-    /// DRAM channel-busy cycles accrued since the previous sample, over
-    /// `mem_channels * period` (clamped to 1.0; accesses are charged
-    /// when scheduled, so a burst can momentarily exceed the window).
+    /// DRAM channel-busy cycles accrued since the previous *retained*
+    /// sample, over `mem_channels * (cycle gap)` (clamped to 1.0;
+    /// accesses are charged when scheduled, so a burst can momentarily
+    /// exceed the window). Exact under adaptive decimation because the
+    /// window is derived from the retained cycles, not the period.
     pub dram_util: f64,
 }
 
 /// An epoch-sampled occupancy / DRAM-utilization timeline with bounded
-/// memory: at most `capacity` samples are retained in a ring, with the
-/// oldest dropped first (`dropped` counts them).
+/// memory.
+///
+/// Collection is *adaptive* (see `obs::sampler::AdaptiveSampler`):
+/// sampling starts at `period` core cycles and, whenever a launch has
+/// `capacity` retained samples, every other one is dropped and the
+/// period doubles — so short kernels are captured exactly, long
+/// kernels keep their whole run visible on an evenly spaced grid, and
+/// memory never exceeds `capacity` points. The first and final epochs
+/// of a launch are always retained.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timeline {
-    /// Sampling period in core cycles (0 = sampling disabled).
+    /// Initial sampling period in core cycles (0 = sampling disabled);
+    /// the effective period after backoff is `period << decimations`.
     pub period: u64,
-    /// Ring capacity the timeline was collected with.
+    /// Sample budget the timeline was collected with.
     pub capacity: usize,
     /// Retained samples, oldest first. Cycles are relative to each
     /// launch's own start; merged stats concatenate launches.
     pub samples: Vec<TimelineSample>,
-    /// Samples discarded because the ring was full.
+    /// Samples discarded (by adaptive decimation during collection, or
+    /// by re-trimming when merging launches).
     pub dropped: u64,
+    /// Times the sampler halved the retained set (each halving doubles
+    /// the effective period).
+    pub decimations: u32,
 }
 
 impl Timeline {
@@ -130,6 +144,7 @@ impl Timeline {
     pub fn merge(&mut self, other: &Timeline) {
         self.samples.extend(other.samples.iter().copied());
         self.dropped += other.dropped;
+        self.decimations = self.decimations.max(other.decimations);
         if self.capacity > 0 && self.samples.len() > self.capacity {
             let excess = self.samples.len() - self.capacity;
             self.samples.drain(..excess);
@@ -155,6 +170,7 @@ impl Timeline {
             ("period", Json::u64(self.period)),
             ("capacity", Json::u64(self.capacity as u64)),
             ("dropped", Json::u64(self.dropped)),
+            ("decimations", Json::u64(u64::from(self.decimations))),
             ("samples", Json::Arr(samples)),
         ])
     }
@@ -649,18 +665,21 @@ mod tests {
             capacity: 3,
             samples: vec![mk(10), mk(20)],
             dropped: 0,
+            decimations: 0,
         };
         let b = Timeline {
             period: 10,
             capacity: 3,
             samples: vec![mk(10), mk(20)],
             dropped: 1,
+            decimations: 2,
         };
         a.merge(&b);
         assert_eq!(a.samples.len(), 3);
         // Oldest sample evicted, its drop counted on top of b's.
         assert_eq!(a.dropped, 2);
         assert_eq!(a.samples[0].cycle, 20);
+        assert_eq!(a.decimations, 2, "merge keeps the deepest backoff");
     }
 
     #[test]

@@ -123,6 +123,8 @@ fn usage() {
     println!("             [--json <dir>] [--telemetry <file.jsonl>]");
     println!("             [--store <dir>] [--resume]");
     println!("       repro check [tiny|small|paper] [--json <dir>] [--jobs N]");
+    println!("       repro analyze [tiny|small|paper] [--json <dir>] [--jobs N]");
+    println!("                     [--top-k N]");
     println!("flags: --jobs N  worker threads for GPU-side replay jobs");
     println!("                 (default: available parallelism; output is");
     println!("                 byte-identical for any N)");
@@ -136,6 +138,11 @@ fn usage() {
     println!("       divergence, OOB, read-before-write, access-shape lints);");
     println!("       exits nonzero on any error-severity finding; --json writes");
     println!("       check_report.json");
+    println!("analyze: critical-path attribution across the suite — per");
+    println!("       benchmark the dominant stall chain and what removing it");
+    println!("       would buy, plus a suite-wide bottleneck ranking; --json");
+    println!("       writes a deterministic CRITPATH_manifest.json; --top-k N");
+    println!("       bounds the per-benchmark chain depth (default 3)");
     println!("env:   RODINIA_OBS=1|2 prints telemetry events to stderr");
 }
 
@@ -148,9 +155,64 @@ fn flush_or_exit(code: i32) {
     }
 }
 
+/// `repro analyze`: critical-path attribution across the suite. With
+/// `--json` the deterministic `CRITPATH_manifest.json` and a
+/// `BENCH_manifest.json` (carrying the critpath summary section) are
+/// written into the directory.
+fn run_analyze_cmd(
+    session: &StudySession,
+    scale: Scale,
+    top_k: usize,
+    json_dir: Option<&PathBuf>,
+    manifest: Option<ManifestBuilder>,
+) -> i32 {
+    let report = match rodinia_repro::rodinia_study::analyze::run_analyze(session, scale, top_k) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return 1;
+        }
+    };
+    match report.summary_table() {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return 1;
+        }
+    }
+    for line in report.render() {
+        println!("{line}");
+    }
+    if let Some(dir) = json_dir {
+        match report.write(dir) {
+            Ok(path) => eprintln!("wrote critpath manifest {}", path.display()),
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+        if let Some(mut m) = manifest {
+            m.push_section("critpath", report.manifest_section());
+            match m.write(dir) {
+                Ok(path) => eprintln!("wrote manifest {}", path.display()),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 1;
+                }
+            }
+        }
+    }
+    0
+}
+
 /// `repro check`: the suite through the sanitizer. Exits nonzero on any
 /// error-severity finding.
-fn run_check_cmd(session: &StudySession, scale: Scale, json_dir: Option<&PathBuf>) -> i32 {
+fn run_check_cmd(
+    session: &StudySession,
+    scale: Scale,
+    json_dir: Option<&PathBuf>,
+    manifest: Option<ManifestBuilder>,
+) -> i32 {
     let report = match rodinia_repro::rodinia_study::check::run_check(session, scale) {
         Ok(r) => r,
         Err(e) => {
@@ -182,6 +244,16 @@ fn run_check_cmd(session: &StudySession, scale: Scale, json_dir: Option<&PathBuf
             return 1;
         }
         eprintln!("wrote report {}", path.display());
+        if let Some(mut m) = manifest {
+            m.push_section("check", report.manifest_section());
+            match m.write(dir) {
+                Ok(path) => eprintln!("wrote manifest {}", path.display()),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 1;
+                }
+            }
+        }
     }
     i32::from(errors > 0)
 }
@@ -194,6 +266,8 @@ fn main() {
     let mut ids: Vec<ExperimentId> = Vec::new();
     let mut listed = false;
     let mut check = false;
+    let mut analyze = false;
+    let mut top_k = rodinia_repro::rodinia_study::analyze::DEFAULT_TOP_K;
     let mut json_dir: Option<PathBuf> = None;
     let mut telemetry: Option<PathBuf> = None;
     let mut jobs: Option<usize> = None;
@@ -240,6 +314,16 @@ fn main() {
             "all" => ids = ExperimentId::all(),
             "list" => listed = true,
             "check" => check = true,
+            "analyze" => analyze = true,
+            "--top-k" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = parsed else {
+                    eprintln!("--top-k requires a positive integer argument");
+                    std::process::exit(2);
+                };
+                top_k = n;
+            }
             other => match id_of(other) {
                 Some(id) => ids.push(id),
                 None => {
@@ -254,7 +338,7 @@ fn main() {
         eprintln!("--resume requires --store <dir>");
         std::process::exit(2);
     }
-    if listed || (ids.is_empty() && !check) {
+    if listed || (ids.is_empty() && !check && !analyze) {
         usage();
         // `repro` / `repro list` asked for the usage text; anything else
         // reaching this point produced no artifact, which is a misuse.
@@ -298,7 +382,12 @@ fn main() {
         session.attach_store(Arc::clone(s));
     }
     if check {
-        let code = run_check_cmd(&session, scale, json_dir.as_ref());
+        let code = run_check_cmd(&session, scale, json_dir.as_ref(), manifest.take());
+        flush_or_exit(1);
+        std::process::exit(code);
+    }
+    if analyze {
+        let code = run_analyze_cmd(&session, scale, top_k, json_dir.as_ref(), manifest.take());
         flush_or_exit(1);
         std::process::exit(code);
     }

@@ -34,11 +34,7 @@ use crate::error::StudyError;
 use crate::manifest::scale_str;
 use crate::report::Table;
 
-/// Schema tag of the critical-path manifest.
-pub const CRITPATH_SCHEMA: &str = "rodinia-repro.critpath/v1";
-
-/// File name of the critical-path manifest inside the output directory.
-pub const CRITPATH_FILE: &str = "CRITPATH_manifest.json";
+pub use crate::manifest::{CRITPATH_FILE, CRITPATH_SCHEMA};
 
 /// Default chain depth of the per-benchmark bottleneck ranking.
 pub const DEFAULT_TOP_K: usize = 3;
@@ -177,22 +173,16 @@ impl AnalyzeReport {
         ])
     }
 
-    /// Writes the manifest to `dir/CRITPATH_manifest.json`, creating
-    /// `dir` if needed. Returns the written path.
+    /// Writes the manifest to `dir/CRITPATH_manifest.json` through the
+    /// [`ManifestKind`](crate::manifest::ManifestKind) registry
+    /// (atomic, creating `dir` if needed). Returns the written path.
     ///
     /// # Errors
     ///
     /// [`StudyError::Io`] if the directory cannot be created or the
     /// file cannot be written.
     pub fn write(&self, dir: &Path) -> Result<PathBuf, StudyError> {
-        let io_err = |path: &Path, e: std::io::Error| StudyError::Io {
-            path: path.display().to_string(),
-            reason: e.to_string(),
-        };
-        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
-        let path = dir.join(CRITPATH_FILE);
-        std::fs::write(&path, format!("{}\n", self.to_json())).map_err(|e| io_err(&path, e))?;
-        Ok(path)
+        crate::manifest::write_manifest(dir, crate::manifest::ManifestKind::Critpath, &self.to_json())
     }
 }
 

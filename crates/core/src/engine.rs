@@ -28,7 +28,7 @@ use crate::trace_cache::{CpuTraceCache, TraceCache};
 /// configurations consume the trace.
 #[derive(Debug)]
 pub struct StudySession {
-    jobs: usize,
+    jobs: AtomicUsize,
     cache: TraceCache,
     cpu_cache: CpuTraceCache,
     store: Option<Arc<TraceStore>>,
@@ -49,7 +49,7 @@ impl StudySession {
     #[must_use = "builds a session without running anything"]
     pub fn new(jobs: usize) -> StudySession {
         StudySession {
-            jobs: jobs.max(1),
+            jobs: AtomicUsize::new(jobs.max(1)),
             cache: TraceCache::new(),
             cpu_cache: CpuTraceCache::new(),
             store: None,
@@ -65,7 +65,18 @@ impl StudySession {
 
     /// The worker-pool width.
     pub fn jobs(&self) -> usize {
-        self.jobs
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Adjusts the worker-pool width for subsequent [`run_indexed`]
+    /// calls (clamped to at least 1). Results are byte-identical at any
+    /// width, so a long-running session — the `repro serve` daemon —
+    /// can apply a per-request `jobs` hint without forking state; a
+    /// sweep already in flight keeps the width it started with.
+    ///
+    /// [`run_indexed`]: StudySession::run_indexed
+    pub fn set_jobs(&self, jobs: usize) {
+        self.jobs.store(jobs.max(1), Ordering::Relaxed);
     }
 
     /// The session's shared GPU kernel-trace cache.
@@ -112,7 +123,7 @@ impl StudySession {
         T: Send,
         F: Fn(usize) -> Result<T, StudyError> + Sync,
     {
-        let workers = self.jobs.min(n);
+        let workers = self.jobs().min(n);
         if workers <= 1 {
             return (0..n).map(f).collect();
         }
@@ -189,5 +200,16 @@ mod tests {
     fn default_session_uses_available_parallelism() {
         let session = StudySession::default();
         assert!(session.jobs() >= 1);
+    }
+
+    #[test]
+    fn jobs_width_is_adjustable_and_clamped() {
+        let session = StudySession::new(4);
+        session.set_jobs(7);
+        assert_eq!(session.jobs(), 7);
+        session.set_jobs(0);
+        assert_eq!(session.jobs(), 1, "zero clamps to one");
+        let out = session.run_indexed(8, Ok).expect("runs");
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
     }
 }

@@ -62,6 +62,69 @@ impl ExperimentId {
             Table5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12,
         ]
     }
+
+    /// Parses a CLI/API artifact name (`"fig1"`, `"table3"`, `"pb"`,
+    /// case-insensitive) into its id. This is the single name table
+    /// shared by the `repro` argument parser and the `repro serve`
+    /// JSON decoder; [`ExperimentId::name`] is its inverse.
+    pub fn parse(name: &str) -> Option<ExperimentId> {
+        use ExperimentId::*;
+        Some(match name.to_ascii_lowercase().as_str() {
+            "table1" => Table1,
+            "table2" => Table2,
+            "table3" => Table3,
+            "table4" => Table4,
+            "table5" => Table5,
+            "fig1" => Fig1,
+            "fig2" => Fig2,
+            "fig3" => Fig3,
+            "fig4" => Fig4,
+            "fig5" => Fig5,
+            "pb" | "sensitivity" => PlackettBurman,
+            "fig6" => Fig6,
+            "fig7" => Fig7,
+            "fig8" => Fig8,
+            "fig9" => Fig9,
+            "fig10" => Fig10,
+            "fig11" => Fig11,
+            "fig12" => Fig12,
+            _ => return None,
+        })
+    }
+
+    /// The canonical artifact name, as accepted by
+    /// [`ExperimentId::parse`] and spelled into study keys and
+    /// manifests.
+    pub fn name(self) -> &'static str {
+        use ExperimentId::*;
+        match self {
+            Table1 => "table1",
+            Table2 => "table2",
+            Table3 => "table3",
+            Table4 => "table4",
+            Table5 => "table5",
+            Fig1 => "fig1",
+            Fig2 => "fig2",
+            Fig3 => "fig3",
+            Fig4 => "fig4",
+            Fig5 => "fig5",
+            PlackettBurman => "pb",
+            Fig6 => "fig6",
+            Fig7 => "fig7",
+            Fig8 => "fig8",
+            Fig9 => "fig9",
+            Fig10 => "fig10",
+            Fig11 => "fig11",
+            Fig12 => "fig12",
+        }
+    }
+
+    /// Whether this artifact needs the profiled 24-workload comparison
+    /// corpus (and therefore [`run_comparison`] instead of [`run_gpu`]).
+    pub fn needs_corpus(self) -> bool {
+        use ExperimentId::*;
+        matches!(self, Fig6 | Fig7 | Fig8 | Fig9 | Fig10 | Fig11 | Fig12)
+    }
 }
 
 /// Renders Table II from the default configuration.
@@ -189,6 +252,19 @@ mod tests {
     #[test]
     fn registry_covers_all_18_artifacts() {
         assert_eq!(ExperimentId::all().len(), 18);
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for id in ExperimentId::all() {
+            assert_eq!(ExperimentId::parse(id.name()), Some(id), "{id:?}");
+        }
+        assert_eq!(ExperimentId::parse("FIG1"), Some(ExperimentId::Fig1));
+        assert_eq!(
+            ExperimentId::parse("sensitivity"),
+            Some(ExperimentId::PlackettBurman)
+        );
+        assert_eq!(ExperimentId::parse("fig99"), None);
     }
 
     #[test]

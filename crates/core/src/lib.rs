@@ -53,7 +53,9 @@ pub mod features;
 pub mod footprints;
 pub mod manifest;
 pub mod report;
+pub mod request;
 pub mod sensitivity;
+pub mod serve;
 pub mod suite;
 pub mod trace_cache;
 

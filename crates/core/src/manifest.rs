@@ -28,7 +28,6 @@
 //! }
 //! ```
 
-use std::fs;
 use std::path::{Path, PathBuf};
 
 use obs::Json;
@@ -53,6 +52,86 @@ pub const STUDY_SCHEMA: &str = "rodinia-repro.study/v1";
 /// the same study are byte-identical, interrupted-and-resumed or not.
 /// The crash-recovery CI gate diffs it with `cmp`.
 pub const STUDY_MANIFEST_FILE: &str = "STUDY_manifest.json";
+
+/// Schema tag of the critical-path manifest (`repro analyze`).
+pub const CRITPATH_SCHEMA: &str = "rodinia-repro.critpath/v1";
+
+/// File name of the critical-path manifest inside the output directory.
+pub const CRITPATH_FILE: &str = "CRITPATH_manifest.json";
+
+/// One kind of machine-readable manifest the repo emits.
+///
+/// This is the single schema-version registry: every `*_manifest.json`
+/// writer in the workspace — the run manifest built by
+/// [`ManifestBuilder`], the deterministic study manifest served by
+/// `repro serve` and written next to the store, and the critical-path
+/// manifest of `repro analyze` — goes through [`write_manifest`] with
+/// one of these kinds, so the schema tag, the file name, and the atomic
+/// write discipline can never drift apart per emitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ManifestKind {
+    /// `BENCH_manifest.json` (`rodinia-repro.manifest/v1`): one run's
+    /// tables plus kernel stats, sections, and telemetry.
+    Bench,
+    /// `STUDY_manifest.json` (`rodinia-repro.study/v1`): pure tables,
+    /// byte-deterministic; the crash-recovery and serve responses.
+    Study,
+    /// `CRITPATH_manifest.json` (`rodinia-repro.critpath/v1`):
+    /// critical-path attribution, byte-deterministic.
+    Critpath,
+}
+
+impl ManifestKind {
+    /// Every registered manifest kind.
+    pub const ALL: [ManifestKind; 3] =
+        [ManifestKind::Bench, ManifestKind::Study, ManifestKind::Critpath];
+
+    /// The schema tag written into (and required of) documents of this
+    /// kind.
+    pub fn schema(self) -> &'static str {
+        match self {
+            ManifestKind::Bench => MANIFEST_SCHEMA,
+            ManifestKind::Study => STUDY_SCHEMA,
+            ManifestKind::Critpath => CRITPATH_SCHEMA,
+        }
+    }
+
+    /// The file name documents of this kind are written under.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            ManifestKind::Bench => MANIFEST_FILE,
+            ManifestKind::Study => STUDY_MANIFEST_FILE,
+            ManifestKind::Critpath => CRITPATH_FILE,
+        }
+    }
+
+    /// Resolves a schema tag back to its kind — how external tooling
+    /// (and the roundtrip test) dispatches on a document.
+    pub fn of_schema(tag: &str) -> Option<ManifestKind> {
+        ManifestKind::ALL.into_iter().find(|k| k.schema() == tag)
+    }
+}
+
+/// Atomically writes a manifest document to `dir/<kind file name>`
+/// (temp + fsync + rename, creating `dir` if needed) and returns the
+/// written path. The document's `schema` field must match the
+/// registry's tag for `kind` — the one writer is where that invariant
+/// is enforced for every emitter.
+///
+/// # Errors
+///
+/// [`StudyError::Registry`] if the document's schema tag is absent or
+/// disagrees with `kind`; [`StudyError::Io`] if the write fails.
+pub fn write_manifest(dir: &Path, kind: ManifestKind, doc: &Json) -> Result<PathBuf, StudyError> {
+    if doc.get("schema").and_then(Json::as_str) != Some(kind.schema()) {
+        return Err(StudyError::Registry {
+            id: format!("{kind:?}"),
+            reason: "manifest document schema tag disagrees with the registry",
+        });
+    }
+    let path = store::write_atomic(dir, kind.file_name(), format!("{doc}\n").as_bytes())?;
+    Ok(path)
+}
 
 /// Serializes a rendered [`Table`] (title, columns, row cells).
 pub fn table_to_json(t: &Table) -> Json {
@@ -149,9 +228,7 @@ pub fn write_study_manifest(
     scale: Scale,
     experiments: &[(String, Vec<Table>)],
 ) -> Result<PathBuf, StudyError> {
-    let doc = study_manifest_json(scale, experiments);
-    let path = store::write_atomic(dir, STUDY_MANIFEST_FILE, format!("{doc}\n").as_bytes())?;
-    Ok(path)
+    write_manifest(dir, ManifestKind::Study, &study_manifest_json(scale, experiments))
 }
 
 /// Snapshot of the persistent-store health counters as a JSON object
@@ -260,29 +337,23 @@ impl ManifestBuilder {
         Json::Obj(pairs)
     }
 
-    /// Builds the document and writes it to `dir/BENCH_manifest.json`,
-    /// creating `dir` if needed. Returns the written path.
+    /// Builds the document and writes it to `dir/BENCH_manifest.json`
+    /// through the [`ManifestKind`] registry (atomic, creating `dir` if
+    /// needed). Returns the written path.
     ///
     /// # Errors
     ///
     /// [`StudyError::Io`] if the directory cannot be created or the
     /// file cannot be written.
     pub fn write(self, dir: &Path) -> Result<PathBuf, StudyError> {
-        let io_err = |path: &Path, e: std::io::Error| StudyError::Io {
-            path: path.display().to_string(),
-            reason: e.to_string(),
-        };
-        fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
-        let path = dir.join(MANIFEST_FILE);
-        let doc = self.build();
-        fs::write(&path, format!("{doc}\n")).map_err(|e| io_err(&path, e))?;
-        Ok(path)
+        write_manifest(dir, ManifestKind::Bench, &self.build())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn demo_table() -> Table {
         let mut t = Table::new("Demo", &["name", "value"]);
@@ -370,6 +441,57 @@ mod tests {
         assert_eq!(path.file_name().and_then(|n| n.to_str()), Some(STUDY_MANIFEST_FILE));
         let text = fs::read_to_string(&path).expect("read");
         assert!(Json::parse(&text).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registry_kinds_are_distinct_and_resolvable() {
+        for kind in ManifestKind::ALL {
+            assert_eq!(ManifestKind::of_schema(kind.schema()), Some(kind));
+        }
+        assert_eq!(ManifestKind::of_schema("rodinia-repro.unknown/v9"), None);
+        // File names are unique — two kinds never overwrite each other.
+        let mut names: Vec<&str> = ManifestKind::ALL.iter().map(|k| k.file_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ManifestKind::ALL.len());
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_the_one_writer() {
+        let dir = std::env::temp_dir().join(format!(
+            "rodinia-manifest-registry-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        for kind in ManifestKind::ALL {
+            let doc = Json::obj(vec![
+                ("schema", Json::from(kind.schema())),
+                ("scale", Json::from("tiny")),
+            ]);
+            let path = write_manifest(&dir, kind, &doc).expect("write");
+            assert_eq!(path.file_name().and_then(|n| n.to_str()), Some(kind.file_name()));
+            let text = fs::read_to_string(&path).expect("read back");
+            let back = Json::parse(&text).expect("parses");
+            // The registry recovers the kind from the document alone.
+            let tag = back.get("schema").and_then(Json::as_str).expect("tag");
+            assert_eq!(ManifestKind::of_schema(tag), Some(kind));
+            assert_eq!(back, doc);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writer_rejects_a_mistagged_document() {
+        let dir = std::env::temp_dir().join(format!(
+            "rodinia-manifest-mistag-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let doc = Json::obj(vec![("schema", Json::from(STUDY_SCHEMA))]);
+        let err = write_manifest(&dir, ManifestKind::Bench, &doc).unwrap_err();
+        assert!(matches!(err, StudyError::Registry { .. }), "{err}");
+        assert!(!dir.join(MANIFEST_FILE).exists(), "nothing written on refusal");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -24,6 +24,7 @@
 //! re-running the workload eight times.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use datasets::Scale;
@@ -174,6 +175,8 @@ type CacheSlot = Arc<OnceLock<Result<Arc<CapturedRun>, StudyError>>>;
 pub struct TraceCache {
     map: Mutex<HashMap<TraceKey, CacheSlot>>,
     store: Mutex<Option<Arc<TraceStore>>>,
+    captures: AtomicU64,
+    restores: AtomicU64,
 }
 
 impl TraceCache {
@@ -208,6 +211,21 @@ impl TraceCache {
     /// Whether nothing has been captured yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// How many times this cache actually ran a capture (functional
+    /// execution) — store restores and in-memory hits are excluded.
+    /// Instance-scoped (unlike the global `store.*` registry counters)
+    /// so the `repro serve` `/stats` endpoint and the coalescing tests
+    /// can assert "zero new captures" without cross-test interference.
+    pub fn captures(&self) -> u64 {
+        self.captures.load(Ordering::Relaxed)
+    }
+
+    /// How many captures this cache restored from the persistent store
+    /// instead of re-running (see [`TraceCache::captures`]).
+    pub fn restores(&self) -> u64 {
+        self.restores.load(Ordering::Relaxed)
     }
 
     /// Looks up `key`, running `capture` exactly once on a miss (even
@@ -259,9 +277,11 @@ impl TraceCache {
         self.get_or_capture(key.clone(), || {
             if let Some(store) = &store {
                 if let Some(restored) = load_persisted_gpu_run(store, &key, cfg) {
+                    self.restores.fetch_add(1, Ordering::Relaxed);
                     return Ok(restored);
                 }
             }
+            self.captures.fetch_add(1, Ordering::Relaxed);
             let _span = obs::span!("trace_cache.capture.{name}");
             let mut gpu = Gpu::try_new(cfg.clone())?;
             gpu.set_trace_recording(true);
@@ -408,6 +428,8 @@ type CpuSlot = Arc<OnceLock<Result<Arc<CpuCapture>, StudyError>>>;
 pub struct CpuTraceCache {
     map: Mutex<HashMap<CpuTraceKey, CpuSlot>>,
     store: Mutex<Option<Arc<TraceStore>>>,
+    captures: AtomicU64,
+    restores: AtomicU64,
 }
 
 impl CpuTraceCache {
@@ -440,6 +462,18 @@ impl CpuTraceCache {
     /// Whether nothing has been captured yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// How many times this cache actually ran a capture (see
+    /// [`TraceCache::captures`] for the contract).
+    pub fn captures(&self) -> u64 {
+        self.captures.load(Ordering::Relaxed)
+    }
+
+    /// How many captures this cache restored from the persistent store
+    /// instead of re-running (see [`TraceCache::captures`]).
+    pub fn restores(&self) -> u64 {
+        self.restores.load(Ordering::Relaxed)
     }
 
     /// Looks up `key`, running `capture` exactly once on a miss (even
@@ -476,9 +510,11 @@ impl CpuTraceCache {
         self.get_or_capture(key.clone(), || {
             if let Some(store) = &store {
                 if let Some(restored) = load_persisted_cpu_capture(store, &key) {
+                    self.restores.fetch_add(1, Ordering::Relaxed);
                     return Ok(restored);
                 }
             }
+            self.captures.fetch_add(1, Ordering::Relaxed);
             let cap = CpuCapture::capture(workload, cfg)?;
             if let Some(store) = &store {
                 store.save_or_warn(&key.store_key(), &tracekit::encode_capture(&cap));
@@ -608,6 +644,8 @@ mod tests {
             .expect("cache hit");
         assert!(Arc::ptr_eq(&run1, &run2), "second lookup hit the cache");
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.captures(), 1, "one functional execution");
+        assert_eq!(cache.restores(), 0, "no store attached");
 
         // Replay under the capture config reproduces the baseline.
         let replayed = run1.replay(&cfg).expect("replay");

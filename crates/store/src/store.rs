@@ -87,10 +87,18 @@ impl TraceStore {
         fs::create_dir_all(dir).map_err(|e| unavailable(&e))?;
         // Writability probe: an unwritable or full store must surface
         // at open time (when the caller can still downgrade cleanly),
-        // not as a storm of per-entry warnings mid-study.
+        // not as a storm of per-entry warnings mid-study. The journals
+        // subdirectory gets its own probe — a writable root with a
+        // blocked `journals/` would otherwise pass here and then fail
+        // the first sweep checkpoint mid-study.
         let probe = dir.join(format!(".probe-{}", std::process::id()));
         fs::write(&probe, b"probe").map_err(|e| unavailable(&e))?;
         let _ = fs::remove_file(&probe);
+        let journals = dir.join(JOURNAL_DIR);
+        fs::create_dir_all(&journals).map_err(|e| unavailable(&e))?;
+        let jprobe = journals.join(format!(".probe-{}", std::process::id()));
+        fs::write(&jprobe, b"probe").map_err(|e| unavailable(&e))?;
+        let _ = fs::remove_file(&jprobe);
         let crash_after_saves = std::env::var(CRASH_AFTER_SAVES_ENV)
             .ok()
             .and_then(|v| v.parse::<u64>().ok());
@@ -484,6 +492,19 @@ mod tests {
         let file = dir.join("occupied");
         fs::write(&file, b"x").expect("write");
         let err = TraceStore::open(&file).unwrap_err();
+        assert!(matches!(err, StoreError::Unavailable { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn blocked_journals_dir_is_unavailable_at_open() {
+        let dir = test_dir("blockedjournals");
+        fs::create_dir_all(&dir).expect("mkdir");
+        // A plain file squatting on `journals/` makes checkpointing
+        // impossible even though the root itself is writable; that must
+        // surface at open time, not at the first sweep checkpoint.
+        fs::write(dir.join(JOURNAL_DIR), b"not a dir").expect("write");
+        let err = TraceStore::open(&dir).unwrap_err();
         assert!(matches!(err, StoreError::Unavailable { .. }), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }

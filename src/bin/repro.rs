@@ -1,5 +1,5 @@
 //! `repro` — regenerate any table or figure of the paper from the
-//! command line.
+//! command line, or serve studies as a daemon.
 //!
 //! ```text
 //! repro list
@@ -7,7 +7,15 @@
 //! repro fig1  [tiny|small|paper] [--csv]
 //! repro fig6 fig10 small
 //! repro all tiny --jobs 4 --json out/ --telemetry out/telemetry.jsonl
+//! repro serve 127.0.0.1:7878 --store /var/rodinia-store
 //! ```
+//!
+//! Every subcommand lowers into one typed
+//! [`StudyRequest`] and runs through
+//! [`rodinia_repro::rodinia_study::request::execute`] — the same
+//! pipeline behind the `repro serve` daemon, so a served response body
+//! is byte-identical to the `STUDY_manifest.json` this CLI writes for
+//! the same request.
 //!
 //! GPU-side artifacts run on a shared [`StudySession`]: each
 //! benchmark's warp trace is captured once into the session's trace
@@ -37,71 +45,20 @@
 //!   killed mid-sweep restarts from its last durable checkpoint and
 //!   produces a byte-identical `STUDY_manifest.json`.
 
-use std::collections::HashMap;
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
 
-use obs::Json;
 use rodinia_repro::prelude::*;
-use rodinia_repro::rodinia_study::experiments::{run_comparison, run_gpu};
-use rodinia_repro::rodinia_study::manifest::{self, ManifestBuilder};
+use rodinia_repro::rodinia_study::analyze::AnalyzeReport;
+use rodinia_repro::rodinia_study::check::CheckReport;
+use rodinia_repro::rodinia_study::manifest::ManifestBuilder;
 use rodinia_repro::rodinia_study::report::Table;
-use rodinia_repro::store::{fnv1a64, Journal, TraceStore};
-
-fn id_of(name: &str) -> Option<ExperimentId> {
-    use ExperimentId::*;
-    Some(match name.to_ascii_lowercase().as_str() {
-        "table1" => Table1,
-        "table2" => Table2,
-        "table3" => Table3,
-        "table4" => Table4,
-        "table5" => Table5,
-        "fig1" => Fig1,
-        "fig2" => Fig2,
-        "fig3" => Fig3,
-        "fig4" => Fig4,
-        "fig5" => Fig5,
-        "pb" | "sensitivity" => PlackettBurman,
-        "fig6" => Fig6,
-        "fig7" => Fig7,
-        "fig8" => Fig8,
-        "fig9" => Fig9,
-        "fig10" => Fig10,
-        "fig11" => Fig11,
-        "fig12" => Fig12,
-        _ => return None,
-    })
-}
-
-fn name_of(id: ExperimentId) -> &'static str {
-    use ExperimentId::*;
-    match id {
-        Table1 => "table1",
-        Table2 => "table2",
-        Table3 => "table3",
-        Table4 => "table4",
-        Table5 => "table5",
-        Fig1 => "fig1",
-        Fig2 => "fig2",
-        Fig3 => "fig3",
-        Fig4 => "fig4",
-        Fig5 => "fig5",
-        PlackettBurman => "pb",
-        Fig6 => "fig6",
-        Fig7 => "fig7",
-        Fig8 => "fig8",
-        Fig9 => "fig9",
-        Fig10 => "fig10",
-        Fig11 => "fig11",
-        Fig12 => "fig12",
-    }
-}
-
-fn needs_corpus(id: ExperimentId) -> bool {
-    use ExperimentId::*;
-    matches!(id, Fig6 | Fig7 | Fig8 | Fig9 | Fig10 | Fig11 | Fig12)
-}
+use rodinia_repro::rodinia_study::request::{
+    execute, parse_scale, RequestObserver, StudyCommand, StudyRequest, StudyResponse, EXIT_MISUSE,
+};
+use rodinia_repro::rodinia_study::serve::{ServeConfig, Server};
+use rodinia_repro::store::TraceStore;
 
 fn emit(tables: &[Table], csv: bool) {
     for t in tables {
@@ -117,7 +74,7 @@ fn emit(tables: &[Table], csv: bool) {
 fn usage() {
     println!("artifacts:");
     for id in ExperimentId::all() {
-        println!("  {}", name_of(id));
+        println!("  {}", id.name());
     }
     println!("usage: repro <artifact|all> [tiny|small|paper] [--csv] [--jobs N]");
     println!("             [--json <dir>] [--telemetry <file.jsonl>]");
@@ -125,6 +82,7 @@ fn usage() {
     println!("       repro check [tiny|small|paper] [--json <dir>] [--jobs N]");
     println!("       repro analyze [tiny|small|paper] [--json <dir>] [--jobs N]");
     println!("                     [--top-k N]");
+    println!("       repro serve <addr> [--store <dir>] [--jobs N]");
     println!("flags: --jobs N  worker threads for GPU-side replay jobs");
     println!("                 (default: available parallelism; output is");
     println!("                 byte-identical for any N)");
@@ -143,6 +101,10 @@ fn usage() {
     println!("       would buy, plus a suite-wide bottleneck ranking; --json");
     println!("       writes a deterministic CRITPATH_manifest.json; --top-k N");
     println!("       bounds the per-benchmark chain depth (default 3)");
+    println!("serve: study daemon on <addr> — POST /study with a JSON request");
+    println!("       (see README) answers with the same bytes the CLI writes");
+    println!("       as STUDY_manifest.json; GET /healthz, GET /stats,");
+    println!("       POST /shutdown for graceful drain");
     println!("env:   RODINIA_OBS=1|2 prints telemetry events to stderr");
 }
 
@@ -155,71 +117,8 @@ fn flush_or_exit(code: i32) {
     }
 }
 
-/// `repro analyze`: critical-path attribution across the suite. With
-/// `--json` the deterministic `CRITPATH_manifest.json` and a
-/// `BENCH_manifest.json` (carrying the critpath summary section) are
-/// written into the directory.
-fn run_analyze_cmd(
-    session: &StudySession,
-    scale: Scale,
-    top_k: usize,
-    json_dir: Option<&PathBuf>,
-    manifest: Option<ManifestBuilder>,
-) -> i32 {
-    let report = match rodinia_repro::rodinia_study::analyze::run_analyze(session, scale, top_k) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("analyze: {e}");
-            return 1;
-        }
-    };
-    match report.summary_table() {
-        Ok(t) => println!("{t}"),
-        Err(e) => {
-            eprintln!("analyze: {e}");
-            return 1;
-        }
-    }
-    for line in report.render() {
-        println!("{line}");
-    }
-    if let Some(dir) = json_dir {
-        match report.write(dir) {
-            Ok(path) => eprintln!("wrote critpath manifest {}", path.display()),
-            Err(e) => {
-                eprintln!("{e}");
-                return 1;
-            }
-        }
-        if let Some(mut m) = manifest {
-            m.push_section("critpath", report.manifest_section());
-            match m.write(dir) {
-                Ok(path) => eprintln!("wrote manifest {}", path.display()),
-                Err(e) => {
-                    eprintln!("{e}");
-                    return 1;
-                }
-            }
-        }
-    }
-    0
-}
-
-/// `repro check`: the suite through the sanitizer. Exits nonzero on any
-/// error-severity finding.
-fn run_check_cmd(
-    session: &StudySession,
-    scale: Scale,
-    json_dir: Option<&PathBuf>,
-    manifest: Option<ManifestBuilder>,
-) -> i32 {
-    let report = match rodinia_repro::rodinia_study::check::run_check(session, scale) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("check: {e}");
-            return 1;
-        }
-    };
+/// Prints and persists a `repro check` result; returns the exit code.
+fn present_check(report: &CheckReport, json_dir: Option<&PathBuf>, manifest: Option<ManifestBuilder>) -> i32 {
     match report.summary_table() {
         Ok(t) => println!("{t}"),
         Err(e) => {
@@ -258,9 +157,143 @@ fn run_check_cmd(
     i32::from(errors > 0)
 }
 
+/// Prints and persists a `repro analyze` result; returns the exit code.
+fn present_analyze(
+    report: &AnalyzeReport,
+    json_dir: Option<&PathBuf>,
+    manifest: Option<ManifestBuilder>,
+) -> i32 {
+    match report.summary_table() {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return 1;
+        }
+    }
+    for line in report.render() {
+        println!("{line}");
+    }
+    if let Some(dir) = json_dir {
+        match report.write(dir) {
+            Ok(path) => eprintln!("wrote critpath manifest {}", path.display()),
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+        if let Some(mut m) = manifest {
+            m.push_section("critpath", report.manifest_section());
+            match m.write(dir) {
+                Ok(path) => eprintln!("wrote manifest {}", path.display()),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 1;
+                }
+            }
+        }
+    }
+    0
+}
+
+/// The CLI's progress hooks into the shared execution pipeline:
+/// warnings to stderr, each finished experiment rendered to stdout and
+/// accumulated into the `--json` run manifest.
+struct CliObserver<'a> {
+    csv: bool,
+    manifest: &'a mut Option<ManifestBuilder>,
+}
+
+impl RequestObserver for CliObserver<'_> {
+    fn note(&mut self, line: &str) {
+        eprintln!("{line}");
+    }
+
+    fn experiment_done(&mut self, id: &str, tables: &[Table], wall_us: u64, _restored: bool) {
+        if let Some(m) = self.manifest.as_mut() {
+            m.push_experiment(id, tables, wall_us);
+        }
+        emit(tables, self.csv);
+    }
+}
+
+/// `repro serve <addr> [--store <dir>] [--jobs N]`: run the daemon
+/// until a `POST /shutdown` drains it.
+fn serve_main(args: &[String]) -> i32 {
+    let mut addr: Option<String> = None;
+    let mut store: Option<PathBuf> = None;
+    let mut jobs: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--store" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("--store requires a directory argument");
+                    return EXIT_MISUSE;
+                };
+                store = Some(PathBuf::from(value));
+            }
+            "--jobs" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = parsed else {
+                    eprintln!("--jobs requires a positive integer argument");
+                    return EXIT_MISUSE;
+                };
+                jobs = Some(n);
+            }
+            other if addr.is_none() && !other.starts_with('-') => {
+                addr = Some(other.to_string());
+            }
+            other => {
+                eprintln!("serve: unexpected argument {other:?}");
+                return EXIT_MISUSE;
+            }
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else {
+        eprintln!("usage: repro serve <addr> [--store <dir>] [--jobs N]");
+        return EXIT_MISUSE;
+    };
+    let server = match Server::bind(&ServeConfig { addr, store, jobs }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return 1;
+        }
+    };
+    if let Some(w) = server.store_warning() {
+        eprintln!("{w}");
+    }
+    match server.local_addr() {
+        Ok(a) => {
+            // Scripted clients (and the serve-smoke CI job) parse this
+            // line to learn the picked port, so it must hit the pipe
+            // before the accept loop starts.
+            println!("repro serve: listening on {a}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return 1;
+        }
+    }
+    match server.run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
     obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        std::process::exit(serve_main(&args[1..]));
+    }
     let mut csv = false;
     let mut scale = Scale::Small;
     let mut ids: Vec<ExperimentId> = Vec::new();
@@ -282,19 +315,16 @@ fn main() {
                 i += 1;
                 let Some(value) = args.get(i) else {
                     eprintln!("--store requires a directory argument");
-                    std::process::exit(2);
+                    std::process::exit(EXIT_MISUSE);
                 };
                 store_dir = Some(PathBuf::from(value));
             }
-            "tiny" => scale = Scale::Tiny,
-            "small" => scale = Scale::Small,
-            "paper" => scale = Scale::Paper,
             "--jobs" => {
                 i += 1;
                 let parsed = args.get(i).and_then(|v| v.parse::<usize>().ok());
                 let Some(n) = parsed else {
                     eprintln!("--jobs requires a positive integer argument");
-                    std::process::exit(2);
+                    std::process::exit(EXIT_MISUSE);
                 };
                 jobs = Some(n);
             }
@@ -303,7 +333,7 @@ fn main() {
                 i += 1;
                 let Some(value) = args.get(i) else {
                     eprintln!("{flag} requires a path argument");
-                    std::process::exit(2);
+                    std::process::exit(EXIT_MISUSE);
                 };
                 if flag == "--json" {
                     json_dir = Some(PathBuf::from(value));
@@ -320,32 +350,48 @@ fn main() {
                 let parsed = args.get(i).and_then(|v| v.parse::<usize>().ok());
                 let Some(n) = parsed else {
                     eprintln!("--top-k requires a positive integer argument");
-                    std::process::exit(2);
+                    std::process::exit(EXIT_MISUSE);
                 };
                 top_k = n;
             }
-            other => match id_of(other) {
-                Some(id) => ids.push(id),
-                None => {
-                    eprintln!("unknown artifact {other:?}; try `repro list`");
-                    std::process::exit(2);
-                }
+            other => match parse_scale(other) {
+                Some(s) => scale = s,
+                None => match ExperimentId::parse(other) {
+                    Some(id) => ids.push(id),
+                    None => {
+                        eprintln!("unknown artifact {other:?}; try `repro list`");
+                        std::process::exit(EXIT_MISUSE);
+                    }
+                },
             },
         }
         i += 1;
-    }
-    if resume && store_dir.is_none() {
-        eprintln!("--resume requires --store <dir>");
-        std::process::exit(2);
     }
     if listed || (ids.is_empty() && !check && !analyze) {
         usage();
         // `repro` / `repro list` asked for the usage text; anything else
         // reaching this point produced no artifact, which is a misuse.
         if !listed && !args.is_empty() {
-            std::process::exit(2);
+            std::process::exit(EXIT_MISUSE);
         }
         return;
+    }
+    let request = StudyRequest {
+        command: if check {
+            StudyCommand::Check
+        } else if analyze {
+            StudyCommand::Analyze { top_k }
+        } else {
+            StudyCommand::Tables { artifacts: ids }
+        },
+        scale,
+        jobs,
+        store: store_dir.clone(),
+        resume,
+    };
+    if let Err(e) = request.validate() {
+        eprintln!("{e}");
+        std::process::exit(EXIT_MISUSE);
     }
 
     if let Some(path) = &telemetry {
@@ -369,8 +415,9 @@ fn main() {
         Some(n) => StudySession::new(n),
         None => StudySession::default(),
     };
-    // An unusable store (read-only dir, ENOSPC, a file in the way)
-    // costs one warning and the durability layer — never the run.
+    // An unusable store (read-only dir, blocked journals/, ENOSPC, a
+    // file in the way) costs one warning and the durability layer —
+    // never the run.
     let store = store_dir.as_ref().and_then(|dir| match TraceStore::open(dir) {
         Ok(s) => Some(Arc::new(s)),
         Err(e) => {
@@ -381,125 +428,37 @@ fn main() {
     if let Some(s) = &store {
         session.attach_store(Arc::clone(s));
     }
-    if check {
-        let code = run_check_cmd(&session, scale, json_dir.as_ref(), manifest.take());
-        flush_or_exit(1);
-        std::process::exit(code);
-    }
-    if analyze {
-        let code = run_analyze_cmd(&session, scale, top_k, json_dir.as_ref(), manifest.take());
-        flush_or_exit(1);
-        std::process::exit(code);
-    }
-    // The study journal checkpoints whole experiments (id + rendered
-    // tables). With --resume, completed experiments restore from it and
-    // skip recomputation entirely; the sweep-level journal inside the
-    // sensitivity driver resumes partially-finished experiments.
-    let study_key = format!(
-        "repro/{scale:?}/{}",
-        ids.iter().map(|&id| name_of(id)).collect::<Vec<_>>().join("+")
-    );
-    let mut restored: HashMap<&'static str, Vec<Table>> = HashMap::new();
-    let journal = store.as_ref().and_then(|s| {
-        let name = format!("study-{:016x}.journal", fnv1a64(study_key.as_bytes()));
-        match Journal::open(&s.journal_path(&name), &study_key, resume) {
-            Ok((j, records)) => {
-                for r in records {
-                    let Some(id) = r.get("id").and_then(Json::as_str) else { continue };
-                    let Some(doc) = r.get("tables").and_then(Json::as_arr) else { continue };
-                    let Some(tables) = doc
-                        .iter()
-                        .map(manifest::table_from_json)
-                        .collect::<Option<Vec<_>>>()
-                    else {
-                        continue;
-                    };
-                    if let Some(&known) = ids.iter().find(|&&k| name_of(k) == id) {
-                        restored.insert(name_of(known), tables);
+    let mut observer = CliObserver {
+        csv,
+        manifest: &mut manifest,
+    };
+    let response = match execute(&session, &request, &mut observer) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            let _ = obs::flush_sinks();
+            std::process::exit(1);
+        }
+    };
+    let code = match &response {
+        StudyResponse::Check(report) => present_check(report, json_dir.as_ref(), manifest.take()),
+        StudyResponse::Analyze(report) => {
+            present_analyze(report, json_dir.as_ref(), manifest.take())
+        }
+        StudyResponse::Tables { .. } => {
+            if let (Some(m), Some(dir)) = (manifest.take(), json_dir.as_ref()) {
+                match m.write(dir) {
+                    Ok(path) => eprintln!("wrote manifest {}", path.display()),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        let _ = obs::flush_sinks();
+                        std::process::exit(1);
                     }
                 }
-                Some(j)
             }
-            Err(e) => {
-                eprintln!("store: study journal unavailable ({e}); running without experiment checkpoints");
-                None
-            }
+            response.exit_code()
         }
-    });
-    let corpus = if ids
-        .iter()
-        .any(|&id| needs_corpus(id) && !restored.contains_key(name_of(id)))
-    {
-        eprintln!("profiling the 24-workload comparison corpus ...");
-        match ComparisonStudy::run(&session, scale) {
-            Ok(study) => Some(study),
-            Err(e) => {
-                eprintln!("comparison corpus failed: {e}");
-                std::process::exit(1);
-            }
-        }
-    } else {
-        None
     };
-    let mut completed: Vec<(String, Vec<Table>)> = Vec::new();
-    for id in ids {
-        let start = Instant::now();
-        let tables = if let Some(t) = restored.remove(name_of(id)) {
-            eprintln!("{}: restored from study journal", name_of(id));
-            t
-        } else {
-            let result = if needs_corpus(id) {
-                run_comparison(id, corpus.as_ref().expect("corpus built"))
-            } else {
-                run_gpu(&session, id, scale)
-            };
-            let tables = match result {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("{}: {e}", name_of(id));
-                    let _ = obs::flush_sinks();
-                    std::process::exit(1);
-                }
-            };
-            if let Some(j) = &journal {
-                let record = Json::obj(vec![
-                    ("id", Json::from(name_of(id))),
-                    (
-                        "tables",
-                        Json::from(tables.iter().map(manifest::table_to_json).collect::<Vec<_>>()),
-                    ),
-                ]);
-                if let Err(e) = j.append(&record) {
-                    eprintln!("store: cannot checkpoint {}: {e}", name_of(id));
-                }
-            }
-            tables
-        };
-        if let Some(m) = manifest.as_mut() {
-            m.push_experiment(name_of(id), &tables, start.elapsed().as_micros() as u64);
-        }
-        emit(&tables, csv);
-        completed.push((name_of(id).to_string(), tables));
-    }
-    if let (Some(m), Some(dir)) = (manifest, json_dir.as_ref()) {
-        match m.write(dir) {
-            Ok(path) => eprintln!("wrote manifest {}", path.display()),
-            Err(e) => {
-                eprintln!("{e}");
-                let _ = obs::flush_sinks();
-                std::process::exit(1);
-            }
-        }
-    }
-    // The deterministic study manifest rides along with the store: pure
-    // tables, no timings, so an interrupted-and-resumed run's file is
-    // byte-identical to an uninterrupted one (the CI crash-recovery
-    // gate diffs exactly this).
-    if let Some(s) = &store {
-        match manifest::write_study_manifest(s.dir(), scale, &completed) {
-            Ok(path) => eprintln!("wrote study manifest {}", path.display()),
-            Err(e) => eprintln!("store: {e}"),
-        }
-    }
     flush_or_exit(1);
+    std::process::exit(code);
 }

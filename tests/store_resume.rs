@@ -105,6 +105,49 @@ fn unusable_store_degrades_to_in_memory_with_warning() {
 }
 
 #[test]
+#[cfg(unix)]
+fn read_only_store_dir_degrades_to_in_memory_with_warning() {
+    use std::os::unix::fs::PermissionsExt;
+
+    // An existing store directory with the write bits stripped: probing
+    // at open must detect it and downgrade, exactly like the
+    // file-in-the-way case above.
+    let dir = test_dir("readonly");
+    fs::create_dir_all(&dir).expect("mkdir");
+    fs::set_permissions(&dir, fs::Permissions::from_mode(0o555)).expect("chmod");
+
+    // Root ignores permission bits, so the probe would succeed and the
+    // store would attach normally. Detect that and skip the assertions.
+    let probe = dir.join(".rw-check");
+    if fs::write(&probe, b"x").is_ok() {
+        let _ = fs::remove_file(&probe);
+        let _ = fs::set_permissions(&dir, fs::Permissions::from_mode(0o755));
+        let _ = fs::remove_dir_all(&dir);
+        eprintln!("skipping: permission bits are not enforced for this user");
+        return;
+    }
+
+    let out = repro()
+        .args(["fig1", "tiny", "--store"])
+        .arg(&dir)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "read-only store must not abort the study: {}",
+        stderr_of(&out)
+    );
+    assert!(
+        stderr_of(&out).contains("continuing with in-memory caching only"),
+        "downgrade warning missing from stderr: {}",
+        stderr_of(&out)
+    );
+
+    let _ = fs::set_permissions(&dir, fs::Permissions::from_mode(0o755));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn resume_without_store_is_a_usage_error() {
     let out = repro()
         .args(["fig1", "tiny", "--resume"])

@@ -1,0 +1,135 @@
+//! Intra-run scaling of the sharded replay engine: the whole Rodinia
+//! suite captured once, then replayed at `--sim-threads` 1, 2, and 4.
+//!
+//! This measures the *other* threading layer than `parallel_engine`:
+//! there, many independent replays fan across the study worker pool;
+//! here, a single replay's simulated SMs are sharded across workers
+//! with deterministic epoch barriers (see `simt::gpu`). The bench
+//! re-checks the byte-identity contract on the spot — the serialized
+//! statistics of every replay must be identical at every shard count —
+//! and writes the measurements to `BENCH_simt_parallel.json` (path
+//! overridable with `BENCH_SIMT_PARALLEL_OUT`) for the CI perf-gate,
+//! which fails on a significant drop in `speedup_4t`.
+//!
+//! ```text
+//! cargo bench --bench sim_scaling
+//! SIM_SCALING_SCALE=small cargo bench --bench sim_scaling   # quick look
+//! ```
+//!
+//! Defaults to Paper scale — intra-run sharding is aimed at exactly
+//! those large replays — with best-of-N timing (`SIM_SCALING_REPS`,
+//! default 2) so one scheduler hiccup cannot trip the gate.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use datasets::Scale;
+use obs::Json;
+use rodinia_gpu::suite::all_benchmarks;
+use simt::{set_sim_threads, time_trace, Gpu, GpuConfig, KernelTrace};
+
+/// Captures every suite benchmark's launches once on `cfg`.
+fn capture_suite(scale: Scale, cfg: &GpuConfig) -> Vec<Arc<KernelTrace>> {
+    let mut traces = Vec::new();
+    for b in all_benchmarks(scale) {
+        let mut gpu = Gpu::new(cfg.clone());
+        gpu.set_trace_recording(true);
+        let _ = b.run_on(&mut gpu);
+        traces.extend(gpu.take_recorded_traces());
+    }
+    traces
+}
+
+/// Replays every captured launch serially (one long-running replay at a
+/// time — the shape `--sim-threads` exists for), returning the wall
+/// time and the concatenated serialized statistics.
+fn replay_all(traces: &[Arc<KernelTrace>], cfg: &GpuConfig) -> (f64, String) {
+    let start = Instant::now();
+    let mut rendered = String::new();
+    for t in traces {
+        rendered.push_str(&time_trace(t, cfg).to_json().to_string());
+        rendered.push('\n');
+    }
+    (start.elapsed().as_secs_f64(), rendered)
+}
+
+/// Best-of-`reps` wall time at a given shard count (the rendered output
+/// is asserted identical across repetitions, then returned once).
+fn measure(traces: &[Arc<KernelTrace>], cfg: &GpuConfig, threads: usize, reps: usize) -> (f64, String) {
+    set_sim_threads(threads);
+    let (mut best, rendered) = replay_all(traces, cfg);
+    for _ in 1..reps {
+        let (s, r) = replay_all(traces, cfg);
+        assert_eq!(r, rendered, "replay is not deterministic at sim_threads={threads}");
+        best = best.min(s);
+    }
+    set_sim_threads(1);
+    (best, rendered)
+}
+
+fn main() {
+    let scale = match std::env::var("SIM_SCALING_SCALE").as_deref() {
+        Ok("tiny") => Scale::Tiny,
+        Ok("small") => Scale::Small,
+        _ => Scale::Paper,
+    };
+    let reps: usize = std::env::var("SIM_SCALING_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(2);
+    let cfg = GpuConfig::gpgpusim_default();
+    let traces = capture_suite(scale, &cfg);
+    let launches = traces.len();
+
+    let (serial_s, serial_rendered) = measure(&traces, &cfg, 1, reps);
+    let (two_s, two_rendered) = measure(&traces, &cfg, 2, reps);
+    let (four_s, four_rendered) = measure(&traces, &cfg, 4, reps);
+
+    assert_eq!(serial_rendered, two_rendered, "sim_threads=2 changed replay statistics");
+    assert_eq!(serial_rendered, four_rendered, "sim_threads=4 changed replay statistics");
+
+    let speedup_2t = serial_s / two_s;
+    let speedup_4t = serial_s / four_s;
+    // The engine caps its physical executors at the host CPU count
+    // (shards beyond that run inline on the coordinator), so the ideal
+    // speedup — and the efficiency the perf-gate tracks release over
+    // release — is relative to `min(shards, cores)`, which keeps the
+    // artifact comparable across differently-sized CI hosts. On a
+    // single-core runner the ideal is 1.0 and the efficiency measures
+    // pure sharding overhead.
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let ideal_4t = 4.0f64.min(host as f64);
+    let efficiency_4t = speedup_4t / ideal_4t;
+    println!(
+        "suite replay at {scale:?}, {launches} launches on {} ({host} CPU(s)):\n\
+         \x20 --sim-threads 1  {serial_s:.2} s\n\
+         \x20 --sim-threads 2  {two_s:.2} s  ({speedup_2t:.2}x)\n\
+         \x20 --sim-threads 4  {four_s:.2} s  ({speedup_4t:.2}x, {:.0}% of the {ideal_4t:.0}x ideal)\n\
+         \x20 statistics byte-identical at every shard count",
+        cfg.name,
+        efficiency_4t * 100.0
+    );
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("rodinia-repro.bench-simt-parallel/v1".into())),
+        ("experiment", Json::Str("suite_replay_sim_threads".into())),
+        ("scale", Json::Str(format!("{scale:?}"))),
+        ("config", Json::Str(cfg.name.clone())),
+        ("launches", Json::u64(launches as u64)),
+        ("reps", Json::u64(reps as u64)),
+        ("host_parallelism", Json::u64(host as u64)),
+        ("ideal_speedup_4t", Json::Num(ideal_4t)),
+        ("sim_threads1_s", Json::Num(serial_s)),
+        ("sim_threads2_s", Json::Num(two_s)),
+        ("sim_threads4_s", Json::Num(four_s)),
+        ("speedup_2t", Json::Num(speedup_2t)),
+        ("speedup_4t", Json::Num(speedup_4t)),
+        ("scaling_efficiency_4t", Json::Num(efficiency_4t)),
+        ("stats_byte_identical", Json::Bool(true)),
+    ]);
+    let out = std::env::var("BENCH_SIMT_PARALLEL_OUT")
+        .unwrap_or_else(|_| "BENCH_simt_parallel.json".into());
+    std::fs::write(&out, format!("{doc}\n")).expect("write BENCH_simt_parallel.json");
+    println!("wrote {out}");
+}

@@ -9,6 +9,38 @@
 //! the slots back in submission order. The rendered tables are
 //! therefore byte-identical for any worker count, including 1 (which
 //! bypasses thread spawning entirely).
+//!
+//! # The two threading layers
+//!
+//! The session controls two independent pools, and both are pure
+//! performance knobs — neither enters a study key or changes a byte of
+//! output:
+//!
+//! * **`jobs`** (this module) parallelizes *across* replay jobs: many
+//!   `(benchmark, configuration)` pairs run concurrently, each replay
+//!   serial inside.
+//! * **`sim_threads`** ([`simt::set_sim_threads`], forwarded by
+//!   [`StudySession::set_sim_threads`]) parallelizes *inside* one
+//!   replay: the simulated SMs are sharded across workers that advance
+//!   in lockstep epochs and exchange shared-memory traffic at
+//!   deterministic barriers, replaying it in canonical serial order
+//!   (see `simt::gpu`). Byte-identity is an invariant of the engine,
+//!   not a best-effort property of this knob.
+//!
+//! Wide sweeps want `jobs` (more independent work than cores); a single
+//! Large-scale replay wants `sim_threads` (one long-running job). The
+//! two compose — `jobs * sim_threads` threads can be live at once — so
+//! oversubscribing both is rarely useful.
+//!
+//! ```
+//! use rodinia_study::engine::StudySession;
+//!
+//! let session = StudySession::new(2);
+//! session.set_sim_threads(4);
+//! assert_eq!(session.sim_threads(), 4);
+//! // Same tables as jobs=1 / sim_threads=1, sooner.
+//! session.set_sim_threads(1);
+//! ```
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -77,6 +109,26 @@ impl StudySession {
     /// [`run_indexed`]: StudySession::run_indexed
     pub fn set_jobs(&self, jobs: usize) {
         self.jobs.store(jobs.max(1), Ordering::Relaxed);
+    }
+
+    /// Sets the *intra-replay* worker count (`0` = auto, one per CPU)
+    /// for subsequent replays, forwarding to [`simt::set_sim_threads`].
+    ///
+    /// Like [`set_jobs`], a pure wall-clock knob: the sharded replay
+    /// engine is byte-identical at every width, so it is excluded from
+    /// study keys and safe to flip between (or even during) requests.
+    /// The setting is process-global — `simt` owns it — so concurrent
+    /// sessions share it; replays already in flight keep the width they
+    /// started with.
+    ///
+    /// [`set_jobs`]: StudySession::set_jobs
+    pub fn set_sim_threads(&self, n: usize) {
+        simt::set_sim_threads(n);
+    }
+
+    /// The configured intra-replay worker count (`0` = auto).
+    pub fn sim_threads(&self) -> usize {
+        simt::sim_threads()
     }
 
     /// The session's shared GPU kernel-trace cache.

@@ -13,20 +13,23 @@
 //!
 //! ```text
 //! {
-//!   "command":   "tables" | "check" | "analyze",   // default "tables"
-//!   "artifacts": "all" | ["fig1", "table3", ...],  // tables only
-//!   "scale":     "tiny" | "small" | "paper",       // default "small"
-//!   "jobs":      4,                                // optional hint
-//!   "top_k":     3                                 // analyze only
+//!   "command":     "tables" | "check" | "analyze",   // default "tables"
+//!   "artifacts":   "all" | ["fig1", "table3", ...],  // tables only
+//!   "scale":       "tiny" | "small" | "paper",       // default "small"
+//!   "jobs":        4,                                // optional hint
+//!   "sim_threads": 4,                                // optional hint
+//!   "top_k":       3                                 // analyze only
 //! }
 //! ```
 //!
 //! Unknown fields are rejected, as are `store`/`resume` — the daemon
 //! owns its store; durability is a deployment property of the session,
-//! not of one request. `jobs` is deliberately **not** part of
-//! [`StudyRequest::study_key`]: results are byte-identical at any
-//! worker width, so requests differing only in `jobs` are the same
-//! study and may coalesce.
+//! not of one request. `jobs` and `sim_threads` are deliberately
+//! **not** part of [`StudyRequest::study_key`]: results are
+//! byte-identical at any worker width of either pool (`jobs`
+//! parallelizes across replays, `sim_threads` shards the SMs inside
+//! one — see `rodinia_study::engine`), so requests differing only in
+//! those hints are the same study and may coalesce.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -75,6 +78,9 @@ pub struct StudyRequest {
     pub scale: Scale,
     /// Worker-pool width hint (`None` = keep the session's width).
     pub jobs: Option<usize>,
+    /// Intra-replay shard-count hint (`None` = keep the current
+    /// setting; `0` = auto). Like `jobs`, a pure wall-clock knob.
+    pub sim_threads: Option<usize>,
     /// Persistent store directory the caller asked for, if any. Only
     /// meaningful on the CLI path; [`execute`] itself uses whatever
     /// store is attached to the session.
@@ -146,6 +152,7 @@ impl StudyRequest {
             command: StudyCommand::Tables { artifacts },
             scale,
             jobs: None,
+            sim_threads: None,
             store: None,
             resume: false,
         }
@@ -175,9 +182,9 @@ impl StudyRequest {
 
     /// The canonical identity of this request: what the study journal
     /// binds to and what the daemon coalesces identical in-flight
-    /// requests on. `jobs` is excluded — worker width never changes
-    /// results — and so are `store`/`resume`, which are durability
-    /// deployment knobs, not study inputs.
+    /// requests on. `jobs` and `sim_threads` are excluded — neither
+    /// worker width changes results — and so are `store`/`resume`,
+    /// which are durability deployment knobs, not study inputs.
     pub fn study_key(&self) -> String {
         match &self.command {
             StudyCommand::Tables { artifacts } => format!(
@@ -205,6 +212,7 @@ impl StudyRequest {
         let mut artifacts: Option<Vec<ExperimentId>> = None;
         let mut scale = Scale::Small;
         let mut jobs: Option<usize> = None;
+        let mut sim_threads: Option<usize> = None;
         let mut top_k: Option<usize> = None;
         for (key, value) in pairs {
             match key.as_str() {
@@ -242,6 +250,12 @@ impl StudyRequest {
                 }
                 "jobs" => {
                     jobs = Some(as_count(value, "\"jobs\" must be a non-negative integer")?);
+                }
+                "sim_threads" => {
+                    sim_threads = Some(as_count(
+                        value,
+                        "\"sim_threads\" must be a non-negative integer",
+                    )?);
                 }
                 "top_k" => {
                     top_k = Some(as_count(value, "\"top_k\" must be a non-negative integer")?);
@@ -288,6 +302,7 @@ impl StudyRequest {
             command,
             scale,
             jobs,
+            sim_threads,
             store: None,
             resume: false,
         })
@@ -375,8 +390,9 @@ impl RequestObserver for Quiet {}
 /// is profiled once if any requested artifact needs it, every freshly
 /// computed experiment is checkpointed, and — when the session has a
 /// store attached — the deterministic `STUDY_manifest.json` is written
-/// next to it. A per-request `jobs` hint resizes the session's worker
-/// pool; results are byte-identical at any width.
+/// next to it. Per-request `jobs` / `sim_threads` hints resize the
+/// session's worker pool and the intra-replay shard count; results are
+/// byte-identical at any width of either.
 ///
 /// # Errors
 ///
@@ -389,6 +405,9 @@ pub fn execute(
 ) -> Result<StudyResponse, StudyError> {
     if let Some(n) = req.jobs {
         session.set_jobs(n);
+    }
+    if let Some(n) = req.sim_threads {
+        session.set_sim_threads(n);
     }
     let artifacts = match &req.command {
         StudyCommand::Check => return run_check(session, req.scale).map(StudyResponse::Check),
@@ -519,6 +538,12 @@ mod tests {
         assert_eq!(req.study_key(), "repro/Tiny/pb+fig1");
         req.jobs = Some(8);
         assert_eq!(req.study_key(), "repro/Tiny/pb+fig1", "jobs never changes identity");
+        req.sim_threads = Some(4);
+        assert_eq!(
+            req.study_key(),
+            "repro/Tiny/pb+fig1",
+            "sim_threads never changes identity"
+        );
         req.command = StudyCommand::Analyze { top_k: 5 };
         assert_eq!(req.study_key(), "analyze/Tiny/k5");
         req.command = StudyCommand::Check;
@@ -527,8 +552,9 @@ mod tests {
 
     #[test]
     fn json_grammar_round_trips_a_tables_request() {
-        let req = parse_req(r#"{"artifacts":["fig1","pb"],"scale":"tiny","jobs":4}"#)
-            .expect("valid request");
+        let req =
+            parse_req(r#"{"artifacts":["fig1","pb"],"scale":"tiny","jobs":4,"sim_threads":2}"#)
+                .expect("valid request");
         assert_eq!(
             req.command,
             StudyCommand::Tables {
@@ -537,6 +563,7 @@ mod tests {
         );
         assert_eq!(req.scale, Scale::Tiny);
         assert_eq!(req.jobs, Some(4));
+        assert_eq!(req.sim_threads, Some(2));
         assert!(!req.resume);
         assert_eq!(req.validate(), Ok(()));
 
@@ -589,6 +616,10 @@ mod tests {
             parse_req(r#"{"artifacts":["fig1"],"jobs":1.5}"#),
             Err(RequestError::Malformed(_))
         ));
+        assert!(matches!(
+            parse_req(r#"{"artifacts":["fig1"],"sim_threads":-1}"#),
+            Err(RequestError::Malformed(m)) if m.contains("sim_threads")
+        ));
         assert!(matches!(parse_req("[]"), Err(RequestError::Malformed(_))));
         assert!(matches!(parse_req("{}"), Err(RequestError::Malformed(_))));
     }
@@ -621,11 +652,15 @@ mod tests {
     }
 
     #[test]
-    fn execute_applies_the_jobs_hint() {
+    fn execute_applies_the_jobs_and_sim_threads_hints() {
         let session = StudySession::sequential();
+        let prev = session.sim_threads();
         let mut req = StudyRequest::tables(vec![ExperimentId::Table2], Scale::Tiny);
         req.jobs = Some(3);
+        req.sim_threads = Some(2);
         execute(&session, &req, &mut Quiet).expect("runs");
         assert_eq!(session.jobs(), 3);
+        assert_eq!(session.sim_threads(), 2);
+        session.set_sim_threads(prev);
     }
 }

@@ -166,6 +166,11 @@ pub struct ServeConfig {
     /// Worker-pool width (`None` = available parallelism). Requests
     /// may override per-call via their `jobs` field.
     pub jobs: Option<usize>,
+    /// Intra-replay shard count (`None` = leave the process default of
+    /// 1; `Some(0)` = auto). Requests may override per-call via their
+    /// `sim_threads` field; like `jobs` it never changes response
+    /// bytes.
+    pub sim_threads: Option<usize>,
 }
 
 #[derive(Debug)]
@@ -205,6 +210,9 @@ impl Server {
             Some(n) => StudySession::new(n),
             None => StudySession::default(),
         };
+        if let Some(n) = cfg.sim_threads {
+            session.set_sim_threads(n);
+        }
         let mut store_warning = None;
         if let Some(dir) = &cfg.store {
             match TraceStore::open(dir) {

@@ -70,6 +70,7 @@ fn concurrent_identical_requests_share_one_execution() {
             addr: "127.0.0.1:0".to_string(),
             store: Some(store_dir.clone()),
             jobs: Some(2),
+            sim_threads: Some(2),
         })
         .expect("bind"),
     );
@@ -131,6 +132,7 @@ fn concurrent_identical_requests_share_one_execution() {
             addr: "127.0.0.1:0".to_string(),
             store: Some(store_dir.clone()),
             jobs: Some(2),
+            sim_threads: Some(2),
         })
         .expect("rebind"),
     );
@@ -153,6 +155,7 @@ fn bad_requests_are_rejected_and_do_not_kill_the_daemon() {
             addr: "127.0.0.1:0".to_string(),
             store: None,
             jobs: Some(1),
+            sim_threads: None,
         })
         .expect("bind"),
     );

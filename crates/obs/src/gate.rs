@@ -3,8 +3,9 @@
 //! [`compare`] flattens the numeric leaves of two JSON documents
 //! (baseline vs current) into dotted metric paths, classifies each
 //! metric's *direction* from its name (`*_s`/`*_us`/`overhead*` regress
-//! upward, `speedup*`/`*throughput*` regress downward, unknown metrics
-//! are informational), and applies a threshold test per metric:
+//! upward, `speedup*`/`*throughput*`/`*efficiency*` regress downward,
+//! unknown metrics are informational), and applies a threshold test per
+//! metric:
 //!
 //! * the relative change must exceed the tolerance, **and**
 //! * the absolute change must exceed a floor (so nanosecond jitter on
@@ -48,7 +49,16 @@ impl Direction {
 /// path. Conservative: anything unrecognized is informational.
 pub fn direction_of(path: &str) -> Direction {
     let last = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
-    let higher = ["speedup", "throughput", "ipc", "hit_rate", "identical", "ok", "passed"];
+    let higher = [
+        "speedup",
+        "throughput",
+        "ipc",
+        "hit_rate",
+        "identical",
+        "ok",
+        "passed",
+        "efficiency",
+    ];
     if higher.iter().any(|t| last.contains(t)) {
         return Direction::HigherIsBetter;
     }

@@ -1,21 +1,132 @@
-//! The whole-GPU timing model: CTA scheduling and trace replay.
+//! The whole-GPU timing model: CTA scheduling and sharded trace replay.
+//!
+//! # Intra-run parallelism: the epoch-barrier engine
+//!
+//! Replay partitions the SMs into contiguous shards ([`set_sim_threads`]
+//! sets the shard count), executed by a persistent worker pool spawned
+//! once per replay inside one [`std::thread::scope`]. Shards travel to
+//! pool helpers *by move* over channels and come back at each barrier,
+//! so workers never share mutable state; the physical thread count is
+//! additionally capped by [`std::thread::available_parallelism`] —
+//! extra shards would only time-slice the same cores — and any shards
+//! beyond it (or all of them, on a single-core host) run inline on the
+//! coordinating thread. Execution alternates two phases:
+//!
+//! 1. **Epoch** `[start, end)` — every shard advances its SMs through
+//!    the window touching only shard-local state (warp scheduling,
+//!    compute latencies, L1/texture caches, barriers, retirement).
+//!    Traffic for *shared* resources — the chip-wide L2, the DRAM
+//!    channels, the pending-CTA queue, the global live-warp count — is
+//!    appended to a per-shard event log instead of applied.
+//! 2. **Barrier** — the engine merges the logs, sorts them by
+//!    `(cycle, sm, seq, kind)` — exactly the order the serial engine
+//!    would have processed them — and applies them on one thread:
+//!    L2/DRAM accesses resolve waiting warps, retirements decrement the
+//!    live count, completed CTAs free resources and pull from the queue,
+//!    and the timeline sampler records every boundary that falls before
+//!    each event.
+//!
+//! The epoch length is chosen so that *no deferred effect can land
+//! inside the epoch that produced it*: it never exceeds the minimum
+//! shared-memory response latency (an L2 hit, or DRAM service + latency
+//! without an L2), and while CTAs are queued it never exceeds the CTA
+//! launch overhead. Under that bound, deferring shared traffic to the
+//! barrier is not an approximation — every statistic, including cycle
+//! counts, [`StallBreakdown`], [`Timeline`] samples, and cache hit
+//! counters, is **byte-identical to a fully serial simulation at any
+//! shard count**. `sim_threads` is therefore a pure performance knob,
+//! like `--jobs`, and is excluded from study cache keys.
+//!
+//! ```
+//! use simt::{set_sim_threads, time_trace, trace_kernel, Gpu, GpuConfig};
+//! use simt::{GridShape, Kernel, PhaseControl, WarpCtx};
+//!
+//! struct Saxpy { n: usize }
+//! impl Kernel for Saxpy {
+//!     fn name(&self) -> &str { "saxpy" }
+//!     fn shape(&self) -> GridShape { GridShape::cover(self.n, 128) }
+//!     fn run_warp(&self, w: &mut WarpCtx<'_>) -> PhaseControl {
+//!         w.alu(8);
+//!         PhaseControl::Done
+//!     }
+//! }
+//!
+//! let cfg = GpuConfig::gpgpusim_default();
+//! let mut mem = simt::GpuMem::new();
+//! let trace = trace_kernel(&Saxpy { n: 4096 }, &mut mem, &cfg);
+//! // The shard count changes wall-clock time, never results.
+//! set_sim_threads(1);
+//! let serial = time_trace(&trace, &cfg);
+//! set_sim_threads(4);
+//! let sharded = time_trace(&trace, &cfg);
+//! assert_eq!(serial.to_json(), sharded.to_json());
+//! # set_sim_threads(1);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::caches::Cache;
-use crate::config::{GpuConfig, SchedPolicy};
+use crate::config::GpuConfig;
+use crate::dram::Dram;
 use crate::error::SimError;
-use crate::isa::TOp;
 use crate::kernel::Kernel;
 use crate::memory::GpuMem;
+use crate::sanitizer::LaunchTape;
 use crate::sm::{
-    ctas_per_sm, CtaRt, SmRt, WarpRt, SCHED_BARRIER, SCHED_DONE, SCHED_MEM, SCHED_PICK_MASK,
+    ctas_per_sm, fold_summary, run_epoch_shard, CtaRt, EvKind, EvRec, ShardOut, SmRt, WarpRt,
     SCHED_READY_MASK,
 };
 use crate::stats::{
     KernelStats, MemMix, OccupancyHistogram, StallBreakdown, Timeline, TimelineSample,
 };
-use crate::sanitizer::LaunchTape;
 use crate::trace::{try_trace_kernel, try_trace_kernel_with, KernelTrace};
-use crate::dram::Dram;
+
+/// Worker threads used *inside* one replay (0 = one per available CPU).
+///
+/// Process-global, like a rayon pool width: the knob tunes wall-clock
+/// time only — replay results are byte-identical at every value — so it
+/// deliberately lives outside [`GpuConfig`] and never enters a study
+/// cache key. Default 1 (serial), preserving single-thread behavior for
+/// embedders that never touch it.
+static SIM_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the intra-replay worker-thread count for subsequent replays.
+///
+/// `0` means "auto": one worker per available CPU. The effective shard
+/// count is additionally clamped to the number of SMs in the replayed
+/// configuration. Replays already in flight keep the width they started
+/// with; results are unaffected either way (see the module docs).
+pub fn set_sim_threads(n: usize) {
+    SIM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The configured intra-replay worker-thread count (`0` = auto).
+pub fn sim_threads() -> usize {
+    SIM_THREADS.load(Ordering::Relaxed)
+}
+
+/// Resolves the configured thread count to a concrete worker count.
+fn resolve_sim_threads() -> usize {
+    match sim_threads() {
+        0 => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+        n => n,
+    }
+}
+
+/// Test-only stand-in for [`std::thread::available_parallelism`]
+/// (`0` = use the real value). The physical pool width is capped by the
+/// host CPU count, so on a single-core CI runner the threaded handoff
+/// path would otherwise never execute; tests raise this to force it.
+static HOST_PARALLELISM_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the detected CPU count for the replay pool (`0` restores
+/// auto-detection). Results are identical either way — this exists so
+/// tests can exercise the threaded handoff on single-core hosts.
+#[doc(hidden)]
+pub fn set_host_parallelism_override(n: usize) {
+    HOST_PARALLELISM_OVERRIDE.store(n, Ordering::Relaxed);
+}
 
 /// An installed sanitizer sink (a boxed closure; opaque to `Debug`).
 struct SanitizerSink(Box<dyn FnMut(LaunchTape) + Send + Sync>);
@@ -78,7 +189,10 @@ impl Gpu {
     ///
     /// Off by default and free when off: without a sink the executor
     /// records nothing, and with one the captured traces (and therefore
-    /// all replayed statistics) are byte-identical anyway.
+    /// all replayed statistics) are byte-identical anyway. Tapes are
+    /// produced during functional capture, which stays single-threaded —
+    /// the intra-replay shard count (see [`set_sim_threads`]) cannot
+    /// affect them.
     pub fn set_sanitizer_sink(&mut self, sink: impl FnMut(LaunchTape) + Send + Sync + 'static) {
         self.sanitizer = Some(SanitizerSink(Box::new(sink)));
     }
@@ -340,67 +454,6 @@ pub fn try_time_traces_concurrent(
     Ok(stats)
 }
 
-/// Cached per-SM warp-state digest, recomputed lazily after any warp on
-/// the SM changes state. It answers the three questions the scheduler
-/// loop, the fast-forward targeting, and the stall attribution ask every
-/// cycle — without re-scanning the SM's warp list when nothing changed
-/// (the common case for an SM parked on a long memory stall).
-#[derive(Debug, Clone, Copy)]
-struct SmSummary {
-    /// Earliest `ready_at` among live, non-barrier warps (`u64::MAX` when
-    /// the SM has none).
-    min_ready: u64,
-    /// Any resident warp not yet retired.
-    any_live: bool,
-    /// Any live, non-barrier warp waiting on a memory response.
-    any_mem: bool,
-    /// Every live warp is parked at a barrier.
-    all_barrier: bool,
-}
-
-struct Engine<'a> {
-    traces: &'a [&'a KernelTrace],
-    cfg: &'a GpuConfig,
-    sms: Vec<SmRt>,
-    /// Lazily maintained per-SM digests (`None` = stale, recompute).
-    summaries: Vec<Option<SmSummary>>,
-    warps: Vec<WarpRt<'a>>,
-    /// Each warp's current slot in its SM's `warps`/`sched` lists
-    /// (indexed by runtime warp id; rebuilt when a CTA's dead warps are
-    /// compacted away).
-    slot_of: Vec<usize>,
-    ctas: Vec<CtaRt>,
-    dram: Dram,
-    l2: Option<Cache>,
-    /// Pending (kernel, cta) launches, FIFO.
-    queue: std::collections::VecDeque<(usize, usize)>,
-    live_warps: usize,
-    cycle: u64,
-    horizon: u64,
-    per_kernel_done: Vec<u64>,
-    // accumulators
-    thread_instructions: u64,
-    warp_instructions: u64,
-    mem_mix: MemMix,
-    occupancy: OccupancyHistogram,
-    // telemetry: per-SM stall attribution and the sampled timeline
-    stalls: Vec<StallBreakdown>,
-    /// Cycle up to which each SM's idle time has been attributed. An
-    /// SM's warp state (and thus its stall classification) only changes
-    /// when the SM issues or receives a CTA, so attribution is deferred
-    /// and charged in one merged span at each such event — equivalent,
-    /// cycle for cycle, to per-interval accounting, without walking
-    /// every SM on every simulated cycle.
-    attributed: Vec<u64>,
-    /// Budget-bounded adaptive timeline sampler. Raw cumulative
-    /// counters are recorded per epoch; windowed rates (DRAM
-    /// utilization) are derived at the end from the *retained* cycle
-    /// gaps, so they stay exact under decimation.
-    sampler: obs::AdaptiveSampler<RawSample>,
-    /// Maximum resident warps across the GPU (occupancy denominator).
-    warp_capacity: f64,
-}
-
 /// Raw payload of one timeline epoch before rate derivation.
 #[derive(Debug, Clone, Copy)]
 struct RawSample {
@@ -408,6 +461,73 @@ struct RawSample {
     live_warps: u32,
     /// Cumulative DRAM channel-busy cycles at the epoch.
     busy_cum: u64,
+}
+
+/// One shard's epoch of work, moved to a pool helper and back: the
+/// shard index, its SMs, its output buffer, and the `[start, end)`
+/// window. Ownership travels with the message, so helpers never share
+/// state with the coordinator — no locks, no contention.
+type Job<'a> = (usize, Vec<SmRt<'a>>, ShardOut, u64, u64);
+
+/// The persistent per-replay worker pool: one job channel per helper
+/// thread plus a shared result channel. [`Engine::run`] spawns the
+/// helpers once inside a single [`std::thread::scope`] for the whole
+/// replay; dropping the pool closes the job channels, which is the
+/// helpers' shutdown signal.
+struct Pool<'a> {
+    jobs: Vec<std::sync::mpsc::Sender<Job<'a>>>,
+    results: std::sync::mpsc::Receiver<(usize, Vec<SmRt<'a>>, ShardOut)>,
+}
+
+/// The sharded epoch-barrier replay engine (see the module docs).
+///
+/// All shared state lives here; all SM-local state lives in the
+/// [`SmRt`]s, which `run_epoch` slices into disjoint `&mut` shards for
+/// the worker pool. The barrier (`barrier_exchange`) is the only code
+/// that touches the L2, the DRAM model, the CTA queue, the live-warp
+/// count, or the timeline sampler after construction.
+struct Engine<'a> {
+    traces: &'a [&'a KernelTrace],
+    cfg: &'a GpuConfig,
+    /// SM state, owned per shard so a whole shard can be handed to a
+    /// pool worker by move (and back) without locks. Shard `j` holds the
+    /// SMs `[j * shard_size, (j + 1) * shard_size)`; a shard's `Vec` is
+    /// empty only while that shard is in flight inside `run_epoch`.
+    sm_shards: Vec<Vec<SmRt<'a>>>,
+    num_sms: usize,
+    dram: Dram,
+    l2: Option<Cache>,
+    /// Pending (kernel, cta) launches, FIFO. Popped only at barriers, in
+    /// the merged event order — the serial engine's placement order.
+    queue: std::collections::VecDeque<(usize, usize)>,
+    live_warps: usize,
+    /// Highest cycle at which any SM has issued — the serial engine's
+    /// final `cycle`, maintained from per-shard `last_cycle` marks.
+    cycle: u64,
+    horizon: u64,
+    per_kernel_done: Vec<u64>,
+    /// Budget-bounded adaptive timeline sampler. Raw cumulative
+    /// counters are recorded per epoch; windowed rates (DRAM
+    /// utilization) are derived at the end from the *retained* cycle
+    /// gaps, so they stay exact under decimation.
+    sampler: obs::AdaptiveSampler<RawSample>,
+    /// Maximum resident warps across the GPU (occupancy denominator).
+    warp_capacity: f64,
+    /// SMs per shard (`ceil(num_sms / worker_count)`).
+    shard_size: usize,
+    /// Per-shard epoch outputs (event logs + commutative accumulators),
+    /// reused across epochs. `None` only while the shard is in flight
+    /// inside `run_epoch`.
+    outs: Vec<Option<ShardOut>>,
+    /// Barrier merge buffer, reused across epochs.
+    merged: Vec<EvRec>,
+    /// Epoch length while the CTA queue is non-empty: also bounded by
+    /// the CTA launch overhead, so deferred placements cannot become
+    /// issuable inside the epoch that freed their resources.
+    epoch_queue: u64,
+    /// Epoch length once the queue has drained: bounded only by the
+    /// minimum shared-memory (L2/DRAM) response latency.
+    epoch_free: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -422,14 +542,34 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        let num_sms = (cfg.num_sms as usize).max(1);
+        let workers = resolve_sim_threads().clamp(1, num_sms);
+        let shard_size = num_sms.div_ceil(workers);
+        let shards = num_sms.div_ceil(shard_size);
+        // The shortest interval after which an effect deferred to the
+        // barrier could influence a shard: a shared-memory response (L2
+        // hit, or DRAM service + latency without an L2) for resolved
+        // loads, and the CTA launch overhead for queue placements. An
+        // epoch never outruns either, which is what makes the barrier
+        // exchange exact rather than approximate.
+        let mem_min = match cfg.l2 {
+            Some(_) => cfg.l2_latency as u64,
+            None => cfg.segment_service_cycles() + cfg.dram_latency as u64,
+        };
+        let epoch_free = mem_min.max(1);
+        let epoch_queue = epoch_free.min((cfg.cta_launch_overhead as u64).max(1));
+        let mut sm_shards: Vec<Vec<SmRt<'a>>> = Vec::with_capacity(shards);
+        let mut first = 0;
+        while first < num_sms {
+            let n = shard_size.min(num_sms - first);
+            sm_shards.push((first..first + n).map(|i| SmRt::new(i as u32, cfg)).collect());
+            first += n;
+        }
         let mut e = Engine {
             traces,
             cfg,
-            sms: (0..cfg.num_sms).map(|_| SmRt::new(cfg)).collect(),
-            summaries: vec![None; cfg.num_sms as usize],
-            warps: Vec::new(),
-            slot_of: Vec::new(),
-            ctas: Vec::new(),
+            sm_shards,
+            num_sms,
             dram: Dram::new(cfg),
             l2: cfg.l2.map(Cache::new),
             queue,
@@ -437,27 +577,26 @@ impl<'a> Engine<'a> {
             cycle: 0,
             horizon: 0,
             per_kernel_done: vec![0; traces.len()],
-            thread_instructions: 0,
-            warp_instructions: 0,
-            mem_mix: MemMix::default(),
-            occupancy: OccupancyHistogram::new(cfg.warp_size as usize),
-            stalls: vec![StallBreakdown::default(); cfg.num_sms as usize],
-            attributed: vec![0; cfg.num_sms as usize],
             sampler: obs::AdaptiveSampler::new(cfg.timeline_sample_period, cfg.timeline_capacity),
             warp_capacity: (cfg.num_sms as u64
                 * (cfg.max_threads_per_sm / cfg.warp_size).max(1) as u64)
                 as f64,
+            shard_size,
+            outs: (0..shards).map(|s| Some(ShardOut::new(s as u32, cfg))).collect(),
+            merged: Vec::new(),
+            epoch_queue,
+            epoch_free,
         };
         // Initial breadth-first CTA placement, as GPGPU-Sim does: sweep
         // the SMs round after round until the head of the queue no
         // longer fits anywhere.
         loop {
             let mut placed = false;
-            for sm in 0..e.sms.len() {
+            for sm in 0..e.num_sms {
                 if let Some(&(k, _)) = e.queue.front() {
                     if e.fits(sm, k) {
                         let (k, c) = e.queue.pop_front().unwrap();
-                        e.place_cta(sm, k, c, 0);
+                        e.place_cta(sm, k, c, 0, 0);
                         placed = true;
                     }
                 }
@@ -469,42 +608,15 @@ impl<'a> Engine<'a> {
         e
     }
 
-    /// The (cached) warp-state digest of `sm`. Recomputed in one scan of
-    /// the SM's warp list when stale; every warp mutation on the SM —
-    /// all of which flow through [`Engine::issue`] and
-    /// [`Engine::place_cta`] — marks it stale.
-    fn summary(&mut self, sm: usize) -> SmSummary {
-        if let Some(s) = self.summaries[sm] {
-            return s;
-        }
-        let mut s = SmSummary {
-            min_ready: u64::MAX,
-            any_live: false,
-            any_mem: false,
-            all_barrier: true,
-        };
-        for &v in &self.sms[sm].sched {
-            if v & SCHED_DONE != 0 {
-                continue;
-            }
-            s.any_live = true;
-            if v & SCHED_BARRIER != 0 {
-                continue;
-            }
-            s.all_barrier = false;
-            if v & SCHED_MEM != 0 {
-                s.any_mem = true;
-            }
-            s.min_ready = s.min_ready.min(v & SCHED_READY_MASK);
-        }
-        self.summaries[sm] = Some(s);
-        s
+    /// The SM with global index `i` (all shards must be in residence).
+    fn sm_mut(&mut self, i: usize) -> &mut SmRt<'a> {
+        &mut self.sm_shards[i / self.shard_size][i % self.shard_size]
     }
 
     /// Whether a CTA of kernel `k` fits on `sm` right now.
     fn fits(&self, sm: usize, k: usize) -> bool {
         let t = self.traces[k];
-        let s = &self.sms[sm];
+        let s = &self.sm_shards[sm / self.shard_size][sm % self.shard_size];
         let threads = t.threads_per_block as u32;
         s.resident_ctas < self.cfg.max_ctas_per_sm as usize
             && s.used_threads + threads <= self.cfg.max_threads_per_sm
@@ -512,275 +624,76 @@ impl<'a> Engine<'a> {
             && s.used_shared + t.shared_bytes_per_cta <= self.cfg.shared_mem_per_sm
     }
 
-    fn place_cta(&mut self, sm: usize, kernel: usize, trace_idx: usize, at: u64) {
-        self.attribute_span(sm);
-        self.summaries[sm] = None;
+    /// Places one CTA on `sm`, its warps first issuable at `at`.
+    /// `cycle` is the placement event's cycle (for stall attribution —
+    /// always a no-op span, since placement only happens at cycle 0 or
+    /// at the cycle of the retiring issue that already settled it).
+    fn place_cta(&mut self, sm: usize, kernel: usize, trace_idx: usize, cycle: u64, at: u64) {
         let t = self.traces[kernel];
+        let s = self.sm_mut(sm);
+        s.attribute_span(cycle);
+        s.summary = None;
         let n_warps = t.ctas[trace_idx].warps.len();
-        let cta_rt = self.ctas.len();
+        let cta_rt = s.ctas.len();
         let mut warp_ids = Vec::with_capacity(n_warps);
         for w in 0..n_warps {
-            let id = self.warps.len();
-            self.warps.push(WarpRt {
+            let id = s.warp_tab.len();
+            s.warp_tab.push(WarpRt {
                 cta_rt,
                 ops: &t.ctas[trace_idx].warps[w].ops,
                 pc: 0,
                 ready_at: at,
                 at_barrier: false,
                 waiting_mem: false,
+                unresolved: false,
                 done: false,
                 last_issue: 0,
             });
             warp_ids.push(id);
-            self.slot_of.push(self.sms[sm].warps.len());
-            self.sms[sm].warps.push(id);
-            self.sms[sm].sched.push(at);
+            s.slot_of.push(s.list.len());
+            s.list.push(id);
+            s.sched.push(at);
         }
-        self.live_warps += n_warps;
-        self.ctas.push(CtaRt {
+        s.ctas.push(CtaRt {
             kernel,
-            sm,
             warps: warp_ids,
             arrived: 0,
             done_warps: 0,
         });
-        let s = &mut self.sms[sm];
         s.resident_ctas += 1;
         s.used_threads += t.threads_per_block as u32;
         s.used_regs += t.threads_per_block as u32 * t.regs_per_thread;
         s.used_shared += t.shared_bytes_per_cta;
+        self.live_warps += n_warps;
     }
 
-    fn run(&mut self) -> Result<(), SimError> {
-        let max_cycles = self.cfg.watchdog.max_cycles;
-        while self.live_warps > 0 {
-            if let Some(budget) = max_cycles {
-                if self.cycle >= budget {
-                    return Err(SimError::Watchdog {
-                        cycles: self.cycle,
-                        warps_stuck: self.live_warps,
-                    });
-                }
-            }
-            for sm in 0..self.sms.len() {
-                while self.sms[sm].port_free_at <= self.cycle {
-                    // Cheap gate when a cached digest exists: no warp on
-                    // this SM can be ready before `min_ready`, so skip
-                    // the scheduler scan entirely. A stale digest is NOT
-                    // recomputed here — a failed `pick_warp` scan below
-                    // rebuilds it as a side effect, so issuing SMs never
-                    // pay a separate summary pass.
-                    if let Some(s) = self.summaries[sm] {
-                        if s.min_ready > self.cycle {
-                            break;
-                        }
-                    }
-                    let Some(w) = self.pick_warp(sm) else {
-                        break;
-                    };
-                    self.issue(sm, w);
-                    if self.live_warps == 0 {
-                        break;
-                    }
-                }
-            }
-            if self.live_warps == 0 {
-                break;
-            }
-            // Jump straight to the next cycle on which any SM could
-            // issue: for every SM, no warp is pickable before
-            // `max(min_ready, port_free_at)` (an unpickable warp has
-            // `ready_at > cycle`, and the port gates the rest), so the
-            // skipped cycles are exactly the cycles the per-cycle loop
-            // would have spent re-checking gates and finding nothing.
-            let next = self.next_wake()?;
-            self.sample_timeline(next);
-            self.cycle = next;
-        }
-        self.horizon = self.horizon.max(self.cycle);
-        Ok(())
-    }
-
-    /// Attributes `sm`'s cycles in `[attributed[sm], cycle)` to stall
-    /// categories, then advances the watermark.
-    ///
-    /// Called immediately before any state change on the SM (an issue or
-    /// a CTA placement) and once at the end of simulation. Issues only
-    /// happen at span starts, so within the span the SM's busy cycles
-    /// are the contiguous prefix up to `port_free_at` (already charged
-    /// to issue/bank-conflict/divergence at issue time); the idle
-    /// remainder is classified from the SM's warp state, which cannot
-    /// change mid-span. Charging the merged span is therefore exactly
-    /// equivalent to accounting every simulated cycle individually.
-    fn attribute_span(&mut self, sm: usize) {
-        let from = self.attributed[sm];
-        let to = self.cycle;
-        if to <= from {
-            return;
-        }
-        self.attributed[sm] = to;
-        let busy = self.sms[sm].port_free_at.clamp(from, to) - from;
-        let idle = (to - from) - busy;
-        if idle == 0 {
-            return;
-        }
-        let s = self.summary(sm);
-        let st = &mut self.stalls[sm];
-        if !s.any_live {
-            st.empty += idle;
-        } else if s.any_mem {
-            st.mem_pending += idle;
-        } else if s.all_barrier {
-            st.barrier += idle;
+    /// The epoch length from the current cycle, per the invariant in the
+    /// module docs.
+    fn epoch_len(&self) -> u64 {
+        if self.queue.is_empty() {
+            self.epoch_free
         } else {
-            // Warps waiting on compute latency or a CTA-launch window.
-            st.issue += idle;
+            self.epoch_queue
         }
     }
 
-    /// Records a timeline epoch for every sample boundary up to `upto`.
+    /// The next cycle at which any warp could issue (the next epoch's
+    /// start), or a deadlock error if no warp can ever become ready.
     ///
-    /// Warp state is constant over the jumped span (no SM mutates
-    /// between `cycle` and the next wake), so each due epoch sees the
-    /// correct live-warp count. DRAM busy cycles are recorded as a
-    /// cumulative counter and converted to windowed utilization at the
-    /// end of the run, over the *retained* inter-sample gaps.
-    fn sample_timeline(&mut self, upto: u64) {
-        while self.sampler.is_due(upto) {
-            self.sampler.record_due(RawSample {
-                live_warps: self.live_warps as u32,
-                busy_cum: self.dram.busy_cycles(),
-            });
-        }
-    }
-
-    /// Selects an issuable warp on `sm` according to the configured
-    /// scheduler policy.
-    ///
-    /// A *failed* selection has necessarily scanned every resident warp,
-    /// so it rebuilds and caches the SM's [`SmSummary`] in the same pass
-    /// — the run-loop gate and the stall attribution then reuse it
-    /// without a second scan. (A successful pick leaves a stale digest;
-    /// [`Engine::issue`] invalidates it anyway.)
-    fn pick_warp(&mut self, sm: usize) -> Option<usize> {
-        let n = self.sms[sm].warps.len();
-        if n == 0 {
-            self.summaries[sm] = Some(SmSummary {
-                min_ready: u64::MAX,
-                any_live: false,
-                any_mem: false,
-                all_barrier: true,
-            });
-            return None;
-        }
-        let mut s = SmSummary {
-            min_ready: u64::MAX,
-            any_live: false,
-            any_mem: false,
-            all_barrier: true,
-        };
-        // Both policies scan the SM's packed scheduler words: a single
-        // `word <= cycle` compare per slot decides pickability (done and
-        // barrier-parked warps carry a high flag bit and always fail),
-        // and the flag bits of unpickable slots feed the summary. The
-        // visit order — and therefore the pick — is identical to
-        // scanning the `WarpRt`s themselves.
-        match self.cfg.sched_policy {
-            SchedPolicy::RoundRobin => {
-                let cycle = self.cycle;
-                let hit = {
-                    let smr = &self.sms[sm];
-                    let sched = &smr.sched[..n];
-                    let start = smr.rr % n;
-                    // Hot pass: pickability only, in round-robin order as
-                    // two linear ranges. The summary of a scan that finds
-                    // a ready warp is never consulted, so flag folding is
-                    // deferred to the no-pick case below.
-                    let mut hit = sched[start..]
-                        .iter()
-                        .position(|&v| v & SCHED_PICK_MASK <= cycle)
-                        .map(|i| start + i);
-                    if hit.is_none() {
-                        hit = sched[..start]
-                            .iter()
-                            .position(|&v| v & SCHED_PICK_MASK <= cycle);
-                    }
-                    if hit.is_none() {
-                        // No pickable warp: one branchless fold over all
-                        // slots builds the cached summary.
-                        for &v in sched {
-                            let live = v & SCHED_DONE == 0;
-                            let active = live && v & SCHED_BARRIER == 0;
-                            s.any_live |= live;
-                            s.all_barrier &= !active;
-                            s.any_mem |= active && v & SCHED_MEM != 0;
-                            let r = if active { v & SCHED_READY_MASK } else { u64::MAX };
-                            s.min_ready = s.min_ready.min(r);
-                        }
-                    }
-                    hit
-                };
-                match hit {
-                    Some(slot) => {
-                        self.sms[sm].rr = slot + 1;
-                        Some(self.sms[sm].warps[slot])
-                    }
-                    None => {
-                        self.summaries[sm] = Some(s);
-                        None
-                    }
-                }
-            }
-            SchedPolicy::GreedyThenOldest => {
-                // Greedy: stick with the last warp while it stays ready.
-                if let Some(w) = self.sms[sm].last_warp {
-                    if self.sms[sm].sched[self.slot_of[w]] & SCHED_PICK_MASK <= self.cycle {
-                        return Some(w);
-                    }
-                }
-                // Oldest: least-recently-issued ready warp.
-                let mut best: Option<usize> = None;
-                for slot in 0..n {
-                    let v = self.sms[sm].sched[slot];
-                    if v & SCHED_PICK_MASK <= self.cycle {
-                        let w = self.sms[sm].warps[slot];
-                        if best.is_none_or(|b| self.warps[w].last_issue < self.warps[b].last_issue)
-                        {
-                            best = Some(w);
-                        }
-                        continue;
-                    }
-                    if v & SCHED_DONE != 0 {
-                        continue;
-                    }
-                    s.any_live = true;
-                    if v & SCHED_BARRIER != 0 {
-                        continue;
-                    }
-                    s.all_barrier = false;
-                    if v & SCHED_MEM != 0 {
-                        s.any_mem = true;
-                    }
-                    s.min_ready = s.min_ready.min(v & SCHED_READY_MASK);
-                }
-                if best.is_none() {
-                    self.summaries[sm] = Some(s);
-                }
-                best
-            }
-        }
-    }
-
-    /// The next cycle at which any warp could issue (fast-forward
-    /// target), or a deadlock error if no warp can ever become ready.
-    fn next_wake(&mut self) -> Result<u64, SimError> {
+    /// Also refreshes every SM's cached summary, which `run_epoch` then
+    /// reads to skip shards with no work in the window.
+    fn global_next_wake(&mut self) -> Result<u64, SimError> {
         let mut next = u64::MAX;
-        for si in 0..self.sms.len() {
+        for sm in self.sm_shards.iter_mut().flatten() {
             // min over warps of max(ready_at, port_free_at) equals
             // max(min_ready, port_free_at): port_free_at is per-SM.
-            let s = self.summary(si);
+            let s = sm.summary();
             if s.min_ready != u64::MAX {
-                next = next.min(s.min_ready.max(self.sms[si].port_free_at));
+                debug_assert!(
+                    s.min_ready < SCHED_READY_MASK,
+                    "unresolved sentinel leaked past a barrier"
+                );
+                next = next.min(s.min_ready.max(sm.port_free_at));
             }
         }
         if next == u64::MAX {
@@ -789,169 +702,171 @@ impl<'a> Engine<'a> {
                 warps_parked: self.live_warps,
             });
         }
-        Ok(next.max(self.cycle + 1))
+        Ok(next)
     }
 
-    fn issue(&mut self, sm: usize, w: usize) {
-        // Issuing mutates this warp's state (and possibly, via barrier
-        // release or CTA retirement, its whole CTA's) — all on this SM.
-        // Settle the SM's deferred stall attribution under the old state
-        // first, then invalidate the digest.
-        self.attribute_span(sm);
-        self.summaries[sm] = None;
-        let (ops, pc) = {
-            let warp = &self.warps[w];
-            (warp.ops, warp.pc)
+    /// Physical executors worth using for `shards` shards: capped by the
+    /// host's CPU count, because shards beyond that would only
+    /// time-slice the same cores. The *shard count* (and therefore every
+    /// result byte) always follows `sim_threads`; only the OS-thread
+    /// count adapts to the hardware.
+    fn pool_width(shards: usize) -> usize {
+        let cpus = match HOST_PARALLELISM_OVERRIDE.load(Ordering::Relaxed) {
+            0 => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+            n => n,
         };
-        let op = &ops[pc];
-        self.warps[w].pc += 1;
+        shards.min(cpus)
+    }
 
-        // Account instructions and occupancy.
-        let wi = op.warp_instructions();
-        self.warp_instructions += wi;
-        self.thread_instructions += op.thread_instructions();
-        if op.lanes() > 0 {
-            self.occupancy.record(op.lanes(), wi);
+    fn run(&mut self) -> Result<(), SimError> {
+        // The coordinating thread doubles as an executor, so only
+        // `width - 1` helpers are spawned — once, for the whole replay
+        // (per-epoch spawning would cost more than a short epoch's
+        // work). With one shard, or one CPU, that is zero helpers and
+        // the replay runs inline with no synchronization at all.
+        let helpers = Self::pool_width(self.outs.len()).saturating_sub(1);
+        if helpers == 0 {
+            return self.run_loop(None);
         }
-        if let Some(space) = op.mem_space() {
-            self.mem_mix.add(space, wi);
-        }
+        let cfg = self.cfg;
+        std::thread::scope(|scope| {
+            let (res_tx, res_rx) = std::sync::mpsc::channel();
+            let mut jobs = Vec::with_capacity(helpers);
+            for _ in 0..helpers {
+                let (tx, rx) = std::sync::mpsc::channel::<Job<'a>>();
+                let res = res_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((shard, mut sms, mut out, start, end)) = rx.recv() {
+                        run_epoch_shard(&mut sms, cfg, start, end, &mut out);
+                        if res.send((shard, sms, out)).is_err() {
+                            break;
+                        }
+                    }
+                });
+                jobs.push(tx);
+            }
+            // Helpers now hold the only result senders: if one dies, the
+            // receive in `run_epoch` fails loudly instead of hanging.
+            drop(res_tx);
+            let pool = Pool {
+                jobs,
+                results: res_rx,
+            };
+            // Dropping the pool on the way out closes the job channels,
+            // which is the helpers' shutdown signal; the scope then
+            // joins them.
+            self.run_loop(Some(&pool))
+        })
+    }
 
-        let cycle = self.cycle;
-        let ic = match op {
-            TOp::Bar => 1,
-            _ => self.cfg.issue_cycles_for(op.lanes()),
-        };
-        let (port_busy, ready_at) = match op {
-            TOp::Alu { n, .. } => {
-                let busy = ic * *n as u64;
-                (busy, cycle + busy + self.cfg.alu_latency as u64)
-            }
-            TOp::Sfu { n, .. } => {
-                // SFUs are quarter-rate.
-                let busy = 4 * ic * *n as u64;
-                (busy, cycle + busy + self.cfg.sfu_latency as u64)
-            }
-            TOp::Branch { .. } => (ic, cycle + ic + self.cfg.alu_latency as u64),
-            TOp::Param { n, .. } => {
-                let busy = ic * *n as u64;
-                (busy, cycle + busy + self.cfg.param_latency as u64)
-            }
-            TOp::Const { unique, .. } => {
-                let busy = ic * *unique as u64;
-                (busy, cycle + busy + self.cfg.const_latency as u64)
-            }
-            TOp::Shared { degree, .. } => {
-                let d = if self.cfg.model_bank_conflicts {
-                    *degree as u64
-                } else {
-                    1
-                };
-                let busy = ic * d;
-                (busy, cycle + busy + self.cfg.shared_latency as u64)
-            }
-            TOp::Tex { segs, .. } => {
-                let mut done = cycle + ic + self.cfg.tex_latency as u64;
-                for &seg in segs {
-                    let hit = match &mut self.sms[sm].tex {
-                        Some(tex) => tex.access(seg),
-                        None => false,
-                    };
-                    if !hit {
-                        let t = self.l2_dram_load(seg, cycle);
-                        done = done.max(t + self.cfg.tex_latency as u64);
-                    }
-                }
-                (ic, done)
-            }
-            TOp::Gmem { store, segs, .. } => {
-                if *store {
-                    // Stores retire through a write buffer; the warp does
-                    // not wait, but bandwidth is consumed.
-                    for &seg in segs {
-                        self.store_path(seg, cycle);
-                    }
-                    (ic, cycle + ic + self.cfg.alu_latency as u64)
-                } else {
-                    let mut done = cycle + ic;
-                    for &seg in segs {
-                        let t = self.load_path(sm, seg, cycle);
-                        done = done.max(t);
-                    }
-                    (ic, done)
+    /// The epoch/barrier loop; the pool, if any, outlives every epoch.
+    fn run_loop(&mut self, pool: Option<&Pool<'a>>) -> Result<(), SimError> {
+        let max_cycles = self.cfg.watchdog.max_cycles;
+        while self.live_warps > 0 {
+            let wake = self.global_next_wake()?;
+            if let Some(budget) = max_cycles {
+                if wake >= budget {
+                    return Err(SimError::Watchdog {
+                        cycles: wake,
+                        warps_stuck: self.live_warps,
+                    });
                 }
             }
-            TOp::Bar => {
-                self.arrive_barrier(w);
-                (1, cycle + 1)
+            let mut end = wake.saturating_add(self.epoch_len());
+            if let Some(budget) = max_cycles {
+                // The watchdog check above guarantees wake < budget, so
+                // the clamped window is never empty.
+                end = end.min(budget);
+            }
+            self.run_epoch(wake, end, pool);
+            self.barrier_exchange();
+        }
+        self.horizon = self.horizon.max(self.cycle);
+        Ok(())
+    }
+
+    /// Runs one epoch `[start, end)` across the shards.
+    ///
+    /// Shards with no possible issue in the window (per the summaries
+    /// `global_next_wake` just refreshed) are skipped outright; when at
+    /// most one shard has work — the common case for small or
+    /// tail-heavy replays — it runs inline on this thread, avoiding
+    /// handoff overhead entirely. Otherwise active shards are dealt
+    /// round-robin to the pool helpers by move, with this thread taking
+    /// every `helpers + 1`-th itself, and collected back before the
+    /// barrier. Every path performs the identical per-shard
+    /// computation, which is why neither the shard count nor the
+    /// executor count can affect results.
+    fn run_epoch(&mut self, start: u64, end: u64, pool: Option<&Pool<'a>>) {
+        let cfg = self.cfg;
+        let active: Vec<bool> = self
+            .sm_shards
+            .iter()
+            .map(|sms| {
+                sms.iter().any(|sm| {
+                    let s = sm.summary.unwrap_or_else(|| fold_summary(&sm.sched));
+                    s.min_ready != u64::MAX && s.min_ready.max(sm.port_free_at) < end
+                })
+            })
+            .collect();
+        let n_active = active.iter().filter(|&&a| a).count();
+        let pool = match pool {
+            Some(p) if n_active > 1 => p,
+            _ => {
+                for (j, act) in active.iter().enumerate() {
+                    if *act {
+                        let out = self.outs[j].as_mut().expect("shard output in residence");
+                        run_epoch_shard(&mut self.sm_shards[j], cfg, start, end, out);
+                    }
+                }
+                return;
             }
         };
-
-        // Split the port-busy cycles into stall categories: bank-conflict
-        // replay beats, divergence-masked issue slots, and true issue.
-        // `slots` is the number of `ic`-cycle issue slots the op occupies;
-        // lanes masked off by divergence waste `ic - ceil(lanes/simd)`
-        // cycles of each (zero when lane compaction is modeled, where
-        // `ic` is already compacted).
-        let (slots, bank_extra) = match op {
-            TOp::Alu { n, .. } | TOp::Param { n, .. } => (*n as u64, 0),
-            TOp::Sfu { n, .. } => (4 * *n as u64, 0),
-            TOp::Const { unique, .. } => (*unique as u64, 0),
-            TOp::Shared { degree, .. } => {
-                let d = if self.cfg.model_bank_conflicts {
-                    *degree as u64
-                } else {
-                    1
-                };
-                (1, ic * (d - 1))
+        let executors = pool.jobs.len() + 1;
+        // Pass 1: everything helper-bound leaves first, so helpers start
+        // while this thread works through its own share below.
+        let mut sent = 0;
+        let mut dealt = 0;
+        for (j, act) in active.iter().enumerate() {
+            if !*act {
+                continue;
             }
-            TOp::Branch { .. } | TOp::Tex { .. } | TOp::Gmem { .. } => (1, 0),
-            TOp::Bar => (0, 0),
-        };
-        let compact = (op.lanes().max(1) as u64).div_ceil(self.cfg.simd_width as u64);
-        let divergence = ic.saturating_sub(compact) * slots;
-        {
-            let st = &mut self.stalls[sm];
-            st.bank_conflict += bank_extra;
-            st.divergence += divergence;
-            st.issue += port_busy - bank_extra - divergence;
+            let ex = dealt % executors;
+            dealt += 1;
+            if ex < pool.jobs.len() {
+                let sms = std::mem::take(&mut self.sm_shards[j]);
+                let out = self.outs[j].take().expect("shard output in residence");
+                pool.jobs[ex]
+                    .send((j, sms, out, start, end))
+                    .expect("pool worker alive");
+                sent += 1;
+            }
         }
-        self.warps[w].waiting_mem = match op {
-            TOp::Gmem { store, .. } => !*store,
-            _ => op.mem_space().is_some(),
-        };
-
-        self.sms[sm].port_free_at = cycle.max(self.sms[sm].port_free_at) + port_busy;
-        self.sms[sm].last_warp = Some(w);
-        self.warps[w].last_issue = cycle;
-        if !self.warps[w].at_barrier {
-            self.warps[w].ready_at = ready_at;
+        // Pass 2: this thread's own share, using the same deal order.
+        let mut dealt = 0;
+        for (j, act) in active.iter().enumerate() {
+            if !*act {
+                continue;
+            }
+            let ex = dealt % executors;
+            dealt += 1;
+            if ex == pool.jobs.len() {
+                let out = self.outs[j].as_mut().expect("shard output in residence");
+                run_epoch_shard(&mut self.sm_shards[j], cfg, start, end, out);
+            }
         }
-        self.sms[sm].sched[self.slot_of[w]] = self.warps[w].sched_word();
-        self.horizon = self.horizon.max(ready_at);
-
-        // Trace drained?
-        if self.warps[w].pc == ops.len() {
-            self.retire_warp(sm, w);
+        for _ in 0..sent {
+            let (j, sms, out) = pool.results.recv().expect("pool worker alive");
+            self.sm_shards[j] = sms;
+            self.outs[j] = Some(out);
         }
     }
 
-    /// Load path: L1 (per SM) -> L2 -> DRAM. Returns completion cycle.
-    fn load_path(&mut self, sm: usize, seg: u64, cycle: u64) -> u64 {
-        let l1_lat = self.cfg.l1_latency as u64;
-        match &mut self.sms[sm].l1 {
-            Some(l1) => {
-                if l1.access(seg) {
-                    cycle + l1_lat
-                } else {
-                    self.l2_dram_load(seg, cycle) + l1_lat
-                }
-            }
-            None => self.l2_dram_load(seg, cycle),
-        }
-    }
-
-    fn l2_dram_load(&mut self, seg: u64, cycle: u64) -> u64 {
+    /// Resolves one shared-memory access at the epoch barrier: L2 hit,
+    /// or DRAM behind the L2 (or DRAM directly without one). Returns the
+    /// response cycle; stores call this for its bandwidth/allocation
+    /// side effects and ignore the returned time.
+    fn resolve_shared(&mut self, seg: u64, cycle: u64) -> u64 {
         match &mut self.l2 {
             Some(l2) => {
                 if l2.access(seg) {
@@ -964,95 +879,107 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Store path: the L2 (write-back) absorbs hits; everything else goes
-    /// to DRAM. Stores bypass the (write-evict) L1.
-    fn store_path(&mut self, seg: u64, cycle: u64) {
-        match &mut self.l2 {
-            Some(l2) => {
-                if !l2.access(seg) {
-                    self.dram.access(seg, cycle);
-                }
+    /// Applies the epoch's deferred events in canonical serial order.
+    ///
+    /// The merged sort key `(cycle, sm, seq, kind)` reproduces exactly
+    /// the order in which the serial engine reaches these effects: it
+    /// sweeps SMs in index order within a cycle, an SM's events within a
+    /// cycle follow its issue sequence, and within one issue memory
+    /// accesses precede the warp's retirement, which precedes CTA
+    /// completion. Order-sensitive shared state — the L2's LRU stacks,
+    /// DRAM channel queues, the CTA queue, the timeline sampler —
+    /// therefore evolves identically, which is the heart of the
+    /// byte-identity guarantee.
+    fn barrier_exchange(&mut self) {
+        let mut outs = std::mem::take(&mut self.outs);
+        let mut merged = std::mem::take(&mut self.merged);
+        merged.clear();
+        for out in outs.iter_mut().flatten() {
+            self.cycle = self.cycle.max(out.last_cycle);
+            self.horizon = self.horizon.max(out.horizon);
+            merged.append(&mut out.events);
+        }
+        merged.sort_unstable_by_key(|e| (e.cycle, e.sm, e.seq, e.kind.rank()));
+        for e in &merged {
+            // Timeline boundaries due at or before this event's cycle
+            // record the state *before* any event at that cycle — the
+            // same rule the serial engine's pre-jump sampling applies.
+            while self.sampler.is_due(e.cycle) {
+                let raw = RawSample {
+                    live_warps: self.live_warps as u32,
+                    busy_cum: self.dram.busy_cycles(),
+                };
+                self.sampler.record_due(raw);
             }
-            None => {
-                self.dram.access(seg, cycle);
+            match e.kind {
+                EvKind::Mem { warp, add, wait, segs } => {
+                    let pool = &outs[e.shard as usize]
+                        .as_ref()
+                        .expect("shard output in residence")
+                        .segs;
+                    let mut done = 0u64;
+                    for &seg in &pool[segs.0 as usize..segs.1 as usize] {
+                        let t = self.resolve_shared(seg, e.cycle);
+                        done = done.max(t + add as u64);
+                    }
+                    if wait {
+                        let sm = e.sm as usize;
+                        let s = &mut self.sm_shards[sm / self.shard_size][sm % self.shard_size];
+                        let w = warp as usize;
+                        let resolved = s.warp_tab[w].ready_at.max(done);
+                        self.horizon = self.horizon.max(resolved);
+                        // A warp that retired on its final load keeps its
+                        // DONE word; only its horizon contribution above
+                        // matters (and its old slot may have been
+                        // compacted away).
+                        if !s.warp_tab[w].done {
+                            s.warp_tab[w].ready_at = resolved;
+                            s.warp_tab[w].unresolved = false;
+                            s.sched[s.slot_of[w]] = s.warp_tab[w].sched_word();
+                            s.summary = None;
+                        }
+                    }
+                }
+                EvKind::Retire => {
+                    self.live_warps -= 1;
+                }
+                EvKind::CtaDone { cta } => {
+                    let sm = e.sm as usize;
+                    let kernel =
+                        self.sm_shards[sm / self.shard_size][sm % self.shard_size].ctas[cta as usize].kernel;
+                    let t = self.traces[kernel];
+                    {
+                        let s = &mut self.sm_shards[sm / self.shard_size][sm % self.shard_size];
+                        s.resident_ctas -= 1;
+                        s.used_threads -= t.threads_per_block as u32;
+                        s.used_regs -= t.threads_per_block as u32 * t.regs_per_thread;
+                        s.used_shared -= t.shared_bytes_per_cta;
+                    }
+                    self.per_kernel_done[kernel] = self.per_kernel_done[kernel].max(e.cycle);
+                    while let Some(&(k, _)) = self.queue.front() {
+                        if !self.fits(sm, k) {
+                            break;
+                        }
+                        let (k, c) = self.queue.pop_front().unwrap();
+                        let at = e.cycle + self.cfg.cta_launch_overhead as u64;
+                        self.place_cta(sm, k, c, e.cycle, at);
+                    }
+                }
             }
         }
-    }
-
-    fn arrive_barrier(&mut self, w: usize) {
-        let cta_rt = self.warps[w].cta_rt;
-        let sm = self.ctas[cta_rt].sm;
-        self.warps[w].at_barrier = true;
-        self.sms[sm].sched[self.slot_of[w]] = self.warps[w].sched_word();
-        self.ctas[cta_rt].arrived += 1;
-        let expected = self.ctas[cta_rt].warps.len() - self.ctas[cta_rt].done_warps;
-        if self.ctas[cta_rt].arrived >= expected {
-            let release = self.cycle + 1;
-            self.ctas[cta_rt].arrived = 0;
-            let warps = self.ctas[cta_rt].warps.clone();
-            for wid in warps {
-                if self.warps[wid].at_barrier {
-                    self.warps[wid].at_barrier = false;
-                    self.warps[wid].ready_at = release;
-                    self.sms[sm].sched[self.slot_of[wid]] = self.warps[wid].sched_word();
-                }
-            }
+        for out in outs.iter_mut().flatten() {
+            out.segs.clear();
         }
-    }
-
-    fn retire_warp(&mut self, sm: usize, w: usize) {
-        self.warps[w].done = true;
-        self.sms[sm].sched[self.slot_of[w]] = SCHED_DONE;
-        self.live_warps -= 1;
-        let cta_rt = self.warps[w].cta_rt;
-        debug_assert_eq!(self.ctas[cta_rt].sm, sm, "warp retired on the wrong SM");
-        self.ctas[cta_rt].done_warps += 1;
-        if self.ctas[cta_rt].done_warps == self.ctas[cta_rt].warps.len() {
-            // CTA complete: free its resources and launch pending CTAs.
-            let kernel = self.ctas[cta_rt].kernel;
-            let t = self.traces[kernel];
-            {
-                let s = &mut self.sms[sm];
-                s.resident_ctas -= 1;
-                s.used_threads -= t.threads_per_block as u32;
-                s.used_regs -= t.threads_per_block as u32 * t.regs_per_thread;
-                s.used_shared -= t.shared_bytes_per_cta;
-            }
-            self.per_kernel_done[kernel] = self.per_kernel_done[kernel].max(self.cycle);
-            let dead: Vec<usize> = self.ctas[cta_rt].warps.clone();
-            self.sms[sm].warps.retain(|id| !dead.contains(id));
-            // A dead last_warp would fail the greedy readiness check
-            // anyway; drop it rather than leave its slot map dangling.
-            if let Some(lw) = self.sms[sm].last_warp {
-                if dead.contains(&lw) {
-                    self.sms[sm].last_warp = None;
-                }
-            }
-            // Compact the scheduler words identically and re-point the
-            // surviving warps' slot map at their shifted positions.
-            self.sms[sm].sched.clear();
-            for slot in 0..self.sms[sm].warps.len() {
-                let id = self.sms[sm].warps[slot];
-                self.slot_of[id] = slot;
-                let word = self.warps[id].sched_word();
-                self.sms[sm].sched.push(word);
-            }
-            while let Some(&(k, _)) = self.queue.front() {
-                if !self.fits(sm, k) {
-                    break;
-                }
-                let (k, c) = self.queue.pop_front().unwrap();
-                let at = self.cycle + self.cfg.cta_launch_overhead as u64;
-                self.place_cta(sm, k, c, at);
-            }
-        }
+        self.outs = outs;
+        self.merged = merged;
     }
 
     fn into_stats(mut self) -> ConcurrentStats {
         // Settle every SM's deferred stall attribution up to the last
         // simulated cycle before closing the books over the drain tail.
-        for si in 0..self.sms.len() {
-            self.attribute_span(si);
+        let last = self.cycle;
+        for sm in self.sm_shards.iter_mut().flatten() {
+            sm.attribute_span(last);
         }
         // Outstanding stores keep DRAM channels busy past the last
         // warp's retirement; the kernel is not done until they drain.
@@ -1064,15 +991,15 @@ impl<'a> Engine<'a> {
         // measured window, so it is refunded from the busy categories —
         // keeping the invariant that components sum to num_sms * cycles.
         let end = self.horizon;
-        for si in 0..self.sms.len() {
-            let pfa = self.sms[si].port_free_at;
-            let from = self.cycle;
+        for sm in self.sm_shards.iter_mut().flatten() {
+            let pfa = sm.port_free_at;
+            let from = last;
             if end > from {
                 let busy = pfa.clamp(from, end) - from;
-                self.stalls[si].empty += (end - from) - busy;
+                sm.stall.empty += (end - from) - busy;
             }
             let mut over = pfa.saturating_sub(end);
-            let st = &mut self.stalls[si];
+            let st = &mut sm.stall;
             for cat in [&mut st.issue, &mut st.bank_conflict, &mut st.divergence] {
                 let take = (*cat).min(over);
                 *cat -= take;
@@ -1080,7 +1007,13 @@ impl<'a> Engine<'a> {
             }
             debug_assert_eq!(over, 0, "port overshoot exceeds busy accounting");
         }
-        self.sample_timeline(end.saturating_sub(1));
+        while self.sampler.is_due(end.saturating_sub(1)) {
+            let raw = RawSample {
+                live_warps: self.live_warps as u32,
+                busy_cum: self.dram.busy_cycles(),
+            };
+            self.sampler.record_due(raw);
+        }
         // Pin the closing epoch so the ramp-down tail is never lost,
         // however aggressively the sampler backed off.
         if end > 0 {
@@ -1093,14 +1026,26 @@ impl<'a> Engine<'a> {
             );
         }
         let mut stall = StallBreakdown::default();
-        for s in &self.stalls {
-            stall.merge(s);
+        for sm in self.sm_shards.iter().flatten() {
+            stall.merge(&sm.stall);
         }
         debug_assert_eq!(
             stall.total(),
             self.cfg.num_sms as u64 * end,
             "stall components must sum to total SM cycles"
         );
+        // Fold the shards' commutative accumulators in shard order —
+        // every one is a plain sum, so the grouping cannot change them.
+        let mut thread_instructions = 0;
+        let mut warp_instructions = 0;
+        let mut mem_mix = MemMix::default();
+        let mut occupancy = OccupancyHistogram::new(self.cfg.warp_size as usize);
+        for out in self.outs.iter().flatten() {
+            thread_instructions += out.thread_instructions;
+            warp_instructions += out.warp_instructions;
+            mem_mix.merge(&out.mem_mix);
+            occupancy.merge(&out.occupancy);
+        }
         let warp_capacity = self.warp_capacity;
         let mem_channels = self.cfg.mem_channels as u64;
         let dropped = self.sampler.dropped();
@@ -1139,7 +1084,7 @@ impl<'a> Engine<'a> {
         let mut l1_misses = 0;
         let mut tex_hits = 0;
         let mut tex_misses = 0;
-        for sm in &self.sms {
+        for sm in self.sm_shards.iter().flatten() {
             if let Some(l1) = &sm.l1 {
                 l1_hits += l1.hits();
                 l1_misses += l1.misses();
@@ -1163,10 +1108,10 @@ impl<'a> Engine<'a> {
             name,
             config: self.cfg.name.clone(),
             cycles: self.horizon,
-            thread_instructions: self.thread_instructions,
-            warp_instructions: self.warp_instructions,
-            mem_mix: self.mem_mix,
-            occupancy: self.occupancy,
+            thread_instructions,
+            warp_instructions,
+            mem_mix,
+            occupancy,
             dram_bytes: self.dram.bytes(),
             dram_busy_cycles: self.dram.busy_cycles(),
             peak_bytes_per_cycle: self.cfg.peak_bytes_per_core_cycle(),
@@ -1573,5 +1518,78 @@ mod tests {
         }
         let mut gpu = Gpu::new(GpuConfig::gpgpusim_default());
         let _ = gpu.launch(&Huge);
+    }
+
+    /// Replays a set of traces at a given shard count and returns the
+    /// full serialized statistics for byte comparison.
+    fn replay_at(traces: &[&KernelTrace], cfg: &GpuConfig, threads: usize) -> (String, Vec<u64>) {
+        let prev = sim_threads();
+        set_sim_threads(threads);
+        let stats = time_traces_concurrent(traces, cfg);
+        set_sim_threads(prev);
+        (stats.combined.to_json().to_string(), stats.per_kernel_cycles)
+    }
+
+    #[test]
+    fn sharded_replay_is_byte_identical_across_sim_threads() {
+        // Compute-bound, memory-bound (DRAM-contended), cached, and
+        // concurrent replays must produce byte-identical statistics —
+        // including timelines and stall breakdowns — at every shard
+        // count, because the epoch barrier replays shared traffic in
+        // canonical serial order.
+        let n = 16 * 1024;
+        let mut mem = GpuMem::new();
+        let buf = mem.alloc_f32_zeroed("buf", n * 16);
+        let cfgs = [GpuConfig::gpgpusim_default(), GpuConfig::gtx480_l1_bias()];
+        for cfg in &cfgs {
+            let tc = trace_kernel(&Compute { n, iters: 32 }, &mut mem, cfg);
+            let ts = trace_kernel(&Stream { buf, n, stride: 16 }, &mut mem, cfg);
+            for traces in [vec![&tc], vec![&ts], vec![&tc, &ts]] {
+                let baseline = replay_at(&traces, cfg, 1);
+                for threads in [2, 3, 4, 7, 64] {
+                    let sharded = replay_at(&traces, cfg, threads);
+                    assert_eq!(
+                        baseline, sharded,
+                        "results diverged at sim_threads={threads} on {}",
+                        cfg.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_handoff_is_byte_identical_to_inline_execution() {
+        // The physical pool is capped at the host CPU count, so on a
+        // single-core runner the channel-handoff path would never
+        // execute; force a 4-executor pool and check it changes nothing.
+        // (Concurrent tests are unaffected: the override only picks the
+        // execution strategy, never the results.)
+        let n = 16 * 1024;
+        let mut mem = GpuMem::new();
+        let buf = mem.alloc_f32_zeroed("buf", n * 16);
+        let cfg = GpuConfig::gpgpusim_default();
+        let tc = trace_kernel(&Compute { n, iters: 32 }, &mut mem, &cfg);
+        let ts = trace_kernel(&Stream { buf, n, stride: 16 }, &mut mem, &cfg);
+        let traces = [&tc, &ts];
+        let inline = replay_at(&traces, &cfg, 4);
+        set_host_parallelism_override(4);
+        let pooled = replay_at(&traces, &cfg, 4);
+        let pooled_odd = replay_at(&traces, &cfg, 7);
+        set_host_parallelism_override(0);
+        assert_eq!(inline, pooled, "pool handoff changed replay statistics");
+        assert_eq!(inline, pooled_odd, "7 shards on 4 executors diverged");
+    }
+
+    #[test]
+    fn sim_threads_auto_and_clamping() {
+        let prev = sim_threads();
+        set_sim_threads(0); // auto: resolves to available parallelism
+        assert!(resolve_sim_threads() >= 1);
+        set_sim_threads(9999); // clamped per-replay to the SM count
+        let cfg = GpuConfig::gpgpusim_8sm();
+        let s = run(&Compute { n: 2 * 1024, iters: 8 }, &cfg, |_| {});
+        assert!(s.cycles > 0);
+        set_sim_threads(prev);
     }
 }

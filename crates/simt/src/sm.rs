@@ -1,11 +1,43 @@
-//! Runtime state of the timing model: warps, CTAs, and SMs.
+//! SM-local runtime of the timing model: warps, CTAs, and the per-SM
+//! execution step the sharded replay engine parallelizes over.
 //!
-//! These types are internal to the replay engine in [`crate::gpu`]; they
-//! are exposed (crate-visible) for testability.
+//! # Shard ownership
+//!
+//! Since the intra-run parallelism rework, every piece of mutable state
+//! an SM touches while simulating an epoch lives *inside* its `SmRt`:
+//! the warp table, the CTA table, the packed scheduler words, the L1 and
+//! texture caches, and the SM's stall ledger. The engine in
+//! [`crate::gpu`] slices its `Vec<SmRt>` with `chunks_mut` and hands
+//! each contiguous shard to one worker thread — no locks, no sharing,
+//! and no `unsafe`: exclusive ownership is enforced by the borrow
+//! checker.
+//!
+//! Anything an SM would need from *outside* its shard (the shared DRAM
+//! channels, the chip-wide L2, the pending-CTA queue, the global
+//! live-warp count) is not touched during an epoch. Instead the SM
+//! appends an event to its shard's `ShardOut` log — a memory request,
+//! a warp retirement, a CTA completion — and the engine applies the
+//! merged, canonically ordered log at the next epoch barrier (see
+//! [`crate::gpu`] for why that reproduces the serial engine cycle for
+//! cycle).
+//!
+//! # The packed scheduler word
+//!
+//! Each resident warp mirrors its state into one `u64` (see
+//! `WarpRt::sched_word`): unpickable warps carry a high flag bit
+//! (`SCHED_DONE`, `SCHED_BARRIER`) so the scheduler's pickability
+//! test is a single `word & SCHED_PICK_MASK <= cycle` compare, and a
+//! warp waiting on an *unresolved* shared-memory request (one whose
+//! completion cycle the barrier has not yet computed) parks on a
+//! sentinel `ready_at` that cannot pass the compare before the epoch
+//! ends. When no warp is pickable, `fold_summary` rebuilds the SM's
+//! digest in fixed-width chunks of branchless lane accumulators — a
+//! shape the compiler can autovectorize — instead of a dependent scan.
 
 use crate::caches::Cache;
-use crate::config::GpuConfig;
+use crate::config::{GpuConfig, SchedPolicy};
 use crate::isa::TOp;
+use crate::stats::{MemMix, OccupancyHistogram, StallBreakdown};
 
 /// Scheduler-word flag: the warp has drained its trace.
 pub(crate) const SCHED_DONE: u64 = 1 << 63;
@@ -20,10 +52,14 @@ pub(crate) const SCHED_READY_MASK: u64 = SCHED_MEM - 1;
 /// masked out; the DONE/BARRIER flags stay and keep the compare failing.
 pub(crate) const SCHED_PICK_MASK: u64 = !SCHED_MEM;
 
+/// Number of scheduler words folded per accumulator lane in
+/// [`fold_summary`]; sized to a 512-bit vector of `u64`s.
+const FOLD_LANES: usize = 8;
+
 /// Timing state of one resident warp.
 #[derive(Debug, Clone)]
 pub(crate) struct WarpRt<'a> {
-    /// Index of the owning CTA in the runtime CTA table (which also
+    /// Index of the owning CTA in the SM-local CTA table (which also
     /// records the kernel the warp belongs to).
     pub cta_rt: usize,
     /// The warp's recorded operation stream, resolved once at CTA
@@ -32,7 +68,10 @@ pub(crate) struct WarpRt<'a> {
     pub ops: &'a [TOp],
     /// Next operation to issue.
     pub pc: usize,
-    /// Cycle at which the warp may issue again.
+    /// Cycle at which the warp may issue again. While `unresolved` is
+    /// set this holds only the synchronous floor (issue + hit
+    /// components); the epoch barrier maxes in the shared-memory
+    /// completions.
     pub ready_at: u64,
     /// Whether the warp is parked at a barrier.
     pub at_barrier: bool,
@@ -40,6 +79,12 @@ pub(crate) struct WarpRt<'a> {
     /// access (stall-attribution input; false for stores, which retire
     /// through the write buffer without stalling the warp).
     pub waiting_mem: bool,
+    /// Whether the warp's pending memory request has yet to be resolved
+    /// at an epoch barrier. An unresolved warp schedules as "not before
+    /// the epoch ends" via a sentinel word; the shortest shared-memory
+    /// response exceeds the epoch length, so the sentinel never changes
+    /// a scheduling decision the serial engine would have made.
+    pub unresolved: bool,
     /// Whether the warp has drained its trace.
     pub done: bool,
     /// Cycle of this warp's most recent issue (greedy-then-oldest input).
@@ -51,12 +96,16 @@ impl WarpRt<'_> {
     /// unpickable warp (done or at a barrier) gets a flag in the top
     /// bits, so the scheduler's pickability test collapses to a single
     /// `word <= cycle` compare; a waiting warp carries its `ready_at`
-    /// plus the memory-wait bit for stall classification.
+    /// plus the memory-wait bit for stall classification. An unresolved
+    /// memory wait parks on the sentinel `SCHED_READY_MASK` — maximally
+    /// far in the future — until the barrier fills in the real cycle.
     pub fn sched_word(&self) -> u64 {
         if self.done {
             SCHED_DONE
         } else if self.at_barrier {
             SCHED_BARRIER
+        } else if self.unresolved {
+            SCHED_READY_MASK | SCHED_MEM
         } else if self.waiting_mem {
             self.ready_at | SCHED_MEM
         } else {
@@ -70,9 +119,7 @@ impl WarpRt<'_> {
 pub(crate) struct CtaRt {
     /// Which kernel (trace) the CTA belongs to.
     pub kernel: usize,
-    /// SM the CTA is resident on.
-    pub sm: usize,
-    /// Indices of the CTA's warps in the runtime warp table.
+    /// Indices of the CTA's warps in the SM-local warp table.
     pub warps: Vec<usize>,
     /// Warps currently parked at the barrier.
     pub arrived: usize,
@@ -80,17 +127,207 @@ pub(crate) struct CtaRt {
     pub done_warps: usize,
 }
 
-/// Timing state of one streaming multiprocessor.
+/// Cached per-SM warp-state digest, recomputed lazily after any warp on
+/// the SM changes state. It answers the three questions the scheduler
+/// loop, the fast-forward targeting, and the stall attribution ask every
+/// cycle — without re-scanning the SM's warp list when nothing changed
+/// (the common case for an SM parked on a long memory stall).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SmSummary {
+    /// Earliest `ready_at` among live, non-barrier warps (`u64::MAX` when
+    /// the SM has none; the unresolved sentinel reads as "after the
+    /// epoch", which the barrier replaces before anyone fast-forwards).
+    pub min_ready: u64,
+    /// Any resident warp not yet retired.
+    pub any_live: bool,
+    /// Any live, non-barrier warp waiting on a memory response.
+    pub any_mem: bool,
+    /// Every live warp is parked at a barrier.
+    pub all_barrier: bool,
+}
+
+impl SmSummary {
+    fn empty() -> SmSummary {
+        SmSummary {
+            min_ready: u64::MAX,
+            any_live: false,
+            any_mem: false,
+            all_barrier: true,
+        }
+    }
+}
+
+/// Folds a packed scheduler-word slice into its [`SmSummary`].
+///
+/// The fold runs [`FOLD_LANES`] independent branchless accumulators over
+/// fixed-width chunks — min/mask reductions with no cross-lane
+/// dependency — and merges the lanes once at the end, so the compiler is
+/// free to autovectorize the hot loop. Visiting order does not matter:
+/// every component of the summary is a commutative reduction.
+pub(crate) fn fold_summary(sched: &[u64]) -> SmSummary {
+    let mut min_r = [u64::MAX; FOLD_LANES];
+    let mut live = [false; FOLD_LANES];
+    let mut mem = [false; FOLD_LANES];
+    let mut active_any = [false; FOLD_LANES];
+    let mut chunks = sched.chunks_exact(FOLD_LANES);
+    for chunk in &mut chunks {
+        for i in 0..FOLD_LANES {
+            let v = chunk[i];
+            let is_live = v & SCHED_DONE == 0;
+            let active = is_live && v & SCHED_BARRIER == 0;
+            live[i] |= is_live;
+            active_any[i] |= active;
+            mem[i] |= active && v & SCHED_MEM != 0;
+            let r = if active { v & SCHED_READY_MASK } else { u64::MAX };
+            min_r[i] = min_r[i].min(r);
+        }
+    }
+    for (i, &v) in chunks.remainder().iter().enumerate() {
+        let is_live = v & SCHED_DONE == 0;
+        let active = is_live && v & SCHED_BARRIER == 0;
+        live[i] |= is_live;
+        active_any[i] |= active;
+        mem[i] |= active && v & SCHED_MEM != 0;
+        let r = if active { v & SCHED_READY_MASK } else { u64::MAX };
+        min_r[i] = min_r[i].min(r);
+    }
+    let mut s = SmSummary::empty();
+    for i in 0..FOLD_LANES {
+        s.any_live |= live[i];
+        s.any_mem |= mem[i];
+        s.all_barrier &= !active_any[i];
+        s.min_ready = s.min_ready.min(min_r[i]);
+    }
+    s
+}
+
+/// One entry in a shard's epoch event log, applied at the next barrier.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EvRec {
+    /// Cycle the event occurred at.
+    pub cycle: u64,
+    /// Global SM index the event occurred on.
+    pub sm: u32,
+    /// Shard the event (and its segment range) belongs to.
+    pub shard: u32,
+    /// Issue sequence number on the SM (monotone; orders same-cycle
+    /// events of one SM exactly as the serial engine processed them).
+    pub seq: u32,
+    /// What happened.
+    pub kind: EvKind,
+}
+
+/// Payload of one [`EvRec`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EvKind {
+    /// A memory request that must travel through the shared L2/DRAM.
+    /// `segs` indexes the owning shard's segment pool; `add` is the
+    /// latency added on top of each segment's completion (L1 or texture
+    /// fill); `wait` is false for stores, which consume bandwidth but
+    /// never stall the warp.
+    Mem {
+        /// SM-local warp-table index of the issuing warp.
+        warp: u32,
+        /// Latency added on top of each segment completion.
+        add: u32,
+        /// Whether the issuing warp waits for the response.
+        wait: bool,
+        /// `(start, end)` range into the shard's segment pool.
+        segs: (u32, u32),
+    },
+    /// A warp drained its trace (global live-warp count decrement).
+    Retire,
+    /// A CTA completed: free its SM resources and pull from the queue.
+    CtaDone {
+        /// SM-local CTA-table index.
+        cta: u32,
+    },
+}
+
+impl EvKind {
+    /// Tie-break rank for same-`(cycle, sm, seq)` events, matching the
+    /// serial engine's order within one issue: memory accesses happen
+    /// during the issue, the warp retires at its end, and CTA completion
+    /// (queue pulls) last.
+    pub fn rank(&self) -> u8 {
+        match self {
+            EvKind::Mem { .. } => 0,
+            EvKind::Retire => 1,
+            EvKind::CtaDone { .. } => 2,
+        }
+    }
+}
+
+/// Per-shard epoch output: the event log destined for the barrier plus
+/// the shard's private slices of every commutative accumulator. The
+/// accumulators are merged once, in shard order, when the run finishes —
+/// each is a sum (or max), so the grouping cannot change the totals.
 #[derive(Debug)]
-pub(crate) struct SmRt {
-    /// Runtime warp-table indices of resident warps.
-    pub warps: Vec<usize>,
-    /// Packed scheduler words, parallel to `warps` (see
+pub(crate) struct ShardOut {
+    /// This shard's index (stamps events so the barrier can find their
+    /// segment ranges).
+    pub shard: u32,
+    /// Events of the current epoch, naturally sorted by `(cycle, sm,
+    /// seq)` because the shard walks cycles outward and SMs in index
+    /// order.
+    pub events: Vec<EvRec>,
+    /// Segment pool the epoch's `Mem` events point into.
+    pub segs: Vec<u64>,
+    /// Per-thread instruction count.
+    pub thread_instructions: u64,
+    /// Per-warp instruction count.
+    pub warp_instructions: u64,
+    /// Memory-space instruction mix.
+    pub mem_mix: MemMix,
+    /// Warp-occupancy histogram.
+    pub occupancy: OccupancyHistogram,
+    /// Max completion cycle scheduled by this shard's issues (the
+    /// barrier maxes in resolved memory completions separately).
+    pub horizon: u64,
+    /// Last cycle at which this shard issued anything (the global
+    /// maximum over shards is the serial engine's final `cycle`).
+    pub last_cycle: u64,
+}
+
+impl ShardOut {
+    pub(crate) fn new(shard: u32, cfg: &GpuConfig) -> ShardOut {
+        ShardOut {
+            shard,
+            events: Vec::new(),
+            segs: Vec::new(),
+            thread_instructions: 0,
+            warp_instructions: 0,
+            mem_mix: MemMix::default(),
+            occupancy: OccupancyHistogram::new(cfg.warp_size as usize),
+            horizon: 0,
+            last_cycle: 0,
+        }
+    }
+}
+
+/// Timing state of one streaming multiprocessor — self-contained, so a
+/// shard of SMs can be simulated by one worker thread with no access to
+/// anything outside its `&mut [SmRt]` slice.
+#[derive(Debug)]
+pub(crate) struct SmRt<'a> {
+    /// Global SM index (stamps emitted events).
+    pub id: u32,
+    /// SM-local warp table; indices are stable for the SM's lifetime.
+    pub warp_tab: Vec<WarpRt<'a>>,
+    /// SM-local CTA table; indices are stable for the SM's lifetime.
+    pub ctas: Vec<CtaRt>,
+    /// Warp-table indices of resident warps, in scheduler visit order
+    /// (compacted when a CTA completes).
+    pub list: Vec<usize>,
+    /// Packed scheduler words, parallel to `list` (see
     /// [`WarpRt::sched_word`]). Kept in sync at every warp-state
     /// mutation so scheduler scans read one dense `u64` per slot
     /// instead of chasing a `WarpRt` per visit.
     pub sched: Vec<u64>,
-    /// Round-robin issue pointer into `warps`.
+    /// Each warp's current slot in `list`/`sched`, indexed by warp-table
+    /// id (rebuilt when a CTA's dead warps are compacted away).
+    pub slot_of: Vec<usize>,
+    /// Round-robin issue pointer into `list`.
     pub rr: usize,
     /// Cycle at which the issue port frees.
     pub port_free_at: u64,
@@ -108,13 +345,29 @@ pub(crate) struct SmRt {
     pub l1: Option<Cache>,
     /// Per-SM texture cache.
     pub tex: Option<Cache>,
+    /// Lazily maintained warp-state digest (`None` = stale, recompute).
+    pub summary: Option<SmSummary>,
+    /// This SM's stall ledger.
+    pub stall: StallBreakdown,
+    /// Cycle up to which this SM's idle time has been attributed. The
+    /// SM's stall classification only changes when it issues or receives
+    /// a CTA, so attribution is deferred and charged in one merged span
+    /// at each such event — equivalent, cycle for cycle, to per-interval
+    /// accounting, without walking every SM on every simulated cycle.
+    pub attributed: u64,
+    /// Monotone issue counter (events of one issue share a `seq`).
+    pub seq: u32,
 }
 
-impl SmRt {
-    pub(crate) fn new(cfg: &GpuConfig) -> SmRt {
+impl<'a> SmRt<'a> {
+    pub(crate) fn new(id: u32, cfg: &GpuConfig) -> SmRt<'a> {
         SmRt {
-            warps: Vec::new(),
+            id,
+            warp_tab: Vec::new(),
+            ctas: Vec::new(),
+            list: Vec::new(),
             sched: Vec::new(),
+            slot_of: Vec::new(),
             rr: 0,
             port_free_at: 0,
             resident_ctas: 0,
@@ -124,7 +377,436 @@ impl SmRt {
             used_shared: 0,
             l1: cfg.l1.map(Cache::new),
             tex: cfg.tex_cache.map(Cache::new),
+            summary: None,
+            stall: StallBreakdown::default(),
+            attributed: 0,
+            seq: 0,
         }
+    }
+
+    /// The (cached) warp-state digest. Recomputed in one fold of the
+    /// packed scheduler words when stale; every warp mutation on the SM
+    /// marks it stale.
+    pub(crate) fn summary(&mut self) -> SmSummary {
+        if let Some(s) = self.summary {
+            return s;
+        }
+        let s = fold_summary(&self.sched);
+        self.summary = Some(s);
+        s
+    }
+
+    /// Attributes this SM's cycles in `[attributed, to)` to stall
+    /// categories, then advances the watermark.
+    ///
+    /// Called immediately before any state change on the SM (an issue or
+    /// a CTA placement) and once at the end of simulation. Issues only
+    /// happen at span starts, so within the span the SM's busy cycles
+    /// are the contiguous prefix up to `port_free_at` (already charged
+    /// to issue/bank-conflict/divergence at issue time); the idle
+    /// remainder is classified from the SM's warp state, which cannot
+    /// change mid-span. Charging the merged span is therefore exactly
+    /// equivalent to accounting every simulated cycle individually.
+    pub(crate) fn attribute_span(&mut self, to: u64) {
+        let from = self.attributed;
+        if to <= from {
+            return;
+        }
+        self.attributed = to;
+        let busy = self.port_free_at.clamp(from, to) - from;
+        let idle = (to - from) - busy;
+        if idle == 0 {
+            return;
+        }
+        let s = self.summary();
+        if !s.any_live {
+            self.stall.empty += idle;
+        } else if s.any_mem {
+            self.stall.mem_pending += idle;
+        } else if s.all_barrier {
+            self.stall.barrier += idle;
+        } else {
+            // Warps waiting on compute latency or a CTA-launch window.
+            self.stall.issue += idle;
+        }
+    }
+
+    /// Selects an issuable warp according to the configured scheduler
+    /// policy.
+    ///
+    /// A *failed* selection has necessarily scanned every resident warp,
+    /// so it rebuilds and caches the SM's [`SmSummary`] in the same pass
+    /// — the run-loop gate and the stall attribution then reuse it
+    /// without a second scan. (A successful pick leaves a stale digest;
+    /// [`SmRt::issue`] invalidates it anyway.)
+    pub(crate) fn pick_warp(&mut self, cycle: u64, cfg: &GpuConfig) -> Option<usize> {
+        let n = self.list.len();
+        if n == 0 {
+            self.summary = Some(SmSummary::empty());
+            return None;
+        }
+        match cfg.sched_policy {
+            SchedPolicy::RoundRobin => {
+                let sched = &self.sched[..n];
+                let start = self.rr % n;
+                // Hot pass: pickability only, in round-robin order as
+                // two linear ranges. The summary of a scan that finds
+                // a ready warp is never consulted, so the chunk fold is
+                // deferred to the no-pick case below.
+                let mut hit = sched[start..]
+                    .iter()
+                    .position(|&v| v & SCHED_PICK_MASK <= cycle)
+                    .map(|i| start + i);
+                if hit.is_none() {
+                    hit = sched[..start]
+                        .iter()
+                        .position(|&v| v & SCHED_PICK_MASK <= cycle);
+                }
+                match hit {
+                    Some(slot) => {
+                        self.rr = slot + 1;
+                        Some(self.list[slot])
+                    }
+                    None => {
+                        self.summary = Some(fold_summary(sched));
+                        None
+                    }
+                }
+            }
+            SchedPolicy::GreedyThenOldest => {
+                // Greedy: stick with the last warp while it stays ready.
+                if let Some(w) = self.last_warp {
+                    if self.sched[self.slot_of[w]] & SCHED_PICK_MASK <= cycle {
+                        return Some(w);
+                    }
+                }
+                // Oldest: least-recently-issued ready warp.
+                let mut best: Option<usize> = None;
+                for slot in 0..n {
+                    let v = self.sched[slot];
+                    if v & SCHED_PICK_MASK <= cycle {
+                        let w = self.list[slot];
+                        if best
+                            .is_none_or(|b| self.warp_tab[w].last_issue < self.warp_tab[b].last_issue)
+                        {
+                            best = Some(w);
+                        }
+                    }
+                }
+                if best.is_none() {
+                    self.summary = Some(fold_summary(&self.sched[..n]));
+                }
+                best
+            }
+        }
+    }
+
+    /// Issues one operation of warp `w` at `cycle`.
+    ///
+    /// Everything SM-local — compute latencies, shared-memory conflicts,
+    /// L1/texture lookups, barriers, warp retirement and CTA compaction
+    /// — is applied immediately, exactly as the serial engine would.
+    /// Traffic for the shared L2/DRAM is logged to `out` instead and
+    /// resolved at the epoch barrier; until then the warp parks on the
+    /// unresolved sentinel, which cannot change any scheduling decision
+    /// because the shortest shared response outlives the epoch.
+    pub(crate) fn issue(&mut self, w: usize, cycle: u64, cfg: &GpuConfig, out: &mut ShardOut) {
+        // Issuing mutates this warp's state (and possibly, via barrier
+        // release or CTA retirement, its whole CTA's) — all on this SM.
+        // Settle the SM's deferred stall attribution under the old state
+        // first, then invalidate the digest.
+        self.attribute_span(cycle);
+        self.summary = None;
+        out.last_cycle = out.last_cycle.max(cycle);
+        let seq = self.seq;
+        self.seq += 1;
+        let (ops, pc) = {
+            let warp = &self.warp_tab[w];
+            (warp.ops, warp.pc)
+        };
+        let op = &ops[pc];
+        self.warp_tab[w].pc += 1;
+
+        // Account instructions and occupancy.
+        let wi = op.warp_instructions();
+        out.warp_instructions += wi;
+        out.thread_instructions += op.thread_instructions();
+        if op.lanes() > 0 {
+            out.occupancy.record(op.lanes(), wi);
+        }
+        if let Some(space) = op.mem_space() {
+            out.mem_mix.add(space, wi);
+        }
+
+        let ic = match op {
+            TOp::Bar => 1,
+            _ => cfg.issue_cycles_for(op.lanes()),
+        };
+        let mut unresolved = false;
+        let sm_id = self.id;
+        let push_mem = |out: &mut ShardOut, segs: &mut dyn Iterator<Item = u64>, add: u32, wait: bool| {
+            let start = out.segs.len() as u32;
+            out.segs.extend(segs);
+            let end = out.segs.len() as u32;
+            if end > start {
+                out.events.push(EvRec {
+                    cycle,
+                    sm: sm_id,
+                    shard: out.shard,
+                    seq,
+                    kind: EvKind::Mem {
+                        warp: w as u32,
+                        add,
+                        wait,
+                        segs: (start, end),
+                    },
+                });
+                wait
+            } else {
+                false
+            }
+        };
+        let (port_busy, ready_at) = match op {
+            TOp::Alu { n, .. } => {
+                let busy = ic * *n as u64;
+                (busy, cycle + busy + cfg.alu_latency as u64)
+            }
+            TOp::Sfu { n, .. } => {
+                // SFUs are quarter-rate.
+                let busy = 4 * ic * *n as u64;
+                (busy, cycle + busy + cfg.sfu_latency as u64)
+            }
+            TOp::Branch { .. } => (ic, cycle + ic + cfg.alu_latency as u64),
+            TOp::Param { n, .. } => {
+                let busy = ic * *n as u64;
+                (busy, cycle + busy + cfg.param_latency as u64)
+            }
+            TOp::Const { unique, .. } => {
+                let busy = ic * *unique as u64;
+                (busy, cycle + busy + cfg.const_latency as u64)
+            }
+            TOp::Shared { degree, .. } => {
+                let d = if cfg.model_bank_conflicts {
+                    *degree as u64
+                } else {
+                    1
+                };
+                let busy = ic * d;
+                (busy, cycle + busy + cfg.shared_latency as u64)
+            }
+            TOp::Tex { segs, .. } => {
+                let done = cycle + ic + cfg.tex_latency as u64;
+                let tex = &mut self.tex;
+                let mut misses = segs
+                    .iter()
+                    .copied()
+                    .filter(|&seg| !tex.as_mut().is_some_and(|t| t.access(seg)));
+                unresolved = push_mem(out, &mut misses, cfg.tex_latency, true);
+                (ic, done)
+            }
+            TOp::Gmem { store, segs, .. } => {
+                if *store {
+                    // Stores retire through a write buffer; the warp does
+                    // not wait, but bandwidth is consumed.
+                    push_mem(out, &mut segs.iter().copied(), 0, false);
+                    (ic, cycle + ic + cfg.alu_latency as u64)
+                } else {
+                    let mut done = cycle + ic;
+                    let l1_lat = cfg.l1_latency as u64;
+                    let (l1, add) = match &mut self.l1 {
+                        Some(l1) => (Some(l1), cfg.l1_latency),
+                        None => (None, 0),
+                    };
+                    let mut l1 = l1;
+                    let mut misses = segs.iter().copied().filter(|&seg| {
+                        let hit = l1.as_mut().is_some_and(|l1| l1.access(seg));
+                        if hit {
+                            done = done.max(cycle + l1_lat);
+                        }
+                        !hit
+                    });
+                    unresolved = push_mem(out, &mut misses, add, true);
+                    (ic, done)
+                }
+            }
+            TOp::Bar => {
+                self.arrive_barrier(w, cycle);
+                (1, cycle + 1)
+            }
+        };
+
+        // Split the port-busy cycles into stall categories: bank-conflict
+        // replay beats, divergence-masked issue slots, and true issue.
+        // `slots` is the number of `ic`-cycle issue slots the op occupies;
+        // lanes masked off by divergence waste `ic - ceil(lanes/simd)`
+        // cycles of each (zero when lane compaction is modeled, where
+        // `ic` is already compacted).
+        let (slots, bank_extra) = match op {
+            TOp::Alu { n, .. } | TOp::Param { n, .. } => (*n as u64, 0),
+            TOp::Sfu { n, .. } => (4 * *n as u64, 0),
+            TOp::Const { unique, .. } => (*unique as u64, 0),
+            TOp::Shared { degree, .. } => {
+                let d = if cfg.model_bank_conflicts {
+                    *degree as u64
+                } else {
+                    1
+                };
+                (1, ic * (d - 1))
+            }
+            TOp::Branch { .. } | TOp::Tex { .. } | TOp::Gmem { .. } => (1, 0),
+            TOp::Bar => (0, 0),
+        };
+        let compact = (op.lanes().max(1) as u64).div_ceil(cfg.simd_width as u64);
+        let divergence = ic.saturating_sub(compact) * slots;
+        self.stall.bank_conflict += bank_extra;
+        self.stall.divergence += divergence;
+        self.stall.issue += port_busy - bank_extra - divergence;
+        self.warp_tab[w].waiting_mem = match op {
+            TOp::Gmem { store, .. } => !*store,
+            _ => op.mem_space().is_some(),
+        };
+        self.warp_tab[w].unresolved = unresolved;
+
+        self.port_free_at = cycle.max(self.port_free_at) + port_busy;
+        self.last_warp = Some(w);
+        self.warp_tab[w].last_issue = cycle;
+        if !self.warp_tab[w].at_barrier {
+            self.warp_tab[w].ready_at = ready_at;
+        }
+        self.sched[self.slot_of[w]] = self.warp_tab[w].sched_word();
+        out.horizon = out.horizon.max(ready_at);
+
+        // Trace drained?
+        if self.warp_tab[w].pc == ops.len() {
+            self.retire_warp(w, cycle, seq, out);
+        }
+    }
+
+    fn arrive_barrier(&mut self, w: usize, cycle: u64) {
+        let cta_rt = self.warp_tab[w].cta_rt;
+        self.warp_tab[w].at_barrier = true;
+        self.sched[self.slot_of[w]] = self.warp_tab[w].sched_word();
+        self.ctas[cta_rt].arrived += 1;
+        let expected = self.ctas[cta_rt].warps.len() - self.ctas[cta_rt].done_warps;
+        if self.ctas[cta_rt].arrived >= expected {
+            let release = cycle + 1;
+            self.ctas[cta_rt].arrived = 0;
+            let warps = std::mem::take(&mut self.ctas[cta_rt].warps);
+            for &wid in &warps {
+                if self.warp_tab[wid].at_barrier {
+                    self.warp_tab[wid].at_barrier = false;
+                    self.warp_tab[wid].ready_at = release;
+                    self.sched[self.slot_of[wid]] = self.warp_tab[wid].sched_word();
+                }
+            }
+            self.ctas[cta_rt].warps = warps;
+        }
+    }
+
+    /// Retires warp `w` at `cycle`: SM-local bookkeeping (compaction,
+    /// CTA completion detection) happens immediately; the global
+    /// live-warp count and the shared CTA queue are notified via events
+    /// the barrier applies in canonical order.
+    fn retire_warp(&mut self, w: usize, cycle: u64, seq: u32, out: &mut ShardOut) {
+        self.warp_tab[w].done = true;
+        self.sched[self.slot_of[w]] = SCHED_DONE;
+        out.events.push(EvRec {
+            cycle,
+            sm: self.id,
+            shard: out.shard,
+            seq,
+            kind: EvKind::Retire,
+        });
+        let cta_rt = self.warp_tab[w].cta_rt;
+        self.ctas[cta_rt].done_warps += 1;
+        if self.ctas[cta_rt].done_warps == self.ctas[cta_rt].warps.len() {
+            // CTA complete. Resource release and queue pulls go through
+            // the barrier (the queue is shared, and pull order must match
+            // the serial engine's (cycle, sm) order); the scheduler-list
+            // compaction is SM-local and happens now, exactly as the
+            // serial engine compacts at CTA completion.
+            out.events.push(EvRec {
+                cycle,
+                sm: self.id,
+                shard: out.shard,
+                seq,
+                kind: EvKind::CtaDone { cta: cta_rt as u32 },
+            });
+            let dead = &self.ctas[cta_rt].warps;
+            self.list.retain(|id| !dead.contains(id));
+            // A dead last_warp would fail the greedy readiness check
+            // anyway; drop it rather than leave its slot map dangling.
+            if let Some(lw) = self.last_warp {
+                if dead.contains(&lw) {
+                    self.last_warp = None;
+                }
+            }
+            // Compact the scheduler words identically and re-point the
+            // surviving warps' slot map at their shifted positions.
+            self.sched.clear();
+            for slot in 0..self.list.len() {
+                let id = self.list[slot];
+                self.slot_of[id] = slot;
+                let word = self.warp_tab[id].sched_word();
+                self.sched.push(word);
+            }
+        }
+    }
+}
+
+/// Simulates one shard of SMs through the epoch `[start, end)`.
+///
+/// Each SM issues at exactly the cycles the serial engine would visit
+/// it: the packed-word gates make skipped SMs free, and the shard-local
+/// fast-forward (`min` over the shard of each SM's next possible issue)
+/// jumps idle spans just like the serial engine's global fast-forward —
+/// restricted to this shard, which is sound because cross-shard state
+/// cannot change until the barrier.
+pub(crate) fn run_epoch_shard(
+    sms: &mut [SmRt<'_>],
+    cfg: &GpuConfig,
+    start: u64,
+    end: u64,
+    out: &mut ShardOut,
+) {
+    let mut cycle = start;
+    loop {
+        for sm in sms.iter_mut() {
+            while sm.port_free_at <= cycle {
+                // Cheap gate when a cached digest exists: no warp on
+                // this SM can be ready before `min_ready`, so skip
+                // the scheduler scan entirely. A stale digest is NOT
+                // recomputed here — a failed `pick_warp` scan below
+                // rebuilds it as a side effect, so issuing SMs never
+                // pay a separate summary pass.
+                if let Some(s) = sm.summary {
+                    if s.min_ready > cycle {
+                        break;
+                    }
+                }
+                let Some(w) = sm.pick_warp(cycle, cfg) else {
+                    break;
+                };
+                sm.issue(w, cycle, cfg, out);
+            }
+        }
+        // Jump straight to the next cycle on which any SM in the shard
+        // could issue: no warp is pickable before
+        // `max(min_ready, port_free_at)`, so the skipped cycles are
+        // exactly the cycles a per-cycle loop would have spent
+        // re-checking gates and finding nothing.
+        let mut next = u64::MAX;
+        for sm in sms.iter_mut() {
+            let s = sm.summary();
+            if s.min_ready != u64::MAX {
+                next = next.min(s.min_ready.max(sm.port_free_at));
+            }
+        }
+        let next = next.max(cycle + 1);
+        if next >= end {
+            break;
+        }
+        cycle = next;
     }
 }
 
@@ -212,6 +894,74 @@ mod tests {
         assert!(ctas_per_sm(&cfg, 64, 4, 64 * 1024).is_err());
         assert!(ctas_per_sm(&cfg, 1024, 64, 0).is_err());
     }
+
+    #[test]
+    fn fold_summary_matches_scalar_reference() {
+        // Cross-check the chunk-folded digest against a straightforward
+        // per-word scan over a mix of done / barrier / memory / ready
+        // words long enough to exercise both the vector body and the
+        // remainder tail.
+        let mut sched = Vec::new();
+        for i in 0..37u64 {
+            sched.push(match i % 5 {
+                0 => SCHED_DONE,
+                1 => SCHED_BARRIER,
+                2 => (1000 + i) | SCHED_MEM,
+                3 => SCHED_READY_MASK | SCHED_MEM,
+                _ => 100 + i,
+            });
+        }
+        let folded = fold_summary(&sched);
+        let mut reference = SmSummary::empty();
+        for &v in &sched {
+            if v & SCHED_DONE != 0 {
+                continue;
+            }
+            reference.any_live = true;
+            if v & SCHED_BARRIER != 0 {
+                continue;
+            }
+            reference.all_barrier = false;
+            if v & SCHED_MEM != 0 {
+                reference.any_mem = true;
+            }
+            reference.min_ready = reference.min_ready.min(v & SCHED_READY_MASK);
+        }
+        assert_eq!(folded.min_ready, reference.min_ready);
+        assert_eq!(folded.any_live, reference.any_live);
+        assert_eq!(folded.any_mem, reference.any_mem);
+        assert_eq!(folded.all_barrier, reference.all_barrier);
+    }
+
+    #[test]
+    fn fold_summary_of_empty_and_all_done() {
+        let s = fold_summary(&[]);
+        assert_eq!(s.min_ready, u64::MAX);
+        assert!(!s.any_live && !s.any_mem && s.all_barrier);
+        let s = fold_summary(&[SCHED_DONE; 11]);
+        assert!(!s.any_live);
+        assert_eq!(s.min_ready, u64::MAX);
+    }
+
+    #[test]
+    fn unresolved_warp_parks_on_the_sentinel() {
+        let w = WarpRt {
+            cta_rt: 0,
+            ops: &[],
+            pc: 0,
+            ready_at: 42,
+            at_barrier: false,
+            waiting_mem: true,
+            unresolved: true,
+            done: false,
+            last_issue: 0,
+        };
+        let word = w.sched_word();
+        assert_eq!(word, SCHED_READY_MASK | SCHED_MEM);
+        // Unpickable at any realistic cycle, classified as a memory wait.
+        assert!(word & SCHED_PICK_MASK > (1 << 60));
+        assert!(word & SCHED_MEM != 0);
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +985,39 @@ mod prop_tests {
                 prop_assert!(n as u64 * regs as u64 * threads as u64 <= cfg.regs_per_sm as u64);
                 prop_assert!(n as u64 * shared as u64 <= cfg.shared_mem_per_sm as u64);
             }
+        }
+
+        /// The chunk-folded summary equals the scalar reference on
+        /// arbitrary scheduler-word mixes.
+        #[test]
+        fn fold_matches_reference(raw in proptest::collection::vec(
+            (0u8..5, 0u64..1_000_000),
+            0..80,
+        )) {
+            let words: Vec<u64> = raw
+                .iter()
+                .map(|&(kind, r)| match kind {
+                    0 => SCHED_DONE,
+                    1 => SCHED_BARRIER,
+                    2 => r | SCHED_MEM,
+                    3 => SCHED_READY_MASK | SCHED_MEM, // unresolved sentinel
+                    _ => r,
+                })
+                .collect();
+            let folded = fold_summary(&words);
+            let mut r = SmSummary::empty();
+            for &v in &words {
+                if v & SCHED_DONE != 0 { continue; }
+                r.any_live = true;
+                if v & SCHED_BARRIER != 0 { continue; }
+                r.all_barrier = false;
+                if v & SCHED_MEM != 0 { r.any_mem = true; }
+                r.min_ready = r.min_ready.min(v & SCHED_READY_MASK);
+            }
+            prop_assert_eq!(folded.min_ready, r.min_ready);
+            prop_assert_eq!(folded.any_live, r.any_live);
+            prop_assert_eq!(folded.any_mem, r.any_mem);
+            prop_assert_eq!(folded.all_barrier, r.all_barrier);
         }
     }
 }

@@ -22,8 +22,12 @@
 //! cache and replayed under every requested machine configuration, with
 //! replay jobs fanned across `--jobs N` workers (default: available
 //! parallelism). Results are reassembled in submission order, so every
-//! table is byte-identical for any worker count. The comparison-corpus
-//! figures (fig6–fig12) share one profiling pass per invocation.
+//! table is byte-identical for any worker count. `--sim-threads N`
+//! additionally shards the simulated SMs *inside* each replay across N
+//! workers with deterministic epoch barriers (default 1; 0 = one per
+//! CPU) — also byte-identical at any N; see `ARCHITECTURE.md` for when
+//! to reach for which. The comparison-corpus figures (fig6–fig12)
+//! share one profiling pass per invocation.
 //!
 //! Observability:
 //!
@@ -77,15 +81,19 @@ fn usage() {
         println!("  {}", id.name());
     }
     println!("usage: repro <artifact|all> [tiny|small|paper] [--csv] [--jobs N]");
-    println!("             [--json <dir>] [--telemetry <file.jsonl>]");
+    println!("             [--sim-threads N] [--json <dir>] [--telemetry <file.jsonl>]");
     println!("             [--store <dir>] [--resume]");
     println!("       repro check [tiny|small|paper] [--json <dir>] [--jobs N]");
     println!("       repro analyze [tiny|small|paper] [--json <dir>] [--jobs N]");
     println!("                     [--top-k N]");
-    println!("       repro serve <addr> [--store <dir>] [--jobs N]");
+    println!("       repro serve <addr> [--store <dir>] [--jobs N] [--sim-threads N]");
     println!("flags: --jobs N  worker threads for GPU-side replay jobs");
     println!("                 (default: available parallelism; output is");
     println!("                 byte-identical for any N)");
+    println!("       --sim-threads N  worker threads *inside* each replay: the");
+    println!("                 simulated SMs are sharded across N workers with");
+    println!("                 deterministic epoch barriers (default 1; 0 = one");
+    println!("                 per CPU; output is byte-identical for any N)");
     println!("       --store <dir>  persistent trace store: captures persist and");
     println!("                 are verified + reused across runs; writes a");
     println!("                 deterministic STUDY_manifest.json into <dir>");
@@ -216,12 +224,13 @@ impl RequestObserver for CliObserver<'_> {
     }
 }
 
-/// `repro serve <addr> [--store <dir>] [--jobs N]`: run the daemon
-/// until a `POST /shutdown` drains it.
+/// `repro serve <addr> [--store <dir>] [--jobs N] [--sim-threads N]`:
+/// run the daemon until a `POST /shutdown` drains it.
 fn serve_main(args: &[String]) -> i32 {
     let mut addr: Option<String> = None;
     let mut store: Option<PathBuf> = None;
     let mut jobs: Option<usize> = None;
+    let mut sim_threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -242,6 +251,15 @@ fn serve_main(args: &[String]) -> i32 {
                 };
                 jobs = Some(n);
             }
+            "--sim-threads" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = parsed else {
+                    eprintln!("--sim-threads requires a non-negative integer argument");
+                    return EXIT_MISUSE;
+                };
+                sim_threads = Some(n);
+            }
             other if addr.is_none() && !other.starts_with('-') => {
                 addr = Some(other.to_string());
             }
@@ -253,10 +271,10 @@ fn serve_main(args: &[String]) -> i32 {
         i += 1;
     }
     let Some(addr) = addr else {
-        eprintln!("usage: repro serve <addr> [--store <dir>] [--jobs N]");
+        eprintln!("usage: repro serve <addr> [--store <dir>] [--jobs N] [--sim-threads N]");
         return EXIT_MISUSE;
     };
-    let server = match Server::bind(&ServeConfig { addr, store, jobs }) {
+    let server = match Server::bind(&ServeConfig { addr, store, jobs, sim_threads }) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("serve: {e}");
@@ -304,6 +322,7 @@ fn main() {
     let mut json_dir: Option<PathBuf> = None;
     let mut telemetry: Option<PathBuf> = None;
     let mut jobs: Option<usize> = None;
+    let mut sim_threads: Option<usize> = None;
     let mut store_dir: Option<PathBuf> = None;
     let mut resume = false;
     let mut i = 0;
@@ -327,6 +346,15 @@ fn main() {
                     std::process::exit(EXIT_MISUSE);
                 };
                 jobs = Some(n);
+            }
+            "--sim-threads" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = parsed else {
+                    eprintln!("--sim-threads requires a non-negative integer argument");
+                    std::process::exit(EXIT_MISUSE);
+                };
+                sim_threads = Some(n);
             }
             "--json" | "--telemetry" => {
                 let flag = args[i].clone();
@@ -386,6 +414,7 @@ fn main() {
         },
         scale,
         jobs,
+        sim_threads,
         store: store_dir.clone(),
         resume,
     };

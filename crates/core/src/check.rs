@@ -200,18 +200,20 @@ fn merge_traces_by_kernel(traces: &[Arc<KernelTrace>]) -> Vec<KernelTrace> {
 }
 
 /// One checkable workload: a suite benchmark or an incremental variant.
-struct CheckTarget {
+/// Shared with the `repro audit` driver, which walks the same corpus
+/// through the same cache keys.
+pub(crate) struct CheckTarget {
     /// Display name in the report.
-    label: String,
+    pub(crate) label: String,
     /// Trace-cache family key.
-    family: &'static str,
+    pub(crate) family: &'static str,
     /// Trace-cache variant key.
-    variant: &'static str,
+    pub(crate) variant: &'static str,
     /// Runs the workload on a device.
-    run: Box<dyn Fn(&mut Gpu) -> KernelStats + Send + Sync>,
+    pub(crate) run: Box<dyn Fn(&mut Gpu) -> KernelStats + Send + Sync>,
 }
 
-fn suite_targets(scale: Scale) -> Vec<CheckTarget> {
+pub(crate) fn suite_targets(scale: Scale) -> Vec<CheckTarget> {
     let mut targets: Vec<CheckTarget> = all_benchmarks(scale)
         .into_iter()
         .map(|b| {
@@ -259,7 +261,7 @@ fn variant_target(
 
 /// Runs one target with a sanitizer sink installed and returns its
 /// collected tapes plus the captured traces.
-fn sanitized_capture(
+pub(crate) fn sanitized_capture(
     session: &StudySession,
     scale: Scale,
     cfg: &GpuConfig,

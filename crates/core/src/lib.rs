@@ -43,6 +43,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod analyze;
+pub mod audit;
 pub mod characterization;
 pub mod check;
 pub mod comparison;

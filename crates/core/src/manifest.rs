@@ -59,6 +59,17 @@ pub const CRITPATH_SCHEMA: &str = "rodinia-repro.critpath/v1";
 /// File name of the critical-path manifest inside the output directory.
 pub const CRITPATH_FILE: &str = "CRITPATH_manifest.json";
 
+/// Schema tag of the access-contract audit manifest (`repro audit`).
+pub const AUDIT_SCHEMA: &str = "rodinia-repro.audit/v1";
+
+/// File name of the audit manifest inside the output directory.
+///
+/// Like [`STUDY_MANIFEST_FILE`], this document is a pure function of
+/// `(corpus, scale)` — inferred contracts, proof verdicts, no
+/// wall-clock state — so two independent runs are byte-identical and
+/// the CI audit gate diffs it with `cmp`.
+pub const AUDIT_FILE: &str = "AUDIT_manifest.json";
+
 /// One kind of machine-readable manifest the repo emits.
 ///
 /// This is the single schema-version registry: every `*_manifest.json`
@@ -79,12 +90,19 @@ pub enum ManifestKind {
     /// `CRITPATH_manifest.json` (`rodinia-repro.critpath/v1`):
     /// critical-path attribution, byte-deterministic.
     Critpath,
+    /// `AUDIT_manifest.json` (`rodinia-repro.audit/v1`): symbolic
+    /// access contracts with proof verdicts, byte-deterministic.
+    Audit,
 }
 
 impl ManifestKind {
     /// Every registered manifest kind.
-    pub const ALL: [ManifestKind; 3] =
-        [ManifestKind::Bench, ManifestKind::Study, ManifestKind::Critpath];
+    pub const ALL: [ManifestKind; 4] = [
+        ManifestKind::Bench,
+        ManifestKind::Study,
+        ManifestKind::Critpath,
+        ManifestKind::Audit,
+    ];
 
     /// The schema tag written into (and required of) documents of this
     /// kind.
@@ -93,6 +111,7 @@ impl ManifestKind {
             ManifestKind::Bench => MANIFEST_SCHEMA,
             ManifestKind::Study => STUDY_SCHEMA,
             ManifestKind::Critpath => CRITPATH_SCHEMA,
+            ManifestKind::Audit => AUDIT_SCHEMA,
         }
     }
 
@@ -102,6 +121,7 @@ impl ManifestKind {
             ManifestKind::Bench => MANIFEST_FILE,
             ManifestKind::Study => STUDY_MANIFEST_FILE,
             ManifestKind::Critpath => CRITPATH_FILE,
+            ManifestKind::Audit => AUDIT_FILE,
         }
     }
 
@@ -194,11 +214,25 @@ pub(crate) fn scale_str(scale: Scale) -> &'static str {
 /// document is a pure function of `(experiment set, scale)`, which is
 /// what makes the kill-and-resume byte-for-byte diff meaningful.
 pub fn study_manifest_json(scale: Scale, experiments: &[(String, Vec<Table>)]) -> Json {
-    Json::obj(vec![
-        ("schema", Json::from(STUDY_SCHEMA)),
-        ("scale", Json::from(scale_str(scale))),
+    study_manifest_json_with_sections(scale, experiments, &[])
+}
+
+/// [`study_manifest_json`] with named driver sections (the `repro
+/// check` / `repro audit` finding summaries) appended after
+/// `experiments`. Sections must themselves be deterministic — the
+/// byte-identity contract of this document extends to them. With no
+/// sections the output is byte-identical to [`study_manifest_json`],
+/// so tables-only runs are unaffected.
+pub fn study_manifest_json_with_sections(
+    scale: Scale,
+    experiments: &[(String, Vec<Table>)],
+    sections: &[(String, Json)],
+) -> Json {
+    let mut pairs = vec![
+        ("schema".to_string(), Json::from(STUDY_SCHEMA)),
+        ("scale".to_string(), Json::from(scale_str(scale))),
         (
-            "experiments",
+            "experiments".to_string(),
             Json::from(
                 experiments
                     .iter()
@@ -214,7 +248,9 @@ pub fn study_manifest_json(scale: Scale, experiments: &[(String, Vec<Table>)]) -
                     .collect::<Vec<_>>(),
             ),
         ),
-    ])
+    ];
+    pairs.extend(sections.iter().cloned());
+    Json::Obj(pairs)
 }
 
 /// Atomically writes the deterministic study manifest to

@@ -40,6 +40,7 @@ use obs::Json;
 use store::{fnv1a64, Journal};
 
 use crate::analyze::{run_analyze, AnalyzeReport, DEFAULT_TOP_K};
+use crate::audit::{run_audit, AuditReport};
 use crate::check::{run_check, CheckReport};
 use crate::comparison::ComparisonStudy;
 use crate::engine::StudySession;
@@ -62,6 +63,9 @@ pub enum StudyCommand {
     },
     /// Run the sanitizer over the whole suite (`repro check`).
     Check,
+    /// Prove symbolic access contracts over the whole suite
+    /// (`repro audit`).
+    Audit,
     /// Critical-path attribution across the suite (`repro analyze`).
     Analyze {
         /// Per-benchmark bottleneck chain depth.
@@ -193,6 +197,7 @@ impl StudyRequest {
                 artifacts.iter().map(|id| id.name()).collect::<Vec<_>>().join("+")
             ),
             StudyCommand::Check => format!("check/{:?}", self.scale),
+            StudyCommand::Audit => format!("audit/{:?}", self.scale),
             StudyCommand::Analyze { top_k } => format!("analyze/{:?}/k{top_k}", self.scale),
         }
     }
@@ -282,12 +287,13 @@ impl StudyRequest {
                 }
                 match other {
                     "check" => StudyCommand::Check,
+                    "audit" => StudyCommand::Audit,
                     "analyze" => StudyCommand::Analyze {
                         top_k: top_k.take().unwrap_or(DEFAULT_TOP_K),
                     },
                     _ => {
                         return Err(RequestError::Malformed(
-                            "\"command\" must be \"tables\", \"check\", or \"analyze\"",
+                            "\"command\" must be \"tables\", \"check\", \"audit\", or \"analyze\"",
                         ))
                     }
                 }
@@ -324,6 +330,8 @@ pub enum StudyResponse {
     },
     /// A sanitizer run.
     Check(CheckReport),
+    /// An access-contract audit run.
+    Audit(AuditReport),
     /// A critical-path attribution run.
     Analyze(AnalyzeReport),
 }
@@ -339,6 +347,7 @@ impl StudyResponse {
                 manifest::study_manifest_json(*scale, completed)
             }
             StudyResponse::Check(report) => report.to_json(),
+            StudyResponse::Audit(report) => report.to_json(),
             StudyResponse::Analyze(report) => report.to_json(),
         }
     }
@@ -351,10 +360,11 @@ impl StudyResponse {
     }
 
     /// The CLI exit code this result maps to: nonzero only for a check
-    /// run with error-severity findings.
+    /// or audit run with error-severity findings.
     pub fn exit_code(&self) -> i32 {
         match self {
             StudyResponse::Check(report) => i32::from(report.error_count() > 0),
+            StudyResponse::Audit(report) => i32::from(report.error_count() > 0),
             _ => 0,
         }
     }
@@ -380,6 +390,45 @@ pub trait RequestObserver {
 pub struct Quiet;
 
 impl RequestObserver for Quiet {}
+
+/// Embeds a check/audit verdict as a named section of the store's
+/// `STUDY_manifest.json`, so the serve daemon (which exposes the study
+/// manifest) surfaces sanitizer status alongside the tables.
+///
+/// An existing manifest is updated in place — its experiments survive,
+/// only the named section is replaced — so a `check` after a tables
+/// run augments rather than clobbers. Without a store this is a no-op;
+/// a write failure costs the artifact, never the response.
+fn write_verdict_section(
+    session: &StudySession,
+    scale: Scale,
+    name: &str,
+    payload: Json,
+    observer: &mut dyn RequestObserver,
+) {
+    let Some(s) = session.store() else { return };
+    let doc = match std::fs::read_to_string(s.dir().join(manifest::STUDY_MANIFEST_FILE))
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+    {
+        Some(Json::Obj(mut pairs)) => {
+            match pairs.iter_mut().find(|(k, _)| k == name) {
+                Some(p) => p.1 = payload,
+                None => pairs.push((name.to_string(), payload)),
+            }
+            Json::Obj(pairs)
+        }
+        _ => manifest::study_manifest_json_with_sections(
+            scale,
+            &[],
+            &[(name.to_string(), payload)],
+        ),
+    };
+    match manifest::write_manifest(s.dir(), manifest::ManifestKind::Study, &doc) {
+        Ok(path) => observer.note(&format!("wrote study manifest {}", path.display())),
+        Err(e) => observer.note(&format!("store: {e}")),
+    }
+}
 
 /// Runs a validated [`StudyRequest`] on `session` — the one
 /// implementation behind both front ends.
@@ -410,7 +459,16 @@ pub fn execute(
         session.set_sim_threads(n);
     }
     let artifacts = match &req.command {
-        StudyCommand::Check => return run_check(session, req.scale).map(StudyResponse::Check),
+        StudyCommand::Check => {
+            let report = run_check(session, req.scale)?;
+            write_verdict_section(session, req.scale, "check", report.manifest_section(), observer);
+            return Ok(StudyResponse::Check(report));
+        }
+        StudyCommand::Audit => {
+            let report = run_audit(session, req.scale)?;
+            write_verdict_section(session, req.scale, "audit", report.manifest_section(), observer);
+            return Ok(StudyResponse::Audit(report));
+        }
         StudyCommand::Analyze { top_k } => {
             return run_analyze(session, req.scale, *top_k).map(StudyResponse::Analyze)
         }
@@ -548,6 +606,8 @@ mod tests {
         assert_eq!(req.study_key(), "analyze/Tiny/k5");
         req.command = StudyCommand::Check;
         assert_eq!(req.study_key(), "check/Tiny");
+        req.command = StudyCommand::Audit;
+        assert_eq!(req.study_key(), "audit/Tiny");
     }
 
     #[test]
@@ -584,6 +644,13 @@ mod tests {
         assert_eq!(analyze.command, StudyCommand::Analyze { top_k: 5 });
         let analyze = parse_req(r#"{"command":"analyze"}"#).expect("default top_k");
         assert_eq!(analyze.command, StudyCommand::Analyze { top_k: DEFAULT_TOP_K });
+        let audit = parse_req(r#"{"command":"audit","scale":"tiny"}"#).expect("audit");
+        assert_eq!(audit.command, StudyCommand::Audit);
+        assert_eq!(audit.scale, Scale::Tiny);
+        assert!(matches!(
+            parse_req(r#"{"command":"audit","top_k":2}"#),
+            Err(RequestError::Malformed(m)) if m.contains("top_k")
+        ));
     }
 
     #[test]

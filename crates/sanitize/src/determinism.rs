@@ -159,6 +159,67 @@ pub fn scan_tree(root: &Path, strip: &Path) -> std::io::Result<Vec<Finding>> {
     Ok(out)
 }
 
+/// Enumerates the first-party crate source roots of a cargo workspace by
+/// parsing `<workspace_root>/Cargo.toml`'s `members` list (expanding
+/// `dir/*` globs against the filesystem). Vendored third-party members
+/// (`vendor/*`) are excluded — their hash iteration is not ours to lint —
+/// and the workspace root's own `src/` is included when the manifest
+/// also declares a `[package]`. Returned paths are sorted, so the scan
+/// set (and any report built from it) is deterministic.
+///
+/// This is what keeps the repo-level determinism lint in sync with the
+/// workspace: a newly added crate is covered the moment it joins
+/// `members`, with no hard-coded list to update.
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the manifest or listing member globs;
+/// returns `InvalidData` when no `members` list is found.
+pub fn workspace_members(workspace_root: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let manifest = fs::read_to_string(workspace_root.join("Cargo.toml"))?;
+    let start = manifest.find("members").ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no `members` list in workspace manifest",
+        )
+    })?;
+    let open = manifest[start..].find('[').map(|i| start + i).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed `members` list")
+    })?;
+    let close = manifest[open..].find(']').map(|i| open + i).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "unterminated `members` list")
+    })?;
+
+    let mut roots = Vec::new();
+    for entry in manifest[open + 1..close].split(',') {
+        let entry = entry.trim().trim_matches('"');
+        if entry.is_empty() || entry.starts_with("vendor") {
+            continue;
+        }
+        if let Some(dir) = entry.strip_suffix("/*") {
+            let base = workspace_root.join(dir);
+            for child in fs::read_dir(&base)? {
+                let path = child?.path();
+                if path.join("Cargo.toml").is_file() {
+                    roots.push(path);
+                }
+            }
+        } else {
+            roots.push(workspace_root.join(entry));
+        }
+    }
+    if manifest.contains("[package]") {
+        roots.push(workspace_root.to_path_buf());
+    }
+    let mut src_roots: Vec<std::path::PathBuf> = roots
+        .into_iter()
+        .map(|r| r.join("src"))
+        .filter(|s| s.is_dir())
+        .collect();
+    src_roots.sort();
+    Ok(src_roots)
+}
+
 fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;

@@ -65,6 +65,24 @@ pub enum FindingKind {
     /// Lint: `HashMap`/`HashSet` iteration feeding rendered output
     /// without an intervening sort (source-scan determinism check).
     UnorderedIteration,
+    /// Contract proof: two warps' inferred affine access forms collide on
+    /// the same word within one barrier interval for *some* admissible
+    /// grid — a race provable for all launches of that shape, with a
+    /// concrete witness.
+    ContractRace,
+    /// Contract proof: an op site's inferred access form exceeds its
+    /// allocation's extent at the observed launch geometry.
+    ContractOutOfBounds,
+    /// Contract caveat: an op site whose access pattern changes *class*
+    /// with scale (affine at tiny grids, non-affine at the verification
+    /// scale) — tiny-grid evidence cannot be trusted to characterize
+    /// it. Like [`FindingKind::NonAffineAccess`], this marks evidence
+    /// quality, not a proven violation, so it is a warning.
+    ContractScaleVariance,
+    /// Contract caveat: an op site whose addresses fit no affine form —
+    /// summarized as an interval, with race/bounds proofs for it skipped
+    /// (soundness gap, reported so it is visible).
+    NonAffineAccess,
 }
 
 impl FindingKind {
@@ -74,7 +92,9 @@ impl FindingKind {
             FindingKind::BankConflict
             | FindingKind::UncoalescedGlobal
             | FindingKind::RedundantGlobal
-            | FindingKind::UnorderedIteration => Severity::Warning,
+            | FindingKind::UnorderedIteration
+            | FindingKind::ContractScaleVariance
+            | FindingKind::NonAffineAccess => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -94,11 +114,15 @@ impl FindingKind {
             FindingKind::UncoalescedGlobal => "lint-uncoalesced-global",
             FindingKind::RedundantGlobal => "lint-redundant-global",
             FindingKind::UnorderedIteration => "lint-unordered-iteration",
+            FindingKind::ContractRace => "contract-race",
+            FindingKind::ContractOutOfBounds => "contract-oob",
+            FindingKind::ContractScaleVariance => "contract-scale-variance",
+            FindingKind::NonAffineAccess => "contract-non-affine",
         }
     }
 
     /// Every kind, in report order.
-    pub fn all() -> [FindingKind; 12] {
+    pub fn all() -> [FindingKind; 16] {
         [
             FindingKind::SharedRace,
             FindingKind::BarrierDivergence,
@@ -112,6 +136,10 @@ impl FindingKind {
             FindingKind::UncoalescedGlobal,
             FindingKind::RedundantGlobal,
             FindingKind::UnorderedIteration,
+            FindingKind::ContractRace,
+            FindingKind::ContractOutOfBounds,
+            FindingKind::ContractScaleVariance,
+            FindingKind::NonAffineAccess,
         ]
     }
 }
@@ -192,6 +220,13 @@ mod tests {
         assert_eq!(FindingKind::SharedRace.severity(), Severity::Error);
         assert_eq!(FindingKind::BankConflict.severity(), Severity::Warning);
         assert_eq!(FindingKind::UnorderedIteration.severity(), Severity::Warning);
+        assert_eq!(FindingKind::ContractRace.severity(), Severity::Error);
+        assert_eq!(FindingKind::ContractOutOfBounds.severity(), Severity::Error);
+        assert_eq!(
+            FindingKind::ContractScaleVariance.severity(),
+            Severity::Warning
+        );
+        assert_eq!(FindingKind::NonAffineAccess.severity(), Severity::Warning);
         assert!(Severity::Error > Severity::Warning);
     }
 

@@ -45,6 +45,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod classify;
+pub mod contract;
 pub mod determinism;
 pub mod dynamic;
 pub mod finding;
@@ -52,7 +53,11 @@ pub mod lint;
 pub mod report;
 
 pub use classify::{classify_tape, expected_kind};
-pub use determinism::{scan_source, scan_tree};
+pub use contract::{
+    check_contracts, compare_scales, contracts_json, fit_affine, infer_contracts, Affine, Form,
+    KernelContract, Sample, SiteContract,
+};
+pub use determinism::{scan_source, scan_tree, workspace_members};
 pub use dynamic::{analyze_tape, Analyzer};
 pub use finding::{error_count, warning_count, Finding, FindingKind, Severity};
 pub use lint::{lint_trace, measure_trace, KernelLintMetrics, LintConfig};

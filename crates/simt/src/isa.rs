@@ -47,14 +47,15 @@ impl ActiveMask {
     /// A mask with no active lanes.
     pub const EMPTY: ActiveMask = ActiveMask(0);
 
-    /// A mask with the first `n` lanes active.
+    /// A mask with the first `n` lanes active, saturating at the 64-lane
+    /// hardware width.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n > 64`.
+    /// Infallible by contract: warp sizes above 64 are rejected up front
+    /// by [`crate::GpuConfig`] validation (`SimError::InvalidConfig`), so
+    /// a saturated mask can only be requested by code that bypassed
+    /// validation — and even then replay stays panic-free.
     pub fn first(n: usize) -> ActiveMask {
-        assert!(n <= 64, "warp size larger than 64 lanes is unsupported");
-        if n == 64 {
+        if n >= 64 {
             ActiveMask(u64::MAX)
         } else {
             ActiveMask((1u64 << n) - 1)
@@ -284,8 +285,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unsupported")]
-    fn mask_first_too_wide_panics() {
-        let _ = ActiveMask::first(65);
+    fn mask_first_saturates_at_hardware_width() {
+        assert_eq!(ActiveMask::first(65), ActiveMask::first(64));
+        assert_eq!(ActiveMask::first(usize::MAX).count(), 64);
+        assert_eq!(ActiveMask::first(64).count(), 64);
+        assert_eq!(ActiveMask::first(0), ActiveMask::EMPTY);
     }
 }

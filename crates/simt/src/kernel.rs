@@ -23,7 +23,7 @@ use crate::banks::warp_conflict_degree;
 use crate::coalesce::coalesce;
 use crate::isa::{ActiveMask, MemSpace, TOp};
 use crate::memory::{BufF32, BufU32, GpuMem};
-use crate::sanitizer::{AccessKind, MemAccess, TapeBuf, TapeEvent};
+use crate::sanitizer::{AccessKind, LaunchTape, MemAccess, TapeBuf, TapeEvent};
 
 /// Whether a warp has more phases (barrier-separated sections) to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,8 +144,10 @@ pub struct WarpCtx<'a> {
     pub(crate) fault: Option<String>,
     /// Sanitizer tape of the enclosing launch, when a sink is installed
     /// (`None` in normal runs: every recording site is guarded on it, so
-    /// taping never perturbs the emitted trace).
-    pub(crate) tape: Option<&'a mut Vec<TapeEvent>>,
+    /// taping never perturbs the emitted trace). Accesses are appended
+    /// to its event stream and their op sites interned into its
+    /// [`crate::shadow::SiteTable`].
+    pub(crate) tape: Option<&'a mut LaunchTape>,
 }
 
 impl std::fmt::Debug for WarpCtx<'_> {
@@ -214,6 +216,12 @@ impl WarpCtx<'_> {
     /// Records one warp-level access on the sanitizer tape (no-op when
     /// no tape is attached; `words` is empty in that case too, because
     /// the access methods only collect words while taping).
+    ///
+    /// `#[track_caller]` — and the same attribute on every access method
+    /// between here and the kernel — makes [`std::panic::Location`]
+    /// resolve to the *kernel-source* call site, which is interned as the
+    /// access's static op-site id.
+    #[track_caller]
     fn tape_access(
         &mut self,
         kind: AccessKind,
@@ -225,14 +233,17 @@ impl WarpCtx<'_> {
         if words.is_empty() {
             return;
         }
+        let loc = std::panic::Location::caller();
         if let Some(tape) = self.tape.as_deref_mut() {
-            tape.push(TapeEvent::Access(MemAccess {
+            let site = tape.sites.intern(loc);
+            tape.events.push(TapeEvent::Access(MemAccess {
                 block: self.block as u32,
                 warp: self.warp_in_block as u32,
                 phase: self.phase as u32,
                 kind,
                 space,
                 buf,
+                site,
                 lane_words: words.into_boxed_slice(),
                 faulted,
             }));
@@ -321,6 +332,7 @@ impl WarpCtx<'_> {
         self.trace.push(op);
     }
 
+    #[track_caller]
     fn gather_f32(
         &mut self,
         buf: BufF32,
@@ -364,6 +376,7 @@ impl WarpCtx<'_> {
 
     /// Loads `f32` values from global memory (coalesced, uncached unless
     /// the configuration has an L1/L2).
+    #[track_caller]
     pub fn ld_f32(
         &mut self,
         buf: BufF32,
@@ -373,6 +386,7 @@ impl WarpCtx<'_> {
     }
 
     /// Loads `f32` values through the texture cache.
+    #[track_caller]
     pub fn ld_tex_f32(
         &mut self,
         buf: BufF32,
@@ -383,6 +397,7 @@ impl WarpCtx<'_> {
 
     /// Loads `f32` values from constant memory. Distinct addresses among
     /// active lanes serialize the broadcast.
+    #[track_caller]
     pub fn ld_const_f32(
         &mut self,
         buf: BufF32,
@@ -431,6 +446,7 @@ impl WarpCtx<'_> {
     }
 
     /// Stores `f32` values to global memory.
+    #[track_caller]
     pub fn st_f32(&mut self, buf: BufF32, mut f: impl FnMut(usize, usize) -> Option<(usize, f32)>) {
         if self.faulted() {
             return;
@@ -467,6 +483,7 @@ impl WarpCtx<'_> {
     }
 
     /// Loads `u32` values from global memory.
+    #[track_caller]
     pub fn ld_u32(
         &mut self,
         buf: BufU32,
@@ -508,6 +525,7 @@ impl WarpCtx<'_> {
     }
 
     /// Loads `u32` values through the texture cache.
+    #[track_caller]
     pub fn ld_tex_u32(
         &mut self,
         buf: BufU32,
@@ -549,6 +567,7 @@ impl WarpCtx<'_> {
     }
 
     /// Stores `u32` values to global memory.
+    #[track_caller]
     pub fn st_u32(&mut self, buf: BufU32, mut f: impl FnMut(usize, usize) -> Option<(usize, u32)>) {
         if self.faulted() {
             return;
@@ -586,6 +605,7 @@ impl WarpCtx<'_> {
 
     /// Atomically adds to `u32` global memory, returning each lane's old
     /// value. Lanes are serialized in lane order (deterministic).
+    #[track_caller]
     pub fn atom_add_u32(
         &mut self,
         buf: BufU32,
@@ -646,6 +666,7 @@ impl WarpCtx<'_> {
     }
 
     /// Loads from the CTA's `f32` shared-memory scratch.
+    #[track_caller]
     pub fn sh_ld_f32(&mut self, mut f: impl FnMut(usize, usize) -> Option<usize>) -> Vec<f32> {
         let tids = self.tids();
         let mut out = vec![0.0f32; self.warp_size];
@@ -681,6 +702,7 @@ impl WarpCtx<'_> {
     }
 
     /// Stores to the CTA's `f32` shared-memory scratch.
+    #[track_caller]
     pub fn sh_st_f32(&mut self, mut f: impl FnMut(usize, usize) -> Option<(usize, f32)>) {
         if self.faulted() {
             return;
@@ -716,6 +738,7 @@ impl WarpCtx<'_> {
     /// Loads from the CTA's `u32` shared-memory scratch. Bank indices are
     /// offset past the `f32` scratch, mirroring a single physical
     /// scratchpad.
+    #[track_caller]
     pub fn sh_ld_u32(&mut self, mut f: impl FnMut(usize, usize) -> Option<usize>) -> Vec<u32> {
         let tids = self.tids();
         let off = self.shared_f32.len();
@@ -752,6 +775,7 @@ impl WarpCtx<'_> {
     }
 
     /// Stores to the CTA's `u32` shared-memory scratch.
+    #[track_caller]
     pub fn sh_st_u32(&mut self, mut f: impl FnMut(usize, usize) -> Option<(usize, u32)>) {
         if self.faulted() {
             return;

@@ -74,6 +74,7 @@ pub mod kernel;
 pub mod memory;
 pub mod sanitizer;
 pub mod serdes;
+pub mod shadow;
 pub mod sm;
 pub mod stats;
 pub mod trace;
@@ -93,5 +94,6 @@ pub use sanitizer::{
 pub use serdes::{
     decode_capture_payload, encode_capture_payload, CodecError, TRACE_CODEC_VERSION,
 };
+pub use shadow::SiteTable;
 pub use stats::{KernelStats, MemMix, OccupancyHistogram, StallBreakdown, Timeline, TimelineSample};
 pub use trace::{try_trace_kernel, KernelTrace, trace_kernel};

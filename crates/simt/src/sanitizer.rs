@@ -10,11 +10,18 @@
 //! one tape per launch.
 //!
 //! Taping is **off by default and free when off**: the executor carries
-//! an `Option<&mut Vec<TapeEvent>>` that is `None` unless a sink is
+//! an `Option<&mut LaunchTape>` that is `None` unless a sink is
 //! installed with [`crate::Gpu::set_sanitizer_sink`], every recording
 //! site is guarded by that option, and no emitted [`crate::TOp`] changes
 //! either way — captured traces (and therefore every replayed statistic)
 //! are byte-identical with the sanitizer on or off.
+//!
+//! Each access additionally carries the **static op site** that issued
+//! it — the kernel-source `file:line:column` of the `ld_*`/`st_*` call,
+//! captured via `#[track_caller]` and interned into
+//! [`LaunchTape::sites`] (see [`crate::shadow`]). The contract-inference
+//! layer groups accesses by site to fit one symbolic form per static
+//! memory instruction.
 //!
 //! The tape is delivered to the sink even when the launch aborts with a
 //! [`SimError`] (out-of-bounds access, barrier divergence, watchdog …):
@@ -27,6 +34,7 @@ use crate::error::SimError;
 use crate::isa::MemSpace;
 use crate::kernel::Kernel;
 use crate::memory::GpuMem;
+use crate::shadow::SiteTable;
 
 /// Which direction a recorded access moves data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +80,11 @@ pub struct MemAccess {
     pub space: MemSpace,
     /// Target allocation.
     pub buf: TapeBuf,
+    /// Static op site that issued the access (id into
+    /// [`LaunchTape::sites`]): the kernel-source location of the
+    /// `ld_*`/`st_*` call, shared by every dynamic execution of that
+    /// instruction.
+    pub site: u32,
     /// `(lane, word index)` for each participating lane, in lane order.
     pub lane_words: Box<[(u8, u32)]>,
     /// `true` if the access faulted: the **last** entry of `lane_words`
@@ -143,6 +156,8 @@ pub struct LaunchTape {
     pub allocs_u32: Vec<AllocInfo>,
     /// The recorded access/barrier stream.
     pub events: Vec<TapeEvent>,
+    /// Static op sites referenced by [`MemAccess::site`].
+    pub sites: SiteTable,
     /// The error that abandoned the launch, if it did not complete.
     pub aborted: Option<SimError>,
 }
@@ -162,6 +177,7 @@ impl LaunchTape {
             allocs_f32: mem.snapshot_f32(),
             allocs_u32: mem.snapshot_u32(),
             events: Vec::new(),
+            sites: SiteTable::new(),
             aborted: None,
         }
     }

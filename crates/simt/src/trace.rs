@@ -179,7 +179,7 @@ pub(crate) fn try_trace_kernel_with(
                     banks: cfg.shared_banks,
                     seg_bytes: cfg.segment_bytes,
                     fault: None,
-                    tape: tape.as_deref_mut().map(|t| &mut t.events),
+                    tape: tape.as_deref_mut(),
                 };
                 let pc = kernel.run_warp(&mut ctx);
                 if let Some(reason) = ctx.fault.take() {

@@ -55,6 +55,7 @@ use std::sync::Arc;
 
 use rodinia_repro::prelude::*;
 use rodinia_repro::rodinia_study::analyze::AnalyzeReport;
+use rodinia_repro::rodinia_study::audit::AuditReport;
 use rodinia_repro::rodinia_study::check::CheckReport;
 use rodinia_repro::rodinia_study::manifest::ManifestBuilder;
 use rodinia_repro::rodinia_study::report::Table;
@@ -84,6 +85,7 @@ fn usage() {
     println!("             [--sim-threads N] [--json <dir>] [--telemetry <file.jsonl>]");
     println!("             [--store <dir>] [--resume]");
     println!("       repro check [tiny|small|paper] [--json <dir>] [--jobs N]");
+    println!("       repro audit [tiny|small|paper] [--json <dir>] [--jobs N]");
     println!("       repro analyze [tiny|small|paper] [--json <dir>] [--jobs N]");
     println!("                     [--top-k N]");
     println!("       repro serve <addr> [--store <dir>] [--jobs N] [--sim-threads N]");
@@ -104,6 +106,11 @@ fn usage() {
     println!("       divergence, OOB, read-before-write, access-shape lints);");
     println!("       exits nonzero on any error-severity finding; --json writes");
     println!("       check_report.json");
+    println!("audit: fits symbolic access contracts from tiny-grid evidence and");
+    println!("       proves race-freedom and bounds for all grid shapes; at");
+    println!("       small/paper also cross-validates pattern-class stability;");
+    println!("       exits nonzero on any error-severity finding; --json writes");
+    println!("       a deterministic AUDIT_manifest.json");
     println!("analyze: critical-path attribution across the suite — per");
     println!("       benchmark the dominant stall chain and what removing it");
     println!("       would buy, plus a suite-wide bottleneck ranking; --json");
@@ -153,6 +160,47 @@ fn present_check(report: &CheckReport, json_dir: Option<&PathBuf>, manifest: Opt
         eprintln!("wrote report {}", path.display());
         if let Some(mut m) = manifest {
             m.push_section("check", report.manifest_section());
+            match m.write(dir) {
+                Ok(path) => eprintln!("wrote manifest {}", path.display()),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 1;
+                }
+            }
+        }
+    }
+    i32::from(errors > 0)
+}
+
+/// Prints and persists a `repro audit` result; returns the exit code.
+fn present_audit(
+    report: &AuditReport,
+    json_dir: Option<&PathBuf>,
+    manifest: Option<ManifestBuilder>,
+) -> i32 {
+    match report.summary_table() {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("audit: {e}");
+            return 1;
+        }
+    }
+    for line in report.finding_lines() {
+        println!("{line}");
+    }
+    let errors = report.error_count();
+    let warnings = report.warning_count();
+    println!("audit: {errors} error(s), {warnings} warning(s)");
+    if let Some(dir) = json_dir {
+        match report.write(dir) {
+            Ok(path) => eprintln!("wrote audit manifest {}", path.display()),
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+        if let Some(mut m) = manifest {
+            m.push_section("audit", report.manifest_section());
             match m.write(dir) {
                 Ok(path) => eprintln!("wrote manifest {}", path.display()),
                 Err(e) => {
@@ -317,6 +365,7 @@ fn main() {
     let mut ids: Vec<ExperimentId> = Vec::new();
     let mut listed = false;
     let mut check = false;
+    let mut audit = false;
     let mut analyze = false;
     let mut top_k = rodinia_repro::rodinia_study::analyze::DEFAULT_TOP_K;
     let mut json_dir: Option<PathBuf> = None;
@@ -372,6 +421,7 @@ fn main() {
             "all" => ids = ExperimentId::all(),
             "list" => listed = true,
             "check" => check = true,
+            "audit" => audit = true,
             "analyze" => analyze = true,
             "--top-k" => {
                 i += 1;
@@ -395,7 +445,7 @@ fn main() {
         }
         i += 1;
     }
-    if listed || (ids.is_empty() && !check && !analyze) {
+    if listed || (ids.is_empty() && !check && !audit && !analyze) {
         usage();
         // `repro` / `repro list` asked for the usage text; anything else
         // reaching this point produced no artifact, which is a misuse.
@@ -407,6 +457,8 @@ fn main() {
     let request = StudyRequest {
         command: if check {
             StudyCommand::Check
+        } else if audit {
+            StudyCommand::Audit
         } else if analyze {
             StudyCommand::Analyze { top_k }
         } else {
@@ -471,6 +523,7 @@ fn main() {
     };
     let code = match &response {
         StudyResponse::Check(report) => present_check(report, json_dir.as_ref(), manifest.take()),
+        StudyResponse::Audit(report) => present_audit(report, json_dir.as_ref(), manifest.take()),
         StudyResponse::Analyze(report) => {
             present_analyze(report, json_dir.as_ref(), manifest.take())
         }
